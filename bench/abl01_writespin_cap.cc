@@ -1,0 +1,45 @@
+// Ablation A: Netty's writeSpin cap (default 16). Sweeps the cap for
+// NettyServer serving 100 KB responses at concurrency 100, with and
+// without latency. A cap of 0 means "flush until EAGAIN" (no yielding to
+// other connections beyond kernel-buffer pressure).
+//
+// Why it matters: the cap is the design knob behind the paper's Section
+// V-A claim that Netty's write optimization trades per-message overhead
+// for loop fairness. Too small → excessive re-scheduling; unbounded →
+// the loop can be monopolized like SingleT-Async.
+#include "bench_common.h"
+
+using namespace hynet;
+using namespace hynet::benchx;
+
+int main() {
+  const double seconds = BenchSeconds(1.0);
+  std::vector<int> caps = {1, 2, 4, 8, 16, 64, 0};
+  if (BenchQuickMode()) caps = {1, 16, 0};
+  std::vector<double> latencies = {0.0, 2.0};
+  if (BenchQuickMode()) latencies = {0.0};
+
+  for (double latency : latencies) {
+    PrintHeader("Ablation A: writeSpin cap sweep (NettyServer, 100KB, "
+                "concurrency 100, latency " +
+                TablePrinter::Num(latency, 0) + "ms)");
+    TablePrinter table({"spin_cap", "throughput", "mean_rt_ms",
+                        "writes_per_resp", "capped_flushes"});
+    for (int cap : caps) {
+      BenchPoint p =
+          MakePoint(ServerArchitecture::kMultiLoop, kLarge, 100, seconds);
+      p.server.write_spin_cap = cap;
+      p.latency_ms = latency;
+      const BenchPointResult r = RunBenchPoint(p);
+      table.AddRow({cap == 0 ? "unbounded" : TablePrinter::Int(cap),
+                    TablePrinter::Num(r.Throughput(), 0),
+                    TablePrinter::Num(r.MeanLatencyMs(), 1),
+                    TablePrinter::Num(r.WritesPerResponse(), 1),
+                    TablePrinter::Int(static_cast<int64_t>(
+                        r.counters.spin_capped_flushes))});
+    }
+    table.Print();
+    table.PrintCsv("abl01");
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation C: the full architecture taxonomy of Section II-A side by side —
+// including the two designs the paper discusses but does not benchmark
+// (SEDA-style staged pipeline, N-copy single-threaded deployment) — under
+// the small-response and large-response regimes.
+//
+// Expected: staged ≈ sTomcat-Async (same 4 handoffs, split across pools);
+// N-copy ≈ SingleT-Async on one core (the deployment only helps with more
+// cores); the hybrid at or near the top in both regimes.
+#include "bench_common.h"
+
+using namespace hynet;
+using namespace hynet::benchx;
+
+int main() {
+  const double seconds = BenchSeconds(0.8);
+
+  const ServerArchitecture archs[] = {
+      ServerArchitecture::kThreadPerConn,
+      ServerArchitecture::kReactorPool,
+      ServerArchitecture::kReactorPoolFix,
+      ServerArchitecture::kStaged,
+      ServerArchitecture::kSingleThread,
+      ServerArchitecture::kSingleThreadNCopy,
+      ServerArchitecture::kMultiLoop,
+      ServerArchitecture::kHybrid,
+  };
+
+  const struct {
+    size_t size;
+    double latency_ms;
+    const char* label;
+  } regimes[] = {
+      {kSmall, 0.0, "0.1KB responses, no latency"},
+      {kLarge, 1.0, "100KB responses, 1ms LAN RTT"},
+  };
+
+  for (const auto& regime : regimes) {
+    PrintHeader(std::string("Ablation C: architecture zoo — ") +
+                regime.label + " (concurrency 64)");
+    TablePrinter table({"architecture", "throughput", "mean_rt_ms",
+                        "switches_per_req", "ctx_per_sec"});
+    for (ServerArchitecture arch : archs) {
+      BenchPoint p = MakePoint(arch, regime.size, 64, seconds);
+      p.latency_ms = regime.latency_ms;
+      const BenchPointResult r = RunBenchPoint(p);
+      table.AddRow({ArchitectureName(arch),
+                    TablePrinter::Num(r.Throughput(), 0),
+                    TablePrinter::Num(r.MeanLatencyMs(), 1),
+                    TablePrinter::Num(r.LogicalSwitchesPerRequest(), 1),
+                    TablePrinter::Num(r.activity.CtxSwitchesPerSec(), 0)});
+    }
+    table.Print();
+    table.PrintCsv("abl03");
+  }
+  return 0;
+}

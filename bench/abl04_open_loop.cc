@@ -1,0 +1,77 @@
+// Ablation D: closed-loop vs open-loop measurement of the write-spin
+// penalty. The paper's JMeter workload is closed-loop (each emulated user
+// waits for its response), which *understates* the damage a blocked
+// single-threaded server does: arrivals pause whenever the server stalls.
+// An open-loop (Poisson) workload keeps arriving, so queueing delay behind
+// the glued thread lands in the latency distribution.
+//
+// Both servers are offered the SAME arrival rate (half of the hybrid's
+// closed-loop capacity): sustainable for the hybrid, beyond the naive
+// spin-writer's capacity.
+#include "bench_common.h"
+
+using namespace hynet;
+using namespace hynet::benchx;
+
+int main() {
+  const double seconds = BenchSeconds(1.5);
+
+  PrintHeader(
+      "Ablation D: closed vs open loop — SingleT-Async vs HybridNetty, "
+      "5% heavy mix, 1ms LAN RTT");
+
+  const std::vector<WeightedTarget> mix = {
+      {BenchTarget(kSmall, DefaultCpuUs(kSmall)), 0.95},
+      {BenchTarget(kLarge, DefaultCpuUs(kLarge)), 0.05},
+  };
+
+  auto run = [&](ServerArchitecture arch, double open_rate) {
+    BenchPoint p;
+    p.server.architecture = arch;
+    p.concurrency = 50;
+    p.measure_sec = seconds;
+    p.latency_ms = 1.0;
+    p.targets = mix;
+    p.open_loop_rate = open_rate;
+    return RunBenchPoint(p);
+  };
+
+  // Pass 1 (closed loop) fixes the common open-loop rate.
+  const BenchPointResult closed_single =
+      run(ServerArchitecture::kSingleThread, 0);
+  const BenchPointResult closed_hybrid = run(ServerArchitecture::kHybrid, 0);
+  const double rate = closed_hybrid.Throughput() * 0.5;
+
+  TablePrinter table({"mode", "architecture", "offered_rps", "completed_rps",
+                      "p50_ms", "p99_ms", "queued"});
+  auto add = [&](const char* mode, ServerArchitecture arch,
+                 const BenchPointResult& r, double offered) {
+    table.AddRow(
+        {mode, ArchitectureName(arch),
+         offered > 0 ? TablePrinter::Num(offered, 0) : std::string("-"),
+         TablePrinter::Num(r.Throughput(), 0),
+         TablePrinter::Num(
+             static_cast<double>(r.load.latency.Percentile(0.5)) / 1e6, 2),
+         TablePrinter::Num(
+             static_cast<double>(r.load.latency.Percentile(0.99)) / 1e6, 2),
+         offered > 0
+             ? TablePrinter::Int(static_cast<int64_t>(r.load.queued_arrivals))
+             : std::string("-")});
+  };
+
+  add("closed", ServerArchitecture::kSingleThread, closed_single, 0);
+  add("closed", ServerArchitecture::kHybrid, closed_hybrid, 0);
+  const BenchPointResult open_single =
+      run(ServerArchitecture::kSingleThread, rate);
+  add("open", ServerArchitecture::kSingleThread, open_single, rate);
+  const BenchPointResult open_hybrid = run(ServerArchitecture::kHybrid, rate);
+  add("open", ServerArchitecture::kHybrid, open_hybrid, rate);
+
+  table.Print();
+  table.PrintCsv("abl04");
+  std::printf(
+      "\nExpected: at the same offered rate the spin-writer saturates —\n"
+      "arrivals queue and its tail latency explodes — while the hybrid\n"
+      "absorbs the load at closed-loop-like latency.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Helpers shared by the figure/table bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "client/bench_runner.h"
+#include "metrics/report.h"
+
+namespace hynet::benchx {
+
+inline std::string SizeLabel(size_t bytes) {
+  char buf[32];
+  if (bytes < 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuKB", bytes / 1024);
+  }
+  return buf;
+}
+
+// The paper's three representative response sizes.
+inline constexpr size_t kSmall = 102;           // 0.1 KB
+inline constexpr size_t kMedium = 10 * 1024;    // 10 KB
+inline constexpr size_t kLarge = 100 * 1024;    // 100 KB
+
+// Builds a single-target BenchPoint for the standard workload.
+inline BenchPoint MakePoint(ServerArchitecture arch, size_t size,
+                            int concurrency, double measure_sec) {
+  BenchPoint p;
+  p.server.architecture = arch;
+  p.concurrency = concurrency;
+  p.measure_sec = measure_sec;
+  p.targets = {{BenchTarget(size, DefaultCpuUs(size)), 1.0}};
+  return p;
+}
+
+}  // namespace hynet::benchx

@@ -1,0 +1,59 @@
+// Figure 6: kernel send-buffer autotuning vs a fixed large SO_SNDBUF for
+// SingleT-Async serving 100 KB responses. The paper: autotuning sizes the
+// buffer for link utilization (Bandwidth-Delay Product), not for the
+// application's response size, so the async server still write-spins; a
+// fixed 100 KB buffer avoids the spin. The gap widens with network
+// latency.
+#include "bench_common.h"
+
+using namespace hynet;
+using namespace hynet::benchx;
+
+int main() {
+  PrintHeader(
+      "Figure 6: TCP send buffer autotuning vs fixed 100KB "
+      "(SingleT-Async, 100KB responses, concurrency 100)");
+
+  const double seconds = BenchSeconds(1.2);
+  const double latencies_ms[] = {0.0, 5.0};
+
+  TablePrinter table({"latency_ms", "sndbuf", "throughput",
+                      "writes_per_resp", "mean_rt_ms"});
+
+  for (double latency : latencies_ms) {
+    struct Variant {
+      const char* label;
+      int sndbuf;
+    };
+    // The paper's testbed (2018-era kernels) observed the autotuner keep
+    // the buffer near the link BDP — too small for a 100 KB response, so
+    // the async server still write-spun. Modern kernels grow wmem up to
+    // tcp_wmem[2] regardless, so autotune behaves like a large fixed
+    // buffer here; the fixed-16KB row shows the spin-inducing regime the
+    // paper's autotune row demonstrated (see EXPERIMENTS.md).
+    const Variant variants[] = {{"fixed-16KB", 16 * 1024},
+                                {"autotune", 0},
+                                {"fixed-100KB", 100 * 1024}};
+    for (const Variant& v : variants) {
+      BenchPoint p = MakePoint(ServerArchitecture::kSingleThread, kLarge,
+                               100, seconds);
+      p.server.snd_buf_bytes = v.sndbuf;
+      p.latency_ms = latency;
+      const BenchPointResult r = RunBenchPoint(p);
+      table.AddRow({TablePrinter::Num(latency, 1), v.label,
+                    TablePrinter::Num(r.Throughput(), 0),
+                    TablePrinter::Num(r.WritesPerResponse(), 1),
+                    TablePrinter::Num(r.MeanLatencyMs(), 1)});
+    }
+  }
+
+  table.Print();
+  table.PrintCsv("fig06");
+  std::printf(
+      "\nExpected shape: a send buffer smaller than the response\n"
+      "(fixed-16KB) write-spins and collapses under latency; a buffer\n"
+      "sized to the response does not. The paper's kernel kept the\n"
+      "autotuned buffer in the first regime; modern kernels land it in\n"
+      "the second (divergence documented in EXPERIMENTS.md).\n");
+  return 0;
+}

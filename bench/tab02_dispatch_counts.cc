@@ -1,0 +1,42 @@
+// Table II: logical (user-space) context switches needed to process one
+// request, by architecture. Measured from the servers' instrumented
+// dispatch counters, which increment at exactly the handoff points of
+// Figure 3:
+//   sTomcat-Async      4  (reactor→worker, worker→reactor, reactor→worker,
+//                          worker→reactor)
+//   sTomcat-Async-Fix  2  (reactor→worker, worker→reactor)
+//   sTomcat-Sync       0
+//   SingleT-Async      0
+#include "bench_common.h"
+
+using namespace hynet;
+using namespace hynet::benchx;
+
+int main() {
+  PrintHeader("Table II: logical context switches per request");
+
+  const double seconds = BenchSeconds(0.6);
+  struct Row {
+    ServerArchitecture arch;
+    int expected;
+  };
+  const Row rows[] = {
+      {ServerArchitecture::kReactorPool, 4},
+      {ServerArchitecture::kReactorPoolFix, 2},
+      {ServerArchitecture::kThreadPerConn, 0},
+      {ServerArchitecture::kSingleThread, 0},
+  };
+
+  TablePrinter table({"server_type", "measured_per_req", "paper"});
+  for (const Row& row : rows) {
+    BenchPoint p = MakePoint(row.arch, kSmall, 8, seconds);
+    const BenchPointResult r = RunBenchPoint(p);
+    table.AddRow({ArchitectureName(row.arch),
+                  TablePrinter::Num(r.LogicalSwitchesPerRequest(), 2),
+                  TablePrinter::Int(row.expected)});
+  }
+
+  table.Print();
+  table.PrintCsv("tab02");
+  return 0;
+}

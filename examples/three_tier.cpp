@@ -1,0 +1,52 @@
+// three_tier: boots the full mini-RUBBoS stack (web proxy tier → app tier
+// → in-memory DB tier, all over loopback TCP) and runs Markov-chain users
+// against it — the paper's Figure 1 scenario as a runnable demo.
+//
+//   ./build/examples/three_tier                  # thread-based app tier
+//   ./build/examples/three_tier async            # reactor+pool app tier
+//   ./build/examples/three_tier async 300        # ... with 300 users
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+
+#include "metrics/report.h"
+#include "rubbos/system.h"
+
+using namespace hynet;
+using namespace hynet::rubbos;
+
+int main(int argc, char** argv) {
+  const bool async_app = argc > 1 && std::strcmp(argv[1], "async") == 0;
+  const int users = argc > 2 ? std::atoi(argv[2]) : 150;
+
+  ThreeTierConfig system_config;
+  system_config.app_architecture = async_app
+                                       ? ServerArchitecture::kReactorPool
+                                       : ServerArchitecture::kThreadPerConn;
+
+  std::printf("three_tier: app tier = %s, %d emulated users\n",
+              ArchitectureName(system_config.app_architecture), users);
+  std::printf("  [web tier: thread-based proxy]\n");
+  std::printf("  [app tier: 24 RUBBoS interactions, JDBC-style DB pool]\n");
+  std::printf("  [db  tier: thread-per-connection, in-memory tables]\n\n");
+
+  RubbosWorkloadConfig load;
+  load.users = users;
+  load.think_time_sec = 0.5;
+  load.warmup_sec = 1.0;
+  load.measure_sec = 4.0;
+
+  const ThreeTierPointResult result = RunThreeTierPoint(system_config, load);
+
+  std::printf("throughput      : %.1f req/s\n", result.Throughput());
+  std::printf("response time   : %s\n",
+              result.workload.response_time.Summary().c_str());
+  std::printf("app ctx switches: %.0f /s\n",
+              result.app_activity.CtxSwitchesPerSec());
+  std::printf("errors          : %llu\n",
+              static_cast<unsigned long long>(result.workload.errors));
+  std::printf(
+      "\nRun both variants and compare — the async connector context-\n"
+      "switches several times more per second at the same load (Fig. 1).\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "client/bench_runner.h"
+
+#include <cstdio>
+
+#include "common/env.h"
+#include "common/thread_util.h"
+#include "proxy/latency_proxy.h"
+
+namespace hynet {
+
+Handler MakeBenchHandler() {
+  return [](const HttpRequest& req, HttpResponse& resp) {
+    const auto size =
+        static_cast<size_t>(req.QueryParamInt("size", 128));
+    const double us =
+        static_cast<double>(req.QueryParamInt("us", 0));
+    if (us > 0) BurnCpuMicros(us);
+    resp.body.assign(size, 'x');
+    // HTTP/2-style server push: /bench?...&push=N&push_kb=M attaches N
+    // companion resources of M KB each (Section IV's unpredictable
+    // response-size scenario).
+    const auto push = static_cast<size_t>(req.QueryParamInt("push", 0));
+    const auto push_kb = static_cast<size_t>(req.QueryParamInt("push_kb", 16));
+    for (size_t i = 0; i < push; ++i) {
+      resp.pushed.emplace_back(push_kb * 1024, 'p');
+    }
+    resp.SetHeader("Content-Type", "application/octet-stream");
+  };
+}
+
+std::string BenchTarget(size_t response_bytes, double cpu_us) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "/bench?size=%zu&us=%lld", response_bytes,
+                static_cast<long long>(cpu_us));
+  return buf;
+}
+
+double DefaultCpuUs(size_t response_bytes) {
+  // ~20 us baseline parse/compute plus ~1 us per KB of produced content:
+  // keeps CPU demand positively correlated with response size, as in the
+  // paper's micro-benchmark servlets.
+  return 20.0 + static_cast<double>(response_bytes) / 1024.0;
+}
+
+ServerCounters operator-(const ServerCounters& a, const ServerCounters& b) {
+  ServerCounters d;
+  d.connections_accepted = a.connections_accepted - b.connections_accepted;
+  d.connections_closed = a.connections_closed - b.connections_closed;
+  d.requests_handled = a.requests_handled - b.requests_handled;
+  d.responses_sent = a.responses_sent - b.responses_sent;
+  d.write_calls = a.write_calls - b.write_calls;
+  d.zero_writes = a.zero_writes - b.zero_writes;
+  d.spin_capped_flushes = a.spin_capped_flushes - b.spin_capped_flushes;
+  d.logical_switches = a.logical_switches - b.logical_switches;
+  d.light_path_responses = a.light_path_responses - b.light_path_responses;
+  d.heavy_path_responses = a.heavy_path_responses - b.heavy_path_responses;
+  d.reclassifications = a.reclassifications - b.reclassifications;
+  return d;
+}
+
+BenchPointResult RunBenchPoint(const BenchPoint& point) {
+  CalibrateCpuBurn();  // before the measured window, not during
+
+  auto server = CreateServer(point.server, MakeBenchHandler());
+  server->Start();
+
+  std::optional<LatencyProxy> proxy;
+  uint16_t connect_port = server->Port();
+  if (point.latency_ms > 0) {
+    LatencyProxyConfig pc;
+    pc.upstream = InetAddr::Loopback(server->Port());
+    pc.one_way_delay = std::chrono::microseconds(
+        static_cast<int64_t>(point.latency_ms * 1000));
+    proxy.emplace(pc);
+    proxy->Start();
+    connect_port = proxy->Port();
+  }
+
+  BenchPointResult result;
+  std::optional<ServerActivitySampler> sampler;
+  ServerCounters begin_counters;
+
+  LoadConfig lc;
+  lc.server = InetAddr::Loopback(connect_port);
+  lc.connections = point.concurrency;
+  lc.warmup_sec = point.warmup_sec;
+  lc.measure_sec = point.measure_sec;
+  lc.targets = point.targets;
+  lc.seed = point.seed;
+  lc.rcv_buf_bytes = point.client_rcv_buf;
+  lc.open_loop_rate = point.open_loop_rate;
+  ThreadCpuTimes begin_process_cpu;
+  lc.on_measure_start = [&] {
+    // Thread set is sampled at window start: by now thread-per-connection
+    // has spawned its connection threads.
+    sampler.emplace(server->ThreadIds());
+    sampler->Start();
+    begin_counters = server->Snapshot();
+    begin_process_cpu = ReadProcessCpu();
+  };
+  lc.on_measure_end = [&] {
+    result.activity = sampler->Stop();
+    result.counters = server->Snapshot() - begin_counters;
+    result.process_cpu = ReadProcessCpu() - begin_process_cpu;
+  };
+
+  result.load = RunLoad(lc);
+
+  if (proxy) proxy->Stop();
+  server->Stop();
+  return result;
+}
+
+double BenchSeconds(double fallback) {
+  return EnvDouble("HYNET_BENCH_SECONDS", fallback);
+}
+
+bool BenchQuickMode() { return EnvBool("HYNET_BENCH_QUICK", false); }
+
+}  // namespace hynet

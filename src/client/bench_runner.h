@@ -1,0 +1,93 @@
+// One-stop harness for running a benchmark point: boots a server of the
+// requested architecture, optionally interposes the latency proxy, drives
+// the closed-loop load, and scopes /proc metrics to the server's threads
+// over exactly the measurement window.
+#pragma once
+
+#include <optional>
+
+#include "client/load_gen.h"
+#include "core/hybrid_server.h"
+#include "metrics/cpu_sample.h"
+#include "servers/server.h"
+
+namespace hynet {
+
+// The standard benchmark handler understands targets of the form
+//   /bench?size=<bytes>&us=<cpu-microseconds>
+// and responds with <bytes> of in-memory payload after burning the given
+// CPU time (the paper's "simple computation before responding").
+Handler MakeBenchHandler();
+std::string BenchTarget(size_t response_bytes, double cpu_us);
+
+// CPU demand model used across the figure benches: positively correlated
+// with response size, as in the paper's micro-benchmarks.
+double DefaultCpuUs(size_t response_bytes);
+
+struct BenchPoint {
+  ServerConfig server;
+  std::vector<WeightedTarget> targets;
+  int concurrency = 1;
+  double warmup_sec = 0.3;
+  double measure_sec = 1.0;
+  // One-way network latency between client and server; > 0 interposes the
+  // userspace latency proxy (tc substitute).
+  double latency_ms = 0.0;
+  int client_rcv_buf = 16 * 1024;
+  uint64_t seed = 1;
+  // > 0: open-loop Poisson arrivals at this rate instead of closed loop.
+  double open_loop_rate = 0.0;
+};
+
+struct BenchPointResult {
+  LoadResult load;
+  ActivityDelta activity;   // server threads, measure window only
+  ServerCounters counters;  // server counter deltas, measure window only
+  // Whole-process user/system CPU over the window (getrusage): includes
+  // the client loop, but is microsecond-granular where per-thread ticks
+  // are not. Used for the Table III CPU-share comparison.
+  ThreadCpuTimes process_cpu;
+
+  double ProcessUserShare() const {
+    const double t = process_cpu.Total();
+    return t > 0 ? process_cpu.user_sec / t : 0;
+  }
+  double ProcessSystemShare() const {
+    const double t = process_cpu.Total();
+    return t > 0 ? process_cpu.sys_sec / t : 0;
+  }
+
+  double Throughput() const { return load.Throughput(); }
+  double MeanLatencyMs() const { return load.latency.Mean() / 1e6; }
+  double CtxSwitchesPerRequest() const {
+    return load.completed
+               ? static_cast<double>(activity.ctx_switches.Total()) /
+                     static_cast<double>(load.completed)
+               : 0.0;
+  }
+  double WritesPerResponse() const {
+    return counters.responses_sent
+               ? static_cast<double>(counters.write_calls) /
+                     static_cast<double>(counters.responses_sent)
+               : 0.0;
+  }
+  double LogicalSwitchesPerRequest() const {
+    return counters.requests_handled
+               ? static_cast<double>(counters.logical_switches) /
+                     static_cast<double>(counters.requests_handled)
+               : 0.0;
+  }
+};
+
+ServerCounters operator-(const ServerCounters& a, const ServerCounters& b);
+
+// Runs one point end to end. Creates/destroys the server (and proxy).
+BenchPointResult RunBenchPoint(const BenchPoint& point);
+
+// Environment knobs shared by the bench binaries:
+//   HYNET_BENCH_SECONDS — measure window per point (default `fallback`)
+//   HYNET_BENCH_QUICK   — trim sweeps for smoke runs
+double BenchSeconds(double fallback);
+bool BenchQuickMode();
+
+}  // namespace hynet

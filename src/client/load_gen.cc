@@ -1,0 +1,269 @@
+#include "client/load_gen.h"
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "net/event_loop.h"
+#include "net/socket.h"
+#include "proto/http_codec.h"
+#include "proto/http_parser.h"
+
+namespace hynet {
+namespace {
+
+struct ClientConn {
+  ScopedFd fd;
+  ByteBuffer in;
+  HttpResponseParser parser;
+  std::string out;       // request bytes still to write
+  size_t out_off = 0;
+  TimePoint send_time{};
+  bool writable_armed = false;
+  bool dead = false;  // error path ran; don't touch this conn again
+  // Open-loop state: intended arrival times waiting for this connection.
+  std::deque<TimePoint> backlog;
+  bool busy = false;  // a request is outstanding
+};
+
+class ClosedLoopDriver {
+ public:
+  explicit ClosedLoopDriver(const LoadConfig& config)
+      : config_(config), rng_(config.seed) {
+    double total = 0;
+    for (const auto& t : config_.targets) total += t.weight;
+    for (const auto& t : config_.targets) {
+      cumulative_.push_back(
+          (cumulative_.empty() ? 0.0 : cumulative_.back()) +
+          t.weight / total);
+      request_bytes_.push_back(BuildGetRequest(t.target));
+    }
+  }
+
+  LoadResult Run() {
+    for (int i = 0; i < config_.connections; ++i) OpenConnection();
+    if (config_.open_loop_rate > 0) ScheduleNextArrival();
+
+    loop_.RunAfter(std::chrono::duration_cast<Duration>(
+                       std::chrono::duration<double>(config_.warmup_sec)),
+                   [this] { BeginMeasure(); });
+    loop_.Run();
+
+    result_.elapsed_sec = ToSeconds(measure_end_ - measure_start_);
+    return std::move(result_);
+  }
+
+ private:
+  void BeginMeasure() {
+    measuring_ = true;
+    measure_start_ = Now();
+    if (config_.on_measure_start) config_.on_measure_start();
+    loop_.RunAfter(std::chrono::duration_cast<Duration>(
+                       std::chrono::duration<double>(config_.measure_sec)),
+                   [this] { EndMeasure(); });
+  }
+
+  void EndMeasure() {
+    measuring_ = false;
+    measure_end_ = Now();
+    if (config_.on_measure_end) config_.on_measure_end();
+    loop_.Stop();
+  }
+
+  void OpenConnection() {
+    Socket sock = Socket::CreateTcp(/*nonblocking=*/false);
+    if (config_.rcv_buf_bytes > 0) {
+      sock.SetRecvBufferSize(config_.rcv_buf_bytes);
+    }
+    sock.Connect(config_.server);
+    sock.SetNonBlocking(true);
+    sock.SetNoDelay(true);
+
+    auto conn = std::make_shared<ClientConn>();
+    conn->fd = sock.TakeFd();
+    const int fd = conn->fd.get();
+    conns_[fd] = conn;
+    conn_ring_.push_back(conn);
+    loop_.RegisterFd(fd, EPOLLIN, [this, conn](uint32_t events) {
+      OnEvent(conn, events);
+    });
+    // Closed loop starts immediately; open loop waits for arrivals.
+    if (config_.open_loop_rate <= 0) SendNext(*conn);
+  }
+
+  // Open loop: Poisson arrivals round-robined over the connections.
+  void ScheduleNextArrival() {
+    const double gap_sec =
+        rng_.NextExponential(1.0 / config_.open_loop_rate);
+    loop_.RunAfter(std::chrono::duration_cast<Duration>(
+                       std::chrono::duration<double>(gap_sec)),
+                   [this] {
+                     DispatchArrival(Now());
+                     ScheduleNextArrival();
+                   });
+  }
+
+  void DispatchArrival(TimePoint intended) {
+    if (conn_ring_.empty()) return;
+    std::shared_ptr<ClientConn> fallback;
+    for (size_t tries = 0; tries < conn_ring_.size(); ++tries) {
+      auto conn = conn_ring_[ring_cursor_++ % conn_ring_.size()].lock();
+      if (!conn || conn->dead) continue;
+      if (!conn->busy) {
+        SendAt(*conn, intended);
+        return;
+      }
+      if (!fallback) fallback = std::move(conn);
+    }
+    if (fallback) {
+      // Every connection is occupied: queue behind one (open-loop backlog
+      // — the saturation signal).
+      fallback->backlog.push_back(intended);
+      if (measuring_) result_.queued_arrivals++;
+    }
+  }
+
+  void SendAt(ClientConn& conn, TimePoint intended_arrival) {
+    conn.out = request_bytes_[PickTarget()];
+    conn.out_off = 0;
+    conn.send_time = intended_arrival;  // latency includes queueing delay
+    conn.busy = true;
+    WritePending(conn);
+  }
+
+  void SendNext(ClientConn& conn) {
+    conn.out = request_bytes_[PickTarget()];
+    conn.out_off = 0;
+    conn.send_time = Now();
+    conn.busy = true;
+    WritePending(conn);
+  }
+
+  size_t PickTarget() {
+    if (cumulative_.size() == 1) return 0;
+    const double u = rng_.NextDouble();
+    for (size_t i = 0; i < cumulative_.size(); ++i) {
+      if (u < cumulative_[i]) return i;
+    }
+    return cumulative_.size() - 1;
+  }
+
+  void WritePending(ClientConn& conn) {
+    const int fd = conn.fd.get();
+    while (conn.out_off < conn.out.size()) {
+      const IoResult r = WriteFd(fd, conn.out.data() + conn.out_off,
+                                 conn.out.size() - conn.out_off);
+      if (r.WouldBlock()) {
+        if (!conn.writable_armed) {
+          conn.writable_armed = true;
+          loop_.ModifyFd(fd, EPOLLIN | EPOLLOUT);
+        }
+        return;
+      }
+      if (r.Fatal()) {
+        HandleError(conn);
+        return;
+      }
+      conn.out_off += static_cast<size_t>(r.n);
+    }
+    if (conn.writable_armed) {
+      conn.writable_armed = false;
+      loop_.ModifyFd(fd, EPOLLIN);
+    }
+  }
+
+  void OnEvent(const std::shared_ptr<ClientConn>& conn, uint32_t events) {
+    if (events & (EPOLLHUP | EPOLLERR)) {
+      HandleError(*conn);
+      return;
+    }
+    if (events & EPOLLOUT) WritePending(*conn);
+    if (conn->dead || !(events & EPOLLIN)) return;
+
+    char buf[16 * 1024];
+    while (true) {
+      const IoResult r = ReadFd(conn->fd.get(), buf, sizeof(buf));
+      if (r.WouldBlock()) break;
+      if (r.Eof() || r.Fatal()) {
+        HandleError(*conn);
+        return;
+      }
+      conn->in.Append(buf, static_cast<size_t>(r.n));
+      if (static_cast<size_t>(r.n) < sizeof(buf)) break;
+    }
+
+    while (true) {
+      const ParseStatus st = conn->parser.Parse(conn->in);
+      if (st == ParseStatus::kNeedMore) return;
+      if (st == ParseStatus::kError) {
+        HandleError(*conn);
+        return;
+      }
+      if (measuring_) {
+        result_.completed++;
+        result_.latency.Record(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Now() - conn->send_time)
+                .count());
+      }
+      conn->busy = false;
+      if (config_.open_loop_rate > 0) {
+        if (!conn->backlog.empty()) {
+          const TimePoint intended = conn->backlog.front();
+          conn->backlog.pop_front();
+          SendAt(*conn, intended);
+        }
+      } else {
+        SendNext(*conn);
+      }
+      if (conn->dead) return;
+    }
+  }
+
+  void HandleError(ClientConn& conn) {
+    if (conn.dead) return;
+    conn.dead = true;
+    result_.errors++;
+    const int fd = conn.fd.get();
+    loop_.UnregisterFd(fd);
+    conns_.erase(fd);
+    // Keep the offered concurrency constant: replace the connection.
+    if (result_.errors < 1000) {
+      try {
+        OpenConnection();
+      } catch (const std::exception& e) {
+        HYNET_LOG(ERROR) << "reconnect failed: " << e.what();
+        loop_.Stop();
+      }
+    } else {
+      HYNET_LOG(ERROR) << "too many client errors; aborting load";
+      loop_.Stop();
+    }
+  }
+
+  const LoadConfig& config_;
+  Rng rng_;
+  EventLoop loop_;
+  std::vector<double> cumulative_;
+  std::vector<std::string> request_bytes_;
+  std::unordered_map<int, std::shared_ptr<ClientConn>> conns_;
+  std::vector<std::weak_ptr<ClientConn>> conn_ring_;  // open-loop RR order
+  size_t ring_cursor_ = 0;
+  LoadResult result_;
+  bool measuring_ = false;
+  TimePoint measure_start_{};
+  TimePoint measure_end_{};
+};
+
+}  // namespace
+
+LoadResult RunLoad(const LoadConfig& config) {
+  ClosedLoopDriver driver(config);
+  return driver.Run();
+}
+
+}  // namespace hynet

@@ -1,0 +1,68 @@
+// Closed-loop load generator (JMeter substitute).
+//
+// N persistent connections; each keeps exactly one request outstanding and
+// issues the next one the moment its response completes — the same
+// closed-loop, zero-think-time semantics the paper uses to "precisely
+// control the concurrency of the workload". Event-driven (one epoll loop),
+// so 1..1000+ emulated users do not add client-side thread noise on the
+// shared host.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "net/inet_addr.h"
+
+namespace hynet {
+
+struct WeightedTarget {
+  std::string target;  // request target, e.g. "/bench?size=102400"
+  double weight = 1.0;
+};
+
+struct LoadConfig {
+  InetAddr server;
+  int connections = 1;
+  double warmup_sec = 0.3;
+  double measure_sec = 1.0;
+  std::vector<WeightedTarget> targets{{"/", 1.0}};
+  uint64_t seed = 1;
+  // Open-loop mode: when > 0, requests arrive as a Poisson process at this
+  // aggregate rate (req/s) spread across the connections, independent of
+  // response completions. Latency is measured from the *intended* arrival
+  // time, so queueing delay behind a slow server is visible (closed loops
+  // hide it — coordinated omission). 0 = closed loop.
+  double open_loop_rate = 0.0;
+  // SO_RCVBUF for client sockets. Mirrors the testbed clients' default
+  // buffers; bounding it keeps the response path's in-flight window at
+  // testbed scale so the write-spin phenomenon is observable on loopback.
+  int rcv_buf_bytes = 16 * 1024;
+  // Callbacks fired on the generator thread at the phase boundaries
+  // (used by the harness to snapshot server-side counters).
+  std::function<void()> on_measure_start;
+  std::function<void()> on_measure_end;
+};
+
+struct LoadResult {
+  uint64_t completed = 0;  // responses completed inside the measure window
+  uint64_t errors = 0;     // connection resets / parse failures
+  double elapsed_sec = 0;  // actual measure window length
+  Histogram latency;       // per-request latency inside the window
+  // Open-loop only: arrivals that found their connection still busy and
+  // had to queue client-side (a saturation signal).
+  uint64_t queued_arrivals = 0;
+
+  double Throughput() const {
+    return elapsed_sec > 0 ? static_cast<double>(completed) / elapsed_sec : 0;
+  }
+};
+
+// Runs the closed loop to completion (warmup + measure) on the calling
+// thread. Throws std::system_error if the server cannot be reached.
+LoadResult RunLoad(const LoadConfig& config);
+
+}  // namespace hynet

@@ -1,0 +1,8 @@
+#include "common/bytes.h"
+
+// ByteBuffer is header-only today; this translation unit anchors the target
+// and provides a place for future out-of-line growth policies.
+namespace hynet {
+static_assert(ByteBuffer::kInitialCapacity >= 1024,
+              "initial capacity must hold a typical request head");
+}  // namespace hynet

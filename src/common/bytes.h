@@ -1,0 +1,84 @@
+// ByteBuffer: a growable byte buffer with separate read/write cursors,
+// modeled after the buffers used by network frameworks (muduo, Netty).
+//
+// Layout:   [ consumed | readable (ReadableBytes) | writable ]
+//            ^begin     ^read_index_               ^write_index_
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hynet {
+
+class ByteBuffer {
+ public:
+  static constexpr size_t kInitialCapacity = 4096;
+
+  explicit ByteBuffer(size_t initial_capacity = kInitialCapacity)
+      : storage_(initial_capacity) {}
+
+  size_t ReadableBytes() const { return write_index_ - read_index_; }
+  size_t WritableBytes() const { return storage_.size() - write_index_; }
+  bool Empty() const { return ReadableBytes() == 0; }
+
+  const char* ReadPtr() const { return storage_.data() + read_index_; }
+  char* WritePtr() { return storage_.data() + write_index_; }
+
+  std::string_view View() const {
+    return std::string_view(ReadPtr(), ReadableBytes());
+  }
+
+  // Appends `len` bytes from `data`, growing if needed.
+  void Append(const void* data, size_t len) {
+    EnsureWritable(len);
+    std::memcpy(WritePtr(), data, len);
+    write_index_ += len;
+  }
+  void Append(std::string_view sv) { Append(sv.data(), sv.size()); }
+
+  // Marks `len` bytes as written (after an external write into WritePtr()).
+  void Produced(size_t len) { write_index_ += len; }
+
+  // Consumes `len` readable bytes.
+  void Consume(size_t len) {
+    read_index_ += len;
+    if (read_index_ == write_index_) {
+      read_index_ = write_index_ = 0;
+    }
+  }
+  void ConsumeAll() { read_index_ = write_index_ = 0; }
+
+  // Ensures at least `len` contiguous writable bytes, compacting or growing.
+  void EnsureWritable(size_t len) {
+    if (WritableBytes() >= len) return;
+    if (WritableBytes() + read_index_ >= len) {
+      Compact();
+      return;
+    }
+    storage_.resize(write_index_ + len);
+  }
+
+  // Moves readable bytes to the front, reclaiming consumed space.
+  void Compact() {
+    if (read_index_ == 0) return;
+    size_t readable = ReadableBytes();
+    std::memmove(storage_.data(), ReadPtr(), readable);
+    read_index_ = 0;
+    write_index_ = readable;
+  }
+
+  std::string ToString() const { return std::string(View()); }
+
+  size_t Capacity() const { return storage_.size(); }
+
+ private:
+  std::vector<char> storage_;
+  size_t read_index_ = 0;
+  size_t write_index_ = 0;
+};
+
+}  // namespace hynet

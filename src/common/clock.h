@@ -1,0 +1,27 @@
+// Monotonic time helpers used across the library.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace hynet {
+
+using MonoClock = std::chrono::steady_clock;
+using TimePoint = MonoClock::time_point;
+using Duration = MonoClock::duration;
+
+inline TimePoint Now() { return MonoClock::now(); }
+
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Now().time_since_epoch())
+      .count();
+}
+
+inline int64_t NowMicros() { return NowNanos() / 1000; }
+
+inline double ToSeconds(Duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace hynet

@@ -1,0 +1,36 @@
+#include "common/env.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace hynet {
+
+std::string EnvString(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::string(v) : fallback;
+}
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return (end && *end == '\0') ? parsed : fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end && *end == '\0') ? parsed : fallback;
+}
+
+bool EnvBool(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  return std::strcmp(v, "0") != 0 && ::strcasecmp(v, "false") != 0 &&
+         ::strcasecmp(v, "off") != 0;
+}
+
+}  // namespace hynet

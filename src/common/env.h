@@ -1,0 +1,14 @@
+// Typed access to environment-variable configuration knobs.
+#pragma once
+
+#include <string>
+
+namespace hynet {
+
+// Returns the env var as the requested type, or `fallback` if unset/invalid.
+std::string EnvString(const char* name, const std::string& fallback);
+int64_t EnvInt(const char* name, int64_t fallback);
+double EnvDouble(const char* name, double fallback);
+bool EnvBool(const char* name, bool fallback);
+
+}  // namespace hynet

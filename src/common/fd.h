@@ -1,0 +1,45 @@
+// ScopedFd: RAII ownership of a POSIX file descriptor.
+#pragma once
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace hynet {
+
+// Owns a file descriptor and closes it on destruction. Move-only.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { Reset(); }
+
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.Release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      Reset(other.Release());
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  // Relinquishes ownership without closing.
+  int Release() { return std::exchange(fd_, -1); }
+
+  // Closes the current fd (if any) and adopts `fd`.
+  void Reset(int fd = -1) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace hynet

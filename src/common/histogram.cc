@@ -1,0 +1,91 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace hynet {
+
+int Histogram::BucketIndex(int64_t value) {
+  if (value < 0) value = 0;
+  const uint64_t v = static_cast<uint64_t>(value);
+  if (v < kSubBuckets) return static_cast<int>(v);
+  // Position of the highest set bit decides the group; the next
+  // kSubBucketBits bits pick the sub-bucket within the group.
+  const int msb = 63 - std::countl_zero(v);
+  const int group = msb - kSubBucketBits + 1;
+  const int sub = static_cast<int>((v >> (msb - kSubBucketBits)) &
+                                   (kSubBuckets - 1));
+  int index = (group << kSubBucketBits) + sub + kSubBuckets;
+  return std::min(index, kBucketCount - 1);
+}
+
+int64_t Histogram::BucketUpperBound(int index) {
+  if (index < kSubBuckets) return index;
+  const int adjusted = index - kSubBuckets;
+  const int group = adjusted >> kSubBucketBits;
+  const int sub = adjusted & (kSubBuckets - 1);
+  const int msb = group + kSubBucketBits - 1;
+  const int64_t base = int64_t{1} << msb;
+  const int64_t step = int64_t{1} << (msb - kSubBucketBits);
+  return base + (sub + 1) * step;
+}
+
+void Histogram::Record(int64_t value_ns) {
+  buckets_[static_cast<size_t>(BucketIndex(value_ns))]++;
+  if (count_ == 0 || value_ns < min_) min_ = value_ns;
+  if (value_ns > max_) max_ = value_ns;
+  sum_ += value_ns;
+  count_++;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+void Histogram::Reset() { *this = Histogram{}; }
+
+int64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(count_) + 0.5);
+  uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen >= target) return std::min(BucketUpperBound(i), max_);
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "p50=%s p95=%s p99=%s max=%s",
+                FormatNanos(static_cast<double>(Percentile(0.50))).c_str(),
+                FormatNanos(static_cast<double>(Percentile(0.95))).c_str(),
+                FormatNanos(static_cast<double>(Percentile(0.99))).c_str(),
+                FormatNanos(static_cast<double>(Max())).c_str());
+  return buf;
+}
+
+std::string FormatNanos(double ns) {
+  char buf[48];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace hynet

@@ -1,0 +1,53 @@
+// Log-bucketed latency histogram (HdrHistogram-style, fixed memory).
+//
+// Values are recorded in nanoseconds; buckets grow geometrically so that
+// relative error stays below ~3%. Thread-compatible (callers synchronize);
+// Merge() supports per-thread histograms aggregated at report time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace hynet {
+
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 5;                 // 32 sub-buckets
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kBucketGroups = 40;                 // covers ~2^45 ns
+  static constexpr int kBucketCount = kBucketGroups * kSubBuckets;
+
+  void Record(int64_t value_ns);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t Count() const { return count_; }
+  int64_t Min() const { return count_ ? min_ : 0; }
+  int64_t Max() const { return max_; }
+  double Mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  // Returns the upper bound of the bucket containing quantile q in [0, 1].
+  int64_t Percentile(double q) const;
+
+  // "p50=1.2ms p95=3.4ms p99=5.6ms max=7.8ms" style summary.
+  std::string Summary() const;
+
+ private:
+  static int BucketIndex(int64_t value);
+  static int64_t BucketUpperBound(int index);
+
+  std::array<uint64_t, kBucketCount> buckets_{};
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+// Formats a nanosecond duration with an adaptive unit, e.g. "1.24ms".
+std::string FormatNanos(double ns);
+
+}  // namespace hynet

@@ -1,0 +1,80 @@
+#include "common/logging.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+namespace hynet {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::once_flag g_env_once;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?????";
+}
+
+void InitFromEnv() {
+  if (const char* env = std::getenv("HYNET_LOG_LEVEL")) {
+    g_level.store(ParseLogLevel(env), std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+LogLevel CurrentLogLevel() {
+  std::call_once(g_env_once, InitFromEnv);
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void SetLogLevel(LogLevel level) {
+  std::call_once(g_env_once, InitFromEnv);
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel ParseLogLevel(std::string_view name) {
+  auto eq = [&](const char* s) {
+    return name.size() == std::strlen(s) &&
+           std::equal(name.begin(), name.end(), s,
+                      [](char a, char b) { return std::toupper(a) == b; });
+  };
+  if (eq("TRACE")) return LogLevel::kTrace;
+  if (eq("DEBUG")) return LogLevel::kDebug;
+  if (eq("INFO")) return LogLevel::kInfo;
+  if (eq("WARN")) return LogLevel::kWarn;
+  if (eq("ERROR")) return LogLevel::kError;
+  if (eq("OFF")) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+namespace detail {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  base = base ? base + 1 : file;
+  stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  // One write() call keeps concurrent log lines from interleaving.
+  const std::string s = stream_.str();
+  (void)!::write(STDERR_FILENO, s.data(), s.size());
+}
+
+}  // namespace detail
+}  // namespace hynet

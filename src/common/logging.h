@@ -1,0 +1,56 @@
+// Minimal leveled logger. Thread-safe, writes to stderr.
+//
+// Usage:  HYNET_LOG(INFO) << "server listening on " << port;
+// Level is controlled by SetLogLevel() or the HYNET_LOG_LEVEL env var
+// (TRACE|DEBUG|INFO|WARN|ERROR|OFF).
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace hynet {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+LogLevel CurrentLogLevel();
+void SetLogLevel(LogLevel level);
+LogLevel ParseLogLevel(std::string_view name);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace hynet
+
+#define HYNET_LOG_LEVEL_TRACE ::hynet::LogLevel::kTrace
+#define HYNET_LOG_LEVEL_DEBUG ::hynet::LogLevel::kDebug
+#define HYNET_LOG_LEVEL_INFO ::hynet::LogLevel::kInfo
+#define HYNET_LOG_LEVEL_WARN ::hynet::LogLevel::kWarn
+#define HYNET_LOG_LEVEL_ERROR ::hynet::LogLevel::kError
+
+#define HYNET_LOG(severity)                                            \
+  if (HYNET_LOG_LEVEL_##severity < ::hynet::CurrentLogLevel()) {       \
+  } else                                                               \
+    ::hynet::detail::LogMessage(HYNET_LOG_LEVEL_##severity, __FILE__,  \
+                                __LINE__)                              \
+        .stream()

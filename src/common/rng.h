@@ -1,0 +1,53 @@
+// Deterministic fast RNG (xoshiro256**) plus distributions used by the
+// workload generators: uniform, Zipf (for the request-popularity mix the
+// paper cites [22]), and exponential (think times).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hynet {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Exponentially distributed with the given mean.
+  double NextExponential(double mean);
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf-distributed integers over {0, ..., n-1} with exponent `theta`
+// (theta = 0 is uniform; theta ~ 0.99 matches web-request popularity).
+// Uses the rejection-inversion method of Hörmann; O(1) per sample.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace hynet

@@ -1,0 +1,70 @@
+#include "common/thread_util.h"
+
+#include <pthread.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+namespace hynet {
+
+void SetCurrentThreadName(const std::string& name) {
+  ::pthread_setname_np(::pthread_self(), name.substr(0, 15).c_str());
+}
+
+int CurrentTid() {
+  thread_local int tid = static_cast<int>(::syscall(SYS_gettid));
+  return tid;
+}
+
+namespace {
+
+// Iterations of the checksum loop per microsecond, set by calibration.
+std::atomic<double> g_iters_per_us{0.0};
+std::once_flag g_calibrate_once;
+
+uint64_t ChecksumLoop(uint64_t iters) {
+  // FNV-style mix; data dependency chain prevents vectorization from
+  // collapsing the loop, keeping iteration time stable.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (uint64_t i = 0; i < iters; ++i) {
+    h ^= i;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void DoCalibrate() {
+  using Clock = std::chrono::steady_clock;
+  // Warm up, then time a fixed batch a few times and keep the fastest
+  // (least-preempted) run.
+  ChecksumLoop(1 << 18);
+  constexpr uint64_t kBatch = 1 << 21;
+  double best_ns = 1e18;
+  for (int round = 0; round < 5; ++round) {
+    auto t0 = Clock::now();
+    volatile uint64_t sink = ChecksumLoop(kBatch);
+    (void)sink;
+    auto t1 = Clock::now();
+    double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    if (ns > 0 && ns < best_ns) best_ns = ns;
+  }
+  g_iters_per_us.store(static_cast<double>(kBatch) / (best_ns / 1000.0),
+                       std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void CalibrateCpuBurn() { std::call_once(g_calibrate_once, DoCalibrate); }
+
+uint64_t BurnCpuMicros(double micros) {
+  if (micros <= 0) return 0;
+  CalibrateCpuBurn();
+  const double iters = micros * g_iters_per_us.load(std::memory_order_relaxed);
+  return ChecksumLoop(static_cast<uint64_t>(iters));
+}
+
+}  // namespace hynet

@@ -1,0 +1,52 @@
+// Thread helpers: naming, tid caching, calibrated CPU busy-work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hynet {
+
+// Sets the name shown in /proc/<pid>/task/<tid>/comm (max 15 chars).
+void SetCurrentThreadName(const std::string& name);
+
+// Linux thread id (gettid), cached per thread.
+int CurrentTid();
+
+// Burns approximately `micros` microseconds of CPU in a checksum loop.
+// Used to model per-request CPU demand; returns the checksum so the
+// compiler cannot elide the work. Calibrated once per process.
+uint64_t BurnCpuMicros(double micros);
+
+// Calibrates BurnCpuMicros (idempotent; called lazily on first use).
+void CalibrateCpuBurn();
+
+// Joins all threads on destruction (Core Guidelines CP.25 gsl::joining_thread
+// stand-in for groups of threads).
+class ThreadGroup {
+ public:
+  ThreadGroup() = default;
+  ~ThreadGroup() { JoinAll(); }
+  ThreadGroup(const ThreadGroup&) = delete;
+  ThreadGroup& operator=(const ThreadGroup&) = delete;
+
+  template <typename F>
+  void Spawn(F&& f) {
+    threads_.emplace_back(std::forward<F>(f));
+  }
+
+  void JoinAll() {
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+
+  size_t Size() const { return threads_.size(); }
+
+ private:
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hynet

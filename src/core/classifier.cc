@@ -1,0 +1,51 @@
+#include "core/classifier.h"
+
+#include <mutex>
+
+namespace hynet {
+
+const char* PathCategoryName(PathCategory c) {
+  switch (c) {
+    case PathCategory::kLight: return "light";
+    case PathCategory::kHeavy: return "heavy";
+  }
+  return "unknown";
+}
+
+PathCategory RequestClassifier::Lookup(std::string_view key) const {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock lock(mu_);
+  const auto it = map_.find(key);
+  return it == map_.end() ? default_category_ : it->second;
+}
+
+bool RequestClassifier::Update(std::string_view key, PathCategory observed) {
+  {
+    std::shared_lock lock(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end() && it->second == observed) return false;
+  }
+  std::unique_lock lock(mu_);
+  auto [it, inserted] = map_.emplace(std::string(key), observed);
+  if (!inserted) {
+    if (it->second == observed) return false;
+    it->second = observed;
+  } else if (observed == default_category_) {
+    // A fresh entry recording the default is not a misprediction.
+    return false;
+  }
+  reclassifications_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+size_t RequestClassifier::Size() const {
+  std::shared_lock lock(mu_);
+  return map_.size();
+}
+
+void RequestClassifier::Clear() {
+  std::unique_lock lock(mu_);
+  map_.clear();
+}
+
+}  // namespace hynet

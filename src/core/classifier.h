@@ -1,0 +1,67 @@
+// Runtime request classification (the "map object" of Section V-B).
+//
+// HybridNetty profiles request types during runtime: requests whose
+// responses write-spin are *heavy*, the rest are *light*. The map is
+// consulted per request to choose the execution path and is updated
+// whenever a request is observed to behave differently from its recorded
+// category (responses sizes drift with the dataset, so categories are not
+// static).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace hynet {
+
+enum class PathCategory : uint8_t {
+  kLight,  // direct in-line write path (no write-optimization overhead)
+  kHeavy,  // buffered, spin-capped write path (Netty's optimization)
+};
+
+const char* PathCategoryName(PathCategory c);
+
+class RequestClassifier {
+ public:
+  // Unknown request types start on the optimistic light path; the first
+  // heavy response reclassifies them (one misprediction max per type).
+  explicit RequestClassifier(PathCategory default_category =
+                                 PathCategory::kLight)
+      : default_category_(default_category) {}
+
+  PathCategory Lookup(std::string_view key) const;
+
+  // Records the observed category. Returns true if this changed (or
+  // created) the entry — i.e. the request type was misclassified.
+  bool Update(std::string_view key, PathCategory observed);
+
+  size_t Size() const;
+  uint64_t Reclassifications() const {
+    return reclassifications_.load(std::memory_order_relaxed);
+  }
+  uint64_t Lookups() const { return lookups_.load(std::memory_order_relaxed); }
+
+  void Clear();
+
+ private:
+  // Transparent hashing lets the hot-path Lookup take a string_view
+  // without materializing a std::string.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view sv) const {
+      return std::hash<std::string_view>{}(sv);
+    }
+  };
+
+  PathCategory default_category_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, PathCategory, StringHash, std::equal_to<>>
+      map_;
+  std::atomic<uint64_t> reclassifications_{0};
+  mutable std::atomic<uint64_t> lookups_{0};
+};
+
+}  // namespace hynet

@@ -1,0 +1,147 @@
+#include "core/hybrid_server.h"
+
+#include "common/logging.h"
+#include "net/socket.h"
+#include "proto/http_codec.h"
+
+namespace hynet {
+
+HybridServer::HybridServer(ServerConfig config, Handler handler)
+    : LoopGroupServer(std::move(config), std::move(handler)),
+      monitor_(config_.hybrid_heavy_write_threshold) {}
+
+HybridServer::~HybridServer() { Stop(); }
+
+void HybridServer::OnBytes(LoopConn& lc) {
+  while (true) {
+    ParseStatus st;
+    {
+      ScopedPhase phase(phase_profiler_, Phase::kParse);
+      st = lc.conn.parser.Parse(lc.conn.in);
+    }
+    if (st == ParseStatus::kNeedMore) return;
+    if (st == ParseStatus::kError) {
+      CloseConn(lc);
+      return;
+    }
+    const HttpRequest& req = lc.conn.parser.request();
+    lc.current_target = req.target;
+
+    HttpResponse resp;
+    {
+      ScopedPhase phase(phase_profiler_, Phase::kHandler);
+      handler_(req, resp);
+    }
+    resp.keep_alive = req.keep_alive;
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (!resp.keep_alive) lc.conn.close_after_write = true;
+
+    ByteBuffer out;
+    {
+      ScopedPhase phase(phase_profiler_, Phase::kSerialize);
+      SerializeResponse(resp, out);
+    }
+
+    // Runtime type checking: pick the execution path recorded for this
+    // request type. Ordering constraint: if earlier heavy responses are
+    // still queued, everything must follow them through the buffer.
+    const bool must_queue = !lc.conn.out.Empty();
+    const PathCategory category = classifier_.Lookup(lc.current_target);
+
+    if (must_queue || category == PathCategory::kHeavy) {
+      heavy_responses_.fetch_add(1, std::memory_order_relaxed);
+      const uint64_t writes_before =
+          write_stats_.write_calls.load(std::memory_order_relaxed);
+      EnqueueAndFlush(lc, std::string(out.View()));
+      // Heavy→light demotion (runtime drift, Section V-B): if this
+      // response — alone in the buffer — drained within the light-path
+      // write budget, the type no longer write-spins.
+      if (!must_queue && !lc.conn.closed && lc.conn.out.Empty()) {
+        const uint64_t writes_used =
+            write_stats_.write_calls.load(std::memory_order_relaxed) -
+            writes_before;
+        if (writes_used <= static_cast<uint64_t>(std::max(
+                               1, config_.hybrid_heavy_write_threshold)) &&
+            classifier_.Update(lc.current_target, PathCategory::kLight)) {
+          reclassifications_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    } else {
+      int writes_used = 0;
+      const size_t total = out.ReadableBytes();
+      const DirectWriteOutcome outcome =
+          TryDirectWrite(lc, out.View(), &writes_used);
+      if (outcome == DirectWriteOutcome::kFatal) {
+        CloseConn(lc);
+        return;
+      }
+      const bool light_ok = outcome == DirectWriteOutcome::kLight;
+      monitor_.Record(WriteObservation{writes_used, !light_ok, total});
+      if (light_ok) {
+        light_responses_.fetch_add(1, std::memory_order_relaxed);
+        // A type previously marked heavy that now drains inline is demoted
+        // back to light (runtime drift, Section V-B).
+        if (classifier_.Update(lc.current_target, PathCategory::kLight)) {
+          reclassifications_.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        heavy_responses_.fetch_add(1, std::memory_order_relaxed);
+        if (classifier_.Update(lc.current_target, PathCategory::kHeavy)) {
+          reclassifications_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+
+    // The connection may have been closed by a write error.
+    if (lc.conn.closed) return;
+    if (lc.conn.close_after_write && lc.conn.out.Empty()) {
+      CloseConn(lc);
+      return;
+    }
+  }
+}
+
+HybridServer::DirectWriteOutcome HybridServer::TryDirectWrite(
+    LoopConn& lc, std::string_view bytes, int* writes_used) {
+  ScopedPhase phase(phase_profiler_, Phase::kWrite);
+  const int fd = lc.conn.fd.get();
+  size_t off = 0;
+  int writes = 0;
+  const int max_writes = std::max(1, config_.hybrid_heavy_write_threshold);
+
+  while (off < bytes.size() && writes < max_writes) {
+    const IoResult r = WriteFd(fd, bytes.data() + off, bytes.size() - off);
+    write_stats_.write_calls.fetch_add(1, std::memory_order_relaxed);
+    writes++;
+    if (r.WouldBlock() || r.n == 0) {
+      write_stats_.zero_writes.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (r.Fatal()) {
+      *writes_used = writes;
+      return DirectWriteOutcome::kFatal;
+    }
+    off += static_cast<size_t>(r.n);
+  }
+  *writes_used = writes;
+
+  if (off == bytes.size()) {
+    write_stats_.responses.fetch_add(1, std::memory_order_relaxed);
+    return DirectWriteOutcome::kLight;
+  }
+
+  // Write-spin detected: hand the remainder to the buffered path, which
+  // arms EPOLLOUT / reschedules the flush as needed.
+  EnqueueAndFlush(lc, std::string(bytes.substr(off)));
+  return DirectWriteOutcome::kHeavy;
+}
+
+std::unique_ptr<Server> CreateServer(const ServerConfig& config,
+                                     Handler handler) {
+  if (config.architecture == ServerArchitecture::kHybrid) {
+    return std::make_unique<HybridServer>(config, std::move(handler));
+  }
+  return CreateBasicServer(config, std::move(handler));
+}
+
+}  // namespace hynet

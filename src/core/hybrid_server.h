@@ -1,0 +1,62 @@
+// HybridNetty: the paper's solution (Section V-B).
+//
+// Built on the Netty-style loop group, but every request is routed through
+// one of two execution paths chosen at runtime:
+//
+//   light → the response is written inline, directly from the request
+//     handler, with no outbound-buffer bookkeeping — the SingleT-Async
+//     fast path that wins when responses fit the TCP send buffer.
+//
+//   heavy → the response goes through the buffered, writeSpin-capped flush
+//     path — Netty's write optimization that wins when responses
+//     write-spin (large responses, high-latency links).
+//
+// The RequestClassifier map records which request types are heavy; a light
+// request that turns out to write-spin is reclassified on the spot and its
+// remainder is handed to the heavy path (one misprediction per type), and a
+// heavy-classified type that drains in one write is demoted back to light,
+// so the map tracks runtime drift in both directions.
+#pragma once
+
+#include <memory>
+
+#include "core/classifier.h"
+#include "core/write_spin.h"
+#include "servers/multi_loop.h"
+
+namespace hynet {
+
+class HybridServer final : public LoopGroupServer {
+ public:
+  HybridServer(ServerConfig config, Handler handler);
+  ~HybridServer() override;
+
+  const RequestClassifier& classifier() const { return classifier_; }
+  RequestClassifier& classifier() { return classifier_; }
+  const WriteSpinMonitor& monitor() const { return monitor_; }
+
+ protected:
+  void OnBytes(LoopConn& lc) override;
+
+ private:
+  enum class DirectWriteOutcome {
+    kLight,  // fully written inline without write-spinning
+    kHeavy,  // write-spun; remainder enqueued on the buffered path
+    kFatal,  // socket error; caller must close the connection
+  };
+
+  // `bytes` is a view into the serialization buffer: the light path never
+  // copies the response; only a write-spinning remainder is materialized
+  // into the outbound buffer.
+  DirectWriteOutcome TryDirectWrite(LoopConn& lc, std::string_view bytes,
+                                    int* writes_used);
+
+  RequestClassifier classifier_;
+  WriteSpinMonitor monitor_;
+};
+
+// Creates any of the six architectures, including kHybrid.
+std::unique_ptr<Server> CreateServer(const ServerConfig& config,
+                                     Handler handler);
+
+}  // namespace hynet

@@ -1,0 +1,4 @@
+#include "core/write_spin.h"
+
+// Header-only today; anchors the translation unit.
+namespace hynet {}  // namespace hynet

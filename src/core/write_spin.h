@@ -1,0 +1,61 @@
+// Write-spin detection (the runtime profiling signal of HybridNetty).
+//
+// One response's write behaviour is summarized as a WriteObservation; the
+// monitor turns observations into a light/heavy verdict and keeps running
+// totals so the policy can be inspected and ablated.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace hynet {
+
+struct WriteObservation {
+  int write_calls = 0;     // write() invocations needed for this response
+  bool would_block = false;  // hit a zero-byte/EAGAIN write
+  size_t response_bytes = 0;
+};
+
+class WriteSpinMonitor {
+ public:
+  // A response is heavy if it needed more than `heavy_write_threshold`
+  // write() calls or blocked on a full TCP send buffer.
+  explicit WriteSpinMonitor(int heavy_write_threshold)
+      : heavy_write_threshold_(heavy_write_threshold) {}
+
+  bool IsHeavy(const WriteObservation& obs) const {
+    return obs.would_block || obs.write_calls > heavy_write_threshold_;
+  }
+
+  void Record(const WriteObservation& obs) {
+    observations_.fetch_add(1, std::memory_order_relaxed);
+    if (IsHeavy(obs)) heavy_observed_.fetch_add(1, std::memory_order_relaxed);
+    total_writes_.fetch_add(static_cast<uint64_t>(obs.write_calls),
+                            std::memory_order_relaxed);
+  }
+
+  uint64_t observations() const {
+    return observations_.load(std::memory_order_relaxed);
+  }
+  uint64_t heavy_observed() const {
+    return heavy_observed_.load(std::memory_order_relaxed);
+  }
+  double MeanWritesPerResponse() const {
+    const uint64_t n = observations();
+    return n ? static_cast<double>(
+                   total_writes_.load(std::memory_order_relaxed)) /
+                   static_cast<double>(n)
+             : 0.0;
+  }
+
+  int heavy_write_threshold() const { return heavy_write_threshold_; }
+
+ private:
+  int heavy_write_threshold_;
+  std::atomic<uint64_t> observations_{0};
+  std::atomic<uint64_t> heavy_observed_{0};
+  std::atomic<uint64_t> total_writes_{0};
+};
+
+}  // namespace hynet

@@ -1,0 +1,4 @@
+#include "metrics/cpu_sample.h"
+
+// Header-only today; anchors the translation unit.
+namespace hynet {}  // namespace hynet

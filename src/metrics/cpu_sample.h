@@ -1,0 +1,68 @@
+// Interval sampling of a thread set's CPU and context-switch activity.
+//
+// Usage:
+//   ServerActivitySampler sampler(server.ThreadIds());
+//   sampler.Start();
+//   ... run measurement window ...
+//   auto delta = sampler.Stop();   // deltas over the window
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/clock.h"
+#include "metrics/proc_stat.h"
+
+namespace hynet {
+
+struct ActivityDelta {
+  double elapsed_sec = 0;
+  CtxSwitchCounts ctx_switches;
+  ThreadCpuTimes cpu;
+
+  // Fraction of one core spent in user / system mode over the window.
+  double UserShare() const {
+    const double t = cpu.Total();
+    return t > 0 ? cpu.user_sec / t : 0;
+  }
+  double SystemShare() const {
+    const double t = cpu.Total();
+    return t > 0 ? cpu.sys_sec / t : 0;
+  }
+  double CpuUtilization() const {
+    return elapsed_sec > 0 ? cpu.Total() / elapsed_sec : 0;
+  }
+  double CtxSwitchesPerSec() const {
+    return elapsed_sec > 0
+               ? static_cast<double>(ctx_switches.Total()) / elapsed_sec
+               : 0;
+  }
+};
+
+class ServerActivitySampler {
+ public:
+  explicit ServerActivitySampler(std::vector<int> tids)
+      : tids_(std::move(tids)) {}
+
+  void Start() {
+    start_time_ = Now();
+    start_ctx_ = SumCtxSwitches(tids_);
+    start_cpu_ = SumThreadCpu(tids_);
+  }
+
+  ActivityDelta Stop() const {
+    ActivityDelta d;
+    d.elapsed_sec = ToSeconds(Now() - start_time_);
+    d.ctx_switches = SumCtxSwitches(tids_) - start_ctx_;
+    d.cpu = SumThreadCpu(tids_) - start_cpu_;
+    return d;
+  }
+
+ private:
+  std::vector<int> tids_;
+  TimePoint start_time_{};
+  CtxSwitchCounts start_ctx_;
+  ThreadCpuTimes start_cpu_;
+};
+
+}  // namespace hynet

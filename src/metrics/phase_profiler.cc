@@ -1,0 +1,15 @@
+#include "metrics/phase_profiler.h"
+
+namespace hynet {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kParse:     return "parse";
+    case Phase::kHandler:   return "handler";
+    case Phase::kSerialize: return "serialize";
+    case Phase::kWrite:     return "write";
+  }
+  return "unknown";
+}
+
+}  // namespace hynet

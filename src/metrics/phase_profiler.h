@@ -1,0 +1,101 @@
+// Per-phase request-anatomy profiling.
+//
+// Each server accounts the nanoseconds a request spends in its four
+// processing phases — parse, handler, serialize, write — so benches can
+// show *where* each architecture loses its time (e.g. SingleT-Async's
+// write phase exploding under latency while its handler phase is
+// unchanged). Enabled via ServerConfig::profile_phases; the overhead is
+// two clock_gettime calls per phase, zero when disabled.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace hynet {
+
+enum class Phase : int {
+  kParse = 0,
+  kHandler = 1,
+  kSerialize = 2,
+  kWrite = 3,
+};
+inline constexpr int kPhaseCount = 4;
+
+const char* PhaseName(Phase phase);
+
+class PhaseProfiler {
+ public:
+  void Enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Record(Phase phase, int64_t ns) {
+    const auto i = static_cast<size_t>(phase);
+    total_ns_[i].fetch_add(static_cast<uint64_t>(ns),
+                           std::memory_order_relaxed);
+    count_[i].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    std::array<uint64_t, kPhaseCount> total_ns{};
+    std::array<uint64_t, kPhaseCount> count{};
+
+    double MeanNs(Phase phase) const {
+      const auto i = static_cast<size_t>(phase);
+      return count[i] ? static_cast<double>(total_ns[i]) /
+                            static_cast<double>(count[i])
+                      : 0.0;
+    }
+    Snapshot operator-(const Snapshot& rhs) const {
+      Snapshot d;
+      for (int i = 0; i < kPhaseCount; ++i) {
+        d.total_ns[static_cast<size_t>(i)] =
+            total_ns[static_cast<size_t>(i)] -
+            rhs.total_ns[static_cast<size_t>(i)];
+        d.count[static_cast<size_t>(i)] =
+            count[static_cast<size_t>(i)] - rhs.count[static_cast<size_t>(i)];
+      }
+      return d;
+    }
+  };
+
+  Snapshot Snap() const {
+    Snapshot s;
+    for (int i = 0; i < kPhaseCount; ++i) {
+      s.total_ns[static_cast<size_t>(i)] =
+          total_ns_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+      s.count[static_cast<size_t>(i)] =
+          count_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::array<std::atomic<uint64_t>, kPhaseCount> total_ns_{};
+  std::array<std::atomic<uint64_t>, kPhaseCount> count_{};
+};
+
+// RAII phase timer: no-op when the profiler is disabled.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseProfiler& profiler, Phase phase)
+      : profiler_(profiler), phase_(phase),
+        enabled_(profiler.enabled()),
+        start_ns_(enabled_ ? NowNanos() : 0) {}
+  ~ScopedPhase() {
+    if (enabled_) profiler_.Record(phase_, NowNanos() - start_ns_);
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseProfiler& profiler_;
+  Phase phase_;
+  bool enabled_;
+  int64_t start_ns_;
+};
+
+}  // namespace hynet

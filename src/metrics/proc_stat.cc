@@ -1,0 +1,90 @@
+#include "metrics/proc_stat.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hynet {
+namespace {
+
+// Reads a whole (small) proc file into `buf`; returns bytes read or -1.
+ssize_t ReadProcFile(const char* path, char* buf, size_t cap) {
+  FILE* f = std::fopen(path, "r");
+  if (!f) return -1;
+  const size_t n = std::fread(buf, 1, cap - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  return static_cast<ssize_t>(n);
+}
+
+}  // namespace
+
+CtxSwitchCounts ReadCtxSwitches(int tid) {
+  char path[64];
+  std::snprintf(path, sizeof(path), "/proc/self/task/%d/status", tid);
+  char buf[4096];
+  if (ReadProcFile(path, buf, sizeof(buf)) <= 0) return {};
+
+  CtxSwitchCounts counts;
+  if (const char* p = std::strstr(buf, "voluntary_ctxt_switches:")) {
+    counts.voluntary = ::strtoull(p + 24, nullptr, 10);
+  }
+  if (const char* p = std::strstr(buf, "nonvoluntary_ctxt_switches:")) {
+    counts.involuntary = ::strtoull(p + 27, nullptr, 10);
+  }
+  return counts;
+}
+
+CtxSwitchCounts SumCtxSwitches(std::span<const int> tids) {
+  CtxSwitchCounts total;
+  for (int tid : tids) total += ReadCtxSwitches(tid);
+  return total;
+}
+
+ThreadCpuTimes ReadThreadCpu(int tid) {
+  char path[64];
+  std::snprintf(path, sizeof(path), "/proc/self/task/%d/stat", tid);
+  char buf[1024];
+  if (ReadProcFile(path, buf, sizeof(buf)) <= 0) return {};
+
+  // Field 2 (comm) may contain spaces; skip past the closing paren.
+  const char* p = std::strrchr(buf, ')');
+  if (!p) return {};
+  p++;  // now at " S ppid pgrp ..." — utime is field 14, stime field 15.
+  unsigned long long utime = 0, stime = 0;
+  // Skip fields 3..13 (state ppid pgrp session tty tpgid flags minflt
+  // cminflt majflt cmajflt); after the space that ends field N the cursor
+  // sits at the start of field N+1.
+  int field = 2;
+  while (*p && field < 14) {
+    if (*p == ' ') field++;
+    if (field == 14) break;
+    p++;
+  }
+  if (std::sscanf(p, "%llu %llu", &utime, &stime) != 2) return {};
+
+  const double ticks = static_cast<double>(::sysconf(_SC_CLK_TCK));
+  return {static_cast<double>(utime) / ticks,
+          static_cast<double>(stime) / ticks};
+}
+
+ThreadCpuTimes SumThreadCpu(std::span<const int> tids) {
+  ThreadCpuTimes total;
+  for (int tid : tids) total += ReadThreadCpu(tid);
+  return total;
+}
+
+ThreadCpuTimes ReadProcessCpu() {
+  rusage usage{};
+  if (::getrusage(RUSAGE_SELF, &usage) != 0) return {};
+  auto to_sec = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) / 1e6;
+  };
+  return {to_sec(usage.ru_utime), to_sec(usage.ru_stime)};
+}
+
+}  // namespace hynet

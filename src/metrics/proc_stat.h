@@ -1,0 +1,67 @@
+// Per-thread OS counters read from /proc (Collectl substitute).
+//
+// Context switches come from /proc/self/task/<tid>/status
+// (voluntary_ctxt_switches / nonvoluntary_ctxt_switches); CPU time from
+// /proc/self/task/<tid>/stat (utime/stime). Both can be read for any thread
+// of this process, which lets the bench harness account server threads
+// separately from client threads sharing the process.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hynet {
+
+struct CtxSwitchCounts {
+  uint64_t voluntary = 0;
+  uint64_t involuntary = 0;
+
+  uint64_t Total() const { return voluntary + involuntary; }
+
+  CtxSwitchCounts operator-(const CtxSwitchCounts& rhs) const {
+    return {voluntary - rhs.voluntary, involuntary - rhs.involuntary};
+  }
+  CtxSwitchCounts& operator+=(const CtxSwitchCounts& rhs) {
+    voluntary += rhs.voluntary;
+    involuntary += rhs.involuntary;
+    return *this;
+  }
+};
+
+// Reads the context-switch counters for one thread of this process.
+// Returns zeros if the thread has exited.
+CtxSwitchCounts ReadCtxSwitches(int tid);
+
+// Sums the counters over a set of threads.
+CtxSwitchCounts SumCtxSwitches(std::span<const int> tids);
+
+struct ThreadCpuTimes {
+  double user_sec = 0;
+  double sys_sec = 0;
+
+  double Total() const { return user_sec + sys_sec; }
+
+  ThreadCpuTimes operator-(const ThreadCpuTimes& rhs) const {
+    return {user_sec - rhs.user_sec, sys_sec - rhs.sys_sec};
+  }
+  ThreadCpuTimes& operator+=(const ThreadCpuTimes& rhs) {
+    user_sec += rhs.user_sec;
+    sys_sec += rhs.sys_sec;
+    return *this;
+  }
+};
+
+// Reads utime/stime for one thread of this process.
+// Granularity warning: per-thread utime/stime advance in scheduler ticks
+// (usually 10 ms); summing over many short-lived or lightly-loaded threads
+// underestimates. Prefer ReadProcessCpu for whole-process shares.
+ThreadCpuTimes ReadThreadCpu(int tid);
+
+ThreadCpuTimes SumThreadCpu(std::span<const int> tids);
+
+// Whole-process user/system time via getrusage(RUSAGE_SELF) —
+// microsecond-granular, includes every thread of the process.
+ThreadCpuTimes ReadProcessCpu();
+
+}  // namespace hynet

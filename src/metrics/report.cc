@@ -1,0 +1,71 @@
+#include "metrics/report.h"
+
+#include <cstdio>
+
+namespace hynet {
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Int(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (row[i].size() > widths[i]) widths[i] = row[i].size();
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::printf("  ");
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::printf("%-*s  ", static_cast<int>(widths[i]), cells[i].c_str());
+    }
+    std::printf("\n");
+  };
+
+  print_row(columns_);
+  std::string rule;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    rule.append(widths[i], '-');
+    rule.append("  ");
+  }
+  std::printf("  %s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+  std::fflush(stdout);
+}
+
+void TablePrinter::PrintCsv(const std::string& tag) const {
+  auto print_csv_row = [&](const std::vector<std::string>& cells) {
+    std::printf("csv,%s", tag.c_str());
+    for (const auto& c : cells) std::printf(",%s", c.c_str());
+    std::printf("\n");
+  };
+  print_csv_row(columns_);
+  for (const auto& row : rows_) print_csv_row(row);
+  std::fflush(stdout);
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace hynet

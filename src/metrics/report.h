@@ -1,0 +1,38 @@
+// Aligned-table + CSV reporting for the benchmark harness.
+//
+// Every bench binary prints the rows/series of the paper table or figure it
+// reproduces; TablePrinter keeps that output consistent and also emits a
+// machine-readable CSV block so results can be plotted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hynet {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 1);
+  static std::string Int(int64_t v);
+
+  // Prints an aligned table to stdout.
+  void Print() const;
+
+  // Prints "csv,<col1>,<col2>..." then one csv line per row (prefixed so the
+  // aligned table and CSV can share stdout and still be grepped apart).
+  void PrintCsv(const std::string& tag) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a section header: "== Figure 7: ... ==".
+void PrintHeader(const std::string& title);
+
+}  // namespace hynet

@@ -1,0 +1,37 @@
+// Event-loop driven TCP acceptor: owns the listening socket and invokes a
+// callback for every accepted connection.
+#pragma once
+
+#include <functional>
+
+#include "net/event_loop.h"
+#include "net/socket.h"
+
+namespace hynet {
+
+class Acceptor {
+ public:
+  using NewConnectionCallback =
+      std::function<void(Socket socket, const InetAddr& peer)>;
+
+  // Binds immediately (so the chosen port is known before the loop runs);
+  // port 0 picks an ephemeral port.
+  Acceptor(EventLoop& loop, const InetAddr& listen_addr,
+           NewConnectionCallback cb, bool reuse_port = false);
+  ~Acceptor();
+
+  // Starts accepting; must be invoked on the loop thread (or before Run()).
+  void Listen();
+
+  uint16_t Port() const { return listen_socket_.LocalAddr().Port(); }
+
+ private:
+  void HandleReadable();
+
+  EventLoop& loop_;
+  Socket listen_socket_;
+  NewConnectionCallback callback_;
+  bool listening_ = false;
+};
+
+}  // namespace hynet

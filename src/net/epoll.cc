@@ -1,0 +1,61 @@
+#include "net/epoll.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+
+namespace hynet {
+namespace {
+
+[[noreturn]] void ThrowErrno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+Epoller::Epoller() : epfd_(::epoll_create1(EPOLL_CLOEXEC)) {
+  if (!epfd_.valid()) ThrowErrno("epoll_create1");
+}
+
+void Epoller::Add(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epfd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+    ThrowErrno("epoll_ctl(ADD)");
+  }
+}
+
+void Epoller::Modify(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epfd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) {
+    ThrowErrno("epoll_ctl(MOD)");
+  }
+}
+
+void Epoller::Remove(int fd) {
+  // Ignore ENOENT/EBADF: the fd may already be closed by the owner.
+  ::epoll_ctl(epfd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+}
+
+std::span<epoll_event> Epoller::Wait(int64_t timeout_ns) {
+  while (true) {
+    int n;
+    if (timeout_ns < 0) {
+      n = ::epoll_wait(epfd_.get(), events_, kMaxEvents, -1);
+    } else {
+      timespec ts{};
+      ts.tv_sec = timeout_ns / 1'000'000'000;
+      ts.tv_nsec = timeout_ns % 1'000'000'000;
+      n = ::epoll_pwait2(epfd_.get(), events_, kMaxEvents, &ts, nullptr);
+    }
+    if (n >= 0) return {events_, static_cast<size_t>(n)};
+    if (errno == EINTR) continue;
+    ThrowErrno("epoll_wait");
+  }
+}
+
+}  // namespace hynet

@@ -1,0 +1,34 @@
+// RAII wrapper over epoll(7).
+#pragma once
+
+#include <sys/epoll.h>
+
+#include <span>
+
+#include "common/fd.h"
+
+namespace hynet {
+
+class Epoller {
+ public:
+  Epoller();
+
+  void Add(int fd, uint32_t events);
+  void Modify(int fd, uint32_t events);
+  void Remove(int fd);
+
+  // Waits up to timeout_ns nanoseconds (-1 = forever). Sub-millisecond
+  // timeouts use epoll_pwait2; precision matters for the latency proxy's
+  // ACK-clock ticks and for high-rate open-loop arrival scheduling.
+  std::span<epoll_event> Wait(int64_t timeout_ns);
+
+  int fd() const { return epfd_.get(); }
+
+  static constexpr int kMaxEvents = 512;
+
+ private:
+  ScopedFd epfd_;
+  epoll_event events_[kMaxEvents];
+};
+
+}  // namespace hynet

@@ -1,0 +1,174 @@
+#include "net/event_loop.h"
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+
+#include "common/logging.h"
+#include "common/thread_util.h"
+
+namespace hynet {
+
+EventLoop::EventLoop()
+    : wakeup_fd_(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {
+  if (!wakeup_fd_.valid()) {
+    throw std::system_error(errno, std::generic_category(), "eventfd");
+  }
+  epoller_.Add(wakeup_fd_.get(), EPOLLIN);
+}
+
+EventLoop::~EventLoop() = default;
+
+bool EventLoop::IsInLoopThread() const {
+  return loop_tid_.load(std::memory_order_relaxed) == CurrentTid();
+}
+
+void EventLoop::Run() {
+  loop_tid_.store(CurrentTid(), std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
+
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    const int64_t timeout_ns = NextTimerTimeoutNs();
+    auto ready = epoller_.Wait(timeout_ns);
+    wakeups_++;
+
+    for (const epoll_event& ev : ready) {
+      const int fd = ev.data.fd;
+      if (fd == wakeup_fd_.get()) {
+        DrainWakeupFd();
+        continue;
+      }
+      auto it = entries_.find(fd);
+      if (it == entries_.end()) continue;  // unregistered mid-batch
+      // Keep the entry alive across the callback: the callback itself may
+      // unregister this fd (or others in the same ready batch).
+      std::shared_ptr<FdEntry> entry = it->second;
+      if (entry->alive && entry->callback) entry->callback(ev.events);
+    }
+
+    FireDueTimers();
+    RunPendingTasks();
+  }
+  running_.store(false, std::memory_order_release);
+  loop_tid_.store(0, std::memory_order_relaxed);
+}
+
+void EventLoop::Stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  WakeUp();
+}
+
+void EventLoop::RegisterFd(int fd, uint32_t events, FdCallback cb) {
+  auto entry = std::make_shared<FdEntry>();
+  entry->callback = std::move(cb);
+  entry->events = events;
+  entries_[fd] = std::move(entry);
+  epoller_.Add(fd, events);
+}
+
+void EventLoop::ModifyFd(int fd, uint32_t events) {
+  auto it = entries_.find(fd);
+  if (it == entries_.end()) return;
+  if (it->second->events == events) return;
+  it->second->events = events;
+  epoller_.Modify(fd, events);
+}
+
+void EventLoop::UnregisterFd(int fd) {
+  auto it = entries_.find(fd);
+  if (it == entries_.end()) return;
+  it->second->alive = false;
+  entries_.erase(it);
+  epoller_.Remove(fd);
+}
+
+void EventLoop::RunInLoop(Task task) {
+  if (IsInLoopThread() && running_.load(std::memory_order_acquire)) {
+    task();
+  } else {
+    QueueTask(std::move(task));
+  }
+}
+
+void EventLoop::QueueTask(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(task_mu_);
+    pending_tasks_.push_back(std::move(task));
+  }
+  WakeUp();
+}
+
+EventLoop::TimerId EventLoop::RunAfter(Duration delay, Task task) {
+  return RunAt(Now() + delay, std::move(task));
+}
+
+EventLoop::TimerId EventLoop::RunAt(TimePoint when, Task task) {
+  const TimerId id = next_timer_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    timers_.push(Timer{when, id});
+    timer_tasks_[id] = std::move(task);
+  }
+  WakeUp();  // the new deadline may be earlier than the current epoll timeout
+  return id;
+}
+
+void EventLoop::CancelTimer(TimerId id) {
+  std::lock_guard<std::mutex> lock(timer_mu_);
+  timer_tasks_.erase(id);  // heap entry becomes a no-op when it pops
+}
+
+void EventLoop::WakeUp() {
+  const uint64_t one = 1;
+  (void)!::write(wakeup_fd_.get(), &one, sizeof(one));
+}
+
+void EventLoop::DrainWakeupFd() {
+  uint64_t value = 0;
+  (void)!::read(wakeup_fd_.get(), &value, sizeof(value));
+}
+
+void EventLoop::RunPendingTasks() {
+  std::vector<Task> tasks;
+  {
+    std::lock_guard<std::mutex> lock(task_mu_);
+    tasks.swap(pending_tasks_);
+  }
+  for (auto& task : tasks) task();
+}
+
+int64_t EventLoop::NextTimerTimeoutNs() {
+  std::lock_guard<std::mutex> lock(timer_mu_);
+  // Skip cancelled heads.
+  while (!timers_.empty() && !timer_tasks_.contains(timers_.top().id)) {
+    timers_.pop();
+  }
+  if (timers_.empty()) return -1;
+  const auto delta = timers_.top().when - Now();
+  if (delta <= Duration::zero()) return 0;
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(delta).count();
+  return std::min<int64_t>(ns, 60'000'000'000);
+}
+
+void EventLoop::FireDueTimers() {
+  std::vector<Task> due;
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    const TimePoint now = Now();
+    while (!timers_.empty() && timers_.top().when <= now) {
+      const TimerId id = timers_.top().id;
+      timers_.pop();
+      auto it = timer_tasks_.find(id);
+      if (it != timer_tasks_.end()) {
+        due.push_back(std::move(it->second));
+        timer_tasks_.erase(it);
+      }
+    }
+  }
+  for (auto& task : due) task();
+}
+
+}  // namespace hynet

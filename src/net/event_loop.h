@@ -1,0 +1,103 @@
+// EventLoop: one thread running epoll dispatch + cross-thread task queue +
+// monotonic timers. The building block for every asynchronous architecture
+// in this library (reactor threads, single-threaded servers, Netty-style
+// worker loops, the latency proxy, and the load generator).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/fd.h"
+#include "net/epoll.h"
+
+namespace hynet {
+
+class EventLoop {
+ public:
+  using FdCallback = std::function<void(uint32_t events)>;
+  using Task = std::function<void()>;
+  using TimerId = uint64_t;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Runs until Stop(); must be called from exactly one thread.
+  void Run();
+  // Safe from any thread.
+  void Stop();
+
+  // Fd watchers. Register/Modify/Unregister must run on the loop thread
+  // (use RunInLoop from other threads).
+  void RegisterFd(int fd, uint32_t events, FdCallback cb);
+  void ModifyFd(int fd, uint32_t events);
+  void UnregisterFd(int fd);
+  bool IsRegistered(int fd) const { return entries_.contains(fd); }
+
+  // Runs `task` on the loop thread: immediately if already there,
+  // otherwise enqueues and wakes the loop.
+  void RunInLoop(Task task);
+  // Always enqueues (even from the loop thread).
+  void QueueTask(Task task);
+
+  // Timers (loop thread or any thread; thread-safe).
+  TimerId RunAfter(Duration delay, Task task);
+  TimerId RunAt(TimePoint when, Task task);
+  void CancelTimer(TimerId id);
+
+  bool IsInLoopThread() const;
+
+  // Statistics: number of epoll_wait returns and dispatched events.
+  uint64_t WakeupCount() const { return wakeups_; }
+
+ private:
+  struct FdEntry {
+    FdCallback callback;
+    uint32_t events = 0;
+    bool alive = true;
+  };
+
+  struct Timer {
+    TimePoint when;
+    TimerId id;
+    bool operator>(const Timer& rhs) const {
+      return when > rhs.when || (when == rhs.when && id > rhs.id);
+    }
+  };
+
+  void WakeUp();
+  void DrainWakeupFd();
+  void RunPendingTasks();
+  int64_t NextTimerTimeoutNs();
+  void FireDueTimers();
+
+  Epoller epoller_;
+  ScopedFd wakeup_fd_;
+  // stop_requested_ is separate from running_ so a Stop() issued before
+  // Run() ever starts is not lost (the loop checks it on entry).
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<int> loop_tid_{0};
+
+  std::unordered_map<int, std::shared_ptr<FdEntry>> entries_;
+
+  mutable std::mutex task_mu_;
+  std::vector<Task> pending_tasks_;
+
+  mutable std::mutex timer_mu_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  std::unordered_map<TimerId, Task> timer_tasks_;
+  std::atomic<TimerId> next_timer_id_{1};
+
+  uint64_t wakeups_ = 0;
+};
+
+}  // namespace hynet

@@ -1,0 +1,47 @@
+#include "net/inet_addr.h"
+
+#include <arpa/inet.h>
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace hynet {
+
+InetAddr InetAddr::Loopback(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return InetAddr(addr);
+}
+
+InetAddr InetAddr::Any(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  return InetAddr(addr);
+}
+
+InetAddr InetAddr::FromIp(const std::string& ip, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    throw std::invalid_argument("bad IPv4 address: " + ip);
+  }
+  return InetAddr(addr);
+}
+
+uint16_t InetAddr::Port() const { return ntohs(addr_.sin_port); }
+
+std::string InetAddr::ToString() const {
+  char ip[INET_ADDRSTRLEN] = "?";
+  ::inet_ntop(AF_INET, &addr_.sin_addr, ip, sizeof(ip));
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s:%u", ip, Port());
+  return buf;
+}
+
+}  // namespace hynet

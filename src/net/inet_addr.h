@@ -1,0 +1,36 @@
+// IPv4 socket address value type.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <string>
+
+namespace hynet {
+
+class InetAddr {
+ public:
+  InetAddr() { addr_ = {}; }
+  explicit InetAddr(const sockaddr_in& addr) : addr_(addr) {}
+
+  // 127.0.0.1:port — the testbed runs every tier over loopback.
+  static InetAddr Loopback(uint16_t port);
+  // 0.0.0.0:port
+  static InetAddr Any(uint16_t port);
+  // Parses "a.b.c.d"; throws std::invalid_argument on bad input.
+  static InetAddr FromIp(const std::string& ip, uint16_t port);
+
+  const sockaddr* SockAddr() const {
+    return reinterpret_cast<const sockaddr*>(&addr_);
+  }
+  sockaddr* MutableSockAddr() { return reinterpret_cast<sockaddr*>(&addr_); }
+  socklen_t Length() const { return sizeof(addr_); }
+
+  uint16_t Port() const;
+  std::string ToString() const;
+
+ private:
+  sockaddr_in addr_;
+};
+
+}  // namespace hynet

@@ -1,0 +1,158 @@
+#include "net/socket.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+
+namespace hynet {
+namespace {
+
+[[noreturn]] void ThrowErrno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+IoResult ReadFd(int fd, void* buf, size_t len) {
+  while (true) {
+    const ssize_t n = ::read(fd, buf, len);
+    if (n >= 0) return {n, 0};
+    if (errno == EINTR) continue;
+    return {n, errno};
+  }
+}
+
+IoResult WriteFd(int fd, const void* buf, size_t len) {
+  while (true) {
+    // MSG_NOSIGNAL: a peer-closed socket must surface as EPIPE, not kill
+    // the process with SIGPIPE (clients hang up mid-response all the time).
+    const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (n >= 0) return {n, 0};
+    if (errno == EINTR) continue;
+    return {n, errno};
+  }
+}
+
+Socket Socket::CreateTcp(bool nonblocking) {
+  int flags = SOCK_STREAM | SOCK_CLOEXEC;
+  if (nonblocking) flags |= SOCK_NONBLOCK;
+  const int fd = ::socket(AF_INET, flags, IPPROTO_TCP);
+  if (fd < 0) ThrowErrno("socket");
+  return Socket(ScopedFd(fd));
+}
+
+void Socket::Bind(const InetAddr& addr) {
+  if (::bind(fd_.get(), addr.SockAddr(), addr.Length()) < 0) {
+    ThrowErrno("bind");
+  }
+}
+
+void Socket::Listen(int backlog) {
+  if (::listen(fd_.get(), backlog) < 0) ThrowErrno("listen");
+}
+
+std::optional<Socket> Socket::Accept(InetAddr* peer) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  const int fd = ::accept4(fd_.get(), reinterpret_cast<sockaddr*>(&addr),
+                           &len, SOCK_CLOEXEC);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return std::nullopt;
+    }
+    ThrowErrno("accept4");
+  }
+  if (peer) *peer = InetAddr(addr);
+  return Socket(ScopedFd(fd));
+}
+
+void Socket::Connect(const InetAddr& addr) {
+  while (::connect(fd_.get(), addr.SockAddr(), addr.Length()) < 0) {
+    if (errno == EINTR) continue;
+    ThrowErrno("connect");
+  }
+}
+
+void Socket::SetNonBlocking(bool on) { SetFdNonBlocking(fd_.get(), on); }
+void Socket::SetNoDelay(bool on) { SetFdNoDelay(fd_.get(), on); }
+
+void Socket::SetReuseAddr(bool on) {
+  const int v = on ? 1 : 0;
+  if (::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEADDR, &v, sizeof(v)) < 0) {
+    ThrowErrno("setsockopt(SO_REUSEADDR)");
+  }
+}
+
+void Socket::SetReusePort(bool on) {
+  const int v = on ? 1 : 0;
+  if (::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEPORT, &v, sizeof(v)) < 0) {
+    ThrowErrno("setsockopt(SO_REUSEPORT)");
+  }
+}
+
+void Socket::SetSendBufferSize(int bytes) {
+  SetFdSendBufferSize(fd_.get(), bytes);
+}
+
+int Socket::GetSendBufferSize() const { return GetFdSendBufferSize(fd_.get()); }
+
+void Socket::SetRecvBufferSize(int bytes) {
+  if (::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes)) <
+      0) {
+    ThrowErrno("setsockopt(SO_RCVBUF)");
+  }
+}
+
+InetAddr Socket::LocalAddr() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ThrowErrno("getsockname");
+  }
+  return InetAddr(addr);
+}
+
+InetAddr Socket::PeerAddr() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd_.get(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ThrowErrno("getpeername");
+  }
+  return InetAddr(addr);
+}
+
+void SetFdNonBlocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) ThrowErrno("fcntl(F_GETFL)");
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) < 0) ThrowErrno("fcntl(F_SETFL)");
+}
+
+void SetFdNoDelay(int fd, bool on) {
+  const int v = on ? 1 : 0;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &v, sizeof(v)) < 0) {
+    ThrowErrno("setsockopt(TCP_NODELAY)");
+  }
+}
+
+void SetFdSendBufferSize(int fd, int bytes) {
+  if (::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes)) < 0) {
+    ThrowErrno("setsockopt(SO_SNDBUF)");
+  }
+}
+
+int GetFdSendBufferSize(int fd) {
+  int v = 0;
+  socklen_t len = sizeof(v);
+  if (::getsockopt(fd, SOL_SOCKET, SO_SNDBUF, &v, &len) < 0) {
+    ThrowErrno("getsockopt(SO_SNDBUF)");
+  }
+  return v;
+}
+
+}  // namespace hynet

@@ -1,0 +1,79 @@
+// Thin RAII + error-code layer over BSD sockets.
+//
+// Hot-path I/O reports errors through IoResult (no exceptions on EAGAIN —
+// the write-spin study *is* about EAGAIN); setup-path failures throw
+// std::system_error per Core Guidelines E.14.
+#pragma once
+
+#include <sys/socket.h>
+
+#include <optional>
+
+#include "common/fd.h"
+#include "net/inet_addr.h"
+
+namespace hynet {
+
+// Result of a single read()/write() attempt.
+struct IoResult {
+  ssize_t n = 0;   // bytes transferred; 0 on EOF for reads
+  int err = 0;     // errno when n < 0
+
+  bool Ok() const { return n >= 0; }
+  bool WouldBlock() const {
+    return n < 0 && (err == EAGAIN || err == EWOULDBLOCK);
+  }
+  // Peer closed (read side) — only meaningful for reads.
+  bool Eof() const { return n == 0; }
+  bool Fatal() const { return n < 0 && !WouldBlock(); }
+};
+
+// EINTR-retrying wrappers.
+IoResult ReadFd(int fd, void* buf, size_t len);
+IoResult WriteFd(int fd, const void* buf, size_t len);
+
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(ScopedFd fd) : fd_(std::move(fd)) {}
+
+  // Creates a TCP socket; throws std::system_error on failure.
+  static Socket CreateTcp(bool nonblocking);
+
+  int fd() const { return fd_.get(); }
+  bool valid() const { return fd_.valid(); }
+  ScopedFd TakeFd() { return std::move(fd_); }
+
+  void Bind(const InetAddr& addr);
+  void Listen(int backlog = 512);
+  // Returns nullopt on EAGAIN (nonblocking listener with empty queue).
+  std::optional<Socket> Accept(InetAddr* peer = nullptr);
+  // Blocking connect; throws on failure.
+  void Connect(const InetAddr& addr);
+
+  void SetNonBlocking(bool on);
+  void SetNoDelay(bool on);
+  void SetReuseAddr(bool on);
+  // SO_REUSEPORT: lets N sockets bind the same port with kernel-level
+  // load balancing of incoming connections (the N-copy deployment).
+  void SetReusePort(bool on);
+  // Sets SO_SNDBUF. Note: the kernel doubles the value and setting it
+  // disables send-buffer autotuning — exactly the knob Figure 6 studies.
+  void SetSendBufferSize(int bytes);
+  int GetSendBufferSize() const;
+  void SetRecvBufferSize(int bytes);
+
+  InetAddr LocalAddr() const;
+  InetAddr PeerAddr() const;
+
+ private:
+  ScopedFd fd_;
+};
+
+// Applies non-blocking mode to a raw fd (used for accepted fds).
+void SetFdNonBlocking(int fd, bool on);
+void SetFdNoDelay(int fd, bool on);
+void SetFdSendBufferSize(int fd, int bytes);
+int GetFdSendBufferSize(int fd);
+
+}  // namespace hynet

@@ -1,0 +1,85 @@
+#include "proto/http_codec.h"
+
+#include <cstdio>
+
+namespace hynet {
+namespace {
+
+void AppendInt(ByteBuffer& out, size_t v) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof(buf), "%zu", v);
+  out.Append(buf, static_cast<size_t>(n));
+}
+
+}  // namespace
+
+void SerializeResponse(const HttpResponse& resp, ByteBuffer& out) {
+  out.Append("HTTP/1.1 ");
+  char status[16];
+  const int n =
+      std::snprintf(status, sizeof(status), "%d ", resp.status);
+  out.Append(status, static_cast<size_t>(n));
+  out.Append(resp.reason);
+  out.Append("\r\n");
+  for (const auto& [k, v] : resp.headers) {
+    out.Append(k);
+    out.Append(": ");
+    out.Append(v);
+    out.Append("\r\n");
+  }
+  if (!resp.pushed.empty()) {
+    // HTTP/2-style push on the HTTP/1.1 wire: declare the parts so the
+    // client can split the payload train.
+    out.Append("X-Push-Parts: ");
+    AppendInt(out, resp.pushed.size());
+    out.Append("\r\n");
+    out.Append("X-Push-Sizes: ");
+    for (size_t i = 0; i < resp.pushed.size(); ++i) {
+      if (i) out.Append(",");
+      AppendInt(out, resp.pushed[i].size());
+    }
+    out.Append("\r\n");
+  }
+  out.Append("Content-Length: ");
+  AppendInt(out, resp.PayloadBytes());
+  out.Append("\r\n");
+  out.Append(resp.keep_alive ? "Connection: keep-alive\r\n"
+                             : "Connection: close\r\n");
+  out.Append("\r\n");
+  out.Append(resp.body);
+  for (const auto& part : resp.pushed) out.Append(part);
+}
+
+void SerializeRequest(const HttpRequest& req, ByteBuffer& out) {
+  out.Append(req.method.empty() ? "GET" : req.method);
+  out.Append(" ");
+  out.Append(req.target);
+  out.Append(" HTTP/1.1\r\n");
+  for (const auto& [k, v] : req.headers) {
+    out.Append(k);
+    out.Append(": ");
+    out.Append(v);
+    out.Append("\r\n");
+  }
+  if (!req.body.empty()) {
+    out.Append("Content-Length: ");
+    AppendInt(out, req.body.size());
+    out.Append("\r\n");
+  }
+  if (!req.keep_alive) out.Append("Connection: close\r\n");
+  out.Append("\r\n");
+  out.Append(req.body);
+}
+
+std::string BuildGetRequest(std::string_view target, bool keep_alive) {
+  std::string out;
+  out.reserve(64 + target.size());
+  out.append("GET ");
+  out.append(target);
+  out.append(" HTTP/1.1\r\n");
+  if (!keep_alive) out.append("Connection: close\r\n");
+  out.append("\r\n");
+  return out;
+}
+
+}  // namespace hynet

@@ -1,0 +1,18 @@
+// Serialization of HTTP messages into wire bytes.
+#pragma once
+
+#include "common/bytes.h"
+#include "proto/http_message.h"
+
+namespace hynet {
+
+// Serializes a response (adds Content-Length and Connection headers).
+void SerializeResponse(const HttpResponse& resp, ByteBuffer& out);
+
+// Serializes a request (adds Content-Length when a body is present).
+void SerializeRequest(const HttpRequest& req, ByteBuffer& out);
+
+// Convenience for clients: builds "GET <target> HTTP/1.1" bytes.
+std::string BuildGetRequest(std::string_view target, bool keep_alive = true);
+
+}  // namespace hynet

@@ -1,0 +1,70 @@
+// HTTP/1.1-subset message types exchanged between the load generator and
+// the servers (and between tiers of the mini 3-tier system).
+//
+// Supported: GET/POST, Content-Length framing, keep-alive (default on),
+// query parameters. Not supported (out of scope for the study): chunked
+// encoding, multi-line headers, HTTP/2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hynet {
+
+struct HttpRequest {
+  std::string method;           // "GET", "POST"
+  std::string target;           // raw request target, e.g. "/bench?size=100"
+  std::string path;             // target up to '?'
+  std::vector<std::pair<std::string, std::string>> query;   // decoded params
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  // Returns the first query parameter with this key, or `fallback`.
+  std::string_view QueryParam(std::string_view key,
+                              std::string_view fallback = "") const;
+  int64_t QueryParamInt(std::string_view key, int64_t fallback) const;
+
+  std::string_view Header(std::string_view key,
+                          std::string_view fallback = "") const;
+
+  void Clear();
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;
+  // Server-push companion resources (HTTP/2-style push modeled on the
+  // HTTP/1.1 wire: parts are concatenated after `body` and described by
+  // X-Push-Parts / X-Push-Sizes headers; Content-Length covers the whole
+  // train). Section IV of the paper singles this out as the reason
+  // response sizes are unpredictable: "multiple responses for a single
+  // client request".
+  std::vector<std::string> pushed;
+
+  // Total bytes that will be written for this response's payload.
+  size_t PayloadBytes() const {
+    size_t total = body.size();
+    for (const auto& p : pushed) total += p.size();
+    return total;
+  }
+
+  void SetHeader(std::string key, std::string value) {
+    headers.emplace_back(std::move(key), std::move(value));
+  }
+  std::string_view Header(std::string_view key,
+                          std::string_view fallback = "") const;
+
+  void Clear();
+};
+
+// Case-insensitive ASCII comparison (header names).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+}  // namespace hynet

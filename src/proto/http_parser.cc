@@ -1,0 +1,295 @@
+#include "proto/http_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstring>
+
+namespace hynet {
+namespace {
+
+// Finds "\r\n\r\n" in data starting no earlier than from (minus overlap).
+// Returns the offset one past the terminator, or 0 if absent.
+size_t FindHeadEnd(std::string_view data, size_t scanned) {
+  const size_t start = scanned > 3 ? scanned - 3 : 0;
+  const size_t pos = data.find("\r\n\r\n", start);
+  return pos == std::string_view::npos ? 0 : pos + 4;
+}
+
+std::string_view Trim(std::string_view sv) {
+  while (!sv.empty() && (sv.front() == ' ' || sv.front() == '\t')) {
+    sv.remove_prefix(1);
+  }
+  while (!sv.empty() && (sv.back() == ' ' || sv.back() == '\t')) {
+    sv.remove_suffix(1);
+  }
+  return sv;
+}
+
+// Splits head into lines and parses "Key: Value" headers into `headers`.
+// Returns false on malformed header lines.
+bool ParseHeaderLines(std::string_view head,
+                      std::vector<std::pair<std::string, std::string>>* out) {
+  size_t pos = 0;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return false;
+    out->emplace_back(std::string(Trim(line.substr(0, colon))),
+                      std::string(Trim(line.substr(colon + 1))));
+  }
+  return true;
+}
+
+int64_t ParseContentLength(
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  for (const auto& [k, v] : headers) {
+    if (EqualsIgnoreCase(k, "Content-Length")) {
+      int64_t len = 0;
+      const auto [ptr, ec] =
+          std::from_chars(v.data(), v.data() + v.size(), len);
+      if (ec != std::errc{} || ptr != v.data() + v.size() || len < 0) {
+        return -1;
+      }
+      return len;
+    }
+  }
+  return 0;
+}
+
+bool WantsKeepAlive(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    bool http11) {
+  for (const auto& [k, v] : headers) {
+    if (EqualsIgnoreCase(k, "Connection")) {
+      if (EqualsIgnoreCase(v, "close")) return false;
+      if (EqualsIgnoreCase(v, "keep-alive")) return true;
+    }
+  }
+  return http11;  // HTTP/1.1 defaults to keep-alive
+}
+
+void ParseQuery(std::string_view target, HttpRequest* req) {
+  const size_t qpos = target.find('?');
+  req->path = std::string(target.substr(0, qpos));
+  if (qpos == std::string_view::npos) return;
+  std::string_view qs = target.substr(qpos + 1);
+  while (!qs.empty()) {
+    size_t amp = qs.find('&');
+    std::string_view pair = qs.substr(0, amp);
+    qs = amp == std::string_view::npos ? std::string_view{}
+                                       : qs.substr(amp + 1);
+    if (pair.empty()) continue;
+    const size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      req->query.emplace_back(std::string(pair), "");
+    } else {
+      req->query.emplace_back(std::string(pair.substr(0, eq)),
+                              std::string(pair.substr(eq + 1)));
+    }
+  }
+}
+
+}  // namespace
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+           return std::tolower(static_cast<unsigned char>(x)) ==
+                  std::tolower(static_cast<unsigned char>(y));
+         });
+}
+
+std::string_view HttpRequest::QueryParam(std::string_view key,
+                                         std::string_view fallback) const {
+  for (const auto& [k, v] : query) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+int64_t HttpRequest::QueryParamInt(std::string_view key,
+                                   int64_t fallback) const {
+  const std::string_view v = QueryParam(key);
+  if (v.empty()) return fallback;
+  int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  return (ec == std::errc{} && ptr == v.data() + v.size()) ? out : fallback;
+}
+
+std::string_view HttpRequest::Header(std::string_view key,
+                                     std::string_view fallback) const {
+  for (const auto& [k, v] : headers) {
+    if (EqualsIgnoreCase(k, key)) return v;
+  }
+  return fallback;
+}
+
+void HttpRequest::Clear() {
+  method.clear();
+  target.clear();
+  path.clear();
+  query.clear();
+  headers.clear();
+  body.clear();
+  keep_alive = true;
+}
+
+std::string_view HttpResponse::Header(std::string_view key,
+                                      std::string_view fallback) const {
+  for (const auto& [k, v] : headers) {
+    if (EqualsIgnoreCase(k, key)) return v;
+  }
+  return fallback;
+}
+
+void HttpResponse::Clear() {
+  status = 200;
+  reason = "OK";
+  headers.clear();
+  body.clear();
+  keep_alive = true;
+  pushed.clear();
+}
+
+ParseStatus HttpRequestParser::Parse(ByteBuffer& in) {
+  if (state_ == State::kHead) {
+    const ParseStatus st = ParseHead(in);
+    if (st != ParseStatus::kComplete) return st;
+    if (body_remaining_ == 0) return ParseStatus::kComplete;
+    state_ = State::kBody;
+  }
+  // kBody: consume up to body_remaining_ bytes.
+  const size_t take = std::min(body_remaining_, in.ReadableBytes());
+  request_.body.append(in.ReadPtr(), take);
+  in.Consume(take);
+  body_remaining_ -= take;
+  if (body_remaining_ > 0) return ParseStatus::kNeedMore;
+  state_ = State::kHead;
+  return ParseStatus::kComplete;
+}
+
+ParseStatus HttpRequestParser::ParseHead(ByteBuffer& in) {
+  const std::string_view data = in.View();
+  const size_t head_end = FindHeadEnd(data, scanned_);
+  if (head_end == 0) {
+    scanned_ = data.size();
+    // 64 KB of headers without a terminator is an attack or a bug.
+    return data.size() > 65536 ? ParseStatus::kError : ParseStatus::kNeedMore;
+  }
+
+  request_.Clear();
+  std::string_view head = data.substr(0, head_end - 4);
+
+  // Request line: METHOD SP TARGET SP VERSION
+  size_t eol = head.find("\r\n");
+  if (eol == std::string_view::npos) eol = head.size();
+  std::string_view line = head.substr(0, eol);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) return ParseStatus::kError;
+  request_.method = std::string(line.substr(0, sp1));
+  request_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const std::string_view version = line.substr(sp2 + 1);
+  if (!version.starts_with("HTTP/1.")) return ParseStatus::kError;
+  ParseQuery(request_.target, &request_);
+
+  const std::string_view header_block =
+      eol < head.size() ? head.substr(eol + 2) : std::string_view{};
+  if (!ParseHeaderLines(header_block, &request_.headers)) {
+    return ParseStatus::kError;
+  }
+
+  const int64_t content_length = ParseContentLength(request_.headers);
+  if (content_length < 0) return ParseStatus::kError;
+  body_remaining_ = static_cast<size_t>(content_length);
+  request_.keep_alive =
+      WantsKeepAlive(request_.headers, version == "HTTP/1.1");
+
+  in.Consume(head_end);
+  scanned_ = 0;
+  return ParseStatus::kComplete;
+}
+
+void HttpRequestParser::Reset() {
+  request_.Clear();
+  state_ = State::kHead;
+  body_remaining_ = 0;
+  scanned_ = 0;
+}
+
+ParseStatus HttpResponseParser::Parse(ByteBuffer& in) {
+  if (state_ == State::kHead) {
+    const ParseStatus st = ParseHead(in);
+    if (st != ParseStatus::kComplete) return st;
+    if (body_remaining_ == 0) return ParseStatus::kComplete;
+    state_ = State::kBody;
+  }
+  const size_t take = std::min(body_remaining_, in.ReadableBytes());
+  response_.body.append(in.ReadPtr(), take);
+  in.Consume(take);
+  body_remaining_ -= take;
+  if (body_remaining_ > 0) return ParseStatus::kNeedMore;
+  state_ = State::kHead;
+  return ParseStatus::kComplete;
+}
+
+ParseStatus HttpResponseParser::ParseHead(ByteBuffer& in) {
+  const std::string_view data = in.View();
+  const size_t head_end = FindHeadEnd(data, scanned_);
+  if (head_end == 0) {
+    scanned_ = data.size();
+    return data.size() > 65536 ? ParseStatus::kError : ParseStatus::kNeedMore;
+  }
+
+  response_.Clear();
+  std::string_view head = data.substr(0, head_end - 4);
+
+  // Status line: VERSION SP CODE SP REASON
+  size_t eol = head.find("\r\n");
+  if (eol == std::string_view::npos) eol = head.size();
+  std::string_view line = head.substr(0, eol);
+  if (!line.starts_with("HTTP/1.")) return ParseStatus::kError;
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 + 4 > line.size()) {
+    return ParseStatus::kError;
+  }
+  int status = 0;
+  const auto* begin = line.data() + sp1 + 1;
+  const auto [ptr, ec] = std::from_chars(begin, begin + 3, status);
+  if (ec != std::errc{} || ptr != begin + 3) return ParseStatus::kError;
+  response_.status = status;
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  response_.reason = sp2 == std::string_view::npos
+                         ? ""
+                         : std::string(line.substr(sp2 + 1));
+
+  const std::string_view header_block =
+      eol < head.size() ? head.substr(eol + 2) : std::string_view{};
+  if (!ParseHeaderLines(header_block, &response_.headers)) {
+    return ParseStatus::kError;
+  }
+
+  const int64_t content_length = ParseContentLength(response_.headers);
+  if (content_length < 0) return ParseStatus::kError;
+  body_remaining_ = static_cast<size_t>(content_length);
+  response_.keep_alive = WantsKeepAlive(response_.headers,
+                                        line.starts_with("HTTP/1.1"));
+
+  in.Consume(head_end);
+  scanned_ = 0;
+  return ParseStatus::kComplete;
+}
+
+void HttpResponseParser::Reset() {
+  response_.Clear();
+  state_ = State::kHead;
+  body_remaining_ = 0;
+  scanned_ = 0;
+}
+
+}  // namespace hynet

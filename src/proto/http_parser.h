@@ -1,0 +1,61 @@
+// Incremental HTTP parsers. Both parsers consume bytes from a ByteBuffer
+// and tolerate arbitrary fragmentation (one byte at a time works), which is
+// what the non-blocking read paths deliver.
+#pragma once
+
+#include <cstddef>
+
+#include "common/bytes.h"
+#include "proto/http_message.h"
+
+namespace hynet {
+
+enum class ParseStatus {
+  kNeedMore,   // incomplete; feed more bytes
+  kComplete,   // one full message parsed and consumed from the buffer
+  kError,      // malformed input; connection should be closed
+};
+
+class HttpRequestParser {
+ public:
+  // Attempts to parse one request from `in`. On kComplete the request's
+  // bytes have been consumed from `in` and request() is valid until the
+  // next Parse()/Reset().
+  ParseStatus Parse(ByteBuffer& in);
+
+  const HttpRequest& request() const { return request_; }
+  HttpRequest& request() { return request_; }
+
+  void Reset();
+
+ private:
+  enum class State { kHead, kBody };
+
+  ParseStatus ParseHead(ByteBuffer& in);
+
+  HttpRequest request_;
+  State state_ = State::kHead;
+  size_t body_remaining_ = 0;
+  size_t scanned_ = 0;  // bytes already scanned for the head terminator
+};
+
+class HttpResponseParser {
+ public:
+  ParseStatus Parse(ByteBuffer& in);
+
+  const HttpResponse& response() const { return response_; }
+
+  void Reset();
+
+ private:
+  enum class State { kHead, kBody };
+
+  ParseStatus ParseHead(ByteBuffer& in);
+
+  HttpResponse response_;
+  State state_ = State::kHead;
+  size_t body_remaining_ = 0;
+  size_t scanned_ = 0;
+};
+
+}  // namespace hynet

@@ -1,0 +1,218 @@
+#include "proxy/latency_proxy.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/thread_util.h"
+#include "net/socket.h"
+
+namespace hynet {
+
+struct LatencyProxy::Relay {
+  ScopedFd client_fd;
+  ScopedFd upstream_fd;
+
+  // Request direction: bytes waiting out their propagation delay.
+  std::deque<std::pair<TimePoint, std::string>> to_server;
+  bool deliver_scheduled = false;
+
+  // Response direction: bytes read from the server, pending client write.
+  ByteBuffer to_client;
+  bool client_writable_armed = false;
+
+  bool closed = false;
+};
+
+LatencyProxy::LatencyProxy(LatencyProxyConfig config)
+    : config_(std::move(config)) {
+  // A zero delay would turn the per-connection tick into a busy loop; the
+  // proxy is only meant for the latency experiments.
+  if (config_.one_way_delay < std::chrono::microseconds(100)) {
+    config_.one_way_delay = std::chrono::microseconds(100);
+  }
+}
+
+LatencyProxy::~LatencyProxy() { Stop(); }
+
+void LatencyProxy::Start() {
+  loop_ = std::make_unique<EventLoop>();
+  acceptor_ = std::make_unique<Acceptor>(
+      *loop_, InetAddr::Loopback(config_.listen_port),
+      [this](Socket s, const InetAddr& peer) {
+        OnNewClient(std::move(s), peer);
+      });
+  port_ = acceptor_->Port();
+  acceptor_->Listen();
+
+  started_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] {
+    SetCurrentThreadName("lat-proxy");
+    loop_->Run();
+    relays_.clear();
+  });
+}
+
+void LatencyProxy::Stop() {
+  if (!started_.exchange(false)) return;
+  loop_->Stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  acceptor_.reset();
+  loop_.reset();
+}
+
+void LatencyProxy::OnNewClient(Socket client, const InetAddr&) {
+  auto relay = std::make_shared<Relay>();
+
+  Socket upstream = Socket::CreateTcp(/*nonblocking=*/false);
+  // Small receive buffer BEFORE connect: it bounds the bytes the kernel
+  // will accept (and ACK) on the server's behalf, which is what throttles
+  // the server's sender window down to testbed scale.
+  if (config_.rcv_buf_bytes > 0) {
+    upstream.SetRecvBufferSize(config_.rcv_buf_bytes);
+  }
+  try {
+    upstream.Connect(config_.upstream);
+  } catch (const std::exception& e) {
+    HYNET_LOG(WARN) << "proxy upstream connect failed: " << e.what();
+    return;
+  }
+  upstream.SetNonBlocking(true);
+  upstream.SetNoDelay(true);
+  client.SetNonBlocking(true);
+  SetFdNoDelay(client.fd(), true);
+
+  relay->client_fd = client.TakeFd();
+  relay->upstream_fd = upstream.TakeFd();
+  const int cfd = relay->client_fd.get();
+  relays_[cfd] = relay;
+  conns_proxied_.fetch_add(1, std::memory_order_relaxed);
+
+  loop_->RegisterFd(cfd, EPOLLIN, [this, relay](uint32_t events) {
+    if (events & (EPOLLHUP | EPOLLERR)) {
+      CloseRelay(relay);
+      return;
+    }
+    if (events & EPOLLOUT) FlushToClient(relay);
+    if (relay->closed) return;
+    if (events & EPOLLIN) OnClientReadable(relay);
+  });
+
+  // Response pacing tick: one window of server bytes per delay period.
+  loop_->RunAfter(config_.one_way_delay,
+                  [this, relay] { OnUpstreamTick(relay); });
+}
+
+void LatencyProxy::OnClientReadable(const std::shared_ptr<Relay>& relay) {
+  char buf[16 * 1024];
+  while (true) {
+    const IoResult r = ReadFd(relay->client_fd.get(), buf, sizeof(buf));
+    if (r.WouldBlock()) break;
+    if (r.Eof() || r.Fatal()) {
+      CloseRelay(relay);
+      return;
+    }
+    relay->to_server.emplace_back(Now() + config_.one_way_delay,
+                                  std::string(buf, static_cast<size_t>(r.n)));
+    if (static_cast<size_t>(r.n) < sizeof(buf)) break;
+  }
+  if (!relay->deliver_scheduled && !relay->to_server.empty()) {
+    relay->deliver_scheduled = true;
+    loop_->RunAt(relay->to_server.front().first,
+                 [this, relay] { DeliverPendingRequests(relay); });
+  }
+}
+
+void LatencyProxy::DeliverPendingRequests(const std::shared_ptr<Relay>& relay) {
+  relay->deliver_scheduled = false;
+  if (relay->closed) return;
+  const TimePoint now = Now();
+  while (!relay->to_server.empty() && relay->to_server.front().first <= now) {
+    auto& [when, data] = relay->to_server.front();
+    const IoResult r =
+        WriteFd(relay->upstream_fd.get(), data.data(), data.size());
+    if (r.WouldBlock()) {
+      break;  // retry on the next schedule
+    }
+    if (r.Fatal()) {
+      CloseRelay(relay);
+      return;
+    }
+    bytes_forwarded_.fetch_add(static_cast<uint64_t>(r.n),
+                               std::memory_order_relaxed);
+    if (static_cast<size_t>(r.n) < data.size()) {
+      data.erase(0, static_cast<size_t>(r.n));
+      break;
+    }
+    relay->to_server.pop_front();
+  }
+  if (!relay->to_server.empty() && !relay->deliver_scheduled) {
+    relay->deliver_scheduled = true;
+    const TimePoint next =
+        std::max(relay->to_server.front().first,
+                 now + std::chrono::microseconds(100));
+    loop_->RunAt(next, [this, relay] { DeliverPendingRequests(relay); });
+  }
+}
+
+void LatencyProxy::OnUpstreamTick(const std::shared_ptr<Relay>& relay) {
+  if (relay->closed) return;
+
+  // Release at most one window of response bytes per tick — the userspace
+  // equivalent of the ACK clock advancing once per RTT.
+  int budget = config_.window_bytes;
+  char buf[16 * 1024];
+  while (budget > 0) {
+    const size_t want =
+        std::min(sizeof(buf), static_cast<size_t>(budget));
+    const IoResult r = ReadFd(relay->upstream_fd.get(), buf, want);
+    if (r.WouldBlock()) break;
+    if (r.Eof() || r.Fatal()) {
+      FlushToClient(relay);
+      CloseRelay(relay);
+      return;
+    }
+    relay->to_client.Append(buf, static_cast<size_t>(r.n));
+    budget -= static_cast<int>(r.n);
+  }
+  FlushToClient(relay);
+  if (relay->closed) return;
+
+  loop_->RunAfter(config_.one_way_delay,
+                  [this, relay] { OnUpstreamTick(relay); });
+}
+
+void LatencyProxy::FlushToClient(const std::shared_ptr<Relay>& relay) {
+  if (relay->closed) return;
+  while (relay->to_client.ReadableBytes() > 0) {
+    const IoResult r = WriteFd(relay->client_fd.get(), relay->to_client.ReadPtr(),
+                               relay->to_client.ReadableBytes());
+    if (r.WouldBlock()) {
+      if (!relay->client_writable_armed) {
+        relay->client_writable_armed = true;
+        loop_->ModifyFd(relay->client_fd.get(), EPOLLIN | EPOLLOUT);
+      }
+      return;
+    }
+    if (r.Fatal()) {
+      CloseRelay(relay);
+      return;
+    }
+    bytes_forwarded_.fetch_add(static_cast<uint64_t>(r.n),
+                               std::memory_order_relaxed);
+    relay->to_client.Consume(static_cast<size_t>(r.n));
+  }
+  if (relay->client_writable_armed) {
+    relay->client_writable_armed = false;
+    loop_->ModifyFd(relay->client_fd.get(), EPOLLIN);
+  }
+}
+
+void LatencyProxy::CloseRelay(const std::shared_ptr<Relay>& relay) {
+  if (relay->closed) return;
+  relay->closed = true;
+  loop_->UnregisterFd(relay->client_fd.get());
+  relays_.erase(relay->client_fd.get());
+}
+
+}  // namespace hynet

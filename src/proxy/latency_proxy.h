@@ -1,0 +1,81 @@
+// Userspace network-latency emulation (substitute for `tc netem` on the
+// paper's client machines).
+//
+// For each proxied connection:
+//   * request direction (client→server): bytes are held in a timed queue
+//     and delivered to the server after `one_way_delay` — propagation
+//     delay on the forward path.
+//   * response direction (server→client): the proxy reads from the server
+//     in at most `window_bytes` chunks, once per `one_way_delay` tick, and
+//     keeps its receive buffer small. Because TCP can only keep
+//     (server SO_SNDBUF + proxy SO_RCVBUF) bytes in flight, the server's
+//     non-blocking write() returns 0 between ticks exactly as it would
+//     behind a real high-latency link waiting for ACKs — reproducing the
+//     ACK-clocked write-spin of Figure 5 without root privileges.
+//
+// The emulation parameters mirror the testbed: default window is 16 KB
+// (the default TCP send buffer the paper studies).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "net/acceptor.h"
+#include "net/event_loop.h"
+
+namespace hynet {
+
+struct LatencyProxyConfig {
+  uint16_t listen_port = 0;         // 0 = ephemeral
+  InetAddr upstream;                // the real server
+  std::chrono::microseconds one_way_delay{0};
+  int window_bytes = 16 * 1024;     // response bytes released per tick
+  int rcv_buf_bytes = 16 * 1024;    // SO_RCVBUF on the upstream socket
+};
+
+class LatencyProxy {
+ public:
+  explicit LatencyProxy(LatencyProxyConfig config);
+  ~LatencyProxy();
+
+  void Start();
+  void Stop();
+  uint16_t Port() const { return port_; }
+
+  uint64_t ConnectionsProxied() const {
+    return conns_proxied_.load(std::memory_order_relaxed);
+  }
+  uint64_t BytesForwarded() const {
+    return bytes_forwarded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Relay;
+
+  void OnNewClient(Socket client, const InetAddr& peer);
+  void OnClientReadable(const std::shared_ptr<Relay>& relay);
+  void DeliverPendingRequests(const std::shared_ptr<Relay>& relay);
+  void OnUpstreamTick(const std::shared_ptr<Relay>& relay);
+  void FlushToClient(const std::shared_ptr<Relay>& relay);
+  void CloseRelay(const std::shared_ptr<Relay>& relay);
+
+  LatencyProxyConfig config_;
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<Acceptor> acceptor_;
+  std::thread loop_thread_;
+  uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+
+  std::unordered_map<int, std::shared_ptr<Relay>> relays_;  // by client fd
+
+  std::atomic<uint64_t> conns_proxied_{0};
+  std::atomic<uint64_t> bytes_forwarded_{0};
+};
+
+}  // namespace hynet

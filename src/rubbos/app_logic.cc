@@ -1,0 +1,112 @@
+#include "rubbos/app_logic.h"
+
+#include <cstdio>
+
+#include "common/thread_util.h"
+
+namespace hynet::rubbos {
+
+// RUBBoS interaction mix (modeled after the benchmark's 24 web
+// interactions; weights follow its browse-heavy default workload where
+// read-only page views dominate and author/moderator actions are rare).
+const std::array<Interaction, kInteractionCount> kInteractions = {{
+    //  name                     weight  sl sd cm us se in  cpu_us  html
+    {"StoriesOfTheDay",           0.130, 1, 0, 0, 0, 0, 0,  220, 16 * 1024},
+    {"BrowseCategories",          0.060, 1, 0, 0, 0, 0, 0,  120,  8 * 1024},
+    {"BrowseStoriesByCategory",   0.100, 1, 0, 0, 0, 0, 0,  180, 14 * 1024},
+    {"OlderStories",              0.070, 1, 0, 0, 0, 0, 0,  160, 14 * 1024},
+    {"ViewStory",                 0.200, 0, 1, 1, 0, 0, 0,  260, 18 * 1024},
+    {"ViewComment",               0.080, 0, 0, 1, 0, 0, 0,  140, 10 * 1024},
+    {"CommentsOfTheDay",          0.040, 0, 0, 1, 0, 0, 0,  150, 12 * 1024},
+    {"ViewUserInfo",              0.030, 0, 0, 0, 1, 0, 0,   90,  6 * 1024},
+    {"ViewPageOfComments",        0.050, 0, 0, 2, 0, 0, 0,  200, 22 * 1024},
+    {"Search",                    0.040, 0, 0, 0, 0, 1, 0,  240, 12 * 1024},
+    {"SearchInStories",           0.025, 0, 0, 0, 0, 1, 0,  240, 12 * 1024},
+    {"SearchInComments",          0.015, 0, 0, 0, 0, 1, 0,  260, 12 * 1024},
+    {"SearchInUsers",             0.010, 0, 0, 0, 0, 1, 0,  180,  6 * 1024},
+    {"PostComment",               0.030, 0, 1, 0, 1, 0, 0,  160, 10 * 1024},
+    {"StoreComment",              0.030, 0, 0, 0, 0, 0, 1,  140,  2 * 1024},
+    {"RegisterUser",              0.005, 0, 0, 0, 1, 0, 0,  120,  4 * 1024},
+    {"BrowseStoriesByDate",       0.040, 1, 0, 0, 0, 0, 0,  170, 14 * 1024},
+    {"SubmitStory",               0.010, 0, 0, 0, 1, 0, 0,  140,  6 * 1024},
+    {"StoreStory",                0.010, 0, 0, 0, 0, 0, 1,  180,  2 * 1024},
+    {"ReviewStories",             0.008, 1, 0, 0, 0, 0, 0,  200, 16 * 1024},
+    {"AcceptStory",               0.005, 0, 1, 0, 0, 0, 1,  160,  2 * 1024},
+    {"RejectStory",               0.004, 0, 1, 0, 0, 0, 1,  140,  2 * 1024},
+    {"ModerateComment",           0.005, 0, 0, 1, 1, 0, 0,  150,  6 * 1024},
+    {"StoreModerateLog",          0.003, 0, 0, 0, 0, 0, 1,  120,  2 * 1024},
+}};
+
+size_t InteractionIndex(std::string_view name) {
+  for (size_t i = 0; i < kInteractions.size(); ++i) {
+    if (name == kInteractions[i].name) return i;
+  }
+  return kInteractionCount;
+}
+
+std::string InteractionTarget(size_t index, int story, int user, int page) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "/rubbos?type=%s&s=%d&u=%d&page=%d",
+                kInteractions[index % kInteractionCount].name, story, user,
+                page);
+  return buf;
+}
+
+hynet::Handler BuildRubbosHandler(DbConnectionPool& pool,
+                                  double cpu_multiplier) {
+  return [&pool, cpu_multiplier](const HttpRequest& req,
+                                 HttpResponse& resp) {
+    const size_t index = InteractionIndex(req.QueryParam("type"));
+    if (index >= kInteractionCount) {
+      resp.status = 404;
+      resp.reason = "Not Found";
+      resp.body = "unknown interaction";
+      return;
+    }
+    const Interaction& ix = kInteractions[index];
+    const int story = static_cast<int>(req.QueryParamInt("s", 0));
+    const int user = static_cast<int>(req.QueryParamInt("u", 0));
+    const int page = static_cast<int>(req.QueryParamInt("page", 0));
+
+    // Execute the query plan against the DB tier (blocking, like JDBC).
+    std::string db_payload;
+    char target[96];
+    for (int i = 0; i < ix.q_story_list; ++i) {
+      std::snprintf(target, sizeof(target), "/q/story_list?page=%d",
+                    page + i);
+      db_payload += pool.Query(target).body;
+    }
+    for (int i = 0; i < ix.q_story_detail; ++i) {
+      std::snprintf(target, sizeof(target), "/q/story_detail?id=%d", story);
+      db_payload += pool.Query(target).body;
+    }
+    for (int i = 0; i < ix.q_comments; ++i) {
+      std::snprintf(target, sizeof(target), "/q/comments?story=%d",
+                    story + i);
+      db_payload += pool.Query(target).body;
+    }
+    for (int i = 0; i < ix.q_user; ++i) {
+      std::snprintf(target, sizeof(target), "/q/user?id=%d", user);
+      db_payload += pool.Query(target).body;
+    }
+    for (int i = 0; i < ix.q_search; ++i) {
+      db_payload += pool.Query("/q/search?needle=fox").body;
+    }
+    for (int i = 0; i < ix.q_insert; ++i) {
+      std::snprintf(target, sizeof(target), "/q/insert_comment?story=%d",
+                    story);
+      db_payload += pool.Query(target).body;
+    }
+
+    // Servlet-side rendering work.
+    BurnCpuMicros(ix.app_cpu_us * cpu_multiplier);
+
+    // Rendered page: template scaffolding + dynamic content.
+    resp.body.reserve(ix.html_bytes + db_payload.size());
+    resp.body.assign(ix.html_bytes, 'h');
+    resp.body += db_payload;
+    resp.SetHeader("Content-Type", "text/html");
+  };
+}
+
+}  // namespace hynet::rubbos

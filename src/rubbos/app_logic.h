@@ -1,0 +1,52 @@
+// App tier business logic: the 24 RUBBoS web interactions.
+//
+// Each interaction is a servlet: it issues a sequence of blocking DB-tier
+// queries through the connection pool, burns servlet CPU, and renders an
+// HTML-sized response. Weights approximate the browse-heavy stationary
+// distribution of the RUBBoS Markov user model; response sizes average
+// ~20 KB, matching the paper's measured "average response size of Tomcat
+// per request is about 20KB".
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "rubbos/db_client.h"
+#include "servers/server.h"
+
+namespace hynet::rubbos {
+
+struct Interaction {
+  const char* name;
+  double weight;        // stationary probability in the user Markov chain
+  // DB query plan: how many of each query type this servlet issues.
+  int q_story_list;
+  int q_story_detail;
+  int q_comments;
+  int q_user;
+  int q_search;
+  int q_insert;
+  double app_cpu_us;    // servlet-side CPU on top of DB work
+  size_t html_bytes;    // rendered page scaffolding
+};
+
+inline constexpr size_t kInteractionCount = 24;
+extern const std::array<Interaction, kInteractionCount> kInteractions;
+
+// Index lookup by name; returns kInteractionCount if absent.
+size_t InteractionIndex(std::string_view name);
+
+// Builds the app-tier handler. Targets look like
+//   /rubbos?type=ViewStory&s=123&u=7&page=2
+// The handler owns no state beyond the pool reference; it is safe to call
+// from any architecture's handler threads.
+// `cpu_multiplier` scales each interaction's servlet CPU demand (used by
+// the macro bench to position the saturation point).
+hynet::Handler BuildRubbosHandler(DbConnectionPool& pool,
+                                  double cpu_multiplier = 1.0);
+
+// The request target a client sends for interaction `index`.
+std::string InteractionTarget(size_t index, int story, int user, int page);
+
+}  // namespace hynet::rubbos

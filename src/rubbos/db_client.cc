@@ -1,0 +1,121 @@
+#include "rubbos/db_client.h"
+
+#include <stdexcept>
+
+#include "common/bytes.h"
+#include "net/socket.h"
+#include "proto/http_codec.h"
+#include "proto/http_parser.h"
+
+namespace hynet::rubbos {
+
+struct DbConnectionPool::PooledConn {
+  ScopedFd fd;
+  ByteBuffer in;
+  HttpResponseParser parser;
+};
+
+DbConnectionPool::DbConnectionPool(const InetAddr& server, int pool_size)
+    : server_(server), max_size_(pool_size) {}
+
+DbConnectionPool::~DbConnectionPool() = default;
+
+std::unique_ptr<DbConnectionPool::PooledConn> DbConnectionPool::Connect() {
+  Socket sock = Socket::CreateTcp(/*nonblocking=*/false);
+  sock.Connect(server_);
+  sock.SetNoDelay(true);
+  auto conn = std::make_unique<PooledConn>();
+  conn->fd = sock.TakeFd();
+  return conn;
+}
+
+std::unique_ptr<DbConnectionPool::PooledConn> DbConnectionPool::Borrow() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (!idle_.empty()) {
+      auto conn = std::move(idle_.back());
+      idle_.pop_back();
+      return conn;
+    }
+    if (total_ < max_size_) {
+      total_++;
+      lock.unlock();
+      try {
+        return Connect();
+      } catch (...) {
+        lock.lock();
+        total_--;
+        throw;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+void DbConnectionPool::Return(std::unique_ptr<PooledConn> conn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_.push_back(std::move(conn));
+  }
+  cv_.notify_one();
+}
+
+HttpResponse DbConnectionPool::Query(const std::string& target) {
+  auto conn = Borrow();
+  try {
+    const std::string request = BuildGetRequest(target);
+
+    // Blocking write of the query (one reconnect attempt on a dead conn).
+    size_t off = 0;
+    while (off < request.size()) {
+      const IoResult r = WriteFd(conn->fd.get(), request.data() + off,
+                                 request.size() - off);
+      if (r.Fatal()) {
+        conn = Connect();
+        off = 0;
+        continue;
+      }
+      off += static_cast<size_t>(r.n);
+    }
+
+    // Blocking read until a full response parses.
+    char buf[16 * 1024];
+    while (true) {
+      const ParseStatus st = conn->parser.Parse(conn->in);
+      if (st == ParseStatus::kComplete) break;
+      if (st == ParseStatus::kError) {
+        throw std::runtime_error("db response parse error");
+      }
+      const IoResult r = ReadFd(conn->fd.get(), buf, sizeof(buf));
+      if (r.Eof() || r.Fatal()) {
+        throw std::runtime_error("db connection lost mid-response");
+      }
+      conn->in.Append(buf, static_cast<size_t>(r.n));
+    }
+
+    HttpResponse resp = conn->parser.response();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queries_++;
+    }
+    Return(std::move(conn));
+    return resp;
+  } catch (...) {
+    // The connection died and will not be returned: shrink the accounted
+    // pool size so Borrow() can open a replacement instead of waiting for
+    // a Return() that never comes.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      total_--;
+    }
+    cv_.notify_one();
+    throw;
+  }
+}
+
+uint64_t DbConnectionPool::QueriesIssued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queries_;
+}
+
+}  // namespace hynet::rubbos

@@ -1,0 +1,50 @@
+// Blocking connection-pool client for the DB tier (JDBC stand-in).
+//
+// Both Tomcat versions in the paper keep the database access path
+// synchronous (JDBC), so the app tier uses this blocking pool regardless of
+// its own connector architecture. Each Query() borrows a pooled persistent
+// connection, performs a blocking request/response round trip, and returns
+// the connection.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/fd.h"
+#include "net/inet_addr.h"
+#include "proto/http_message.h"
+
+namespace hynet::rubbos {
+
+class DbConnectionPool {
+ public:
+  DbConnectionPool(const InetAddr& server, int pool_size);
+  ~DbConnectionPool();
+  DbConnectionPool(const DbConnectionPool&) = delete;
+  DbConnectionPool& operator=(const DbConnectionPool&) = delete;
+
+  // Blocking query. Throws std::system_error on connection failure.
+  HttpResponse Query(const std::string& target);
+
+  uint64_t QueriesIssued() const;
+
+ private:
+  struct PooledConn;
+
+  std::unique_ptr<PooledConn> Borrow();
+  // (Borrow/Return pair is exception-guarded inside Query.)
+  void Return(std::unique_ptr<PooledConn> conn);
+  std::unique_ptr<PooledConn> Connect();
+
+  InetAddr server_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<PooledConn>> idle_;
+  int total_ = 0;
+  int max_size_ = 0;
+  uint64_t queries_ = 0;
+};
+
+}  // namespace hynet::rubbos

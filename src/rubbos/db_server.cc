@@ -1,0 +1,165 @@
+#include "rubbos/db_server.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/rng.h"
+#include "common/thread_util.h"
+
+namespace hynet::rubbos {
+namespace {
+
+std::string MakeText(Rng& rng, size_t min_len, size_t max_len) {
+  static constexpr char kWords[] =
+      "the quick brown fox jumps over a lazy dog while kernel buffers "
+      "drain slowly under ack clocked windows and reactors dispatch ";
+  const size_t len = min_len + rng.NextBounded(max_len - min_len + 1);
+  std::string out;
+  out.reserve(len);
+  while (out.size() < len) {
+    const size_t off = rng.NextBounded(sizeof(kWords) - 2);
+    out.append(kWords + off,
+               std::min(len - out.size(), sizeof(kWords) - 1 - off));
+  }
+  return out;
+}
+
+}  // namespace
+
+DbDataset DbDataset::Generate(int num_stories, int comments_per_story,
+                              int num_users, uint64_t seed) {
+  Rng rng(seed);
+  DbDataset db;
+  db.stories.reserve(static_cast<size_t>(num_stories));
+  for (int i = 0; i < num_stories; ++i) {
+    db.stories.push_back(Story{i, MakeText(rng, 40, 90),
+                               MakeText(rng, 1024, 4096)});
+  }
+  db.comments.reserve(
+      static_cast<size_t>(num_stories) *
+      static_cast<size_t>(comments_per_story));
+  for (int s = 0; s < num_stories; ++s) {
+    for (int c = 0; c < comments_per_story; ++c) {
+      db.comments.push_back(Comment{s, MakeText(rng, 128, 512)});
+    }
+  }
+  db.users.reserve(static_cast<size_t>(num_users));
+  for (int u = 0; u < num_users; ++u) {
+    db.users.push_back(User{u, MakeText(rng, 8, 16)});
+  }
+  return db;
+}
+
+DbServer::DbServer(DbDataset dataset, double cpu_us_per_query)
+    : dataset_(std::move(dataset)), cpu_us_per_query_(cpu_us_per_query) {
+  ServerConfig config;
+  // MySQL's execution model: a dedicated thread per connection.
+  config.architecture = ServerArchitecture::kThreadPerConn;
+  config.snd_buf_bytes = 0;  // DB link is intra-rack; keep kernel defaults
+  server_ = CreateBasicServer(config, MakeHandler());
+}
+
+DbServer::~DbServer() { Stop(); }
+
+void DbServer::Start() { server_->Start(); }
+void DbServer::Stop() { server_->Stop(); }
+uint16_t DbServer::Port() const { return server_->Port(); }
+ServerCounters DbServer::Snapshot() const { return server_->Snapshot(); }
+std::vector<int> DbServer::ThreadIds() const { return server_->ThreadIds(); }
+
+hynet::Handler DbServer::MakeHandler() {
+  return [this](const HttpRequest& req, HttpResponse& resp) {
+    BurnCpuMicros(cpu_us_per_query_);
+    resp.SetHeader("Content-Type", "text/plain");
+
+    if (req.path == "/q/story_list") {
+      const auto page = static_cast<size_t>(req.QueryParamInt("page", 0));
+      std::shared_lock lock(data_mu_);
+      const size_t start = (page * 20) % std::max<size_t>(dataset_.stories.size(), 1);
+      const size_t end = std::min(start + 20, dataset_.stories.size());
+      for (size_t i = start; i < end; ++i) {
+        resp.body += std::to_string(dataset_.stories[i].id);
+        resp.body += '\t';
+        resp.body += dataset_.stories[i].title;
+        resp.body += '\n';
+      }
+      return;
+    }
+
+    if (req.path == "/q/story_detail") {
+      const auto id = static_cast<size_t>(req.QueryParamInt("id", 0));
+      std::shared_lock lock(data_mu_);
+      if (id < dataset_.stories.size()) {
+        resp.body = dataset_.stories[id].body;
+      } else {
+        resp.status = 404;
+        resp.reason = "Not Found";
+      }
+      return;
+    }
+
+    if (req.path == "/q/comments") {
+      const int story = static_cast<int>(req.QueryParamInt("story", 0));
+      std::shared_lock lock(data_mu_);
+      // Comments are stored grouped by story; binary-search the block.
+      const auto cmp = [](const DbDataset::Comment& c, int s) {
+        return c.story_id < s;
+      };
+      auto it = std::lower_bound(dataset_.comments.begin(),
+                                 dataset_.comments.end(), story, cmp);
+      for (; it != dataset_.comments.end() && it->story_id == story; ++it) {
+        resp.body += it->text;
+        resp.body += '\n';
+      }
+      return;
+    }
+
+    if (req.path == "/q/user") {
+      const auto id = static_cast<size_t>(req.QueryParamInt("id", 0));
+      std::shared_lock lock(data_mu_);
+      if (id < dataset_.users.size()) {
+        resp.body = dataset_.users[id].name;
+      } else {
+        resp.status = 404;
+        resp.reason = "Not Found";
+      }
+      return;
+    }
+
+    if (req.path == "/q/search") {
+      const std::string needle(req.QueryParam("needle", "fox"));
+      std::shared_lock lock(data_mu_);
+      int hits = 0;
+      for (const auto& story : dataset_.stories) {
+        if (story.title.find(needle) != std::string::npos) {
+          resp.body += story.title;
+          resp.body += '\n';
+          if (++hits >= 20) break;
+        }
+      }
+      return;
+    }
+
+    if (req.path == "/q/insert_comment") {
+      const int story = static_cast<int>(req.QueryParamInt("story", 0));
+      std::unique_lock lock(data_mu_);
+      // Insert keeps the by-story grouping invariant.
+      const auto cmp = [](const DbDataset::Comment& c, int s) {
+        return c.story_id < s;
+      };
+      auto it = std::lower_bound(dataset_.comments.begin(),
+                                 dataset_.comments.end(), story, cmp);
+      dataset_.comments.insert(
+          it, DbDataset::Comment{story, req.body.empty() ? "(empty)"
+                                                         : req.body});
+      resp.body = "ok";
+      return;
+    }
+
+    resp.status = 404;
+    resp.reason = "Not Found";
+    resp.body = "unknown query";
+  };
+}
+
+}  // namespace hynet::rubbos

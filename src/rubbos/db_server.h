@@ -1,0 +1,71 @@
+// DB tier of the mini 3-tier system (MySQL stand-in).
+//
+// An in-memory bulletin-board dataset (stories, comments, users — the
+// RUBBoS schema boiled down) served over the thread-per-connection
+// architecture, which matches MySQL's one-thread-per-connection execution
+// model. Query endpoints:
+//   /q/story_list?page=P           — top stories page (list of titles)
+//   /q/story_detail?id=I           — one story body + its comments
+//   /q/comments?story=I            — comment subtree
+//   /q/user?id=U                   — user record
+//   /q/search?needle=S             — full scan (CPU-heavy)
+//   /q/insert_comment?story=I      — mutation (exclusive lock)
+#pragma once
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "servers/server.h"
+
+namespace hynet::rubbos {
+
+struct DbDataset {
+  struct Story {
+    int id;
+    std::string title;
+    std::string body;
+  };
+  struct Comment {
+    int story_id;
+    std::string text;
+  };
+  struct User {
+    int id;
+    std::string name;
+  };
+
+  std::vector<Story> stories;
+  std::vector<Comment> comments;
+  std::vector<User> users;
+
+  // Deterministically generates a dataset sized like the RUBBoS seed data
+  // (scaled down to laptop memory).
+  static DbDataset Generate(int num_stories, int comments_per_story,
+                            int num_users, uint64_t seed);
+};
+
+class DbServer {
+ public:
+  // `cpu_us_per_query` models storage-engine CPU work per query on top of
+  // the actual scan/format cost.
+  DbServer(DbDataset dataset, double cpu_us_per_query = 30.0);
+  ~DbServer();
+
+  void Start();
+  void Stop();
+  uint16_t Port() const;
+  ServerCounters Snapshot() const;
+  std::vector<int> ThreadIds() const;
+
+ private:
+  hynet::Handler MakeHandler();
+
+  DbDataset dataset_;
+  double cpu_us_per_query_;
+  mutable std::shared_mutex data_mu_;  // readers-writer: queries vs inserts
+  std::unique_ptr<Server> server_;
+};
+
+}  // namespace hynet::rubbos

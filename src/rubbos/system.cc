@@ -1,0 +1,70 @@
+#include "rubbos/system.h"
+
+#include "common/thread_util.h"
+#include <optional>
+#include "rubbos/app_logic.h"
+
+namespace hynet::rubbos {
+
+ThreeTierSystem::ThreeTierSystem(ThreeTierConfig config)
+    : config_(config) {}
+
+ThreeTierSystem::~ThreeTierSystem() { Stop(); }
+
+void ThreeTierSystem::Start() {
+  db_ = std::make_unique<DbServer>(
+      DbDataset::Generate(config_.db_stories, config_.db_comments_per_story,
+                          config_.db_users, /*seed=*/7),
+      config_.db_cpu_us_per_query);
+  db_->Start();
+
+  db_pool_ = std::make_unique<DbConnectionPool>(
+      InetAddr::Loopback(db_->Port()), config_.db_connection_pool);
+
+  ServerConfig app_config;
+  app_config.architecture = config_.app_architecture;
+  app_config.worker_threads = config_.app_worker_threads;
+  app_config.snd_buf_bytes = 0;  // inter-tier links keep kernel defaults
+  app_ = CreateBasicServer(app_config,
+                           BuildRubbosHandler(*db_pool_,
+                                              config_.app_cpu_multiplier));
+  app_->Start();
+
+  web_ = std::make_unique<WebTier>(InetAddr::Loopback(app_->Port()),
+                                   config_.web_upstream_pool);
+  web_->Start();
+}
+
+void ThreeTierSystem::Stop() {
+  // Front to back, so upstream pools fail fast instead of hanging.
+  if (web_) web_->Stop();
+  if (app_) app_->Stop();
+  if (db_) db_->Stop();
+}
+
+ThreeTierPointResult RunThreeTierPoint(const ThreeTierConfig& system_config,
+                                       const RubbosWorkloadConfig& load) {
+  CalibrateCpuBurn();
+  ThreeTierSystem system(system_config);
+  system.Start();
+
+  RubbosWorkloadConfig load_config = load;
+  load_config.front = InetAddr::Loopback(system.FrontPort());
+
+  // Scope app-tier /proc sampling to the measurement window: by then the
+  // thread-per-connection app tier has spawned its connection threads
+  // (the web tier's upstream pool connects lazily during warmup).
+  ThreeTierPointResult result;
+  std::optional<ServerActivitySampler> sampler;
+  load_config.on_measure_start = [&] {
+    sampler.emplace(system.AppThreadIds());
+    sampler->Start();
+  };
+  load_config.on_measure_end = [&] { result.app_activity = sampler->Stop(); };
+  result.workload = RunRubbosWorkload(load_config);
+
+  system.Stop();
+  return result;
+}
+
+}  // namespace hynet::rubbos

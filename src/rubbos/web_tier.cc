@@ -1,0 +1,35 @@
+#include "rubbos/web_tier.h"
+
+namespace hynet::rubbos {
+
+WebTier::WebTier(const InetAddr& app_addr, int upstream_pool_size)
+    : pool_(app_addr, upstream_pool_size) {
+  ServerConfig config;
+  // Apache httpd with the worker/prefork MPM: thread-based.
+  config.architecture = ServerArchitecture::kThreadPerConn;
+  config.snd_buf_bytes = 0;  // front link keeps kernel defaults
+  server_ = CreateBasicServer(config, [this](const HttpRequest& req,
+                                             HttpResponse& resp) {
+    try {
+      HttpResponse upstream = pool_.Query(req.target);
+      resp.status = upstream.status;
+      resp.reason = upstream.reason;
+      resp.body = std::move(upstream.body);
+      resp.SetHeader("Via", "hynet-webtier");
+    } catch (const std::exception&) {
+      resp.status = 502;
+      resp.reason = "Bad Gateway";
+      resp.body = "app tier unreachable";
+    }
+  });
+}
+
+WebTier::~WebTier() { Stop(); }
+
+void WebTier::Start() { server_->Start(); }
+void WebTier::Stop() { server_->Stop(); }
+uint16_t WebTier::Port() const { return server_->Port(); }
+ServerCounters WebTier::Snapshot() const { return server_->Snapshot(); }
+std::vector<int> WebTier::ThreadIds() const { return server_->ThreadIds(); }
+
+}  // namespace hynet::rubbos

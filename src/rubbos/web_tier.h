@@ -1,0 +1,33 @@
+// Web tier (Apache httpd stand-in): a thread-based reverse proxy in front
+// of the app tier, forwarding every request over a pooled persistent
+// upstream connection (mod_jk style).
+#pragma once
+
+#include <memory>
+
+#include "rubbos/db_client.h"
+#include "servers/server.h"
+
+namespace hynet::rubbos {
+
+// The pool is protocol-generic HTTP; the web tier reuses it for app-tier
+// upstream connections exactly as the app tier uses it for the DB.
+using UpstreamPool = DbConnectionPool;
+
+class WebTier {
+ public:
+  WebTier(const InetAddr& app_addr, int upstream_pool_size);
+  ~WebTier();
+
+  void Start();
+  void Stop();
+  uint16_t Port() const;
+  ServerCounters Snapshot() const;
+  std::vector<int> ThreadIds() const;
+
+ private:
+  UpstreamPool pool_;
+  std::unique_ptr<Server> server_;
+};
+
+}  // namespace hynet::rubbos

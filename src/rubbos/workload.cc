@@ -1,0 +1,219 @@
+#include "rubbos/workload.h"
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "net/event_loop.h"
+#include "net/socket.h"
+#include "proto/http_codec.h"
+#include "proto/http_parser.h"
+#include "rubbos/app_logic.h"
+
+namespace hynet::rubbos {
+namespace {
+
+struct EmulatedUser {
+  int id = 0;
+  ScopedFd fd;
+  ByteBuffer in;
+  HttpResponseParser parser;
+  std::string out;
+  size_t out_off = 0;
+  TimePoint send_time{};
+  size_t current_interaction = 0;  // Markov state
+  bool thinking = true;
+  bool dead = false;
+};
+
+class UserDriver {
+ public:
+  explicit UserDriver(const RubbosWorkloadConfig& config)
+      : config_(config), rng_(config.seed) {
+    double total = 0;
+    for (const auto& ix : kInteractions) total += ix.weight;
+    for (const auto& ix : kInteractions) {
+      cumulative_.push_back((cumulative_.empty() ? 0.0 : cumulative_.back()) +
+                            ix.weight / total);
+    }
+  }
+
+  RubbosWorkloadResult Run() {
+    for (int i = 0; i < config_.users; ++i) SpawnUser(i);
+
+    loop_.RunAfter(std::chrono::duration_cast<Duration>(
+                       std::chrono::duration<double>(config_.warmup_sec)),
+                   [this] {
+                     measuring_ = true;
+                     measure_start_ = Now();
+                     if (config_.on_measure_start) config_.on_measure_start();
+                     loop_.RunAfter(
+                         std::chrono::duration_cast<Duration>(
+                             std::chrono::duration<double>(
+                                 config_.measure_sec)),
+                         [this] {
+                           measuring_ = false;
+                           measure_end_ = Now();
+                           if (config_.on_measure_end) {
+                             config_.on_measure_end();
+                           }
+                           loop_.Stop();
+                         });
+                   });
+    loop_.Run();
+    result_.elapsed_sec = ToSeconds(measure_end_ - measure_start_);
+    return std::move(result_);
+  }
+
+ private:
+  void SpawnUser(int id) {
+    auto user = std::make_shared<EmulatedUser>();
+    user->id = id;
+    Socket sock = Socket::CreateTcp(/*nonblocking=*/false);
+    sock.Connect(config_.front);
+    sock.SetNonBlocking(true);
+    sock.SetNoDelay(true);
+    user->fd = sock.TakeFd();
+    users_[user->fd.get()] = user;
+    loop_.RegisterFd(user->fd.get(), EPOLLIN,
+                     [this, user](uint32_t events) { OnEvent(user, events); });
+    // Desynchronized start: a uniformly random initial think avoids a
+    // thundering herd at t=0.
+    ScheduleNextRequest(user,
+                        rng_.NextDouble() * config_.think_time_sec);
+  }
+
+  void ScheduleNextRequest(const std::shared_ptr<EmulatedUser>& user,
+                           double delay_sec) {
+    user->thinking = true;
+    loop_.RunAfter(std::chrono::duration_cast<Duration>(
+                       std::chrono::duration<double>(delay_sec)),
+                   [this, user] { SendRequest(user); });
+  }
+
+  void SendRequest(const std::shared_ptr<EmulatedUser>& user) {
+    if (user->dead) return;
+    user->thinking = false;
+    // Markov step: the stationary mix approximates RUBBoS's transition
+    // matrix; state only influences the story/page ids requested.
+    user->current_interaction = PickInteraction();
+    const int story = static_cast<int>(rng_.NextBounded(200));
+    const int page = static_cast<int>(rng_.NextBounded(10));
+    user->out = BuildGetRequest(
+        InteractionTarget(user->current_interaction, story, user->id, page));
+    user->out_off = 0;
+    user->send_time = Now();
+    WritePending(user);
+  }
+
+  size_t PickInteraction() {
+    const double u = rng_.NextDouble();
+    for (size_t i = 0; i < cumulative_.size(); ++i) {
+      if (u < cumulative_[i]) return i;
+    }
+    return cumulative_.size() - 1;
+  }
+
+  void WritePending(const std::shared_ptr<EmulatedUser>& user) {
+    while (user->out_off < user->out.size()) {
+      const IoResult r =
+          WriteFd(user->fd.get(), user->out.data() + user->out_off,
+                  user->out.size() - user->out_off);
+      if (r.WouldBlock()) {
+        loop_.ModifyFd(user->fd.get(), EPOLLIN | EPOLLOUT);
+        return;
+      }
+      if (r.Fatal()) {
+        HandleError(user);
+        return;
+      }
+      user->out_off += static_cast<size_t>(r.n);
+    }
+  }
+
+  void OnEvent(const std::shared_ptr<EmulatedUser>& user, uint32_t events) {
+    if (user->dead) return;
+    if (events & (EPOLLHUP | EPOLLERR)) {
+      HandleError(user);
+      return;
+    }
+    if (events & EPOLLOUT) {
+      WritePending(user);
+      if (user->dead) return;
+      if (user->out_off >= user->out.size()) {
+        loop_.ModifyFd(user->fd.get(), EPOLLIN);
+      }
+    }
+    if (!(events & EPOLLIN)) return;
+
+    char buf[16 * 1024];
+    while (true) {
+      const IoResult r = ReadFd(user->fd.get(), buf, sizeof(buf));
+      if (r.WouldBlock()) break;
+      if (r.Eof() || r.Fatal()) {
+        HandleError(user);
+        return;
+      }
+      user->in.Append(buf, static_cast<size_t>(r.n));
+      if (static_cast<size_t>(r.n) < sizeof(buf)) break;
+    }
+
+    const ParseStatus st = user->parser.Parse(user->in);
+    if (st == ParseStatus::kNeedMore) return;
+    if (st == ParseStatus::kError) {
+      HandleError(user);
+      return;
+    }
+    if (measuring_) {
+      result_.completed++;
+      result_.response_time.Record(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              Now() - user->send_time)
+              .count());
+    }
+    ScheduleNextRequest(user,
+                        rng_.NextExponential(config_.think_time_sec));
+  }
+
+  void HandleError(const std::shared_ptr<EmulatedUser>& user) {
+    if (user->dead) return;
+    user->dead = true;
+    result_.errors++;
+    loop_.UnregisterFd(user->fd.get());
+    users_.erase(user->fd.get());
+    const int id = user->id;
+    if (result_.errors < 200) {
+      try {
+        SpawnUser(id);  // keep the emulated population constant
+      } catch (const std::exception& e) {
+        HYNET_LOG(ERROR) << "user respawn failed: " << e.what();
+        loop_.Stop();
+      }
+    } else {
+      HYNET_LOG(ERROR) << "too many user errors; stopping workload";
+      loop_.Stop();
+    }
+  }
+
+  const RubbosWorkloadConfig& config_;
+  Rng rng_;
+  EventLoop loop_;
+  std::vector<double> cumulative_;
+  std::unordered_map<int, std::shared_ptr<EmulatedUser>> users_;
+  RubbosWorkloadResult result_;
+  bool measuring_ = false;
+  TimePoint measure_start_{};
+  TimePoint measure_end_{};
+};
+
+}  // namespace
+
+RubbosWorkloadResult RunRubbosWorkload(const RubbosWorkloadConfig& config) {
+  UserDriver driver(config);
+  return driver.Run();
+}
+
+}  // namespace hynet::rubbos

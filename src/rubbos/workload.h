@@ -1,0 +1,45 @@
+// RUBBoS user emulation: N users, each navigating the site as a Markov
+// process with think time between page loads (the paper's appendix: ~7 s
+// think time, Markov-chain page navigation). Users are event-driven state
+// machines on one loop, so thousands of emulated users add no client
+// thread noise on the shared host.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/histogram.h"
+#include "net/inet_addr.h"
+
+namespace hynet::rubbos {
+
+struct RubbosWorkloadConfig {
+  InetAddr front;              // web tier address
+  int users = 100;
+  // Mean think time between a page and the next request. The canonical
+  // RUBBoS value is 7 s; benches scale it down (same offered load with
+  // 10x fewer users at 0.7 s).
+  double think_time_sec = 0.7;
+  double warmup_sec = 1.0;
+  double measure_sec = 5.0;
+  uint64_t seed = 42;
+  // Phase-boundary hooks (used by the harness to scope /proc sampling to
+  // the measurement window, after all tiers have spawned their threads).
+  std::function<void()> on_measure_start;
+  std::function<void()> on_measure_end;
+};
+
+struct RubbosWorkloadResult {
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+  double elapsed_sec = 0;
+  Histogram response_time;
+
+  double Throughput() const {
+    return elapsed_sec > 0 ? static_cast<double>(completed) / elapsed_sec : 0;
+  }
+};
+
+RubbosWorkloadResult RunRubbosWorkload(const RubbosWorkloadConfig& config);
+
+}  // namespace hynet::rubbos

@@ -1,0 +1,63 @@
+// Logical context-switch accounting (Table II of the paper).
+//
+// The paper counts the user-space thread handoffs needed to process one
+// request: reactor→worker on the read event, worker→reactor when the
+// response is ready, reactor→worker on the write event, worker→reactor when
+// the write completes (4 for sTomcat-Async, 2 for the -Fix variant, 0 for
+// thread-per-connection and single-threaded designs). Servers increment
+// these counters at the exact points where a different thread must be
+// scheduled to make progress.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace hynet {
+
+struct DispatchStats {
+  // Reactor handed an event to a worker-pool thread.
+  std::atomic<uint64_t> dispatches_to_worker{0};
+  // A worker finished its slice and control conceptually returned to the
+  // reactor (the worker blocks on the queue again).
+  std::atomic<uint64_t> returns_to_reactor{0};
+  // A worker produced an event the reactor must observe (e.g. the write
+  // event generated after preparing a response).
+  std::atomic<uint64_t> reactor_notifications{0};
+
+  uint64_t LogicalSwitches() const {
+    return dispatches_to_worker.load(std::memory_order_relaxed) +
+           returns_to_reactor.load(std::memory_order_relaxed) +
+           reactor_notifications.load(std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    dispatches_to_worker.store(0, std::memory_order_relaxed);
+    returns_to_reactor.store(0, std::memory_order_relaxed);
+    reactor_notifications.store(0, std::memory_order_relaxed);
+  }
+};
+
+// Per-connection/server write-path counters (Table IV of the paper).
+struct WriteStats {
+  std::atomic<uint64_t> write_calls{0};      // socket write() invocations
+  std::atomic<uint64_t> zero_writes{0};      // write() that copied 0 bytes
+  std::atomic<uint64_t> spin_capped{0};      // flushes stopped by the cap
+  std::atomic<uint64_t> responses{0};        // responses fully sent
+
+  double WritesPerResponse() const {
+    const uint64_t r = responses.load(std::memory_order_relaxed);
+    return r ? static_cast<double>(
+                   write_calls.load(std::memory_order_relaxed)) /
+                   static_cast<double>(r)
+             : 0.0;
+  }
+
+  void Reset() {
+    write_calls.store(0, std::memory_order_relaxed);
+    zero_writes.store(0, std::memory_order_relaxed);
+    spin_capped.store(0, std::memory_order_relaxed);
+    responses.store(0, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace hynet

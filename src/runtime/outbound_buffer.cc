@@ -1,0 +1,41 @@
+#include "runtime/outbound_buffer.h"
+
+#include "net/socket.h"
+
+namespace hynet {
+
+void OutboundBuffer::Add(std::string message) {
+  pending_bytes_ += message.size();
+  pending_.push_back(Node{std::move(message), 0});
+}
+
+FlushResult OutboundBuffer::Flush(int fd, WriteStats& stats) {
+  int spins = 0;
+  while (!pending_.empty()) {
+    if (spin_cap_ > 0 && spins >= spin_cap_) {
+      stats.spin_capped.fetch_add(1, std::memory_order_relaxed);
+      return FlushResult::kSpinCapped;
+    }
+    Node& node = pending_.front();
+    const size_t remaining = node.data.size() - node.offset;
+    const IoResult r = WriteFd(fd, node.data.data() + node.offset, remaining);
+    stats.write_calls.fetch_add(1, std::memory_order_relaxed);
+    spins++;
+
+    if (r.WouldBlock() || r.n == 0) {
+      stats.zero_writes.fetch_add(1, std::memory_order_relaxed);
+      return FlushResult::kWouldBlock;
+    }
+    if (r.Fatal()) return FlushResult::kError;
+
+    node.offset += static_cast<size_t>(r.n);
+    pending_bytes_ -= static_cast<size_t>(r.n);
+    if (node.offset == node.data.size()) {
+      pending_.pop_front();
+      stats.responses.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return FlushResult::kDone;
+}
+
+}  // namespace hynet

@@ -1,0 +1,62 @@
+// Netty-style channel outbound buffer with a writeSpin cap.
+//
+// Mirrors the two mechanisms of Netty's write path that the paper studies
+// (Section V-A / Figure 8):
+//   * messages are queued with bookkeeping (a node per message, pending
+//     byte accounting, flush bookkeeping) — this is the "optimization
+//     overhead" visible on small responses;
+//   * Flush() calls write() at most `spin_cap` times per invocation and
+//     also stops on a zero-byte write, so one large response cannot
+//     monopolize the event loop — this is the write-spin mitigation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "runtime/dispatch_stats.h"
+
+namespace hynet {
+
+enum class FlushResult {
+  kDone,        // everything pending was written
+  kWouldBlock,  // kernel buffer full (zero/EAGAIN write); wait for EPOLLOUT
+  kSpinCapped,  // spin cap reached; caller should yield and re-flush later
+  kError,       // fatal socket error; close the connection
+};
+
+class OutboundBuffer {
+ public:
+  // Netty-v4 default.
+  static constexpr int kDefaultSpinCap = 16;
+
+  explicit OutboundBuffer(int spin_cap = kDefaultSpinCap)
+      : spin_cap_(spin_cap) {}
+
+  // Queues a message for writing (Netty: ChannelOutboundBuffer.addMessage).
+  void Add(std::string message);
+
+  // Attempts to write pending data to `fd`. Updates `stats` with every
+  // write() issued. `completed_responses` is incremented for every queued
+  // message fully drained (message boundaries = response boundaries).
+  FlushResult Flush(int fd, WriteStats& stats);
+
+  bool Empty() const { return pending_.empty(); }
+  size_t PendingBytes() const { return pending_bytes_; }
+  size_t PendingMessages() const { return pending_.size(); }
+
+  int spin_cap() const { return spin_cap_; }
+  void set_spin_cap(int cap) { spin_cap_ = cap; }
+
+ private:
+  struct Node {
+    std::string data;
+    size_t offset = 0;  // bytes already written
+  };
+
+  int spin_cap_;
+  std::deque<Node> pending_;
+  size_t pending_bytes_ = 0;
+};
+
+}  // namespace hynet

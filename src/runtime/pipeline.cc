@@ -1,0 +1,84 @@
+#include "runtime/pipeline.h"
+
+#include "common/logging.h"
+
+namespace hynet {
+
+void ChannelContext::FireData(ByteBuffer& in) {
+  pipeline_.DataFrom(index_ + 1, in);
+}
+
+void ChannelContext::FireMessage(std::any msg) {
+  pipeline_.MessageFrom(index_ + 1, std::move(msg));
+}
+
+void ChannelContext::Write(std::any msg) {
+  pipeline_.WriteFrom(index_, std::move(msg));
+}
+
+void ChannelContext::Close() { pipeline_.RequestClose(); }
+
+void ChannelPipeline::AddLast(std::shared_ptr<ChannelHandler> handler) {
+  handlers_.push_back(std::move(handler));
+}
+
+void ChannelPipeline::FireActive() {
+  for (size_t i = 0; i < handlers_.size(); ++i) {
+    ChannelContext ctx(*this, i);
+    handlers_[i]->OnActive(ctx);
+  }
+}
+
+void ChannelPipeline::FireInactive() {
+  for (size_t i = 0; i < handlers_.size(); ++i) {
+    ChannelContext ctx(*this, i);
+    handlers_[i]->OnInactive(ctx);
+  }
+}
+
+void ChannelPipeline::FireData(ByteBuffer& in) { DataFrom(0, in); }
+
+void ChannelPipeline::Write(std::any msg) {
+  WriteFrom(handlers_.size(), std::move(msg));
+}
+
+void ChannelPipeline::DataFrom(size_t index, ByteBuffer& in) {
+  if (index >= handlers_.size()) {
+    // Tail: undecoded bytes are discarded (as in Netty's TailContext).
+    in.ConsumeAll();
+    return;
+  }
+  ChannelContext ctx(*this, index);
+  handlers_[index]->OnData(ctx, in);
+}
+
+void ChannelPipeline::MessageFrom(size_t index, std::any msg) {
+  if (index >= handlers_.size()) return;  // tail discards
+  ChannelContext ctx(*this, index);
+  handlers_[index]->OnMessage(ctx, std::move(msg));
+}
+
+void ChannelPipeline::WriteFrom(size_t index, std::any msg) {
+  // Outbound traverses handlers before `index`, tail→head, then the sink.
+  while (index > 0) {
+    index--;
+    ChannelContext ctx(*this, index);
+    // A handler's OnWrite either transforms and re-issues the write (via
+    // ctx.Write, recursing with its own index) or forwards as-is; the
+    // default implementation forwards, so we only call the first handler
+    // and let recursion do the rest.
+    handlers_[index]->OnWrite(ctx, std::move(msg));
+    return;
+  }
+  if (!sink_) {
+    HYNET_LOG(ERROR) << "pipeline write reached head without a sink";
+    return;
+  }
+  if (auto* bytes = std::any_cast<std::string>(&msg)) {
+    sink_(std::move(*bytes));
+  } else {
+    HYNET_LOG(ERROR) << "pipeline head received a non-encoded message";
+  }
+}
+
+}  // namespace hynet

@@ -1,0 +1,103 @@
+// Netty-style channel pipeline.
+//
+// A chain of handlers is attached to each connection; inbound events (raw
+// bytes, decoded messages) traverse head→tail, outbound writes traverse
+// tail→head, ending in the transport sink (the outbound buffer). This
+// mirrors Netty's design — including the per-message boxing (std::any) and
+// per-hop virtual dispatch, which is exactly the bookkeeping overhead the
+// paper observes on small responses (Figure 9b).
+#pragma once
+
+#include <any>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace hynet {
+
+class ChannelPipeline;
+
+// Handler view of its position in the pipeline: lets a handler forward
+// inbound events to the next handler or push outbound messages toward the
+// transport.
+class ChannelContext {
+ public:
+  ChannelContext(ChannelPipeline& pipeline, size_t index)
+      : pipeline_(pipeline), index_(index) {}
+
+  // Forwards raw bytes to the next inbound handler.
+  void FireData(ByteBuffer& in);
+  // Forwards a decoded message to the next inbound handler.
+  void FireMessage(std::any msg);
+  // Sends `msg` outbound, through the handlers before this one.
+  void Write(std::any msg);
+  // Requests the connection be closed once pending writes drain.
+  void Close();
+
+  ChannelPipeline& pipeline() { return pipeline_; }
+
+ private:
+  ChannelPipeline& pipeline_;
+  size_t index_;
+};
+
+class ChannelHandler {
+ public:
+  virtual ~ChannelHandler() = default;
+
+  virtual void OnActive(ChannelContext& ctx) { (void)ctx; }
+  virtual void OnInactive(ChannelContext& ctx) { (void)ctx; }
+  // Raw bytes from the transport (usually only the head decoder cares).
+  virtual void OnData(ChannelContext& ctx, ByteBuffer& in) {
+    ctx.FireData(in);
+  }
+  // Decoded inbound message.
+  virtual void OnMessage(ChannelContext& ctx, std::any msg) {
+    ctx.FireMessage(std::move(msg));
+  }
+  // Outbound message on its way to the transport.
+  virtual void OnWrite(ChannelContext& ctx, std::any msg) {
+    ctx.Write(std::move(msg));
+  }
+};
+
+class ChannelPipeline {
+ public:
+  // Receives fully-encoded wire bytes at the head of the outbound path.
+  using OutboundSink = std::function<void(std::string bytes)>;
+  using CloseRequest = std::function<void()>;
+
+  void AddLast(std::shared_ptr<ChannelHandler> handler);
+  void SetOutboundSink(OutboundSink sink) { sink_ = std::move(sink); }
+  void SetCloseRequest(CloseRequest close) { close_ = std::move(close); }
+
+  // Entry points from the transport.
+  void FireActive();
+  void FireInactive();
+  void FireData(ByteBuffer& in);
+
+  // Entry point for writes originating outside any handler (e.g. the
+  // server completing an asynchronous computation).
+  void Write(std::any msg);
+
+  size_t HandlerCount() const { return handlers_.size(); }
+
+ private:
+  friend class ChannelContext;
+
+  void DataFrom(size_t index, ByteBuffer& in);
+  void MessageFrom(size_t index, std::any msg);
+  void WriteFrom(size_t index, std::any msg);  // index counts down to 0
+  void RequestClose() {
+    if (close_) close_();
+  }
+
+  std::vector<std::shared_ptr<ChannelHandler>> handlers_;
+  OutboundSink sink_;
+  CloseRequest close_;
+};
+
+}  // namespace hynet

@@ -1,0 +1,53 @@
+#include "runtime/worker_pool.h"
+
+#include "common/logging.h"
+
+namespace hynet {
+
+WorkerPool::WorkerPool(int num_threads, std::string name)
+    : num_threads_(num_threads), name_(std::move(name)) {
+  tids_.reserve(static_cast<size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i) {
+    threads_.Spawn([this, i] { WorkerMain(i); });
+  }
+  // Wait until every worker has published its tid so ThreadIds() is
+  // complete as soon as the constructor returns.
+  std::unique_lock<std::mutex> lock(tid_mu_);
+  tid_cv_.wait(lock, [&] {
+    return tids_.size() == static_cast<size_t>(num_threads_);
+  });
+}
+
+WorkerPool::~WorkerPool() { Shutdown(); }
+
+void WorkerPool::Submit(Task task) { queue_.Push(std::move(task)); }
+
+void WorkerPool::Shutdown() {
+  queue_.Close();
+  threads_.JoinAll();
+}
+
+std::vector<int> WorkerPool::ThreadIds() const {
+  std::lock_guard<std::mutex> lock(tid_mu_);
+  return tids_;
+}
+
+void WorkerPool::WorkerMain(int index) {
+  SetCurrentThreadName(name_ + "-" + std::to_string(index));
+  {
+    std::lock_guard<std::mutex> lock(tid_mu_);
+    tids_.push_back(CurrentTid());
+  }
+  tid_cv_.notify_one();
+
+  while (auto task = queue_.Pop()) {
+    try {
+      (*task)();
+    } catch (const std::exception& e) {
+      HYNET_LOG(ERROR) << "worker " << name_ << "-" << index
+                       << " task threw: " << e.what();
+    }
+  }
+}
+
+}  // namespace hynet

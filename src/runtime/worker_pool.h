@@ -1,0 +1,49 @@
+// Fixed-size worker thread pool fed by a blocking queue.
+//
+// Used as the "event handling phase" thread pool of the reactor+pool
+// architectures (sTomcat-Async / -Fix). The blocking handoff is the source
+// of the context switches the paper measures, so the pool deliberately uses
+// a condvar-based queue rather than spinning consumers.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/queue.h"
+#include "common/thread_util.h"
+
+namespace hynet {
+
+class WorkerPool {
+ public:
+  using Task = std::function<void()>;
+
+  WorkerPool(int num_threads, std::string name);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void Submit(Task task);
+
+  // Stops accepting work and joins all workers (drains remaining tasks).
+  void Shutdown();
+
+  // Linux tids of the worker threads (valid after construction returns).
+  std::vector<int> ThreadIds() const;
+
+  int Size() const { return num_threads_; }
+
+ private:
+  void WorkerMain(int index);
+
+  int num_threads_;
+  std::string name_;
+  BlockingQueue<Task> queue_;
+  ThreadGroup threads_;
+  std::vector<int> tids_;
+  mutable std::mutex tid_mu_;
+  std::condition_variable tid_cv_;
+};
+
+}  // namespace hynet

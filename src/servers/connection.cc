@@ -1,0 +1,42 @@
+#include "servers/connection.h"
+
+#include <sched.h>
+
+#include "net/socket.h"
+
+namespace hynet {
+
+SpinWriteResult SpinWriteAll(int fd, std::string_view data,
+                             WriteStats& stats, bool yield_on_full) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const IoResult r = WriteFd(fd, data.data() + off, data.size() - off);
+    stats.write_calls.fetch_add(1, std::memory_order_relaxed);
+    if (r.WouldBlock() || r.n == 0) {
+      // TCP send buffer full: the write-spin. The caller's thread stays
+      // glued to this response until ACKs free buffer space.
+      stats.zero_writes.fetch_add(1, std::memory_order_relaxed);
+      if (yield_on_full) ::sched_yield();
+      continue;
+    }
+    if (r.Fatal()) return SpinWriteResult::kPeerClosed;
+    off += static_cast<size_t>(r.n);
+  }
+  stats.responses.fetch_add(1, std::memory_order_relaxed);
+  return SpinWriteResult::kOk;
+}
+
+SpinWriteResult BlockingWriteAll(int fd, std::string_view data,
+                                 WriteStats& stats) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const IoResult r = WriteFd(fd, data.data() + off, data.size() - off);
+    stats.write_calls.fetch_add(1, std::memory_order_relaxed);
+    if (r.Fatal()) return SpinWriteResult::kPeerClosed;
+    off += static_cast<size_t>(r.n);
+  }
+  stats.responses.fetch_add(1, std::memory_order_relaxed);
+  return SpinWriteResult::kOk;
+}
+
+}  // namespace hynet

@@ -1,0 +1,55 @@
+// Per-connection state and the shared non-blocking write paths.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/fd.h"
+#include "proto/http_parser.h"
+#include "runtime/dispatch_stats.h"
+#include "runtime/outbound_buffer.h"
+
+namespace hynet {
+
+// Connection state used by the event-driven architectures. The blocking
+// thread-per-connection server keeps its state on the worker thread's stack
+// instead.
+struct Connection {
+  explicit Connection(ScopedFd fd_in, int spin_cap)
+      : fd(std::move(fd_in)), out(spin_cap) {}
+
+  ScopedFd fd;
+  ByteBuffer in;
+  HttpRequestParser parser;
+
+  // Netty-style buffered write path (multi-loop / hybrid heavy path).
+  OutboundBuffer out;
+  bool want_writable = false;  // EPOLLOUT currently armed
+  bool flush_rescheduled = false;  // spin-capped flush task queued
+
+  // Prepared response waiting for the split write dispatch
+  // (sTomcat-Async only: worker A parks it here for worker B).
+  std::string pending_response;
+
+  bool close_after_write = false;
+  bool closed = false;
+  uint64_t requests = 0;
+};
+
+enum class SpinWriteResult { kOk, kPeerClosed };
+
+// The naive non-blocking write loop studied in Section IV: keeps calling
+// write() until the whole buffer is in the kernel. Counts every write()
+// and every zero-byte result in `stats`. If `yield_on_full` is set the
+// thread sched_yield()s after a zero-byte write (otherwise it spins hot).
+SpinWriteResult SpinWriteAll(int fd, std::string_view data,
+                             WriteStats& stats, bool yield_on_full);
+
+// Blocking write used by the thread-per-connection server: the fd is in
+// blocking mode, so the kernel parks the thread until the TCP window opens
+// (one write() per response for any size the kernel can eventually absorb).
+SpinWriteResult BlockingWriteAll(int fd, std::string_view data,
+                                 WriteStats& stats);
+
+}  // namespace hynet

@@ -1,0 +1,39 @@
+#include "servers/multi_loop.h"
+#include "servers/ncopy.h"
+#include "servers/reactor_pool.h"
+#include "servers/server.h"
+#include "servers/single_thread.h"
+#include "servers/staged.h"
+#include "servers/thread_per_conn.h"
+
+#include <stdexcept>
+
+namespace hynet {
+
+std::unique_ptr<Server> CreateBasicServer(const ServerConfig& config,
+                                          Handler handler) {
+  switch (config.architecture) {
+    case ServerArchitecture::kThreadPerConn:
+      return std::make_unique<ThreadPerConnServer>(config, std::move(handler));
+    case ServerArchitecture::kReactorPool:
+      return std::make_unique<ReactorPoolServer>(config, std::move(handler),
+                                                 WriteDispatchMode::kSplit);
+    case ServerArchitecture::kReactorPoolFix:
+      return std::make_unique<ReactorPoolServer>(config, std::move(handler),
+                                                 WriteDispatchMode::kMerged);
+    case ServerArchitecture::kSingleThread:
+      return std::make_unique<SingleThreadServer>(config, std::move(handler));
+    case ServerArchitecture::kMultiLoop:
+      return std::make_unique<MultiLoopServer>(config, std::move(handler));
+    case ServerArchitecture::kStaged:
+      return std::make_unique<StagedServer>(config, std::move(handler));
+    case ServerArchitecture::kSingleThreadNCopy:
+      return std::make_unique<NCopyServer>(config, std::move(handler));
+    case ServerArchitecture::kHybrid:
+      throw std::invalid_argument(
+          "kHybrid is created via CreateServer() in core/hybrid_server.h");
+  }
+  throw std::invalid_argument("unknown server architecture");
+}
+
+}  // namespace hynet

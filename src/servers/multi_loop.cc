@@ -1,0 +1,327 @@
+#include "servers/multi_loop.h"
+
+#include "common/logging.h"
+#include "common/thread_util.h"
+#include "proto/http_codec.h"
+
+namespace hynet {
+
+LoopGroupServer::LoopGroupServer(ServerConfig config, Handler handler)
+    : Server(std::move(config), std::move(handler)) {}
+
+LoopGroupServer::~LoopGroupServer() {
+  // Subclasses call Stop() in their destructors too; idempotent.
+  Stop();
+}
+
+void LoopGroupServer::Start() {
+  const int n = std::max(1, config_.event_loops);
+  loops_.reserve(static_cast<size_t>(n));
+  conns_.resize(static_cast<size_t>(n));
+  loop_tids_ = std::vector<std::atomic<int>>(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>());
+  }
+
+  boss_loop_ = std::make_unique<EventLoop>();
+  acceptor_ = std::make_unique<Acceptor>(
+      *boss_loop_, InetAddr::Loopback(config_.port),
+      [this](Socket s, const InetAddr& peer) {
+        OnNewConnection(std::move(s), peer);
+      });
+  port_ = acceptor_->Port();
+  acceptor_->Listen();
+
+  started_.store(true, std::memory_order_release);
+  for (int i = 0; i < n; ++i) {
+    loop_threads_.emplace_back([this, i] {
+      SetCurrentThreadName("loop-" + std::to_string(i));
+      loop_tids_[static_cast<size_t>(i)].store(CurrentTid(),
+                                               std::memory_order_release);
+      loops_[static_cast<size_t>(i)]->Run();
+      conns_[static_cast<size_t>(i)].clear();
+    });
+  }
+  boss_thread_ = std::thread([this] {
+    SetCurrentThreadName("boss");
+    boss_tid_.store(CurrentTid(), std::memory_order_release);
+    boss_loop_->Run();
+  });
+
+  while (boss_tid_.load(std::memory_order_acquire) == 0) {
+    std::this_thread::yield();
+  }
+  for (auto& tid : loop_tids_) {
+    while (tid.load(std::memory_order_acquire) == 0) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void LoopGroupServer::Stop() {
+  if (!started_.exchange(false)) return;
+  boss_loop_->Stop();
+  if (boss_thread_.joinable()) boss_thread_.join();
+  for (auto& loop : loops_) loop->Stop();
+  for (auto& t : loop_threads_) {
+    if (t.joinable()) t.join();
+  }
+  loop_threads_.clear();
+  acceptor_.reset();
+  boss_loop_.reset();
+  loops_.clear();
+  conns_.clear();
+}
+
+std::vector<int> LoopGroupServer::ThreadIds() const {
+  std::vector<int> tids;
+  const int boss = boss_tid_.load(std::memory_order_acquire);
+  if (boss) tids.push_back(boss);
+  for (const auto& tid : loop_tids_) {
+    const int t = tid.load(std::memory_order_acquire);
+    if (t) tids.push_back(t);
+  }
+  return tids;
+}
+
+ServerCounters LoopGroupServer::Snapshot() const {
+  ServerCounters c;
+  c.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  c.connections_closed = closed_.load(std::memory_order_relaxed);
+  c.requests_handled = requests_.load(std::memory_order_relaxed);
+  c.responses_sent = write_stats_.responses.load(std::memory_order_relaxed);
+  c.write_calls = write_stats_.write_calls.load(std::memory_order_relaxed);
+  c.zero_writes = write_stats_.zero_writes.load(std::memory_order_relaxed);
+  c.spin_capped_flushes =
+      write_stats_.spin_capped.load(std::memory_order_relaxed);
+  c.light_path_responses = light_responses_.load(std::memory_order_relaxed);
+  c.heavy_path_responses = heavy_responses_.load(std::memory_order_relaxed);
+  c.reclassifications = reclassifications_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void LoopGroupServer::OnNewConnection(Socket socket, const InetAddr&) {
+  socket.SetNonBlocking(true);
+  ConfigureAcceptedFd(socket.fd());
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+
+  // Round-robin assignment to a worker loop (Netty's childGroup.next()).
+  const size_t loop_index = next_loop_;
+  next_loop_ = (next_loop_ + 1) % loops_.size();
+
+  auto lc = std::make_shared<LoopConn>(socket.TakeFd(),
+                                       config_.write_spin_cap, loop_index);
+  EventLoop& loop = *loops_[loop_index];
+  loop.RunInLoop([this, loop_index, lc] {
+    const int fd = lc->conn.fd.get();
+    conns_[loop_index][fd] = lc;
+    OnConnectionEstablished(*lc);
+    loops_[loop_index]->RegisterFd(fd, EPOLLIN,
+                                   [this, loop_index, fd](uint32_t events) {
+                                     OnLoopEvent(loop_index, fd, events);
+                                   });
+  });
+}
+
+void LoopGroupServer::OnLoopEvent(size_t loop_index, int fd, uint32_t events) {
+  auto& map = conns_[loop_index];
+  auto it = map.find(fd);
+  if (it == map.end()) return;
+  LoopConn& lc = *it->second;
+  if (lc.conn.closed) return;
+
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    CloseConn(lc);
+    return;
+  }
+
+  if (events & EPOLLOUT) {
+    TryFlush(lc);
+    if (lc.conn.closed) return;
+  }
+
+  if (events & EPOLLIN) {
+    char buf[16 * 1024];
+    while (true) {
+      const IoResult r = ReadFd(fd, buf, sizeof(buf));
+      if (r.WouldBlock()) break;
+      if (r.Eof() || r.Fatal()) {
+        CloseConn(lc);
+        return;
+      }
+      lc.conn.in.Append(buf, static_cast<size_t>(r.n));
+      if (static_cast<size_t>(r.n) < sizeof(buf)) break;
+    }
+    OnBytes(lc);
+  }
+}
+
+void LoopGroupServer::EnqueueAndFlush(LoopConn& lc, std::string bytes) {
+  if (lc.conn.closed) return;
+  lc.conn.out.Add(std::move(bytes));
+  TryFlush(lc);
+}
+
+void LoopGroupServer::TryFlush(LoopConn& lc) {
+  if (lc.conn.closed) return;
+  const int fd = lc.conn.fd.get();
+  FlushResult result;
+  {
+    ScopedPhase phase(phase_profiler_, Phase::kWrite);
+    result = lc.conn.out.Flush(fd, write_stats_);
+  }
+  switch (result) {
+    case FlushResult::kDone:
+      UpdateWriteInterest(lc);
+      if (lc.conn.close_after_write) CloseConn(lc);
+      return;
+    case FlushResult::kWouldBlock:
+      // Kernel buffer full: wait for writability instead of spinning.
+      lc.conn.want_writable = true;
+      UpdateWriteInterest(lc);
+      return;
+    case FlushResult::kSpinCapped: {
+      // Netty's writeSpin escape: yield to other connections, then resume
+      // this flush from a queued task.
+      if (!lc.conn.flush_rescheduled) {
+        lc.conn.flush_rescheduled = true;
+        const size_t loop_index = lc.loop_index;
+        LoopOf(lc).QueueTask([this, loop_index, fd] {
+          auto& map = conns_[loop_index];
+          auto it = map.find(fd);
+          if (it == map.end()) return;
+          it->second->conn.flush_rescheduled = false;
+          TryFlush(*it->second);
+        });
+      }
+      return;
+    }
+    case FlushResult::kError:
+      CloseConn(lc);
+      return;
+  }
+}
+
+void LoopGroupServer::UpdateWriteInterest(LoopConn& lc) {
+  const bool want = !lc.conn.out.Empty() && lc.conn.want_writable;
+  const uint32_t events = EPOLLIN | (want ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  LoopOf(lc).ModifyFd(lc.conn.fd.get(), events);
+  if (lc.conn.out.Empty()) lc.conn.want_writable = false;
+}
+
+void LoopGroupServer::CloseConn(LoopConn& lc) {
+  if (lc.conn.closed) return;
+  lc.conn.closed = true;
+  const int fd = lc.conn.fd.get();
+  const size_t loop_index = lc.loop_index;
+  EventLoop& loop = LoopOf(lc);
+  loop.UnregisterFd(fd);
+  closed_.fetch_add(1, std::memory_order_relaxed);
+  // Defer destruction to a queued task so every reference to this LoopConn
+  // on the current call stack stays valid (CloseConn can be reached from
+  // deep inside flush paths).
+  loop.QueueTask([this, loop_index, fd] { conns_[loop_index].erase(fd); });
+}
+
+namespace {
+
+// Decodes HTTP requests and encodes HTTP responses (Netty's HttpServerCodec
+// analogue). Inbound: bytes → HttpRequest messages. Outbound: HttpResponse
+// messages → wire bytes.
+class HttpServerCodec final : public ChannelHandler {
+ public:
+  explicit HttpServerCodec(PhaseProfiler& profiler) : profiler_(profiler) {}
+
+  void OnData(ChannelContext& ctx, ByteBuffer& in) override {
+    while (true) {
+      ParseStatus st;
+      {
+        ScopedPhase phase(profiler_, Phase::kParse);
+        st = parser_.Parse(in);
+      }
+      if (st == ParseStatus::kNeedMore) return;
+      if (st == ParseStatus::kError) {
+        ctx.Close();
+        return;
+      }
+      // Box the decoded request like Netty boxes HttpObjects.
+      auto req = std::make_shared<HttpRequest>(parser_.request());
+      ctx.FireMessage(std::any(std::move(req)));
+    }
+  }
+
+  void OnWrite(ChannelContext& ctx, std::any msg) override {
+    if (auto* resp = std::any_cast<HttpResponse>(&msg)) {
+      ByteBuffer out;
+      {
+        ScopedPhase phase(profiler_, Phase::kSerialize);
+        SerializeResponse(*resp, out);
+      }
+      ctx.Write(std::any(std::string(out.View())));
+      return;
+    }
+    ctx.Write(std::move(msg));  // already encoded
+  }
+
+ private:
+  PhaseProfiler& profiler_;
+  HttpRequestParser parser_;
+};
+
+// Terminal inbound handler: runs the application Handler and writes the
+// response back down the pipeline.
+class ServerAppHandler final : public ChannelHandler {
+ public:
+  ServerAppHandler(const Handler& handler, std::atomic<uint64_t>& requests,
+                   PhaseProfiler& profiler)
+      : handler_(handler), requests_(requests), profiler_(profiler) {}
+
+  void OnMessage(ChannelContext& ctx, std::any msg) override {
+    auto req = std::any_cast<std::shared_ptr<HttpRequest>>(std::move(msg));
+    HttpResponse resp;
+    {
+      ScopedPhase phase(profiler_, Phase::kHandler);
+      handler_(*req, resp);
+    }
+    resp.keep_alive = req->keep_alive;
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    const bool close = !resp.keep_alive;
+    ctx.Write(std::any(std::move(resp)));
+    if (close) ctx.Close();
+  }
+
+ private:
+  const Handler& handler_;
+  std::atomic<uint64_t>& requests_;
+  PhaseProfiler& profiler_;
+};
+
+}  // namespace
+
+MultiLoopServer::MultiLoopServer(ServerConfig config, Handler handler)
+    : LoopGroupServer(std::move(config), std::move(handler)) {}
+
+void MultiLoopServer::OnConnectionEstablished(LoopConn& lc) {
+  lc.pipeline = std::make_unique<ChannelPipeline>();
+  lc.pipeline->AddLast(std::make_shared<HttpServerCodec>(phase_profiler_));
+  lc.pipeline->AddLast(std::make_shared<ServerAppHandler>(
+      handler_, requests_, phase_profiler_));
+  LoopConn* raw = &lc;
+  lc.pipeline->SetOutboundSink([this, raw](std::string bytes) {
+    EnqueueAndFlush(*raw, std::move(bytes));
+  });
+  lc.pipeline->SetCloseRequest([raw] {
+    // Deferred close: mark and let the flush path close once drained.
+    raw->conn.close_after_write = true;
+  });
+  lc.pipeline->FireActive();
+}
+
+void MultiLoopServer::OnBytes(LoopConn& lc) {
+  lc.pipeline->FireData(lc.conn.in);
+  // If the app requested close and everything is already flushed, close
+  // now (otherwise TryFlush's kDone path will).
+  if (lc.conn.close_after_write && lc.conn.out.Empty()) CloseConn(lc);
+}
+
+}  // namespace hynet

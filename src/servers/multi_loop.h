@@ -1,0 +1,109 @@
+// NettyServer: boss acceptor + N worker event loops.
+//
+// Mirrors Netty's threading model as described in Section V-A: the boss
+// thread only accepts connections and assigns each one to a worker loop;
+// that worker loop then does BOTH event monitoring and event handling for
+// the connection (no reactor→worker dispatch, hence no per-request context
+// switches). Writes go through a channel pipeline into an OutboundBuffer
+// whose Flush is capped by writeSpin (default 16), after which the loop
+// yields to other connections — the write-spin mitigation, at the price of
+// per-message bookkeeping.
+//
+// LoopGroupServer is the reusable chassis (boss + loops + read pump + the
+// buffered write plumbing); MultiLoopServer adds the Netty pipeline;
+// core/HybridServer subclasses the chassis with runtime path selection.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/acceptor.h"
+#include "net/event_loop.h"
+#include "runtime/pipeline.h"
+#include "servers/connection.h"
+#include "servers/server.h"
+
+namespace hynet {
+
+class LoopGroupServer : public Server {
+ public:
+  ~LoopGroupServer() override;
+
+  void Start() override;
+  void Stop() override;
+  uint16_t Port() const override { return port_; }
+  std::vector<int> ThreadIds() const override;
+  ServerCounters Snapshot() const override;
+
+ protected:
+  LoopGroupServer(ServerConfig config, Handler handler);
+
+  struct LoopConn {
+    LoopConn(ScopedFd fd, int spin_cap, size_t loop)
+        : conn(std::move(fd), spin_cap), loop_index(loop) {}
+    Connection conn;
+    size_t loop_index;
+    std::unique_ptr<ChannelPipeline> pipeline;  // used by MultiLoopServer
+    std::string current_target;                 // used by HybridServer
+  };
+
+  // Subclass hooks; both run on the connection's loop thread.
+  virtual void OnConnectionEstablished(LoopConn& lc) { (void)lc; }
+  // New bytes are available in lc.conn.in.
+  virtual void OnBytes(LoopConn& lc) = 0;
+
+  // Buffered write path (Netty's write optimization): enqueue and flush
+  // with the writeSpin cap; arms EPOLLOUT on a full kernel buffer and
+  // re-schedules the flush task when the cap is hit.
+  void EnqueueAndFlush(LoopConn& lc, std::string bytes);
+  void TryFlush(LoopConn& lc);
+
+  void CloseConn(LoopConn& lc);
+  EventLoop& LoopOf(const LoopConn& lc) { return *loops_[lc.loop_index]; }
+
+  // Shared counters for subclasses.
+  std::atomic<uint64_t> requests_{0};
+  WriteStats write_stats_;
+  std::atomic<uint64_t> light_responses_{0};
+  std::atomic<uint64_t> heavy_responses_{0};
+  std::atomic<uint64_t> reclassifications_{0};
+
+ private:
+  void OnNewConnection(Socket socket, const InetAddr& peer);
+  void OnLoopEvent(size_t loop_index, int fd, uint32_t events);
+  void UpdateWriteInterest(LoopConn& lc);
+
+  std::unique_ptr<EventLoop> boss_loop_;
+  std::unique_ptr<Acceptor> acceptor_;
+  std::thread boss_thread_;
+  std::atomic<int> boss_tid_{0};
+
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::vector<std::thread> loop_threads_;
+  std::vector<std::atomic<int>> loop_tids_;
+  // Connections owned by their loop thread: conns_[loop][fd]. shared_ptr
+  // because the ownership handoff from the boss thread travels through a
+  // copyable std::function task.
+  std::vector<std::unordered_map<int, std::shared_ptr<LoopConn>>> conns_;
+
+  uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  size_t next_loop_ = 0;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> closed_{0};
+};
+
+class MultiLoopServer final : public LoopGroupServer {
+ public:
+  MultiLoopServer(ServerConfig config, Handler handler);
+
+ protected:
+  void OnConnectionEstablished(LoopConn& lc) override;
+  void OnBytes(LoopConn& lc) override;
+};
+
+}  // namespace hynet

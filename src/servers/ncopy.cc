@@ -1,0 +1,58 @@
+#include "servers/ncopy.h"
+
+namespace hynet {
+
+NCopyServer::NCopyServer(ServerConfig config, Handler handler)
+    : Server(std::move(config), std::move(handler)) {}
+
+NCopyServer::~NCopyServer() { Stop(); }
+
+void NCopyServer::Start() {
+  const int n = std::max(1, config_.ncopy);
+  ServerConfig copy_config = config_;
+  copy_config.architecture = ServerArchitecture::kSingleThread;
+  copy_config.reuse_port = true;
+
+  // First copy may bind an ephemeral port; the rest join it.
+  copies_.push_back(
+      std::make_unique<SingleThreadServer>(copy_config, handler_));
+  copies_.front()->Start();
+  port_ = copies_.front()->Port();
+
+  copy_config.port = port_;
+  for (int i = 1; i < n; ++i) {
+    copies_.push_back(
+        std::make_unique<SingleThreadServer>(copy_config, handler_));
+    copies_.back()->Start();
+  }
+}
+
+void NCopyServer::Stop() {
+  for (auto& copy : copies_) copy->Stop();
+  copies_.clear();
+}
+
+std::vector<int> NCopyServer::ThreadIds() const {
+  std::vector<int> tids;
+  for (const auto& copy : copies_) {
+    const auto copy_tids = copy->ThreadIds();
+    tids.insert(tids.end(), copy_tids.begin(), copy_tids.end());
+  }
+  return tids;
+}
+
+ServerCounters NCopyServer::Snapshot() const {
+  ServerCounters total;
+  for (const auto& copy : copies_) {
+    const ServerCounters c = copy->Snapshot();
+    total.connections_accepted += c.connections_accepted;
+    total.connections_closed += c.connections_closed;
+    total.requests_handled += c.requests_handled;
+    total.responses_sent += c.responses_sent;
+    total.write_calls += c.write_calls;
+    total.zero_writes += c.zero_writes;
+  }
+  return total;
+}
+
+}  // namespace hynet

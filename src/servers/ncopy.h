@@ -1,0 +1,36 @@
+// SingleT-NCopy: the "N-copy approach" of Section II-A — N independent
+// single-threaded asynchronous servers launched together on one port
+// (SO_REUSEPORT; the kernel load-balances incoming connections).
+//
+// Each copy is a full SingleThreadServer, including its naive spin-write
+// path: the deployment scales the single-threaded design across cores
+// without changing its per-connection behaviour, which is why the paper
+// treats it as a deployment pattern rather than a distinct architecture.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "servers/single_thread.h"
+
+namespace hynet {
+
+class NCopyServer final : public Server {
+ public:
+  NCopyServer(ServerConfig config, Handler handler);
+  ~NCopyServer() override;
+
+  void Start() override;
+  void Stop() override;
+  uint16_t Port() const override { return port_; }
+  std::vector<int> ThreadIds() const override;
+  ServerCounters Snapshot() const override;
+
+  int Copies() const { return static_cast<int>(copies_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<SingleThreadServer>> copies_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace hynet

@@ -1,0 +1,218 @@
+#include "servers/reactor_pool.h"
+
+#include "common/logging.h"
+#include "common/thread_util.h"
+#include "proto/http_codec.h"
+
+namespace hynet {
+
+ReactorPoolServer::ReactorPoolServer(ServerConfig config, Handler handler,
+                                     WriteDispatchMode mode)
+    : Server(std::move(config), std::move(handler)), mode_(mode) {}
+
+ReactorPoolServer::~ReactorPoolServer() { Stop(); }
+
+void ReactorPoolServer::Start() {
+  loop_ = std::make_unique<EventLoop>();
+  pool_ = std::make_unique<WorkerPool>(config_.worker_threads, "rp-worker");
+  acceptor_ = std::make_unique<Acceptor>(
+      *loop_, InetAddr::Loopback(config_.port),
+      [this](Socket s, const InetAddr& peer) {
+        OnNewConnection(std::move(s), peer);
+      });
+  port_ = acceptor_->Port();
+  acceptor_->Listen();
+
+  started_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] {
+    SetCurrentThreadName("rp-reactor");
+    loop_tid_.store(CurrentTid(), std::memory_order_release);
+    loop_->Run();
+    conns_.clear();
+  });
+  while (loop_tid_.load(std::memory_order_acquire) == 0) {
+    std::this_thread::yield();
+  }
+}
+
+void ReactorPoolServer::Stop() {
+  if (!started_.exchange(false)) return;
+  // Workers first: their completions queue tasks onto the loop, which is
+  // safe while the loop is stopping but not after it is destroyed.
+  pool_->Shutdown();
+  loop_->Stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  acceptor_.reset();
+  pool_.reset();
+  loop_.reset();
+}
+
+std::vector<int> ReactorPoolServer::ThreadIds() const {
+  std::vector<int> tids = pool_ ? pool_->ThreadIds() : std::vector<int>{};
+  const int tid = loop_tid_.load(std::memory_order_acquire);
+  if (tid) tids.push_back(tid);
+  return tids;
+}
+
+ServerCounters ReactorPoolServer::Snapshot() const {
+  ServerCounters c;
+  c.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  c.connections_closed = closed_.load(std::memory_order_relaxed);
+  c.requests_handled = requests_.load(std::memory_order_relaxed);
+  c.responses_sent = write_stats_.responses.load(std::memory_order_relaxed);
+  c.write_calls = write_stats_.write_calls.load(std::memory_order_relaxed);
+  c.zero_writes = write_stats_.zero_writes.load(std::memory_order_relaxed);
+  c.logical_switches = dispatch_stats_.LogicalSwitches();
+  return c;
+}
+
+void ReactorPoolServer::OnNewConnection(Socket socket, const InetAddr&) {
+  socket.SetNonBlocking(true);
+  ConfigureAcceptedFd(socket.fd());
+  const int fd = socket.fd();
+  auto conn = std::make_unique<Connection>(socket.TakeFd(),
+                                           config_.write_spin_cap);
+  Connection* raw = conn.get();
+  conns_[fd] = std::move(conn);
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  loop_->RegisterFd(fd, EPOLLIN, [this, raw](uint32_t) {
+    DispatchReadEvent(raw->fd.get());
+  });
+}
+
+void ReactorPoolServer::DispatchReadEvent(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection* conn = it->second.get();
+
+  // Step 1 (Figure 3): reactor dispatches the read event to a worker.
+  // Remove the fd from epoll so nothing races with the worker.
+  loop_->UnregisterFd(fd);
+  dispatch_stats_.dispatches_to_worker.fetch_add(1, std::memory_order_relaxed);
+  pool_->Submit([this, conn] { HandleReadEvent(conn); });
+}
+
+void ReactorPoolServer::HandleReadEvent(Connection* conn) {
+  const int fd = conn->fd.get();
+
+  char buf[16 * 1024];
+  while (true) {
+    const IoResult r = ReadFd(fd, buf, sizeof(buf));
+    if (r.WouldBlock()) break;
+    if (r.Eof() || r.Fatal()) {
+      loop_->RunInLoop([this, conn] { CloseConnection(conn); });
+      return;
+    }
+    conn->in.Append(buf, static_cast<size_t>(r.n));
+    if (static_cast<size_t>(r.n) < sizeof(buf)) break;
+  }
+
+  // Step 2: parse and run the application handler; prepare the response.
+  ByteBuffer out;
+  bool want_close = false;
+  while (true) {
+    ParseStatus st;
+    {
+      ScopedPhase phase(phase_profiler_, Phase::kParse);
+      st = conn->parser.Parse(conn->in);
+    }
+    if (st == ParseStatus::kNeedMore) break;
+    if (st == ParseStatus::kError) {
+      want_close = true;
+      break;
+    }
+    HttpResponse resp;
+    {
+      ScopedPhase phase(phase_profiler_, Phase::kHandler);
+      handler_(conn->parser.request(), resp);
+    }
+    resp.keep_alive = conn->parser.request().keep_alive;
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    {
+      ScopedPhase phase(phase_profiler_, Phase::kSerialize);
+      SerializeResponse(resp, out);
+    }
+    if (!resp.keep_alive) {
+      want_close = true;
+      break;
+    }
+  }
+
+  if (out.Empty()) {
+    // Nothing to write (partial request or immediate close).
+    if (want_close) {
+      loop_->RunInLoop([this, conn] { CloseConnection(conn); });
+    } else {
+      dispatch_stats_.returns_to_reactor.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      loop_->RunInLoop([this, conn] { RearmRead(conn); });
+    }
+    return;
+  }
+
+  if (mode_ == WriteDispatchMode::kMerged) {
+    // sTomcat-Async-Fix: same worker sends the response out (step 2+3
+    // merged), then control returns to the reactor.
+    SpinWriteResult wr;
+    {
+      ScopedPhase phase(phase_profiler_, Phase::kWrite);
+      wr = SpinWriteAll(fd, out.View(), write_stats_,
+                        config_.yield_on_full_write);
+    }
+    dispatch_stats_.returns_to_reactor.fetch_add(1, std::memory_order_relaxed);
+    if (wr != SpinWriteResult::kOk || want_close) {
+      loop_->RunInLoop([this, conn] { CloseConnection(conn); });
+    } else {
+      loop_->RunInLoop([this, conn] { RearmRead(conn); });
+    }
+    return;
+  }
+
+  // sTomcat-Async: park the response and notify the reactor (step 2),
+  // which dispatches a write event to another worker (step 3).
+  conn->pending_response.assign(out.View());
+  conn->close_after_write = want_close;
+  dispatch_stats_.reactor_notifications.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  loop_->RunInLoop([this, conn] {
+    dispatch_stats_.dispatches_to_worker.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    pool_->Submit([this, conn] { HandleWriteEvent(conn); });
+  });
+}
+
+void ReactorPoolServer::HandleWriteEvent(Connection* conn) {
+  // Step 4: a (different) worker sends the response out and returns
+  // control to the reactor.
+  SpinWriteResult wr;
+  {
+    ScopedPhase phase(phase_profiler_, Phase::kWrite);
+    wr = SpinWriteAll(conn->fd.get(), conn->pending_response, write_stats_,
+                      config_.yield_on_full_write);
+  }
+  conn->pending_response.clear();
+  dispatch_stats_.returns_to_reactor.fetch_add(1, std::memory_order_relaxed);
+  if (wr != SpinWriteResult::kOk || conn->close_after_write) {
+    loop_->RunInLoop([this, conn] { CloseConnection(conn); });
+  } else {
+    loop_->RunInLoop([this, conn] { RearmRead(conn); });
+  }
+}
+
+void ReactorPoolServer::RearmRead(Connection* conn) {
+  if (conn->closed) return;
+  const int fd = conn->fd.get();
+  loop_->RegisterFd(fd, EPOLLIN,
+                    [this, fd](uint32_t) { DispatchReadEvent(fd); });
+}
+
+void ReactorPoolServer::CloseConnection(Connection* conn) {
+  if (conn->closed) return;
+  conn->closed = true;
+  const int fd = conn->fd.get();
+  if (loop_->IsRegistered(fd)) loop_->UnregisterFd(fd);
+  conns_.erase(fd);
+  closed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace hynet

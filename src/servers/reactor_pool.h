@@ -1,0 +1,84 @@
+// sTomcat-Async / sTomcat-Async-Fix: reactor thread + worker thread pool.
+//
+// The reactor thread runs the event-monitoring phase (epoll); a pool of
+// worker threads runs the event-handling phase. Two write-dispatch modes
+// reproduce Figure 3 / Table II:
+//
+//  kSplit (sTomcat-Async): the worker that parses the request and prepares
+//    the response does NOT write it; it notifies the reactor, which
+//    dispatches a separate write event to (generally) a different worker.
+//    4 logical context switches per request.
+//
+//  kMerged (sTomcat-Async-Fix): the same worker continues and writes the
+//    response. 2 logical context switches per request.
+//
+// While a worker owns a connection, the connection's fd is removed from the
+// epoll set entirely (not just interest-masked) so no reactor callback can
+// race with the worker.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+
+#include "net/acceptor.h"
+#include "net/event_loop.h"
+#include "runtime/worker_pool.h"
+#include "servers/connection.h"
+#include "servers/server.h"
+
+namespace hynet {
+
+enum class WriteDispatchMode {
+  kSplit,   // read and write events handled by different workers
+  kMerged,  // one worker handles read + handler + write
+};
+
+class ReactorPoolServer final : public Server {
+ public:
+  ReactorPoolServer(ServerConfig config, Handler handler,
+                    WriteDispatchMode mode);
+  ~ReactorPoolServer() override;
+
+  void Start() override;
+  void Stop() override;
+  uint16_t Port() const override { return port_; }
+  std::vector<int> ThreadIds() const override;
+  ServerCounters Snapshot() const override;
+
+  const DispatchStats& dispatch_stats() const { return dispatch_stats_; }
+  WriteDispatchMode mode() const { return mode_; }
+
+ private:
+  void OnNewConnection(Socket socket, const InetAddr& peer);
+  // Reactor side: a read event fired for fd.
+  void DispatchReadEvent(int fd);
+  // Worker side: read + parse + handler (+ write in kMerged mode).
+  void HandleReadEvent(Connection* conn);
+  // Worker side: write the prepared response (kSplit mode only).
+  void HandleWriteEvent(Connection* conn);
+  // Reactor side: re-enable read interest after a worker finished.
+  void RearmRead(Connection* conn);
+  // Reactor side: destroy the connection.
+  void CloseConnection(Connection* conn);
+
+  WriteDispatchMode mode_;
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<Acceptor> acceptor_;
+  std::unique_ptr<WorkerPool> pool_;
+  std::thread loop_thread_;
+  std::atomic<int> loop_tid_{0};
+  uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> closed_{0};
+  std::atomic<uint64_t> requests_{0};
+  WriteStats write_stats_;
+  DispatchStats dispatch_stats_;
+};
+
+}  // namespace hynet

@@ -1,0 +1,28 @@
+#include "servers/server.h"
+
+#include "net/socket.h"
+
+namespace hynet {
+
+const char* ArchitectureName(ServerArchitecture arch) {
+  switch (arch) {
+    case ServerArchitecture::kThreadPerConn:  return "sTomcat-Sync";
+    case ServerArchitecture::kReactorPool:    return "sTomcat-Async";
+    case ServerArchitecture::kReactorPoolFix: return "sTomcat-Async-Fix";
+    case ServerArchitecture::kSingleThread:   return "SingleT-Async";
+    case ServerArchitecture::kMultiLoop:      return "NettyServer";
+    case ServerArchitecture::kHybrid:         return "HybridNetty";
+    case ServerArchitecture::kStaged:         return "StagedSEDA";
+    case ServerArchitecture::kSingleThreadNCopy: return "SingleT-NCopy";
+  }
+  return "unknown";
+}
+
+void Server::ConfigureAcceptedFd(int fd) const {
+  if (config_.tcp_no_delay) SetFdNoDelay(fd, true);
+  if (config_.snd_buf_bytes > 0) {
+    SetFdSendBufferSize(fd, config_.snd_buf_bytes);
+  }
+}
+
+}  // namespace hynet

@@ -1,0 +1,132 @@
+// Public server API shared by every architecture in the study.
+//
+// An application registers one Handler; the architecture decides which
+// thread parses, which thread runs the handler, and how the response bytes
+// reach the socket — those choices are precisely what the paper measures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proto/http_message.h"
+#include "metrics/phase_profiler.h"
+#include "runtime/dispatch_stats.h"
+
+namespace hynet {
+
+// Application request handler. Runs on an architecture-defined thread; must
+// not block on the network (it may burn CPU, which models business logic).
+using Handler = std::function<void(const HttpRequest&, HttpResponse&)>;
+
+enum class ServerArchitecture {
+  kThreadPerConn,    // sTomcat-Sync: dedicated worker thread per connection
+  kReactorPool,      // sTomcat-Async: reactor + pool, read/write split
+  kReactorPoolFix,   // sTomcat-Async-Fix: reactor + pool, merged read/write
+  kSingleThread,     // SingleT-Async: one event loop, naive spin writes
+  kMultiLoop,        // NettyServer: N loops, pipeline, capped writes
+  kHybrid,           // HybridNetty: runtime light/heavy path selection
+  // Two further designs from the paper's Section II-A taxonomy, built as
+  // comparison baselines:
+  kStaged,           // SEDA/WatPipe: pipeline of stages with own pools
+  kSingleThreadNCopy,  // N-copy SingleT-Async sharing a port (SO_REUSEPORT)
+};
+
+const char* ArchitectureName(ServerArchitecture arch);
+
+struct ServerConfig {
+  ServerArchitecture architecture = ServerArchitecture::kSingleThread;
+  uint16_t port = 0;        // 0 = pick an ephemeral port (see Server::Port)
+  // Worker pool size for the reactor architectures; also the cap used by
+  // thread-per-connection is separate (max_connections).
+  int worker_threads = 8;
+  // Number of event loops for kMultiLoop / kHybrid (Netty's workerGroup).
+  int event_loops = 1;
+  // SO_SNDBUF per accepted connection; 0 keeps the kernel default with
+  // autotuning enabled (the Figure 6 comparison).
+  int snd_buf_bytes = 16 * 1024;
+  bool tcp_no_delay = true;
+  // Netty write-spin cap (kMultiLoop / kHybrid / heavy path). <= 0 means
+  // unbounded (flush until EAGAIN).
+  int write_spin_cap = 16;
+  // Naive spin-write paths (kSingleThread, kReactorPool*): call
+  // sched_yield() after a zero-byte write so a single-core host can let the
+  // receiver drain. Mirrors the JVM's behaviour in the paper's testbed.
+  bool yield_on_full_write = true;
+  // Hybrid: writes-per-response above this mark a request type heavy.
+  int hybrid_heavy_write_threshold = 2;
+  // kStaged: threads per stage (parse / app / write stages).
+  int stage_threads = 2;
+  // kSingleThreadNCopy: number of single-threaded copies sharing the port.
+  int ncopy = 2;
+  // Internal: set by the N-copy wrapper so each copy's acceptor binds with
+  // SO_REUSEPORT.
+  bool reuse_port = false;
+  // Account per-phase request time (parse/handler/serialize/write); see
+  // metrics/phase_profiler.h. Off by default (two clock reads per phase).
+  bool profile_phases = false;
+};
+
+// Monotonic counters exported by every server. Snapshot-copyable.
+struct ServerCounters {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t requests_handled = 0;
+  uint64_t responses_sent = 0;
+  uint64_t write_calls = 0;
+  uint64_t zero_writes = 0;
+  uint64_t spin_capped_flushes = 0;
+  uint64_t logical_switches = 0;   // Table II accounting
+  // Hybrid-only:
+  uint64_t light_path_responses = 0;
+  uint64_t heavy_path_responses = 0;
+  uint64_t reclassifications = 0;
+};
+
+class Server {
+ public:
+  Server(ServerConfig config, Handler handler)
+      : config_(std::move(config)), handler_(std::move(handler)) {
+    phase_profiler_.Enable(config_.profile_phases);
+  }
+  virtual ~Server() = default;
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Begins listening; returns once the port is bound and all architecture
+  // threads are running. Throws std::system_error on setup failure.
+  virtual void Start() = 0;
+  // Stops accepting, closes connections, joins all threads. Idempotent.
+  virtual void Stop() = 0;
+
+  // The bound port (valid after Start()).
+  virtual uint16_t Port() const = 0;
+
+  // Linux tids of all server-owned threads, for /proc metrics scoped to
+  // the server while client threads share the process.
+  virtual std::vector<int> ThreadIds() const = 0;
+
+  virtual ServerCounters Snapshot() const = 0;
+
+  const ServerConfig& config() const { return config_; }
+
+  // Request-anatomy profiler (populated when config.profile_phases).
+  const PhaseProfiler& phase_profiler() const { return phase_profiler_; }
+
+ protected:
+  // Applies per-connection socket options from the config.
+  void ConfigureAcceptedFd(int fd) const;
+
+  ServerConfig config_;
+  Handler handler_;
+  mutable PhaseProfiler phase_profiler_;
+};
+
+// Creates one of the five non-hybrid architectures (the hybrid lives in
+// core/ and is created via CreateServer in core/hybrid_server.h).
+std::unique_ptr<Server> CreateBasicServer(const ServerConfig& config,
+                                          Handler handler);
+
+}  // namespace hynet

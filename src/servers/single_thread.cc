@@ -1,0 +1,146 @@
+#include "servers/single_thread.h"
+
+#include "common/logging.h"
+#include "common/thread_util.h"
+#include "proto/http_codec.h"
+
+namespace hynet {
+
+SingleThreadServer::SingleThreadServer(ServerConfig config, Handler handler)
+    : Server(std::move(config), std::move(handler)) {}
+
+SingleThreadServer::~SingleThreadServer() { Stop(); }
+
+void SingleThreadServer::Start() {
+  loop_ = std::make_unique<EventLoop>();
+  acceptor_ = std::make_unique<Acceptor>(
+      *loop_, InetAddr::Loopback(config_.port),
+      [this](Socket s, const InetAddr& peer) {
+        OnNewConnection(std::move(s), peer);
+      },
+      config_.reuse_port);
+  port_ = acceptor_->Port();
+  acceptor_->Listen();
+
+  started_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] {
+    SetCurrentThreadName("singlet-loop");
+    loop_tid_.store(CurrentTid(), std::memory_order_release);
+    loop_->Run();
+    // Drain connections on the loop thread before it exits.
+    conns_.clear();
+  });
+  while (loop_tid_.load(std::memory_order_acquire) == 0) {
+    std::this_thread::yield();
+  }
+}
+
+void SingleThreadServer::Stop() {
+  if (!started_.exchange(false)) return;
+  loop_->Stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  acceptor_.reset();
+  loop_.reset();
+}
+
+std::vector<int> SingleThreadServer::ThreadIds() const {
+  const int tid = loop_tid_.load(std::memory_order_acquire);
+  return tid ? std::vector<int>{tid} : std::vector<int>{};
+}
+
+ServerCounters SingleThreadServer::Snapshot() const {
+  ServerCounters c;
+  c.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  c.connections_closed = closed_.load(std::memory_order_relaxed);
+  c.requests_handled = requests_.load(std::memory_order_relaxed);
+  c.responses_sent = write_stats_.responses.load(std::memory_order_relaxed);
+  c.write_calls = write_stats_.write_calls.load(std::memory_order_relaxed);
+  c.zero_writes = write_stats_.zero_writes.load(std::memory_order_relaxed);
+  return c;
+}
+
+void SingleThreadServer::OnNewConnection(Socket socket, const InetAddr&) {
+  socket.SetNonBlocking(true);
+  ConfigureAcceptedFd(socket.fd());
+  const int fd = socket.fd();
+  auto conn = std::make_unique<Connection>(socket.TakeFd(),
+                                           config_.write_spin_cap);
+  conns_[fd] = std::move(conn);
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  loop_->RegisterFd(fd, EPOLLIN,
+                    [this, fd](uint32_t events) { OnReadable(fd, events); });
+}
+
+void SingleThreadServer::OnReadable(int fd, uint32_t events) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection& conn = *it->second;
+
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    CloseConnection(fd);
+    return;
+  }
+
+  // Read everything available.
+  char buf[16 * 1024];
+  while (true) {
+    const IoResult r = ReadFd(fd, buf, sizeof(buf));
+    if (r.WouldBlock()) break;
+    if (r.Eof() || r.Fatal()) {
+      CloseConnection(fd);
+      return;
+    }
+    conn.in.Append(buf, static_cast<size_t>(r.n));
+    if (static_cast<size_t>(r.n) < sizeof(buf)) break;
+  }
+
+  // One-event-one-handler: parse, handle, and spin-write inline.
+  while (true) {
+    ParseStatus st;
+    {
+      ScopedPhase phase(phase_profiler_, Phase::kParse);
+      st = conn.parser.Parse(conn.in);
+    }
+    if (st == ParseStatus::kNeedMore) return;
+    if (st == ParseStatus::kError) {
+      CloseConnection(fd);
+      return;
+    }
+    HttpResponse resp;
+    {
+      ScopedPhase phase(phase_profiler_, Phase::kHandler);
+      handler_(conn.parser.request(), resp);
+    }
+    resp.keep_alive = conn.parser.request().keep_alive;
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    conn.requests++;
+
+    ByteBuffer out;
+    {
+      ScopedPhase phase(phase_profiler_, Phase::kSerialize);
+      SerializeResponse(resp, out);
+    }
+    // The naive write: the single thread is stuck here until the whole
+    // response is in the kernel, no matter how long ACKs take.
+    ScopedPhase write_phase(phase_profiler_, Phase::kWrite);
+    if (SpinWriteAll(fd, out.View(), write_stats_,
+                     config_.yield_on_full_write) != SpinWriteResult::kOk) {
+      CloseConnection(fd);
+      return;
+    }
+    if (!resp.keep_alive) {
+      CloseConnection(fd);
+      return;
+    }
+  }
+}
+
+void SingleThreadServer::CloseConnection(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  loop_->UnregisterFd(fd);
+  conns_.erase(it);
+  closed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace hynet

@@ -1,0 +1,56 @@
+// SingleT-Async: one thread runs both the event-monitoring and the
+// event-handling phase (the Node.js / Lighttpd design from Section II-A).
+//
+// The write path is deliberately the naive one the paper studies: after
+// preparing a response the thread spin-writes it to completion
+// (SpinWriteAll), so a response larger than the TCP send buffer glues the
+// only thread to one connection — the write-spin problem of Section IV.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+
+#include "net/acceptor.h"
+#include "net/event_loop.h"
+#include "servers/connection.h"
+#include "servers/server.h"
+
+namespace hynet {
+
+class SingleThreadServer final : public Server {
+ public:
+  SingleThreadServer(ServerConfig config, Handler handler);
+  ~SingleThreadServer() override;
+
+  void Start() override;
+  void Stop() override;
+  uint16_t Port() const override { return port_; }
+  std::vector<int> ThreadIds() const override;
+  ServerCounters Snapshot() const override;
+
+  // Exposed for tests: the server's event loop.
+  EventLoop& loop() { return *loop_; }
+
+ private:
+  void OnNewConnection(Socket socket, const InetAddr& peer);
+  void OnReadable(int fd, uint32_t events);
+  void CloseConnection(int fd);
+
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<Acceptor> acceptor_;
+  std::thread loop_thread_;
+  std::atomic<int> loop_tid_{0};
+  uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> closed_{0};
+  std::atomic<uint64_t> requests_{0};
+  WriteStats write_stats_;
+};
+
+}  // namespace hynet

@@ -1,0 +1,198 @@
+#include "servers/staged.h"
+
+#include "common/thread_util.h"
+#include "proto/http_codec.h"
+
+namespace hynet {
+
+StagedServer::StagedServer(ServerConfig config, Handler handler)
+    : Server(std::move(config), std::move(handler)) {}
+
+StagedServer::~StagedServer() { Stop(); }
+
+void StagedServer::Start() {
+  loop_ = std::make_unique<EventLoop>();
+  const int n = std::max(1, config_.stage_threads);
+  parse_pool_ = std::make_unique<WorkerPool>(n, "stage-parse");
+  app_pool_ = std::make_unique<WorkerPool>(n, "stage-app");
+  write_pool_ = std::make_unique<WorkerPool>(n, "stage-write");
+  acceptor_ = std::make_unique<Acceptor>(
+      *loop_, InetAddr::Loopback(config_.port),
+      [this](Socket s, const InetAddr& peer) {
+        OnNewConnection(std::move(s), peer);
+      });
+  port_ = acceptor_->Port();
+  acceptor_->Listen();
+
+  started_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] {
+    SetCurrentThreadName("staged-reactor");
+    loop_tid_.store(CurrentTid(), std::memory_order_release);
+    loop_->Run();
+    conns_.clear();
+  });
+  while (loop_tid_.load(std::memory_order_acquire) == 0) {
+    std::this_thread::yield();
+  }
+}
+
+void StagedServer::Stop() {
+  if (!started_.exchange(false)) return;
+  // Drain stages front to back so no stage enqueues into a closed pool.
+  parse_pool_->Shutdown();
+  app_pool_->Shutdown();
+  write_pool_->Shutdown();
+  loop_->Stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  acceptor_.reset();
+  parse_pool_.reset();
+  app_pool_.reset();
+  write_pool_.reset();
+  loop_.reset();
+}
+
+std::vector<int> StagedServer::ThreadIds() const {
+  std::vector<int> tids;
+  for (const auto* pool :
+       {parse_pool_.get(), app_pool_.get(), write_pool_.get()}) {
+    if (!pool) continue;
+    const auto pool_tids = pool->ThreadIds();
+    tids.insert(tids.end(), pool_tids.begin(), pool_tids.end());
+  }
+  const int tid = loop_tid_.load(std::memory_order_acquire);
+  if (tid) tids.push_back(tid);
+  return tids;
+}
+
+ServerCounters StagedServer::Snapshot() const {
+  ServerCounters c;
+  c.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  c.connections_closed = closed_.load(std::memory_order_relaxed);
+  c.requests_handled = requests_.load(std::memory_order_relaxed);
+  c.responses_sent = write_stats_.responses.load(std::memory_order_relaxed);
+  c.write_calls = write_stats_.write_calls.load(std::memory_order_relaxed);
+  c.zero_writes = write_stats_.zero_writes.load(std::memory_order_relaxed);
+  c.logical_switches = dispatch_stats_.LogicalSwitches();
+  return c;
+}
+
+void StagedServer::OnNewConnection(Socket socket, const InetAddr&) {
+  socket.SetNonBlocking(true);
+  ConfigureAcceptedFd(socket.fd());
+  const int fd = socket.fd();
+  conns_[fd] = std::make_unique<Connection>(socket.TakeFd(),
+                                            config_.write_spin_cap);
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  loop_->RegisterFd(fd, EPOLLIN,
+                    [this, fd](uint32_t) { DispatchReadEvent(fd); });
+}
+
+void StagedServer::DispatchReadEvent(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection* conn = it->second.get();
+  loop_->UnregisterFd(fd);
+  dispatch_stats_.dispatches_to_worker.fetch_add(1, std::memory_order_relaxed);
+  parse_pool_->Submit([this, conn] { ParseStage(conn); });
+}
+
+void StagedServer::ParseStage(Connection* conn) {
+  const int fd = conn->fd.get();
+  char buf[16 * 1024];
+  while (true) {
+    const IoResult r = ReadFd(fd, buf, sizeof(buf));
+    if (r.WouldBlock()) break;
+    if (r.Eof() || r.Fatal()) {
+      loop_->RunInLoop([this, conn] { CloseConnection(conn); });
+      return;
+    }
+    conn->in.Append(buf, static_cast<size_t>(r.n));
+    if (static_cast<size_t>(r.n) < sizeof(buf)) break;
+  }
+  // Hand the connection to the application stage (queue hop #2).
+  dispatch_stats_.dispatches_to_worker.fetch_add(1, std::memory_order_relaxed);
+  app_pool_->Submit([this, conn] { AppStage(conn); });
+}
+
+void StagedServer::AppStage(Connection* conn) {
+  ByteBuffer out;
+  bool want_close = false;
+  while (true) {
+    ParseStatus st;
+    {
+      ScopedPhase phase(phase_profiler_, Phase::kParse);
+      st = conn->parser.Parse(conn->in);
+    }
+    if (st == ParseStatus::kNeedMore) break;
+    if (st == ParseStatus::kError) {
+      want_close = true;
+      break;
+    }
+    HttpResponse resp;
+    {
+      ScopedPhase phase(phase_profiler_, Phase::kHandler);
+      handler_(conn->parser.request(), resp);
+    }
+    resp.keep_alive = conn->parser.request().keep_alive;
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    {
+      ScopedPhase phase(phase_profiler_, Phase::kSerialize);
+      SerializeResponse(resp, out);
+    }
+    if (!resp.keep_alive) {
+      want_close = true;
+      break;
+    }
+  }
+
+  if (out.Empty()) {
+    if (want_close) {
+      loop_->RunInLoop([this, conn] { CloseConnection(conn); });
+    } else {
+      dispatch_stats_.returns_to_reactor.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      loop_->RunInLoop([this, conn] { RearmRead(conn); });
+    }
+    return;
+  }
+
+  conn->pending_response.assign(out.View());
+  conn->close_after_write = want_close;
+  // Queue hop #3 into the write stage.
+  dispatch_stats_.dispatches_to_worker.fetch_add(1, std::memory_order_relaxed);
+  write_pool_->Submit([this, conn] { WriteStage(conn); });
+}
+
+void StagedServer::WriteStage(Connection* conn) {
+  SpinWriteResult wr;
+  {
+    ScopedPhase phase(phase_profiler_, Phase::kWrite);
+    wr = SpinWriteAll(conn->fd.get(), conn->pending_response, write_stats_,
+                      config_.yield_on_full_write);
+  }
+  conn->pending_response.clear();
+  dispatch_stats_.returns_to_reactor.fetch_add(1, std::memory_order_relaxed);
+  if (wr != SpinWriteResult::kOk || conn->close_after_write) {
+    loop_->RunInLoop([this, conn] { CloseConnection(conn); });
+  } else {
+    loop_->RunInLoop([this, conn] { RearmRead(conn); });
+  }
+}
+
+void StagedServer::RearmRead(Connection* conn) {
+  if (conn->closed) return;
+  const int fd = conn->fd.get();
+  loop_->RegisterFd(fd, EPOLLIN,
+                    [this, fd](uint32_t) { DispatchReadEvent(fd); });
+}
+
+void StagedServer::CloseConnection(Connection* conn) {
+  if (conn->closed) return;
+  conn->closed = true;
+  const int fd = conn->fd.get();
+  if (loop_->IsRegistered(fd)) loop_->UnregisterFd(fd);
+  conns_.erase(fd);
+  closed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace hynet

@@ -1,0 +1,72 @@
+// StagedSEDA: the staged event-driven design of SEDA / WatPipe
+// (Section II-A, second design's "staged" variant).
+//
+// Request processing is decomposed into a pipeline of stages separated by
+// event queues, each stage with its own small thread pool:
+//
+//   reactor --(read event)--> [parse stage] --> [app stage] --> [write
+//   stage] --(re-arm)--> reactor
+//
+// The modularity costs one queue handoff per stage: 4 logical context
+// switches per request, like sTomcat-Async, but with the read/handle/write
+// work split across *specialized* pools instead of one general pool —
+// the trade-off the paper's related-work section attributes to SEDA.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+
+#include "net/acceptor.h"
+#include "net/event_loop.h"
+#include "runtime/worker_pool.h"
+#include "servers/connection.h"
+#include "servers/server.h"
+
+namespace hynet {
+
+class StagedServer final : public Server {
+ public:
+  StagedServer(ServerConfig config, Handler handler);
+  ~StagedServer() override;
+
+  void Start() override;
+  void Stop() override;
+  uint16_t Port() const override { return port_; }
+  std::vector<int> ThreadIds() const override;
+  ServerCounters Snapshot() const override;
+
+ private:
+  void OnNewConnection(Socket socket, const InetAddr& peer);
+  void DispatchReadEvent(int fd);
+  // Stage 1: read raw bytes + parse complete requests.
+  void ParseStage(Connection* conn);
+  // Stage 2: run the application handler, serialize responses.
+  void AppStage(Connection* conn);
+  // Stage 3: write the response bytes out (spin write, as in the
+  // non-buffered asynchronous designs the paper studies).
+  void WriteStage(Connection* conn);
+  void RearmRead(Connection* conn);
+  void CloseConnection(Connection* conn);
+
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<Acceptor> acceptor_;
+  std::unique_ptr<WorkerPool> parse_pool_;
+  std::unique_ptr<WorkerPool> app_pool_;
+  std::unique_ptr<WorkerPool> write_pool_;
+  std::thread loop_thread_;
+  std::atomic<int> loop_tid_{0};
+  uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> closed_{0};
+  std::atomic<uint64_t> requests_{0};
+  WriteStats write_stats_;
+  DispatchStats dispatch_stats_;
+};
+
+}  // namespace hynet

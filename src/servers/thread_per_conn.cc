@@ -1,0 +1,171 @@
+#include "servers/thread_per_conn.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include "common/logging.h"
+#include "common/thread_util.h"
+#include "proto/http_codec.h"
+#include "servers/connection.h"
+
+namespace hynet {
+
+ThreadPerConnServer::ThreadPerConnServer(ServerConfig config, Handler handler)
+    : Server(std::move(config), std::move(handler)) {}
+
+ThreadPerConnServer::~ThreadPerConnServer() { Stop(); }
+
+void ThreadPerConnServer::Start() {
+  listen_socket_ = Socket::CreateTcp(/*nonblocking=*/true);
+  listen_socket_.SetReuseAddr(true);
+  listen_socket_.Bind(InetAddr::Loopback(config_.port));
+  listen_socket_.Listen();
+  port_ = listen_socket_.LocalAddr().Port();
+
+  running_.store(true, std::memory_order_release);
+  acceptor_thread_ = std::thread([this] { AcceptorMain(); });
+
+  // Publish the acceptor tid before returning so ThreadIds() is complete.
+  std::unique_lock<std::mutex> lock(mu_);
+  while (acceptor_tid_ == 0) {
+    lock.unlock();
+    std::this_thread::yield();
+    lock.lock();
+  }
+}
+
+void ThreadPerConnServer::Stop() {
+  if (!running_.exchange(false)) return;
+  {
+    // Unblock every connection thread parked in read()/write().
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (acceptor_thread_.joinable()) acceptor_thread_.join();
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    to_join.swap(conn_threads_);
+  }
+  for (auto& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+  listen_socket_ = Socket();
+}
+
+std::vector<int> ThreadPerConnServer::ThreadIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> tids(live_tids_.begin(), live_tids_.end());
+  return tids;
+}
+
+ServerCounters ThreadPerConnServer::Snapshot() const {
+  ServerCounters c;
+  c.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  c.connections_closed = closed_.load(std::memory_order_relaxed);
+  c.requests_handled = requests_.load(std::memory_order_relaxed);
+  c.responses_sent = write_stats_.responses.load(std::memory_order_relaxed);
+  c.write_calls = write_stats_.write_calls.load(std::memory_order_relaxed);
+  c.zero_writes = write_stats_.zero_writes.load(std::memory_order_relaxed);
+  return c;
+}
+
+void ThreadPerConnServer::AcceptorMain() {
+  SetCurrentThreadName("sync-accept");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    acceptor_tid_ = CurrentTid();
+    live_tids_.insert(acceptor_tid_);
+  }
+
+  pollfd pfd{listen_socket_.fd(), POLLIN, 0};
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (n <= 0) continue;
+    while (true) {
+      auto sock = listen_socket_.Accept(nullptr);
+      if (!sock) break;
+      // The connection fd runs in blocking mode: that is the whole point
+      // of this architecture (the kernel blocks the thread on I/O).
+      sock->SetNonBlocking(false);
+      ConfigureAcceptedFd(sock->fd());
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mu_);
+      conn_threads_.emplace_back(
+          [this, s = std::move(*sock)]() mutable {
+            ConnectionMain(std::move(s));
+          });
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  live_tids_.erase(acceptor_tid_);
+}
+
+void ThreadPerConnServer::ConnectionMain(Socket socket) {
+  SetCurrentThreadName("sync-conn");
+  const int tid = CurrentTid();
+  const int fd = socket.fd();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_tids_.insert(tid);
+    live_fds_.insert(fd);
+  }
+
+  ByteBuffer in;
+  HttpRequestParser parser;
+  ByteBuffer out;
+  char buf[16 * 1024];
+  bool alive = true;
+
+  while (alive && running_.load(std::memory_order_acquire)) {
+    const IoResult r = ReadFd(fd, buf, sizeof(buf));
+    if (r.Eof() || r.Fatal()) break;
+    in.Append(buf, static_cast<size_t>(r.n));
+
+    // Drain every complete request in the buffer (pipelining-safe).
+    while (alive) {
+      ParseStatus st;
+      {
+        ScopedPhase phase(phase_profiler_, Phase::kParse);
+        st = parser.Parse(in);
+      }
+      if (st == ParseStatus::kNeedMore) break;
+      if (st == ParseStatus::kError) {
+        alive = false;
+        break;
+      }
+      HttpResponse resp;
+      {
+        ScopedPhase phase(phase_profiler_, Phase::kHandler);
+        handler_(parser.request(), resp);
+      }
+      resp.keep_alive = parser.request().keep_alive;
+      requests_.fetch_add(1, std::memory_order_relaxed);
+
+      out.ConsumeAll();
+      {
+        ScopedPhase phase(phase_profiler_, Phase::kSerialize);
+        SerializeResponse(resp, out);
+      }
+      ScopedPhase write_phase(phase_profiler_, Phase::kWrite);
+      if (BlockingWriteAll(fd, out.View(), write_stats_) !=
+          SpinWriteResult::kOk) {
+        alive = false;
+        break;
+      }
+      if (!resp.keep_alive) {
+        alive = false;
+        break;
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_tids_.erase(tid);
+    live_fds_.erase(fd);
+  }
+  closed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace hynet

@@ -1,0 +1,52 @@
+// sTomcat-Sync: the thread-based synchronous architecture.
+//
+// One acceptor thread; every accepted connection gets a dedicated worker
+// thread that blocking-reads the request, runs the handler, and
+// blocking-writes the response. Zero user-space handoffs per request — the
+// kernel parks the thread on I/O instead (Table II row 3).
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "net/socket.h"
+#include "servers/server.h"
+
+namespace hynet {
+
+class ThreadPerConnServer final : public Server {
+ public:
+  ThreadPerConnServer(ServerConfig config, Handler handler);
+  ~ThreadPerConnServer() override;
+
+  void Start() override;
+  void Stop() override;
+  uint16_t Port() const override { return port_; }
+  std::vector<int> ThreadIds() const override;
+  ServerCounters Snapshot() const override;
+
+ private:
+  void AcceptorMain();
+  void ConnectionMain(Socket socket);
+
+  Socket listen_socket_;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+
+  std::thread acceptor_thread_;
+  mutable std::mutex mu_;
+  std::vector<std::thread> conn_threads_;
+  std::set<int> live_fds_;   // for shutdown() on Stop
+  std::set<int> live_tids_;  // for /proc metrics
+  int acceptor_tid_ = 0;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> closed_{0};
+  std::atomic<uint64_t> requests_{0};
+  WriteStats write_stats_;
+};
+
+}  // namespace hynet

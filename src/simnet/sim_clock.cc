@@ -1,0 +1,4 @@
+#include "simnet/sim_clock.h"
+
+// Header-only today; anchors the translation unit.
+namespace hynet::simnet {}  // namespace hynet::simnet

@@ -1,0 +1,83 @@
+// Virtual time and a discrete-event scheduler for the simulated transport.
+//
+// Deterministic by construction: events at equal timestamps fire in
+// insertion order. Lets the test suite verify the ACK-clocked write-spin
+// arithmetic of Figure 5 exactly (number of writes, completion times)
+// without real sockets or sleeps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hynet::simnet {
+
+class SimClock {
+ public:
+  int64_t now_us() const { return now_us_; }
+  void AdvanceTo(int64_t t_us) {
+    if (t_us > now_us_) now_us_ = t_us;
+  }
+
+ private:
+  int64_t now_us_ = 0;
+};
+
+class SimScheduler {
+ public:
+  using Event = std::function<void()>;
+
+  explicit SimScheduler(SimClock& clock) : clock_(clock) {}
+
+  void At(int64_t t_us, Event event) {
+    queue_.push(Entry{t_us, seq_++, std::move(event)});
+  }
+  void After(int64_t delay_us, Event event) {
+    At(clock_.now_us() + delay_us, std::move(event));
+  }
+
+  bool Empty() const { return queue_.empty(); }
+  int64_t NextEventTime() const {
+    return queue_.empty() ? -1 : queue_.top().when;
+  }
+
+  // Fires the earliest event, advancing the clock to its timestamp.
+  // Returns false if no events remain.
+  bool RunNext() {
+    if (queue_.empty()) return false;
+    // priority_queue::top is const; the entry must be copied out before pop.
+    Entry entry = queue_.top();
+    queue_.pop();
+    clock_.AdvanceTo(entry.when);
+    entry.event();
+    return true;
+  }
+
+  // Runs events until the queue is empty or the next event is after t_us.
+  void RunUntil(int64_t t_us) {
+    while (!queue_.empty() && queue_.top().when <= t_us) RunNext();
+    clock_.AdvanceTo(t_us);
+  }
+
+  void RunAll() {
+    while (RunNext()) {
+    }
+  }
+
+ private:
+  struct Entry {
+    int64_t when;
+    uint64_t seq;
+    Event event;
+    bool operator>(const Entry& rhs) const {
+      return when > rhs.when || (when == rhs.when && seq > rhs.seq);
+    }
+  };
+
+  SimClock& clock_;
+  uint64_t seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+};
+
+}  // namespace hynet::simnet

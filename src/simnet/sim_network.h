@@ -1,0 +1,50 @@
+// Deterministic model of an event-loop server writing responses to many
+// connections — simulated counterpart of the Section IV/V write-path study.
+//
+// Two strategies, matching the real servers:
+//   kSpinUntilDone — SingleT-Async's naive path: the loop stays on one
+//     connection, polling write() until the whole response is out.
+//   kCappedSpin    — NettyServer's path: at most `spin_cap` write() calls
+//     per visit, then the loop moves to the next connection and comes back.
+//
+// The simulation reports the makespan, per-connection completion times and
+// write-call counts, letting tests assert the *exact* arithmetic (e.g.
+// spin makespan ≈ N · ceil(R/B) · RTT, capped makespan ≈ ceil(R/B) · RTT)
+// that the real-socket benches can only show approximately.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/sim_tcp.h"
+
+namespace hynet::simnet {
+
+enum class WriteStrategy {
+  kSpinUntilDone,
+  kCappedSpin,
+};
+
+struct SimLoopConfig {
+  int connections = 1;
+  int64_t response_bytes = 100 * 1024;
+  int64_t send_buffer_bytes = 16 * 1024;
+  int64_t rtt_us = 1000;
+  WriteStrategy strategy = WriteStrategy::kSpinUntilDone;
+  int spin_cap = 16;              // kCappedSpin only
+  // Time a failed (zero-byte) poll costs the spinning loop; models the
+  // syscall + scheduling cost of each futile write().
+  int64_t poll_cost_us = 1;
+};
+
+struct SimLoopResult {
+  int64_t makespan_us = 0;  // all responses fully ACKed at the receiver
+  uint64_t total_write_calls = 0;
+  uint64_t total_zero_writes = 0;
+  std::vector<int64_t> completion_us;  // per connection, delivery time
+};
+
+// Runs the single-threaded loop model to completion.
+SimLoopResult SimulateEventLoopWrites(const SimLoopConfig& config);
+
+}  // namespace hynet::simnet

@@ -1,0 +1,34 @@
+#include "simnet/sim_tcp.h"
+
+#include <algorithm>
+
+namespace hynet::simnet {
+
+int64_t SimTcpSender::Write(int64_t len) {
+  write_calls_++;
+  const int64_t take = std::min(len, FreeSpace());
+  if (take <= 0) {
+    zero_writes_++;
+    return 0;
+  }
+
+  unacked_bytes_ += take;
+  const int64_t now = clock_.now_us();
+  const int64_t one_way = config_.rtt_us / 2;
+  const int64_t ack_at = now + config_.rtt_us;
+
+  // Receiver sees the bytes after one one-way latency...
+  sched_.At(now + one_way, [this, take, deliver_at = now + one_way] {
+    delivered_bytes_ += take;
+    last_delivery_us_ = std::max(last_delivery_us_, deliver_at);
+  });
+  // ...and the ACK frees the buffer a full RTT after the write.
+  pending_ack_times_.push_back(ack_at);
+  sched_.At(ack_at, [this, take] {
+    unacked_bytes_ -= take;
+    pending_ack_times_.pop_front();
+  });
+  return take;
+}
+
+}  // namespace hynet::simnet

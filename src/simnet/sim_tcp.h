@@ -1,0 +1,67 @@
+// Simulated TCP send path: a fixed-capacity send buffer drained by the
+// ACK clock (Figure 5 of the paper, as a deterministic model).
+//
+// Semantics mirrored from the kernel:
+//   * Write(len) is non-blocking: it copies min(free_space, len) bytes into
+//     the send buffer and returns the amount copied — 0 when the buffer is
+//     full (the condition that makes asynchronous servers write-spin).
+//   * Data occupies the buffer until its ACK returns one RTT later; the
+//     receiver sees the bytes after one one-way latency.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "simnet/sim_clock.h"
+
+namespace hynet::simnet {
+
+struct SimTcpConfig {
+  int64_t send_buffer_bytes = 16 * 1024;  // SO_SNDBUF
+  int64_t rtt_us = 0;                     // ACK round-trip time
+};
+
+class SimTcpSender {
+ public:
+  SimTcpSender(SimClock& clock, SimScheduler& sched, SimTcpConfig config)
+      : clock_(clock), sched_(sched), config_(config) {}
+
+  // Non-blocking write of `len` bytes. Returns bytes accepted (0 = full).
+  int64_t Write(int64_t len);
+
+  int64_t FreeSpace() const {
+    return config_.send_buffer_bytes - unacked_bytes_;
+  }
+  int64_t UnackedBytes() const { return unacked_bytes_; }
+  // Bytes the receiver application has observed so far.
+  int64_t DeliveredBytes() const { return delivered_bytes_; }
+  // Simulated time at which the receiver got the last byte written so far.
+  int64_t LastDeliveryTimeUs() const { return last_delivery_us_; }
+
+  // Earliest simulated time at which FreeSpace() will grow (or -1 if it
+  // cannot — nothing is in flight). A spinning writer uses this to know
+  // how long its zero-byte writes would keep failing.
+  int64_t NextAckTimeUs() const {
+    return pending_ack_times_.empty() ? -1 : pending_ack_times_.front();
+  }
+
+  const SimTcpConfig& config() const { return config_; }
+
+  uint64_t write_calls() const { return write_calls_; }
+  uint64_t zero_writes() const { return zero_writes_; }
+
+ private:
+  SimClock& clock_;
+  SimScheduler& sched_;
+  SimTcpConfig config_;
+
+  int64_t unacked_bytes_ = 0;
+  int64_t delivered_bytes_ = 0;
+  int64_t last_delivery_us_ = 0;
+  std::deque<int64_t> pending_ack_times_;  // FIFO: ACKs arrive in write order
+
+  uint64_t write_calls_ = 0;
+  uint64_t zero_writes_ = 0;
+};
+
+}  // namespace hynet::simnet

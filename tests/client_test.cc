@@ -1,0 +1,168 @@
+// Tests for the load generator and bench harness: closed-loop semantics,
+// phase hooks, target mixing, and harness plumbing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "client/bench_runner.h"
+#include "client/load_gen.h"
+#include "core/hybrid_server.h"
+
+namespace hynet {
+namespace {
+
+std::unique_ptr<Server> StartServer(ServerArchitecture arch) {
+  ServerConfig config;
+  config.architecture = arch;
+  auto server = CreateServer(config, MakeBenchHandler());
+  server->Start();
+  return server;
+}
+
+TEST(LoadGen, ClosedLoopKeepsConcurrencyConstant) {
+  auto server = StartServer(ServerArchitecture::kSingleThread);
+  LoadConfig lc;
+  lc.server = InetAddr::Loopback(server->Port());
+  lc.connections = 7;
+  lc.warmup_sec = 0.05;
+  lc.measure_sec = 0.3;
+  lc.targets = {{BenchTarget(128, 0), 1.0}};
+  const LoadResult result = RunLoad(lc);
+  server->Stop();
+
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_GT(result.completed, 20u);
+  // Exactly 7 connections were opened (closed loop, no churn).
+  // completed latencies were recorded for each response.
+  EXPECT_EQ(result.latency.Count(), result.completed);
+}
+
+TEST(LoadGen, PhaseHooksFireInOrder) {
+  auto server = StartServer(ServerArchitecture::kSingleThread);
+  std::vector<std::string> events;
+  LoadConfig lc;
+  lc.server = InetAddr::Loopback(server->Port());
+  lc.connections = 2;
+  lc.warmup_sec = 0.05;
+  lc.measure_sec = 0.1;
+  lc.targets = {{BenchTarget(64, 0), 1.0}};
+  lc.on_measure_start = [&] { events.push_back("start"); };
+  lc.on_measure_end = [&] { events.push_back("end"); };
+  const LoadResult result = RunLoad(lc);
+  server->Stop();
+
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], "start");
+  EXPECT_EQ(events[1], "end");
+  EXPECT_GT(result.elapsed_sec, 0.05);
+  EXPECT_LT(result.elapsed_sec, 2.0);
+}
+
+TEST(LoadGen, MixedTargetsFollowWeights) {
+  std::atomic<int> small{0}, large{0};
+  ServerConfig config;
+  config.architecture = ServerArchitecture::kSingleThread;
+  auto server = CreateServer(config, [&](const HttpRequest& req,
+                                         HttpResponse& resp) {
+    const auto size = static_cast<size_t>(req.QueryParamInt("size", 0));
+    (size > 1000 ? large : small)++;
+    resp.body.assign(size, 'm');
+  });
+  server->Start();
+
+  LoadConfig lc;
+  lc.server = InetAddr::Loopback(server->Port());
+  lc.connections = 4;
+  lc.warmup_sec = 0.05;
+  lc.measure_sec = 0.5;
+  lc.targets = {{BenchTarget(100, 0), 0.9}, {BenchTarget(10000, 0), 0.1}};
+  lc.seed = 99;
+  const LoadResult result = RunLoad(lc);
+  server->Stop();
+
+  ASSERT_GT(result.completed, 100u);
+  const double large_share =
+      static_cast<double>(large.load()) /
+      static_cast<double>(small.load() + large.load());
+  EXPECT_NEAR(large_share, 0.1, 0.05);
+}
+
+TEST(LoadGen, SurvivesServerSideConnectionCloses) {
+  // Handler closes every connection (Connection: close); the generator
+  // must reconnect and keep the offered concurrency.
+  ServerConfig config;
+  config.architecture = ServerArchitecture::kThreadPerConn;
+  auto server = CreateServer(config, [](const HttpRequest&,
+                                        HttpResponse& resp) {
+    resp.keep_alive = false;
+    resp.body = "bye";
+  });
+  server->Start();
+
+  LoadConfig lc;
+  lc.server = InetAddr::Loopback(server->Port());
+  lc.connections = 3;
+  lc.warmup_sec = 0.05;
+  lc.measure_sec = 0.3;
+  lc.targets = {{"/", 1.0}};
+  const LoadResult result = RunLoad(lc);
+  server->Stop();
+
+  EXPECT_GT(result.completed, 5u);
+}
+
+TEST(BenchHandler, HonorsSizeAndCpuParams) {
+  const Handler handler = MakeBenchHandler();
+  HttpRequest req;
+  req.target = "/bench?size=2048&us=0";
+  req.path = "/bench";
+  req.query = {{"size", "2048"}, {"us", "0"}};
+  HttpResponse resp;
+  handler(req, resp);
+  EXPECT_EQ(resp.body.size(), 2048u);
+}
+
+TEST(BenchHandler, TargetBuilderRoundTrips) {
+  const std::string target = BenchTarget(12345, 67);
+  EXPECT_NE(target.find("size=12345"), std::string::npos);
+  EXPECT_NE(target.find("us=67"), std::string::npos);
+}
+
+TEST(BenchRunner, CountersDeltaScopedToWindow) {
+  BenchPoint point;
+  point.server.architecture = ServerArchitecture::kSingleThread;
+  point.concurrency = 4;
+  point.warmup_sec = 0.1;
+  point.measure_sec = 0.3;
+  point.targets = {{BenchTarget(256, 0), 1.0}};
+  const BenchPointResult r = RunBenchPoint(point);
+
+  EXPECT_GT(r.Throughput(), 100.0);
+  // Window-scoped counters exclude warmup traffic, so they must be close
+  // to the client-side completion count. The snapshot hooks fire on the
+  // client thread while the server keeps processing, so the boundary can
+  // be off by up to the in-flight request count (the concurrency).
+  EXPECT_GE(r.counters.requests_handled + 4, r.load.completed);
+  EXPECT_LT(r.counters.requests_handled, r.load.completed * 2 + 100);
+  EXPECT_GT(r.activity.elapsed_sec, 0.2);
+  EXPECT_GT(r.process_cpu.Total(), 0.0);
+}
+
+TEST(BenchRunner, DefaultCpuModelMonotonicInSize) {
+  EXPECT_LT(DefaultCpuUs(100), DefaultCpuUs(10 * 1024));
+  EXPECT_LT(DefaultCpuUs(10 * 1024), DefaultCpuUs(100 * 1024));
+}
+
+TEST(BenchRunner, CounterSubtraction) {
+  ServerCounters a, b;
+  a.requests_handled = 10;
+  a.write_calls = 20;
+  b.requests_handled = 4;
+  b.write_calls = 5;
+  const ServerCounters d = a - b;
+  EXPECT_EQ(d.requests_handled, 6u);
+  EXPECT_EQ(d.write_calls, 15u);
+}
+
+}  // namespace
+}  // namespace hynet

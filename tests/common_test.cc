@@ -1,0 +1,322 @@
+// Unit tests for common/: buffers, queues, histograms, RNG/Zipf, env,
+// logging, CPU-burn calibration.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/env.h"
+#include "common/fd.h"
+#include "common/histogram.h"
+#include "common/logging.h"
+#include "common/queue.h"
+#include "common/rng.h"
+#include "common/thread_util.h"
+
+namespace hynet {
+namespace {
+
+TEST(ByteBuffer, StartsEmpty) {
+  ByteBuffer buf;
+  EXPECT_EQ(buf.ReadableBytes(), 0u);
+  EXPECT_TRUE(buf.Empty());
+  EXPECT_GT(buf.WritableBytes(), 0u);
+}
+
+TEST(ByteBuffer, AppendThenView) {
+  ByteBuffer buf;
+  buf.Append("hello ");
+  buf.Append("world");
+  EXPECT_EQ(buf.View(), "hello world");
+  EXPECT_EQ(buf.ReadableBytes(), 11u);
+}
+
+TEST(ByteBuffer, ConsumeAdvancesAndResets) {
+  ByteBuffer buf;
+  buf.Append("abcdef");
+  buf.Consume(3);
+  EXPECT_EQ(buf.View(), "def");
+  buf.Consume(3);
+  // Fully consumed: cursors reset so the space is reused.
+  EXPECT_TRUE(buf.Empty());
+  buf.Append("x");
+  EXPECT_EQ(buf.View(), "x");
+}
+
+TEST(ByteBuffer, GrowsPastInitialCapacity) {
+  ByteBuffer buf(16);
+  const std::string big(100000, 'z');
+  buf.Append(big);
+  EXPECT_EQ(buf.ReadableBytes(), big.size());
+  EXPECT_EQ(buf.View(), big);
+}
+
+TEST(ByteBuffer, CompactReclaimsConsumedSpace) {
+  ByteBuffer buf(64);
+  buf.Append(std::string(48, 'a'));
+  buf.Consume(40);
+  buf.EnsureWritable(50);  // fits after compaction without growing
+  EXPECT_LE(buf.Capacity(), 64u);
+  EXPECT_EQ(buf.View(), std::string(8, 'a'));
+}
+
+TEST(ByteBuffer, ProducedAfterExternalWrite) {
+  ByteBuffer buf;
+  buf.EnsureWritable(4);
+  std::memcpy(buf.WritePtr(), "abcd", 4);
+  buf.Produced(4);
+  EXPECT_EQ(buf.View(), "abcd");
+}
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Push(3);
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_EQ(q.Pop().value(), 3);
+}
+
+TEST(BlockingQueue, TryPopOnEmptyReturnsNullopt) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BlockingQueue, CloseDrainsRemainingItems) {
+  BlockingQueue<int> q;
+  q.Push(7);
+  q.Close();
+  EXPECT_EQ(q.Pop().value(), 7);   // drained after close
+  EXPECT_FALSE(q.Pop().has_value());  // then closed
+}
+
+TEST(BlockingQueue, BlockedConsumerWakesOnPush) {
+  BlockingQueue<int> q;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.Push(42);
+  });
+  EXPECT_EQ(q.Pop().value(), 42);  // blocks until producer pushes
+  producer.join();
+}
+
+TEST(BlockingQueue, ManyProducersManyConsumers) {
+  BlockingQueue<int> q;
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q] {
+      for (int i = 1; i <= kPerProducer; ++i) q.Push(i);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (consumed.fetch_add(1) < kProducers * kPerProducer) {
+        auto v = q.Pop();
+        if (!v) break;
+        sum += *v;
+      }
+      consumed.fetch_sub(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(sum.load(),
+            int64_t{kProducers} * kPerProducer * (kPerProducer + 1) / 2);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  EXPECT_EQ(h.Max(), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.Record(1'000'000);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Min(), 1'000'000);
+  EXPECT_EQ(h.Max(), 1'000'000);
+  // Log-bucketed: percentile within ~3.2% of the true value.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 1e6, 1e6 * 0.04);
+}
+
+TEST(Histogram, PercentilesOrdered) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(static_cast<int64_t>(rng.NextBounded(10'000'000)));
+  }
+  const int64_t p50 = h.Percentile(0.50);
+  const int64_t p90 = h.Percentile(0.90);
+  const int64_t p99 = h.Percentile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.Max());
+  // Uniform distribution: p50 near the midpoint.
+  EXPECT_NEAR(static_cast<double>(p50), 5e6, 5e5);
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording) {
+  Histogram a, b, combined;
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = static_cast<int64_t>(rng.NextBounded(1'000'000));
+    (i % 2 ? a : b).Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), combined.Count());
+  EXPECT_EQ(a.Max(), combined.Max());
+  EXPECT_EQ(a.Min(), combined.Min());
+  EXPECT_EQ(a.Percentile(0.9), combined.Percentile(0.9));
+}
+
+TEST(Histogram, HugeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Record(int64_t{1} << 60);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_GT(h.Percentile(1.0), 0);
+}
+
+TEST(FormatNanosTest, PicksAdaptiveUnits) {
+  EXPECT_EQ(FormatNanos(500), "500ns");
+  EXPECT_EQ(FormatNanos(1500), "1.5us");
+  EXPECT_EQ(FormatNanos(2.5e6), "2.50ms");
+  EXPECT_EQ(FormatNanos(3.1e9), "3.10s");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.NextBounded(17), 17u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / kN, 2.0, 0.05);
+}
+
+class ZipfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfTest, SamplesInRangeAndSkewedByTheta) {
+  const double theta = GetParam();
+  Rng rng(17);
+  ZipfGenerator zipf(1000, theta);
+  std::vector<int> counts(1000, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const uint64_t v = zipf.Next(rng);
+    ASSERT_LT(v, 1000u);
+    counts[v]++;
+  }
+  const double head_share =
+      static_cast<double>(counts[0] + counts[1] + counts[2]) / kN;
+  if (theta == 0.0) {
+    EXPECT_LT(head_share, 0.01);  // uniform: 3/1000 plus noise
+  } else {
+    EXPECT_GT(head_share, 0.05);  // skewed: head items dominate
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfTest,
+                         ::testing::Values(0.0, 0.8, 0.99, 1.2));
+
+TEST(Env, ParsesTypes) {
+  ::setenv("HYNET_TEST_INT", "42", 1);
+  ::setenv("HYNET_TEST_DOUBLE", "2.5", 1);
+  ::setenv("HYNET_TEST_BOOL", "false", 1);
+  ::setenv("HYNET_TEST_STRING", "abc", 1);
+  EXPECT_EQ(EnvInt("HYNET_TEST_INT", 0), 42);
+  EXPECT_DOUBLE_EQ(EnvDouble("HYNET_TEST_DOUBLE", 0), 2.5);
+  EXPECT_FALSE(EnvBool("HYNET_TEST_BOOL", true));
+  EXPECT_EQ(EnvString("HYNET_TEST_STRING", ""), "abc");
+}
+
+TEST(Env, FallsBackOnUnsetAndInvalid) {
+  ::unsetenv("HYNET_TEST_MISSING");
+  ::setenv("HYNET_TEST_BAD_INT", "not-a-number", 1);
+  EXPECT_EQ(EnvInt("HYNET_TEST_MISSING", 7), 7);
+  EXPECT_EQ(EnvInt("HYNET_TEST_BAD_INT", 9), 9);
+  EXPECT_TRUE(EnvBool("HYNET_TEST_MISSING", true));
+}
+
+TEST(ScopedFdTest, ClosesOnDestruction) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  {
+    ScopedFd a(fds[0]);
+    ScopedFd b(fds[1]);
+    EXPECT_TRUE(a.valid());
+  }
+  // Both ends closed: closing again must fail.
+  EXPECT_EQ(::close(fds[0]), -1);
+  EXPECT_EQ(::close(fds[1]), -1);
+}
+
+TEST(ScopedFdTest, MoveTransfersOwnership) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ScopedFd a(fds[0]);
+  ScopedFd b(fds[1]);
+  ScopedFd c(std::move(a));
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): testing it
+  EXPECT_EQ(c.get(), fds[0]);
+  const int released = c.Release();
+  EXPECT_EQ(released, fds[0]);
+  EXPECT_FALSE(c.valid());
+  ::close(released);
+}
+
+TEST(BurnCpu, BurnsApproximatelyRequestedTime) {
+  CalibrateCpuBurn();
+  const auto t0 = Now();
+  BurnCpuMicros(20000);  // 20 ms: long enough to dominate scheduler noise
+  const double elapsed_us = ToSeconds(Now() - t0) * 1e6;
+  EXPECT_GT(elapsed_us, 10000);
+  EXPECT_LT(elapsed_us, 200000);
+}
+
+TEST(ThreadGroup, JoinsAllOnDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadGroup group;
+    for (int i = 0; i < 5; ++i) {
+      group.Spawn([&ran] { ran++; });
+    }
+  }
+  EXPECT_EQ(ran.load(), 5);
+}
+
+TEST(Logging, ParseLevelIsCaseInsensitive) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("ERROR"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("nonsense"), LogLevel::kWarn);
+}
+
+}  // namespace
+}  // namespace hynet

@@ -1,0 +1,275 @@
+// Unit tests for core/: write-spin monitor, runtime request classifier,
+// and the HybridServer's path selection + self-correction.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "client/bench_runner.h"
+#include "core/classifier.h"
+#include "core/hybrid_server.h"
+#include "core/write_spin.h"
+#include "net/socket.h"
+#include "proto/http_codec.h"
+#include "proto/http_parser.h"
+
+namespace hynet {
+namespace {
+
+TEST(WriteSpinMonitorTest, VerdictFollowsThresholdAndBlocking) {
+  WriteSpinMonitor monitor(2);
+  EXPECT_FALSE(monitor.IsHeavy({1, false, 100}));
+  EXPECT_FALSE(monitor.IsHeavy({2, false, 100}));
+  EXPECT_TRUE(monitor.IsHeavy({3, false, 100}));
+  EXPECT_TRUE(monitor.IsHeavy({1, true, 100}));  // blocked = heavy
+}
+
+TEST(WriteSpinMonitorTest, AggregatesObservations) {
+  WriteSpinMonitor monitor(2);
+  monitor.Record({1, false, 100});
+  monitor.Record({5, false, 100000});
+  monitor.Record({1, true, 50000});
+  EXPECT_EQ(monitor.observations(), 3u);
+  EXPECT_EQ(monitor.heavy_observed(), 2u);
+  EXPECT_NEAR(monitor.MeanWritesPerResponse(), 7.0 / 3.0, 1e-9);
+}
+
+TEST(ClassifierTest, DefaultsToLightForUnknown) {
+  RequestClassifier classifier;
+  EXPECT_EQ(classifier.Lookup("/never-seen"), PathCategory::kLight);
+  EXPECT_EQ(classifier.Size(), 0u);
+}
+
+TEST(ClassifierTest, UpdateAndLookupRoundTrip) {
+  RequestClassifier classifier;
+  EXPECT_TRUE(classifier.Update("/big", PathCategory::kHeavy));
+  EXPECT_EQ(classifier.Lookup("/big"), PathCategory::kHeavy);
+  EXPECT_EQ(classifier.Size(), 1u);
+}
+
+TEST(ClassifierTest, RedundantUpdateIsNotAReclassification) {
+  RequestClassifier classifier;
+  EXPECT_TRUE(classifier.Update("/big", PathCategory::kHeavy));
+  EXPECT_FALSE(classifier.Update("/big", PathCategory::kHeavy));
+  EXPECT_EQ(classifier.Reclassifications(), 1u);
+}
+
+TEST(ClassifierTest, RecordingTheDefaultForFreshKeyIsFree) {
+  RequestClassifier classifier;  // default light
+  EXPECT_FALSE(classifier.Update("/small", PathCategory::kLight));
+  EXPECT_EQ(classifier.Reclassifications(), 0u);
+  // But the entry exists and can later flip.
+  EXPECT_TRUE(classifier.Update("/small", PathCategory::kHeavy));
+  EXPECT_TRUE(classifier.Update("/small", PathCategory::kLight));
+  EXPECT_EQ(classifier.Reclassifications(), 2u);
+}
+
+TEST(ClassifierTest, HeavyDefaultVariant) {
+  RequestClassifier classifier(PathCategory::kHeavy);
+  EXPECT_EQ(classifier.Lookup("/anything"), PathCategory::kHeavy);
+  EXPECT_TRUE(classifier.Update("/anything", PathCategory::kLight));
+}
+
+TEST(ClassifierTest, ClearResets) {
+  RequestClassifier classifier;
+  classifier.Update("/a", PathCategory::kHeavy);
+  classifier.Clear();
+  EXPECT_EQ(classifier.Size(), 0u);
+  EXPECT_EQ(classifier.Lookup("/a"), PathCategory::kLight);
+}
+
+TEST(ClassifierTest, ConcurrentLookupsAndUpdatesAreSafe) {
+  RequestClassifier classifier;
+  std::vector<std::thread> threads;
+  std::atomic<bool> stop{false};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const std::string key = "/k" + std::to_string(i % 17);
+        if (t % 2 == 0) {
+          classifier.Update(key, i % 2 ? PathCategory::kHeavy
+                                       : PathCategory::kLight);
+        } else {
+          (void)classifier.Lookup(key);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  stop = true;
+  EXPECT_LE(classifier.Size(), 17u);
+  EXPECT_GT(classifier.Lookups(), 0u);
+}
+
+// --- HybridServer end-to-end behaviour ---
+
+class HybridServerTest : public ::testing::Test {
+ protected:
+  void StartServer(int heavy_threshold = 2) {
+    ServerConfig config;
+    config.architecture = ServerArchitecture::kHybrid;
+    config.snd_buf_bytes = 16 * 1024;
+    config.hybrid_heavy_write_threshold = heavy_threshold;
+    server_ = std::make_unique<HybridServer>(config, MakeBenchHandler());
+    server_->Start();
+  }
+
+  HttpResponse Fetch(const std::string& target, int rcv_buf = 0) {
+    Socket sock = Socket::CreateTcp(false);
+    if (rcv_buf > 0) sock.SetRecvBufferSize(rcv_buf);
+    sock.Connect(InetAddr::Loopback(server_->Port()));
+    const std::string wire = BuildGetRequest(target);
+    size_t off = 0;
+    while (off < wire.size()) {
+      const IoResult r =
+          WriteFd(sock.fd(), wire.data() + off, wire.size() - off);
+      if (r.Fatal()) throw std::runtime_error("write");
+      off += static_cast<size_t>(r.n);
+    }
+    HttpResponseParser parser;
+    ByteBuffer in;
+    char buf[16 * 1024];
+    while (true) {
+      const ParseStatus st = parser.Parse(in);
+      if (st == ParseStatus::kComplete) return parser.response();
+      if (st == ParseStatus::kError) throw std::runtime_error("parse");
+      const IoResult r = ReadFd(sock.fd(), buf, sizeof(buf));
+      if (r.n <= 0) throw std::runtime_error("eof");
+      in.Append(buf, static_cast<size_t>(r.n));
+    }
+  }
+
+  std::unique_ptr<HybridServer> server_;
+};
+
+TEST_F(HybridServerTest, LightRequestsStayOnLightPath) {
+  StartServer();
+  for (int i = 0; i < 10; ++i) {
+    const HttpResponse resp = Fetch(BenchTarget(256, 0));
+    EXPECT_EQ(resp.body.size(), 256u);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const ServerCounters c = server_->Snapshot();
+  EXPECT_EQ(c.light_path_responses, 10u);
+  EXPECT_EQ(c.heavy_path_responses, 0u);
+  server_->Stop();
+}
+
+TEST_F(HybridServerTest, HeavyTypeLearnedAfterFirstRequest) {
+  StartServer();
+  const std::string heavy_target = BenchTarget(200 * 1024, 0);
+  // Small client window forces the write-spin on the first heavy request.
+  for (int i = 0; i < 5; ++i) {
+    const HttpResponse resp = Fetch(heavy_target, /*rcv_buf=*/16 * 1024);
+    EXPECT_EQ(resp.body.size(), 200u * 1024);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const ServerCounters c = server_->Snapshot();
+  // First request mispredicts (light attempt), the rest go straight to the
+  // heavy path.
+  EXPECT_GE(c.heavy_path_responses, 4u);
+  EXPECT_EQ(server_->classifier().Lookup(heavy_target),
+            PathCategory::kHeavy);
+  EXPECT_GE(server_->classifier().Reclassifications(), 1u);
+  server_->Stop();
+}
+
+TEST_F(HybridServerTest, MixedTypesRoutedIndependently) {
+  StartServer();
+  const std::string light = BenchTarget(128, 0);
+  const std::string heavy = BenchTarget(200 * 1024, 0);
+  for (int i = 0; i < 4; ++i) {
+    Fetch(heavy, 16 * 1024);
+    Fetch(light, 16 * 1024);
+  }
+  EXPECT_EQ(server_->classifier().Lookup(light), PathCategory::kLight);
+  EXPECT_EQ(server_->classifier().Lookup(heavy), PathCategory::kHeavy);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const ServerCounters c = server_->Snapshot();
+  EXPECT_GE(c.light_path_responses, 4u);
+  EXPECT_GE(c.heavy_path_responses, 3u);
+  server_->Stop();
+}
+
+TEST_F(HybridServerTest, MonitorSeesObservations) {
+  StartServer();
+  for (int i = 0; i < 3; ++i) Fetch(BenchTarget(100, 0));
+  // Counters may trail the last readable byte by a few instructions.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(server_->monitor().observations(), 3u);
+  EXPECT_EQ(server_->monitor().heavy_observed(), 0u);
+  server_->Stop();
+}
+
+TEST_F(HybridServerTest, ResponsesOrderedWhenPathsMix) {
+  // A heavy response queued in the outbound buffer must not be overtaken
+  // by a later light response on the same connection (pipelined).
+  StartServer();
+  Socket sock = Socket::CreateTcp(false);
+  sock.SetRecvBufferSize(16 * 1024);
+  sock.Connect(InetAddr::Loopback(server_->Port()));
+  const std::string heavy = BenchTarget(150 * 1024, 0);
+  const std::string light = BenchTarget(64, 0);
+  // Teach the classifier first.
+  Fetch(heavy, 16 * 1024);
+
+  std::string wire = BuildGetRequest(heavy) + BuildGetRequest(light);
+  ASSERT_EQ(WriteFd(sock.fd(), wire.data(), wire.size()).n,
+            static_cast<ssize_t>(wire.size()));
+
+  HttpResponseParser parser;
+  ByteBuffer in;
+  char buf[16 * 1024];
+  std::vector<size_t> sizes;
+  while (sizes.size() < 2) {
+    const ParseStatus st = parser.Parse(in);
+    if (st == ParseStatus::kComplete) {
+      sizes.push_back(parser.response().body.size());
+      continue;
+    }
+    ASSERT_NE(st, ParseStatus::kError);
+    const IoResult r = ReadFd(sock.fd(), buf, sizeof(buf));
+    ASSERT_GT(r.n, 0);
+    in.Append(buf, static_cast<size_t>(r.n));
+  }
+  EXPECT_EQ(sizes[0], 150u * 1024);  // heavy first — order preserved
+  EXPECT_EQ(sizes[1], 64u);
+  server_->Stop();
+}
+
+TEST_F(HybridServerTest, PushTrainGrowthFlipsTypeToHeavy) {
+  StartServer();
+  // Same request type; the handler's push train makes it large.
+  const std::string target = "/bench?size=1024&push=12&push_kb=16";
+  for (int i = 0; i < 4; ++i) {
+    const HttpResponse resp = Fetch(target, /*rcv_buf=*/16 * 1024);
+    EXPECT_EQ(resp.body.size(), 1024u + 12 * 16 * 1024);
+    EXPECT_EQ(resp.Header("X-Push-Parts"), "12");
+  }
+  EXPECT_EQ(server_->classifier().Lookup(target), PathCategory::kHeavy);
+  server_->Stop();
+}
+
+TEST(HybridFactory, CreateServerBuildsAllSix) {
+  for (auto arch :
+       {ServerArchitecture::kThreadPerConn, ServerArchitecture::kReactorPool,
+        ServerArchitecture::kReactorPoolFix,
+        ServerArchitecture::kSingleThread, ServerArchitecture::kMultiLoop,
+        ServerArchitecture::kHybrid}) {
+    ServerConfig config;
+    config.architecture = arch;
+    auto server = CreateServer(config, MakeBenchHandler());
+    ASSERT_NE(server, nullptr) << ArchitectureName(arch);
+  }
+  ServerConfig hybrid_config;
+  hybrid_config.architecture = ServerArchitecture::kHybrid;
+  EXPECT_THROW(CreateBasicServer(hybrid_config, MakeBenchHandler()),
+               std::invalid_argument);
+}
+
+TEST(PathCategoryNames, Stable) {
+  EXPECT_STREQ(PathCategoryName(PathCategory::kLight), "light");
+  EXPECT_STREQ(PathCategoryName(PathCategory::kHeavy), "heavy");
+}
+
+}  // namespace
+}  // namespace hynet

@@ -1,0 +1,206 @@
+// Tests for the taxonomy extensions (StagedSEDA, SingleT-NCopy) and the
+// open-loop load-generation mode.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "client/bench_runner.h"
+#include "client/load_gen.h"
+#include "core/hybrid_server.h"
+#include "servers/ncopy.h"
+#include "servers/staged.h"
+
+namespace hynet {
+namespace {
+
+TEST(StagedServerTest, CountsFourLogicalSwitchesPerRequest) {
+  ServerConfig config;
+  config.architecture = ServerArchitecture::kStaged;
+  config.stage_threads = 2;
+  auto server = CreateServer(config, MakeBenchHandler());
+  server->Start();
+
+  LoadConfig lc;
+  lc.server = InetAddr::Loopback(server->Port());
+  lc.connections = 4;
+  lc.warmup_sec = 0.05;
+  lc.measure_sec = 0.3;
+  lc.targets = {{BenchTarget(128, 0), 1.0}};
+  const LoadResult result = RunLoad(lc);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const ServerCounters c = server->Snapshot();
+  server->Stop();
+
+  EXPECT_EQ(result.errors, 0u);
+  ASSERT_GT(c.requests_handled, 50u);
+  // parse + app + write stage hops + return to reactor = 4 per request
+  // (steady state; connection churn adds a handful).
+  EXPECT_NEAR(static_cast<double>(c.logical_switches) /
+                  static_cast<double>(c.requests_handled),
+              4.0, 0.2);
+}
+
+TEST(StagedServerTest, StagePoolsAreSeparateThreads) {
+  ServerConfig config;
+  config.architecture = ServerArchitecture::kStaged;
+  config.stage_threads = 2;
+  auto server = CreateServer(config, MakeBenchHandler());
+  server->Start();
+  const std::vector<int> tids = server->ThreadIds();
+  // 3 stages x 2 threads + reactor.
+  EXPECT_EQ(tids.size(), 7u);
+  EXPECT_EQ(std::set<int>(tids.begin(), tids.end()).size(), 7u);
+  server->Stop();
+}
+
+TEST(NCopyServerTest, CopiesSharePortAndSplitConnections) {
+  ServerConfig config;
+  config.architecture = ServerArchitecture::kSingleThreadNCopy;
+  config.ncopy = 3;
+  auto server = CreateServer(config, MakeBenchHandler());
+  server->Start();
+  EXPECT_EQ(server->ThreadIds().size(), 3u);
+
+  LoadConfig lc;
+  lc.server = InetAddr::Loopback(server->Port());
+  lc.connections = 12;
+  lc.warmup_sec = 0.05;
+  lc.measure_sec = 0.3;
+  lc.targets = {{BenchTarget(128, 0), 1.0}};
+  const LoadResult result = RunLoad(lc);
+  const ServerCounters c = server->Snapshot();
+  server->Stop();
+
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_GT(result.completed, 100u);
+  EXPECT_EQ(c.connections_accepted, 12u);
+  EXPECT_GE(c.requests_handled, result.completed);
+}
+
+TEST(NCopyServerTest, SingleCopyDegeneratesToSingleThread) {
+  ServerConfig config;
+  config.architecture = ServerArchitecture::kSingleThreadNCopy;
+  config.ncopy = 1;
+  auto server = CreateServer(config, MakeBenchHandler());
+  server->Start();
+  EXPECT_EQ(server->ThreadIds().size(), 1u);
+  server->Stop();
+}
+
+TEST(OpenLoop, RateIsApproximatelyHonored) {
+  ServerConfig config;
+  config.architecture = ServerArchitecture::kSingleThread;
+  auto server = CreateServer(config, MakeBenchHandler());
+  server->Start();
+
+  LoadConfig lc;
+  lc.server = InetAddr::Loopback(server->Port());
+  lc.connections = 16;
+  lc.warmup_sec = 0.2;
+  lc.measure_sec = 1.0;
+  lc.open_loop_rate = 500.0;  // far below capacity
+  lc.targets = {{BenchTarget(128, 0), 1.0}};
+  const LoadResult result = RunLoad(lc);
+  server->Stop();
+
+  EXPECT_EQ(result.errors, 0u);
+  // Poisson(500) over 1s: expect ~500 ± 5 sigma.
+  EXPECT_NEAR(static_cast<double>(result.completed), 500.0, 120.0);
+  EXPECT_EQ(result.queued_arrivals, 0u);
+}
+
+TEST(OpenLoop, OverloadShowsQueueingDelay) {
+  // One slow connection (handler burns ~5ms) and an arrival rate far above
+  // its service rate: open-loop latency must blow past the service time.
+  ServerConfig config;
+  config.architecture = ServerArchitecture::kSingleThread;
+  auto server = CreateServer(config, MakeBenchHandler());
+  server->Start();
+
+  LoadConfig lc;
+  lc.server = InetAddr::Loopback(server->Port());
+  lc.connections = 1;
+  lc.warmup_sec = 0.1;
+  lc.measure_sec = 0.8;
+  lc.open_loop_rate = 600.0;                       // offered: 600/s
+  lc.targets = {{BenchTarget(128, 3000), 1.0}};    // service: ~330/s max
+  const LoadResult result = RunLoad(lc);
+  server->Stop();
+
+  ASSERT_GT(result.completed, 10u);
+  EXPECT_GT(result.queued_arrivals, 10u);
+  // Mean latency must exceed the bare service time several-fold because
+  // intended-arrival timing charges the queueing delay.
+  EXPECT_GT(result.latency.Mean() / 1e6, 10.0);
+}
+
+TEST(OpenLoop, ClosedLoopFieldUntouched) {
+  ServerConfig config;
+  config.architecture = ServerArchitecture::kSingleThread;
+  auto server = CreateServer(config, MakeBenchHandler());
+  server->Start();
+  LoadConfig lc;
+  lc.server = InetAddr::Loopback(server->Port());
+  lc.connections = 2;
+  lc.warmup_sec = 0.05;
+  lc.measure_sec = 0.2;
+  lc.targets = {{BenchTarget(64, 0), 1.0}};
+  const LoadResult result = RunLoad(lc);
+  server->Stop();
+  EXPECT_EQ(result.queued_arrivals, 0u);
+}
+
+TEST(PhaseProfiling, EnabledServerAccountsAllPhases) {
+  ServerConfig config;
+  config.architecture = ServerArchitecture::kHybrid;
+  config.profile_phases = true;
+  auto server = CreateServer(config, MakeBenchHandler());
+  server->Start();
+
+  LoadConfig lc;
+  lc.server = InetAddr::Loopback(server->Port());
+  lc.connections = 2;
+  lc.warmup_sec = 0.02;
+  lc.measure_sec = 0.2;
+  lc.targets = {{BenchTarget(2048, 50), 1.0}};
+  const LoadResult r = RunLoad(lc);
+  ASSERT_GT(r.completed, 10u);
+
+  const auto snap = server->phase_profiler().Snap();
+  server->Stop();
+  for (int i = 0; i < kPhaseCount; ++i) {
+    EXPECT_GT(snap.count[static_cast<size_t>(i)], 0u)
+        << PhaseName(static_cast<Phase>(i));
+  }
+  // Handler burns ~50us; its mean must dominate parse.
+  EXPECT_GT(snap.MeanNs(Phase::kHandler), snap.MeanNs(Phase::kParse));
+}
+
+TEST(PhaseProfiling, DisabledByDefaultCostsNothing) {
+  ServerConfig config;
+  config.architecture = ServerArchitecture::kSingleThread;
+  auto server = CreateServer(config, MakeBenchHandler());
+  server->Start();
+  LoadConfig lc;
+  lc.server = InetAddr::Loopback(server->Port());
+  lc.connections = 1;
+  lc.warmup_sec = 0.02;
+  lc.measure_sec = 0.05;
+  lc.targets = {{BenchTarget(64, 0), 1.0}};
+  RunLoad(lc);
+  const auto snap = server->phase_profiler().Snap();
+  server->Stop();
+  for (int i = 0; i < kPhaseCount; ++i) {
+    EXPECT_EQ(snap.count[static_cast<size_t>(i)], 0u);
+  }
+}
+
+TEST(ArchitectureNames, NewEntriesNamed) {
+  EXPECT_STREQ(ArchitectureName(ServerArchitecture::kStaged), "StagedSEDA");
+  EXPECT_STREQ(ArchitectureName(ServerArchitecture::kSingleThreadNCopy),
+               "SingleT-NCopy");
+}
+
+}  // namespace
+}  // namespace hynet

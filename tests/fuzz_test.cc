@@ -1,0 +1,200 @@
+// Randomized (seeded, reproducible) property tests: the HTTP parsers under
+// adversarial fragmentation and garbage, ByteBuffer under random op
+// sequences, and the outbound buffer against a randomly-draining peer.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "net/socket.h"
+#include "proto/http_codec.h"
+#include "proto/http_parser.h"
+#include "runtime/outbound_buffer.h"
+
+namespace hynet {
+namespace {
+
+// Any valid request stream, split at random points, must parse into the
+// same sequence of requests.
+class ParserFragmentationFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFragmentationFuzz, RandomSplitsPreserveSemantics) {
+  Rng rng(GetParam());
+
+  // Build a random pipelined request stream.
+  std::string wire;
+  std::vector<std::pair<std::string, std::string>> expected;  // path, body
+  const int n = 1 + static_cast<int>(rng.NextBounded(8));
+  for (int i = 0; i < n; ++i) {
+    const std::string path = "/r" + std::to_string(rng.NextBounded(1000));
+    std::string body;
+    if (rng.NextBounded(2)) {
+      body.assign(rng.NextBounded(5000), 'b');
+    }
+    HttpRequest req;
+    req.method = body.empty() ? "GET" : "POST";
+    req.target = path;
+    req.body = body;
+    ByteBuffer out;
+    SerializeRequest(req, out);
+    wire += out.ToString();
+    expected.emplace_back(path, body);
+  }
+
+  // Feed it in random fragments.
+  HttpRequestParser parser;
+  ByteBuffer in;
+  size_t off = 0;
+  std::vector<std::pair<std::string, std::string>> parsed;
+  while (off < wire.size() || in.ReadableBytes() > 0) {
+    if (off < wire.size()) {
+      const size_t chunk =
+          1 + rng.NextBounded(std::min<uint64_t>(wire.size() - off, 1400));
+      in.Append(wire.data() + off, chunk);
+      off += chunk;
+    }
+    while (true) {
+      const ParseStatus st = parser.Parse(in);
+      if (st == ParseStatus::kNeedMore) break;
+      ASSERT_EQ(st, ParseStatus::kComplete);
+      parsed.emplace_back(parser.request().path, parser.request().body);
+    }
+    if (off >= wire.size() && in.ReadableBytes() == 0) break;
+    ASSERT_LT(parsed.size(), 100u) << "parser failed to make progress";
+  }
+  EXPECT_EQ(parsed, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFragmentationFuzz,
+                         ::testing::Range<uint64_t>(1, 33));
+
+// Random garbage must never be accepted as a complete request, and the
+// parser must fail (or keep waiting) without crashing.
+class ParserGarbageFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserGarbageFuzz, GarbageNeverParsesAsComplete) {
+  Rng rng(GetParam());
+  ByteBuffer in;
+  std::string garbage;
+  for (int i = 0; i < 512; ++i) {
+    garbage.push_back(static_cast<char>(rng.NextBounded(256)));
+  }
+  // Guarantee it is not accidentally a valid request line.
+  garbage[0] = '\0';
+  in.Append(garbage);
+  in.Append("\r\n\r\n");
+  HttpRequestParser parser;
+  const ParseStatus st = parser.Parse(in);
+  EXPECT_NE(st, ParseStatus::kComplete);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserGarbageFuzz,
+                         ::testing::Range<uint64_t>(100, 116));
+
+// ByteBuffer invariant check under random append/consume/compact sequences:
+// the readable view always equals the reference deque of bytes.
+class ByteBufferFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ByteBufferFuzz, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  ByteBuffer buf(64);
+  std::string model;
+  char fill = 'a';
+
+  for (int step = 0; step < 2000; ++step) {
+    switch (rng.NextBounded(4)) {
+      case 0: {  // append
+        const size_t len = rng.NextBounded(300);
+        const std::string data(len, fill);
+        fill = fill == 'z' ? 'a' : static_cast<char>(fill + 1);
+        buf.Append(data);
+        model += data;
+        break;
+      }
+      case 1: {  // consume
+        const size_t len = std::min<size_t>(rng.NextBounded(200),
+                                            buf.ReadableBytes());
+        buf.Consume(len);
+        model.erase(0, len);
+        break;
+      }
+      case 2:  // compact
+        buf.Compact();
+        break;
+      case 3: {  // external write via EnsureWritable/Produced
+        const size_t len = rng.NextBounded(100);
+        buf.EnsureWritable(len);
+        std::memset(buf.WritePtr(), 'X', len);
+        buf.Produced(len);
+        model.append(len, 'X');
+        break;
+      }
+    }
+    ASSERT_EQ(buf.ReadableBytes(), model.size()) << "step " << step;
+    ASSERT_EQ(buf.View(), model) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ByteBufferFuzz,
+                         ::testing::Values(7, 21, 99, 1234, 98765));
+
+// The outbound buffer must deliver every byte exactly once, in order,
+// regardless of the peer's drain pattern or the spin cap.
+class OutboundFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OutboundFuzz, RandomDrainPatternsPreserveByteStream) {
+  Rng rng(GetParam());
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ScopedFd writer(fds[0]), reader(fds[1]);
+  SetFdNonBlocking(writer.get(), true);
+  SetFdNonBlocking(reader.get(), true);
+  const int small = 8 * 1024;
+  ::setsockopt(writer.get(), SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  ::setsockopt(reader.get(), SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+
+  OutboundBuffer buf(1 + static_cast<int>(rng.NextBounded(20)));
+  WriteStats stats;
+
+  std::string sent_model;
+  char tag = 'A';
+  const int messages = 3 + static_cast<int>(rng.NextBounded(10));
+  for (int i = 0; i < messages; ++i) {
+    std::string msg(1 + rng.NextBounded(60000), tag);
+    tag = tag == 'Z' ? 'A' : static_cast<char>(tag + 1);
+    sent_model += msg;
+    buf.Add(std::move(msg));
+  }
+
+  std::string received;
+  char rbuf[16 * 1024];
+  int guard = 0;
+  while ((!buf.Empty() || received.size() < sent_model.size()) &&
+         guard++ < 100000) {
+    const FlushResult fr = buf.Flush(writer.get(), stats);
+    ASSERT_NE(fr, FlushResult::kError);
+    // Randomly drain between 0 and a few chunks.
+    const int drains = static_cast<int>(rng.NextBounded(4));
+    for (int d = 0; d < drains; ++d) {
+      const IoResult r = ReadFd(reader.get(), rbuf, sizeof(rbuf));
+      if (r.n <= 0) break;
+      received.append(rbuf, static_cast<size_t>(r.n));
+    }
+  }
+  // Final drain.
+  while (true) {
+    const IoResult r = ReadFd(reader.get(), rbuf, sizeof(rbuf));
+    if (r.n <= 0) break;
+    received.append(rbuf, static_cast<size_t>(r.n));
+  }
+
+  EXPECT_EQ(received, sent_model);
+  EXPECT_EQ(stats.responses.load(), static_cast<uint64_t>(messages));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OutboundFuzz,
+                         ::testing::Range<uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace hynet

@@ -1,0 +1,167 @@
+// Unit tests for metrics/: /proc counters, CPU sampling, reporting.
+#include <gtest/gtest.h>
+
+#include <sched.h>
+
+#include <thread>
+
+#include "common/thread_util.h"
+#include "metrics/cpu_sample.h"
+#include "metrics/proc_stat.h"
+#include "metrics/phase_profiler.h"
+#include "metrics/report.h"
+
+namespace hynet {
+namespace {
+
+TEST(ProcStat, ReadsOwnCtxSwitches) {
+  const CtxSwitchCounts before = ReadCtxSwitches(CurrentTid());
+  // Voluntary switches: sleep a few times.
+  for (int i = 0; i < 5; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const CtxSwitchCounts after = ReadCtxSwitches(CurrentTid());
+  EXPECT_GE(after.voluntary, before.voluntary + 5);
+  EXPECT_GE(after.Total(), before.Total());
+}
+
+TEST(ProcStat, DeadTidReadsZero) {
+  const CtxSwitchCounts counts = ReadCtxSwitches(999999999);
+  EXPECT_EQ(counts.Total(), 0u);
+  const ThreadCpuTimes cpu = ReadThreadCpu(999999999);
+  EXPECT_EQ(cpu.Total(), 0.0);
+}
+
+TEST(ProcStat, ThreadCpuGrowsWithWork) {
+  const int tid = CurrentTid();
+  const ThreadCpuTimes before = ReadThreadCpu(tid);
+  CalibrateCpuBurn();
+  BurnCpuMicros(100000);  // 100 ms >> the 10 ms tick granularity
+  const ThreadCpuTimes after = ReadThreadCpu(tid);
+  EXPECT_GT(after.user_sec, before.user_sec);
+}
+
+TEST(ProcStat, ProcessCpuIncludesAllThreads) {
+  const ThreadCpuTimes before = ReadProcessCpu();
+  std::thread worker([] {
+    CalibrateCpuBurn();
+    BurnCpuMicros(50000);
+  });
+  worker.join();
+  const ThreadCpuTimes after = ReadProcessCpu();
+  EXPECT_GT(after.Total(), before.Total());
+  EXPECT_GE(after.user_sec, before.user_sec);
+}
+
+TEST(ProcStat, SumAggregatesMultipleThreads) {
+  std::vector<int> tids;
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&] {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        tids.push_back(CurrentTid());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    });
+  }
+  while (true) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (tids.size() == 3) break;
+  }
+  const CtxSwitchCounts sum = SumCtxSwitches(tids);
+  EXPECT_GT(sum.Total(), 0u);
+  for (auto& t : threads) t.join();
+}
+
+TEST(ActivitySampler, MeasuresDeltaOverWindow) {
+  ServerActivitySampler sampler({CurrentTid()});
+  sampler.Start();
+  CalibrateCpuBurn();
+  BurnCpuMicros(60000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const ActivityDelta delta = sampler.Stop();
+  EXPECT_GT(delta.elapsed_sec, 0.05);
+  EXPECT_GT(delta.ctx_switches.Total(), 0u);
+  EXPECT_GE(delta.CpuUtilization(), 0.0);
+  EXPECT_LE(delta.UserShare(), 1.0);
+}
+
+TEST(CountersArithmetic, SubtractionAndAddition) {
+  CtxSwitchCounts a{10, 5}, b{4, 2};
+  const CtxSwitchCounts d = a - b;
+  EXPECT_EQ(d.voluntary, 6u);
+  EXPECT_EQ(d.involuntary, 3u);
+  CtxSwitchCounts sum{};
+  sum += a;
+  sum += b;
+  EXPECT_EQ(sum.Total(), 21u);
+
+  ThreadCpuTimes x{2.0, 1.0}, y{0.5, 0.25};
+  const ThreadCpuTimes dz = x - y;
+  EXPECT_DOUBLE_EQ(dz.user_sec, 1.5);
+  EXPECT_DOUBLE_EQ(dz.sys_sec, 0.75);
+}
+
+TEST(PhaseProfilerTest, DisabledRecordsNothingViaScopedPhase) {
+  PhaseProfiler profiler;  // disabled by default
+  { ScopedPhase phase(profiler, Phase::kParse); }
+  EXPECT_EQ(profiler.Snap().count[0], 0u);
+}
+
+TEST(PhaseProfilerTest, RecordsAndAverages) {
+  PhaseProfiler profiler;
+  profiler.Enable(true);
+  profiler.Record(Phase::kWrite, 100);
+  profiler.Record(Phase::kWrite, 300);
+  profiler.Record(Phase::kHandler, 50);
+  const auto snap = profiler.Snap();
+  EXPECT_DOUBLE_EQ(snap.MeanNs(Phase::kWrite), 200.0);
+  EXPECT_DOUBLE_EQ(snap.MeanNs(Phase::kHandler), 50.0);
+  EXPECT_DOUBLE_EQ(snap.MeanNs(Phase::kParse), 0.0);
+}
+
+TEST(PhaseProfilerTest, SnapshotSubtraction) {
+  PhaseProfiler profiler;
+  profiler.Enable(true);
+  profiler.Record(Phase::kParse, 10);
+  const auto before = profiler.Snap();
+  profiler.Record(Phase::kParse, 30);
+  const auto delta = profiler.Snap() - before;
+  EXPECT_EQ(delta.count[static_cast<size_t>(Phase::kParse)], 1u);
+  EXPECT_DOUBLE_EQ(delta.MeanNs(Phase::kParse), 30.0);
+}
+
+TEST(PhaseProfilerTest, ScopedPhaseMeasuresRealTime) {
+  PhaseProfiler profiler;
+  profiler.Enable(true);
+  {
+    ScopedPhase phase(profiler, Phase::kHandler);
+    BurnCpuMicros(2000);
+  }
+  const auto snap = profiler.Snap();
+  EXPECT_GE(snap.MeanNs(Phase::kHandler), 1'000'000.0);  // >= 1ms
+}
+
+TEST(PhaseNames, Stable) {
+  EXPECT_STREQ(PhaseName(Phase::kParse), "parse");
+  EXPECT_STREQ(PhaseName(Phase::kWrite), "write");
+}
+
+TEST(TablePrinterTest, FormattersAreStable) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(1000.0, 0), "1000");
+  EXPECT_EQ(TablePrinter::Int(-42), "-42");
+}
+
+TEST(TablePrinterTest, PrintDoesNotCrashOnRaggedRows) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});            // short row: padded
+  table.AddRow({"1", "2", "3"});
+  table.Print();                  // visual output; asserting no crash
+  table.PrintCsv("test");
+}
+
+}  // namespace
+}  // namespace hynet

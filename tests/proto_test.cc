@@ -1,0 +1,263 @@
+// Unit tests for the HTTP subset: incremental parsing under arbitrary
+// fragmentation, serialization round trips, malformed input rejection.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "proto/http_codec.h"
+#include "proto/http_parser.h"
+
+namespace hynet {
+namespace {
+
+TEST(HttpRequestParserTest, ParsesSimpleGet) {
+  HttpRequestParser parser;
+  ByteBuffer buf;
+  buf.Append("GET /index.html HTTP/1.1\r\nHost: example\r\n\r\n");
+  ASSERT_EQ(parser.Parse(buf), ParseStatus::kComplete);
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().path, "/index.html");
+  EXPECT_EQ(parser.request().Header("Host"), "example");
+  EXPECT_TRUE(parser.request().keep_alive);
+  EXPECT_TRUE(buf.Empty());
+}
+
+TEST(HttpRequestParserTest, ParsesQueryParameters) {
+  HttpRequestParser parser;
+  ByteBuffer buf;
+  buf.Append("GET /bench?size=102400&us=50&flag HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(parser.Parse(buf), ParseStatus::kComplete);
+  EXPECT_EQ(parser.request().path, "/bench");
+  EXPECT_EQ(parser.request().QueryParam("size"), "102400");
+  EXPECT_EQ(parser.request().QueryParamInt("size", 0), 102400);
+  EXPECT_EQ(parser.request().QueryParamInt("us", -1), 50);
+  EXPECT_EQ(parser.request().QueryParam("flag"), "");
+  EXPECT_EQ(parser.request().QueryParamInt("missing", 77), 77);
+}
+
+TEST(HttpRequestParserTest, OneByteAtATime) {
+  HttpRequestParser parser;
+  ByteBuffer buf;
+  const std::string wire =
+      "POST /submit HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    buf.Append(&wire[i], 1);
+    ASSERT_EQ(parser.Parse(buf), ParseStatus::kNeedMore) << "at byte " << i;
+  }
+  buf.Append(&wire.back(), 1);
+  ASSERT_EQ(parser.Parse(buf), ParseStatus::kComplete);
+  EXPECT_EQ(parser.request().method, "POST");
+  EXPECT_EQ(parser.request().body, "hello");
+}
+
+TEST(HttpRequestParserTest, PipelinedRequestsParseSequentially) {
+  HttpRequestParser parser;
+  ByteBuffer buf;
+  buf.Append("GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(parser.Parse(buf), ParseStatus::kComplete);
+  EXPECT_EQ(parser.request().path, "/a");
+  ASSERT_EQ(parser.Parse(buf), ParseStatus::kComplete);
+  EXPECT_EQ(parser.request().path, "/b");
+  EXPECT_EQ(parser.Parse(buf), ParseStatus::kNeedMore);
+}
+
+TEST(HttpRequestParserTest, ConnectionCloseRespected) {
+  HttpRequestParser parser;
+  ByteBuffer buf;
+  buf.Append("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  ASSERT_EQ(parser.Parse(buf), ParseStatus::kComplete);
+  EXPECT_FALSE(parser.request().keep_alive);
+}
+
+TEST(HttpRequestParserTest, Http10DefaultsToClose) {
+  HttpRequestParser parser;
+  ByteBuffer buf;
+  buf.Append("GET / HTTP/1.0\r\n\r\n");
+  ASSERT_EQ(parser.Parse(buf), ParseStatus::kComplete);
+  EXPECT_FALSE(parser.request().keep_alive);
+}
+
+TEST(HttpRequestParserTest, RejectsMissingVersion) {
+  HttpRequestParser parser;
+  ByteBuffer buf;
+  buf.Append("GET /\r\n\r\n");
+  EXPECT_EQ(parser.Parse(buf), ParseStatus::kError);
+}
+
+TEST(HttpRequestParserTest, RejectsNegativeContentLength) {
+  HttpRequestParser parser;
+  ByteBuffer buf;
+  buf.Append("POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n");
+  EXPECT_EQ(parser.Parse(buf), ParseStatus::kError);
+}
+
+TEST(HttpRequestParserTest, RejectsGarbageHeaderLine) {
+  HttpRequestParser parser;
+  ByteBuffer buf;
+  buf.Append("GET / HTTP/1.1\r\nthis-is-not-a-header\r\n\r\n");
+  EXPECT_EQ(parser.Parse(buf), ParseStatus::kError);
+}
+
+TEST(HttpRequestParserTest, ReusableAcrossRequests) {
+  HttpRequestParser parser;
+  ByteBuffer buf;
+  for (int i = 0; i < 50; ++i) {
+    buf.Append("GET /r" + std::to_string(i) + " HTTP/1.1\r\n\r\n");
+    ASSERT_EQ(parser.Parse(buf), ParseStatus::kComplete);
+    EXPECT_EQ(parser.request().path, "/r" + std::to_string(i));
+  }
+}
+
+TEST(HttpRequestParserTest, HeaderWhitespaceTrimmed) {
+  HttpRequestParser parser;
+  ByteBuffer buf;
+  buf.Append("GET / HTTP/1.1\r\nX-Pad:    spaced value  \r\n\r\n");
+  ASSERT_EQ(parser.Parse(buf), ParseStatus::kComplete);
+  EXPECT_EQ(parser.request().Header("x-pad"), "spaced value");
+}
+
+TEST(HttpResponseParserTest, ParsesStatusAndBody) {
+  HttpResponseParser parser;
+  ByteBuffer buf;
+  buf.Append("HTTP/1.1 404 Not Found\r\nContent-Length: 3\r\n\r\nnah");
+  ASSERT_EQ(parser.Parse(buf), ParseStatus::kComplete);
+  EXPECT_EQ(parser.response().status, 404);
+  EXPECT_EQ(parser.response().reason, "Not Found");
+  EXPECT_EQ(parser.response().body, "nah");
+}
+
+TEST(HttpResponseParserTest, FragmentedLargeBody) {
+  HttpResponseParser parser;
+  ByteBuffer buf;
+  const std::string body(100 * 1024, 'x');
+  std::string wire = "HTTP/1.1 200 OK\r\nContent-Length: " +
+                     std::to_string(body.size()) + "\r\n\r\n" + body;
+  size_t off = 0;
+  while (off < wire.size()) {
+    const size_t chunk = std::min<size_t>(1400, wire.size() - off);
+    buf.Append(wire.data() + off, chunk);
+    off += chunk;
+    const ParseStatus st = parser.Parse(buf);
+    if (off < wire.size()) {
+      ASSERT_EQ(st, ParseStatus::kNeedMore);
+    } else {
+      ASSERT_EQ(st, ParseStatus::kComplete);
+    }
+  }
+  EXPECT_EQ(parser.response().body.size(), body.size());
+}
+
+TEST(HttpResponseParserTest, RejectsNonHttpPreamble) {
+  HttpResponseParser parser;
+  ByteBuffer buf;
+  buf.Append("SMTP 220 hi\r\n\r\n");
+  EXPECT_EQ(parser.Parse(buf), ParseStatus::kError);
+}
+
+TEST(HttpCodec, ResponseRoundTrip) {
+  HttpResponse resp;
+  resp.status = 200;
+  resp.body = "payload-bytes";
+  resp.SetHeader("Content-Type", "text/plain");
+  ByteBuffer wire;
+  SerializeResponse(resp, wire);
+
+  HttpResponseParser parser;
+  ASSERT_EQ(parser.Parse(wire), ParseStatus::kComplete);
+  EXPECT_EQ(parser.response().status, 200);
+  EXPECT_EQ(parser.response().body, "payload-bytes");
+  EXPECT_EQ(parser.response().Header("content-type"), "text/plain");
+  EXPECT_TRUE(parser.response().keep_alive);
+}
+
+TEST(HttpCodec, RequestRoundTrip) {
+  HttpRequest req;
+  req.method = "POST";
+  req.target = "/submit?k=v";
+  req.body = "form-data";
+  req.headers.emplace_back("X-Custom", "1");
+  ByteBuffer wire;
+  SerializeRequest(req, wire);
+
+  HttpRequestParser parser;
+  ASSERT_EQ(parser.Parse(wire), ParseStatus::kComplete);
+  EXPECT_EQ(parser.request().method, "POST");
+  EXPECT_EQ(parser.request().path, "/submit");
+  EXPECT_EQ(parser.request().QueryParam("k"), "v");
+  EXPECT_EQ(parser.request().body, "form-data");
+  EXPECT_EQ(parser.request().Header("X-Custom"), "1");
+}
+
+TEST(HttpCodec, CloseConnectionSerialized) {
+  HttpResponse resp;
+  resp.keep_alive = false;
+  ByteBuffer wire;
+  SerializeResponse(resp, wire);
+  EXPECT_NE(wire.ToString().find("Connection: close"), std::string::npos);
+}
+
+TEST(HttpCodec, BuildGetRequestIsParseable) {
+  const std::string wire = BuildGetRequest("/bench?size=100");
+  ByteBuffer buf;
+  buf.Append(wire);
+  HttpRequestParser parser;
+  ASSERT_EQ(parser.Parse(buf), ParseStatus::kComplete);
+  EXPECT_EQ(parser.request().QueryParamInt("size", 0), 100);
+}
+
+TEST(HttpCodec, PushedResourcesSerializedAsPayloadTrain) {
+  HttpResponse resp;
+  resp.body = "page";
+  resp.pushed = {"styles", "script-code"};
+  ByteBuffer wire;
+  SerializeResponse(resp, wire);
+
+  HttpResponseParser parser;
+  ASSERT_EQ(parser.Parse(wire), ParseStatus::kComplete);
+  EXPECT_EQ(parser.response().body, "pagestylesscript-code");
+  EXPECT_EQ(parser.response().Header("X-Push-Parts"), "2");
+  EXPECT_EQ(parser.response().Header("X-Push-Sizes"), "6,11");
+}
+
+TEST(HttpCodec, PayloadBytesCountsPushedParts) {
+  HttpResponse resp;
+  resp.body.assign(100, 'b');
+  resp.pushed.emplace_back(50, 'p');
+  resp.pushed.emplace_back(25, 'q');
+  EXPECT_EQ(resp.PayloadBytes(), 175u);
+  resp.Clear();
+  EXPECT_TRUE(resp.pushed.empty());
+  EXPECT_EQ(resp.PayloadBytes(), 0u);
+}
+
+TEST(EqualsIgnoreCaseTest, Basics) {
+  EXPECT_TRUE(EqualsIgnoreCase("Content-Length", "content-length"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+// Property sweep: any split point of a valid request must parse identically.
+class SplitPointTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SplitPointTest, RequestParsesAtAnySplit) {
+  const std::string wire =
+      "POST /p?x=1 HTTP/1.1\r\nContent-Length: 11\r\nA: b\r\n\r\nhello world";
+  const size_t split = GetParam() % wire.size();
+  HttpRequestParser parser;
+  ByteBuffer buf;
+  buf.Append(wire.substr(0, split));
+  const ParseStatus first = parser.Parse(buf);
+  if (split < wire.size()) {
+    ASSERT_EQ(first, ParseStatus::kNeedMore);
+    buf.Append(wire.substr(split));
+    ASSERT_EQ(parser.Parse(buf), ParseStatus::kComplete);
+  }
+  EXPECT_EQ(parser.request().body, "hello world");
+  EXPECT_EQ(parser.request().QueryParam("x"), "1");
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, SplitPointTest,
+                         ::testing::Range<size_t>(1, 60, 3));
+
+}  // namespace
+}  // namespace hynet

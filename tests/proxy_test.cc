@@ -1,0 +1,194 @@
+// Tests for the latency-injection proxy: transparency of content, added
+// delay, response pacing (the ACK-clock emulation), and teardown.
+#include <gtest/gtest.h>
+
+#include "client/bench_runner.h"
+#include "client/load_gen.h"
+#include "common/clock.h"
+#include "core/hybrid_server.h"
+#include "proto/http_codec.h"
+#include "proto/http_parser.h"
+#include "net/socket.h"
+#include "proxy/latency_proxy.h"
+
+namespace hynet {
+namespace {
+
+std::unique_ptr<Server> StartEchoServer() {
+  ServerConfig config;
+  config.architecture = ServerArchitecture::kThreadPerConn;
+  auto server = CreateServer(config, MakeBenchHandler());
+  server->Start();
+  return server;
+}
+
+TEST(LatencyProxy, ForwardsContentIntact) {
+  auto server = StartEchoServer();
+  LatencyProxyConfig pc;
+  pc.upstream = InetAddr::Loopback(server->Port());
+  pc.one_way_delay = std::chrono::milliseconds(1);
+  LatencyProxy proxy(pc);
+  proxy.Start();
+
+  LoadConfig lc;
+  lc.server = InetAddr::Loopback(proxy.Port());
+  lc.connections = 4;
+  lc.warmup_sec = 0.05;
+  lc.measure_sec = 0.4;
+  lc.targets = {{BenchTarget(3000, 0), 1.0}};
+  const LoadResult result = RunLoad(lc);
+
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_GT(result.completed, 10u);
+  EXPECT_GT(proxy.ConnectionsProxied(), 0u);
+  EXPECT_GT(proxy.BytesForwarded(), 0u);
+
+  proxy.Stop();
+  server->Stop();
+}
+
+TEST(LatencyProxy, AddsRoundTripDelay) {
+  auto server = StartEchoServer();
+
+  auto measure_rt = [&](uint16_t port) {
+    LoadConfig lc;
+    lc.server = InetAddr::Loopback(port);
+    lc.connections = 1;
+    lc.warmup_sec = 0.05;
+    lc.measure_sec = 0.5;
+    lc.targets = {{BenchTarget(100, 0), 1.0}};
+    const LoadResult r = RunLoad(lc);
+    return r.latency.Mean() / 1e6;  // ms
+  };
+
+  const double direct_ms = measure_rt(server->Port());
+
+  LatencyProxyConfig pc;
+  pc.upstream = InetAddr::Loopback(server->Port());
+  pc.one_way_delay = std::chrono::milliseconds(5);
+  LatencyProxy proxy(pc);
+  proxy.Start();
+  const double proxied_ms = measure_rt(proxy.Port());
+  proxy.Stop();
+  server->Stop();
+
+  // Request path delayed 5ms + response released on the 5ms tick: expect
+  // at least ~8ms added versus direct.
+  EXPECT_GT(proxied_ms, direct_ms + 7.0);
+  EXPECT_LT(proxied_ms, direct_ms + 60.0);
+}
+
+TEST(LatencyProxy, PacesLargeResponsesByWindowPerTick) {
+  auto server = StartEchoServer();
+  LatencyProxyConfig pc;
+  pc.upstream = InetAddr::Loopback(server->Port());
+  pc.one_way_delay = std::chrono::milliseconds(2);
+  pc.window_bytes = 16 * 1024;
+  LatencyProxy proxy(pc);
+  proxy.Start();
+
+  LoadConfig lc;
+  lc.server = InetAddr::Loopback(proxy.Port());
+  lc.connections = 1;
+  lc.warmup_sec = 0.05;
+  lc.measure_sec = 0.6;
+  lc.targets = {{BenchTarget(100 * 1024, 0), 1.0}};
+  const LoadResult result = RunLoad(lc);
+  proxy.Stop();
+  server->Stop();
+
+  ASSERT_GT(result.completed, 0u);
+  // 100KB at 16KB per 2ms tick needs >= 6 ticks ≈ 12ms + request delay.
+  EXPECT_GT(result.latency.Mean() / 1e6, 12.0);
+}
+
+TEST(LatencyProxy, ManyConcurrentRelays) {
+  auto server = StartEchoServer();
+  LatencyProxyConfig pc;
+  pc.upstream = InetAddr::Loopback(server->Port());
+  pc.one_way_delay = std::chrono::milliseconds(1);
+  LatencyProxy proxy(pc);
+  proxy.Start();
+
+  LoadConfig lc;
+  lc.server = InetAddr::Loopback(proxy.Port());
+  lc.connections = 32;
+  lc.warmup_sec = 0.1;
+  lc.measure_sec = 0.5;
+  lc.targets = {{BenchTarget(500, 0), 1.0}};
+  const LoadResult result = RunLoad(lc);
+  proxy.Stop();
+  server->Stop();
+
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(proxy.ConnectionsProxied(), 32u);
+  EXPECT_GT(result.completed, 100u);
+}
+
+TEST(LatencyProxy, PreservesByteOrderAcrossDelayedChunks) {
+  // Two pipelined requests through the proxy must produce two responses
+  // in order with intact bodies (the timed queues must never reorder).
+  auto server = StartEchoServer();
+  LatencyProxyConfig pc;
+  pc.upstream = InetAddr::Loopback(server->Port());
+  pc.one_way_delay = std::chrono::milliseconds(2);
+  LatencyProxy proxy(pc);
+  proxy.Start();
+
+  Socket sock = Socket::CreateTcp(false);
+  sock.Connect(InetAddr::Loopback(proxy.Port()));
+  const std::string wire =
+      BuildGetRequest(BenchTarget(5000, 0)) +
+      BuildGetRequest(BenchTarget(700, 0));
+  ASSERT_EQ(WriteFd(sock.fd(), wire.data(), wire.size()).n,
+            static_cast<ssize_t>(wire.size()));
+
+  HttpResponseParser parser;
+  ByteBuffer in;
+  char buf[8192];
+  std::vector<size_t> sizes;
+  while (sizes.size() < 2) {
+    const ParseStatus st = parser.Parse(in);
+    if (st == ParseStatus::kComplete) {
+      sizes.push_back(parser.response().body.size());
+      continue;
+    }
+    ASSERT_NE(st, ParseStatus::kError);
+    const IoResult r = ReadFd(sock.fd(), buf, sizeof(buf));
+    ASSERT_GT(r.n, 0);
+    in.Append(buf, static_cast<size_t>(r.n));
+  }
+  EXPECT_EQ(sizes[0], 5000u);
+  EXPECT_EQ(sizes[1], 700u);
+  proxy.Stop();
+  server->Stop();
+}
+
+TEST(LatencyProxy, StopIsIdempotentAndClean) {
+  auto server = StartEchoServer();
+  LatencyProxyConfig pc;
+  pc.upstream = InetAddr::Loopback(server->Port());
+  pc.one_way_delay = std::chrono::milliseconds(1);
+  auto proxy = std::make_unique<LatencyProxy>(pc);
+  proxy->Start();
+  proxy->Stop();
+  proxy->Stop();
+  proxy.reset();
+  server->Stop();
+}
+
+TEST(BenchRunnerIntegration, LatencyPointRunsViaProxy) {
+  BenchPoint point;
+  point.server.architecture = ServerArchitecture::kThreadPerConn;
+  point.concurrency = 8;
+  point.measure_sec = 0.4;
+  point.latency_ms = 2.0;
+  point.targets = {{BenchTarget(1024, 0), 1.0}};
+  const BenchPointResult r = RunBenchPoint(point);
+  EXPECT_GT(r.Throughput(), 0.0);
+  // RT must include at least the injected round trip.
+  EXPECT_GT(r.MeanLatencyMs(), 3.0);
+}
+
+}  // namespace
+}  // namespace hynet

@@ -1,0 +1,167 @@
+// Tests for the mini 3-tier RUBBoS system: dataset, DB tier, connection
+// pool, app logic, web tier, and the assembled system under the Markov
+// workload.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "rubbos/app_logic.h"
+#include "rubbos/db_client.h"
+#include "rubbos/db_server.h"
+#include "rubbos/system.h"
+#include "rubbos/web_tier.h"
+
+namespace hynet::rubbos {
+namespace {
+
+TEST(DbDataset, GeneratesDeterministically) {
+  const DbDataset a = DbDataset::Generate(50, 4, 20, 99);
+  const DbDataset b = DbDataset::Generate(50, 4, 20, 99);
+  ASSERT_EQ(a.stories.size(), 50u);
+  ASSERT_EQ(a.comments.size(), 200u);
+  ASSERT_EQ(a.users.size(), 20u);
+  EXPECT_EQ(a.stories[7].body, b.stories[7].body);
+  EXPECT_EQ(a.comments[123].text, b.comments[123].text);
+}
+
+TEST(DbDataset, StoryBodiesAreRealistic) {
+  const DbDataset db = DbDataset::Generate(20, 2, 5, 1);
+  for (const auto& story : db.stories) {
+    EXPECT_GE(story.body.size(), 1024u);
+    EXPECT_LE(story.body.size(), 4096u);
+    EXPECT_FALSE(story.title.empty());
+  }
+}
+
+class DbServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<DbServer>(DbDataset::Generate(100, 4, 50, 3),
+                                     /*cpu_us_per_query=*/5);
+    db_->Start();
+    pool_ = std::make_unique<DbConnectionPool>(
+        InetAddr::Loopback(db_->Port()), 4);
+  }
+
+  std::unique_ptr<DbServer> db_;
+  std::unique_ptr<DbConnectionPool> pool_;
+};
+
+TEST_F(DbServerTest, StoryListReturnsTwentyRows) {
+  const HttpResponse resp = pool_->Query("/q/story_list?page=0");
+  EXPECT_EQ(resp.status, 200);
+  int rows = 0;
+  for (char c : resp.body) {
+    if (c == '\n') rows++;
+  }
+  EXPECT_EQ(rows, 20);
+}
+
+TEST_F(DbServerTest, StoryDetailRoundTrips) {
+  const HttpResponse resp = pool_->Query("/q/story_detail?id=5");
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_GE(resp.body.size(), 1024u);
+}
+
+TEST_F(DbServerTest, MissingStoryIs404) {
+  const HttpResponse resp = pool_->Query("/q/story_detail?id=100000");
+  EXPECT_EQ(resp.status, 404);
+}
+
+TEST_F(DbServerTest, InsertCommentIsVisibleToLaterQuery) {
+  const HttpResponse before = pool_->Query("/q/comments?story=3");
+  const HttpResponse ins = pool_->Query("/q/insert_comment?story=3");
+  EXPECT_EQ(ins.status, 200);
+  const HttpResponse after = pool_->Query("/q/comments?story=3");
+  EXPECT_GT(after.body.size(), before.body.size());
+}
+
+TEST_F(DbServerTest, PoolIsSafeUnderConcurrentQueries) {
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 30;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const HttpResponse r = pool_->Query("/q/story_list?page=1");
+        if (r.status != 200) failures++;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(pool_->QueriesIssued(),
+            static_cast<uint64_t>(kThreads * kQueriesPerThread));
+}
+
+TEST(Interactions, TableIsWellFormed) {
+  ASSERT_EQ(kInteractions.size(), kInteractionCount);
+  double total_weight = 0;
+  for (const auto& ix : kInteractions) {
+    EXPECT_GT(ix.weight, 0.0) << ix.name;
+    EXPECT_GE(ix.app_cpu_us, 0.0) << ix.name;
+    EXPECT_GT(ix.html_bytes, 0u) << ix.name;
+    total_weight += ix.weight;
+  }
+  EXPECT_NEAR(total_weight, 1.0, 0.02);
+  // At least one interaction issues each query type.
+  int sl = 0, sd = 0, cm = 0, us = 0, se = 0, in = 0;
+  for (const auto& ix : kInteractions) {
+    sl += ix.q_story_list;
+    sd += ix.q_story_detail;
+    cm += ix.q_comments;
+    us += ix.q_user;
+    se += ix.q_search;
+    in += ix.q_insert;
+  }
+  EXPECT_GT(sl, 0);
+  EXPECT_GT(sd, 0);
+  EXPECT_GT(cm, 0);
+  EXPECT_GT(us, 0);
+  EXPECT_GT(se, 0);
+  EXPECT_GT(in, 0);
+}
+
+TEST(Interactions, IndexLookup) {
+  EXPECT_EQ(InteractionIndex("ViewStory"), 4u);
+  EXPECT_EQ(InteractionIndex("NoSuchInteraction"), kInteractionCount);
+}
+
+TEST(ThreeTier, ServesWorkloadEndToEnd) {
+  ThreeTierConfig sys;
+  sys.app_architecture = ServerArchitecture::kThreadPerConn;
+  sys.db_stories = 100;
+  sys.db_users = 50;
+
+  RubbosWorkloadConfig load;
+  load.users = 20;
+  load.think_time_sec = 0.05;
+  load.warmup_sec = 0.3;
+  load.measure_sec = 1.0;
+
+  const ThreeTierPointResult result = RunThreeTierPoint(sys, load);
+  EXPECT_EQ(result.workload.errors, 0u);
+  EXPECT_GT(result.workload.completed, 20u);
+  EXPECT_GT(result.Throughput(), 10.0);
+}
+
+TEST(ThreeTier, AsyncAppTierAlsoServes) {
+  ThreeTierConfig sys;
+  sys.app_architecture = ServerArchitecture::kReactorPool;
+  sys.db_stories = 100;
+  sys.db_users = 50;
+
+  RubbosWorkloadConfig load;
+  load.users = 20;
+  load.think_time_sec = 0.05;
+  load.warmup_sec = 0.3;
+  load.measure_sec = 1.0;
+
+  const ThreeTierPointResult result = RunThreeTierPoint(sys, load);
+  EXPECT_EQ(result.workload.errors, 0u);
+  EXPECT_GT(result.workload.completed, 20u);
+}
+
+}  // namespace
+}  // namespace hynet::rubbos

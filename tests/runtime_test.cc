@@ -1,0 +1,282 @@
+// Unit tests for runtime/: worker pool, channel pipeline semantics, and
+// the outbound buffer's writeSpin-cap behaviour against real socketpairs.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/fd.h"
+#include "net/socket.h"
+#include "runtime/outbound_buffer.h"
+#include "runtime/pipeline.h"
+#include "runtime/worker_pool.h"
+
+namespace hynet {
+namespace {
+
+TEST(WorkerPoolTest, ExecutesAllSubmittedTasks) {
+  WorkerPool pool(4, "test");
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&count] { count++; });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(WorkerPoolTest, ThreadIdsAreDistinctAndComplete) {
+  WorkerPool pool(6, "tid");
+  const std::vector<int> tids = pool.ThreadIds();
+  EXPECT_EQ(tids.size(), 6u);
+  EXPECT_EQ(std::set<int>(tids.begin(), tids.end()).size(), 6u);
+}
+
+TEST(WorkerPoolTest, SurvivesThrowingTask) {
+  WorkerPool pool(2, "throw");
+  std::atomic<int> after{0};
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  pool.Submit([&after] { after++; });
+  pool.Shutdown();
+  EXPECT_EQ(after.load(), 1);
+}
+
+TEST(WorkerPoolTest, TasksRunOnPoolThreadsNotCaller) {
+  WorkerPool pool(2, "where");
+  const std::vector<int> tids = pool.ThreadIds();
+  std::atomic<int> ran_on{0};
+  pool.Submit([&] { ran_on = CurrentTid(); });
+  pool.Shutdown();
+  EXPECT_NE(ran_on.load(), CurrentTid());
+  EXPECT_TRUE(std::find(tids.begin(), tids.end(), ran_on.load()) !=
+              tids.end());
+}
+
+// --- Pipeline ---
+
+class Recorder final : public ChannelHandler {
+ public:
+  explicit Recorder(std::vector<std::string>& log, std::string name)
+      : log_(log), name_(std::move(name)) {}
+
+  void OnData(ChannelContext& ctx, ByteBuffer& in) override {
+    log_.push_back(name_ + ":data");
+    ctx.FireData(in);
+  }
+  void OnMessage(ChannelContext& ctx, std::any msg) override {
+    log_.push_back(name_ + ":msg");
+    ctx.FireMessage(std::move(msg));
+  }
+  void OnWrite(ChannelContext& ctx, std::any msg) override {
+    log_.push_back(name_ + ":write");
+    ctx.Write(std::move(msg));
+  }
+
+ private:
+  std::vector<std::string>& log_;
+  std::string name_;
+};
+
+TEST(PipelineTest, InboundHeadToTailOutboundTailToHead) {
+  std::vector<std::string> log;
+  ChannelPipeline pipeline;
+  pipeline.AddLast(std::make_shared<Recorder>(log, "A"));
+  pipeline.AddLast(std::make_shared<Recorder>(log, "B"));
+  std::string sunk;
+  pipeline.SetOutboundSink([&](std::string bytes) { sunk = bytes; });
+
+  ByteBuffer in;
+  in.Append("x");
+  pipeline.FireData(in);
+  pipeline.Write(std::any(std::string("out")));
+
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], "A:data");
+  EXPECT_EQ(log[1], "B:data");
+  EXPECT_EQ(log[2], "B:write");  // outbound reverses
+  EXPECT_EQ(log[3], "A:write");
+  EXPECT_EQ(sunk, "out");
+  EXPECT_TRUE(in.Empty()) << "tail must discard undecoded bytes";
+}
+
+TEST(PipelineTest, HandlerCanTransformOutbound) {
+  class Upper final : public ChannelHandler {
+   public:
+    void OnWrite(ChannelContext& ctx, std::any msg) override {
+      auto s = std::any_cast<std::string>(std::move(msg));
+      for (char& c : s) c = static_cast<char>(std::toupper(c));
+      ctx.Write(std::any(std::move(s)));
+    }
+  };
+  ChannelPipeline pipeline;
+  pipeline.AddLast(std::make_shared<Upper>());
+  std::string sunk;
+  pipeline.SetOutboundSink([&](std::string bytes) { sunk = bytes; });
+  pipeline.Write(std::any(std::string("hello")));
+  EXPECT_EQ(sunk, "HELLO");
+}
+
+TEST(PipelineTest, CloseRequestPropagates) {
+  class DataCloser final : public ChannelHandler {
+   public:
+    void OnData(ChannelContext& ctx, ByteBuffer& in) override {
+      in.ConsumeAll();
+      ctx.Close();
+    }
+  };
+  ChannelPipeline pipeline;
+  pipeline.AddLast(std::make_shared<DataCloser>());
+  bool closed = false;
+  pipeline.SetCloseRequest([&] { closed = true; });
+  ByteBuffer data;
+  data.Append("x");
+  pipeline.FireData(data);
+  EXPECT_TRUE(closed);
+}
+
+TEST(PipelineTest, DecoderFiresMessagesToNextHandler) {
+  // A head decoder that turns each byte into one message, and a tail
+  // handler that counts them — the codec/app split used by NettyServer.
+  class ByteDecoder final : public ChannelHandler {
+   public:
+    void OnData(ChannelContext& ctx, ByteBuffer& in) override {
+      while (!in.Empty()) {
+        const char c = *in.ReadPtr();
+        in.Consume(1);
+        ctx.FireMessage(std::any(c));
+      }
+    }
+  };
+  class Counter final : public ChannelHandler {
+   public:
+    explicit Counter(int& n) : n_(n) {}
+    void OnMessage(ChannelContext&, std::any msg) override {
+      ASSERT_NE(std::any_cast<char>(&msg), nullptr);
+      n_++;
+    }
+
+   private:
+    int& n_;
+  };
+  int count = 0;
+  ChannelPipeline pipeline;
+  pipeline.AddLast(std::make_shared<ByteDecoder>());
+  pipeline.AddLast(std::make_shared<Counter>(count));
+  ByteBuffer in;
+  in.Append("abcde");
+  pipeline.FireData(in);
+  EXPECT_EQ(count, 5);
+}
+
+// --- OutboundBuffer against a real socketpair ---
+
+class OutboundBufferTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    writer_.Reset(fds[0]);
+    reader_.Reset(fds[1]);
+    SetFdNonBlocking(writer_.get(), true);
+    // Small kernel buffers so a large message cannot be absorbed at once.
+    const int small = 16 * 1024;
+    ::setsockopt(writer_.get(), SOL_SOCKET, SO_SNDBUF, &small,
+                 sizeof(small));
+    ::setsockopt(reader_.get(), SOL_SOCKET, SO_RCVBUF, &small,
+                 sizeof(small));
+  }
+
+  std::string DrainReader() {
+    std::string out;
+    char buf[64 * 1024];
+    while (true) {
+      SetFdNonBlocking(reader_.get(), true);
+      const IoResult r = ReadFd(reader_.get(), buf, sizeof(buf));
+      if (r.n <= 0) break;
+      out.append(buf, static_cast<size_t>(r.n));
+    }
+    return out;
+  }
+
+  ScopedFd writer_;
+  ScopedFd reader_;
+};
+
+TEST_F(OutboundBufferTest, SmallMessageFlushesInOneCall) {
+  OutboundBuffer buf(16);
+  WriteStats stats;
+  buf.Add("hello");
+  EXPECT_EQ(buf.Flush(writer_.get(), stats), FlushResult::kDone);
+  EXPECT_EQ(stats.write_calls.load(), 1u);
+  EXPECT_EQ(stats.responses.load(), 1u);
+  EXPECT_TRUE(buf.Empty());
+  EXPECT_EQ(DrainReader(), "hello");
+}
+
+TEST_F(OutboundBufferTest, FullKernelBufferReturnsWouldBlock) {
+  OutboundBuffer buf(0 /* unbounded spins */);
+  WriteStats stats;
+  buf.Add(std::string(4 * 1024 * 1024, 'z'));  // far beyond kernel buffers
+  EXPECT_EQ(buf.Flush(writer_.get(), stats), FlushResult::kWouldBlock);
+  EXPECT_GT(stats.zero_writes.load(), 0u);
+  EXPECT_FALSE(buf.Empty());
+  EXPECT_GT(buf.PendingBytes(), 0u);
+}
+
+TEST_F(OutboundBufferTest, SpinCapStopsFlushEarly) {
+  OutboundBuffer buf(2);
+  WriteStats stats;
+  // Many tiny messages: each costs one write(), so the cap hits first.
+  for (int i = 0; i < 10; ++i) buf.Add("x");
+  EXPECT_EQ(buf.Flush(writer_.get(), stats), FlushResult::kSpinCapped);
+  EXPECT_EQ(stats.write_calls.load(), 2u);
+  EXPECT_EQ(stats.spin_capped.load(), 1u);
+  EXPECT_EQ(buf.PendingMessages(), 8u);
+  // Resuming makes progress.
+  while (buf.Flush(writer_.get(), stats) == FlushResult::kSpinCapped) {
+  }
+  EXPECT_TRUE(buf.Empty());
+  EXPECT_EQ(DrainReader(), std::string(10, 'x'));
+}
+
+TEST_F(OutboundBufferTest, ResumesAfterReaderDrains) {
+  OutboundBuffer buf(16);
+  WriteStats stats;
+  const std::string payload(512 * 1024, 'q');
+  buf.Add(payload);
+  FlushResult r = buf.Flush(writer_.get(), stats);
+  std::string received;
+  while (r != FlushResult::kDone) {
+    ASSERT_NE(r, FlushResult::kError);
+    received += DrainReader();
+    r = buf.Flush(writer_.get(), stats);
+  }
+  received += DrainReader();
+  EXPECT_EQ(received.size(), payload.size());
+  EXPECT_EQ(stats.responses.load(), 1u);
+}
+
+TEST_F(OutboundBufferTest, PeerCloseIsError) {
+  OutboundBuffer buf(16);
+  WriteStats stats;
+  reader_.Reset();  // close the reading end
+  buf.Add(std::string(256 * 1024, 'w'));
+  FlushResult r = buf.Flush(writer_.get(), stats);
+  // First flush may partially succeed into the kernel buffer; keep going.
+  for (int i = 0; i < 3 && r != FlushResult::kError; ++i) {
+    r = buf.Flush(writer_.get(), stats);
+  }
+  EXPECT_EQ(r, FlushResult::kError);
+}
+
+TEST(OutboundBufferUnit, AccountsPendingBytes) {
+  OutboundBuffer buf(16);
+  buf.Add("abc");
+  buf.Add("defg");
+  EXPECT_EQ(buf.PendingBytes(), 7u);
+  EXPECT_EQ(buf.PendingMessages(), 2u);
+}
+
+}  // namespace
+}  // namespace hynet

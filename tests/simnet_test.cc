@@ -1,0 +1,185 @@
+// Property tests on the deterministic simulated transport: the exact
+// ACK-clocked write-spin arithmetic of Figure 5, and the loop-strategy
+// comparison behind Figures 7/9 (spin-until-done vs capped round-robin).
+#include <gtest/gtest.h>
+
+#include "simnet/sim_clock.h"
+#include "simnet/sim_network.h"
+#include "simnet/sim_tcp.h"
+
+namespace hynet::simnet {
+namespace {
+
+TEST(SimScheduler, FiresInTimestampThenInsertionOrder) {
+  SimClock clock;
+  SimScheduler sched(clock);
+  std::vector<int> order;
+  sched.At(10, [&] { order.push_back(2); });
+  sched.At(5, [&] { order.push_back(1); });
+  sched.At(10, [&] { order.push_back(3); });  // same time, inserted later
+  sched.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.now_us(), 10);
+}
+
+TEST(SimScheduler, RunUntilStopsAtBoundary) {
+  SimClock clock;
+  SimScheduler sched(clock);
+  int fired = 0;
+  sched.At(5, [&] { fired++; });
+  sched.At(15, [&] { fired++; });
+  sched.RunUntil(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(clock.now_us(), 10);
+  sched.RunAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimTcp, WriteBoundedBySendBuffer) {
+  SimClock clock;
+  SimScheduler sched(clock);
+  SimTcpSender sender(clock, sched, {16 * 1024, 1000});
+  EXPECT_EQ(sender.Write(100 * 1024), 16 * 1024);  // first write fills it
+  EXPECT_EQ(sender.Write(100 * 1024), 0);           // full: zero write
+  EXPECT_EQ(sender.zero_writes(), 1u);
+  EXPECT_EQ(sender.FreeSpace(), 0);
+}
+
+TEST(SimTcp, AckFreesBufferAfterRtt) {
+  SimClock clock;
+  SimScheduler sched(clock);
+  SimTcpSender sender(clock, sched, {16 * 1024, 1000});
+  sender.Write(16 * 1024);
+  EXPECT_EQ(sender.NextAckTimeUs(), 1000);
+  sched.RunUntil(999);
+  EXPECT_EQ(sender.FreeSpace(), 0);
+  sched.RunUntil(1000);
+  EXPECT_EQ(sender.FreeSpace(), 16 * 1024);
+  EXPECT_EQ(sender.DeliveredBytes(), 16 * 1024);
+}
+
+TEST(SimTcp, SmallResponseNeedsExactlyOneWrite) {
+  SimClock clock;
+  SimScheduler sched(clock);
+  SimTcpSender sender(clock, sched, {16 * 1024, 1000});
+  EXPECT_EQ(sender.Write(102), 102);  // 0.1 KB: Table IV row 1
+  EXPECT_EQ(sender.write_calls(), 1u);
+  EXPECT_EQ(sender.zero_writes(), 0u);
+}
+
+// Figure 5 arithmetic: a response of R bytes through a B-byte buffer needs
+// exactly ceil(R/B) productive writes, spaced one RTT apart.
+class WriteSpinArithmetic
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(WriteSpinArithmetic, ProductiveWritesAreCeilRoverB) {
+  const auto [response, buffer] = GetParam();
+  SimClock clock;
+  SimScheduler sched(clock);
+  SimTcpSender sender(clock, sched, {buffer, 2000});
+
+  int64_t remaining = response;
+  uint64_t productive = 0;
+  while (remaining > 0) {
+    const int64_t n = sender.Write(remaining);
+    if (n > 0) {
+      productive++;
+      remaining -= n;
+    } else {
+      const int64_t ack = sender.NextAckTimeUs();
+      ASSERT_GE(ack, 0) << "blocked with nothing in flight";
+      sched.RunUntil(ack);
+    }
+  }
+  const auto expected =
+      static_cast<uint64_t>((response + buffer - 1) / buffer);
+  EXPECT_EQ(productive, expected);
+
+  // Completion takes (ceil(R/B) - 1) RTTs of buffer-full waiting plus the
+  // final one-way delivery.
+  sched.RunAll();
+  const int64_t expected_makespan =
+      (static_cast<int64_t>(expected) - 1) * 2000 + 1000;
+  EXPECT_EQ(sender.LastDeliveryTimeUs(), expected_makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, WriteSpinArithmetic,
+    ::testing::Values(std::make_tuple<int64_t, int64_t>(100 * 1024, 16 * 1024),
+                      std::make_tuple<int64_t, int64_t>(100 * 1024, 100 * 1024),
+                      std::make_tuple<int64_t, int64_t>(10 * 1024, 16 * 1024),
+                      std::make_tuple<int64_t, int64_t>(1 << 20, 16 * 1024),
+                      std::make_tuple<int64_t, int64_t>(64 * 1024, 8 * 1024)));
+
+TEST(SimLoop, SpinStrategySerializesConnections) {
+  SimLoopConfig config;
+  config.connections = 10;
+  config.response_bytes = 100 * 1024;
+  config.send_buffer_bytes = 16 * 1024;
+  config.rtt_us = 2000;
+  config.strategy = WriteStrategy::kSpinUntilDone;
+  const SimLoopResult result = SimulateEventLoopWrites(config);
+
+  // ceil(100/16) = 7 writes per response; the naive loop glues itself to
+  // one connection for ~6 RTTs, so total makespan ~ N * 6 RTTs.
+  EXPECT_GE(result.makespan_us, 10 * 6 * 2000);
+  EXPECT_GT(result.total_zero_writes, 0u);
+}
+
+TEST(SimLoop, CappedStrategyOverlapsConnections) {
+  SimLoopConfig base;
+  base.connections = 10;
+  base.response_bytes = 100 * 1024;
+  base.send_buffer_bytes = 16 * 1024;
+  base.rtt_us = 2000;
+
+  SimLoopConfig spin = base;
+  spin.strategy = WriteStrategy::kSpinUntilDone;
+  SimLoopConfig capped = base;
+  capped.strategy = WriteStrategy::kCappedSpin;
+  capped.spin_cap = 16;
+
+  const SimLoopResult spin_result = SimulateEventLoopWrites(spin);
+  const SimLoopResult capped_result = SimulateEventLoopWrites(capped);
+
+  // The Netty-style loop interleaves the 10 transfers: its makespan stays
+  // within a small multiple of a single transfer, several times better
+  // than the serializing spin loop (Figure 7's SingleT vs Netty gap).
+  EXPECT_LT(capped_result.makespan_us * 3, spin_result.makespan_us);
+  // Both deliver everything.
+  EXPECT_EQ(capped_result.completion_us.size(), 10u);
+  for (int64_t t : capped_result.completion_us) EXPECT_GT(t, 0);
+}
+
+TEST(SimLoop, LargerBufferRemovesTheGap) {
+  SimLoopConfig config;
+  config.connections = 8;
+  config.response_bytes = 100 * 1024;
+  config.send_buffer_bytes = 128 * 1024;  // response fits: no spin at all
+  config.rtt_us = 2000;
+  config.strategy = WriteStrategy::kSpinUntilDone;
+  const SimLoopResult result = SimulateEventLoopWrites(config);
+  EXPECT_EQ(result.total_zero_writes, 0u);
+  // One write per connection.
+  EXPECT_EQ(result.total_write_calls, 8u);
+}
+
+TEST(SimLoop, RttScalesSpinMakespanLinearly) {
+  auto run = [](int64_t rtt) {
+    SimLoopConfig config;
+    config.connections = 4;
+    config.response_bytes = 64 * 1024;
+    config.send_buffer_bytes = 16 * 1024;
+    config.rtt_us = rtt;
+    config.strategy = WriteStrategy::kSpinUntilDone;
+    return SimulateEventLoopWrites(config).makespan_us;
+  };
+  const int64_t at_1ms = run(1000);
+  const int64_t at_5ms = run(5000);
+  // Figure 7: response time amplification is linear in the added latency.
+  EXPECT_NEAR(static_cast<double>(at_5ms) / static_cast<double>(at_1ms),
+              5.0, 1.0);
+}
+
+}  // namespace
+}  // namespace hynet::simnet

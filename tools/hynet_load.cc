@@ -1,0 +1,99 @@
+// hynet_load: drive any HTTP server with the library's closed- or
+// open-loop generator (a minimal wrk with coordinated-omission-safe
+// open-loop mode).
+//
+//   hynet_load [--port P] [--host IP] [--conns N] [--seconds S]
+//              [--target T]... [--rate R] [--rcvbuf BYTES]
+//
+//   --target may repeat; an optional ":weight" suffix sets its mix weight:
+//     hynet_load --target '/bench?size=102:9' --target '/bench?size=102400:1'
+//   --rate switches to open-loop Poisson arrivals at R req/s.
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <string>
+
+#include "client/load_gen.h"
+#include "metrics/report.h"
+
+using namespace hynet;
+
+int main(int argc, char** argv) {
+  LoadConfig config;
+  std::string host = "127.0.0.1";
+  uint16_t port = 8080;
+  double seconds = 5.0;
+  config.targets.clear();
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--port")) {
+      port = static_cast<uint16_t>(std::atoi(next("--port")));
+    } else if (!std::strcmp(argv[i], "--host")) {
+      host = next("--host");
+    } else if (!std::strcmp(argv[i], "--conns")) {
+      config.connections = std::atoi(next("--conns"));
+    } else if (!std::strcmp(argv[i], "--seconds")) {
+      seconds = std::atof(next("--seconds"));
+    } else if (!std::strcmp(argv[i], "--rate")) {
+      config.open_loop_rate = std::atof(next("--rate"));
+    } else if (!std::strcmp(argv[i], "--rcvbuf")) {
+      config.rcv_buf_bytes = std::atoi(next("--rcvbuf"));
+    } else if (!std::strcmp(argv[i], "--target")) {
+      std::string t = next("--target");
+      double weight = 1.0;
+      // Optional ":weight" suffix (the target itself may contain ':'
+      // only in this suffix position).
+      const size_t colon = t.rfind(':');
+      if (colon != std::string::npos && colon + 1 < t.size()) {
+        char* end = nullptr;
+        const double w = std::strtod(t.c_str() + colon + 1, &end);
+        if (end && *end == '\0' && w > 0) {
+          weight = w;
+          t.resize(colon);
+        }
+      }
+      config.targets.push_back({t, weight});
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--host IP] [--port P] [--conns N] "
+                   "[--seconds S] [--target T[:w]]... [--rate R] "
+                   "[--rcvbuf BYTES]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (config.targets.empty()) {
+    config.targets.push_back({"/bench?size=128&us=0", 1.0});
+  }
+
+  config.server = InetAddr::FromIp(host, port);
+  config.warmup_sec = std::min(1.0, seconds * 0.2);
+  config.measure_sec = seconds;
+
+  std::printf("%s %s:%u  conns=%d  %s  window=%.1fs\n",
+              config.open_loop_rate > 0 ? "open-loop" : "closed-loop",
+              host.c_str(), port, config.connections,
+              config.open_loop_rate > 0
+                  ? ("rate=" + std::to_string(config.open_loop_rate)).c_str()
+                  : "zero think time",
+              seconds);
+
+  const LoadResult result = RunLoad(config);
+
+  std::printf("\nrequests   : %llu  (%llu errors)\n",
+              static_cast<unsigned long long>(result.completed),
+              static_cast<unsigned long long>(result.errors));
+  std::printf("throughput : %.1f req/s\n", result.Throughput());
+  std::printf("latency    : %s\n", result.latency.Summary().c_str());
+  if (config.open_loop_rate > 0) {
+    std::printf("queued     : %llu arrivals found all connections busy\n",
+                static_cast<unsigned long long>(result.queued_arrivals));
+  }
+  return result.errors > 0 ? 1 : 0;
+}

@@ -1,0 +1,127 @@
+// hynet_serve: stand up any of the eight architectures on a real port and
+// leave it running — for curl, wrk, or hynet_load experiments.
+//
+//   hynet_serve [--arch NAME] [--port P] [--sndbuf BYTES] [--loops N]
+//               [--workers N] [--spin-cap N] [--profile]
+//
+// The server exposes the standard bench handler:
+//   GET /bench?size=<bytes>&us=<cpu-us>[&push=N&push_kb=M]
+// Counters (and phase means with --profile) print every 5 seconds.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <atomic>
+#include <thread>
+
+#include "client/bench_runner.h"
+#include "core/hybrid_server.h"
+#include "metrics/report.h"
+
+using namespace hynet;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int) { g_stop.store(true); }
+
+ServerArchitecture ParseArch(const char* name) {
+  const ServerArchitecture all[] = {
+      ServerArchitecture::kThreadPerConn, ServerArchitecture::kReactorPool,
+      ServerArchitecture::kReactorPoolFix, ServerArchitecture::kSingleThread,
+      ServerArchitecture::kMultiLoop,      ServerArchitecture::kHybrid,
+      ServerArchitecture::kStaged,
+      ServerArchitecture::kSingleThreadNCopy,
+  };
+  for (ServerArchitecture arch : all) {
+    if (std::strcmp(name, ArchitectureName(arch)) == 0) return arch;
+  }
+  std::fprintf(stderr, "unknown --arch '%s'; valid:\n", name);
+  for (ServerArchitecture arch : all) {
+    std::fprintf(stderr, "  %s\n", ArchitectureName(arch));
+  }
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerConfig config;
+  config.architecture = ServerArchitecture::kHybrid;
+  config.port = 8080;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--arch")) {
+      config.architecture = ParseArch(next("--arch"));
+    } else if (!std::strcmp(argv[i], "--port")) {
+      config.port = static_cast<uint16_t>(std::atoi(next("--port")));
+    } else if (!std::strcmp(argv[i], "--sndbuf")) {
+      config.snd_buf_bytes = std::atoi(next("--sndbuf"));
+    } else if (!std::strcmp(argv[i], "--loops")) {
+      config.event_loops = std::atoi(next("--loops"));
+      config.ncopy = config.event_loops;
+    } else if (!std::strcmp(argv[i], "--workers")) {
+      config.worker_threads = std::atoi(next("--workers"));
+    } else if (!std::strcmp(argv[i], "--spin-cap")) {
+      config.write_spin_cap = std::atoi(next("--spin-cap"));
+    } else if (!std::strcmp(argv[i], "--profile")) {
+      config.profile_phases = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--arch NAME] [--port P] "
+                   "[--sndbuf BYTES] [--loops N] [--workers N] "
+                   "[--spin-cap N] [--profile]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  auto server = CreateServer(config, MakeBenchHandler());
+  server->Start();
+  std::printf("%s listening on 127.0.0.1:%u  (Ctrl-C to stop)\n",
+              ArchitectureName(config.architecture), server->Port());
+  std::printf("try: curl 'http://127.0.0.1:%u/bench?size=1000&us=50'\n",
+              server->Port());
+
+  ServerCounters last{};
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::seconds(5));
+    if (g_stop.load()) break;
+    const ServerCounters now = server->Snapshot();
+    std::printf("[stats] conns=%llu reqs=%llu (+%llu) writes=%llu "
+                "zero=%llu spin_capped=%llu light=%llu heavy=%llu\n",
+                static_cast<unsigned long long>(now.connections_accepted),
+                static_cast<unsigned long long>(now.requests_handled),
+                static_cast<unsigned long long>(now.requests_handled -
+                                                last.requests_handled),
+                static_cast<unsigned long long>(now.write_calls),
+                static_cast<unsigned long long>(now.zero_writes),
+                static_cast<unsigned long long>(now.spin_capped_flushes),
+                static_cast<unsigned long long>(now.light_path_responses),
+                static_cast<unsigned long long>(now.heavy_path_responses));
+    if (config.profile_phases) {
+      const auto snap = server->phase_profiler().Snap();
+      std::printf("[phase] parse=%.1fus handler=%.1fus serialize=%.1fus "
+                  "write=%.1fus\n",
+                  snap.MeanNs(Phase::kParse) / 1000,
+                  snap.MeanNs(Phase::kHandler) / 1000,
+                  snap.MeanNs(Phase::kSerialize) / 1000,
+                  snap.MeanNs(Phase::kWrite) / 1000);
+    }
+    std::fflush(stdout);
+    last = now;
+  }
+
+  std::printf("\nstopping...\n");
+  server->Stop();
+  return 0;
+}
