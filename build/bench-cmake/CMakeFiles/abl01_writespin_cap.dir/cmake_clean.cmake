@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl01_writespin_cap"
+  "../bench/abl01_writespin_cap.pdb"
+  "CMakeFiles/abl01_writespin_cap.dir/abl01_writespin_cap.cc.o"
+  "CMakeFiles/abl01_writespin_cap.dir/abl01_writespin_cap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl01_writespin_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl02_classifier_drift"
+  "../bench/abl02_classifier_drift.pdb"
+  "CMakeFiles/abl02_classifier_drift.dir/abl02_classifier_drift.cc.o"
+  "CMakeFiles/abl02_classifier_drift.dir/abl02_classifier_drift.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl02_classifier_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl02_classifier_drift.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl03_architecture_zoo"
+  "../bench/abl03_architecture_zoo.pdb"
+  "CMakeFiles/abl03_architecture_zoo.dir/abl03_architecture_zoo.cc.o"
+  "CMakeFiles/abl03_architecture_zoo.dir/abl03_architecture_zoo.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl03_architecture_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl04_open_loop"
+  "../bench/abl04_open_loop.pdb"
+  "CMakeFiles/abl04_open_loop.dir/abl04_open_loop.cc.o"
+  "CMakeFiles/abl04_open_loop.dir/abl04_open_loop.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl04_open_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext01_http2_push"
+  "../bench/ext01_http2_push.pdb"
+  "CMakeFiles/ext01_http2_push.dir/ext01_http2_push.cc.o"
+  "CMakeFiles/ext01_http2_push.dir/ext01_http2_push.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext01_http2_push.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext02_request_anatomy"
+  "../bench/ext02_request_anatomy.pdb"
+  "CMakeFiles/ext02_request_anatomy.dir/ext02_request_anatomy.cc.o"
+  "CMakeFiles/ext02_request_anatomy.dir/ext02_request_anatomy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext02_request_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext02_request_anatomy.
+# This may be replaced when dependencies are built.

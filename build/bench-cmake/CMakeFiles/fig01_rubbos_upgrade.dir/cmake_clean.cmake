@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_rubbos_upgrade"
+  "../bench/fig01_rubbos_upgrade.pdb"
+  "CMakeFiles/fig01_rubbos_upgrade.dir/fig01_rubbos_upgrade.cc.o"
+  "CMakeFiles/fig01_rubbos_upgrade.dir/fig01_rubbos_upgrade.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_rubbos_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_sync_vs_async"
+  "../bench/fig02_sync_vs_async.pdb"
+  "CMakeFiles/fig02_sync_vs_async.dir/fig02_sync_vs_async.cc.o"
+  "CMakeFiles/fig02_sync_vs_async.dir/fig02_sync_vs_async.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_sync_vs_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_four_servers"
+  "../bench/fig04_four_servers.pdb"
+  "CMakeFiles/fig04_four_servers.dir/fig04_four_servers.cc.o"
+  "CMakeFiles/fig04_four_servers.dir/fig04_four_servers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_four_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

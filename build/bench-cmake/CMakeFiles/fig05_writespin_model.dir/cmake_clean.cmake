@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_writespin_model"
+  "../bench/fig05_writespin_model.pdb"
+  "CMakeFiles/fig05_writespin_model.dir/fig05_writespin_model.cc.o"
+  "CMakeFiles/fig05_writespin_model.dir/fig05_writespin_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_writespin_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

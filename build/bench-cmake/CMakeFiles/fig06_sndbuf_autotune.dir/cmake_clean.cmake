@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_sndbuf_autotune"
+  "../bench/fig06_sndbuf_autotune.pdb"
+  "CMakeFiles/fig06_sndbuf_autotune.dir/fig06_sndbuf_autotune.cc.o"
+  "CMakeFiles/fig06_sndbuf_autotune.dir/fig06_sndbuf_autotune.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_sndbuf_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_sndbuf_autotune.
+# This may be replaced when dependencies are built.

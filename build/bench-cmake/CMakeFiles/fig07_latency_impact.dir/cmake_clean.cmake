@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_latency_impact"
+  "../bench/fig07_latency_impact.pdb"
+  "CMakeFiles/fig07_latency_impact.dir/fig07_latency_impact.cc.o"
+  "CMakeFiles/fig07_latency_impact.dir/fig07_latency_impact.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_latency_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_hybrid"
+  "../bench/fig11_hybrid.pdb"
+  "CMakeFiles/fig11_hybrid.dir/fig11_hybrid.cc.o"
+  "CMakeFiles/fig11_hybrid.dir/fig11_hybrid.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab01_ctx_switches"
+  "../bench/tab01_ctx_switches.pdb"
+  "CMakeFiles/tab01_ctx_switches.dir/tab01_ctx_switches.cc.o"
+  "CMakeFiles/tab01_ctx_switches.dir/tab01_ctx_switches.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_ctx_switches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

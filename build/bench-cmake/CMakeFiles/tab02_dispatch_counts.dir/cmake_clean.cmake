@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab02_dispatch_counts"
+  "../bench/tab02_dispatch_counts.pdb"
+  "CMakeFiles/tab02_dispatch_counts.dir/tab02_dispatch_counts.cc.o"
+  "CMakeFiles/tab02_dispatch_counts.dir/tab02_dispatch_counts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_dispatch_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab03_cpu_breakdown"
+  "../bench/tab03_cpu_breakdown.pdb"
+  "CMakeFiles/tab03_cpu_breakdown.dir/tab03_cpu_breakdown.cc.o"
+  "CMakeFiles/tab03_cpu_breakdown.dir/tab03_cpu_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_cpu_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

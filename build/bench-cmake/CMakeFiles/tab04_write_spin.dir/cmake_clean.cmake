@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab04_write_spin"
+  "../bench/tab04_write_spin.pdb"
+  "CMakeFiles/tab04_write_spin.dir/tab04_write_spin.cc.o"
+  "CMakeFiles/tab04_write_spin.dir/tab04_write_spin.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_write_spin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/content_service.dir/content_service.cpp.o"
+  "CMakeFiles/content_service.dir/content_service.cpp.o.d"
+  "content_service"
+  "content_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/content_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_lab.dir/latency_lab.cpp.o"
+  "CMakeFiles/latency_lab.dir/latency_lab.cpp.o.d"
+  "latency_lab"
+  "latency_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

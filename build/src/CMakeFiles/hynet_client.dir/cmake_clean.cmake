@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hynet_client.dir/client/bench_runner.cc.o"
+  "CMakeFiles/hynet_client.dir/client/bench_runner.cc.o.d"
+  "CMakeFiles/hynet_client.dir/client/load_gen.cc.o"
+  "CMakeFiles/hynet_client.dir/client/load_gen.cc.o.d"
+  "libhynet_client.a"
+  "libhynet_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hynet_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

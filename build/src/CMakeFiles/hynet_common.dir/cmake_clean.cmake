@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hynet_common.dir/common/bytes.cc.o"
+  "CMakeFiles/hynet_common.dir/common/bytes.cc.o.d"
+  "CMakeFiles/hynet_common.dir/common/env.cc.o"
+  "CMakeFiles/hynet_common.dir/common/env.cc.o.d"
+  "CMakeFiles/hynet_common.dir/common/histogram.cc.o"
+  "CMakeFiles/hynet_common.dir/common/histogram.cc.o.d"
+  "CMakeFiles/hynet_common.dir/common/logging.cc.o"
+  "CMakeFiles/hynet_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/hynet_common.dir/common/rng.cc.o"
+  "CMakeFiles/hynet_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/hynet_common.dir/common/thread_util.cc.o"
+  "CMakeFiles/hynet_common.dir/common/thread_util.cc.o.d"
+  "libhynet_common.a"
+  "libhynet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hynet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

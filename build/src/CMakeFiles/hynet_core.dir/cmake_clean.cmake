@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hynet_core.dir/core/classifier.cc.o"
+  "CMakeFiles/hynet_core.dir/core/classifier.cc.o.d"
+  "CMakeFiles/hynet_core.dir/core/hybrid_server.cc.o"
+  "CMakeFiles/hynet_core.dir/core/hybrid_server.cc.o.d"
+  "CMakeFiles/hynet_core.dir/core/write_spin.cc.o"
+  "CMakeFiles/hynet_core.dir/core/write_spin.cc.o.d"
+  "libhynet_core.a"
+  "libhynet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hynet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

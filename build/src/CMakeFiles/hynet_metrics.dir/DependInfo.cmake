@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/cpu_sample.cc" "src/CMakeFiles/hynet_metrics.dir/metrics/cpu_sample.cc.o" "gcc" "src/CMakeFiles/hynet_metrics.dir/metrics/cpu_sample.cc.o.d"
+  "/root/repo/src/metrics/phase_profiler.cc" "src/CMakeFiles/hynet_metrics.dir/metrics/phase_profiler.cc.o" "gcc" "src/CMakeFiles/hynet_metrics.dir/metrics/phase_profiler.cc.o.d"
+  "/root/repo/src/metrics/proc_stat.cc" "src/CMakeFiles/hynet_metrics.dir/metrics/proc_stat.cc.o" "gcc" "src/CMakeFiles/hynet_metrics.dir/metrics/proc_stat.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/CMakeFiles/hynet_metrics.dir/metrics/report.cc.o" "gcc" "src/CMakeFiles/hynet_metrics.dir/metrics/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hynet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

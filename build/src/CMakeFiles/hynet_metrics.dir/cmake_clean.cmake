@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hynet_metrics.dir/metrics/cpu_sample.cc.o"
+  "CMakeFiles/hynet_metrics.dir/metrics/cpu_sample.cc.o.d"
+  "CMakeFiles/hynet_metrics.dir/metrics/phase_profiler.cc.o"
+  "CMakeFiles/hynet_metrics.dir/metrics/phase_profiler.cc.o.d"
+  "CMakeFiles/hynet_metrics.dir/metrics/proc_stat.cc.o"
+  "CMakeFiles/hynet_metrics.dir/metrics/proc_stat.cc.o.d"
+  "CMakeFiles/hynet_metrics.dir/metrics/report.cc.o"
+  "CMakeFiles/hynet_metrics.dir/metrics/report.cc.o.d"
+  "libhynet_metrics.a"
+  "libhynet_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hynet_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/acceptor.cc" "src/CMakeFiles/hynet_net.dir/net/acceptor.cc.o" "gcc" "src/CMakeFiles/hynet_net.dir/net/acceptor.cc.o.d"
+  "/root/repo/src/net/epoll.cc" "src/CMakeFiles/hynet_net.dir/net/epoll.cc.o" "gcc" "src/CMakeFiles/hynet_net.dir/net/epoll.cc.o.d"
+  "/root/repo/src/net/event_loop.cc" "src/CMakeFiles/hynet_net.dir/net/event_loop.cc.o" "gcc" "src/CMakeFiles/hynet_net.dir/net/event_loop.cc.o.d"
+  "/root/repo/src/net/inet_addr.cc" "src/CMakeFiles/hynet_net.dir/net/inet_addr.cc.o" "gcc" "src/CMakeFiles/hynet_net.dir/net/inet_addr.cc.o.d"
+  "/root/repo/src/net/socket.cc" "src/CMakeFiles/hynet_net.dir/net/socket.cc.o" "gcc" "src/CMakeFiles/hynet_net.dir/net/socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hynet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hynet_net.dir/net/acceptor.cc.o"
+  "CMakeFiles/hynet_net.dir/net/acceptor.cc.o.d"
+  "CMakeFiles/hynet_net.dir/net/epoll.cc.o"
+  "CMakeFiles/hynet_net.dir/net/epoll.cc.o.d"
+  "CMakeFiles/hynet_net.dir/net/event_loop.cc.o"
+  "CMakeFiles/hynet_net.dir/net/event_loop.cc.o.d"
+  "CMakeFiles/hynet_net.dir/net/inet_addr.cc.o"
+  "CMakeFiles/hynet_net.dir/net/inet_addr.cc.o.d"
+  "CMakeFiles/hynet_net.dir/net/socket.cc.o"
+  "CMakeFiles/hynet_net.dir/net/socket.cc.o.d"
+  "libhynet_net.a"
+  "libhynet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hynet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hynet_proto.dir/proto/http_codec.cc.o"
+  "CMakeFiles/hynet_proto.dir/proto/http_codec.cc.o.d"
+  "CMakeFiles/hynet_proto.dir/proto/http_parser.cc.o"
+  "CMakeFiles/hynet_proto.dir/proto/http_parser.cc.o.d"
+  "libhynet_proto.a"
+  "libhynet_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hynet_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

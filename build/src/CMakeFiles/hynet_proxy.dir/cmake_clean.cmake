@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hynet_proxy.dir/proxy/latency_proxy.cc.o"
+  "CMakeFiles/hynet_proxy.dir/proxy/latency_proxy.cc.o.d"
+  "libhynet_proxy.a"
+  "libhynet_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hynet_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

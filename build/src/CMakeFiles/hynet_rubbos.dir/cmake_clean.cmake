@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hynet_rubbos.dir/rubbos/app_logic.cc.o"
+  "CMakeFiles/hynet_rubbos.dir/rubbos/app_logic.cc.o.d"
+  "CMakeFiles/hynet_rubbos.dir/rubbos/db_client.cc.o"
+  "CMakeFiles/hynet_rubbos.dir/rubbos/db_client.cc.o.d"
+  "CMakeFiles/hynet_rubbos.dir/rubbos/db_server.cc.o"
+  "CMakeFiles/hynet_rubbos.dir/rubbos/db_server.cc.o.d"
+  "CMakeFiles/hynet_rubbos.dir/rubbos/system.cc.o"
+  "CMakeFiles/hynet_rubbos.dir/rubbos/system.cc.o.d"
+  "CMakeFiles/hynet_rubbos.dir/rubbos/web_tier.cc.o"
+  "CMakeFiles/hynet_rubbos.dir/rubbos/web_tier.cc.o.d"
+  "CMakeFiles/hynet_rubbos.dir/rubbos/workload.cc.o"
+  "CMakeFiles/hynet_rubbos.dir/rubbos/workload.cc.o.d"
+  "libhynet_rubbos.a"
+  "libhynet_rubbos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hynet_rubbos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

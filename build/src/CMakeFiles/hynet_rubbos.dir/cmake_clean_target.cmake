@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhynet_rubbos.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/outbound_buffer.cc" "src/CMakeFiles/hynet_runtime.dir/runtime/outbound_buffer.cc.o" "gcc" "src/CMakeFiles/hynet_runtime.dir/runtime/outbound_buffer.cc.o.d"
+  "/root/repo/src/runtime/pipeline.cc" "src/CMakeFiles/hynet_runtime.dir/runtime/pipeline.cc.o" "gcc" "src/CMakeFiles/hynet_runtime.dir/runtime/pipeline.cc.o.d"
+  "/root/repo/src/runtime/worker_pool.cc" "src/CMakeFiles/hynet_runtime.dir/runtime/worker_pool.cc.o" "gcc" "src/CMakeFiles/hynet_runtime.dir/runtime/worker_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hynet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hynet_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hynet_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hynet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

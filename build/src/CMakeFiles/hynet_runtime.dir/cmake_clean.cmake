@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hynet_runtime.dir/runtime/outbound_buffer.cc.o"
+  "CMakeFiles/hynet_runtime.dir/runtime/outbound_buffer.cc.o.d"
+  "CMakeFiles/hynet_runtime.dir/runtime/pipeline.cc.o"
+  "CMakeFiles/hynet_runtime.dir/runtime/pipeline.cc.o.d"
+  "CMakeFiles/hynet_runtime.dir/runtime/worker_pool.cc.o"
+  "CMakeFiles/hynet_runtime.dir/runtime/worker_pool.cc.o.d"
+  "libhynet_runtime.a"
+  "libhynet_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hynet_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

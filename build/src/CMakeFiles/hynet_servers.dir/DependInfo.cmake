@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/servers/connection.cc" "src/CMakeFiles/hynet_servers.dir/servers/connection.cc.o" "gcc" "src/CMakeFiles/hynet_servers.dir/servers/connection.cc.o.d"
+  "/root/repo/src/servers/factory.cc" "src/CMakeFiles/hynet_servers.dir/servers/factory.cc.o" "gcc" "src/CMakeFiles/hynet_servers.dir/servers/factory.cc.o.d"
+  "/root/repo/src/servers/multi_loop.cc" "src/CMakeFiles/hynet_servers.dir/servers/multi_loop.cc.o" "gcc" "src/CMakeFiles/hynet_servers.dir/servers/multi_loop.cc.o.d"
+  "/root/repo/src/servers/ncopy.cc" "src/CMakeFiles/hynet_servers.dir/servers/ncopy.cc.o" "gcc" "src/CMakeFiles/hynet_servers.dir/servers/ncopy.cc.o.d"
+  "/root/repo/src/servers/reactor_pool.cc" "src/CMakeFiles/hynet_servers.dir/servers/reactor_pool.cc.o" "gcc" "src/CMakeFiles/hynet_servers.dir/servers/reactor_pool.cc.o.d"
+  "/root/repo/src/servers/server.cc" "src/CMakeFiles/hynet_servers.dir/servers/server.cc.o" "gcc" "src/CMakeFiles/hynet_servers.dir/servers/server.cc.o.d"
+  "/root/repo/src/servers/single_thread.cc" "src/CMakeFiles/hynet_servers.dir/servers/single_thread.cc.o" "gcc" "src/CMakeFiles/hynet_servers.dir/servers/single_thread.cc.o.d"
+  "/root/repo/src/servers/staged.cc" "src/CMakeFiles/hynet_servers.dir/servers/staged.cc.o" "gcc" "src/CMakeFiles/hynet_servers.dir/servers/staged.cc.o.d"
+  "/root/repo/src/servers/thread_per_conn.cc" "src/CMakeFiles/hynet_servers.dir/servers/thread_per_conn.cc.o" "gcc" "src/CMakeFiles/hynet_servers.dir/servers/thread_per_conn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hynet_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hynet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hynet_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hynet_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hynet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hynet_servers.dir/servers/connection.cc.o"
+  "CMakeFiles/hynet_servers.dir/servers/connection.cc.o.d"
+  "CMakeFiles/hynet_servers.dir/servers/factory.cc.o"
+  "CMakeFiles/hynet_servers.dir/servers/factory.cc.o.d"
+  "CMakeFiles/hynet_servers.dir/servers/multi_loop.cc.o"
+  "CMakeFiles/hynet_servers.dir/servers/multi_loop.cc.o.d"
+  "CMakeFiles/hynet_servers.dir/servers/ncopy.cc.o"
+  "CMakeFiles/hynet_servers.dir/servers/ncopy.cc.o.d"
+  "CMakeFiles/hynet_servers.dir/servers/reactor_pool.cc.o"
+  "CMakeFiles/hynet_servers.dir/servers/reactor_pool.cc.o.d"
+  "CMakeFiles/hynet_servers.dir/servers/server.cc.o"
+  "CMakeFiles/hynet_servers.dir/servers/server.cc.o.d"
+  "CMakeFiles/hynet_servers.dir/servers/single_thread.cc.o"
+  "CMakeFiles/hynet_servers.dir/servers/single_thread.cc.o.d"
+  "CMakeFiles/hynet_servers.dir/servers/staged.cc.o"
+  "CMakeFiles/hynet_servers.dir/servers/staged.cc.o.d"
+  "CMakeFiles/hynet_servers.dir/servers/thread_per_conn.cc.o"
+  "CMakeFiles/hynet_servers.dir/servers/thread_per_conn.cc.o.d"
+  "libhynet_servers.a"
+  "libhynet_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hynet_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

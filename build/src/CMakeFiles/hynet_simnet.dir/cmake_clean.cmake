@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hynet_simnet.dir/simnet/sim_clock.cc.o"
+  "CMakeFiles/hynet_simnet.dir/simnet/sim_clock.cc.o.d"
+  "CMakeFiles/hynet_simnet.dir/simnet/sim_network.cc.o"
+  "CMakeFiles/hynet_simnet.dir/simnet/sim_network.cc.o.d"
+  "CMakeFiles/hynet_simnet.dir/simnet/sim_tcp.cc.o"
+  "CMakeFiles/hynet_simnet.dir/simnet/sim_tcp.cc.o.d"
+  "libhynet_simnet.a"
+  "libhynet_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hynet_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubbos_test.dir/rubbos_test.cc.o"
+  "CMakeFiles/rubbos_test.dir/rubbos_test.cc.o.d"
+  "rubbos_test"
+  "rubbos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubbos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

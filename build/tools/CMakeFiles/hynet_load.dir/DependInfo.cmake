@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/hynet_load.cc" "tools/CMakeFiles/hynet_load.dir/hynet_load.cc.o" "gcc" "tools/CMakeFiles/hynet_load.dir/hynet_load.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hynet_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hynet_rubbos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hynet_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hynet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hynet_servers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hynet_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hynet_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hynet_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hynet_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hynet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hynet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hynet_load.dir/hynet_load.cc.o"
+  "CMakeFiles/hynet_load.dir/hynet_load.cc.o.d"
+  "hynet_load"
+  "hynet_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hynet_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

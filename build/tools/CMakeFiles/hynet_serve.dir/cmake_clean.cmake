@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hynet_serve.dir/hynet_serve.cc.o"
+  "CMakeFiles/hynet_serve.dir/hynet_serve.cc.o.d"
+  "hynet_serve"
+  "hynet_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hynet_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
