@@ -55,6 +55,17 @@ ServerCounters operator-(const ServerCounters& a, const ServerCounters& b) {
   d.light_path_responses = a.light_path_responses - b.light_path_responses;
   d.heavy_path_responses = a.heavy_path_responses - b.heavy_path_responses;
   d.reclassifications = a.reclassifications - b.reclassifications;
+  d.idle_evictions = a.idle_evictions - b.idle_evictions;
+  d.header_evictions = a.header_evictions - b.header_evictions;
+  d.write_stall_evictions = a.write_stall_evictions - b.write_stall_evictions;
+  d.shed_connections = a.shed_connections - b.shed_connections;
+  d.accept_pauses = a.accept_pauses - b.accept_pauses;
+  d.backpressure_pauses = a.backpressure_pauses - b.backpressure_pauses;
+  d.backpressure_resumes = a.backpressure_resumes - b.backpressure_resumes;
+  d.oversize_requests = a.oversize_requests - b.oversize_requests;
+  d.half_close_reclaims = a.half_close_reclaims - b.half_close_reclaims;
+  d.drained_connections = a.drained_connections - b.drained_connections;
+  d.forced_closes = a.forced_closes - b.forced_closes;
   return d;
 }
 

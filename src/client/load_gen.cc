@@ -1,5 +1,7 @@
 #include "client/load_gen.h"
 
+#include <poll.h>
+
 #include <deque>
 #include <memory>
 #include <unordered_map>
@@ -8,10 +10,15 @@
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_util.h"
 #include "net/event_loop.h"
 #include "net/socket.h"
 #include "proto/http_codec.h"
 #include "proto/http_parser.h"
+
+#ifndef POLLRDHUP
+#define POLLRDHUP 0x2000
+#endif
 
 namespace hynet {
 namespace {
@@ -264,6 +271,190 @@ class ClosedLoopDriver {
 LoadResult RunLoad(const LoadConfig& config) {
   ClosedLoopDriver driver(config);
   return driver.Run();
+}
+
+// ---- ChaosClient ----
+
+struct ChaosClient::ChaosConn {
+  ScopedFd fd;
+  std::string script;  // bytes this connection will (slowly) send
+  size_t sent = 0;
+  size_t read_total = 0;
+  bool evicted = false;
+  bool done = false;  // finished its misbehavior (e.g. RST delivered)
+};
+
+ChaosClient::ChaosClient(ChaosConfig config) : config_(std::move(config)) {}
+
+ChaosClient::~ChaosClient() { Stop(); }
+
+void ChaosClient::Start() {
+  if (running_.exchange(true)) return;
+  for (int i = 0; i < config_.connections; ++i) {
+    auto conn = std::make_unique<ChaosConn>();
+    try {
+      Socket sock = Socket::CreateTcp(/*nonblocking=*/false);
+      // The stalled reader's tiny receive window must be set before
+      // connect so the advertised window is small from the first ACK.
+      if (config_.mode == ChaosMode::kStalledReader &&
+          config_.rcv_buf_bytes > 0) {
+        sock.SetRecvBufferSize(config_.rcv_buf_bytes);
+      }
+      sock.Connect(config_.server);
+      sock.SetNonBlocking(true);
+      conn->fd = sock.TakeFd();
+      connected_.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::exception&) {
+      // Connect refused/reset — admission control at work; nothing to do.
+      conn->done = true;
+    }
+    switch (config_.mode) {
+      case ChaosMode::kSlowloris:
+        // A request head that could complete but never will: the final
+        // blank line is withheld forever.
+        conn->script = "GET /chaos HTTP/1.1\r\nHost: chaos\r\nX-Drip: " +
+                       std::string(512, 'a') + "\r\n\r\n";
+        break;
+      case ChaosMode::kStalledReader:
+      case ChaosMode::kMidResponseRst:
+        conn->script = BuildGetRequest(config_.target);
+        break;
+      case ChaosMode::kIdle:
+        break;
+    }
+    conns_.push_back(std::move(conn));
+  }
+  thread_ = std::thread([this] { Main(); });
+}
+
+void ChaosClient::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+  conns_.clear();
+}
+
+ChaosSnapshot ChaosClient::Snapshot() const {
+  ChaosSnapshot s;
+  s.connected = connected_.load(std::memory_order_relaxed);
+  s.evicted = evicted_.load(std::memory_order_relaxed);
+  s.rst_sent = rst_sent_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ChaosClient::MarkEvicted(ChaosConn& conn) {
+  if (conn.evicted || conn.done) return;
+  conn.evicted = true;
+  evicted_.fetch_add(1, std::memory_order_relaxed);
+  conn.fd = ScopedFd();
+}
+
+void ChaosClient::Main() {
+  SetCurrentThreadName("chaos-client");
+  const ChaosMode mode = config_.mode;
+
+  // The reader-side modes send their (small) request up front.
+  if (mode == ChaosMode::kStalledReader || mode == ChaosMode::kMidResponseRst) {
+    for (auto& conn : conns_) {
+      if (!conn->fd.valid() || conn->done) continue;
+      while (conn->sent < conn->script.size()) {
+        const IoResult r =
+            WriteFd(conn->fd.get(), conn->script.data() + conn->sent,
+                    conn->script.size() - conn->sent);
+        if (r.WouldBlock()) break;
+        if (r.Fatal()) {
+          MarkEvicted(*conn);
+          break;
+        }
+        conn->sent += static_cast<size_t>(r.n);
+        bytes_sent_.fetch_add(static_cast<uint64_t>(r.n),
+                              std::memory_order_relaxed);
+      }
+    }
+  }
+
+  const Duration drip_gap =
+      std::chrono::milliseconds(std::max(1, config_.drip_interval_ms));
+  TimePoint next_drip = Now();
+  std::vector<pollfd> pfds;
+  std::vector<ChaosConn*> order;
+
+  while (running_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    order.clear();
+    for (auto& conn : conns_) {
+      if (!conn->fd.valid() || conn->done || conn->evicted) continue;
+      short events = POLLRDHUP;
+      // The stalled reader never reads — its whole point is a full
+      // receive buffer — but eviction still surfaces as HUP/ERR/RDHUP.
+      if (mode != ChaosMode::kStalledReader) events |= POLLIN;
+      pfds.push_back(pollfd{conn->fd.get(), events, 0});
+      order.push_back(conn.get());
+    }
+    if (pfds.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      continue;
+    }
+    const int timeout_ms =
+        mode == ChaosMode::kSlowloris ? std::max(1, config_.drip_interval_ms)
+                                      : 10;
+    ::poll(pfds.data(), pfds.size(), timeout_ms);
+
+    for (size_t i = 0; i < pfds.size(); ++i) {
+      ChaosConn& conn = *order[i];
+      const short re = pfds[i].revents;
+      if (re & (POLLERR | POLLHUP | POLLRDHUP)) {
+        MarkEvicted(conn);
+        continue;
+      }
+      if (!(re & POLLIN)) continue;
+      char buf[4096];
+      while (conn.fd.valid()) {
+        const IoResult r = ReadFd(conn.fd.get(), buf, sizeof(buf));
+        if (r.WouldBlock()) break;
+        if (r.Eof() || r.Fatal()) {
+          MarkEvicted(conn);
+          break;
+        }
+        conn.read_total += static_cast<size_t>(r.n);
+        bytes_read_.fetch_add(static_cast<uint64_t>(r.n),
+                              std::memory_order_relaxed);
+        if (mode == ChaosMode::kMidResponseRst &&
+            conn.read_total >= config_.rst_after_bytes) {
+          // Abort mid-response: linger{1,0} turns the close into an RST
+          // the server's write path will hit on its next send.
+          SetFdLingerAbort(conn.fd.get());
+          conn.fd = ScopedFd();
+          conn.done = true;
+          rst_sent_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        if (static_cast<size_t>(r.n) < sizeof(buf)) break;
+      }
+    }
+
+    // Slowloris drip: one header byte per cadence per connection, never
+    // the final blank line.
+    if (mode == ChaosMode::kSlowloris && Now() >= next_drip) {
+      next_drip = Now() + drip_gap;
+      for (auto& conn : conns_) {
+        if (!conn->fd.valid() || conn->done || conn->evicted) continue;
+        const size_t cap = conn->script.size() - 4;  // withhold "\r\n\r\n"
+        if (conn->sent >= cap) continue;
+        const IoResult r =
+            WriteFd(conn->fd.get(), conn->script.data() + conn->sent, 1);
+        if (r.Fatal()) {
+          MarkEvicted(*conn);
+          continue;
+        }
+        if (!r.WouldBlock()) {
+          conn->sent++;
+          bytes_sent_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
 }
 
 }  // namespace hynet

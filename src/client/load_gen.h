@@ -8,9 +8,12 @@
 // shared host.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -64,5 +67,69 @@ struct LoadResult {
 // Runs the closed loop to completion (warmup + measure) on the calling
 // thread. Throws std::system_error if the server cannot be reached.
 LoadResult RunLoad(const LoadConfig& config);
+
+// ---- Chaos client: fault-injecting load ----
+//
+// Each connection misbehaves in one specific way; the harness asserts the
+// server evicts it (or survives it) while well-behaved closed-loop clients
+// keep being served.
+enum class ChaosMode {
+  kSlowloris,       // drip one header byte per interval, never finish
+  kStalledReader,   // request a huge response into a tiny SO_RCVBUF,
+                    // then never read it (write-stall food)
+  kMidResponseRst,  // request, read a little, abort with RST (SO_LINGER 0)
+  kIdle,            // connect and go silent (keep-alive squatter)
+};
+
+struct ChaosConfig {
+  InetAddr server;
+  ChaosMode mode = ChaosMode::kSlowloris;
+  int connections = 16;
+  int drip_interval_ms = 20;     // slowloris byte cadence
+  int rcv_buf_bytes = 2 * 1024;  // stalled-reader receive window
+  // Request sent by the stalled-reader / mid-response-RST modes; the
+  // default asks for a response far larger than any kernel buffer.
+  std::string target = "/bench?size=1048576";
+  size_t rst_after_bytes = 256;  // mid-response RST trigger
+};
+
+struct ChaosSnapshot {
+  uint64_t connected = 0;   // sockets that completed connect()
+  uint64_t evicted = 0;     // connections the server closed or reset
+  uint64_t rst_sent = 0;    // kMidResponseRst aborts performed
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_read = 0;
+};
+
+// Drives `connections` misbehaving sockets from one background
+// poll()-based thread. Start() returns once every socket attempted
+// connect; Stop() (or the destructor) closes everything.
+class ChaosClient {
+ public:
+  explicit ChaosClient(ChaosConfig config);
+  ~ChaosClient();
+  ChaosClient(const ChaosClient&) = delete;
+  ChaosClient& operator=(const ChaosClient&) = delete;
+
+  void Start();
+  void Stop();
+  ChaosSnapshot Snapshot() const;
+
+ private:
+  struct ChaosConn;
+  void Main();
+  void MarkEvicted(ChaosConn& conn);
+
+  ChaosConfig config_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::vector<std::unique_ptr<ChaosConn>> conns_;  // chaos thread after Start
+
+  std::atomic<uint64_t> connected_{0};
+  std::atomic<uint64_t> evicted_{0};
+  std::atomic<uint64_t> rst_sent_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+};
 
 }  // namespace hynet

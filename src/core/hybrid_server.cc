@@ -21,6 +21,16 @@ void HybridServer::OnBytes(LoopConn& lc) {
     }
     if (st == ParseStatus::kNeedMore) return;
     if (st == ParseStatus::kError) {
+      const ParseError err = lc.conn.parser.error();
+      if (err == ParseError::kHeadTooLarge ||
+          err == ParseError::kBodyTooLarge) {
+        lifecycle_.oversize_requests.fetch_add(1, std::memory_order_relaxed);
+        lc.conn.close_after_write = true;
+        EnqueueAndFlush(lc, SimpleErrorResponse(
+                                err == ParseError::kHeadTooLarge ? 431 : 413));
+        if (!lc.conn.closed && lc.conn.out.Empty()) CloseConn(lc);
+        return;
+      }
       CloseConn(lc);
       return;
     }
@@ -32,7 +42,8 @@ void HybridServer::OnBytes(LoopConn& lc) {
       ScopedPhase phase(phase_profiler_, Phase::kHandler);
       handler_(req, resp);
     }
-    resp.keep_alive = req.keep_alive;
+    resp.keep_alive =
+        req.keep_alive && !draining_.load(std::memory_order_relaxed);
     requests_.fetch_add(1, std::memory_order_relaxed);
     if (!resp.keep_alive) lc.conn.close_after_write = true;
 

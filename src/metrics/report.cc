@@ -68,4 +68,23 @@ void PrintHeader(const std::string& title) {
   std::fflush(stdout);
 }
 
+void PrintCounterTable(
+    const std::string& title,
+    const std::vector<std::pair<std::string, uint64_t>>& rows,
+    bool skip_zero) {
+  TablePrinter table({title, "count"});
+  bool any = false;
+  for (const auto& [name, value] : rows) {
+    if (skip_zero && value == 0) continue;
+    table.AddRow({name, TablePrinter::Int(static_cast<int64_t>(value))});
+    any = true;
+  }
+  if (!any) {
+    std::printf("  %s: (all zero)\n", title.c_str());
+    std::fflush(stdout);
+    return;
+  }
+  table.Print();
+}
+
 }  // namespace hynet

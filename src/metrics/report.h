@@ -5,7 +5,9 @@
 // machine-readable CSV block so results can be plotted.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace hynet {
@@ -34,5 +36,13 @@ class TablePrinter {
 
 // Prints a section header: "== Figure 7: ... ==".
 void PrintHeader(const std::string& title);
+
+// Prints a two-column name/value table of counters (e.g. the lifecycle
+// rows from LifecycleCounterRows). With skip_zero, all-zero rows are
+// suppressed so quiet servers don't print a wall of zeros.
+void PrintCounterTable(
+    const std::string& title,
+    const std::vector<std::pair<std::string, uint64_t>>& rows,
+    bool skip_zero = true);
 
 }  // namespace hynet

@@ -15,7 +15,20 @@ Acceptor::Acceptor(EventLoop& loop, const InetAddr& listen_addr,
 }
 
 Acceptor::~Acceptor() {
-  if (listening_) loop_.UnregisterFd(listen_socket_.fd());
+  if (listening_ && !paused_) loop_.UnregisterFd(listen_socket_.fd());
+}
+
+void Acceptor::Pause() {
+  if (!listening_ || paused_) return;
+  loop_.UnregisterFd(listen_socket_.fd());
+  paused_ = true;
+}
+
+void Acceptor::Resume() {
+  if (!listening_ || !paused_) return;
+  loop_.RegisterFd(listen_socket_.fd(), EPOLLIN,
+                   [this](uint32_t) { HandleReadable(); });
+  paused_ = false;
 }
 
 void Acceptor::Listen() {

@@ -23,6 +23,13 @@ class Acceptor {
   // Starts accepting; must be invoked on the loop thread (or before Run()).
   void Listen();
 
+  // Admission control: stop/restart pulling from the accept queue without
+  // closing the listening socket (pending connections stay in the kernel
+  // backlog and the port stays bound). Loop thread only. Idempotent.
+  void Pause();
+  void Resume();
+  bool paused() const { return listening_ && paused_; }
+
   uint16_t Port() const { return listen_socket_.LocalAddr().Port(); }
 
  private:
@@ -32,6 +39,7 @@ class Acceptor {
   Socket listen_socket_;
   NewConnectionCallback callback_;
   bool listening_ = false;
+  bool paused_ = false;
 };
 
 }  // namespace hynet

@@ -154,21 +154,29 @@ int64_t EventLoop::NextTimerTimeoutNs() {
 }
 
 void EventLoop::FireDueTimers() {
-  std::vector<Task> due;
-  {
-    std::lock_guard<std::mutex> lock(timer_mu_);
-    const TimePoint now = Now();
-    while (!timers_.empty() && timers_.top().when <= now) {
+  // Pop and run one timer at a time, re-checking timer_tasks_ under the
+  // lock before each run: a timer callback that calls CancelTimer must be
+  // able to suppress another timer due in the same batch (the eviction
+  // sweeps rely on this). `now` is snapshotted once so a callback that
+  // re-arms itself with zero delay fires on the next loop iteration
+  // instead of spinning here forever.
+  const TimePoint now = Now();
+  while (true) {
+    Task task;
+    {
+      std::lock_guard<std::mutex> lock(timer_mu_);
+      while (!timers_.empty() && !timer_tasks_.contains(timers_.top().id)) {
+        timers_.pop();  // cancelled
+      }
+      if (timers_.empty() || timers_.top().when > now) return;
       const TimerId id = timers_.top().id;
       timers_.pop();
       auto it = timer_tasks_.find(id);
-      if (it != timer_tasks_.end()) {
-        due.push_back(std::move(it->second));
-        timer_tasks_.erase(it);
-      }
+      task = std::move(it->second);
+      timer_tasks_.erase(it);
     }
+    task();
   }
-  for (auto& task : due) task();
 }
 
 }  // namespace hynet

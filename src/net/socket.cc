@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -143,6 +144,42 @@ void SetFdNoDelay(int fd, bool on) {
 void SetFdSendBufferSize(int fd, int bytes) {
   if (::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes)) < 0) {
     ThrowErrno("setsockopt(SO_SNDBUF)");
+  }
+}
+
+void SetFdRecvBufferSize(int fd, int bytes) {
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes)) < 0) {
+    ThrowErrno("setsockopt(SO_RCVBUF)");
+  }
+}
+
+namespace {
+
+void SetFdIoTimeout(int fd, int optname, const char* what, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv)) < 0) {
+    ThrowErrno(what);
+  }
+}
+
+}  // namespace
+
+void SetFdRecvTimeout(int fd, int ms) {
+  SetFdIoTimeout(fd, SO_RCVTIMEO, "setsockopt(SO_RCVTIMEO)", ms);
+}
+
+void SetFdSendTimeout(int fd, int ms) {
+  SetFdIoTimeout(fd, SO_SNDTIMEO, "setsockopt(SO_SNDTIMEO)", ms);
+}
+
+void SetFdLingerAbort(int fd) {
+  linger lg{};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  if (::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg)) < 0) {
+    ThrowErrno("setsockopt(SO_LINGER)");
   }
 }
 

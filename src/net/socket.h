@@ -75,5 +75,15 @@ void SetFdNonBlocking(int fd, bool on);
 void SetFdNoDelay(int fd, bool on);
 void SetFdSendBufferSize(int fd, int bytes);
 int GetFdSendBufferSize(int fd);
+void SetFdRecvBufferSize(int fd, int bytes);
+// SO_RCVTIMEO / SO_SNDTIMEO on a blocking fd: a blocked read()/write()
+// returns EAGAIN after `ms`. The thread-per-connection server uses these
+// as its idle/header/write-stall deadlines. 0 disables the timeout.
+void SetFdRecvTimeout(int fd, int ms);
+void SetFdSendTimeout(int fd, int ms);
+// SO_LINGER {on, 0}: close() sends RST and discards untransmitted data.
+// Used by the chaos client and the fault-injecting proxy to abort
+// connections mid-response.
+void SetFdLingerAbort(int fd);
 
 }  // namespace hynet

@@ -71,6 +71,25 @@ void SerializeRequest(const HttpRequest& req, ByteBuffer& out) {
   out.Append(req.body);
 }
 
+std::string SimpleErrorResponse(int status) {
+  const char* reason = "Error";
+  switch (status) {
+    case 408: reason = "Request Timeout"; break;
+    case 413: reason = "Payload Too Large"; break;
+    case 431: reason = "Request Header Fields Too Large"; break;
+    case 503: reason = "Service Unavailable"; break;
+    default: break;
+  }
+  HttpResponse resp;
+  resp.status = status;
+  resp.reason = reason;
+  resp.keep_alive = false;
+  resp.body = std::string(reason) + "\n";
+  ByteBuffer out;
+  SerializeResponse(resp, out);
+  return std::string(out.View());
+}
+
 std::string BuildGetRequest(std::string_view target, bool keep_alive) {
   std::string out;
   out.reserve(64 + target.size());

@@ -15,4 +15,9 @@ void SerializeRequest(const HttpRequest& req, ByteBuffer& out);
 // Convenience for clients: builds "GET <target> HTTP/1.1" bytes.
 std::string BuildGetRequest(std::string_view target, bool keep_alive = true);
 
+// Minimal standalone error response with `Connection: close`, for the
+// overload/limit paths that answer before closing (431 oversize head,
+// 413 oversize body, 503 shed at max_connections, 408 timeout).
+std::string SimpleErrorResponse(int status);
+
 }  // namespace hynet

@@ -157,6 +157,7 @@ void HttpResponse::Clear() {
 }
 
 ParseStatus HttpRequestParser::Parse(ByteBuffer& in) {
+  error_ = ParseError::kNone;
   if (state_ == State::kHead) {
     const ParseStatus st = ParseHead(in);
     if (st != ParseStatus::kComplete) return st;
@@ -178,8 +179,16 @@ ParseStatus HttpRequestParser::ParseHead(ByteBuffer& in) {
   const size_t head_end = FindHeadEnd(data, scanned_);
   if (head_end == 0) {
     scanned_ = data.size();
-    // 64 KB of headers without a terminator is an attack or a bug.
-    return data.size() > 65536 ? ParseStatus::kError : ParseStatus::kNeedMore;
+    // A head beyond the cap without a terminator is an attack or a bug.
+    if (max_head_bytes_ > 0 && data.size() > max_head_bytes_) {
+      error_ = ParseError::kHeadTooLarge;
+      return ParseStatus::kError;
+    }
+    return ParseStatus::kNeedMore;
+  }
+  if (max_head_bytes_ > 0 && head_end > max_head_bytes_ + 4) {
+    error_ = ParseError::kHeadTooLarge;
+    return ParseStatus::kError;
   }
 
   request_.Clear();
@@ -191,21 +200,36 @@ ParseStatus HttpRequestParser::ParseHead(ByteBuffer& in) {
   std::string_view line = head.substr(0, eol);
   const size_t sp1 = line.find(' ');
   const size_t sp2 = line.rfind(' ');
-  if (sp1 == std::string_view::npos || sp2 == sp1) return ParseStatus::kError;
+  if (sp1 == std::string_view::npos || sp2 == sp1) {
+    error_ = ParseError::kMalformed;
+    return ParseStatus::kError;
+  }
   request_.method = std::string(line.substr(0, sp1));
   request_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
   const std::string_view version = line.substr(sp2 + 1);
-  if (!version.starts_with("HTTP/1.")) return ParseStatus::kError;
+  if (!version.starts_with("HTTP/1.")) {
+    error_ = ParseError::kMalformed;
+    return ParseStatus::kError;
+  }
   ParseQuery(request_.target, &request_);
 
   const std::string_view header_block =
       eol < head.size() ? head.substr(eol + 2) : std::string_view{};
   if (!ParseHeaderLines(header_block, &request_.headers)) {
+    error_ = ParseError::kMalformed;
     return ParseStatus::kError;
   }
 
   const int64_t content_length = ParseContentLength(request_.headers);
-  if (content_length < 0) return ParseStatus::kError;
+  if (content_length < 0) {
+    error_ = ParseError::kMalformed;
+    return ParseStatus::kError;
+  }
+  if (max_body_bytes_ > 0 &&
+      static_cast<uint64_t>(content_length) > max_body_bytes_) {
+    error_ = ParseError::kBodyTooLarge;
+    return ParseStatus::kError;
+  }
   body_remaining_ = static_cast<size_t>(content_length);
   request_.keep_alive =
       WantsKeepAlive(request_.headers, version == "HTTP/1.1");
@@ -220,6 +244,7 @@ void HttpRequestParser::Reset() {
   state_ = State::kHead;
   body_remaining_ = 0;
   scanned_ = 0;
+  error_ = ParseError::kNone;
 }
 
 ParseStatus HttpResponseParser::Parse(ByteBuffer& in) {

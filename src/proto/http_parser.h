@@ -16,6 +16,16 @@ enum class ParseStatus {
   kError,      // malformed input; connection should be closed
 };
 
+// Why a request parse failed, so the server can pick a status code
+// (431 for an oversize head, 413 for an oversize body) before closing.
+// Malformed input gets no response at all — only size-limit violations do.
+enum class ParseError {
+  kNone,
+  kMalformed,
+  kHeadTooLarge,
+  kBodyTooLarge,
+};
+
 class HttpRequestParser {
  public:
   // Attempts to parse one request from `in`. On kComplete the request's
@@ -25,6 +35,22 @@ class HttpRequestParser {
 
   const HttpRequest& request() const { return request_; }
   HttpRequest& request() { return request_; }
+
+  // Request size bounds (0 = unlimited). A head larger than max_head_bytes
+  // without a terminator, or a Content-Length above max_body_bytes, parses
+  // to kError with the matching error().
+  void SetLimits(size_t max_head_bytes, size_t max_body_bytes) {
+    max_head_bytes_ = max_head_bytes;
+    max_body_bytes_ = max_body_bytes;
+  }
+
+  // Valid after Parse() returned kError.
+  ParseError error() const { return error_; }
+
+  // True while a request is partially parsed (mid-head or mid-body); used
+  // by graceful drain to tell idle connections from in-flight ones and by
+  // the header-timeout sweep.
+  bool InProgress() const { return state_ == State::kBody || scanned_ > 0; }
 
   void Reset();
 
@@ -37,6 +63,9 @@ class HttpRequestParser {
   State state_ = State::kHead;
   size_t body_remaining_ = 0;
   size_t scanned_ = 0;  // bytes already scanned for the head terminator
+  size_t max_head_bytes_ = 64 * 1024;  // the seed's historical cap
+  size_t max_body_bytes_ = 0;
+  ParseError error_ = ParseError::kNone;
 };
 
 class HttpResponseParser {

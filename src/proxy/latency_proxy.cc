@@ -8,6 +8,19 @@
 #include "net/socket.h"
 
 namespace hynet {
+namespace {
+
+// Tiny xorshift64* for the fault draws: deterministic per fault_seed and
+// cheap enough to sit on the relay hot path.
+double NextFaultU01(uint64_t& state) {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return static_cast<double>((state * 0x2545F4914F6CDD1DULL) >> 11) *
+         (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
 
 struct LatencyProxy::Relay {
   ScopedFd client_fd;
@@ -21,6 +34,11 @@ struct LatencyProxy::Relay {
   ByteBuffer to_client;
   bool client_writable_armed = false;
 
+  // Fault-injection state.
+  bool stalled = false;      // blackholed: client bytes never go upstream
+  bool reset_armed = false;  // RST after reset_after_bytes of response
+  uint64_t relayed_to_client = 0;
+
   bool closed = false;
 };
 
@@ -31,6 +49,7 @@ LatencyProxy::LatencyProxy(LatencyProxyConfig config)
   if (config_.one_way_delay < std::chrono::microseconds(100)) {
     config_.one_way_delay = std::chrono::microseconds(100);
   }
+  fault_rng_state_ = config_.fault_seed ? config_.fault_seed : 1;
 }
 
 LatencyProxy::~LatencyProxy() { Stop(); }
@@ -82,6 +101,16 @@ void LatencyProxy::OnNewClient(Socket client, const InetAddr&) {
   client.SetNonBlocking(true);
   SetFdNoDelay(client.fd(), true);
 
+  if (config_.fault_stall_prob > 0 &&
+      NextFaultU01(fault_rng_state_) < config_.fault_stall_prob) {
+    relay->stalled = true;
+    conns_stalled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (config_.fault_reset_prob > 0 &&
+      NextFaultU01(fault_rng_state_) < config_.fault_reset_prob) {
+    relay->reset_armed = true;
+  }
+
   relay->client_fd = client.TakeFd();
   relay->upstream_fd = upstream.TakeFd();
   const int cfd = relay->client_fd.get();
@@ -111,6 +140,20 @@ void LatencyProxy::OnClientReadable(const std::shared_ptr<Relay>& relay) {
     if (r.Eof() || r.Fatal()) {
       CloseRelay(relay);
       return;
+    }
+    if (relay->stalled) {
+      // Blackholed connection: consume and discard. The server sees a
+      // connection that never sends anything — idle-timeout food.
+      if (static_cast<size_t>(r.n) < sizeof(buf)) break;
+      continue;
+    }
+    if (config_.fault_drop_prob > 0 &&
+        NextFaultU01(fault_rng_state_) < config_.fault_drop_prob) {
+      // Dropped chunk: the server is left with a partial request that
+      // never completes — header-timeout food.
+      chunks_dropped_.fetch_add(1, std::memory_order_relaxed);
+      if (static_cast<size_t>(r.n) < sizeof(buf)) break;
+      continue;
     }
     relay->to_server.emplace_back(Now() + config_.one_way_delay,
                                   std::string(buf, static_cast<size_t>(r.n)));
@@ -173,7 +216,19 @@ void LatencyProxy::OnUpstreamTick(const std::shared_ptr<Relay>& relay) {
       return;
     }
     relay->to_client.Append(buf, static_cast<size_t>(r.n));
+    relay->relayed_to_client += static_cast<uint64_t>(r.n);
     budget -= static_cast<int>(r.n);
+  }
+  if (relay->reset_armed &&
+      relay->relayed_to_client >= config_.fault_reset_after_bytes) {
+    // Abort the upstream socket with an RST while the server may still be
+    // mid-response — exactly the failure the server write paths must
+    // survive. The linger{1,0} close fires when the relay is destroyed.
+    SetFdLingerAbort(relay->upstream_fd.get());
+    conns_reset_.fetch_add(1, std::memory_order_relaxed);
+    FlushToClient(relay);
+    CloseRelay(relay);
+    return;
   }
   FlushToClient(relay);
   if (relay->closed) return;

@@ -37,6 +37,19 @@ struct LatencyProxyConfig {
   std::chrono::microseconds one_way_delay{0};
   int window_bytes = 16 * 1024;     // response bytes released per tick
   int rcv_buf_bytes = 16 * 1024;    // SO_RCVBUF on the upstream socket
+
+  // ---- Fault injection (chaos experiments; all off by default) ----
+  // Probability that a client→server chunk is silently dropped, leaving
+  // the server with a forever-partial request (header-timeout food).
+  double fault_drop_prob = 0.0;
+  // Probability that a connection is blackholed at admission: client
+  // bytes are consumed but never forwarded upstream.
+  double fault_stall_prob = 0.0;
+  // Probability that a connection is aborted (RST via SO_LINGER {1,0})
+  // after fault_reset_after_bytes of response data reached the client.
+  double fault_reset_prob = 0.0;
+  size_t fault_reset_after_bytes = 1024;
+  uint64_t fault_seed = 42;
 };
 
 class LatencyProxy {
@@ -53,6 +66,15 @@ class LatencyProxy {
   }
   uint64_t BytesForwarded() const {
     return bytes_forwarded_.load(std::memory_order_relaxed);
+  }
+  uint64_t ChunksDropped() const {
+    return chunks_dropped_.load(std::memory_order_relaxed);
+  }
+  uint64_t ConnsStalled() const {
+    return conns_stalled_.load(std::memory_order_relaxed);
+  }
+  uint64_t ConnsReset() const {
+    return conns_reset_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -73,9 +95,13 @@ class LatencyProxy {
   std::atomic<bool> started_{false};
 
   std::unordered_map<int, std::shared_ptr<Relay>> relays_;  // by client fd
+  uint64_t fault_rng_state_ = 0;  // loop thread only
 
   std::atomic<uint64_t> conns_proxied_{0};
   std::atomic<uint64_t> bytes_forwarded_{0};
+  std::atomic<uint64_t> chunks_dropped_{0};
+  std::atomic<uint64_t> conns_stalled_{0};
+  std::atomic<uint64_t> conns_reset_{0};
 };
 
 }  // namespace hynet

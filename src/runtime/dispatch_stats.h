@@ -37,6 +37,29 @@ struct DispatchStats {
   }
 };
 
+// Connection-lifecycle and overload-protection counters. Incremented by
+// the eviction sweeps, admission control, backpressure water marks, and
+// graceful drain; exported through ServerCounters and metrics/report.cc.
+struct LifecycleStats {
+  std::atomic<uint64_t> idle_evictions{0};       // idle keep-alive timeout
+  std::atomic<uint64_t> header_evictions{0};     // partial head (slowloris)
+  std::atomic<uint64_t> write_stall_evictions{0};  // peer window never opened
+  std::atomic<uint64_t> shed_connections{0};     // rejected at max_connections
+  std::atomic<uint64_t> accept_pauses{0};        // acceptor paused at the cap
+  std::atomic<uint64_t> backpressure_pauses{0};  // reads paused at high water
+  std::atomic<uint64_t> backpressure_resumes{0};  // reads resumed at low water
+  std::atomic<uint64_t> oversize_requests{0};    // answered 431/413
+  std::atomic<uint64_t> half_close_reclaims{0};  // EPOLLRDHUP/EOF reclaim
+  std::atomic<uint64_t> drained_connections{0};  // closed cleanly during drain
+  std::atomic<uint64_t> forced_closes{0};        // stragglers at the deadline
+
+  uint64_t Evictions() const {
+    return idle_evictions.load(std::memory_order_relaxed) +
+           header_evictions.load(std::memory_order_relaxed) +
+           write_stall_evictions.load(std::memory_order_relaxed);
+  }
+};
+
 // Per-connection/server write-path counters (Table IV of the paper).
 struct WriteStats {
   std::atomic<uint64_t> write_calls{0};      // socket write() invocations

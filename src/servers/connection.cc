@@ -2,13 +2,55 @@
 
 #include <sched.h>
 
+#include <algorithm>
+
 #include "net/socket.h"
 
 namespace hynet {
 
+LifecycleDeadlines LifecycleDeadlines::FromMillis(int idle_ms, int header_ms,
+                                                  int write_stall_ms) {
+  LifecycleDeadlines d;
+  if (idle_ms > 0) d.idle = std::chrono::milliseconds(idle_ms);
+  if (header_ms > 0) d.header = std::chrono::milliseconds(header_ms);
+  if (write_stall_ms > 0) {
+    d.write_stall = std::chrono::milliseconds(write_stall_ms);
+  }
+  return d;
+}
+
+EvictReason CheckDeadlines(const ConnLifecycle& lc,
+                           const LifecycleDeadlines& deadlines, TimePoint now) {
+  if (lc.write_stalled && deadlines.write_stall > Duration::zero() &&
+      now - lc.stall_start >= deadlines.write_stall) {
+    return EvictReason::kWriteStall;
+  }
+  if (lc.head_pending && deadlines.header > Duration::zero() &&
+      now - lc.head_start >= deadlines.header) {
+    return EvictReason::kHeaderTimeout;
+  }
+  if (!lc.write_stalled && deadlines.idle > Duration::zero() &&
+      now - lc.last_activity >= deadlines.idle) {
+    return EvictReason::kIdle;
+  }
+  return EvictReason::kNone;
+}
+
+Duration SweepPeriod(const LifecycleDeadlines& deadlines) {
+  Duration shortest = std::chrono::seconds(4);
+  for (const Duration d :
+       {deadlines.idle, deadlines.header, deadlines.write_stall}) {
+    if (d > Duration::zero()) shortest = std::min(shortest, d);
+  }
+  return std::clamp<Duration>(shortest / 4, std::chrono::milliseconds(10),
+                              std::chrono::seconds(1));
+}
+
 SpinWriteResult SpinWriteAll(int fd, std::string_view data,
-                             WriteStats& stats, bool yield_on_full) {
+                             WriteStats& stats, bool yield_on_full,
+                             Duration stall_timeout) {
   size_t off = 0;
+  TimePoint last_progress{};
   while (off < data.size()) {
     const IoResult r = WriteFd(fd, data.data() + off, data.size() - off);
     stats.write_calls.fetch_add(1, std::memory_order_relaxed);
@@ -16,11 +58,20 @@ SpinWriteResult SpinWriteAll(int fd, std::string_view data,
       // TCP send buffer full: the write-spin. The caller's thread stays
       // glued to this response until ACKs free buffer space.
       stats.zero_writes.fetch_add(1, std::memory_order_relaxed);
+      if (stall_timeout > Duration::zero()) {
+        const TimePoint now = Now();
+        if (last_progress == TimePoint{}) {
+          last_progress = now;
+        } else if (now - last_progress >= stall_timeout) {
+          return SpinWriteResult::kStalled;
+        }
+      }
       if (yield_on_full) ::sched_yield();
       continue;
     }
     if (r.Fatal()) return SpinWriteResult::kPeerClosed;
     off += static_cast<size_t>(r.n);
+    last_progress = TimePoint{};
   }
   stats.responses.fetch_add(1, std::memory_order_relaxed);
   return SpinWriteResult::kOk;
@@ -32,6 +83,9 @@ SpinWriteResult BlockingWriteAll(int fd, std::string_view data,
   while (off < data.size()) {
     const IoResult r = WriteFd(fd, data.data() + off, data.size() - off);
     stats.write_calls.fetch_add(1, std::memory_order_relaxed);
+    // EAGAIN on a blocking fd means SO_SNDTIMEO expired with the peer's
+    // window still shut: a write stall, not a retryable condition.
+    if (r.WouldBlock()) return SpinWriteResult::kStalled;
     if (r.Fatal()) return SpinWriteResult::kPeerClosed;
     off += static_cast<size_t>(r.n);
   }

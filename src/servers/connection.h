@@ -5,12 +5,52 @@
 #include <string_view>
 
 #include "common/bytes.h"
+#include "common/clock.h"
 #include "common/fd.h"
 #include "proto/http_parser.h"
 #include "runtime/dispatch_stats.h"
 #include "runtime/outbound_buffer.h"
 
 namespace hynet {
+
+// The three per-connection deadlines, as durations (zero = disabled).
+// Derived once from ServerConfig's *_timeout_ms fields.
+struct LifecycleDeadlines {
+  Duration idle = Duration::zero();
+  Duration header = Duration::zero();
+  Duration write_stall = Duration::zero();
+
+  static LifecycleDeadlines FromMillis(int idle_ms, int header_ms,
+                                       int write_stall_ms);
+  bool Any() const {
+    return idle > Duration::zero() || header > Duration::zero() ||
+           write_stall > Duration::zero();
+  }
+};
+
+// Lifecycle bookkeeping carried by every event-driven connection and
+// inspected by the periodic deadline sweep.
+struct ConnLifecycle {
+  TimePoint last_activity{};    // last byte read or written
+  TimePoint head_start{};       // when the pending partial request began
+  TimePoint stall_start{};      // when the outbound buffer last made progress
+  bool head_pending = false;    // a request head/body is partially received
+  bool write_stalled = false;   // outbound bytes are waiting on the peer
+  bool reading_paused = false;  // EPOLLIN dropped at the high-water mark
+  bool peer_half_closed = false;  // EPOLLRDHUP / read EOF observed
+};
+
+enum class EvictReason { kNone, kIdle, kHeaderTimeout, kWriteStall };
+
+// Evaluates the configured deadlines against one connection's state.
+// Write stalls are checked first (an evicted stalled writer also looks
+// idle), then partial-head timeouts, then keep-alive idleness.
+EvictReason CheckDeadlines(const ConnLifecycle& lc,
+                           const LifecycleDeadlines& deadlines, TimePoint now);
+
+// How often the eviction sweep should run: a quarter of the shortest
+// enabled deadline, clamped to [10ms, 1s].
+Duration SweepPeriod(const LifecycleDeadlines& deadlines);
 
 // Connection state used by the event-driven architectures. The blocking
 // thread-per-connection server keeps its state on the worker thread's stack
@@ -35,20 +75,28 @@ struct Connection {
   bool close_after_write = false;
   bool closed = false;
   uint64_t requests = 0;
+
+  ConnLifecycle lifecycle;
 };
 
-enum class SpinWriteResult { kOk, kPeerClosed };
+enum class SpinWriteResult { kOk, kPeerClosed, kStalled };
 
 // The naive non-blocking write loop studied in Section IV: keeps calling
 // write() until the whole buffer is in the kernel. Counts every write()
 // and every zero-byte result in `stats`. If `yield_on_full` is set the
 // thread sched_yield()s after a zero-byte write (otherwise it spins hot).
+// A positive `stall_timeout` bounds the spin: if no byte makes progress
+// for that long the loop gives up with kStalled so the caller can evict
+// the dead peer instead of pinning the thread forever.
 SpinWriteResult SpinWriteAll(int fd, std::string_view data,
-                             WriteStats& stats, bool yield_on_full);
+                             WriteStats& stats, bool yield_on_full,
+                             Duration stall_timeout = Duration::zero());
 
 // Blocking write used by the thread-per-connection server: the fd is in
 // blocking mode, so the kernel parks the thread until the TCP window opens
 // (one write() per response for any size the kernel can eventually absorb).
+// With SO_SNDTIMEO armed a stalled peer surfaces as EAGAIN, reported here
+// as kStalled.
 SpinWriteResult BlockingWriteAll(int fd, std::string_view data,
                                  WriteStats& stats);
 

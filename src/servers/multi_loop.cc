@@ -15,6 +15,9 @@ LoopGroupServer::~LoopGroupServer() {
 }
 
 void LoopGroupServer::Start() {
+  deadlines_ = LifecycleDeadlines::FromMillis(config_.idle_timeout_ms,
+                                              config_.header_timeout_ms,
+                                              config_.write_stall_timeout_ms);
   const int n = std::max(1, config_.event_loops);
   loops_.reserve(static_cast<size_t>(n));
   conns_.resize(static_cast<size_t>(n));
@@ -56,6 +59,74 @@ void LoopGroupServer::Start() {
       std::this_thread::yield();
     }
   }
+  if (deadlines_.Any()) {
+    for (size_t i = 0; i < loops_.size(); ++i) ScheduleSweep(i);
+  }
+}
+
+DrainResult LoopGroupServer::Shutdown(Duration drain_deadline) {
+  if (!started_.load(std::memory_order_acquire)) return {};
+  const TimePoint deadline = Now() + drain_deadline;
+  const uint64_t closed_before = closed_.load(std::memory_order_relaxed);
+  draining_.store(true, std::memory_order_release);
+
+  boss_loop_->RunInLoop([this] {
+    if (acceptor_) acceptor_->Pause();
+  });
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    loops_[i]->RunInLoop([this, i] {
+      std::vector<std::shared_ptr<LoopConn>> snapshot;
+      snapshot.reserve(conns_[i].size());
+      for (const auto& [fd, lc] : conns_[i]) snapshot.push_back(lc);
+      for (const auto& lc : snapshot) {
+        if (lc->conn.closed) continue;
+        const bool idle = lc->conn.in.ReadableBytes() == 0 &&
+                          !lc->conn.parser.InProgress() &&
+                          lc->conn.out.Empty();
+        if (idle) {
+          CloseConn(*lc);
+        } else {
+          // In-flight: the response (sent with Connection: close while
+          // draining) or the pending flush will close it.
+          lc->conn.close_after_write = true;
+        }
+      }
+    });
+  }
+
+  while (Now() < deadline && Live() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::atomic<uint64_t> forced{0};
+  std::atomic<size_t> loops_done{0};
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    loops_[i]->RunInLoop([this, i, &forced, &loops_done] {
+      std::vector<std::shared_ptr<LoopConn>> snapshot;
+      for (const auto& [fd, lc] : conns_[i]) snapshot.push_back(lc);
+      uint64_t n = 0;
+      for (const auto& lc : snapshot) {
+        if (lc->conn.closed) continue;
+        CloseConn(*lc);
+        ++n;
+      }
+      forced.fetch_add(n, std::memory_order_relaxed);
+      loops_done.fetch_add(1, std::memory_order_acq_rel);
+    });
+  }
+  while (loops_done.load(std::memory_order_acquire) < loops_.size()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  DrainResult result;
+  result.forced = forced.load(std::memory_order_relaxed);
+  result.drained =
+      closed_.load(std::memory_order_relaxed) - closed_before - result.forced;
+  lifecycle_.forced_closes.fetch_add(result.forced, std::memory_order_relaxed);
+  lifecycle_.drained_connections.fetch_add(result.drained,
+                                           std::memory_order_relaxed);
+  Stop();
+  return result;
 }
 
 void LoopGroupServer::Stop() {
@@ -97,10 +168,16 @@ ServerCounters LoopGroupServer::Snapshot() const {
   c.light_path_responses = light_responses_.load(std::memory_order_relaxed);
   c.heavy_path_responses = heavy_responses_.load(std::memory_order_relaxed);
   c.reclassifications = reclassifications_.load(std::memory_order_relaxed);
+  ExportLifecycle(c);
   return c;
 }
 
 void LoopGroupServer::OnNewConnection(Socket socket, const InetAddr&) {
+  if (config_.max_connections > 0 &&
+      Live() >= static_cast<uint64_t>(config_.max_connections)) {
+    ShedWith503(socket.fd());
+    return;
+  }
   socket.SetNonBlocking(true);
   ConfigureAcceptedFd(socket.fd());
   accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -111,29 +188,43 @@ void LoopGroupServer::OnNewConnection(Socket socket, const InetAddr&) {
 
   auto lc = std::make_shared<LoopConn>(socket.TakeFd(),
                                        config_.write_spin_cap, loop_index);
+  lc->conn.lifecycle.last_activity = Now();
+  lc->conn.parser.SetLimits(config_.max_request_head_bytes,
+                            config_.max_request_body_bytes);
   EventLoop& loop = *loops_[loop_index];
   loop.RunInLoop([this, loop_index, lc] {
     const int fd = lc->conn.fd.get();
     conns_[loop_index][fd] = lc;
     OnConnectionEstablished(*lc);
-    loops_[loop_index]->RegisterFd(fd, EPOLLIN,
+    loops_[loop_index]->RegisterFd(fd, EPOLLIN | EPOLLRDHUP,
                                    [this, loop_index, fd](uint32_t events) {
                                      OnLoopEvent(loop_index, fd, events);
                                    });
   });
+  if (config_.max_connections > 0 && !config_.shed_with_503 &&
+      !accept_paused_.load(std::memory_order_relaxed) &&
+      Live() >= static_cast<uint64_t>(config_.max_connections)) {
+    acceptor_->Pause();
+    accept_paused_.store(true, std::memory_order_relaxed);
+    lifecycle_.accept_pauses.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void LoopGroupServer::OnLoopEvent(size_t loop_index, int fd, uint32_t events) {
   auto& map = conns_[loop_index];
   auto it = map.find(fd);
   if (it == map.end()) return;
-  LoopConn& lc = *it->second;
+  // Keep the connection alive across this frame: CloseConn defers the
+  // map erase, but a shared_ptr copy also guards against future changes.
+  std::shared_ptr<LoopConn> guard = it->second;
+  LoopConn& lc = *guard;
   if (lc.conn.closed) return;
 
   if (events & (EPOLLHUP | EPOLLERR)) {
     CloseConn(lc);
     return;
   }
+  if (events & EPOLLRDHUP) lc.conn.lifecycle.peer_half_closed = true;
 
   if (events & EPOLLOUT) {
     TryFlush(lc);
@@ -141,35 +232,84 @@ void LoopGroupServer::OnLoopEvent(size_t loop_index, int fd, uint32_t events) {
   }
 
   if (events & EPOLLIN) {
+    // Drain reads fully even on EOF: requests the peer pipelined before
+    // half-closing are still parsed and answered below.
     char buf[16 * 1024];
     while (true) {
       const IoResult r = ReadFd(fd, buf, sizeof(buf));
       if (r.WouldBlock()) break;
-      if (r.Eof() || r.Fatal()) {
+      if (r.Fatal()) {
         CloseConn(lc);
         return;
       }
+      if (r.Eof()) {
+        lc.conn.lifecycle.peer_half_closed = true;
+        break;
+      }
       lc.conn.in.Append(buf, static_cast<size_t>(r.n));
+      lc.conn.lifecycle.last_activity = Now();
       if (static_cast<size_t>(r.n) < sizeof(buf)) break;
     }
     OnBytes(lc);
+    if (lc.conn.closed) return;
+  }
+
+  // Header-read deadline bookkeeping: undecoded bytes (or a mid-body
+  // parse) after OnBytes mean a request is pending completion.
+  if (lc.conn.in.ReadableBytes() > 0 || lc.conn.parser.InProgress()) {
+    if (!lc.conn.lifecycle.head_pending) {
+      lc.conn.lifecycle.head_pending = true;
+      lc.conn.lifecycle.head_start = Now();
+    }
+  } else {
+    lc.conn.lifecycle.head_pending = false;
+  }
+
+  if (lc.conn.lifecycle.peer_half_closed) {
+    // Half-closed peer: nothing more will arrive. Close now if nothing is
+    // owed, otherwise let the flush path finish the pending response.
+    if (lc.conn.out.Empty()) {
+      lifecycle_.half_close_reclaims.fetch_add(1, std::memory_order_relaxed);
+      CloseConn(lc);
+    } else {
+      lc.conn.close_after_write = true;
+    }
   }
 }
 
 void LoopGroupServer::EnqueueAndFlush(LoopConn& lc, std::string bytes) {
   if (lc.conn.closed) return;
   lc.conn.out.Add(std::move(bytes));
+  if (!lc.conn.lifecycle.write_stalled) {
+    lc.conn.lifecycle.write_stalled = true;
+    lc.conn.lifecycle.stall_start = Now();
+  }
   TryFlush(lc);
+  MaybePauseReading(lc);
 }
 
 void LoopGroupServer::TryFlush(LoopConn& lc) {
   if (lc.conn.closed) return;
   const int fd = lc.conn.fd.get();
+  const size_t before = lc.conn.out.PendingBytes();
   FlushResult result;
   {
     ScopedPhase phase(phase_profiler_, Phase::kWrite);
     result = lc.conn.out.Flush(fd, write_stats_);
   }
+  // Any forward progress restarts the write-stall clock.
+  const size_t after = lc.conn.out.PendingBytes();
+  if (after < before) {
+    lc.conn.lifecycle.last_activity = Now();
+    lc.conn.lifecycle.stall_start = Now();
+  }
+  if (after == 0) {
+    lc.conn.lifecycle.write_stalled = false;
+  } else if (!lc.conn.lifecycle.write_stalled) {
+    lc.conn.lifecycle.write_stalled = true;
+    lc.conn.lifecycle.stall_start = Now();
+  }
+  MaybeResumeReading(lc);
   switch (result) {
     case FlushResult::kDone:
       UpdateWriteInterest(lc);
@@ -204,9 +344,33 @@ void LoopGroupServer::TryFlush(LoopConn& lc) {
 
 void LoopGroupServer::UpdateWriteInterest(LoopConn& lc) {
   const bool want = !lc.conn.out.Empty() && lc.conn.want_writable;
-  const uint32_t events = EPOLLIN | (want ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  uint32_t events = EPOLLRDHUP | (want ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  if (!lc.conn.lifecycle.reading_paused) events |= EPOLLIN;
   LoopOf(lc).ModifyFd(lc.conn.fd.get(), events);
   if (lc.conn.out.Empty()) lc.conn.want_writable = false;
+}
+
+void LoopGroupServer::MaybePauseReading(LoopConn& lc) {
+  const size_t high = config_.outbound_high_water_bytes;
+  if (high == 0 || lc.conn.closed || lc.conn.lifecycle.reading_paused) return;
+  if (lc.conn.out.PendingBytes() > high) {
+    lc.conn.lifecycle.reading_paused = true;
+    lifecycle_.backpressure_pauses.fetch_add(1, std::memory_order_relaxed);
+    UpdateWriteInterest(lc);
+  }
+}
+
+void LoopGroupServer::MaybeResumeReading(LoopConn& lc) {
+  if (!lc.conn.lifecycle.reading_paused || lc.conn.closed) return;
+  const size_t high = config_.outbound_high_water_bytes;
+  const size_t low = config_.outbound_low_water_bytes > 0
+                         ? config_.outbound_low_water_bytes
+                         : high / 2;
+  if (lc.conn.out.PendingBytes() <= low) {
+    lc.conn.lifecycle.reading_paused = false;
+    lifecycle_.backpressure_resumes.fetch_add(1, std::memory_order_relaxed);
+    UpdateWriteInterest(lc);
+  }
 }
 
 void LoopGroupServer::CloseConn(LoopConn& lc) {
@@ -221,6 +385,55 @@ void LoopGroupServer::CloseConn(LoopConn& lc) {
   // on the current call stack stays valid (CloseConn can be reached from
   // deep inside flush paths).
   loop.QueueTask([this, loop_index, fd] { conns_[loop_index].erase(fd); });
+  if (accept_paused_.load(std::memory_order_relaxed) &&
+      !draining_.load(std::memory_order_relaxed) &&
+      Live() < static_cast<uint64_t>(config_.max_connections)) {
+    // Resume accepting on the boss thread; re-check there since more
+    // closes may race this one.
+    boss_loop_->RunInLoop([this] {
+      if (accept_paused_.load(std::memory_order_relaxed) && acceptor_ &&
+          !draining_.load(std::memory_order_relaxed) &&
+          Live() < static_cast<uint64_t>(config_.max_connections)) {
+        acceptor_->Resume();
+        accept_paused_.store(false, std::memory_order_relaxed);
+      }
+    });
+  }
+}
+
+void LoopGroupServer::ScheduleSweep(size_t loop_index) {
+  loops_[loop_index]->RunAfter(SweepPeriod(deadlines_), [this, loop_index] {
+    SweepLoop(loop_index);
+    if (started_.load(std::memory_order_acquire)) ScheduleSweep(loop_index);
+  });
+}
+
+void LoopGroupServer::SweepLoop(size_t loop_index) {
+  const TimePoint now = Now();
+  std::vector<std::pair<std::shared_ptr<LoopConn>, EvictReason>> victims;
+  for (const auto& [fd, lc] : conns_[loop_index]) {
+    if (lc->conn.closed) continue;
+    const EvictReason reason =
+        CheckDeadlines(lc->conn.lifecycle, deadlines_, now);
+    if (reason != EvictReason::kNone) victims.emplace_back(lc, reason);
+  }
+  for (const auto& [lc, reason] : victims) {
+    switch (reason) {
+      case EvictReason::kIdle:
+        lifecycle_.idle_evictions.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case EvictReason::kHeaderTimeout:
+        lifecycle_.header_evictions.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case EvictReason::kWriteStall:
+        lifecycle_.write_stall_evictions.fetch_add(1,
+                                                   std::memory_order_relaxed);
+        break;
+      case EvictReason::kNone:
+        break;
+    }
+    CloseConn(*lc);
+  }
 }
 
 namespace {
@@ -230,7 +443,11 @@ namespace {
 // messages → wire bytes.
 class HttpServerCodec final : public ChannelHandler {
  public:
-  explicit HttpServerCodec(PhaseProfiler& profiler) : profiler_(profiler) {}
+  HttpServerCodec(PhaseProfiler& profiler, LifecycleStats& lifecycle,
+                  size_t max_head_bytes, size_t max_body_bytes)
+      : profiler_(profiler), lifecycle_(lifecycle) {
+    parser_.SetLimits(max_head_bytes, max_body_bytes);
+  }
 
   void OnData(ChannelContext& ctx, ByteBuffer& in) override {
     while (true) {
@@ -241,6 +458,14 @@ class HttpServerCodec final : public ChannelHandler {
       }
       if (st == ParseStatus::kNeedMore) return;
       if (st == ParseStatus::kError) {
+        const ParseError err = parser_.error();
+        if (err == ParseError::kHeadTooLarge ||
+            err == ParseError::kBodyTooLarge) {
+          lifecycle_.oversize_requests.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          ctx.Write(std::any(SimpleErrorResponse(
+              err == ParseError::kHeadTooLarge ? 431 : 413)));
+        }
         ctx.Close();
         return;
       }
@@ -265,6 +490,7 @@ class HttpServerCodec final : public ChannelHandler {
 
  private:
   PhaseProfiler& profiler_;
+  LifecycleStats& lifecycle_;
   HttpRequestParser parser_;
 };
 
@@ -273,8 +499,12 @@ class HttpServerCodec final : public ChannelHandler {
 class ServerAppHandler final : public ChannelHandler {
  public:
   ServerAppHandler(const Handler& handler, std::atomic<uint64_t>& requests,
-                   PhaseProfiler& profiler)
-      : handler_(handler), requests_(requests), profiler_(profiler) {}
+                   PhaseProfiler& profiler,
+                   const std::atomic<bool>& draining)
+      : handler_(handler),
+        requests_(requests),
+        profiler_(profiler),
+        draining_(draining) {}
 
   void OnMessage(ChannelContext& ctx, std::any msg) override {
     auto req = std::any_cast<std::shared_ptr<HttpRequest>>(std::move(msg));
@@ -283,7 +513,8 @@ class ServerAppHandler final : public ChannelHandler {
       ScopedPhase phase(profiler_, Phase::kHandler);
       handler_(*req, resp);
     }
-    resp.keep_alive = req->keep_alive;
+    resp.keep_alive =
+        req->keep_alive && !draining_.load(std::memory_order_relaxed);
     requests_.fetch_add(1, std::memory_order_relaxed);
     const bool close = !resp.keep_alive;
     ctx.Write(std::any(std::move(resp)));
@@ -294,6 +525,7 @@ class ServerAppHandler final : public ChannelHandler {
   const Handler& handler_;
   std::atomic<uint64_t>& requests_;
   PhaseProfiler& profiler_;
+  const std::atomic<bool>& draining_;
 };
 
 }  // namespace
@@ -303,9 +535,11 @@ MultiLoopServer::MultiLoopServer(ServerConfig config, Handler handler)
 
 void MultiLoopServer::OnConnectionEstablished(LoopConn& lc) {
   lc.pipeline = std::make_unique<ChannelPipeline>();
-  lc.pipeline->AddLast(std::make_shared<HttpServerCodec>(phase_profiler_));
+  lc.pipeline->AddLast(std::make_shared<HttpServerCodec>(
+      phase_profiler_, lifecycle_, config_.max_request_head_bytes,
+      config_.max_request_body_bytes));
   lc.pipeline->AddLast(std::make_shared<ServerAppHandler>(
-      handler_, requests_, phase_profiler_));
+      handler_, requests_, phase_profiler_, draining_));
   LoopConn* raw = &lc;
   lc.pipeline->SetOutboundSink([this, raw](std::string bytes) {
     EnqueueAndFlush(*raw, std::move(bytes));

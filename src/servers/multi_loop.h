@@ -34,6 +34,7 @@ class LoopGroupServer : public Server {
 
   void Start() override;
   void Stop() override;
+  DrainResult Shutdown(Duration drain_deadline) override;
   uint16_t Port() const override { return port_; }
   std::vector<int> ThreadIds() const override;
   ServerCounters Snapshot() const override;
@@ -71,10 +72,23 @@ class LoopGroupServer : public Server {
   std::atomic<uint64_t> heavy_responses_{0};
   std::atomic<uint64_t> reclassifications_{0};
 
+  LifecycleDeadlines deadlines_;
+
  private:
   void OnNewConnection(Socket socket, const InetAddr& peer);
   void OnLoopEvent(size_t loop_index, int fd, uint32_t events);
+  // Recomputes the epoll interest mask from the connection's state
+  // (EPOLLOUT while outbound bytes wait, EPOLLIN unless backpressured).
   void UpdateWriteInterest(LoopConn& lc);
+  // Outbound high/low-water backpressure (loop thread only).
+  void MaybePauseReading(LoopConn& lc);
+  void MaybeResumeReading(LoopConn& lc);
+  void ScheduleSweep(size_t loop_index);
+  void SweepLoop(size_t loop_index);
+  uint64_t Live() const {
+    return accepted_.load(std::memory_order_relaxed) -
+           closed_.load(std::memory_order_relaxed);
+  }
 
   std::unique_ptr<EventLoop> boss_loop_;
   std::unique_ptr<Acceptor> acceptor_;
@@ -92,6 +106,8 @@ class LoopGroupServer : public Server {
   uint16_t port_ = 0;
   std::atomic<bool> started_{false};
   size_t next_loop_ = 0;
+  // Written on the boss thread; checked from worker-loop close paths.
+  std::atomic<bool> accept_paused_{false};
 
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> closed_{0};

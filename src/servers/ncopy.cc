@@ -12,6 +12,11 @@ void NCopyServer::Start() {
   ServerConfig copy_config = config_;
   copy_config.architecture = ServerArchitecture::kSingleThread;
   copy_config.reuse_port = true;
+  // The admission cap is a deployment-wide budget: split it across copies
+  // (the kernel's SO_REUSEPORT hash spreads connections about evenly).
+  if (config_.max_connections > 0) {
+    copy_config.max_connections = (config_.max_connections + n - 1) / n;
+  }
 
   // First copy may bind an ephemeral port; the rest join it.
   copies_.push_back(
@@ -32,6 +37,21 @@ void NCopyServer::Stop() {
   copies_.clear();
 }
 
+DrainResult NCopyServer::Shutdown(Duration drain_deadline) {
+  // One shared absolute deadline: copy k's budget is whatever remains
+  // after the copies before it drained.
+  const TimePoint deadline = Now() + drain_deadline;
+  DrainResult total;
+  for (auto& copy : copies_) {
+    const Duration remaining = std::max(deadline - Now(), Duration::zero());
+    const DrainResult r = copy->Shutdown(remaining);
+    total.drained += r.drained;
+    total.forced += r.forced;
+  }
+  copies_.clear();
+  return total;
+}
+
 std::vector<int> NCopyServer::ThreadIds() const {
   std::vector<int> tids;
   for (const auto& copy : copies_) {
@@ -44,13 +64,7 @@ std::vector<int> NCopyServer::ThreadIds() const {
 ServerCounters NCopyServer::Snapshot() const {
   ServerCounters total;
   for (const auto& copy : copies_) {
-    const ServerCounters c = copy->Snapshot();
-    total.connections_accepted += c.connections_accepted;
-    total.connections_closed += c.connections_closed;
-    total.requests_handled += c.requests_handled;
-    total.responses_sent += c.responses_sent;
-    total.write_calls += c.write_calls;
-    total.zero_writes += c.zero_writes;
+    AccumulateCounters(total, copy->Snapshot());
   }
   return total;
 }

@@ -22,6 +22,7 @@ class NCopyServer final : public Server {
 
   void Start() override;
   void Stop() override;
+  DrainResult Shutdown(Duration drain_deadline) override;
   uint16_t Port() const override { return port_; }
   std::vector<int> ThreadIds() const override;
   ServerCounters Snapshot() const override;

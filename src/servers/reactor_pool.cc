@@ -1,5 +1,7 @@
 #include "servers/reactor_pool.h"
 
+#include <sys/socket.h>
+
 #include "common/logging.h"
 #include "common/thread_util.h"
 #include "proto/http_codec.h"
@@ -13,6 +15,9 @@ ReactorPoolServer::ReactorPoolServer(ServerConfig config, Handler handler,
 ReactorPoolServer::~ReactorPoolServer() { Stop(); }
 
 void ReactorPoolServer::Start() {
+  deadlines_ = LifecycleDeadlines::FromMillis(config_.idle_timeout_ms,
+                                              config_.header_timeout_ms,
+                                              config_.write_stall_timeout_ms);
   loop_ = std::make_unique<EventLoop>();
   pool_ = std::make_unique<WorkerPool>(config_.worker_threads, "rp-worker");
   acceptor_ = std::make_unique<Acceptor>(
@@ -33,6 +38,7 @@ void ReactorPoolServer::Start() {
   while (loop_tid_.load(std::memory_order_acquire) == 0) {
     std::this_thread::yield();
   }
+  if (deadlines_.Any()) ScheduleSweep();
 }
 
 void ReactorPoolServer::Stop() {
@@ -45,6 +51,74 @@ void ReactorPoolServer::Stop() {
   acceptor_.reset();
   pool_.reset();
   loop_.reset();
+}
+
+DrainResult ReactorPoolServer::Shutdown(Duration drain_deadline) {
+  if (!started_.load(std::memory_order_acquire)) return {};
+  const TimePoint deadline = Now() + drain_deadline;
+  const uint64_t closed_before = closed_.load(std::memory_order_relaxed);
+  draining_.store(true, std::memory_order_release);
+
+  loop_->RunInLoop([this] {
+    if (acceptor_) acceptor_->Pause();
+    std::vector<Connection*> idle;
+    for (const auto& [fd, conn] : conns_) {
+      // Only reactor-owned (registered) connections can be closed here; a
+      // missing registration means a worker holds the connection and will
+      // observe draining_ on its way out.
+      if (loop_->IsRegistered(fd) && conn->in.ReadableBytes() == 0 &&
+          !conn->parser.InProgress()) {
+        idle.push_back(conn.get());
+      }
+    }
+    for (Connection* conn : idle) CloseConnection(conn);
+  });
+
+  while (Now() < deadline && Live() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::atomic<uint64_t> forced{0};
+  std::atomic<bool> force_done{false};
+  loop_->RunInLoop([this, &forced, &force_done] {
+    std::vector<Connection*> owned;
+    std::vector<int> worker_owned;
+    for (const auto& [fd, conn] : conns_) {
+      if (loop_->IsRegistered(fd)) {
+        owned.push_back(conn.get());
+      } else {
+        worker_owned.push_back(fd);
+      }
+    }
+    for (Connection* conn : owned) CloseConnection(conn);
+    // A worker still holds a raw pointer to each of these; destroying them
+    // here would be a use-after-free. shutdown() makes the worker's next
+    // read/write fail so it finishes through the normal close path.
+    for (const int fd : worker_owned) ::shutdown(fd, SHUT_RDWR);
+    forced.store(owned.size() + worker_owned.size(),
+                 std::memory_order_relaxed);
+    force_done.store(true, std::memory_order_release);
+  });
+  while (!force_done.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Give shutdown()-poked workers a moment to unwind into CloseConnection.
+  const TimePoint grace = Now() + std::chrono::milliseconds(500);
+  while (Now() < grace && Live() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  DrainResult result;
+  result.forced = forced.load(std::memory_order_relaxed);
+  const uint64_t closed_total =
+      closed_.load(std::memory_order_relaxed) - closed_before;
+  result.drained =
+      closed_total >= result.forced ? closed_total - result.forced : 0;
+  lifecycle_.forced_closes.fetch_add(result.forced, std::memory_order_relaxed);
+  lifecycle_.drained_connections.fetch_add(result.drained,
+                                           std::memory_order_relaxed);
+  Stop();
+  return result;
 }
 
 std::vector<int> ReactorPoolServer::ThreadIds() const {
@@ -63,27 +137,49 @@ ServerCounters ReactorPoolServer::Snapshot() const {
   c.write_calls = write_stats_.write_calls.load(std::memory_order_relaxed);
   c.zero_writes = write_stats_.zero_writes.load(std::memory_order_relaxed);
   c.logical_switches = dispatch_stats_.LogicalSwitches();
+  ExportLifecycle(c);
   return c;
 }
 
 void ReactorPoolServer::OnNewConnection(Socket socket, const InetAddr&) {
+  if (config_.max_connections > 0 &&
+      Live() >= static_cast<uint64_t>(config_.max_connections)) {
+    ShedWith503(socket.fd());
+    return;
+  }
   socket.SetNonBlocking(true);
   ConfigureAcceptedFd(socket.fd());
   const int fd = socket.fd();
   auto conn = std::make_unique<Connection>(socket.TakeFd(),
                                            config_.write_spin_cap);
+  conn->lifecycle.last_activity = Now();
+  conn->parser.SetLimits(config_.max_request_head_bytes,
+                         config_.max_request_body_bytes);
   Connection* raw = conn.get();
   conns_[fd] = std::move(conn);
   accepted_.fetch_add(1, std::memory_order_relaxed);
-  loop_->RegisterFd(fd, EPOLLIN, [this, raw](uint32_t) {
-    DispatchReadEvent(raw->fd.get());
+  loop_->RegisterFd(fd, EPOLLIN | EPOLLRDHUP, [this, raw](uint32_t events) {
+    DispatchReadEvent(raw->fd.get(), events);
   });
+  if (config_.max_connections > 0 && !config_.shed_with_503 &&
+      !accept_paused_ &&
+      Live() >= static_cast<uint64_t>(config_.max_connections)) {
+    acceptor_->Pause();
+    accept_paused_ = true;
+    lifecycle_.accept_pauses.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
-void ReactorPoolServer::DispatchReadEvent(int fd) {
+void ReactorPoolServer::DispatchReadEvent(int fd, uint32_t events) {
   auto it = conns_.find(fd);
   if (it == conns_.end()) return;
   Connection* conn = it->second.get();
+
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    CloseConnection(conn);
+    return;
+  }
+  if (events & EPOLLRDHUP) conn->lifecycle.peer_half_closed = true;
 
   // Step 1 (Figure 3): reactor dispatches the read event to a worker.
   // Remove the fd from epoll so nothing races with the worker.
@@ -95,15 +191,23 @@ void ReactorPoolServer::DispatchReadEvent(int fd) {
 void ReactorPoolServer::HandleReadEvent(Connection* conn) {
   const int fd = conn->fd.get();
 
+  // EOF no longer closes immediately: requests already buffered (the peer
+  // wrote and then shutdown(WR)) are still parsed and answered below.
+  bool peer_eof = conn->lifecycle.peer_half_closed;
   char buf[16 * 1024];
   while (true) {
     const IoResult r = ReadFd(fd, buf, sizeof(buf));
     if (r.WouldBlock()) break;
-    if (r.Eof() || r.Fatal()) {
+    if (r.Fatal()) {
       loop_->RunInLoop([this, conn] { CloseConnection(conn); });
       return;
     }
+    if (r.Eof()) {
+      peer_eof = true;
+      break;
+    }
     conn->in.Append(buf, static_cast<size_t>(r.n));
+    conn->lifecycle.last_activity = Now();
     if (static_cast<size_t>(r.n) < sizeof(buf)) break;
   }
 
@@ -116,8 +220,27 @@ void ReactorPoolServer::HandleReadEvent(Connection* conn) {
       ScopedPhase phase(phase_profiler_, Phase::kParse);
       st = conn->parser.Parse(conn->in);
     }
-    if (st == ParseStatus::kNeedMore) break;
+    if (st == ParseStatus::kNeedMore) {
+      if (conn->in.ReadableBytes() > 0 || conn->parser.InProgress()) {
+        if (!conn->lifecycle.head_pending) {
+          conn->lifecycle.head_pending = true;
+          conn->lifecycle.head_start = Now();
+        }
+      } else {
+        conn->lifecycle.head_pending = false;
+      }
+      break;
+    }
+    conn->lifecycle.head_pending = false;
     if (st == ParseStatus::kError) {
+      const ParseError err = conn->parser.error();
+      if (err == ParseError::kHeadTooLarge ||
+          err == ParseError::kBodyTooLarge) {
+        lifecycle_.oversize_requests.fetch_add(1, std::memory_order_relaxed);
+        const std::string wire =
+            SimpleErrorResponse(err == ParseError::kHeadTooLarge ? 431 : 413);
+        out.Append(wire.data(), wire.size());
+      }
       want_close = true;
       break;
     }
@@ -126,7 +249,8 @@ void ReactorPoolServer::HandleReadEvent(Connection* conn) {
       ScopedPhase phase(phase_profiler_, Phase::kHandler);
       handler_(conn->parser.request(), resp);
     }
-    resp.keep_alive = conn->parser.request().keep_alive;
+    resp.keep_alive = conn->parser.request().keep_alive &&
+                      !draining_.load(std::memory_order_relaxed);
     requests_.fetch_add(1, std::memory_order_relaxed);
     {
       ScopedPhase phase(phase_profiler_, Phase::kSerialize);
@@ -137,10 +261,15 @@ void ReactorPoolServer::HandleReadEvent(Connection* conn) {
       break;
     }
   }
+  conn->lifecycle.peer_half_closed = peer_eof;
+  if (peer_eof) want_close = true;
 
   if (out.Empty()) {
     // Nothing to write (partial request or immediate close).
     if (want_close) {
+      if (peer_eof) {
+        lifecycle_.half_close_reclaims.fetch_add(1, std::memory_order_relaxed);
+      }
       loop_->RunInLoop([this, conn] { CloseConnection(conn); });
     } else {
       dispatch_stats_.returns_to_reactor.fetch_add(1,
@@ -157,12 +286,19 @@ void ReactorPoolServer::HandleReadEvent(Connection* conn) {
     {
       ScopedPhase phase(phase_profiler_, Phase::kWrite);
       wr = SpinWriteAll(fd, out.View(), write_stats_,
-                        config_.yield_on_full_write);
+                        config_.yield_on_full_write, deadlines_.write_stall);
+    }
+    if (wr == SpinWriteResult::kStalled) {
+      lifecycle_.write_stall_evictions.fetch_add(1, std::memory_order_relaxed);
     }
     dispatch_stats_.returns_to_reactor.fetch_add(1, std::memory_order_relaxed);
     if (wr != SpinWriteResult::kOk || want_close) {
+      if (wr == SpinWriteResult::kOk && peer_eof) {
+        lifecycle_.half_close_reclaims.fetch_add(1, std::memory_order_relaxed);
+      }
       loop_->RunInLoop([this, conn] { CloseConnection(conn); });
     } else {
+      conn->lifecycle.last_activity = Now();
       loop_->RunInLoop([this, conn] { RearmRead(conn); });
     }
     return;
@@ -188,22 +324,37 @@ void ReactorPoolServer::HandleWriteEvent(Connection* conn) {
   {
     ScopedPhase phase(phase_profiler_, Phase::kWrite);
     wr = SpinWriteAll(conn->fd.get(), conn->pending_response, write_stats_,
-                      config_.yield_on_full_write);
+                      config_.yield_on_full_write, deadlines_.write_stall);
   }
   conn->pending_response.clear();
+  if (wr == SpinWriteResult::kStalled) {
+    lifecycle_.write_stall_evictions.fetch_add(1, std::memory_order_relaxed);
+  }
   dispatch_stats_.returns_to_reactor.fetch_add(1, std::memory_order_relaxed);
   if (wr != SpinWriteResult::kOk || conn->close_after_write) {
+    if (wr == SpinWriteResult::kOk && conn->lifecycle.peer_half_closed) {
+      lifecycle_.half_close_reclaims.fetch_add(1, std::memory_order_relaxed);
+    }
     loop_->RunInLoop([this, conn] { CloseConnection(conn); });
   } else {
+    conn->lifecycle.last_activity = Now();
     loop_->RunInLoop([this, conn] { RearmRead(conn); });
   }
 }
 
 void ReactorPoolServer::RearmRead(Connection* conn) {
   if (conn->closed) return;
+  // During a drain an idle hand-back closes instead of rearming: the peer
+  // owes us nothing and new requests are no longer welcome.
+  if (draining_.load(std::memory_order_relaxed) &&
+      conn->in.ReadableBytes() == 0 && !conn->parser.InProgress()) {
+    CloseConnection(conn);
+    return;
+  }
   const int fd = conn->fd.get();
-  loop_->RegisterFd(fd, EPOLLIN,
-                    [this, fd](uint32_t) { DispatchReadEvent(fd); });
+  loop_->RegisterFd(fd, EPOLLIN | EPOLLRDHUP, [this, fd](uint32_t events) {
+    DispatchReadEvent(fd, events);
+  });
 }
 
 void ReactorPoolServer::CloseConnection(Connection* conn) {
@@ -213,6 +364,49 @@ void ReactorPoolServer::CloseConnection(Connection* conn) {
   if (loop_->IsRegistered(fd)) loop_->UnregisterFd(fd);
   conns_.erase(fd);
   closed_.fetch_add(1, std::memory_order_relaxed);
+  if (accept_paused_ && acceptor_ &&
+      !draining_.load(std::memory_order_relaxed) &&
+      Live() < static_cast<uint64_t>(config_.max_connections)) {
+    acceptor_->Resume();
+    accept_paused_ = false;
+  }
+}
+
+void ReactorPoolServer::EvictConnection(Connection* conn, EvictReason reason) {
+  switch (reason) {
+    case EvictReason::kIdle:
+      lifecycle_.idle_evictions.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case EvictReason::kHeaderTimeout:
+      lifecycle_.header_evictions.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case EvictReason::kWriteStall:
+      lifecycle_.write_stall_evictions.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case EvictReason::kNone:
+      break;
+  }
+  CloseConnection(conn);
+}
+
+void ReactorPoolServer::ScheduleSweep() {
+  loop_->RunAfter(SweepPeriod(deadlines_), [this] {
+    SweepDeadlines();
+    if (started_.load(std::memory_order_acquire)) ScheduleSweep();
+  });
+}
+
+void ReactorPoolServer::SweepDeadlines() {
+  const TimePoint now = Now();
+  std::vector<std::pair<Connection*, EvictReason>> victims;
+  for (const auto& [fd, conn] : conns_) {
+    // A connection missing from the epoll set is owned by a worker right
+    // now; its deadlines are the worker's business until it hands back.
+    if (!loop_->IsRegistered(fd)) continue;
+    const EvictReason reason = CheckDeadlines(conn->lifecycle, deadlines_, now);
+    if (reason != EvictReason::kNone) victims.emplace_back(conn.get(), reason);
+  }
+  for (const auto& [conn, reason] : victims) EvictConnection(conn, reason);
 }
 
 }  // namespace hynet

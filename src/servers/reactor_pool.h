@@ -43,6 +43,7 @@ class ReactorPoolServer final : public Server {
 
   void Start() override;
   void Stop() override;
+  DrainResult Shutdown(Duration drain_deadline) override;
   uint16_t Port() const override { return port_; }
   std::vector<int> ThreadIds() const override;
   ServerCounters Snapshot() const override;
@@ -53,7 +54,7 @@ class ReactorPoolServer final : public Server {
  private:
   void OnNewConnection(Socket socket, const InetAddr& peer);
   // Reactor side: a read event fired for fd.
-  void DispatchReadEvent(int fd);
+  void DispatchReadEvent(int fd, uint32_t events);
   // Worker side: read + parse + handler (+ write in kMerged mode).
   void HandleReadEvent(Connection* conn);
   // Worker side: write the prepared response (kSplit mode only).
@@ -62,6 +63,16 @@ class ReactorPoolServer final : public Server {
   void RearmRead(Connection* conn);
   // Reactor side: destroy the connection.
   void CloseConnection(Connection* conn);
+  void EvictConnection(Connection* conn, EvictReason reason);
+  // Reactor side: periodic deadline sweep. Only touches connections whose
+  // fd is currently registered — a missing registration means a worker
+  // owns the connection right now.
+  void ScheduleSweep();
+  void SweepDeadlines();
+  uint64_t Live() const {
+    return accepted_.load(std::memory_order_relaxed) -
+           closed_.load(std::memory_order_relaxed);
+  }
 
   WriteDispatchMode mode_;
   std::unique_ptr<EventLoop> loop_;
@@ -73,6 +84,8 @@ class ReactorPoolServer final : public Server {
   std::atomic<bool> started_{false};
 
   std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  LifecycleDeadlines deadlines_;
+  bool accept_paused_ = false;  // loop thread only
 
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> closed_{0};

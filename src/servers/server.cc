@@ -1,6 +1,7 @@
 #include "servers/server.h"
 
 #include "net/socket.h"
+#include "proto/http_codec.h"
 
 namespace hynet {
 
@@ -23,6 +24,71 @@ void Server::ConfigureAcceptedFd(int fd) const {
   if (config_.snd_buf_bytes > 0) {
     SetFdSendBufferSize(fd, config_.snd_buf_bytes);
   }
+}
+
+void Server::ExportLifecycle(ServerCounters& c) const {
+  const auto get = [](const std::atomic<uint64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  c.idle_evictions = get(lifecycle_.idle_evictions);
+  c.header_evictions = get(lifecycle_.header_evictions);
+  c.write_stall_evictions = get(lifecycle_.write_stall_evictions);
+  c.shed_connections = get(lifecycle_.shed_connections);
+  c.accept_pauses = get(lifecycle_.accept_pauses);
+  c.backpressure_pauses = get(lifecycle_.backpressure_pauses);
+  c.backpressure_resumes = get(lifecycle_.backpressure_resumes);
+  c.oversize_requests = get(lifecycle_.oversize_requests);
+  c.half_close_reclaims = get(lifecycle_.half_close_reclaims);
+  c.drained_connections = get(lifecycle_.drained_connections);
+  c.forced_closes = get(lifecycle_.forced_closes);
+}
+
+void Server::ShedWith503(int fd) {
+  lifecycle_.shed_connections.fetch_add(1, std::memory_order_relaxed);
+  const std::string wire = SimpleErrorResponse(503);
+  (void)WriteFd(fd, wire.data(), wire.size());
+}
+
+void AccumulateCounters(ServerCounters& into, const ServerCounters& c) {
+  into.connections_accepted += c.connections_accepted;
+  into.connections_closed += c.connections_closed;
+  into.requests_handled += c.requests_handled;
+  into.responses_sent += c.responses_sent;
+  into.write_calls += c.write_calls;
+  into.zero_writes += c.zero_writes;
+  into.spin_capped_flushes += c.spin_capped_flushes;
+  into.logical_switches += c.logical_switches;
+  into.light_path_responses += c.light_path_responses;
+  into.heavy_path_responses += c.heavy_path_responses;
+  into.reclassifications += c.reclassifications;
+  into.idle_evictions += c.idle_evictions;
+  into.header_evictions += c.header_evictions;
+  into.write_stall_evictions += c.write_stall_evictions;
+  into.shed_connections += c.shed_connections;
+  into.accept_pauses += c.accept_pauses;
+  into.backpressure_pauses += c.backpressure_pauses;
+  into.backpressure_resumes += c.backpressure_resumes;
+  into.oversize_requests += c.oversize_requests;
+  into.half_close_reclaims += c.half_close_reclaims;
+  into.drained_connections += c.drained_connections;
+  into.forced_closes += c.forced_closes;
+}
+
+std::vector<std::pair<std::string, uint64_t>> LifecycleCounterRows(
+    const ServerCounters& c) {
+  return {
+      {"idle_evictions", c.idle_evictions},
+      {"header_evictions", c.header_evictions},
+      {"write_stall_evictions", c.write_stall_evictions},
+      {"shed_connections", c.shed_connections},
+      {"accept_pauses", c.accept_pauses},
+      {"backpressure_pauses", c.backpressure_pauses},
+      {"backpressure_resumes", c.backpressure_resumes},
+      {"oversize_requests", c.oversize_requests},
+      {"half_close_reclaims", c.half_close_reclaims},
+      {"drained_connections", c.drained_connections},
+      {"forced_closes", c.forced_closes},
+  };
 }
 
 }  // namespace hynet

@@ -5,12 +5,15 @@
 // reach the socket — those choices are precisely what the paper measures.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/clock.h"
 #include "proto/http_message.h"
 #include "metrics/phase_profiler.h"
 #include "runtime/dispatch_stats.h"
@@ -67,6 +70,37 @@ struct ServerConfig {
   // Account per-phase request time (parse/handler/serialize/write); see
   // metrics/phase_profiler.h. Off by default (two clock reads per phase).
   bool profile_phases = false;
+
+  // ---- Connection lifecycle & overload protection ----
+  // All timeouts are 0 (disabled) by default so the paper's benchmark
+  // behavior is unchanged; production deployments should set all three.
+  // Event-driven architectures enforce them with an EventLoop sweep timer;
+  // thread-per-connection approximates them with SO_RCVTIMEO/SO_SNDTIMEO.
+  //
+  // Close a keep-alive connection with no request activity for this long.
+  int idle_timeout_ms = 0;
+  // Evict a peer that started a request head but never finished it
+  // (slowloris defense). Also bounds a stalled body upload.
+  int header_timeout_ms = 0;
+  // Evict a peer whose response write makes no progress for this long (the
+  // degenerate write-spin case: a receiver whose window never opens).
+  int write_stall_timeout_ms = 0;
+  // Admission control: maximum concurrently admitted connections
+  // (0 = unlimited). At the cap, either answer 503 and close
+  // (shed_with_503) or stop accepting until a slot frees up.
+  int max_connections = 0;
+  bool shed_with_503 = true;
+  // Backpressure for the buffered write path (kMultiLoop / kHybrid): stop
+  // reading from a connection while its OutboundBuffer holds more than
+  // high_water bytes; resume at low_water (0 = high_water / 2).
+  // 0 high water = unbounded, the seed behavior.
+  size_t outbound_high_water_bytes = 0;
+  size_t outbound_low_water_bytes = 0;
+  // Request size bounds enforced by HttpRequestParser. Oversize heads are
+  // answered with 431, oversize bodies with 413, then the connection
+  // closes. 0 = unlimited.
+  size_t max_request_head_bytes = 64 * 1024;  // matches the seed's cap
+  size_t max_request_body_bytes = 8 * 1024 * 1024;
 };
 
 // Monotonic counters exported by every server. Snapshot-copyable.
@@ -83,6 +117,32 @@ struct ServerCounters {
   uint64_t light_path_responses = 0;
   uint64_t heavy_path_responses = 0;
   uint64_t reclassifications = 0;
+  // Lifecycle / overload protection (see LifecycleStats):
+  uint64_t idle_evictions = 0;
+  uint64_t header_evictions = 0;
+  uint64_t write_stall_evictions = 0;
+  uint64_t shed_connections = 0;
+  uint64_t accept_pauses = 0;
+  uint64_t backpressure_pauses = 0;
+  uint64_t backpressure_resumes = 0;
+  uint64_t oversize_requests = 0;
+  uint64_t half_close_reclaims = 0;
+  uint64_t drained_connections = 0;
+  uint64_t forced_closes = 0;
+};
+
+// Field-wise sum, for aggregating per-copy/per-tier snapshots.
+void AccumulateCounters(ServerCounters& into, const ServerCounters& c);
+
+// Named lifecycle counter rows, for table printing via
+// metrics/report.cc PrintCounterTable.
+std::vector<std::pair<std::string, uint64_t>> LifecycleCounterRows(
+    const ServerCounters& c);
+
+// Outcome of a graceful drain (Server::Shutdown).
+struct DrainResult {
+  uint64_t drained = 0;  // connections that finished and closed cleanly
+  uint64_t forced = 0;   // stragglers force-closed at the deadline
 };
 
 class Server {
@@ -100,6 +160,16 @@ class Server {
   virtual void Start() = 0;
   // Stops accepting, closes connections, joins all threads. Idempotent.
   virtual void Stop() = 0;
+
+  // Graceful drain: closes the acceptor, lets in-flight requests finish
+  // (responses during a drain carry `Connection: close`), force-closes
+  // stragglers at the deadline, then fully stops the server. The default
+  // implementation is an immediate Stop() with nothing drained.
+  virtual DrainResult Shutdown(Duration drain_deadline) {
+    (void)drain_deadline;
+    Stop();
+    return {};
+  }
 
   // The bound port (valid after Start()).
   virtual uint16_t Port() const = 0;
@@ -119,9 +189,19 @@ class Server {
   // Applies per-connection socket options from the config.
   void ConfigureAcceptedFd(int fd) const;
 
+  // Copies the lifecycle counters into a Snapshot.
+  void ExportLifecycle(ServerCounters& c) const;
+
+  // Best-effort 503 on a just-accepted socket that exceeded
+  // max_connections; the socket closes when it goes out of scope.
+  void ShedWith503(int fd);
+
   ServerConfig config_;
   Handler handler_;
   mutable PhaseProfiler phase_profiler_;
+  mutable LifecycleStats lifecycle_;
+  // Set while Shutdown drains; response paths force `Connection: close`.
+  std::atomic<bool> draining_{false};
 };
 
 // Creates one of the five non-hybrid architectures (the hybrid lives in

@@ -12,6 +12,9 @@ SingleThreadServer::SingleThreadServer(ServerConfig config, Handler handler)
 SingleThreadServer::~SingleThreadServer() { Stop(); }
 
 void SingleThreadServer::Start() {
+  deadlines_ = LifecycleDeadlines::FromMillis(config_.idle_timeout_ms,
+                                              config_.header_timeout_ms,
+                                              config_.write_stall_timeout_ms);
   loop_ = std::make_unique<EventLoop>();
   acceptor_ = std::make_unique<Acceptor>(
       *loop_, InetAddr::Loopback(config_.port),
@@ -33,6 +36,7 @@ void SingleThreadServer::Start() {
   while (loop_tid_.load(std::memory_order_acquire) == 0) {
     std::this_thread::yield();
   }
+  if (deadlines_.Any()) ScheduleSweep();
 }
 
 void SingleThreadServer::Stop() {
@@ -41,6 +45,49 @@ void SingleThreadServer::Stop() {
   if (loop_thread_.joinable()) loop_thread_.join();
   acceptor_.reset();
   loop_.reset();
+}
+
+DrainResult SingleThreadServer::Shutdown(Duration drain_deadline) {
+  if (!started_.load(std::memory_order_acquire)) return {};
+  const TimePoint deadline = Now() + drain_deadline;
+  const uint64_t closed_before = closed_.load(std::memory_order_relaxed);
+  draining_.store(true, std::memory_order_release);
+
+  loop_->RunInLoop([this] {
+    if (acceptor_) acceptor_->Pause();
+    std::vector<int> idle;
+    for (const auto& [fd, conn] : conns_) {
+      if (ConnIdle(*conn)) idle.push_back(fd);
+    }
+    for (const int fd : idle) CloseConnection(fd);
+  });
+
+  while (Now() < deadline && Live() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::atomic<uint64_t> forced{0};
+  std::atomic<bool> force_done{false};
+  loop_->RunInLoop([this, &forced, &force_done] {
+    std::vector<int> rest;
+    for (const auto& [fd, conn] : conns_) rest.push_back(fd);
+    for (const int fd : rest) CloseConnection(fd);
+    forced.store(rest.size(), std::memory_order_relaxed);
+    force_done.store(true, std::memory_order_release);
+  });
+  while (!force_done.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  DrainResult result;
+  result.forced = forced.load(std::memory_order_relaxed);
+  result.drained =
+      closed_.load(std::memory_order_relaxed) - closed_before - result.forced;
+  lifecycle_.forced_closes.fetch_add(result.forced, std::memory_order_relaxed);
+  lifecycle_.drained_connections.fetch_add(result.drained,
+                                           std::memory_order_relaxed);
+  Stop();
+  return result;
 }
 
 std::vector<int> SingleThreadServer::ThreadIds() const {
@@ -56,19 +103,37 @@ ServerCounters SingleThreadServer::Snapshot() const {
   c.responses_sent = write_stats_.responses.load(std::memory_order_relaxed);
   c.write_calls = write_stats_.write_calls.load(std::memory_order_relaxed);
   c.zero_writes = write_stats_.zero_writes.load(std::memory_order_relaxed);
+  ExportLifecycle(c);
   return c;
 }
 
 void SingleThreadServer::OnNewConnection(Socket socket, const InetAddr&) {
+  if (config_.max_connections > 0 &&
+      Live() >= static_cast<uint64_t>(config_.max_connections)) {
+    // The pause below normally keeps us under the cap; shedding handles
+    // the shed_with_503 policy and the race where closes haven't landed.
+    ShedWith503(socket.fd());
+    return;
+  }
   socket.SetNonBlocking(true);
   ConfigureAcceptedFd(socket.fd());
   const int fd = socket.fd();
   auto conn = std::make_unique<Connection>(socket.TakeFd(),
                                            config_.write_spin_cap);
+  conn->lifecycle.last_activity = Now();
+  conn->parser.SetLimits(config_.max_request_head_bytes,
+                         config_.max_request_body_bytes);
   conns_[fd] = std::move(conn);
   accepted_.fetch_add(1, std::memory_order_relaxed);
-  loop_->RegisterFd(fd, EPOLLIN,
+  loop_->RegisterFd(fd, EPOLLIN | EPOLLRDHUP,
                     [this, fd](uint32_t events) { OnReadable(fd, events); });
+  if (config_.max_connections > 0 && !config_.shed_with_503 &&
+      !accept_paused_ &&
+      Live() >= static_cast<uint64_t>(config_.max_connections)) {
+    acceptor_->Pause();
+    accept_paused_ = true;
+    lifecycle_.accept_pauses.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void SingleThreadServer::OnReadable(int fd, uint32_t events) {
@@ -80,17 +145,25 @@ void SingleThreadServer::OnReadable(int fd, uint32_t events) {
     CloseConnection(fd);
     return;
   }
+  if (events & EPOLLRDHUP) conn.lifecycle.peer_half_closed = true;
 
-  // Read everything available.
+  // Read everything available. EOF no longer closes immediately: requests
+  // already buffered (peer wrote + shutdown(WR)) are still answered below.
+  bool peer_eof = conn.lifecycle.peer_half_closed;
   char buf[16 * 1024];
   while (true) {
     const IoResult r = ReadFd(fd, buf, sizeof(buf));
     if (r.WouldBlock()) break;
-    if (r.Eof() || r.Fatal()) {
+    if (r.Fatal()) {
       CloseConnection(fd);
       return;
     }
+    if (r.Eof()) {
+      peer_eof = true;
+      break;
+    }
     conn.in.Append(buf, static_cast<size_t>(r.n));
+    conn.lifecycle.last_activity = Now();
     if (static_cast<size_t>(r.n) < sizeof(buf)) break;
   }
 
@@ -101,8 +174,28 @@ void SingleThreadServer::OnReadable(int fd, uint32_t events) {
       ScopedPhase phase(phase_profiler_, Phase::kParse);
       st = conn.parser.Parse(conn.in);
     }
-    if (st == ParseStatus::kNeedMore) return;
+    if (st == ParseStatus::kNeedMore) {
+      if (conn.in.ReadableBytes() > 0 || conn.parser.InProgress()) {
+        if (!conn.lifecycle.head_pending) {
+          conn.lifecycle.head_pending = true;
+          conn.lifecycle.head_start = Now();
+        }
+      } else {
+        conn.lifecycle.head_pending = false;
+      }
+      break;
+    }
+    conn.lifecycle.head_pending = false;
     if (st == ParseStatus::kError) {
+      const ParseError err = conn.parser.error();
+      if (err == ParseError::kHeadTooLarge || err == ParseError::kBodyTooLarge) {
+        lifecycle_.oversize_requests.fetch_add(1, std::memory_order_relaxed);
+        const std::string wire =
+            SimpleErrorResponse(err == ParseError::kHeadTooLarge ? 431 : 413);
+        (void)SpinWriteAll(fd, wire, write_stats_,
+                           config_.yield_on_full_write,
+                           deadlines_.write_stall);
+      }
       CloseConnection(fd);
       return;
     }
@@ -111,7 +204,8 @@ void SingleThreadServer::OnReadable(int fd, uint32_t events) {
       ScopedPhase phase(phase_profiler_, Phase::kHandler);
       handler_(conn.parser.request(), resp);
     }
-    resp.keep_alive = conn.parser.request().keep_alive;
+    resp.keep_alive = conn.parser.request().keep_alive &&
+                      !draining_.load(std::memory_order_relaxed);
     requests_.fetch_add(1, std::memory_order_relaxed);
     conn.requests++;
 
@@ -121,17 +215,29 @@ void SingleThreadServer::OnReadable(int fd, uint32_t events) {
       SerializeResponse(resp, out);
     }
     // The naive write: the single thread is stuck here until the whole
-    // response is in the kernel, no matter how long ACKs take.
+    // response is in the kernel — bounded only by the write-stall timeout.
     ScopedPhase write_phase(phase_profiler_, Phase::kWrite);
-    if (SpinWriteAll(fd, out.View(), write_stats_,
-                     config_.yield_on_full_write) != SpinWriteResult::kOk) {
+    const SpinWriteResult wr =
+        SpinWriteAll(fd, out.View(), write_stats_,
+                     config_.yield_on_full_write, deadlines_.write_stall);
+    if (wr != SpinWriteResult::kOk) {
+      if (wr == SpinWriteResult::kStalled) {
+        lifecycle_.write_stall_evictions.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      }
       CloseConnection(fd);
       return;
     }
+    conn.lifecycle.last_activity = Now();
     if (!resp.keep_alive) {
       CloseConnection(fd);
       return;
     }
+  }
+
+  if (peer_eof) {
+    lifecycle_.half_close_reclaims.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(fd);
   }
 }
 
@@ -141,6 +247,50 @@ void SingleThreadServer::CloseConnection(int fd) {
   loop_->UnregisterFd(fd);
   conns_.erase(it);
   closed_.fetch_add(1, std::memory_order_relaxed);
+  if (accept_paused_ && acceptor_ &&
+      !draining_.load(std::memory_order_relaxed) &&
+      Live() < static_cast<uint64_t>(config_.max_connections)) {
+    acceptor_->Resume();
+    accept_paused_ = false;
+  }
+}
+
+bool SingleThreadServer::ConnIdle(const Connection& conn) const {
+  return conn.in.ReadableBytes() == 0 && !conn.parser.InProgress();
+}
+
+void SingleThreadServer::ScheduleSweep() {
+  loop_->RunAfter(SweepPeriod(deadlines_), [this] {
+    SweepDeadlines();
+    if (started_.load(std::memory_order_acquire)) ScheduleSweep();
+  });
+}
+
+void SingleThreadServer::SweepDeadlines() {
+  const TimePoint now = Now();
+  std::vector<std::pair<int, EvictReason>> victims;
+  for (const auto& [fd, conn] : conns_) {
+    const EvictReason reason =
+        CheckDeadlines(conn->lifecycle, deadlines_, now);
+    if (reason != EvictReason::kNone) victims.emplace_back(fd, reason);
+  }
+  for (const auto& [fd, reason] : victims) {
+    switch (reason) {
+      case EvictReason::kIdle:
+        lifecycle_.idle_evictions.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case EvictReason::kHeaderTimeout:
+        lifecycle_.header_evictions.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case EvictReason::kWriteStall:
+        lifecycle_.write_stall_evictions.fetch_add(1,
+                                                   std::memory_order_relaxed);
+        break;
+      case EvictReason::kNone:
+        break;
+    }
+    CloseConnection(fd);
+  }
 }
 
 }  // namespace hynet

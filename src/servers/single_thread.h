@@ -26,6 +26,7 @@ class SingleThreadServer final : public Server {
 
   void Start() override;
   void Stop() override;
+  DrainResult Shutdown(Duration drain_deadline) override;
   uint16_t Port() const override { return port_; }
   std::vector<int> ThreadIds() const override;
   ServerCounters Snapshot() const override;
@@ -37,6 +38,13 @@ class SingleThreadServer final : public Server {
   void OnNewConnection(Socket socket, const InetAddr& peer);
   void OnReadable(int fd, uint32_t events);
   void CloseConnection(int fd);
+  void ScheduleSweep();
+  void SweepDeadlines();
+  bool ConnIdle(const Connection& conn) const;
+  uint64_t Live() const {
+    return accepted_.load(std::memory_order_relaxed) -
+           closed_.load(std::memory_order_relaxed);
+  }
 
   std::unique_ptr<EventLoop> loop_;
   std::unique_ptr<Acceptor> acceptor_;
@@ -46,6 +54,8 @@ class SingleThreadServer final : public Server {
   std::atomic<bool> started_{false};
 
   std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  LifecycleDeadlines deadlines_;
+  bool accept_paused_ = false;  // loop thread only
 
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> closed_{0};

@@ -33,13 +33,14 @@ class StagedServer final : public Server {
 
   void Start() override;
   void Stop() override;
+  DrainResult Shutdown(Duration drain_deadline) override;
   uint16_t Port() const override { return port_; }
   std::vector<int> ThreadIds() const override;
   ServerCounters Snapshot() const override;
 
  private:
   void OnNewConnection(Socket socket, const InetAddr& peer);
-  void DispatchReadEvent(int fd);
+  void DispatchReadEvent(int fd, uint32_t events);
   // Stage 1: read raw bytes + parse complete requests.
   void ParseStage(Connection* conn);
   // Stage 2: run the application handler, serialize responses.
@@ -49,6 +50,15 @@ class StagedServer final : public Server {
   void WriteStage(Connection* conn);
   void RearmRead(Connection* conn);
   void CloseConnection(Connection* conn);
+  void EvictConnection(Connection* conn, EvictReason reason);
+  // Reactor side: periodic deadline sweep over reactor-owned (registered)
+  // connections; fds inside a stage pool are skipped until handed back.
+  void ScheduleSweep();
+  void SweepDeadlines();
+  uint64_t Live() const {
+    return accepted_.load(std::memory_order_relaxed) -
+           closed_.load(std::memory_order_relaxed);
+  }
 
   std::unique_ptr<EventLoop> loop_;
   std::unique_ptr<Acceptor> acceptor_;
@@ -61,6 +71,8 @@ class StagedServer final : public Server {
   std::atomic<bool> started_{false};
 
   std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  LifecycleDeadlines deadlines_;
+  bool accept_paused_ = false;  // loop thread only
 
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> closed_{0};

@@ -53,6 +53,48 @@ void ThreadPerConnServer::Stop() {
   listen_socket_ = Socket();
 }
 
+DrainResult ThreadPerConnServer::Shutdown(Duration drain_deadline) {
+  if (!running_.load(std::memory_order_acquire)) return {};
+  const TimePoint deadline = Now() + drain_deadline;
+  const uint64_t closed_before = closed_.load(std::memory_order_relaxed);
+  // The acceptor thread sees draining_ and stops accepting; responses
+  // from here on carry `Connection: close`.
+  draining_.store(true, std::memory_order_release);
+  {
+    // Half-close every connection: a thread parked in read() wakes with
+    // EOF and exits; a thread mid-response can still write it out.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RD);
+  }
+
+  while (Now() < deadline && Live() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  uint64_t forced = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    forced = live_fds_.size();
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  const TimePoint grace = Now() + std::chrono::milliseconds(500);
+  while (Now() < grace && Live() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  DrainResult result;
+  result.forced = forced;
+  const uint64_t closed_total =
+      closed_.load(std::memory_order_relaxed) - closed_before;
+  result.drained =
+      closed_total >= result.forced ? closed_total - result.forced : 0;
+  lifecycle_.forced_closes.fetch_add(result.forced, std::memory_order_relaxed);
+  lifecycle_.drained_connections.fetch_add(result.drained,
+                                           std::memory_order_relaxed);
+  Stop();
+  return result;
+}
+
 std::vector<int> ThreadPerConnServer::ThreadIds() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<int> tids(live_tids_.begin(), live_tids_.end());
@@ -67,6 +109,7 @@ ServerCounters ThreadPerConnServer::Snapshot() const {
   c.responses_sent = write_stats_.responses.load(std::memory_order_relaxed);
   c.write_calls = write_stats_.write_calls.load(std::memory_order_relaxed);
   c.zero_writes = write_stats_.zero_writes.load(std::memory_order_relaxed);
+  ExportLifecycle(c);
   return c;
 }
 
@@ -79,12 +122,40 @@ void ThreadPerConnServer::AcceptorMain() {
   }
 
   pollfd pfd{listen_socket_.fd(), POLLIN, 0};
+  bool paused = false;
   while (running_.load(std::memory_order_acquire)) {
+    if (draining_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    // Non-shed admission control: leave new connections in the listen
+    // backlog until a slot frees up.
+    if (config_.max_connections > 0 && !config_.shed_with_503 &&
+        Live() >= static_cast<uint64_t>(config_.max_connections)) {
+      if (!paused) {
+        paused = true;
+        lifecycle_.accept_pauses.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    paused = false;
     const int n = ::poll(&pfd, 1, /*timeout_ms=*/100);
     if (n <= 0) continue;
     while (true) {
+      // A burst must not overshoot the cap in non-shed mode; the rest of
+      // the burst stays in the backlog.
+      if (config_.max_connections > 0 && !config_.shed_with_503 &&
+          Live() >= static_cast<uint64_t>(config_.max_connections)) {
+        break;
+      }
       auto sock = listen_socket_.Accept(nullptr);
       if (!sock) break;
+      if (config_.max_connections > 0 && config_.shed_with_503 &&
+          Live() >= static_cast<uint64_t>(config_.max_connections)) {
+        ShedWith503(sock->fd());
+        continue;
+      }
       // The connection fd runs in blocking mode: that is the whole point
       // of this architecture (the kernel blocks the thread on I/O).
       sock->SetNonBlocking(false);
@@ -111,16 +182,61 @@ void ThreadPerConnServer::ConnectionMain(Socket socket) {
     live_fds_.insert(fd);
   }
 
+  // Blocking-mode deadline enforcement: SO_RCVTIMEO wakes a parked read
+  // every sweep period so this thread can evaluate the idle/header
+  // deadlines itself; SO_SNDTIMEO turns a never-opening peer window into
+  // EAGAIN, which BlockingWriteAll reports as kStalled.
+  const LifecycleDeadlines deadlines = LifecycleDeadlines::FromMillis(
+      config_.idle_timeout_ms, config_.header_timeout_ms,
+      config_.write_stall_timeout_ms);
+  if (deadlines.idle > Duration::zero() ||
+      deadlines.header > Duration::zero()) {
+    SetFdRecvTimeout(
+        fd, static_cast<int>(std::chrono::duration_cast<
+                                 std::chrono::milliseconds>(
+                                 SweepPeriod(deadlines))
+                                 .count()));
+  }
+  if (deadlines.write_stall > Duration::zero()) {
+    SetFdSendTimeout(
+        fd,
+        static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                             deadlines.write_stall)
+                             .count()));
+  }
+
   ByteBuffer in;
   HttpRequestParser parser;
+  parser.SetLimits(config_.max_request_head_bytes,
+                   config_.max_request_body_bytes);
   ByteBuffer out;
   char buf[16 * 1024];
   bool alive = true;
+  TimePoint last_activity = Now();
+  TimePoint head_start{};
+  bool head_pending = false;
 
   while (alive && running_.load(std::memory_order_acquire)) {
     const IoResult r = ReadFd(fd, buf, sizeof(buf));
     if (r.Eof() || r.Fatal()) break;
+    if (r.WouldBlock()) {
+      // SO_RCVTIMEO expired: apply the same policy as the event-driven
+      // sweep, attributing the eviction by whether a request is mid-head.
+      const TimePoint now = Now();
+      if (head_pending && deadlines.header > Duration::zero() &&
+          now - head_start >= deadlines.header) {
+        lifecycle_.header_evictions.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      if (!head_pending && deadlines.idle > Duration::zero() &&
+          now - last_activity >= deadlines.idle) {
+        lifecycle_.idle_evictions.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      continue;
+    }
     in.Append(buf, static_cast<size_t>(r.n));
+    last_activity = Now();
 
     // Drain every complete request in the buffer (pipelining-safe).
     while (alive) {
@@ -129,8 +245,27 @@ void ThreadPerConnServer::ConnectionMain(Socket socket) {
         ScopedPhase phase(phase_profiler_, Phase::kParse);
         st = parser.Parse(in);
       }
-      if (st == ParseStatus::kNeedMore) break;
+      if (st == ParseStatus::kNeedMore) {
+        if (in.ReadableBytes() > 0 || parser.InProgress()) {
+          if (!head_pending) {
+            head_pending = true;
+            head_start = Now();
+          }
+        } else {
+          head_pending = false;
+        }
+        break;
+      }
+      head_pending = false;
       if (st == ParseStatus::kError) {
+        const ParseError err = parser.error();
+        if (err == ParseError::kHeadTooLarge ||
+            err == ParseError::kBodyTooLarge) {
+          lifecycle_.oversize_requests.fetch_add(1, std::memory_order_relaxed);
+          const std::string wire = SimpleErrorResponse(
+              err == ParseError::kHeadTooLarge ? 431 : 413);
+          (void)BlockingWriteAll(fd, wire, write_stats_);
+        }
         alive = false;
         break;
       }
@@ -139,7 +274,8 @@ void ThreadPerConnServer::ConnectionMain(Socket socket) {
         ScopedPhase phase(phase_profiler_, Phase::kHandler);
         handler_(parser.request(), resp);
       }
-      resp.keep_alive = parser.request().keep_alive;
+      resp.keep_alive = parser.request().keep_alive &&
+                        !draining_.load(std::memory_order_relaxed);
       requests_.fetch_add(1, std::memory_order_relaxed);
 
       out.ConsumeAll();
@@ -148,11 +284,16 @@ void ThreadPerConnServer::ConnectionMain(Socket socket) {
         SerializeResponse(resp, out);
       }
       ScopedPhase write_phase(phase_profiler_, Phase::kWrite);
-      if (BlockingWriteAll(fd, out.View(), write_stats_) !=
-          SpinWriteResult::kOk) {
+      const SpinWriteResult wr = BlockingWriteAll(fd, out.View(), write_stats_);
+      if (wr != SpinWriteResult::kOk) {
+        if (wr == SpinWriteResult::kStalled) {
+          lifecycle_.write_stall_evictions.fetch_add(
+              1, std::memory_order_relaxed);
+        }
         alive = false;
         break;
       }
+      last_activity = Now();
       if (!resp.keep_alive) {
         alive = false;
         break;

@@ -24,6 +24,7 @@ class ThreadPerConnServer final : public Server {
 
   void Start() override;
   void Stop() override;
+  DrainResult Shutdown(Duration drain_deadline) override;
   uint16_t Port() const override { return port_; }
   std::vector<int> ThreadIds() const override;
   ServerCounters Snapshot() const override;
@@ -31,6 +32,10 @@ class ThreadPerConnServer final : public Server {
  private:
   void AcceptorMain();
   void ConnectionMain(Socket socket);
+  uint64_t Live() const {
+    return accepted_.load(std::memory_order_relaxed) -
+           closed_.load(std::memory_order_relaxed);
+  }
 
   Socket listen_socket_;
   uint16_t port_ = 0;

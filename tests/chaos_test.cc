@@ -1,0 +1,478 @@
+// Chaos harness: every architecture must evict misbehaving peers
+// (slowloris drippers, stalled readers, idle squatters), absorb
+// mid-response RSTs, shed or queue connections past the admission cap,
+// apply outbound backpressure, answer oversize requests with 431/413,
+// and drain gracefully — all while well-behaved clients keep completing
+// and without leaking file descriptors (checked via /proc/self/fd).
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cctype>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "client/bench_runner.h"
+#include "client/load_gen.h"
+#include "common/clock.h"
+#include "core/hybrid_server.h"
+#include "net/socket.h"
+#include "proto/http_codec.h"
+#include "proto/http_parser.h"
+#include "servers/server.h"
+
+namespace hynet {
+namespace {
+
+int CountOpenFds() {
+  int n = 0;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (!dir) return -1;
+  while (::readdir(dir) != nullptr) n++;
+  ::closedir(dir);
+  return n;
+}
+
+// Polls `pred` every 10ms until it holds or `timeout_ms` elapses.
+bool WaitUntil(const std::function<bool()>& pred, int timeout_ms) {
+  const TimePoint deadline = Now() + std::chrono::milliseconds(timeout_ms);
+  while (Now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+// Blocking one-shot HTTP exchange over a fresh connection.
+HttpResponse FetchOnce(uint16_t port, const std::string& target,
+                       bool keep_alive = true) {
+  Socket sock = Socket::CreateTcp(false);
+  sock.Connect(InetAddr::Loopback(port));
+  const std::string wire = BuildGetRequest(target, keep_alive);
+  size_t off = 0;
+  while (off < wire.size()) {
+    const IoResult r = WriteFd(sock.fd(), wire.data() + off,
+                               wire.size() - off);
+    if (r.Fatal()) throw std::runtime_error("write failed");
+    off += static_cast<size_t>(r.n);
+  }
+  HttpResponseParser parser;
+  ByteBuffer in;
+  char buf[16 * 1024];
+  while (true) {
+    const ParseStatus st = parser.Parse(in);
+    if (st == ParseStatus::kComplete) return parser.response();
+    if (st == ParseStatus::kError) throw std::runtime_error("parse error");
+    const IoResult r = ReadFd(sock.fd(), buf, sizeof(buf));
+    if (r.n <= 0) throw std::runtime_error("connection lost");
+    in.Append(buf, static_cast<size_t>(r.n));
+  }
+}
+
+// Sends raw bytes, then reads one response (if any) to EOF. Returns the
+// parsed status, or 0 when the server closed without responding.
+int SendRawExpectStatus(uint16_t port, const std::string& wire) {
+  Socket sock = Socket::CreateTcp(false);
+  sock.Connect(InetAddr::Loopback(port));
+  size_t off = 0;
+  while (off < wire.size()) {
+    const IoResult r = WriteFd(sock.fd(), wire.data() + off,
+                               wire.size() - off);
+    if (r.Fatal()) break;
+    off += static_cast<size_t>(r.n);
+  }
+  HttpResponseParser parser;
+  ByteBuffer in;
+  char buf[8 * 1024];
+  while (true) {
+    if (parser.Parse(in) == ParseStatus::kComplete) {
+      return parser.response().status;
+    }
+    const IoResult r = ReadFd(sock.fd(), buf, sizeof(buf));
+    if (r.n <= 0) return 0;
+    in.Append(buf, static_cast<size_t>(r.n));
+  }
+}
+
+// A short well-behaved closed-loop run, used to prove the server still
+// serves legitimate clients while chaos connections misbehave next door.
+LoadResult WellBehavedLoad(uint16_t port, double seconds) {
+  LoadConfig lc;
+  lc.server = InetAddr::Loopback(port);
+  lc.connections = 4;
+  lc.warmup_sec = 0.05;
+  lc.measure_sec = seconds;
+  lc.targets = {{BenchTarget(128, 0), 1.0}};
+  return RunLoad(lc);
+}
+
+ServerConfig BaseConfig(ServerArchitecture arch) {
+  ServerConfig c;
+  c.architecture = arch;
+  c.worker_threads = 4;
+  c.stage_threads = 2;
+  return c;
+}
+
+ChaosConfig MakeChaos(uint16_t port, ChaosMode mode, int connections) {
+  ChaosConfig cc;
+  cc.server = InetAddr::Loopback(port);
+  cc.mode = mode;
+  cc.connections = connections;
+  return cc;
+}
+
+class ChaosByArch : public ::testing::TestWithParam<ServerArchitecture> {};
+
+std::string ArchParamName(
+    const ::testing::TestParamInfo<ServerArchitecture>& info) {
+  std::string name = ArchitectureName(info.param);
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Archs, ChaosByArch,
+    ::testing::Values(ServerArchitecture::kThreadPerConn,
+                      ServerArchitecture::kReactorPool,
+                      ServerArchitecture::kReactorPoolFix,
+                      ServerArchitecture::kSingleThread,
+                      ServerArchitecture::kMultiLoop,
+                      ServerArchitecture::kHybrid,
+                      ServerArchitecture::kStaged,
+                      ServerArchitecture::kSingleThreadNCopy),
+    ArchParamName);
+
+TEST_P(ChaosByArch, SlowlorisFloodEvictedWhileServing) {
+  const int fds_before = CountOpenFds();
+  {
+    ServerConfig config = BaseConfig(GetParam());
+    config.header_timeout_ms = 150;
+    auto server = CreateServer(config, MakeBenchHandler());
+    server->Start();
+
+    constexpr int kAbusers = 64;
+    ChaosClient chaos(
+        MakeChaos(server->Port(), ChaosMode::kSlowloris, kAbusers));
+    chaos.Start();
+    ASSERT_EQ(chaos.Snapshot().connected, static_cast<uint64_t>(kAbusers));
+
+    // Legitimate traffic must keep completing while the flood drips.
+    const LoadResult r = WellBehavedLoad(server->Port(), 0.4);
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_GT(r.completed, 0u);
+
+    // Every dripper gets evicted on the header deadline...
+    EXPECT_TRUE(WaitUntil(
+        [&] { return server->Snapshot().header_evictions >= kAbusers; },
+        20000))
+        << "header_evictions=" << server->Snapshot().header_evictions;
+    // ...and sees the close from its side of the socket.
+    EXPECT_TRUE(WaitUntil(
+        [&] { return chaos.Snapshot().evicted >= kAbusers; }, 5000))
+        << "client-side evicted=" << chaos.Snapshot().evicted;
+
+    EXPECT_EQ(FetchOnce(server->Port(), BenchTarget(64, 0)).status, 200);
+    chaos.Stop();
+    server->Stop();
+  }
+  EXPECT_TRUE(WaitUntil([&] { return CountOpenFds() <= fds_before; }, 2000))
+      << "fd leak: before=" << fds_before << " after=" << CountOpenFds();
+}
+
+TEST_P(ChaosByArch, StalledReadersEvictedWhileServing) {
+  ServerConfig config = BaseConfig(GetParam());
+  config.write_stall_timeout_ms = 100;
+  auto server = CreateServer(config, MakeBenchHandler());
+  server->Start();
+
+  constexpr int kAbusers = 64;
+  ChaosClient chaos(
+      MakeChaos(server->Port(), ChaosMode::kStalledReader, kAbusers));
+  chaos.Start();
+
+  // Stall evictions serialize on the spin-writing architectures (one
+  // 100ms give-up at a time), so allow a generous wall-clock budget.
+  EXPECT_TRUE(WaitUntil(
+      [&] { return server->Snapshot().write_stall_evictions >= kAbusers; },
+      60000))
+      << "write_stall_evictions="
+      << server->Snapshot().write_stall_evictions;
+
+  const LoadResult r = WellBehavedLoad(server->Port(), 0.4);
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_GT(r.completed, 0u);
+  chaos.Stop();
+  server->Stop();
+}
+
+TEST_P(ChaosByArch, MidResponseRstAbsorbed) {
+  auto server = CreateServer(BaseConfig(GetParam()), MakeBenchHandler());
+  server->Start();
+
+  constexpr int kAbusers = 16;
+  ChaosClient chaos(
+      MakeChaos(server->Port(), ChaosMode::kMidResponseRst, kAbusers));
+  chaos.Start();
+
+  EXPECT_TRUE(WaitUntil(
+      [&] { return chaos.Snapshot().rst_sent >= kAbusers; }, 20000))
+      << "rst_sent=" << chaos.Snapshot().rst_sent;
+  // The server must notice the resets and reclaim every connection.
+  EXPECT_TRUE(WaitUntil(
+      [&] {
+        const ServerCounters c = server->Snapshot();
+        return c.connections_closed >= kAbusers;
+      },
+      10000));
+  EXPECT_EQ(FetchOnce(server->Port(), BenchTarget(64, 0)).status, 200);
+  chaos.Stop();
+  server->Stop();
+}
+
+TEST_P(ChaosByArch, IdleSquattersEvicted) {
+  ServerConfig config = BaseConfig(GetParam());
+  config.idle_timeout_ms = 120;
+  auto server = CreateServer(config, MakeBenchHandler());
+  server->Start();
+
+  constexpr int kSquatters = 16;
+  ChaosClient chaos(MakeChaos(server->Port(), ChaosMode::kIdle, kSquatters));
+  chaos.Start();
+
+  EXPECT_TRUE(WaitUntil(
+      [&] { return server->Snapshot().idle_evictions >= kSquatters; },
+      15000))
+      << "idle_evictions=" << server->Snapshot().idle_evictions;
+  EXPECT_EQ(FetchOnce(server->Port(), BenchTarget(64, 0)).status, 200);
+  chaos.Stop();
+  server->Stop();
+}
+
+TEST_P(ChaosByArch, GracefulDrainFinishesInFlightWithZeroForced) {
+  const int fds_before = CountOpenFds();
+  {
+    auto server = CreateServer(BaseConfig(GetParam()), MakeBenchHandler());
+    server->Start();
+    const uint16_t port = server->Port();
+
+    // Three idle keep-alive connections (a completed exchange each)...
+    std::vector<Socket> idle;
+    for (int i = 0; i < 3; ++i) {
+      idle.push_back(Socket::CreateTcp(false));
+      idle.back().Connect(InetAddr::Loopback(port));
+      const std::string wire = BuildGetRequest(BenchTarget(64, 0));
+      ASSERT_GT(WriteFd(idle.back().fd(), wire.data(), wire.size()).n, 0);
+      HttpResponseParser parser;
+      ByteBuffer in;
+      char buf[8 * 1024];
+      while (parser.Parse(in) != ParseStatus::kComplete) {
+        const IoResult r = ReadFd(idle.back().fd(), buf, sizeof(buf));
+        ASSERT_GT(r.n, 0);
+        in.Append(buf, static_cast<size_t>(r.n));
+      }
+    }
+
+    // ...plus one request still in flight (a 100ms handler burn) when the
+    // drain begins.
+    std::atomic<int> inflight_status{-1};
+    std::atomic<bool> inflight_keep_alive{true};
+    std::thread inflight([&] {
+      try {
+        const HttpResponse resp = FetchOnce(port, BenchTarget(256, 100000));
+        inflight_status = resp.status;
+        inflight_keep_alive = resp.keep_alive;
+      } catch (...) {
+        inflight_status = 0;
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+    const DrainResult result =
+        server->Shutdown(std::chrono::milliseconds(3000));
+    inflight.join();
+
+    // The in-flight request completed, and its response announced the
+    // close; nothing had to be force-closed.
+    EXPECT_EQ(inflight_status.load(), 200);
+    EXPECT_FALSE(inflight_keep_alive.load());
+    EXPECT_EQ(result.forced, 0u);
+    EXPECT_GE(result.drained, 4u);  // 3 idle + 1 in-flight
+
+    // The idle connections were closed server-side: reads yield EOF/RST.
+    for (Socket& sock : idle) {
+      char buf[64];
+      EXPECT_LE(ReadFd(sock.fd(), buf, sizeof(buf)).n, 0);
+    }
+  }
+  EXPECT_TRUE(WaitUntil([&] { return CountOpenFds() <= fds_before; }, 2000))
+      << "fd leak: before=" << fds_before << " after=" << CountOpenFds();
+}
+
+TEST(AdmissionControl, ShedsWith503AtTheCapThenRecovers) {
+  for (ServerArchitecture arch :
+       {ServerArchitecture::kThreadPerConn, ServerArchitecture::kSingleThread,
+        ServerArchitecture::kMultiLoop, ServerArchitecture::kStaged}) {
+    ServerConfig config = BaseConfig(arch);
+    config.max_connections = 4;
+    config.shed_with_503 = true;
+    auto server = CreateServer(config, MakeBenchHandler());
+    server->Start();
+
+    ChaosClient squatters(MakeChaos(server->Port(), ChaosMode::kIdle, 4));
+    squatters.Start();
+    ASSERT_TRUE(WaitUntil(
+        [&] { return server->Snapshot().connections_accepted >= 4; }, 5000))
+        << ArchitectureName(arch);
+
+    // The fifth connection is shed with a 503 and closed.
+    EXPECT_EQ(FetchOnce(server->Port(), BenchTarget(64, 0)).status, 503)
+        << ArchitectureName(arch);
+    EXPECT_GE(server->Snapshot().shed_connections, 1u)
+        << ArchitectureName(arch);
+
+    // Freeing the squatters' slots restores normal service.
+    squatters.Stop();
+    ASSERT_TRUE(WaitUntil(
+        [&] { return server->Snapshot().connections_closed >= 4; }, 5000))
+        << ArchitectureName(arch);
+    EXPECT_EQ(FetchOnce(server->Port(), BenchTarget(64, 0)).status, 200)
+        << ArchitectureName(arch);
+    server->Stop();
+  }
+}
+
+TEST(AdmissionControl, AcceptPausesWithoutSheddingThenResumes) {
+  for (ServerArchitecture arch : {ServerArchitecture::kThreadPerConn,
+                                  ServerArchitecture::kSingleThread}) {
+    ServerConfig config = BaseConfig(arch);
+    config.max_connections = 2;
+    config.shed_with_503 = false;
+    auto server = CreateServer(config, MakeBenchHandler());
+    server->Start();
+
+    ChaosClient squatters(MakeChaos(server->Port(), ChaosMode::kIdle, 2));
+    squatters.Start();
+    ASSERT_TRUE(WaitUntil(
+        [&] { return server->Snapshot().connections_accepted >= 2; }, 5000))
+        << ArchitectureName(arch);
+
+    // A third client connects (the backlog takes it) and sends a request;
+    // it is NOT shed, just parked until a slot frees up.
+    Socket waiting = Socket::CreateTcp(false);
+    waiting.Connect(InetAddr::Loopback(server->Port()));
+    const std::string wire = BuildGetRequest(BenchTarget(64, 0));
+    ASSERT_GT(WriteFd(waiting.fd(), wire.data(), wire.size()).n, 0);
+    ASSERT_TRUE(WaitUntil(
+        [&] { return server->Snapshot().accept_pauses >= 1; }, 5000))
+        << ArchitectureName(arch);
+    EXPECT_EQ(server->Snapshot().shed_connections, 0u)
+        << ArchitectureName(arch);
+
+    // Closing the squatters frees slots; the parked client gets served.
+    squatters.Stop();
+    HttpResponseParser parser;
+    ByteBuffer in;
+    char buf[8 * 1024];
+    while (parser.Parse(in) != ParseStatus::kComplete) {
+      const IoResult r = ReadFd(waiting.fd(), buf, sizeof(buf));
+      ASSERT_GT(r.n, 0) << ArchitectureName(arch);
+      in.Append(buf, static_cast<size_t>(r.n));
+    }
+    EXPECT_EQ(parser.response().status, 200) << ArchitectureName(arch);
+    server->Stop();
+  }
+}
+
+TEST(Backpressure, OutboundWatermarksPauseAndResumeReads) {
+  ServerConfig config = BaseConfig(ServerArchitecture::kMultiLoop);
+  config.outbound_high_water_bytes = 8 * 1024;
+  auto server = CreateServer(config, MakeBenchHandler());
+  server->Start();
+
+  // A deliberately slow reader forces the 1MB response through the
+  // OutboundBuffer: the high-water mark must pause reads, the drain past
+  // the low-water mark must resume them, and the response still arrives
+  // intact.
+  Socket sock = Socket::CreateTcp(false);
+  sock.SetRecvBufferSize(4 * 1024);
+  sock.Connect(InetAddr::Loopback(server->Port()));
+  constexpr size_t kBody = 1024 * 1024;
+  const std::string wire = BuildGetRequest(BenchTarget(kBody, 0));
+  ASSERT_GT(WriteFd(sock.fd(), wire.data(), wire.size()).n, 0);
+
+  HttpResponseParser parser;
+  ByteBuffer in;
+  char buf[2048];
+  while (parser.Parse(in) != ParseStatus::kComplete) {
+    const IoResult r = ReadFd(sock.fd(), buf, sizeof(buf));
+    ASSERT_GT(r.n, 0);
+    in.Append(buf, static_cast<size_t>(r.n));
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  EXPECT_EQ(parser.response().body.size(), kBody);
+
+  const ServerCounters c = server->Snapshot();
+  server->Stop();
+  EXPECT_GE(c.backpressure_pauses, 1u);
+  EXPECT_GE(c.backpressure_resumes, 1u);
+}
+
+TEST(OversizeRequests, HeadOverLimitAnswered431) {
+  for (ServerArchitecture arch :
+       {ServerArchitecture::kThreadPerConn, ServerArchitecture::kSingleThread,
+        ServerArchitecture::kReactorPool, ServerArchitecture::kStaged}) {
+    ServerConfig config = BaseConfig(arch);
+    config.max_request_head_bytes = 2 * 1024;
+    auto server = CreateServer(config, MakeBenchHandler());
+    server->Start();
+
+    // A 4KB head (over the 2KB cap) sent in full, then silence: the server
+    // reads it all, rejects with 431, and closes cleanly (FIN, not RST).
+    std::string wire = "GET / HTTP/1.1\r\nHost: chaos\r\nX-Pad: ";
+    wire += std::string(4 * 1024, 'p');
+    wire += "\r\n\r\n";
+    EXPECT_EQ(SendRawExpectStatus(server->Port(), wire), 431)
+        << ArchitectureName(arch);
+    EXPECT_GE(server->Snapshot().oversize_requests, 1u)
+        << ArchitectureName(arch);
+
+    EXPECT_EQ(FetchOnce(server->Port(), BenchTarget(64, 0)).status, 200)
+        << ArchitectureName(arch);
+    server->Stop();
+  }
+}
+
+TEST(OversizeRequests, BodyOverLimitAnswered413) {
+  for (ServerArchitecture arch :
+       {ServerArchitecture::kThreadPerConn, ServerArchitecture::kSingleThread,
+        ServerArchitecture::kReactorPool, ServerArchitecture::kStaged}) {
+    ServerConfig config = BaseConfig(arch);
+    config.max_request_body_bytes = 1024;
+    auto server = CreateServer(config, MakeBenchHandler());
+    server->Start();
+
+    // Content-Length over the cap is rejected from the header alone — no
+    // body bytes need to arrive (or be buffered) first.
+    const std::string wire =
+        "POST /upload HTTP/1.1\r\nHost: chaos\r\n"
+        "Content-Length: 4096\r\n\r\n";
+    EXPECT_EQ(SendRawExpectStatus(server->Port(), wire), 413)
+        << ArchitectureName(arch);
+    EXPECT_GE(server->Snapshot().oversize_requests, 1u)
+        << ArchitectureName(arch);
+
+    EXPECT_EQ(FetchOnce(server->Port(), BenchTarget(64, 0)).status, 200)
+        << ArchitectureName(arch);
+    server->Stop();
+  }
+}
+
+}  // namespace
+}  // namespace hynet

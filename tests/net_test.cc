@@ -173,6 +173,67 @@ TEST(EventLoopTest, UnregisterStopsDelivery) {
   EXPECT_EQ(events.load(), 1);
 }
 
+TEST(EventLoopTest, CancelTimerFromFiringTimerSuppressesSameBatch) {
+  // Two timers due in the same FireDueTimers pass: the first cancels the
+  // second. A batch-collecting implementation would run the second anyway.
+  EventLoop loop;
+  std::atomic<bool> second_fired{false};
+  EventLoop::TimerId second = 0;
+  loop.RunAfter(std::chrono::milliseconds(20),
+                [&] { loop.CancelTimer(second); });
+  second = loop.RunAfter(std::chrono::milliseconds(20),
+                         [&] { second_fired = true; });
+  loop.RunAfter(std::chrono::milliseconds(120), [&] { loop.Stop(); });
+  loop.Run();
+  EXPECT_FALSE(second_fired.load());
+}
+
+TEST(EventLoopTest, ZeroAndNegativeDelayTimersFire) {
+  EventLoop loop;
+  std::atomic<int> fired{0};
+  loop.RunAfter(Duration::zero(), [&] { fired++; });
+  loop.RunAfter(std::chrono::milliseconds(-50), [&] { fired++; });
+  loop.RunAfter(std::chrono::milliseconds(40), [&] { loop.Stop(); });
+  loop.Run();
+  EXPECT_EQ(fired.load(), 2);
+}
+
+TEST(EventLoopTest, ZeroDelaySelfReschedulingTimerDoesNotStarveLoop) {
+  // A timer that re-arms itself with zero delay must not spin inside one
+  // FireDueTimers call: tasks and other timers still get through.
+  EventLoop loop;
+  std::atomic<int> reschedules{0};
+  std::function<void()> rearm = [&] {
+    reschedules++;
+    loop.RunAfter(Duration::zero(), rearm);
+  };
+  loop.RunAfter(Duration::zero(), rearm);
+  std::atomic<bool> task_ran{false};
+  loop.QueueTask([&] { task_ran = true; });
+  loop.RunAfter(std::chrono::milliseconds(50), [&] { loop.Stop(); });
+  loop.Run();
+  EXPECT_TRUE(task_ran.load());
+  EXPECT_GT(reschedules.load(), 0);
+}
+
+TEST(EventLoopTest, StopRacingQueuedTimersExitsCleanly) {
+  // Stop() arriving from another thread while many short timers are queued
+  // must not hang or crash the loop.
+  EventLoop loop;
+  std::atomic<int> fired{0};
+  for (int i = 0; i < 200; ++i) {
+    loop.RunAfter(std::chrono::milliseconds(i % 5), [&] { fired++; });
+  }
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    loop.Stop();
+  });
+  const TimePoint start = Now();
+  loop.Run();
+  stopper.join();
+  EXPECT_LT(ToSeconds(Now() - start), 5.0);
+}
+
 TEST(EventLoopTest, StopFromOtherThreadWakesBlockedLoop) {
   EventLoop loop;
   std::thread stopper([&] {

@@ -4,13 +4,19 @@
 //
 //   hynet_load [--port P] [--host IP] [--conns N] [--seconds S]
 //              [--target T]... [--rate R] [--rcvbuf BYTES]
+//              [--chaos MODE] [--chaos-conns N]
 //
 //   --target may repeat; an optional ":weight" suffix sets its mix weight:
 //     hynet_load --target '/bench?size=102:9' --target '/bench?size=102400:1'
 //   --rate switches to open-loop Poisson arrivals at R req/s.
+//   --chaos runs misbehaving connections NEXT TO the well-behaved load:
+//     slowloris | stalled | rst | idle  (see ChaosMode in load_gen.h).
+//   The report then shows whether the server evicted the abusers while
+//   the legitimate load kept completing.
 #include <cstdio>
 #include <cstring>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "client/load_gen.h"
@@ -23,6 +29,8 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   uint16_t port = 8080;
   double seconds = 5.0;
+  std::string chaos_mode;
+  int chaos_conns = 16;
   config.targets.clear();
 
   for (int i = 1; i < argc; ++i) {
@@ -60,11 +68,16 @@ int main(int argc, char** argv) {
         }
       }
       config.targets.push_back({t, weight});
+    } else if (!std::strcmp(argv[i], "--chaos")) {
+      chaos_mode = next("--chaos");
+    } else if (!std::strcmp(argv[i], "--chaos-conns")) {
+      chaos_conns = std::atoi(next("--chaos-conns"));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--host IP] [--port P] [--conns N] "
                    "[--seconds S] [--target T[:w]]... [--rate R] "
-                   "[--rcvbuf BYTES]\n", argv[0]);
+                   "[--rcvbuf BYTES] [--chaos slowloris|stalled|rst|idle] "
+                   "[--chaos-conns N]\n", argv[0]);
       return 2;
     }
   }
@@ -84,7 +97,42 @@ int main(int argc, char** argv) {
                   : "zero think time",
               seconds);
 
+  std::unique_ptr<ChaosClient> chaos;
+  if (!chaos_mode.empty()) {
+    ChaosConfig cc;
+    cc.server = config.server;
+    cc.connections = chaos_conns;
+    if (chaos_mode == "slowloris") {
+      cc.mode = ChaosMode::kSlowloris;
+    } else if (chaos_mode == "stalled") {
+      cc.mode = ChaosMode::kStalledReader;
+    } else if (chaos_mode == "rst") {
+      cc.mode = ChaosMode::kMidResponseRst;
+    } else if (chaos_mode == "idle") {
+      cc.mode = ChaosMode::kIdle;
+    } else {
+      std::fprintf(stderr, "unknown --chaos '%s'\n", chaos_mode.c_str());
+      return 2;
+    }
+    chaos = std::make_unique<ChaosClient>(cc);
+    chaos->Start();
+    std::printf("chaos      : %s x%d alongside the load\n",
+                chaos_mode.c_str(), chaos_conns);
+  }
+
   const LoadResult result = RunLoad(config);
+
+  if (chaos) {
+    const ChaosSnapshot s = chaos->Snapshot();
+    chaos->Stop();
+    std::printf("chaos      : connected=%llu evicted=%llu rst=%llu "
+                "sent=%llu read=%llu\n",
+                static_cast<unsigned long long>(s.connected),
+                static_cast<unsigned long long>(s.evicted),
+                static_cast<unsigned long long>(s.rst_sent),
+                static_cast<unsigned long long>(s.bytes_sent),
+                static_cast<unsigned long long>(s.bytes_read));
+  }
 
   std::printf("\nrequests   : %llu  (%llu errors)\n",
               static_cast<unsigned long long>(result.completed),

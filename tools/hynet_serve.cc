@@ -3,10 +3,16 @@
 //
 //   hynet_serve [--arch NAME] [--port P] [--sndbuf BYTES] [--loops N]
 //               [--workers N] [--spin-cap N] [--profile]
+//               [--idle-ms N] [--header-ms N] [--stall-ms N]
+//               [--max-conns N] [--no-shed] [--high-water BYTES]
+//               [--drain-ms N]
 //
 // The server exposes the standard bench handler:
 //   GET /bench?size=<bytes>&us=<cpu-us>[&push=N&push_kb=M]
 // Counters (and phase means with --profile) print every 5 seconds.
+// With --drain-ms, Ctrl-C performs a graceful drain (finish in-flight
+// requests, answer with `Connection: close`, force-close stragglers at
+// the deadline) instead of an immediate stop.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -50,6 +56,7 @@ int main(int argc, char** argv) {
   ServerConfig config;
   config.architecture = ServerArchitecture::kHybrid;
   config.port = 8080;
+  int drain_ms = 0;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -74,10 +81,28 @@ int main(int argc, char** argv) {
       config.write_spin_cap = std::atoi(next("--spin-cap"));
     } else if (!std::strcmp(argv[i], "--profile")) {
       config.profile_phases = true;
+    } else if (!std::strcmp(argv[i], "--idle-ms")) {
+      config.idle_timeout_ms = std::atoi(next("--idle-ms"));
+    } else if (!std::strcmp(argv[i], "--header-ms")) {
+      config.header_timeout_ms = std::atoi(next("--header-ms"));
+    } else if (!std::strcmp(argv[i], "--stall-ms")) {
+      config.write_stall_timeout_ms = std::atoi(next("--stall-ms"));
+    } else if (!std::strcmp(argv[i], "--max-conns")) {
+      config.max_connections = std::atoi(next("--max-conns"));
+    } else if (!std::strcmp(argv[i], "--no-shed")) {
+      config.shed_with_503 = false;
+    } else if (!std::strcmp(argv[i], "--high-water")) {
+      config.outbound_high_water_bytes =
+          static_cast<size_t>(std::atoll(next("--high-water")));
+    } else if (!std::strcmp(argv[i], "--drain-ms")) {
+      drain_ms = std::atoi(next("--drain-ms"));
     } else {
       std::fprintf(stderr, "usage: %s [--arch NAME] [--port P] "
                    "[--sndbuf BYTES] [--loops N] [--workers N] "
-                   "[--spin-cap N] [--profile]\n", argv[0]);
+                   "[--spin-cap N] [--profile] [--idle-ms N] "
+                   "[--header-ms N] [--stall-ms N] [--max-conns N] "
+                   "[--no-shed] [--high-water BYTES] [--drain-ms N]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -94,7 +119,11 @@ int main(int argc, char** argv) {
 
   ServerCounters last{};
   while (!g_stop.load()) {
-    std::this_thread::sleep_for(std::chrono::seconds(5));
+    // Sleep in short ticks so Ctrl-C starts the drain promptly instead of
+    // waiting out the remainder of a 5-second stats interval.
+    for (int tick = 0; tick < 50 && !g_stop.load(); ++tick) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
     if (g_stop.load()) break;
     const ServerCounters now = server->Snapshot();
     std::printf("[stats] conns=%llu reqs=%llu (+%llu) writes=%llu "
@@ -121,7 +150,18 @@ int main(int argc, char** argv) {
     last = now;
   }
 
-  std::printf("\nstopping...\n");
-  server->Stop();
+  const ServerCounters final_counters = server->Snapshot();
+  if (drain_ms > 0) {
+    std::printf("\ndraining (deadline %d ms)...\n", drain_ms);
+    const DrainResult r =
+        server->Shutdown(std::chrono::milliseconds(drain_ms));
+    std::printf("drained=%llu forced=%llu\n",
+                static_cast<unsigned long long>(r.drained),
+                static_cast<unsigned long long>(r.forced));
+  } else {
+    std::printf("\nstopping...\n");
+    server->Stop();
+  }
+  PrintCounterTable("lifecycle", LifecycleCounterRows(final_counters));
   return 0;
 }
