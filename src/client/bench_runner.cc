@@ -42,33 +42,6 @@ double DefaultCpuUs(size_t response_bytes) {
   return 20.0 + static_cast<double>(response_bytes) / 1024.0;
 }
 
-ServerCounters operator-(const ServerCounters& a, const ServerCounters& b) {
-  ServerCounters d;
-  d.connections_accepted = a.connections_accepted - b.connections_accepted;
-  d.connections_closed = a.connections_closed - b.connections_closed;
-  d.requests_handled = a.requests_handled - b.requests_handled;
-  d.responses_sent = a.responses_sent - b.responses_sent;
-  d.write_calls = a.write_calls - b.write_calls;
-  d.zero_writes = a.zero_writes - b.zero_writes;
-  d.spin_capped_flushes = a.spin_capped_flushes - b.spin_capped_flushes;
-  d.logical_switches = a.logical_switches - b.logical_switches;
-  d.light_path_responses = a.light_path_responses - b.light_path_responses;
-  d.heavy_path_responses = a.heavy_path_responses - b.heavy_path_responses;
-  d.reclassifications = a.reclassifications - b.reclassifications;
-  d.idle_evictions = a.idle_evictions - b.idle_evictions;
-  d.header_evictions = a.header_evictions - b.header_evictions;
-  d.write_stall_evictions = a.write_stall_evictions - b.write_stall_evictions;
-  d.shed_connections = a.shed_connections - b.shed_connections;
-  d.accept_pauses = a.accept_pauses - b.accept_pauses;
-  d.backpressure_pauses = a.backpressure_pauses - b.backpressure_pauses;
-  d.backpressure_resumes = a.backpressure_resumes - b.backpressure_resumes;
-  d.oversize_requests = a.oversize_requests - b.oversize_requests;
-  d.half_close_reclaims = a.half_close_reclaims - b.half_close_reclaims;
-  d.drained_connections = a.drained_connections - b.drained_connections;
-  d.forced_closes = a.forced_closes - b.forced_closes;
-  return d;
-}
-
 BenchPointResult RunBenchPoint(const BenchPoint& point) {
   CalibrateCpuBurn();  // before the measured window, not during
 
@@ -106,12 +79,16 @@ BenchPointResult RunBenchPoint(const BenchPoint& point) {
     // has spawned its connection threads.
     sampler.emplace(server->ThreadIds());
     sampler->Start();
-    begin_counters = server->Snapshot();
+    // Counter windows come from the registry scrape rather than a direct
+    // Snapshot() call: the bench doubles as a continuous check that the
+    // observability plane exports exactly the values Snapshot() holds.
+    begin_counters = CountersFromRegistry(server->metrics().Scrape());
     begin_process_cpu = ReadProcessCpu();
   };
   lc.on_measure_end = [&] {
     result.activity = sampler->Stop();
-    result.counters = server->Snapshot() - begin_counters;
+    result.counters =
+        CountersFromRegistry(server->metrics().Scrape()) - begin_counters;
     result.process_cpu = ReadProcessCpu() - begin_process_cpu;
   };
 

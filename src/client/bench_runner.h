@@ -79,8 +79,6 @@ struct BenchPointResult {
   }
 };
 
-ServerCounters operator-(const ServerCounters& a, const ServerCounters& b);
-
 // Runs one point end to end. Creates/destroys the server (and proxy).
 BenchPointResult RunBenchPoint(const BenchPoint& point);
 

@@ -36,10 +36,12 @@ class Histogram {
   // "p50=1.2ms p95=3.4ms p99=5.6ms max=7.8ms" style summary.
   std::string Summary() const;
 
- private:
+  // Bucket geometry, shared with metrics/registry.h's lock-free
+  // HistogramMetric so both report identical quantiles.
   static int BucketIndex(int64_t value);
   static int64_t BucketUpperBound(int index);
 
+ private:
   std::array<uint64_t, kBucketCount> buckets_{};
   uint64_t count_ = 0;
   int64_t sum_ = 0;

@@ -36,6 +36,7 @@ void HybridServer::OnBytes(LoopConn& lc) {
     }
     const HttpRequest& req = lc.conn.parser.request();
     lc.current_target = req.target;
+    const int64_t req_start_ns = NowNanos();
 
     HttpResponse resp;
     {
@@ -89,6 +90,7 @@ void HybridServer::OnBytes(LoopConn& lc) {
       const bool light_ok = outcome == DirectWriteOutcome::kLight;
       monitor_.Record(WriteObservation{writes_used, !light_ok, total});
       if (light_ok) {
+        writes_per_response_->Record(writes_used);
         light_responses_.fetch_add(1, std::memory_order_relaxed);
         // A type previously marked heavy that now drains inline is demoted
         // back to light (runtime drift, Section V-B).
@@ -102,6 +104,10 @@ void HybridServer::OnBytes(LoopConn& lc) {
         }
       }
     }
+
+    // Service latency: request fully parsed → response written (light) or
+    // handed to the buffered flush path (heavy).
+    request_latency_ns_->Record(NowNanos() - req_start_ns);
 
     // The connection may have been closed by a write error.
     if (lc.conn.closed) return;
@@ -145,14 +151,6 @@ HybridServer::DirectWriteOutcome HybridServer::TryDirectWrite(
   // arms EPOLLOUT / reschedules the flush as needed.
   EnqueueAndFlush(lc, std::string(bytes.substr(off)));
   return DirectWriteOutcome::kHeavy;
-}
-
-std::unique_ptr<Server> CreateServer(const ServerConfig& config,
-                                     Handler handler) {
-  if (config.architecture == ServerArchitecture::kHybrid) {
-    return std::make_unique<HybridServer>(config, std::move(handler));
-  }
-  return CreateBasicServer(config, std::move(handler));
 }
 
 }  // namespace hynet

@@ -55,8 +55,4 @@ class HybridServer final : public LoopGroupServer {
   WriteSpinMonitor monitor_;
 };
 
-// Creates any of the six architectures, including kHybrid.
-std::unique_ptr<Server> CreateServer(const ServerConfig& config,
-                                     Handler handler);
-
 }  // namespace hynet

@@ -1,0 +1,222 @@
+#include "metrics/registry.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace hynet {
+
+namespace {
+
+// Metric names become Prometheus label-free metric lines verbatim; keep
+// them in [a-zA-Z0-9_:] when creating metrics.
+void AppendU64(std::string& out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void AppendI64(std::string& out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+void AppendDouble(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+int64_t HistogramData::Percentile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= target) {
+      return std::min(Histogram::BucketUpperBound(static_cast<int>(i)), max);
+    }
+  }
+  return max;
+}
+
+HistogramData HistogramMetric::Snapshot() const {
+  HistogramData d;
+  d.buckets.assign(Histogram::kBucketCount, 0);
+  for (const Shard& s : shards_) {
+    for (int i = 0; i < Histogram::kBucketCount; ++i) {
+      d.buckets[static_cast<size_t>(i)] +=
+          s.buckets[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    }
+    d.count += s.count.load(std::memory_order_relaxed);
+    d.sum += s.sum.load(std::memory_order_relaxed);
+    d.max = std::max(d.max, s.max.load(std::memory_order_relaxed));
+  }
+  return d;
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramData* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const auto& [n, d] : histograms) {
+    if (n == name) return &d;
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<HistogramMetric>();
+  return *slot;
+}
+
+size_t MetricsRegistry::AddCollector(Collector collector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t id = next_collector_id_++;
+  collectors_.emplace_back(id, std::move(collector));
+  return id;
+}
+
+void MetricsRegistry::RemoveCollector(size_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = collectors_.begin(); it != collectors_.end(); ++it) {
+    if (it->first == id) {
+      collectors_.erase(it);
+      return;
+    }
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Scrape() const {
+  // Collectors run outside mu_ so one may call back into GetCounter etc.;
+  // name-keyed maps merge their output with native metrics afterwards.
+  std::vector<std::pair<size_t, Collector>> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    collectors = collectors_;
+  }
+  MetricsBatch batch;
+  for (const auto& entry : collectors) entry.second(batch);
+
+  MetricsSnapshot snap;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) counters[name] = c->Value();
+    for (const auto& [name, g] : gauges_) gauges[name] = g->Value();
+    for (const auto& [name, h] : histograms_) {
+      snap.histograms.emplace_back(name, h->Snapshot());
+    }
+  }
+  for (const auto& [name, v] : batch.counters_) counters[name] += v;
+  for (const auto& [name, v] : batch.gauges_) gauges[name] = v;
+  snap.counters.assign(counters.begin(), counters.end());
+  snap.gauges.assign(gauges.begin(), gauges.end());
+  return snap;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  const MetricsSnapshot snap = Scrape();
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, v] : snap.counters) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " ";
+    AppendU64(out, v);
+    out += '\n';
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " ";
+    AppendI64(out, v);
+    out += '\n';
+  }
+  for (const auto& [name, d] : snap.histograms) {
+    out += "# TYPE " + name + " summary\n";
+    for (const double q : {0.5, 0.95, 0.99}) {
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s{quantile=\"%g\"} ",
+                    name.c_str(), q);
+      out += label;
+      AppendI64(out, d.Percentile(q));
+      out += '\n';
+    }
+    out += name + "_sum ";
+    AppendI64(out, d.sum);
+    out += '\n';
+    out += name + "_count ";
+    AppendU64(out, d.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::StatsJson() const {
+  const MetricsSnapshot snap = Scrape();
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":";
+    AppendU64(out, v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":";
+    AppendI64(out, v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, d] : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":{\"count\":";
+    AppendU64(out, d.count);
+    out += ",\"mean\":";
+    AppendDouble(out, d.Mean());
+    out += ",\"p50\":";
+    AppendI64(out, d.Percentile(0.5));
+    out += ",\"p95\":";
+    AppendI64(out, d.Percentile(0.95));
+    out += ",\"p99\":";
+    AppendI64(out, d.Percentile(0.99));
+    out += ",\"max\":";
+    AppendI64(out, d.max);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace hynet

@@ -1,0 +1,189 @@
+// MetricsRegistry: the single way any part of hynet exports a number.
+//
+// Named counters, gauges, and log-linear histograms. Counters and
+// histograms are sharded per thread (a thread hashes to one of a fixed set
+// of cache-line-padded shards and touches only relaxed atomics), so hot
+// paths pay one uncontended fetch_add per event; shards are summed only at
+// scrape time. Scrapes additionally run registered collector callbacks —
+// the compatibility bridge that lets a server contribute its legacy
+// `ServerCounters` snapshot without double bookkeeping.
+//
+// Rendering: PrometheusText() emits the Prometheus text exposition format
+// (histograms as summaries with quantile labels); StatsJson() emits a
+// machine-readable JSON document for tools/hynet_top.py.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace hynet {
+
+namespace metrics_internal {
+
+// Stable small id for the calling thread, assigned on first use. Metrics
+// map it onto their shard arrays; two threads may share a shard (the shard
+// is still an atomic), but a single thread never migrates.
+inline uint32_t ThisThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+struct alignas(64) PaddedAtomicU64 {
+  std::atomic<uint64_t> v{0};
+};
+
+}  // namespace metrics_internal
+
+// Monotonic counter. Add() is wait-free: one relaxed fetch_add on the
+// calling thread's shard.
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Add(uint64_t n = 1) {
+    shards_[metrics_internal::ThisThreadId() % kShards].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  std::array<metrics_internal::PaddedAtomicU64, kShards> shards_{};
+};
+
+// Instantaneous value (queue depth, live connections, 0/1 flags).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// Point-in-time aggregation of a HistogramMetric: merged bucket counts plus
+// count/sum/max. Shares bucket geometry with common/Histogram.
+struct HistogramData {
+  std::vector<uint64_t> buckets;  // Histogram::kBucketCount entries
+  uint64_t count = 0;
+  int64_t sum = 0;
+  int64_t max = 0;
+
+  double Mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+  // Upper bound of the bucket containing quantile q in [0, 1].
+  int64_t Percentile(double q) const;
+};
+
+// Log-linear histogram with per-thread shards of relaxed-atomic buckets.
+// Record() is three relaxed fetch_adds plus a rarely-contended CAS for the
+// max — cheap enough to stay on the benchmark hot path unconditionally.
+class HistogramMetric {
+ public:
+  static constexpr size_t kShards = 8;
+
+  void Record(int64_t value) {
+    Shard& s = shards_[metrics_internal::ThisThreadId() % kShards];
+    s.buckets[static_cast<size_t>(Histogram::BucketIndex(value))].fetch_add(
+        1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+    int64_t seen = s.max.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !s.max.compare_exchange_weak(seen, value,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramData Snapshot() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, Histogram::kBucketCount> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<int64_t> sum{0};
+    std::atomic<int64_t> max{0};
+  };
+
+  std::array<Shard, kShards> shards_{};
+};
+
+// One scrape's worth of collector contributions. Counter contributions
+// with the same name (native or from other collectors) are summed; gauge
+// contributions overwrite.
+class MetricsBatch {
+ public:
+  void AddCounter(std::string name, uint64_t value) {
+    counters_.emplace_back(std::move(name), value);
+  }
+  void SetGauge(std::string name, int64_t value) {
+    gauges_.emplace_back(std::move(name), value);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::vector<std::pair<std::string, uint64_t>> counters_;
+  std::vector<std::pair<std::string, int64_t>> gauges_;
+};
+
+// Consistent view of every metric at one scrape, sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramData>> histograms;
+
+  // 0 / nullptr when the name is absent.
+  uint64_t CounterValue(std::string_view name) const;
+  const HistogramData* FindHistogram(std::string_view name) const;
+};
+
+class MetricsRegistry {
+ public:
+  using Collector = std::function<void(MetricsBatch&)>;
+
+  // Get-or-create by name. Returned references stay valid for the life of
+  // the registry; hot paths should resolve once and cache the pointer.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  HistogramMetric& GetHistogram(const std::string& name);
+
+  // Registers a scrape-time contributor; returns an id for RemoveCollector.
+  // The callback must stay callable until removed (or the registry dies)
+  // and must only read data that is safe from any thread.
+  size_t AddCollector(Collector collector);
+  void RemoveCollector(size_t id);
+
+  MetricsSnapshot Scrape() const;
+
+  // Prometheus text exposition format of a full scrape.
+  std::string PrometheusText() const;
+  // {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,...}}}
+  std::string StatsJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+  std::vector<std::pair<size_t, Collector>> collectors_;
+  size_t next_collector_id_ = 0;
+};
+
+}  // namespace hynet

@@ -56,7 +56,7 @@ DbServer::DbServer(DbDataset dataset, double cpu_us_per_query)
   // MySQL's execution model: a dedicated thread per connection.
   config.architecture = ServerArchitecture::kThreadPerConn;
   config.snd_buf_bytes = 0;  // DB link is intra-rack; keep kernel defaults
-  server_ = CreateBasicServer(config, MakeHandler());
+  server_ = CreateServer(config, MakeHandler());
 }
 
 DbServer::~DbServer() { Stop(); }

@@ -25,9 +25,9 @@ void ThreeTierSystem::Start() {
   app_config.architecture = config_.app_architecture;
   app_config.worker_threads = config_.app_worker_threads;
   app_config.snd_buf_bytes = 0;  // inter-tier links keep kernel defaults
-  app_ = CreateBasicServer(app_config,
-                           BuildRubbosHandler(*db_pool_,
-                                              config_.app_cpu_multiplier));
+  app_ = CreateServer(app_config,
+                      BuildRubbosHandler(*db_pool_,
+                                         config_.app_cpu_multiplier));
   app_->Start();
 
   web_ = std::make_unique<WebTier>(InetAddr::Loopback(app_->Port()),

@@ -8,7 +8,7 @@ WebTier::WebTier(const InetAddr& app_addr, int upstream_pool_size)
   // Apache httpd with the worker/prefork MPM: thread-based.
   config.architecture = ServerArchitecture::kThreadPerConn;
   config.snd_buf_bytes = 0;  // front link keeps kernel defaults
-  server_ = CreateBasicServer(config, [this](const HttpRequest& req,
+  server_ = CreateServer(config, [this](const HttpRequest& req,
                                              HttpResponse& resp) {
     try {
       HttpResponse upstream = pool_.Query(req.target);

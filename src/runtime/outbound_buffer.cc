@@ -9,7 +9,8 @@ void OutboundBuffer::Add(std::string message) {
   pending_.push_back(Node{std::move(message), 0});
 }
 
-FlushResult OutboundBuffer::Flush(int fd, WriteStats& stats) {
+FlushResult OutboundBuffer::Flush(int fd, WriteStats& stats,
+                                  HistogramMetric* writes_hist) {
   int spins = 0;
   while (!pending_.empty()) {
     if (spin_cap_ > 0 && spins >= spin_cap_) {
@@ -21,6 +22,7 @@ FlushResult OutboundBuffer::Flush(int fd, WriteStats& stats) {
     const IoResult r = WriteFd(fd, node.data.data() + node.offset, remaining);
     stats.write_calls.fetch_add(1, std::memory_order_relaxed);
     spins++;
+    node.writes++;
 
     if (r.WouldBlock() || r.n == 0) {
       stats.zero_writes.fetch_add(1, std::memory_order_relaxed);
@@ -31,6 +33,7 @@ FlushResult OutboundBuffer::Flush(int fd, WriteStats& stats) {
     node.offset += static_cast<size_t>(r.n);
     pending_bytes_ -= static_cast<size_t>(r.n);
     if (node.offset == node.data.size()) {
+      if (writes_hist) writes_hist->Record(node.writes);
       pending_.pop_front();
       stats.responses.fetch_add(1, std::memory_order_relaxed);
     }

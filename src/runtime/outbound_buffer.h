@@ -14,6 +14,7 @@
 #include <deque>
 #include <string>
 
+#include "metrics/registry.h"
 #include "runtime/dispatch_stats.h"
 
 namespace hynet {
@@ -39,7 +40,11 @@ class OutboundBuffer {
   // Attempts to write pending data to `fd`. Updates `stats` with every
   // write() issued. `completed_responses` is incremented for every queued
   // message fully drained (message boundaries = response boundaries).
-  FlushResult Flush(int fd, WriteStats& stats);
+  // When `writes_hist` is given, each completed message records the number
+  // of write() calls it needed (across all Flush invocations) — the
+  // per-response Table IV figure.
+  FlushResult Flush(int fd, WriteStats& stats,
+                    HistogramMetric* writes_hist = nullptr);
 
   bool Empty() const { return pending_.empty(); }
   size_t PendingBytes() const { return pending_bytes_; }
@@ -52,6 +57,7 @@ class OutboundBuffer {
   struct Node {
     std::string data;
     size_t offset = 0;  // bytes already written
+    int writes = 0;     // write() calls attempted for this message
   };
 
   int spin_cap_;

@@ -1,0 +1,176 @@
+#include "servers/admin_server.h"
+
+#include <sys/epoll.h>
+
+#include "common/thread_util.h"
+#include "net/socket.h"
+#include "proto/http_codec.h"
+#include "proto/http_message.h"
+
+namespace hynet {
+
+namespace {
+
+std::string BuildResponse(int status, const char* reason,
+                          const char* content_type, std::string body,
+                          bool keep_alive) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.reason = reason;
+  resp.SetHeader("Content-Type", content_type);
+  resp.body = std::move(body);
+  resp.keep_alive = keep_alive;
+  ByteBuffer out;
+  SerializeResponse(resp, out);
+  return std::string(out.View());
+}
+
+}  // namespace
+
+AdminServer::AdminServer(uint16_t port,
+                         std::shared_ptr<MetricsRegistry> registry,
+                         std::function<bool()> draining)
+    : requested_port_(port),
+      registry_(std::move(registry)),
+      draining_(std::move(draining)) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+void AdminServer::Start() {
+  if (started_.exchange(true)) return;
+  loop_ = std::make_unique<EventLoop>();
+  acceptor_ = std::make_unique<Acceptor>(
+      *loop_, InetAddr::Loopback(requested_port_),
+      [this](Socket s, const InetAddr&) { OnNewConnection(std::move(s)); });
+  port_ = acceptor_->Port();
+  acceptor_->Listen();
+  loop_thread_ = std::thread([this] {
+    SetCurrentThreadName("hynet-admin");
+    loop_->Run();
+    conns_.clear();
+  });
+}
+
+void AdminServer::Stop() {
+  if (!started_.exchange(false)) return;
+  loop_->Stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  acceptor_.reset();
+  loop_.reset();
+}
+
+void AdminServer::OnNewConnection(Socket socket) {
+  socket.SetNonBlocking(true);
+  const int fd = socket.fd();
+  conns_[fd] = std::make_unique<AdminConn>(socket.TakeFd());
+  loop_->RegisterFd(fd, EPOLLIN | EPOLLRDHUP,
+                    [this, fd](uint32_t events) { OnEvent(fd, events); });
+}
+
+void AdminServer::OnEvent(int fd, uint32_t events) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  AdminConn& conn = *it->second;
+
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    CloseConn(fd);
+    return;
+  }
+  if (events & EPOLLOUT) {
+    FlushOut(fd, conn);
+    if (conns_.find(fd) == conns_.end()) return;
+  }
+  if (events & (EPOLLIN | EPOLLRDHUP)) {
+    bool peer_eof = false;
+    char buf[8 * 1024];
+    while (true) {
+      const IoResult r = ReadFd(fd, buf, sizeof(buf));
+      if (r.WouldBlock()) break;
+      if (r.Fatal()) {
+        CloseConn(fd);
+        return;
+      }
+      if (r.Eof()) {
+        peer_eof = true;
+        break;
+      }
+      conn.in.Append(buf, static_cast<size_t>(r.n));
+      if (static_cast<size_t>(r.n) < sizeof(buf)) break;
+    }
+    HandleRequests(conn);
+    if (conns_.find(fd) == conns_.end()) return;
+    if (peer_eof && conn.out.size() == conn.out_off) {
+      CloseConn(fd);
+      return;
+    }
+    FlushOut(fd, conn);
+  }
+}
+
+void AdminServer::HandleRequests(AdminConn& conn) {
+  while (true) {
+    const ParseStatus st = conn.parser.Parse(conn.in);
+    if (st == ParseStatus::kNeedMore) return;
+    if (st == ParseStatus::kError) {
+      conn.out += SimpleErrorResponse(400);
+      conn.close_after_write = true;
+      return;
+    }
+    const HttpRequest& req = conn.parser.request();
+    conn.out += Respond(req.path.empty() ? req.target : req.path);
+    if (!req.keep_alive) {
+      conn.close_after_write = true;
+      return;
+    }
+  }
+}
+
+std::string AdminServer::Respond(const std::string& path) {
+  if (path == "/metrics") {
+    return BuildResponse(200, "OK", "text/plain; version=0.0.4",
+                         registry_->PrometheusText(), true);
+  }
+  if (path == "/stats.json") {
+    return BuildResponse(200, "OK", "application/json",
+                         registry_->StatsJson(), true);
+  }
+  if (path == "/healthz") {
+    const bool draining = draining_ && draining_();
+    return draining ? BuildResponse(503, "Service Unavailable", "text/plain",
+                                    "draining\n", true)
+                    : BuildResponse(200, "OK", "text/plain", "ok\n", true);
+  }
+  return BuildResponse(404, "Not Found", "text/plain", "not found\n", true);
+}
+
+void AdminServer::FlushOut(int fd, AdminConn& conn) {
+  while (conn.out_off < conn.out.size()) {
+    const IoResult r = WriteFd(fd, conn.out.data() + conn.out_off,
+                               conn.out.size() - conn.out_off);
+    if (r.WouldBlock()) {
+      loop_->ModifyFd(fd, EPOLLIN | EPOLLRDHUP | EPOLLOUT);
+      return;
+    }
+    if (r.Fatal()) {
+      CloseConn(fd);
+      return;
+    }
+    conn.out_off += static_cast<size_t>(r.n);
+  }
+  conn.out.clear();
+  conn.out_off = 0;
+  if (conn.close_after_write) {
+    CloseConn(fd);
+    return;
+  }
+  loop_->ModifyFd(fd, EPOLLIN | EPOLLRDHUP);
+}
+
+void AdminServer::CloseConn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  loop_->UnregisterFd(fd);
+  conns_.erase(it);
+}
+
+}  // namespace hynet

@@ -1,0 +1,78 @@
+// Embedded admin plane: a tiny single-threaded HTTP server on a loopback
+// side port, serving the observability endpoints for whichever Server owns
+// it:
+//
+//   /metrics     Prometheus text exposition of the metrics registry
+//   /stats.json  the same scrape as JSON, for tools/hynet_top.py
+//   /healthz     200 "ok", or 503 "draining" while Shutdown() drains
+//
+// Runs its own EventLoop so a scrape never competes with the architecture
+// under measurement for a loop thread. Responses are small and never
+// pipelined, so the write path is a plain buffered EPOLLOUT drain — none of
+// the write-spin machinery the benchmark servers exist to study.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/fd.h"
+#include "metrics/registry.h"
+#include "net/acceptor.h"
+#include "net/event_loop.h"
+#include "proto/http_parser.h"
+
+namespace hynet {
+
+class AdminServer {
+ public:
+  // `draining` is polled per /healthz request; it must stay callable until
+  // Stop() returns (the owning Server stops the plane before teardown).
+  AdminServer(uint16_t port, std::shared_ptr<MetricsRegistry> registry,
+              std::function<bool()> draining);
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  void Start();
+  void Stop();
+
+  // The bound port (valid after Start(); useful with port 0).
+  uint16_t Port() const { return port_; }
+
+ private:
+  struct AdminConn {
+    explicit AdminConn(ScopedFd fd_in) : fd(std::move(fd_in)) {}
+    ScopedFd fd;
+    ByteBuffer in;
+    HttpRequestParser parser;
+    std::string out;
+    size_t out_off = 0;
+    bool close_after_write = false;
+  };
+
+  void OnNewConnection(Socket socket);
+  void OnEvent(int fd, uint32_t events);
+  void HandleRequests(AdminConn& conn);
+  void FlushOut(int fd, AdminConn& conn);
+  void CloseConn(int fd);
+  std::string Respond(const std::string& path);
+
+  const uint16_t requested_port_;
+  std::shared_ptr<MetricsRegistry> registry_;
+  std::function<bool()> draining_;
+
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<Acceptor> acceptor_;
+  std::thread loop_thread_;
+  uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  std::unordered_map<int, std::unique_ptr<AdminConn>> conns_;
+};
+
+}  // namespace hynet

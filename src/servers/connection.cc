@@ -48,12 +48,15 @@ Duration SweepPeriod(const LifecycleDeadlines& deadlines) {
 
 SpinWriteResult SpinWriteAll(int fd, std::string_view data,
                              WriteStats& stats, bool yield_on_full,
-                             Duration stall_timeout) {
+                             Duration stall_timeout, int* writes_out) {
   size_t off = 0;
+  int writes = 0;
   TimePoint last_progress{};
   while (off < data.size()) {
     const IoResult r = WriteFd(fd, data.data() + off, data.size() - off);
     stats.write_calls.fetch_add(1, std::memory_order_relaxed);
+    writes++;
+    if (writes_out) *writes_out = writes;
     if (r.WouldBlock() || r.n == 0) {
       // TCP send buffer full: the write-spin. The caller's thread stays
       // glued to this response until ACKs free buffer space.
@@ -78,11 +81,14 @@ SpinWriteResult SpinWriteAll(int fd, std::string_view data,
 }
 
 SpinWriteResult BlockingWriteAll(int fd, std::string_view data,
-                                 WriteStats& stats) {
+                                 WriteStats& stats, int* writes_out) {
   size_t off = 0;
+  int writes = 0;
   while (off < data.size()) {
     const IoResult r = WriteFd(fd, data.data() + off, data.size() - off);
     stats.write_calls.fetch_add(1, std::memory_order_relaxed);
+    writes++;
+    if (writes_out) *writes_out = writes;
     // EAGAIN on a blocking fd means SO_SNDTIMEO expired with the peer's
     // window still shut: a write stall, not a retryable condition.
     if (r.WouldBlock()) return SpinWriteResult::kStalled;

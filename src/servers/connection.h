@@ -3,6 +3,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/clock.h"
@@ -71,6 +72,10 @@ struct Connection {
   // Prepared response waiting for the split write dispatch
   // (sTomcat-Async only: worker A parks it here for worker B).
   std::string pending_response;
+  // Request-arrival stamps (ns) for responses awaiting their batch write;
+  // drained into the request-latency histogram when the write completes
+  // (reactor-pool and staged servers, where the write is a later step).
+  std::vector<int64_t> batch_request_starts;
 
   bool close_after_write = false;
   bool closed = false;
@@ -88,9 +93,13 @@ enum class SpinWriteResult { kOk, kPeerClosed, kStalled };
 // A positive `stall_timeout` bounds the spin: if no byte makes progress
 // for that long the loop gives up with kStalled so the caller can evict
 // the dead peer instead of pinning the thread forever.
+// `writes_out` (when non-null) receives the number of write() calls this
+// response needed — the per-response figure behind Table IV, fed to the
+// writes-per-response histogram without diffing shared WriteStats.
 SpinWriteResult SpinWriteAll(int fd, std::string_view data,
                              WriteStats& stats, bool yield_on_full,
-                             Duration stall_timeout = Duration::zero());
+                             Duration stall_timeout = Duration::zero(),
+                             int* writes_out = nullptr);
 
 // Blocking write used by the thread-per-connection server: the fd is in
 // blocking mode, so the kernel parks the thread until the TCP window opens
@@ -98,6 +107,7 @@ SpinWriteResult SpinWriteAll(int fd, std::string_view data,
 // With SO_SNDTIMEO armed a stalled peer surfaces as EAGAIN, reported here
 // as kStalled.
 SpinWriteResult BlockingWriteAll(int fd, std::string_view data,
-                                 WriteStats& stats);
+                                 WriteStats& stats,
+                                 int* writes_out = nullptr);
 
 }  // namespace hynet

@@ -1,3 +1,7 @@
+// The one public factory for all eight architectures. Lives in servers/
+// but compiles into the hynet_core target: kHybrid's class layers above
+// the basic servers (see src/CMakeLists.txt).
+#include "core/hybrid_server.h"
 #include "servers/multi_loop.h"
 #include "servers/ncopy.h"
 #include "servers/reactor_pool.h"
@@ -10,8 +14,14 @@
 
 namespace hynet {
 
-std::unique_ptr<Server> CreateBasicServer(const ServerConfig& config,
-                                          Handler handler) {
+std::unique_ptr<Server> CreateServer(const ServerConfig& config,
+                                     Handler handler) {
+  const std::vector<std::string> errors = config.Validate();
+  if (!errors.empty()) {
+    std::string joined = "invalid ServerConfig:";
+    for (const std::string& e : errors) joined += "\n  - " + e;
+    throw std::invalid_argument(joined);
+  }
   switch (config.architecture) {
     case ServerArchitecture::kThreadPerConn:
       return std::make_unique<ThreadPerConnServer>(config, std::move(handler));
@@ -25,13 +35,12 @@ std::unique_ptr<Server> CreateBasicServer(const ServerConfig& config,
       return std::make_unique<SingleThreadServer>(config, std::move(handler));
     case ServerArchitecture::kMultiLoop:
       return std::make_unique<MultiLoopServer>(config, std::move(handler));
+    case ServerArchitecture::kHybrid:
+      return std::make_unique<HybridServer>(config, std::move(handler));
     case ServerArchitecture::kStaged:
       return std::make_unique<StagedServer>(config, std::move(handler));
     case ServerArchitecture::kSingleThreadNCopy:
       return std::make_unique<NCopyServer>(config, std::move(handler));
-    case ServerArchitecture::kHybrid:
-      throw std::invalid_argument(
-          "kHybrid is created via CreateServer() in core/hybrid_server.h");
   }
   throw std::invalid_argument("unknown server architecture");
 }

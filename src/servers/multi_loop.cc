@@ -62,6 +62,7 @@ void LoopGroupServer::Start() {
   if (deadlines_.Any()) {
     for (size_t i = 0; i < loops_.size(); ++i) ScheduleSweep(i);
   }
+  StartAdminPlane();
 }
 
 DrainResult LoopGroupServer::Shutdown(Duration drain_deadline) {
@@ -130,6 +131,7 @@ DrainResult LoopGroupServer::Shutdown(Duration drain_deadline) {
 }
 
 void LoopGroupServer::Stop() {
+  StopAdminPlane();
   if (!started_.exchange(false)) return;
   boss_loop_->Stop();
   if (boss_thread_.joinable()) boss_thread_.join();
@@ -295,7 +297,7 @@ void LoopGroupServer::TryFlush(LoopConn& lc) {
   FlushResult result;
   {
     ScopedPhase phase(phase_profiler_, Phase::kWrite);
-    result = lc.conn.out.Flush(fd, write_stats_);
+    result = lc.conn.out.Flush(fd, write_stats_, writes_per_response_);
   }
   // Any forward progress restarts the write-stall clock.
   const size_t after = lc.conn.out.PendingBytes();
@@ -500,13 +502,16 @@ class ServerAppHandler final : public ChannelHandler {
  public:
   ServerAppHandler(const Handler& handler, std::atomic<uint64_t>& requests,
                    PhaseProfiler& profiler,
-                   const std::atomic<bool>& draining)
+                   const std::atomic<bool>& draining,
+                   HistogramMetric& latency)
       : handler_(handler),
         requests_(requests),
         profiler_(profiler),
-        draining_(draining) {}
+        draining_(draining),
+        latency_(latency) {}
 
   void OnMessage(ChannelContext& ctx, std::any msg) override {
+    const int64_t start_ns = NowNanos();
     auto req = std::any_cast<std::shared_ptr<HttpRequest>>(std::move(msg));
     HttpResponse resp;
     {
@@ -517,7 +522,10 @@ class ServerAppHandler final : public ChannelHandler {
         req->keep_alive && !draining_.load(std::memory_order_relaxed);
     requests_.fetch_add(1, std::memory_order_relaxed);
     const bool close = !resp.keep_alive;
+    // Write travels synchronously down the pipeline into EnqueueAndFlush,
+    // so the latency below covers serialize + the inline flush attempt.
     ctx.Write(std::any(std::move(resp)));
+    latency_.Record(NowNanos() - start_ns);
     if (close) ctx.Close();
   }
 
@@ -526,6 +534,7 @@ class ServerAppHandler final : public ChannelHandler {
   std::atomic<uint64_t>& requests_;
   PhaseProfiler& profiler_;
   const std::atomic<bool>& draining_;
+  HistogramMetric& latency_;
 };
 
 }  // namespace
@@ -539,7 +548,7 @@ void MultiLoopServer::OnConnectionEstablished(LoopConn& lc) {
       phase_profiler_, lifecycle_, config_.max_request_head_bytes,
       config_.max_request_body_bytes));
   lc.pipeline->AddLast(std::make_shared<ServerAppHandler>(
-      handler_, requests_, phase_profiler_, draining_));
+      handler_, requests_, phase_profiler_, draining_, *request_latency_ns_));
   LoopConn* raw = &lc;
   lc.pipeline->SetOutboundSink([this, raw](std::string bytes) {
     EnqueueAndFlush(*raw, std::move(bytes));

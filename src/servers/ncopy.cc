@@ -12,47 +12,74 @@ void NCopyServer::Start() {
   ServerConfig copy_config = config_;
   copy_config.architecture = ServerArchitecture::kSingleThread;
   copy_config.reuse_port = true;
+  // The wrapper owns the observability plane: copies share the parent's
+  // registry (below) and must not bind their own admin port.
+  copy_config.admin_port = -1;
   // The admission cap is a deployment-wide budget: split it across copies
   // (the kernel's SO_REUSEPORT hash spreads connections about evenly).
   if (config_.max_connections > 0) {
     copy_config.max_connections = (config_.max_connections + n - 1) / n;
   }
 
-  // First copy may bind an ephemeral port; the rest join it.
-  copies_.push_back(
-      std::make_unique<SingleThreadServer>(copy_config, handler_));
-  copies_.front()->Start();
-  port_ = copies_.front()->Port();
-
-  copy_config.port = port_;
-  for (int i = 1; i < n; ++i) {
+  {
+    std::lock_guard<std::mutex> lock(copies_mu_);
+    // First copy may bind an ephemeral port; the rest join it.
     copies_.push_back(
         std::make_unique<SingleThreadServer>(copy_config, handler_));
-    copies_.back()->Start();
+    // Every copy records its hot-path histograms into the parent's
+    // registry; the parent's own collector aggregates the copies'
+    // Snapshot() counters (Snapshot() below), so the copies' collectors
+    // are dropped by AdoptMetricsRegistry to avoid double counting.
+    copies_.front()->AdoptMetricsRegistry(SharedMetrics());
+    copies_.front()->Start();
+    port_ = copies_.front()->Port();
+
+    copy_config.port = port_;
+    for (int i = 1; i < n; ++i) {
+      copies_.push_back(
+          std::make_unique<SingleThreadServer>(copy_config, handler_));
+      copies_.back()->AdoptMetricsRegistry(SharedMetrics());
+      copies_.back()->Start();
+    }
   }
+  StartAdminPlane();
 }
 
 void NCopyServer::Stop() {
-  for (auto& copy : copies_) copy->Stop();
-  copies_.clear();
+  StopAdminPlane();
+  std::vector<std::unique_ptr<SingleThreadServer>> copies;
+  {
+    std::lock_guard<std::mutex> lock(copies_mu_);
+    copies.swap(copies_);
+  }
+  for (auto& copy : copies) copy->Stop();
 }
 
 DrainResult NCopyServer::Shutdown(Duration drain_deadline) {
   // One shared absolute deadline: copy k's budget is whatever remains
-  // after the copies before it drained.
+  // after the copies before it drained. Copies stay in copies_ while they
+  // drain so an admin scrape still sees their counters; /healthz reports
+  // draining via the parent's flag.
   const TimePoint deadline = Now() + drain_deadline;
+  draining_.store(true, std::memory_order_release);
+  std::vector<SingleThreadServer*> live;
+  {
+    std::lock_guard<std::mutex> lock(copies_mu_);
+    for (const auto& copy : copies_) live.push_back(copy.get());
+  }
   DrainResult total;
-  for (auto& copy : copies_) {
+  for (SingleThreadServer* copy : live) {
     const Duration remaining = std::max(deadline - Now(), Duration::zero());
     const DrainResult r = copy->Shutdown(remaining);
     total.drained += r.drained;
     total.forced += r.forced;
   }
-  copies_.clear();
+  Stop();
   return total;
 }
 
 std::vector<int> NCopyServer::ThreadIds() const {
+  std::lock_guard<std::mutex> lock(copies_mu_);
   std::vector<int> tids;
   for (const auto& copy : copies_) {
     const auto copy_tids = copy->ThreadIds();
@@ -62,6 +89,7 @@ std::vector<int> NCopyServer::ThreadIds() const {
 }
 
 ServerCounters NCopyServer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(copies_mu_);
   ServerCounters total;
   for (const auto& copy : copies_) {
     AccumulateCounters(total, copy->Snapshot());

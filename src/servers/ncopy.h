@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "servers/single_thread.h"
@@ -30,6 +31,10 @@ class NCopyServer final : public Server {
   int Copies() const { return static_cast<int>(copies_.size()); }
 
  private:
+  // Guards copies_ against the admin scrape thread: the parent's registry
+  // collector calls Snapshot() (which walks copies_) while Start/Stop/
+  // Shutdown mutate the vector.
+  mutable std::mutex copies_mu_;
   std::vector<std::unique_ptr<SingleThreadServer>> copies_;
   uint16_t port_ = 0;
 };

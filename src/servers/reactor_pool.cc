@@ -39,9 +39,11 @@ void ReactorPoolServer::Start() {
     std::this_thread::yield();
   }
   if (deadlines_.Any()) ScheduleSweep();
+  StartAdminPlane();
 }
 
 void ReactorPoolServer::Stop() {
+  StopAdminPlane();
   if (!started_.exchange(false)) return;
   // Workers first: their completions queue tasks onto the loop, which is
   // safe while the loop is stopping but not after it is destroyed.
@@ -244,6 +246,7 @@ void ReactorPoolServer::HandleReadEvent(Connection* conn) {
       want_close = true;
       break;
     }
+    conn->batch_request_starts.push_back(NowNanos());
     HttpResponse resp;
     {
       ScopedPhase phase(phase_profiler_, Phase::kHandler);
@@ -265,6 +268,7 @@ void ReactorPoolServer::HandleReadEvent(Connection* conn) {
   if (peer_eof) want_close = true;
 
   if (out.Empty()) {
+    conn->batch_request_starts.clear();
     // Nothing to write (partial request or immediate close).
     if (want_close) {
       if (peer_eof) {
@@ -283,11 +287,21 @@ void ReactorPoolServer::HandleReadEvent(Connection* conn) {
     // sTomcat-Async-Fix: same worker sends the response out (step 2+3
     // merged), then control returns to the reactor.
     SpinWriteResult wr;
+    int writes_used = 0;
     {
       ScopedPhase phase(phase_profiler_, Phase::kWrite);
       wr = SpinWriteAll(fd, out.View(), write_stats_,
-                        config_.yield_on_full_write, deadlines_.write_stall);
+                        config_.yield_on_full_write, deadlines_.write_stall,
+                        &writes_used);
     }
+    if (wr == SpinWriteResult::kOk) {
+      writes_per_response_->Record(writes_used);
+      const int64_t end_ns = NowNanos();
+      for (const int64_t s : conn->batch_request_starts) {
+        request_latency_ns_->Record(end_ns - s);
+      }
+    }
+    conn->batch_request_starts.clear();
     if (wr == SpinWriteResult::kStalled) {
       lifecycle_.write_stall_evictions.fetch_add(1, std::memory_order_relaxed);
     }
@@ -321,11 +335,21 @@ void ReactorPoolServer::HandleWriteEvent(Connection* conn) {
   // Step 4: a (different) worker sends the response out and returns
   // control to the reactor.
   SpinWriteResult wr;
+  int writes_used = 0;
   {
     ScopedPhase phase(phase_profiler_, Phase::kWrite);
     wr = SpinWriteAll(conn->fd.get(), conn->pending_response, write_stats_,
-                      config_.yield_on_full_write, deadlines_.write_stall);
+                      config_.yield_on_full_write, deadlines_.write_stall,
+                      &writes_used);
   }
+  if (wr == SpinWriteResult::kOk) {
+    writes_per_response_->Record(writes_used);
+    const int64_t end_ns = NowNanos();
+    for (const int64_t s : conn->batch_request_starts) {
+      request_latency_ns_->Record(end_ns - s);
+    }
+  }
+  conn->batch_request_starts.clear();
   conn->pending_response.clear();
   if (wr == SpinWriteResult::kStalled) {
     lifecycle_.write_stall_evictions.fetch_add(1, std::memory_order_relaxed);

@@ -2,6 +2,7 @@
 
 #include "net/socket.h"
 #include "proto/http_codec.h"
+#include "servers/admin_server.h"
 
 namespace hynet {
 
@@ -19,6 +20,103 @@ const char* ArchitectureName(ServerArchitecture arch) {
   return "unknown";
 }
 
+std::vector<std::string> ServerConfig::Validate() const {
+  std::vector<std::string> errors;
+  if (worker_threads < 1) errors.push_back("worker_threads must be >= 1");
+  if (event_loops < 1) errors.push_back("event_loops must be >= 1");
+  if (stage_threads < 1) errors.push_back("stage_threads must be >= 1");
+  if (ncopy < 1) errors.push_back("ncopy must be >= 1");
+  if (hybrid_heavy_write_threshold < 1) {
+    errors.push_back("hybrid_heavy_write_threshold must be >= 1");
+  }
+  if (snd_buf_bytes < 0) {
+    errors.push_back("snd_buf_bytes must be >= 0 (0 = kernel default)");
+  }
+  if (idle_timeout_ms < 0) errors.push_back("idle_timeout_ms must be >= 0");
+  if (header_timeout_ms < 0) {
+    errors.push_back("header_timeout_ms must be >= 0");
+  }
+  if (write_stall_timeout_ms < 0) {
+    errors.push_back("write_stall_timeout_ms must be >= 0");
+  }
+  if (max_connections < 0) errors.push_back("max_connections must be >= 0");
+  if (outbound_high_water_bytes > 0 &&
+      outbound_low_water_bytes > outbound_high_water_bytes) {
+    errors.push_back(
+        "outbound_low_water_bytes must not exceed outbound_high_water_bytes");
+  }
+  if (admin_port < -1 || admin_port > 65535) {
+    errors.push_back("admin_port must be in [-1, 65535] (-1 disables)");
+  }
+  if (admin_port > 0 && port != 0 && admin_port == port) {
+    errors.push_back("admin_port must differ from port");
+  }
+  return errors;
+}
+
+Server::Server(ServerConfig config, Handler handler)
+    : config_(std::move(config)),
+      handler_(std::move(handler)),
+      metrics_(std::make_shared<MetricsRegistry>()) {
+  phase_profiler_.Enable(config_.profile_phases);
+  ResolveMetricHandles();
+  // Scrape-time bridge: the registry view of the legacy counters is
+  // generated from the same virtual Snapshot() every caller sees, so the
+  // two can never drift. Snapshot() is only invoked on fully constructed,
+  // live servers (the admin plane stops before teardown).
+  collector_id_ =
+      metrics_->AddCollector([this](MetricsBatch& b) { ContributeSnapshot(b); });
+}
+
+Server::~Server() {
+  StopAdminPlane();
+  if (collector_id_ != kNoCollector) {
+    metrics_->RemoveCollector(collector_id_);
+  }
+}
+
+void Server::ResolveMetricHandles() {
+  request_latency_ns_ = &metrics_->GetHistogram("server_request_latency_ns");
+  writes_per_response_ = &metrics_->GetHistogram("server_writes_per_response");
+}
+
+void Server::ContributeSnapshot(MetricsBatch& batch) const {
+  const ServerCounters c = Snapshot();
+#define HYNET_EXPORT_COUNTER_FIELD(field) \
+  batch.AddCounter("server_" #field, c.field);
+  HYNET_SERVER_COUNTER_FIELDS(HYNET_EXPORT_COUNTER_FIELD)
+#undef HYNET_EXPORT_COUNTER_FIELD
+  batch.SetGauge("server_draining", Draining() ? 1 : 0);
+}
+
+void Server::AdoptMetricsRegistry(std::shared_ptr<MetricsRegistry> registry) {
+  if (collector_id_ != kNoCollector) {
+    metrics_->RemoveCollector(collector_id_);
+    // Deliberately not re-registered: the registry's owner aggregates this
+    // server's Snapshot() itself (the N-copy parent), so re-adding the
+    // collector would double-count every field.
+    collector_id_ = kNoCollector;
+  }
+  metrics_ = std::move(registry);
+  ResolveMetricHandles();
+}
+
+void Server::StartAdminPlane() {
+  if (config_.admin_port < 0 || admin_) return;
+  admin_ = std::make_unique<AdminServer>(
+      static_cast<uint16_t>(config_.admin_port), metrics_,
+      [this] { return Draining(); });
+  admin_->Start();
+}
+
+void Server::StopAdminPlane() {
+  if (!admin_) return;
+  admin_->Stop();
+  admin_.reset();
+}
+
+uint16_t Server::AdminPort() const { return admin_ ? admin_->Port() : 0; }
+
 void Server::ConfigureAcceptedFd(int fd) const {
   if (config_.tcp_no_delay) SetFdNoDelay(fd, true);
   if (config_.snd_buf_bytes > 0) {
@@ -27,20 +125,10 @@ void Server::ConfigureAcceptedFd(int fd) const {
 }
 
 void Server::ExportLifecycle(ServerCounters& c) const {
-  const auto get = [](const std::atomic<uint64_t>& v) {
-    return v.load(std::memory_order_relaxed);
-  };
-  c.idle_evictions = get(lifecycle_.idle_evictions);
-  c.header_evictions = get(lifecycle_.header_evictions);
-  c.write_stall_evictions = get(lifecycle_.write_stall_evictions);
-  c.shed_connections = get(lifecycle_.shed_connections);
-  c.accept_pauses = get(lifecycle_.accept_pauses);
-  c.backpressure_pauses = get(lifecycle_.backpressure_pauses);
-  c.backpressure_resumes = get(lifecycle_.backpressure_resumes);
-  c.oversize_requests = get(lifecycle_.oversize_requests);
-  c.half_close_reclaims = get(lifecycle_.half_close_reclaims);
-  c.drained_connections = get(lifecycle_.drained_connections);
-  c.forced_closes = get(lifecycle_.forced_closes);
+#define HYNET_EXPORT_LIFECYCLE_FIELD(field) \
+  c.field = lifecycle_.field.load(std::memory_order_relaxed);
+  HYNET_SERVER_LIFECYCLE_FIELDS(HYNET_EXPORT_LIFECYCLE_FIELD)
+#undef HYNET_EXPORT_LIFECYCLE_FIELD
 }
 
 void Server::ShedWith503(int fd) {
@@ -50,45 +138,44 @@ void Server::ShedWith503(int fd) {
 }
 
 void AccumulateCounters(ServerCounters& into, const ServerCounters& c) {
-  into.connections_accepted += c.connections_accepted;
-  into.connections_closed += c.connections_closed;
-  into.requests_handled += c.requests_handled;
-  into.responses_sent += c.responses_sent;
-  into.write_calls += c.write_calls;
-  into.zero_writes += c.zero_writes;
-  into.spin_capped_flushes += c.spin_capped_flushes;
-  into.logical_switches += c.logical_switches;
-  into.light_path_responses += c.light_path_responses;
-  into.heavy_path_responses += c.heavy_path_responses;
-  into.reclassifications += c.reclassifications;
-  into.idle_evictions += c.idle_evictions;
-  into.header_evictions += c.header_evictions;
-  into.write_stall_evictions += c.write_stall_evictions;
-  into.shed_connections += c.shed_connections;
-  into.accept_pauses += c.accept_pauses;
-  into.backpressure_pauses += c.backpressure_pauses;
-  into.backpressure_resumes += c.backpressure_resumes;
-  into.oversize_requests += c.oversize_requests;
-  into.half_close_reclaims += c.half_close_reclaims;
-  into.drained_connections += c.drained_connections;
-  into.forced_closes += c.forced_closes;
+#define HYNET_SUM_COUNTER_FIELD(field) into.field += c.field;
+  HYNET_SERVER_COUNTER_FIELDS(HYNET_SUM_COUNTER_FIELD)
+#undef HYNET_SUM_COUNTER_FIELD
+}
+
+ServerCounters operator-(const ServerCounters& a, const ServerCounters& b) {
+  ServerCounters d;
+#define HYNET_DIFF_COUNTER_FIELD(field) d.field = a.field - b.field;
+  HYNET_SERVER_COUNTER_FIELDS(HYNET_DIFF_COUNTER_FIELD)
+#undef HYNET_DIFF_COUNTER_FIELD
+  return d;
+}
+
+std::vector<std::pair<std::string, uint64_t>> CounterRows(
+    const ServerCounters& c) {
+  return {
+#define HYNET_ROW_COUNTER_FIELD(field) {#field, c.field},
+      HYNET_SERVER_COUNTER_FIELDS(HYNET_ROW_COUNTER_FIELD)
+#undef HYNET_ROW_COUNTER_FIELD
+  };
 }
 
 std::vector<std::pair<std::string, uint64_t>> LifecycleCounterRows(
     const ServerCounters& c) {
   return {
-      {"idle_evictions", c.idle_evictions},
-      {"header_evictions", c.header_evictions},
-      {"write_stall_evictions", c.write_stall_evictions},
-      {"shed_connections", c.shed_connections},
-      {"accept_pauses", c.accept_pauses},
-      {"backpressure_pauses", c.backpressure_pauses},
-      {"backpressure_resumes", c.backpressure_resumes},
-      {"oversize_requests", c.oversize_requests},
-      {"half_close_reclaims", c.half_close_reclaims},
-      {"drained_connections", c.drained_connections},
-      {"forced_closes", c.forced_closes},
+#define HYNET_ROW_COUNTER_FIELD(field) {#field, c.field},
+      HYNET_SERVER_LIFECYCLE_FIELDS(HYNET_ROW_COUNTER_FIELD)
+#undef HYNET_ROW_COUNTER_FIELD
   };
+}
+
+ServerCounters CountersFromRegistry(const MetricsSnapshot& snap) {
+  ServerCounters c;
+#define HYNET_LOAD_COUNTER_FIELD(field) \
+  c.field = snap.CounterValue("server_" #field);
+  HYNET_SERVER_COUNTER_FIELDS(HYNET_LOAD_COUNTER_FIELD)
+#undef HYNET_LOAD_COUNTER_FIELD
+  return c;
 }
 
 }  // namespace hynet

@@ -16,9 +16,12 @@
 #include "common/clock.h"
 #include "proto/http_message.h"
 #include "metrics/phase_profiler.h"
+#include "metrics/registry.h"
 #include "runtime/dispatch_stats.h"
 
 namespace hynet {
+
+class AdminServer;
 
 // Application request handler. Runs on an architecture-defined thread; must
 // not block on the network (it may burn CPU, which models business logic).
@@ -71,6 +74,13 @@ struct ServerConfig {
   // metrics/phase_profiler.h. Off by default (two clock reads per phase).
   bool profile_phases = false;
 
+  // ---- Observability plane ----
+  // Port for the embedded admin endpoint serving /metrics (Prometheus
+  // text), /stats.json, and /healthz on loopback. -1 disables the plane
+  // (the default, so benchmarks are unaffected), 0 binds an ephemeral
+  // port (see Server::AdminPort), > 0 binds that port.
+  int admin_port = -1;
+
   // ---- Connection lifecycle & overload protection ----
   // All timeouts are 0 (disabled) by default so the paper's benchmark
   // behavior is unchanged; production deployments should set all three.
@@ -101,43 +111,96 @@ struct ServerConfig {
   // closes. 0 = unlimited.
   size_t max_request_head_bytes = 64 * 1024;  // matches the seed's cap
   size_t max_request_body_bytes = 8 * 1024 * 1024;
+
+  // Returns every problem with this config (empty = valid). CreateServer
+  // calls it and throws std::invalid_argument with the joined message —
+  // the single gate replacing per-architecture scattered checks.
+  std::vector<std::string> Validate() const;
 };
+
+// The one list of ServerCounters fields. Everything derived from the
+// struct — AccumulateCounters, deltas, rows, the registry view — is
+// generated from these X-macros, so adding a counter here updates all of
+// them together (the silent-mismatch hazard this replaces).
+//
+// Core counters filled directly by each architecture's Snapshot():
+//   connections_accepted / connections_closed
+//   requests_handled / responses_sent
+//   write_calls / zero_writes      — socket write() anatomy (Table IV)
+//   spin_capped_flushes            — flushes stopped by write_spin_cap
+//   logical_switches               — user-space handoffs (Table II)
+//   light_path_responses / heavy_path_responses / reclassifications
+//                                  — hybrid-only path accounting
+#define HYNET_SERVER_CORE_COUNTER_FIELDS(X) \
+  X(connections_accepted)                   \
+  X(connections_closed)                     \
+  X(requests_handled)                       \
+  X(responses_sent)                         \
+  X(write_calls)                            \
+  X(zero_writes)                            \
+  X(spin_capped_flushes)                    \
+  X(logical_switches)                       \
+  X(light_path_responses)                   \
+  X(heavy_path_responses)                   \
+  X(reclassifications)
+
+// Lifecycle / overload-protection counters. Names match the LifecycleStats
+// atomics field-for-field; ExportLifecycle is generated from this list.
+#define HYNET_SERVER_LIFECYCLE_FIELDS(X) \
+  X(idle_evictions)                      \
+  X(header_evictions)                    \
+  X(write_stall_evictions)               \
+  X(shed_connections)                    \
+  X(accept_pauses)                       \
+  X(backpressure_pauses)                 \
+  X(backpressure_resumes)                \
+  X(oversize_requests)                   \
+  X(half_close_reclaims)                 \
+  X(drained_connections)                 \
+  X(forced_closes)
+
+#define HYNET_SERVER_COUNTER_FIELDS(X)  \
+  HYNET_SERVER_CORE_COUNTER_FIELDS(X)   \
+  HYNET_SERVER_LIFECYCLE_FIELDS(X)
 
 // Monotonic counters exported by every server. Snapshot-copyable.
 struct ServerCounters {
-  uint64_t connections_accepted = 0;
-  uint64_t connections_closed = 0;
-  uint64_t requests_handled = 0;
-  uint64_t responses_sent = 0;
-  uint64_t write_calls = 0;
-  uint64_t zero_writes = 0;
-  uint64_t spin_capped_flushes = 0;
-  uint64_t logical_switches = 0;   // Table II accounting
-  // Hybrid-only:
-  uint64_t light_path_responses = 0;
-  uint64_t heavy_path_responses = 0;
-  uint64_t reclassifications = 0;
-  // Lifecycle / overload protection (see LifecycleStats):
-  uint64_t idle_evictions = 0;
-  uint64_t header_evictions = 0;
-  uint64_t write_stall_evictions = 0;
-  uint64_t shed_connections = 0;
-  uint64_t accept_pauses = 0;
-  uint64_t backpressure_pauses = 0;
-  uint64_t backpressure_resumes = 0;
-  uint64_t oversize_requests = 0;
-  uint64_t half_close_reclaims = 0;
-  uint64_t drained_connections = 0;
-  uint64_t forced_closes = 0;
+#define HYNET_DECLARE_COUNTER_FIELD(field) uint64_t field = 0;
+  HYNET_SERVER_COUNTER_FIELDS(HYNET_DECLARE_COUNTER_FIELD)
+#undef HYNET_DECLARE_COUNTER_FIELD
 };
+
+#define HYNET_COUNT_COUNTER_FIELD(field) +1
+inline constexpr size_t kServerCounterFieldCount =
+    0 HYNET_SERVER_COUNTER_FIELDS(HYNET_COUNT_COUNTER_FIELD);
+#undef HYNET_COUNT_COUNTER_FIELD
+
+// A field added to the struct by hand instead of the X-macro list would
+// desynchronize every generated view; catch it at compile time.
+static_assert(sizeof(ServerCounters) ==
+                  kServerCounterFieldCount * sizeof(uint64_t),
+              "ServerCounters fields must come from "
+              "HYNET_SERVER_COUNTER_FIELDS");
 
 // Field-wise sum, for aggregating per-copy/per-tier snapshots.
 void AccumulateCounters(ServerCounters& into, const ServerCounters& c);
 
-// Named lifecycle counter rows, for table printing via
+// Field-wise delta (a - b), for before/after measurement windows.
+ServerCounters operator-(const ServerCounters& a, const ServerCounters& b);
+
+// Every counter as a named row, for table printing via
 // metrics/report.cc PrintCounterTable.
+std::vector<std::pair<std::string, uint64_t>> CounterRows(
+    const ServerCounters& c);
+
+// The lifecycle subset of CounterRows (the PR-1 report format).
 std::vector<std::pair<std::string, uint64_t>> LifecycleCounterRows(
     const ServerCounters& c);
+
+// Rebuilds a ServerCounters view from a registry scrape: each field is
+// read from the `server_<field>` counter that the Server base collector
+// exports. Scraped values therefore match Snapshot() by construction.
+ServerCounters CountersFromRegistry(const MetricsSnapshot& snap);
 
 // Outcome of a graceful drain (Server::Shutdown).
 struct DrainResult {
@@ -147,11 +210,8 @@ struct DrainResult {
 
 class Server {
  public:
-  Server(ServerConfig config, Handler handler)
-      : config_(std::move(config)), handler_(std::move(handler)) {
-    phase_profiler_.Enable(config_.profile_phases);
-  }
-  virtual ~Server() = default;
+  Server(ServerConfig config, Handler handler);
+  virtual ~Server();
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
@@ -185,6 +245,27 @@ class Server {
   // Request-anatomy profiler (populated when config.profile_phases).
   const PhaseProfiler& phase_profiler() const { return phase_profiler_; }
 
+  // The server's metrics registry. Always present; native hot-path
+  // histograms record into it and a collector contributes the Snapshot()
+  // counters as `server_<field>` at scrape time.
+  MetricsRegistry& metrics() const { return *metrics_; }
+
+  // The registry as a shared handle, for wrappers (N-copy) that point
+  // child servers at it via AdoptMetricsRegistry.
+  std::shared_ptr<MetricsRegistry> SharedMetrics() const { return metrics_; }
+
+  // Replaces the registry (and re-resolves cached metric handles) so
+  // multiple servers can share one — the N-copy wrapper points every copy
+  // at the parent's registry. Call before Start(); the collectors already
+  // registered on the old registry are discarded with it.
+  void AdoptMetricsRegistry(std::shared_ptr<MetricsRegistry> registry);
+
+  // Bound admin-plane port; 0 when the plane is disabled or not started.
+  uint16_t AdminPort() const;
+
+  // True while Shutdown() is draining; /healthz reports it.
+  bool Draining() const { return draining_.load(std::memory_order_relaxed); }
+
  protected:
   // Applies per-connection socket options from the config.
   void ConfigureAcceptedFd(int fd) const;
@@ -196,17 +277,47 @@ class Server {
   // max_connections; the socket closes when it goes out of scope.
   void ShedWith503(int fd);
 
+  // Starts / stops the admin endpoint when config.admin_port >= 0. Each
+  // architecture calls these at the end of Start() and the top of Stop()
+  // so no scrape can observe a half-torn-down server.
+  void StartAdminPlane();
+  void StopAdminPlane();
+
   ServerConfig config_;
   Handler handler_;
   mutable PhaseProfiler phase_profiler_;
   mutable LifecycleStats lifecycle_;
   // Set while Shutdown drains; response paths force `Connection: close`.
   std::atomic<bool> draining_{false};
+
+  // Hot-path histograms, resolved once from metrics_ (re-resolved on
+  // AdoptMetricsRegistry). Recording is a few relaxed fetch_adds on a
+  // per-thread shard — cheap enough to stay on unconditionally.
+  HistogramMetric* request_latency_ns_ = nullptr;
+  HistogramMetric* writes_per_response_ = nullptr;
+
+ private:
+  static constexpr size_t kNoCollector = static_cast<size_t>(-1);
+
+  void ResolveMetricHandles();
+  void ContributeSnapshot(MetricsBatch& batch) const;
+
+  std::shared_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<AdminServer> admin_;
+  size_t collector_id_ = kNoCollector;
 };
 
-// Creates one of the five non-hybrid architectures (the hybrid lives in
-// core/ and is created via CreateServer in core/hybrid_server.h).
-std::unique_ptr<Server> CreateBasicServer(const ServerConfig& config,
-                                          Handler handler);
+// The one public factory: creates any of the eight architectures
+// (including kHybrid), gated by ServerConfig::Validate() — throws
+// std::invalid_argument listing every config error.
+std::unique_ptr<Server> CreateServer(const ServerConfig& config,
+                                     Handler handler);
+
+// Deprecated compatibility shim for the old split factory; forwards to
+// CreateServer (and so now builds kHybrid too instead of throwing).
+[[deprecated("use hynet::CreateServer")]] inline std::unique_ptr<Server>
+CreateBasicServer(const ServerConfig& config, Handler handler) {
+  return CreateServer(config, std::move(handler));
+}
 
 }  // namespace hynet

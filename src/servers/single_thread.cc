@@ -37,9 +37,11 @@ void SingleThreadServer::Start() {
     std::this_thread::yield();
   }
   if (deadlines_.Any()) ScheduleSweep();
+  StartAdminPlane();
 }
 
 void SingleThreadServer::Stop() {
+  StopAdminPlane();
   if (!started_.exchange(false)) return;
   loop_->Stop();
   if (loop_thread_.joinable()) loop_thread_.join();
@@ -199,6 +201,7 @@ void SingleThreadServer::OnReadable(int fd, uint32_t events) {
       CloseConnection(fd);
       return;
     }
+    const int64_t req_start_ns = NowNanos();
     HttpResponse resp;
     {
       ScopedPhase phase(phase_profiler_, Phase::kHandler);
@@ -217,9 +220,15 @@ void SingleThreadServer::OnReadable(int fd, uint32_t events) {
     // The naive write: the single thread is stuck here until the whole
     // response is in the kernel — bounded only by the write-stall timeout.
     ScopedPhase write_phase(phase_profiler_, Phase::kWrite);
+    int writes_used = 0;
     const SpinWriteResult wr =
         SpinWriteAll(fd, out.View(), write_stats_,
-                     config_.yield_on_full_write, deadlines_.write_stall);
+                     config_.yield_on_full_write, deadlines_.write_stall,
+                     &writes_used);
+    if (wr == SpinWriteResult::kOk) {
+      writes_per_response_->Record(writes_used);
+      request_latency_ns_->Record(NowNanos() - req_start_ns);
+    }
     if (wr != SpinWriteResult::kOk) {
       if (wr == SpinWriteResult::kStalled) {
         lifecycle_.write_stall_evictions.fetch_add(1,

@@ -40,9 +40,11 @@ void StagedServer::Start() {
     std::this_thread::yield();
   }
   if (deadlines_.Any()) ScheduleSweep();
+  StartAdminPlane();
 }
 
 void StagedServer::Stop() {
+  StopAdminPlane();
   if (!started_.exchange(false)) return;
   // Drain stages front to back so no stage enqueues into a closed pool.
   parse_pool_->Shutdown();
@@ -252,6 +254,7 @@ void StagedServer::AppStage(Connection* conn) {
       want_close = true;
       break;
     }
+    conn->batch_request_starts.push_back(NowNanos());
     HttpResponse resp;
     {
       ScopedPhase phase(phase_profiler_, Phase::kHandler);
@@ -272,6 +275,7 @@ void StagedServer::AppStage(Connection* conn) {
   if (peer_eof) want_close = true;
 
   if (out.Empty()) {
+    conn->batch_request_starts.clear();
     if (want_close) {
       if (peer_eof) {
         lifecycle_.half_close_reclaims.fetch_add(1, std::memory_order_relaxed);
@@ -294,12 +298,24 @@ void StagedServer::AppStage(Connection* conn) {
 
 void StagedServer::WriteStage(Connection* conn) {
   SpinWriteResult wr;
+  int writes_used = 0;
   {
     ScopedPhase phase(phase_profiler_, Phase::kWrite);
     wr = SpinWriteAll(conn->fd.get(), conn->pending_response, write_stats_,
-                      config_.yield_on_full_write, deadlines_.write_stall);
+                      config_.yield_on_full_write, deadlines_.write_stall,
+                      &writes_used);
   }
   conn->pending_response.clear();
+  if (wr == SpinWriteResult::kOk) {
+    writes_per_response_->Record(writes_used);
+    // Latency covers the full stage pipeline: parse hand-off, app stage,
+    // and the write-stage flush for every request in this batch.
+    const int64_t done_ns = NowNanos();
+    for (const int64_t start_ns : conn->batch_request_starts) {
+      request_latency_ns_->Record(done_ns - start_ns);
+    }
+  }
+  conn->batch_request_starts.clear();
   if (wr == SpinWriteResult::kStalled) {
     lifecycle_.write_stall_evictions.fetch_add(1, std::memory_order_relaxed);
   }

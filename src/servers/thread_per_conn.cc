@@ -32,9 +32,12 @@ void ThreadPerConnServer::Start() {
     std::this_thread::yield();
     lock.lock();
   }
+  lock.unlock();
+  StartAdminPlane();
 }
 
 void ThreadPerConnServer::Stop() {
+  StopAdminPlane();
   if (!running_.exchange(false)) return;
   {
     // Unblock every connection thread parked in read()/write().
@@ -269,6 +272,7 @@ void ThreadPerConnServer::ConnectionMain(Socket socket) {
         alive = false;
         break;
       }
+      const int64_t req_start_ns = NowNanos();
       HttpResponse resp;
       {
         ScopedPhase phase(phase_profiler_, Phase::kHandler);
@@ -284,7 +288,13 @@ void ThreadPerConnServer::ConnectionMain(Socket socket) {
         SerializeResponse(resp, out);
       }
       ScopedPhase write_phase(phase_profiler_, Phase::kWrite);
-      const SpinWriteResult wr = BlockingWriteAll(fd, out.View(), write_stats_);
+      int writes_used = 0;
+      const SpinWriteResult wr =
+          BlockingWriteAll(fd, out.View(), write_stats_, &writes_used);
+      if (wr == SpinWriteResult::kOk) {
+        writes_per_response_->Record(writes_used);
+        request_latency_ns_->Record(NowNanos() - req_start_ns);
+      }
       if (wr != SpinWriteResult::kOk) {
         if (wr == SpinWriteResult::kStalled) {
           lifecycle_.write_stall_evictions.fetch_add(

@@ -249,20 +249,23 @@ TEST_F(HybridServerTest, PushTrainGrowthFlipsTypeToHeavy) {
   server_->Stop();
 }
 
-TEST(HybridFactory, CreateServerBuildsAllSix) {
+TEST(HybridFactory, CreateServerBuildsAllEight) {
   for (auto arch :
        {ServerArchitecture::kThreadPerConn, ServerArchitecture::kReactorPool,
         ServerArchitecture::kReactorPoolFix,
         ServerArchitecture::kSingleThread, ServerArchitecture::kMultiLoop,
-        ServerArchitecture::kHybrid}) {
+        ServerArchitecture::kHybrid, ServerArchitecture::kStaged,
+        ServerArchitecture::kSingleThreadNCopy}) {
     ServerConfig config;
     config.architecture = arch;
     auto server = CreateServer(config, MakeBenchHandler());
     ASSERT_NE(server, nullptr) << ArchitectureName(arch);
   }
-  ServerConfig hybrid_config;
-  hybrid_config.architecture = ServerArchitecture::kHybrid;
-  EXPECT_THROW(CreateBasicServer(hybrid_config, MakeBenchHandler()),
+  // The one factory is gated by ServerConfig::Validate().
+  ServerConfig bad_config;
+  bad_config.architecture = ServerArchitecture::kHybrid;
+  bad_config.event_loops = 0;
+  EXPECT_THROW(CreateServer(bad_config, MakeBenchHandler()),
                std::invalid_argument);
 }
 

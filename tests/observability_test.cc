@@ -1,0 +1,397 @@
+// Observability-plane tests: MetricsRegistry primitives, the admin
+// endpoint (/metrics, /stats.json, /healthz), scrape-vs-Snapshot
+// consistency across all eight architectures under concurrent load, and
+// the ServerConfig::Validate() gate on the unified factory.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/bench_runner.h"
+#include "metrics/registry.h"
+#include "net/socket.h"
+#include "proto/http_codec.h"
+#include "proto/http_parser.h"
+#include "servers/server.h"
+
+namespace hynet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Registry primitives.
+
+TEST(MetricsRegistry, CounterSumsAcrossThreads) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("test_total");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  // Get-or-create returns the same instance.
+  EXPECT_EQ(&reg.GetCounter("test_total"), &c);
+}
+
+TEST(MetricsRegistry, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.GetGauge("test_gauge");
+  g.Set(41);
+  g.Add(1);
+  EXPECT_EQ(g.Value(), 42);
+  g.Add(-50);
+  EXPECT_EQ(g.Value(), -8);
+}
+
+TEST(MetricsRegistry, HistogramPercentilesWithinBucketResolution) {
+  MetricsRegistry reg;
+  HistogramMetric& h = reg.GetHistogram("test_hist");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h, t] {
+      // Each thread records an interleaved quarter of 1..1000.
+      for (int64_t v = t + 1; v <= 1000; v += 4) h.Record(v);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramData data = h.Snapshot();
+  EXPECT_EQ(data.count, 1000u);
+  EXPECT_EQ(data.sum, 1000 * 1001 / 2);
+  EXPECT_EQ(data.max, 1000);
+  EXPECT_NEAR(data.Mean(), 500.5, 0.01);
+  // Percentile() returns a bucket upper bound; the log-linear geometry
+  // keeps relative error under ~3% (32 sub-buckets per group).
+  EXPECT_GE(data.Percentile(0.50), 500);
+  EXPECT_LE(data.Percentile(0.50), 540);
+  EXPECT_GE(data.Percentile(0.99), 990);
+  EXPECT_LE(data.Percentile(0.99), 1060);
+}
+
+TEST(MetricsRegistry, CollectorsMergeByName) {
+  MetricsRegistry reg;
+  reg.GetCounter("merged_total").Add(5);  // native contribution
+  const size_t id_a = reg.AddCollector([](MetricsBatch& b) {
+    b.AddCounter("merged_total", 10);
+    b.SetGauge("mode", 1);
+  });
+  reg.AddCollector([](MetricsBatch& b) {
+    b.AddCounter("merged_total", 100);
+    b.AddCounter("only_b_total", 7);
+  });
+  MetricsSnapshot snap = reg.Scrape();
+  EXPECT_EQ(snap.CounterValue("merged_total"), 115u);
+  EXPECT_EQ(snap.CounterValue("only_b_total"), 7u);
+  EXPECT_EQ(snap.CounterValue("absent_total"), 0u);
+
+  reg.RemoveCollector(id_a);
+  snap = reg.Scrape();
+  EXPECT_EQ(snap.CounterValue("merged_total"), 105u);
+}
+
+TEST(ServerCountersView, RowsCoverEveryField) {
+  ServerCounters c;
+  c.requests_handled = 3;
+  const auto rows = CounterRows(c);
+  EXPECT_EQ(rows.size(), kServerCounterFieldCount);
+  bool found = false;
+  for (const auto& [name, value] : rows) {
+    if (name == "requests_handled") {
+      found = true;
+      EXPECT_EQ(value, 3u);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_LT(LifecycleCounterRows(c).size(), rows.size());
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text rendering.
+
+// A valid exposition line is `# ...` or `name[{labels}] value` with a
+// numeric value.
+void ExpectPrometheusParses(const std::string& text) {
+  size_t pos = 0;
+  int metric_lines = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# TYPE ", 0) == 0 ||
+                  line.rfind("# HELP ", 0) == 0)
+          << "bad comment line: " << line;
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << "no value in line: " << line;
+    const std::string name = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    ASSERT_FALSE(name.empty()) << line;
+    // Name part: identifier, optionally with {label="v"}.
+    const char first = name[0];
+    EXPECT_TRUE(std::isalpha(static_cast<unsigned char>(first)) ||
+                first == '_')
+        << "bad metric name: " << line;
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "non-numeric value in line: " << line;
+    metric_lines++;
+  }
+  EXPECT_GT(metric_lines, 0);
+}
+
+TEST(MetricsRegistry, PrometheusTextParsesLineByLine) {
+  MetricsRegistry reg;
+  reg.GetCounter("reqs_total").Add(12);
+  reg.GetGauge("depth").Set(-3);
+  HistogramMetric& h = reg.GetHistogram("lat_ns");
+  for (int64_t v = 1; v <= 100; ++v) h.Record(v);
+  const std::string text = reg.PrometheusText();
+  ExpectPrometheusParses(text);
+  EXPECT_NE(text.find("# TYPE reqs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("reqs_total 12"), std::string::npos);
+  EXPECT_NE(text.find("depth -3"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_count 100"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Admin endpoint + scrape-vs-Snapshot across all architectures.
+
+struct AdminReply {
+  int status = 0;
+  std::string body;
+};
+
+AdminReply AdminGet(uint16_t port, const std::string& path) {
+  Socket sock = Socket::CreateTcp(false);
+  sock.Connect(InetAddr::Loopback(port));
+  const std::string wire = BuildGetRequest(path, /*keep_alive=*/false);
+  size_t off = 0;
+  while (off < wire.size()) {
+    const IoResult r =
+        WriteFd(sock.fd(), wire.data() + off, wire.size() - off);
+    if (r.Fatal()) throw std::runtime_error("admin write failed");
+    off += static_cast<size_t>(r.n);
+  }
+  HttpResponseParser parser;
+  ByteBuffer in;
+  char buf[16 * 1024];
+  while (true) {
+    const ParseStatus st = parser.Parse(in);
+    if (st == ParseStatus::kComplete) break;
+    if (st == ParseStatus::kError) throw std::runtime_error("admin parse");
+    const IoResult r = ReadFd(sock.fd(), buf, sizeof(buf));
+    if (r.n <= 0) throw std::runtime_error("admin connection lost");
+    in.Append(buf, static_cast<size_t>(r.n));
+  }
+  return {parser.response().status, parser.response().body};
+}
+
+void FetchManyObs(uint16_t port, const std::string& target, int n) {
+  Socket sock = Socket::CreateTcp(false);
+  sock.Connect(InetAddr::Loopback(port));
+  const std::string wire = BuildGetRequest(target);
+  HttpResponseParser parser;
+  ByteBuffer in;
+  char buf[16 * 1024];
+  for (int i = 0; i < n; ++i) {
+    size_t off = 0;
+    while (off < wire.size()) {
+      const IoResult r =
+          WriteFd(sock.fd(), wire.data() + off, wire.size() - off);
+      ASSERT_FALSE(r.Fatal());
+      off += static_cast<size_t>(r.n);
+    }
+    while (true) {
+      const ParseStatus st = parser.Parse(in);
+      if (st == ParseStatus::kComplete) break;
+      ASSERT_NE(st, ParseStatus::kError);
+      const IoResult r = ReadFd(sock.fd(), buf, sizeof(buf));
+      ASSERT_GT(r.n, 0);
+      in.Append(buf, static_cast<size_t>(r.n));
+    }
+  }
+}
+
+const ServerArchitecture kAllArchitectures[] = {
+    ServerArchitecture::kThreadPerConn,  ServerArchitecture::kReactorPool,
+    ServerArchitecture::kReactorPoolFix, ServerArchitecture::kSingleThread,
+    ServerArchitecture::kMultiLoop,      ServerArchitecture::kHybrid,
+    ServerArchitecture::kStaged,
+    ServerArchitecture::kSingleThreadNCopy,
+};
+
+TEST(AdminPlane, ScrapeMatchesSnapshotUnderLoadForEveryArchitecture) {
+  for (const ServerArchitecture arch : kAllArchitectures) {
+    SCOPED_TRACE(ArchitectureName(arch));
+    ServerConfig config;
+    config.architecture = arch;
+    config.worker_threads = 4;
+    config.admin_port = 0;  // ephemeral
+    auto server = CreateServer(config, MakeBenchHandler());
+    server->Start();
+    ASSERT_NE(server->AdminPort(), 0);
+
+    // Concurrent load while the admin endpoint is scraped.
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 4; ++t) {
+      clients.emplace_back(
+          [&server] { FetchManyObs(server->Port(), BenchTarget(256, 0), 30); });
+    }
+    for (int i = 0; i < 3; ++i) {
+      const AdminReply metrics = AdminGet(server->AdminPort(), "/metrics");
+      EXPECT_EQ(metrics.status, 200);
+      ExpectPrometheusParses(metrics.body);
+      const AdminReply health = AdminGet(server->AdminPort(), "/healthz");
+      EXPECT_EQ(health.status, 200);
+    }
+    for (auto& t : clients) t.join();
+    // Let in-flight server-side bookkeeping settle, then compare a scrape
+    // against the legacy Snapshot with no traffic in between.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+    const ServerCounters from_registry =
+        CountersFromRegistry(server->metrics().Scrape());
+    const ServerCounters direct = server->Snapshot();
+    const auto reg_rows = CounterRows(from_registry);
+    const auto direct_rows = CounterRows(direct);
+    ASSERT_EQ(reg_rows.size(), direct_rows.size());
+    for (size_t i = 0; i < reg_rows.size(); ++i) {
+      EXPECT_EQ(reg_rows[i].second, direct_rows[i].second)
+          << "counter " << reg_rows[i].first;
+    }
+    EXPECT_GE(direct.requests_handled, 120u);
+
+    // Native hot-path histograms recorded into the same registry.
+    const MetricsSnapshot snap = server->metrics().Scrape();
+    const HistogramData* lat = snap.FindHistogram("server_request_latency_ns");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_GT(lat->count, 0u);
+    const HistogramData* writes =
+        snap.FindHistogram("server_writes_per_response");
+    ASSERT_NE(writes, nullptr);
+    EXPECT_GT(writes->count, 0u);
+
+    // Unknown paths 404; stats.json carries the same counters.
+    EXPECT_EQ(AdminGet(server->AdminPort(), "/nope").status, 404);
+    const AdminReply stats = AdminGet(server->AdminPort(), "/stats.json");
+    EXPECT_EQ(stats.status, 200);
+    EXPECT_NE(stats.body.find("\"server_requests_handled\""),
+              std::string::npos);
+
+    server->Stop();
+  }
+}
+
+TEST(AdminPlane, HealthzReportsDrainingDuringShutdown) {
+  ServerConfig config;
+  config.architecture = ServerArchitecture::kSingleThread;
+  config.admin_port = 0;
+  auto server = CreateServer(config, MakeBenchHandler());
+  server->Start();
+  ASSERT_EQ(AdminGet(server->AdminPort(), "/healthz").status, 200);
+
+  // A half-sent request keeps the connection non-idle, so the drain holds
+  // until its deadline instead of finishing instantly.
+  Socket straggler = Socket::CreateTcp(false);
+  straggler.Connect(InetAddr::Loopback(server->Port()));
+  const std::string partial = "GET /bench?size=64 HTTP/1.1\r\n";
+  ASSERT_FALSE(
+      WriteFd(straggler.fd(), partial.data(), partial.size()).Fatal());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  const uint16_t admin_port = server->AdminPort();
+  std::thread drainer([&server] {
+    (void)server->Shutdown(std::chrono::milliseconds(700));
+  });
+  bool saw_draining = false;
+  for (int i = 0; i < 60 && !saw_draining; ++i) {
+    try {
+      const AdminReply health = AdminGet(admin_port, "/healthz");
+      if (health.status == 503) {
+        saw_draining = true;
+        EXPECT_NE(health.body.find("draining"), std::string::npos);
+      }
+    } catch (const std::exception&) {
+      break;  // admin plane already torn down: drain finished
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  drainer.join();
+  EXPECT_TRUE(saw_draining);
+}
+
+// ---------------------------------------------------------------------------
+// The Validate() gate.
+
+TEST(ServerConfigValidate, AcceptsDefaults) {
+  EXPECT_TRUE(ServerConfig{}.Validate().empty());
+}
+
+TEST(ServerConfigValidate, RejectsEachBadConfig) {
+  const auto expect_invalid = [](auto mutate, const char* what) {
+    ServerConfig config;
+    mutate(config);
+    EXPECT_FALSE(config.Validate().empty()) << what;
+    EXPECT_THROW(CreateServer(config, MakeBenchHandler()),
+                 std::invalid_argument)
+        << what;
+  };
+  expect_invalid([](ServerConfig& c) { c.worker_threads = 0; },
+                 "worker_threads");
+  expect_invalid([](ServerConfig& c) { c.event_loops = 0; }, "event_loops");
+  expect_invalid([](ServerConfig& c) { c.stage_threads = -1; },
+                 "stage_threads");
+  expect_invalid([](ServerConfig& c) { c.ncopy = 0; }, "ncopy");
+  expect_invalid([](ServerConfig& c) { c.hybrid_heavy_write_threshold = 0; },
+                 "hybrid_heavy_write_threshold");
+  expect_invalid([](ServerConfig& c) { c.snd_buf_bytes = -1; },
+                 "snd_buf_bytes");
+  expect_invalid([](ServerConfig& c) { c.idle_timeout_ms = -5; },
+                 "idle_timeout_ms");
+  expect_invalid([](ServerConfig& c) { c.header_timeout_ms = -5; },
+                 "header_timeout_ms");
+  expect_invalid([](ServerConfig& c) { c.write_stall_timeout_ms = -5; },
+                 "write_stall_timeout_ms");
+  expect_invalid([](ServerConfig& c) { c.max_connections = -1; },
+                 "max_connections");
+  expect_invalid(
+      [](ServerConfig& c) {
+        c.outbound_high_water_bytes = 100;
+        c.outbound_low_water_bytes = 200;
+      },
+      "watermarks");
+  expect_invalid([](ServerConfig& c) { c.admin_port = 65536; }, "admin_port");
+  expect_invalid(
+      [](ServerConfig& c) {
+        c.port = 8080;
+        c.admin_port = 8080;
+      },
+      "admin_port == port");
+
+  // The thrown message lists every problem.
+  ServerConfig config;
+  config.worker_threads = 0;
+  config.ncopy = 0;
+  try {
+    CreateServer(config, MakeBenchHandler());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("worker_threads"), std::string::npos);
+    EXPECT_NE(what.find("ncopy"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hynet

@@ -5,11 +5,14 @@
 //               [--workers N] [--spin-cap N] [--profile]
 //               [--idle-ms N] [--header-ms N] [--stall-ms N]
 //               [--max-conns N] [--no-shed] [--high-water BYTES]
-//               [--drain-ms N]
+//               [--drain-ms N] [--admin-port P]
 //
 // The server exposes the standard bench handler:
 //   GET /bench?size=<bytes>&us=<cpu-us>[&push=N&push_kb=M]
 // Counters (and phase means with --profile) print every 5 seconds.
+// With --admin-port the observability plane serves /metrics (Prometheus),
+// /stats.json, and /healthz on loopback (0 = ephemeral port); pair with
+// tools/hynet_top.py for a live dashboard.
 // With --drain-ms, Ctrl-C performs a graceful drain (finish in-flight
 // requests, answer with `Connection: close`, force-close stragglers at
 // the deadline) instead of an immediate stop.
@@ -96,12 +99,15 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::atoll(next("--high-water")));
     } else if (!std::strcmp(argv[i], "--drain-ms")) {
       drain_ms = std::atoi(next("--drain-ms"));
+    } else if (!std::strcmp(argv[i], "--admin-port")) {
+      config.admin_port = std::atoi(next("--admin-port"));
     } else {
       std::fprintf(stderr, "usage: %s [--arch NAME] [--port P] "
                    "[--sndbuf BYTES] [--loops N] [--workers N] "
                    "[--spin-cap N] [--profile] [--idle-ms N] "
                    "[--header-ms N] [--stall-ms N] [--max-conns N] "
-                   "[--no-shed] [--high-water BYTES] [--drain-ms N]\n",
+                   "[--no-shed] [--high-water BYTES] [--drain-ms N] "
+                   "[--admin-port P]\n",
                    argv[0]);
       return 2;
     }
@@ -116,6 +122,10 @@ int main(int argc, char** argv) {
               ArchitectureName(config.architecture), server->Port());
   std::printf("try: curl 'http://127.0.0.1:%u/bench?size=1000&us=50'\n",
               server->Port());
+  if (config.admin_port >= 0) {
+    std::printf("admin: http://127.0.0.1:%u/metrics  /stats.json  /healthz\n",
+                server->AdminPort());
+  }
 
   ServerCounters last{};
   while (!g_stop.load()) {
@@ -137,6 +147,18 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(now.spin_capped_flushes),
                 static_cast<unsigned long long>(now.light_path_responses),
                 static_cast<unsigned long long>(now.heavy_path_responses));
+    const MetricsSnapshot msnap = server->metrics().Scrape();
+    const HistogramData* lat = msnap.FindHistogram("server_request_latency_ns");
+    if (lat && lat->count > 0) {
+      std::printf("[lat]   n=%llu mean=%.2fms p50=%.2fms p95=%.2fms "
+                  "p99=%.2fms max=%.2fms\n",
+                  static_cast<unsigned long long>(lat->count),
+                  lat->Mean() / 1e6,
+                  static_cast<double>(lat->Percentile(0.50)) / 1e6,
+                  static_cast<double>(lat->Percentile(0.95)) / 1e6,
+                  static_cast<double>(lat->Percentile(0.99)) / 1e6,
+                  static_cast<double>(lat->max) / 1e6);
+    }
     if (config.profile_phases) {
       const auto snap = server->phase_profiler().Snap();
       std::printf("[phase] parse=%.1fus handler=%.1fus serialize=%.1fus "

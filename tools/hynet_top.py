@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""hynet_top: a one-line-per-second terminal dashboard over /stats.json.
+
+Polls a hynet server's admin endpoint (see ServerConfig.admin_port /
+hynet_serve --admin-port) and prints request rate, write anatomy, and
+latency percentiles — the live view of the numbers the paper reports as
+Table IV and Figure 5.
+
+Usage:
+    python3 tools/hynet_top.py [--host 127.0.0.1] [--port 9090]
+                               [--interval 1.0]
+
+Only the standard library is used (urllib), so it runs anywhere Python 3
+does.
+"""
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def fetch_stats(url: str, timeout: float = 2.0) -> dict:
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def counter(stats: dict, name: str) -> int:
+    return int(stats.get("counters", {}).get(name, 0))
+
+
+def histogram(stats: dict, name: str) -> dict:
+    return stats.get("histograms", {}).get(name, {})
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, default=9090)
+    ap.add_argument("--interval", type=float, default=1.0)
+    args = ap.parse_args()
+
+    url = f"http://{args.host}:{args.port}/stats.json"
+    print(f"polling {url} every {args.interval:g}s  (Ctrl-C to stop)")
+    header = (f"{'time':>8}  {'req/s':>9}  {'resp/s':>9}  {'wr/resp':>7}  "
+              f"{'zero/s':>7}  {'conns':>7}  {'p50ms':>7}  {'p99ms':>7}  "
+              f"{'drain':>5}")
+
+    prev = None
+    prev_t = None
+    lines = 0
+    while True:
+        try:
+            stats = fetch_stats(url)
+        except (urllib.error.URLError, OSError, json.JSONDecodeError) as e:
+            print(f"[hynet_top] fetch failed: {e}", file=sys.stderr)
+            time.sleep(args.interval)
+            continue
+        now = time.time()
+        if prev is not None:
+            dt = max(now - prev_t, 1e-9)
+            d = lambda n: (counter(stats, n) - counter(prev, n)) / dt
+            resp_rate = d("server_responses_sent")
+            writes_rate = d("server_write_calls")
+            wr_per_resp = (writes_rate / resp_rate) if resp_rate > 0 else 0.0
+            live = (counter(stats, "server_connections_accepted")
+                    - counter(stats, "server_connections_closed"))
+            lat = histogram(stats, "server_request_latency_ns")
+            p50 = float(lat.get("p50", 0)) / 1e6
+            p99 = float(lat.get("p99", 0)) / 1e6
+            draining = int(stats.get("gauges", {}).get("server_draining", 0))
+            if lines % 20 == 0:
+                print(header)
+            print(f"{time.strftime('%H:%M:%S'):>8}  "
+                  f"{d('server_requests_handled'):>9.1f}  "
+                  f"{resp_rate:>9.1f}  {wr_per_resp:>7.2f}  "
+                  f"{d('server_zero_writes'):>7.1f}  {live:>7d}  "
+                  f"{p50:>7.2f}  {p99:>7.2f}  "
+                  f"{'yes' if draining else 'no':>5}")
+            lines += 1
+        prev = stats
+        prev_t = now
+        time.sleep(args.interval)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except KeyboardInterrupt:
+        sys.exit(0)
