@@ -65,7 +65,7 @@ void BM_PipelineDispatch(benchmark::State& state) {
   pipeline.AddLast(std::make_shared<PassThrough>());
   pipeline.AddLast(std::make_shared<PassThrough>());
   size_t sunk = 0;
-  pipeline.SetOutboundSink([&](std::string bytes) { sunk += bytes.size(); });
+  pipeline.SetOutboundSink([&](Payload payload) { sunk += payload.size(); });
   for (auto _ : state) {
     pipeline.Write(std::any(std::string("HTTP/1.1 200 OK\r\n\r\n")));
   }

@@ -11,6 +11,7 @@
 //   HYNET_LOG_LEVEL=INFO ./build/examples/content_service
 #include <cstdio>
 #include <map>
+#include <memory>
 
 #include "client/load_gen.h"
 #include "common/rng.h"
@@ -22,9 +23,13 @@ using namespace hynet;
 namespace {
 
 // Builds a deterministic catalog: page i has size drawn from a heavy-tailed
-// distribution (most pages a few KB, a tail of 100KB+ documents).
-std::map<std::string, std::string> BuildCatalog(int pages) {
-  std::map<std::string, std::string> catalog;
+// distribution (most pages a few KB, a tail of 100KB+ documents). Pages are
+// refcounted so every concurrent response shares the catalog's allocation
+// (resp.shared_body) instead of copying the page per request.
+using Catalog = std::map<std::string, std::shared_ptr<const std::string>>;
+
+Catalog BuildCatalog(int pages) {
+  Catalog catalog;
   Rng rng(2024);
   for (int i = 0; i < pages; ++i) {
     size_t size;
@@ -36,7 +41,8 @@ std::map<std::string, std::string> BuildCatalog(int pages) {
     } else {
       size = 100 * 1024 + rng.NextBounded(64 * 1024);  // report/download
     }
-    catalog["/page/" + std::to_string(i)] = std::string(size, 'c');
+    catalog["/page/" + std::to_string(i)] =
+        std::make_shared<const std::string>(std::string(size, 'c'));
   }
   return catalog;
 }
@@ -55,7 +61,7 @@ int main() {
       resp.body = "unknown page";
       return;
     }
-    resp.body = it->second;
+    resp.shared_body = it->second;
     resp.SetHeader("Content-Type", "text/html");
     resp.SetHeader("Cache-Control", "max-age=60");
   };

@@ -1,6 +1,9 @@
 #include "client/bench_runner.h"
 
 #include <cstdio>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 
 #include "common/env.h"
 #include "common/thread_util.h"
@@ -9,13 +12,26 @@
 namespace hynet {
 
 Handler MakeBenchHandler() {
-  return [](const HttpRequest& req, HttpResponse& resp) {
+  // Bodies are a function of the requested size only, so responses of the
+  // same size share one allocation: the handler materializes each distinct
+  // size once and hands the outbound path a refcounted shared body.
+  auto bodies = std::make_shared<
+      std::unordered_map<size_t, std::shared_ptr<const std::string>>>();
+  auto mu = std::make_shared<std::mutex>();
+  return [bodies, mu](const HttpRequest& req, HttpResponse& resp) {
     const auto size =
         static_cast<size_t>(req.QueryParamInt("size", 128));
     const double us =
         static_cast<double>(req.QueryParamInt("us", 0));
     if (us > 0) BurnCpuMicros(us);
-    resp.body.assign(size, 'x');
+    {
+      std::lock_guard<std::mutex> lock(*mu);
+      auto& body = (*bodies)[size];
+      if (!body) {
+        body = std::make_shared<const std::string>(std::string(size, 'x'));
+      }
+      resp.shared_body = body;
+    }
     // HTTP/2-style server push: /bench?...&push=N&push_kb=M attaches N
     // companion resources of M KB each (Section IV's unpredictable
     // response-size scenario).

@@ -5,6 +5,7 @@
 //            ^begin     ^read_index_               ^write_index_
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -53,13 +54,15 @@ class ByteBuffer {
   void ConsumeAll() { read_index_ = write_index_ = 0; }
 
   // Ensures at least `len` contiguous writable bytes, compacting or growing.
+  // Growth doubles (geometric) so N appends cost O(N) copies total rather
+  // than the O(N^2) of exact-fit resizing.
   void EnsureWritable(size_t len) {
     if (WritableBytes() >= len) return;
     if (WritableBytes() + read_index_ >= len) {
       Compact();
       return;
     }
-    storage_.resize(write_index_ + len);
+    storage_.resize(std::max(2 * storage_.size(), write_index_ + len));
   }
 
   // Moves readable bytes to the front, reclaiming consumed space.
@@ -69,6 +72,18 @@ class ByteBuffer {
     std::memmove(storage_.data(), ReadPtr(), readable);
     read_index_ = 0;
     write_index_ = readable;
+  }
+
+  // Releases excess capacity back to the allocator, keeping the readable
+  // bytes and at least kInitialCapacity. Called when a connection goes
+  // idle (or returns to a BufferPool) so one burst of large requests does
+  // not pin large buffers forever.
+  void ShrinkToFit() {
+    Compact();
+    const size_t want = std::max(ReadableBytes(), kInitialCapacity);
+    if (storage_.size() <= want) return;
+    storage_.resize(want);
+    storage_.shrink_to_fit();
   }
 
   std::string ToString() const { return std::string(View()); }

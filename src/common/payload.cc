@@ -1,0 +1,34 @@
+#include "common/payload.h"
+
+namespace hynet {
+
+size_t Payload::FillIov(size_t offset, struct iovec* iov,
+                        size_t max_iov) const {
+  const std::string_view segments[kMaxSegments] = {head(), body(), tail()};
+  size_t n = 0;
+  for (const std::string_view seg : segments) {
+    if (n >= max_iov) break;
+    if (offset >= seg.size()) {
+      offset -= seg.size();
+      continue;
+    }
+    // const_cast: iovec's iov_base is non-const by POSIX signature; the
+    // kernel only reads from it on the write side.
+    iov[n].iov_base = const_cast<char*>(seg.data() + offset);
+    iov[n].iov_len = seg.size() - offset;
+    offset = 0;
+    ++n;
+  }
+  return n;
+}
+
+std::string Payload::Flatten() const {
+  std::string out;
+  out.reserve(size());
+  out.append(head_);
+  if (body_) out.append(*body_);
+  out.append(tail_);
+  return out;
+}
+
+}  // namespace hynet

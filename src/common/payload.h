@@ -1,0 +1,81 @@
+// Payload: an immutable, reference-counted outbound message.
+//
+// The zero-copy unit of the outbound path. A response on the wire is at
+// most three segments, each written in place with writev() instead of
+// being concatenated into one heap buffer:
+//
+//   [ head | body | tail ]
+//     head — the serialized status line + headers, owned by this Payload
+//            (small, built fresh per response);
+//     body — an immutable shared body (std::shared_ptr<const std::string>),
+//            so N connections answering the same request type share one
+//            allocation instead of copying ~100 KB per response;
+//     tail — per-response dynamic bytes (moved in, never copied).
+//
+// A Payload is cheap to move and cheap to copy (the copy shares the body
+// and duplicates only the small head/tail strings); once constructed its
+// bytes never change, so any number of OutboundBuffer nodes may reference
+// the same body concurrently from different event loops.
+#pragma once
+
+#include <sys/uio.h>
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hynet {
+
+class Payload {
+ public:
+  // Each Payload contributes at most this many iovec segments.
+  static constexpr size_t kMaxSegments = 3;
+
+  Payload() = default;
+
+  // Fully materialized wire bytes (error responses, already-encoded
+  // messages handed down a pipeline).
+  static Payload FromString(std::string bytes) {
+    Payload p;
+    p.head_ = std::move(bytes);
+    return p;
+  }
+
+  Payload(std::string head, std::shared_ptr<const std::string> body,
+          std::string tail = {})
+      : head_(std::move(head)),
+        body_(std::move(body)),
+        tail_(std::move(tail)) {}
+
+  size_t size() const {
+    return head_.size() + (body_ ? body_->size() : 0) + tail_.size();
+  }
+  bool empty() const { return size() == 0; }
+
+  std::string_view head() const { return head_; }
+  std::string_view body() const {
+    return body_ ? std::string_view(*body_) : std::string_view();
+  }
+  std::string_view tail() const { return tail_; }
+  const std::shared_ptr<const std::string>& shared_body() const {
+    return body_;
+  }
+
+  // Fills `iov` with the segments remaining past `offset` bytes into the
+  // payload (an offset may land mid-segment; the first iovec then starts
+  // inside that segment). Returns the number of entries written, at most
+  // min(max_iov, kMaxSegments). An exhausted payload yields 0.
+  size_t FillIov(size_t offset, struct iovec* iov, size_t max_iov) const;
+
+  // Materializes the whole payload (tests, slow paths).
+  std::string Flatten() const;
+
+ private:
+  std::string head_;
+  std::shared_ptr<const std::string> body_;
+  std::string tail_;
+};
+
+}  // namespace hynet

@@ -26,8 +26,8 @@ void HybridServer::OnBytes(LoopConn& lc) {
           err == ParseError::kBodyTooLarge) {
         lifecycle_.oversize_requests.fetch_add(1, std::memory_order_relaxed);
         lc.conn.close_after_write = true;
-        EnqueueAndFlush(lc, SimpleErrorResponse(
-                                err == ParseError::kHeadTooLarge ? 431 : 413));
+        EnqueueAndFlush(lc, Payload::FromString(SimpleErrorResponse(
+                                err == ParseError::kHeadTooLarge ? 431 : 413)));
         if (!lc.conn.closed && lc.conn.out.Empty()) CloseConn(lc);
         return;
       }
@@ -48,10 +48,10 @@ void HybridServer::OnBytes(LoopConn& lc) {
     requests_.fetch_add(1, std::memory_order_relaxed);
     if (!resp.keep_alive) lc.conn.close_after_write = true;
 
-    ByteBuffer out;
+    Payload payload;
     {
       ScopedPhase phase(phase_profiler_, Phase::kSerialize);
-      SerializeResponse(resp, out);
+      payload = SerializeResponsePayload(resp);
     }
 
     // Runtime type checking: pick the execution path recorded for this
@@ -64,7 +64,7 @@ void HybridServer::OnBytes(LoopConn& lc) {
       heavy_responses_.fetch_add(1, std::memory_order_relaxed);
       const uint64_t writes_before =
           write_stats_.write_calls.load(std::memory_order_relaxed);
-      EnqueueAndFlush(lc, std::string(out.View()));
+      EnqueueAndFlush(lc, std::move(payload));
       // Heavy→light demotion (runtime drift, Section V-B): if this
       // response — alone in the buffer — drained within the light-path
       // write budget, the type no longer write-spins.
@@ -80,9 +80,9 @@ void HybridServer::OnBytes(LoopConn& lc) {
       }
     } else {
       int writes_used = 0;
-      const size_t total = out.ReadableBytes();
+      const size_t total = payload.size();
       const DirectWriteOutcome outcome =
-          TryDirectWrite(lc, out.View(), &writes_used);
+          TryDirectWrite(lc, std::move(payload), &writes_used);
       if (outcome == DirectWriteOutcome::kFatal) {
         CloseConn(lc);
         return;
@@ -119,16 +119,21 @@ void HybridServer::OnBytes(LoopConn& lc) {
 }
 
 HybridServer::DirectWriteOutcome HybridServer::TryDirectWrite(
-    LoopConn& lc, std::string_view bytes, int* writes_used) {
+    LoopConn& lc, Payload payload, int* writes_used) {
   ScopedPhase phase(phase_profiler_, Phase::kWrite);
   const int fd = lc.conn.fd.get();
+  const size_t total = payload.size();
   size_t off = 0;
   int writes = 0;
   const int max_writes = std::max(1, config_.hybrid_heavy_write_threshold);
 
-  while (off < bytes.size() && writes < max_writes) {
-    const IoResult r = WriteFd(fd, bytes.data() + off, bytes.size() - off);
+  while (off < total && writes < max_writes) {
+    struct iovec iov[Payload::kMaxSegments];
+    const size_t niov = payload.FillIov(off, iov, Payload::kMaxSegments);
+    const IoResult r = WritevFd(fd, iov, static_cast<int>(niov));
     write_stats_.write_calls.fetch_add(1, std::memory_order_relaxed);
+    write_stats_.writev_calls.fetch_add(1, std::memory_order_relaxed);
+    write_stats_.iov_segments.fetch_add(niov, std::memory_order_relaxed);
     writes++;
     if (r.WouldBlock() || r.n == 0) {
       write_stats_.zero_writes.fetch_add(1, std::memory_order_relaxed);
@@ -142,14 +147,15 @@ HybridServer::DirectWriteOutcome HybridServer::TryDirectWrite(
   }
   *writes_used = writes;
 
-  if (off == bytes.size()) {
+  if (off == total) {
     write_stats_.responses.fetch_add(1, std::memory_order_relaxed);
     return DirectWriteOutcome::kLight;
   }
 
-  // Write-spin detected: hand the remainder to the buffered path, which
-  // arms EPOLLOUT / reschedules the flush as needed.
-  EnqueueAndFlush(lc, std::string(bytes.substr(off)));
+  // Write-spin detected: hand the payload (at its current offset) to the
+  // buffered path, which arms EPOLLOUT / reschedules the flush as needed.
+  // No bytes are copied — the buffer resumes from `off`.
+  EnqueueAndFlush(lc, std::move(payload), off);
   return DirectWriteOutcome::kHeavy;
 }
 

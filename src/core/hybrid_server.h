@@ -45,10 +45,11 @@ class HybridServer final : public LoopGroupServer {
     kFatal,  // socket error; caller must close the connection
   };
 
-  // `bytes` is a view into the serialization buffer: the light path never
-  // copies the response; only a write-spinning remainder is materialized
-  // into the outbound buffer.
-  DirectWriteOutcome TryDirectWrite(LoopConn& lc, std::string_view bytes,
+  // Takes the payload by value: the light path writes it in place
+  // (header+body+tail as one iovec batch per syscall); a write-spinning
+  // payload is handed to the outbound buffer at its partial offset, so
+  // the unsent remainder is never copied either.
+  DirectWriteOutcome TryDirectWrite(LoopConn& lc, Payload payload,
                                     int* writes_used);
 
   RequestClassifier classifier_;

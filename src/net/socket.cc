@@ -38,6 +38,19 @@ IoResult WriteFd(int fd, const void* buf, size_t len) {
   }
 }
 
+IoResult WritevFd(int fd, const struct iovec* iov, int iovcnt) {
+  msghdr msg{};
+  msg.msg_iov = const_cast<struct iovec*>(iov);
+  msg.msg_iovlen = static_cast<size_t>(iovcnt);
+  while (true) {
+    // sendmsg rather than writev for MSG_NOSIGNAL, same as WriteFd.
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n >= 0) return {n, 0};
+    if (errno == EINTR) continue;
+    return {n, errno};
+  }
+}
+
 Socket Socket::CreateTcp(bool nonblocking) {
   int flags = SOCK_STREAM | SOCK_CLOEXEC;
   if (nonblocking) flags |= SOCK_NONBLOCK;

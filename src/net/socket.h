@@ -31,6 +31,11 @@ struct IoResult {
 // EINTR-retrying wrappers.
 IoResult ReadFd(int fd, void* buf, size_t len);
 IoResult WriteFd(int fd, const void* buf, size_t len);
+// Vectored write (sendmsg with MSG_NOSIGNAL): one syscall moves all
+// `iovcnt` segments into the kernel, so a flush over queued messages costs
+// one write per batch instead of one per message. `iovcnt` must not exceed
+// IOV_MAX (callers cap their batches; see OutboundBuffer).
+IoResult WritevFd(int fd, const struct iovec* iov, int iovcnt);
 
 class Socket {
  public:

@@ -11,43 +11,84 @@ void AppendInt(ByteBuffer& out, size_t v) {
   out.Append(buf, static_cast<size_t>(n));
 }
 
-}  // namespace
+void AppendInt(std::string& out, size_t v) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof(buf), "%zu", v);
+  out.append(buf, static_cast<size_t>(n));
+}
 
-void SerializeResponse(const HttpResponse& resp, ByteBuffer& out) {
-  out.Append("HTTP/1.1 ");
+// Builds the status line + headers block (through the terminating CRLF).
+std::string BuildHead(const HttpResponse& resp) {
+  std::string head;
+  head.reserve(128);
+  head.append("HTTP/1.1 ");
   char status[16];
-  const int n =
-      std::snprintf(status, sizeof(status), "%d ", resp.status);
-  out.Append(status, static_cast<size_t>(n));
-  out.Append(resp.reason);
-  out.Append("\r\n");
+  const int n = std::snprintf(status, sizeof(status), "%d ", resp.status);
+  head.append(status, static_cast<size_t>(n));
+  head.append(resp.reason);
+  head.append("\r\n");
   for (const auto& [k, v] : resp.headers) {
-    out.Append(k);
-    out.Append(": ");
-    out.Append(v);
-    out.Append("\r\n");
+    head.append(k);
+    head.append(": ");
+    head.append(v);
+    head.append("\r\n");
   }
   if (!resp.pushed.empty()) {
     // HTTP/2-style push on the HTTP/1.1 wire: declare the parts so the
     // client can split the payload train.
-    out.Append("X-Push-Parts: ");
-    AppendInt(out, resp.pushed.size());
-    out.Append("\r\n");
-    out.Append("X-Push-Sizes: ");
+    head.append("X-Push-Parts: ");
+    AppendInt(head, resp.pushed.size());
+    head.append("\r\n");
+    head.append("X-Push-Sizes: ");
     for (size_t i = 0; i < resp.pushed.size(); ++i) {
-      if (i) out.Append(",");
-      AppendInt(out, resp.pushed[i].size());
+      if (i) head.append(",");
+      AppendInt(head, resp.pushed[i].size());
     }
-    out.Append("\r\n");
+    head.append("\r\n");
   }
-  out.Append("Content-Length: ");
-  AppendInt(out, resp.PayloadBytes());
-  out.Append("\r\n");
-  out.Append(resp.keep_alive ? "Connection: keep-alive\r\n"
-                             : "Connection: close\r\n");
-  out.Append("\r\n");
+  head.append("Content-Length: ");
+  AppendInt(head, resp.PayloadBytes());
+  head.append("\r\n");
+  head.append(resp.keep_alive ? "Connection: keep-alive\r\n"
+                              : "Connection: close\r\n");
+  head.append("\r\n");
+  return head;
+}
+
+// Dynamic suffixes at or below this size are folded into the head string:
+// a memcpy of a few hundred bytes beats an extra iovec per syscall.
+constexpr size_t kInlineTailLimit = 256;
+
+}  // namespace
+
+void SerializeResponse(const HttpResponse& resp, ByteBuffer& out) {
+  out.Append(BuildHead(resp));
+  if (resp.shared_body) out.Append(*resp.shared_body);
   out.Append(resp.body);
   for (const auto& part : resp.pushed) out.Append(part);
+}
+
+Payload SerializeResponsePayload(HttpResponse& resp) {
+  std::string head = BuildHead(resp);
+  // Wire order is shared_body then body then pushed (matching
+  // SerializeResponse); with a shared segment in the middle the dynamic
+  // suffix rides as the tail, otherwise it can fold into the head.
+  std::string tail = std::move(resp.body);
+  resp.body.clear();
+  for (std::string& part : resp.pushed) {
+    if (tail.empty()) {
+      tail = std::move(part);
+    } else {
+      tail.append(part);
+    }
+  }
+  resp.pushed.clear();
+  if (!resp.shared_body && tail.size() <= kInlineTailLimit) {
+    head.append(tail);
+    return Payload::FromString(std::move(head));
+  }
+  return Payload(std::move(head), std::move(resp.shared_body),
+                 std::move(tail));
 }
 
 void SerializeRequest(const HttpRequest& req, ByteBuffer& out) {

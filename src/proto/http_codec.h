@@ -2,12 +2,21 @@
 #pragma once
 
 #include "common/bytes.h"
+#include "common/payload.h"
 #include "proto/http_message.h"
 
 namespace hynet {
 
 // Serializes a response (adds Content-Length and Connection headers).
 void SerializeResponse(const HttpResponse& resp, ByteBuffer& out);
+
+// Zero-copy serialization: produces a Payload whose head is the freshly
+// built status line + headers, whose body segment shares resp.shared_body
+// (no copy — N responses reference one allocation), and whose tail takes
+// resp.body by move (plus pushed parts). Small dynamic suffixes are
+// inlined into the head to keep the iovec count down. Consumes resp.body
+// and resp.pushed; the response struct is left cleared of payload bytes.
+Payload SerializeResponsePayload(HttpResponse& resp);
 
 // Serializes a request (adds Content-Length when a body is present).
 void SerializeRequest(const HttpRequest& req, ByteBuffer& out);

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -38,6 +39,12 @@ struct HttpResponse {
   int status = 200;
   std::string reason = "OK";
   std::vector<std::pair<std::string, std::string>> headers;
+  // Immutable body segment shared across responses: handlers that answer
+  // many requests with the same bytes (static catalogs, per-interaction
+  // HTML scaffolds) set this once and every response references the same
+  // allocation — the serializer never copies it. Written on the wire
+  // BEFORE `body`, which carries the per-response dynamic suffix.
+  std::shared_ptr<const std::string> shared_body;
   std::string body;
   bool keep_alive = true;
   // Server-push companion resources (HTTP/2-style push modeled on the
@@ -50,7 +57,7 @@ struct HttpResponse {
 
   // Total bytes that will be written for this response's payload.
   size_t PayloadBytes() const {
-    size_t total = body.size();
+    size_t total = (shared_body ? shared_body->size() : 0) + body.size();
     for (const auto& p : pushed) total += p.size();
     return total;
   }

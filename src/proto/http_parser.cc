@@ -151,6 +151,7 @@ void HttpResponse::Clear() {
   status = 200;
   reason = "OK";
   headers.clear();
+  shared_body.reset();
   body.clear();
   keep_alive = true;
   pushed.clear();

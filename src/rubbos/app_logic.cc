@@ -1,6 +1,7 @@
 #include "rubbos/app_logic.h"
 
 #include <cstdio>
+#include <memory>
 
 #include "common/thread_util.h"
 
@@ -54,8 +55,17 @@ std::string InteractionTarget(size_t index, int story, int user, int page) {
 
 hynet::Handler BuildRubbosHandler(DbConnectionPool& pool,
                                   double cpu_multiplier) {
-  return [&pool, cpu_multiplier](const HttpRequest& req,
-                                 HttpResponse& resp) {
+  // The template scaffolding of each interaction is identical across
+  // requests — render it once and let every response share the allocation
+  // (resp.shared_body is referenced by the outbound Payload, not copied).
+  auto scaffolds = std::make_shared<
+      std::array<std::shared_ptr<const std::string>, kInteractionCount>>();
+  for (size_t i = 0; i < kInteractionCount; ++i) {
+    (*scaffolds)[i] = std::make_shared<const std::string>(
+        std::string(kInteractions[i].html_bytes, 'h'));
+  }
+  return [&pool, cpu_multiplier, scaffolds](const HttpRequest& req,
+                                            HttpResponse& resp) {
     const size_t index = InteractionIndex(req.QueryParam("type"));
     if (index >= kInteractionCount) {
       resp.status = 404;
@@ -101,10 +111,11 @@ hynet::Handler BuildRubbosHandler(DbConnectionPool& pool,
     // Servlet-side rendering work.
     BurnCpuMicros(ix.app_cpu_us * cpu_multiplier);
 
-    // Rendered page: template scaffolding + dynamic content.
-    resp.body.reserve(ix.html_bytes + db_payload.size());
-    resp.body.assign(ix.html_bytes, 'h');
-    resp.body += db_payload;
+    // Rendered page: shared template scaffolding + dynamic content. The
+    // scaffold goes out as the response's shared (zero-copy) segment; only
+    // the per-request DB payload is owned by this response.
+    resp.shared_body = (*scaffolds)[index];
+    resp.body = std::move(db_payload);
     resp.SetHeader("Content-Type", "text/html");
   };
 }

@@ -1,0 +1,40 @@
+#include "runtime/buffer_pool.h"
+
+#include "metrics/registry.h"
+
+namespace hynet {
+
+void BufferPool::BindMetrics(MetricsRegistry& registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hits_ = &registry.GetCounter("buffer_pool_hits");
+  misses_ = &registry.GetCounter("buffer_pool_misses");
+  outstanding_ = &registry.GetGauge("buffer_pool_outstanding");
+}
+
+ByteBuffer BufferPool::Acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (outstanding_) outstanding_->Add(1);
+  if (!free_.empty()) {
+    ByteBuffer buf = std::move(free_.back());
+    free_.pop_back();
+    if (hits_) hits_->Add(1);
+    return buf;
+  }
+  if (misses_) misses_->Add(1);
+  return ByteBuffer();
+}
+
+void BufferPool::Release(ByteBuffer buffer) {
+  buffer.ConsumeAll();
+  buffer.ShrinkToFit();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (outstanding_) outstanding_->Add(-1);
+  if (free_.size() < max_pooled_) free_.push_back(std::move(buffer));
+}
+
+size_t BufferPool::FreeCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+}  // namespace hynet

@@ -1,0 +1,60 @@
+// BufferPool: recycles per-connection read ByteBuffers within one event
+// loop (or one server), so the accept→close churn of short keep-alive
+// connections stops hitting the allocator for a fresh 4 KB buffer each
+// time. A returned buffer is shrunk back toward its initial capacity so
+// one burst of large requests cannot pin megabytes in the free list.
+//
+// Thread-safe (a mutex guards the free list): the per-loop pools are only
+// touched from their loop thread, but the thread-per-connection server
+// shares one pool across worker threads.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace hynet {
+
+class MetricsRegistry;
+class Counter;
+class Gauge;
+
+class BufferPool {
+ public:
+  // Free-list cap: buffers released beyond this are dropped to the
+  // allocator instead of pooled.
+  static constexpr size_t kDefaultMaxPooled = 1024;
+
+  explicit BufferPool(size_t max_pooled = kDefaultMaxPooled)
+      : max_pooled_(max_pooled) {}
+
+  // Resolves the pool's hit/miss/outstanding instruments in `registry`
+  // (names: buffer_pool_hits / buffer_pool_misses /
+  // buffer_pool_outstanding). Call after the owning server has settled on
+  // its registry (in particular after AdoptMetricsRegistry, so N-copy
+  // children account into the parent's instruments). Without a call the
+  // pool still works, just unobserved.
+  void BindMetrics(MetricsRegistry& registry);
+
+  // Checks a buffer out of the pool (empty, ready for reading into).
+  // Falls back to a fresh allocation when the free list is empty.
+  ByteBuffer Acquire();
+
+  // Returns a buffer to the pool. Leftover bytes are discarded and excess
+  // capacity is released before the buffer re-enters the free list.
+  void Release(ByteBuffer buffer);
+
+  size_t FreeCount() const;
+
+ private:
+  const size_t max_pooled_;
+  mutable std::mutex mu_;
+  std::vector<ByteBuffer> free_;
+  Counter* hits_ = nullptr;
+  Counter* misses_ = nullptr;
+  Gauge* outstanding_ = nullptr;
+};
+
+}  // namespace hynet

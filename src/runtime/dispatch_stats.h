@@ -61,11 +61,17 @@ struct LifecycleStats {
 };
 
 // Per-connection/server write-path counters (Table IV of the paper).
+// write_calls counts every write syscall, vectored or not; writev_calls
+// and iov_segments break out the vectored path so syscalls-per-response
+// and segments-per-syscall are both observable (a writev over a batch of
+// pipelined responses pushes write_calls/responses below 1).
 struct WriteStats {
-  std::atomic<uint64_t> write_calls{0};      // socket write() invocations
+  std::atomic<uint64_t> write_calls{0};      // socket write syscalls (all)
   std::atomic<uint64_t> zero_writes{0};      // write() that copied 0 bytes
   std::atomic<uint64_t> spin_capped{0};      // flushes stopped by the cap
   std::atomic<uint64_t> responses{0};        // responses fully sent
+  std::atomic<uint64_t> writev_calls{0};     // vectored (sendmsg) syscalls
+  std::atomic<uint64_t> iov_segments{0};     // iovec segments across them
 
   double WritesPerResponse() const {
     const uint64_t r = responses.load(std::memory_order_relaxed);
@@ -80,6 +86,8 @@ struct WriteStats {
     zero_writes.store(0, std::memory_order_relaxed);
     spin_capped.store(0, std::memory_order_relaxed);
     responses.store(0, std::memory_order_relaxed);
+    writev_calls.store(0, std::memory_order_relaxed);
+    iov_segments.store(0, std::memory_order_relaxed);
   }
 };
 

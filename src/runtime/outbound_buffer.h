@@ -1,19 +1,28 @@
-// Netty-style channel outbound buffer with a writeSpin cap.
+// Netty-style channel outbound buffer with a writeSpin cap and a
+// vectored-write flush.
 //
 // Mirrors the two mechanisms of Netty's write path that the paper studies
 // (Section V-A / Figure 8):
 //   * messages are queued with bookkeeping (a node per message, pending
 //     byte accounting, flush bookkeeping) — this is the "optimization
 //     overhead" visible on small responses;
-//   * Flush() calls write() at most `spin_cap` times per invocation and
+//   * Flush() issues at most `spin_cap` write syscalls per invocation and
 //     also stops on a zero-byte write, so one large response cannot
 //     monopolize the event loop — this is the write-spin mitigation.
+//
+// Unlike the per-message write() loop the paper measures, Flush()
+// coalesces: each syscall is a writev (sendmsg) over an iovec batch that
+// spans as many queued payload segments as fit under IOV_MAX, so a burst
+// of pipelined responses drains in one syscall instead of one per
+// message. Messages are Payloads — their shared bodies are referenced in
+// place, never copied into the queue.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <string>
 
+#include "common/payload.h"
 #include "metrics/registry.h"
 #include "runtime/dispatch_stats.h"
 
@@ -34,15 +43,24 @@ class OutboundBuffer {
   explicit OutboundBuffer(int spin_cap = kDefaultSpinCap)
       : spin_cap_(spin_cap) {}
 
-  // Queues a message for writing (Netty: ChannelOutboundBuffer.addMessage).
-  void Add(std::string message);
+  // Queues a payload for writing (Netty: ChannelOutboundBuffer.addMessage).
+  // `offset` marks bytes already written by the caller — the hybrid
+  // server's direct-write path hands over its partially-sent payload this
+  // way instead of copying the unsent remainder.
+  void Add(Payload payload, size_t offset = 0);
+  // Fully materialized wire bytes (kept for error paths and tests).
+  void Add(std::string message) {
+    Add(Payload::FromString(std::move(message)));
+  }
 
   // Attempts to write pending data to `fd`. Updates `stats` with every
-  // write() issued. `completed_responses` is incremented for every queued
+  // syscall issued. `stats.responses` is incremented for every queued
   // message fully drained (message boundaries = response boundaries).
   // When `writes_hist` is given, each completed message records the number
-  // of write() calls it needed (across all Flush invocations) — the
-  // per-response Table IV figure.
+  // of write syscalls that moved its bytes (across all Flush invocations)
+  // — the per-response Table IV figure. A partial writev is attributed to
+  // exactly the messages it covered: every message that received bytes
+  // from a syscall counts that syscall once.
   FlushResult Flush(int fd, WriteStats& stats,
                     HistogramMetric* writes_hist = nullptr);
 
@@ -55,9 +73,9 @@ class OutboundBuffer {
 
  private:
   struct Node {
-    std::string data;
+    Payload payload;
     size_t offset = 0;  // bytes already written
-    int writes = 0;     // write() calls attempted for this message
+    int writes = 0;     // write syscalls that moved bytes of this message
   };
 
   int spin_cap_;

@@ -74,8 +74,11 @@ void ChannelPipeline::WriteFrom(size_t index, std::any msg) {
     HYNET_LOG(ERROR) << "pipeline write reached head without a sink";
     return;
   }
-  if (auto* bytes = std::any_cast<std::string>(&msg)) {
-    sink_(std::move(*bytes));
+  if (auto* payload = std::any_cast<Payload>(&msg)) {
+    sink_(std::move(*payload));
+  } else if (auto* bytes = std::any_cast<std::string>(&msg)) {
+    // Pre-encoded flat bytes (error wires, legacy handlers) still work.
+    sink_(Payload::FromString(std::move(*bytes)));
   } else {
     HYNET_LOG(ERROR) << "pipeline head received a non-encoded message";
   }

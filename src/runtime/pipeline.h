@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/payload.h"
 
 namespace hynet {
 
@@ -66,8 +67,10 @@ class ChannelHandler {
 
 class ChannelPipeline {
  public:
-  // Receives fully-encoded wire bytes at the head of the outbound path.
-  using OutboundSink = std::function<void(std::string bytes)>;
+  // Receives fully-encoded wire payloads at the head of the outbound path.
+  // A Payload instead of flat bytes so shared bodies survive the pipeline
+  // without being copied into a contiguous buffer.
+  using OutboundSink = std::function<void(Payload payload)>;
   using CloseRequest = std::function<void()>;
 
   void AddLast(std::shared_ptr<ChannelHandler> handler);

@@ -11,18 +11,16 @@ namespace hynet {
 
 namespace {
 
-std::string BuildResponse(int status, const char* reason,
-                          const char* content_type, std::string body,
-                          bool keep_alive) {
+Payload BuildResponse(int status, const char* reason,
+                      const char* content_type, std::string body,
+                      bool keep_alive) {
   HttpResponse resp;
   resp.status = status;
   resp.reason = reason;
   resp.SetHeader("Content-Type", content_type);
   resp.body = std::move(body);
   resp.keep_alive = keep_alive;
-  ByteBuffer out;
-  SerializeResponse(resp, out);
-  return std::string(out.View());
+  return SerializeResponsePayload(resp);
 }
 
 }  // namespace
@@ -99,7 +97,7 @@ void AdminServer::OnEvent(int fd, uint32_t events) {
     }
     HandleRequests(conn);
     if (conns_.find(fd) == conns_.end()) return;
-    if (peer_eof && conn.out.size() == conn.out_off) {
+    if (peer_eof && conn.out.Empty()) {
       CloseConn(fd);
       return;
     }
@@ -112,12 +110,12 @@ void AdminServer::HandleRequests(AdminConn& conn) {
     const ParseStatus st = conn.parser.Parse(conn.in);
     if (st == ParseStatus::kNeedMore) return;
     if (st == ParseStatus::kError) {
-      conn.out += SimpleErrorResponse(400);
+      conn.out.Add(SimpleErrorResponse(400));
       conn.close_after_write = true;
       return;
     }
     const HttpRequest& req = conn.parser.request();
-    conn.out += Respond(req.path.empty() ? req.target : req.path);
+    conn.out.Add(Respond(req.path.empty() ? req.target : req.path));
     if (!req.keep_alive) {
       conn.close_after_write = true;
       return;
@@ -125,7 +123,7 @@ void AdminServer::HandleRequests(AdminConn& conn) {
   }
 }
 
-std::string AdminServer::Respond(const std::string& path) {
+Payload AdminServer::Respond(const std::string& path) {
   if (path == "/metrics") {
     return BuildResponse(200, "OK", "text/plain; version=0.0.4",
                          registry_->PrometheusText(), true);
@@ -144,21 +142,17 @@ std::string AdminServer::Respond(const std::string& path) {
 }
 
 void AdminServer::FlushOut(int fd, AdminConn& conn) {
-  while (conn.out_off < conn.out.size()) {
-    const IoResult r = WriteFd(fd, conn.out.data() + conn.out_off,
-                               conn.out.size() - conn.out_off);
-    if (r.WouldBlock()) {
-      loop_->ModifyFd(fd, EPOLLIN | EPOLLRDHUP | EPOLLOUT);
-      return;
-    }
-    if (r.Fatal()) {
-      CloseConn(fd);
-      return;
-    }
-    conn.out_off += static_cast<size_t>(r.n);
+  const FlushResult fr = conn.out.Flush(fd, write_stats_);
+  if (fr == FlushResult::kError) {
+    CloseConn(fd);
+    return;
   }
-  conn.out.clear();
-  conn.out_off = 0;
+  if (fr == FlushResult::kWouldBlock || fr == FlushResult::kSpinCapped) {
+    // Level-triggered EPOLLOUT re-fires as soon as the kernel buffer has
+    // room again, which also resumes a spin-capped drain.
+    loop_->ModifyFd(fd, EPOLLIN | EPOLLRDHUP | EPOLLOUT);
+    return;
+  }
   if (conn.close_after_write) {
     CloseConn(fd);
     return;

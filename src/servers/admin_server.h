@@ -7,9 +7,10 @@
 //   /healthz     200 "ok", or 503 "draining" while Shutdown() drains
 //
 // Runs its own EventLoop so a scrape never competes with the architecture
-// under measurement for a loop thread. Responses are small and never
-// pipelined, so the write path is a plain buffered EPOLLOUT drain — none of
-// the write-spin machinery the benchmark servers exist to study.
+// under measurement for a loop thread. Responses queue as Payload nodes in
+// an OutboundBuffer and drain via the vectored flush on EPOLLOUT; the
+// admin plane's write stats stay private and never pollute the scrape of
+// the architecture under measurement.
 #pragma once
 
 #include <atomic>
@@ -22,10 +23,12 @@
 
 #include "common/bytes.h"
 #include "common/fd.h"
+#include "common/payload.h"
 #include "metrics/registry.h"
 #include "net/acceptor.h"
 #include "net/event_loop.h"
 #include "proto/http_parser.h"
+#include "runtime/outbound_buffer.h"
 
 namespace hynet {
 
@@ -51,8 +54,7 @@ class AdminServer {
     ScopedFd fd;
     ByteBuffer in;
     HttpRequestParser parser;
-    std::string out;
-    size_t out_off = 0;
+    OutboundBuffer out;
     bool close_after_write = false;
   };
 
@@ -61,7 +63,7 @@ class AdminServer {
   void HandleRequests(AdminConn& conn);
   void FlushOut(int fd, AdminConn& conn);
   void CloseConn(int fd);
-  std::string Respond(const std::string& path);
+  Payload Respond(const std::string& path);
 
   const uint16_t requested_port_;
   std::shared_ptr<MetricsRegistry> registry_;
@@ -73,6 +75,8 @@ class AdminServer {
   uint16_t port_ = 0;
   std::atomic<bool> started_{false};
   std::unordered_map<int, std::unique_ptr<AdminConn>> conns_;
+  // Admin-plane writes only; deliberately not exported through /metrics.
+  WriteStats write_stats_;
 };
 
 }  // namespace hynet

@@ -1,5 +1,6 @@
 #include "servers/connection.h"
 
+#include <limits.h>
 #include <sched.h>
 
 #include <algorithm>
@@ -7,6 +8,12 @@
 #include "net/socket.h"
 
 namespace hynet {
+namespace {
+
+// Iovec batch cap per writev syscall (see OutboundBuffer for rationale).
+constexpr size_t kIovBatch = std::min<size_t>(IOV_MAX, 128);
+
+}  // namespace
 
 LifecycleDeadlines LifecycleDeadlines::FromMillis(int idle_ms, int header_ms,
                                                   int write_stall_ms) {
@@ -80,6 +87,71 @@ SpinWriteResult SpinWriteAll(int fd, std::string_view data,
   return SpinWriteResult::kOk;
 }
 
+SpinWriteResult SpinWritePayloads(int fd, const Payload* payloads,
+                                  size_t count, WriteStats& stats,
+                                  bool yield_on_full, Duration stall_timeout,
+                                  int* writes_out) {
+  size_t idx = 0;  // first payload not fully written
+  size_t off = 0;  // bytes of payloads[idx] already in the kernel
+  int writes = 0;
+  TimePoint last_progress{};
+  while (idx < count) {
+    if (payloads[idx].size() <= off) {  // zero-byte payload
+      idx++;
+      off = 0;
+      continue;
+    }
+    struct iovec iov[kIovBatch];
+    size_t niov = 0;
+    for (size_t i = idx; i < count && niov < kIovBatch; ++i) {
+      niov += payloads[i].FillIov(i == idx ? off : 0, iov + niov,
+                                  kIovBatch - niov);
+    }
+    const IoResult r = WritevFd(fd, iov, static_cast<int>(niov));
+    stats.write_calls.fetch_add(1, std::memory_order_relaxed);
+    stats.writev_calls.fetch_add(1, std::memory_order_relaxed);
+    stats.iov_segments.fetch_add(niov, std::memory_order_relaxed);
+    writes++;
+    if (writes_out) *writes_out = writes;
+    if (r.WouldBlock() || r.n == 0) {
+      stats.zero_writes.fetch_add(1, std::memory_order_relaxed);
+      if (stall_timeout > Duration::zero()) {
+        const TimePoint now = Now();
+        if (last_progress == TimePoint{}) {
+          last_progress = now;
+        } else if (now - last_progress >= stall_timeout) {
+          return SpinWriteResult::kStalled;
+        }
+      }
+      if (yield_on_full) ::sched_yield();
+      continue;
+    }
+    if (r.Fatal()) return SpinWriteResult::kPeerClosed;
+    size_t written = static_cast<size_t>(r.n);
+    while (written > 0) {
+      const size_t remaining = payloads[idx].size() - off;
+      if (remaining <= written) {
+        written -= remaining;
+        idx++;
+        off = 0;
+      } else {
+        off += written;
+        written = 0;
+      }
+    }
+    last_progress = TimePoint{};
+  }
+  stats.responses.fetch_add(count, std::memory_order_relaxed);
+  return SpinWriteResult::kOk;
+}
+
+SpinWriteResult SpinWriteAll(int fd, const Payload& payload, WriteStats& stats,
+                             bool yield_on_full, Duration stall_timeout,
+                             int* writes_out) {
+  return SpinWritePayloads(fd, &payload, 1, stats, yield_on_full,
+                           stall_timeout, writes_out);
+}
+
 SpinWriteResult BlockingWriteAll(int fd, std::string_view data,
                                  WriteStats& stats, int* writes_out) {
   size_t off = 0;
@@ -91,6 +163,27 @@ SpinWriteResult BlockingWriteAll(int fd, std::string_view data,
     if (writes_out) *writes_out = writes;
     // EAGAIN on a blocking fd means SO_SNDTIMEO expired with the peer's
     // window still shut: a write stall, not a retryable condition.
+    if (r.WouldBlock()) return SpinWriteResult::kStalled;
+    if (r.Fatal()) return SpinWriteResult::kPeerClosed;
+    off += static_cast<size_t>(r.n);
+  }
+  stats.responses.fetch_add(1, std::memory_order_relaxed);
+  return SpinWriteResult::kOk;
+}
+
+SpinWriteResult BlockingWriteAll(int fd, const Payload& payload,
+                                 WriteStats& stats, int* writes_out) {
+  size_t off = 0;
+  int writes = 0;
+  while (off < payload.size()) {
+    struct iovec iov[Payload::kMaxSegments];
+    const size_t niov = payload.FillIov(off, iov, Payload::kMaxSegments);
+    const IoResult r = WritevFd(fd, iov, static_cast<int>(niov));
+    stats.write_calls.fetch_add(1, std::memory_order_relaxed);
+    stats.writev_calls.fetch_add(1, std::memory_order_relaxed);
+    stats.iov_segments.fetch_add(niov, std::memory_order_relaxed);
+    writes++;
+    if (writes_out) *writes_out = writes;
     if (r.WouldBlock()) return SpinWriteResult::kStalled;
     if (r.Fatal()) return SpinWriteResult::kPeerClosed;
     off += static_cast<size_t>(r.n);

@@ -8,6 +8,7 @@
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/fd.h"
+#include "common/payload.h"
 #include "proto/http_parser.h"
 #include "runtime/dispatch_stats.h"
 #include "runtime/outbound_buffer.h"
@@ -69,9 +70,11 @@ struct Connection {
   bool want_writable = false;  // EPOLLOUT currently armed
   bool flush_rescheduled = false;  // spin-capped flush task queued
 
-  // Prepared response waiting for the split write dispatch
-  // (sTomcat-Async only: worker A parks it here for worker B).
-  std::string pending_response;
+  // Prepared responses waiting for the split write dispatch
+  // (sTomcat-Async and staged: worker A parks them here for worker B).
+  // One Payload per response so the batch write stays vectored and the
+  // per-response boundaries survive for accounting.
+  std::vector<Payload> pending_batch;
   // Request-arrival stamps (ns) for responses awaiting their batch write;
   // drained into the request-latency histogram when the write completes
   // (reactor-pool and staged servers, where the write is a later step).
@@ -101,12 +104,37 @@ SpinWriteResult SpinWriteAll(int fd, std::string_view data,
                              Duration stall_timeout = Duration::zero(),
                              int* writes_out = nullptr);
 
+// Vectored spin write over a batch of payloads: one writev syscall covers
+// as many payload segments as fit under the iovec cap, so a batch of
+// pipelined responses drains without per-message syscalls and without
+// concatenating header+body into a scratch buffer. Spin semantics match
+// SpinWriteAll (zero-write accounting, optional yield and stall timeout).
+// `stats.responses` advances by `count` on success; `writes_out` receives
+// the total syscalls the batch needed.
+SpinWriteResult SpinWritePayloads(int fd, const Payload* payloads,
+                                  size_t count, WriteStats& stats,
+                                  bool yield_on_full,
+                                  Duration stall_timeout = Duration::zero(),
+                                  int* writes_out = nullptr);
+
+// Single-payload convenience over SpinWritePayloads.
+SpinWriteResult SpinWriteAll(int fd, const Payload& payload,
+                             WriteStats& stats, bool yield_on_full,
+                             Duration stall_timeout = Duration::zero(),
+                             int* writes_out = nullptr);
+
 // Blocking write used by the thread-per-connection server: the fd is in
 // blocking mode, so the kernel parks the thread until the TCP window opens
 // (one write() per response for any size the kernel can eventually absorb).
 // With SO_SNDTIMEO armed a stalled peer surfaces as EAGAIN, reported here
 // as kStalled.
 SpinWriteResult BlockingWriteAll(int fd, std::string_view data,
+                                 WriteStats& stats,
+                                 int* writes_out = nullptr);
+
+// Payload overload: writes header+body+tail as one iovec batch per
+// syscall (writev), never concatenating them first.
+SpinWriteResult BlockingWriteAll(int fd, const Payload& payload,
                                  WriteStats& stats,
                                  int* writes_out = nullptr);
 

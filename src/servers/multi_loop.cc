@@ -22,8 +22,13 @@ void LoopGroupServer::Start() {
   loops_.reserve(static_cast<size_t>(n));
   conns_.resize(static_cast<size_t>(n));
   loop_tids_ = std::vector<std::atomic<int>>(static_cast<size_t>(n));
+  buffer_pools_.clear();
   for (int i = 0; i < n; ++i) {
     loops_.push_back(std::make_unique<EventLoop>());
+    buffer_pools_.push_back(std::make_unique<BufferPool>());
+    // Bound here, after any AdoptMetricsRegistry, so N-copy children
+    // account pool traffic into the shared parent registry.
+    buffer_pools_.back()->BindMetrics(metrics());
   }
 
   boss_loop_ = std::make_unique<EventLoop>();
@@ -165,6 +170,8 @@ ServerCounters LoopGroupServer::Snapshot() const {
   c.responses_sent = write_stats_.responses.load(std::memory_order_relaxed);
   c.write_calls = write_stats_.write_calls.load(std::memory_order_relaxed);
   c.zero_writes = write_stats_.zero_writes.load(std::memory_order_relaxed);
+  c.writev_calls = write_stats_.writev_calls.load(std::memory_order_relaxed);
+  c.iov_segments = write_stats_.iov_segments.load(std::memory_order_relaxed);
   c.spin_capped_flushes =
       write_stats_.spin_capped.load(std::memory_order_relaxed);
   c.light_path_responses = light_responses_.load(std::memory_order_relaxed);
@@ -196,6 +203,8 @@ void LoopGroupServer::OnNewConnection(Socket socket, const InetAddr&) {
   EventLoop& loop = *loops_[loop_index];
   loop.RunInLoop([this, loop_index, lc] {
     const int fd = lc->conn.fd.get();
+    // Recycle a read buffer from this loop's pool (loop thread only).
+    lc->conn.in = buffer_pools_[loop_index]->Acquire();
     conns_[loop_index][fd] = lc;
     OnConnectionEstablished(*lc);
     loops_[loop_index]->RegisterFd(fd, EPOLLIN | EPOLLRDHUP,
@@ -279,9 +288,10 @@ void LoopGroupServer::OnLoopEvent(size_t loop_index, int fd, uint32_t events) {
   }
 }
 
-void LoopGroupServer::EnqueueAndFlush(LoopConn& lc, std::string bytes) {
+void LoopGroupServer::EnqueueAndFlush(LoopConn& lc, Payload payload,
+                                      size_t offset) {
   if (lc.conn.closed) return;
-  lc.conn.out.Add(std::move(bytes));
+  lc.conn.out.Add(std::move(payload), offset);
   if (!lc.conn.lifecycle.write_stalled) {
     lc.conn.lifecycle.write_stalled = true;
     lc.conn.lifecycle.stall_start = Now();
@@ -382,6 +392,8 @@ void LoopGroupServer::CloseConn(LoopConn& lc) {
   const size_t loop_index = lc.loop_index;
   EventLoop& loop = LoopOf(lc);
   loop.UnregisterFd(fd);
+  // Return the read buffer to this loop's pool for the next accept.
+  buffer_pools_[loop_index]->Release(std::move(lc.conn.in));
   closed_.fetch_add(1, std::memory_order_relaxed);
   // Defer destruction to a queued task so every reference to this LoopConn
   // on the current call stack stays valid (CloseConn can be reached from
@@ -479,12 +491,12 @@ class HttpServerCodec final : public ChannelHandler {
 
   void OnWrite(ChannelContext& ctx, std::any msg) override {
     if (auto* resp = std::any_cast<HttpResponse>(&msg)) {
-      ByteBuffer out;
+      Payload payload;
       {
         ScopedPhase phase(profiler_, Phase::kSerialize);
-        SerializeResponse(*resp, out);
+        payload = SerializeResponsePayload(*resp);
       }
-      ctx.Write(std::any(std::string(out.View())));
+      ctx.Write(std::any(std::move(payload)));
       return;
     }
     ctx.Write(std::move(msg));  // already encoded
@@ -550,8 +562,8 @@ void MultiLoopServer::OnConnectionEstablished(LoopConn& lc) {
   lc.pipeline->AddLast(std::make_shared<ServerAppHandler>(
       handler_, requests_, phase_profiler_, draining_, *request_latency_ns_));
   LoopConn* raw = &lc;
-  lc.pipeline->SetOutboundSink([this, raw](std::string bytes) {
-    EnqueueAndFlush(*raw, std::move(bytes));
+  lc.pipeline->SetOutboundSink([this, raw](Payload payload) {
+    EnqueueAndFlush(*raw, std::move(payload));
   });
   lc.pipeline->SetCloseRequest([raw] {
     // Deferred close: mark and let the flush path close once drained.

@@ -22,6 +22,7 @@
 
 #include "net/acceptor.h"
 #include "net/event_loop.h"
+#include "runtime/buffer_pool.h"
 #include "runtime/pipeline.h"
 #include "servers/connection.h"
 #include "servers/server.h"
@@ -58,8 +59,10 @@ class LoopGroupServer : public Server {
 
   // Buffered write path (Netty's write optimization): enqueue and flush
   // with the writeSpin cap; arms EPOLLOUT on a full kernel buffer and
-  // re-schedules the flush task when the cap is hit.
-  void EnqueueAndFlush(LoopConn& lc, std::string bytes);
+  // re-schedules the flush task when the cap is hit. `offset` marks bytes
+  // the caller already wrote directly (the hybrid light path hands over
+  // its partial payload without copying the remainder).
+  void EnqueueAndFlush(LoopConn& lc, Payload payload, size_t offset = 0);
   void TryFlush(LoopConn& lc);
 
   void CloseConn(LoopConn& lc);
@@ -98,6 +101,9 @@ class LoopGroupServer : public Server {
   std::vector<std::unique_ptr<EventLoop>> loops_;
   std::vector<std::thread> loop_threads_;
   std::vector<std::atomic<int>> loop_tids_;
+  // One read-buffer pool per loop: Acquire on accept (loop thread),
+  // Release on close, so keep-alive churn recycles buffers loop-locally.
+  std::vector<std::unique_ptr<BufferPool>> buffer_pools_;
   // Connections owned by their loop thread: conns_[loop][fd]. shared_ptr
   // because the ownership handoff from the boss thread travels through a
   // copyable std::function task.

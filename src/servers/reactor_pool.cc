@@ -18,6 +18,7 @@ void ReactorPoolServer::Start() {
   deadlines_ = LifecycleDeadlines::FromMillis(config_.idle_timeout_ms,
                                               config_.header_timeout_ms,
                                               config_.write_stall_timeout_ms);
+  buffer_pool_.BindMetrics(metrics());
   loop_ = std::make_unique<EventLoop>();
   pool_ = std::make_unique<WorkerPool>(config_.worker_threads, "rp-worker");
   acceptor_ = std::make_unique<Acceptor>(
@@ -138,6 +139,8 @@ ServerCounters ReactorPoolServer::Snapshot() const {
   c.responses_sent = write_stats_.responses.load(std::memory_order_relaxed);
   c.write_calls = write_stats_.write_calls.load(std::memory_order_relaxed);
   c.zero_writes = write_stats_.zero_writes.load(std::memory_order_relaxed);
+  c.writev_calls = write_stats_.writev_calls.load(std::memory_order_relaxed);
+  c.iov_segments = write_stats_.iov_segments.load(std::memory_order_relaxed);
   c.logical_switches = dispatch_stats_.LogicalSwitches();
   ExportLifecycle(c);
   return c;
@@ -154,6 +157,7 @@ void ReactorPoolServer::OnNewConnection(Socket socket, const InetAddr&) {
   const int fd = socket.fd();
   auto conn = std::make_unique<Connection>(socket.TakeFd(),
                                            config_.write_spin_cap);
+  conn->in = buffer_pool_.Acquire();
   conn->lifecycle.last_activity = Now();
   conn->parser.SetLimits(config_.max_request_head_bytes,
                          config_.max_request_body_bytes);
@@ -213,8 +217,9 @@ void ReactorPoolServer::HandleReadEvent(Connection* conn) {
     if (static_cast<size_t>(r.n) < sizeof(buf)) break;
   }
 
-  // Step 2: parse and run the application handler; prepare the response.
-  ByteBuffer out;
+  // Step 2: parse and run the application handler; prepare the responses.
+  // One Payload per response, so the batch write below stays vectored.
+  std::vector<Payload> batch;
   bool want_close = false;
   while (true) {
     ParseStatus st;
@@ -239,9 +244,8 @@ void ReactorPoolServer::HandleReadEvent(Connection* conn) {
       if (err == ParseError::kHeadTooLarge ||
           err == ParseError::kBodyTooLarge) {
         lifecycle_.oversize_requests.fetch_add(1, std::memory_order_relaxed);
-        const std::string wire =
-            SimpleErrorResponse(err == ParseError::kHeadTooLarge ? 431 : 413);
-        out.Append(wire.data(), wire.size());
+        batch.push_back(Payload::FromString(
+            SimpleErrorResponse(err == ParseError::kHeadTooLarge ? 431 : 413)));
       }
       want_close = true;
       break;
@@ -257,7 +261,7 @@ void ReactorPoolServer::HandleReadEvent(Connection* conn) {
     requests_.fetch_add(1, std::memory_order_relaxed);
     {
       ScopedPhase phase(phase_profiler_, Phase::kSerialize);
-      SerializeResponse(resp, out);
+      batch.push_back(SerializeResponsePayload(resp));
     }
     if (!resp.keep_alive) {
       want_close = true;
@@ -267,7 +271,7 @@ void ReactorPoolServer::HandleReadEvent(Connection* conn) {
   conn->lifecycle.peer_half_closed = peer_eof;
   if (peer_eof) want_close = true;
 
-  if (out.Empty()) {
+  if (batch.empty()) {
     conn->batch_request_starts.clear();
     // Nothing to write (partial request or immediate close).
     if (want_close) {
@@ -290,9 +294,9 @@ void ReactorPoolServer::HandleReadEvent(Connection* conn) {
     int writes_used = 0;
     {
       ScopedPhase phase(phase_profiler_, Phase::kWrite);
-      wr = SpinWriteAll(fd, out.View(), write_stats_,
-                        config_.yield_on_full_write, deadlines_.write_stall,
-                        &writes_used);
+      wr = SpinWritePayloads(fd, batch.data(), batch.size(), write_stats_,
+                             config_.yield_on_full_write,
+                             deadlines_.write_stall, &writes_used);
     }
     if (wr == SpinWriteResult::kOk) {
       writes_per_response_->Record(writes_used);
@@ -318,9 +322,10 @@ void ReactorPoolServer::HandleReadEvent(Connection* conn) {
     return;
   }
 
-  // sTomcat-Async: park the response and notify the reactor (step 2),
-  // which dispatches a write event to another worker (step 3).
-  conn->pending_response.assign(out.View());
+  // sTomcat-Async: park the responses and notify the reactor (step 2),
+  // which dispatches a write event to another worker (step 3). Moving the
+  // batch hands over shared bodies by reference — no bytes are copied.
+  conn->pending_batch = std::move(batch);
   conn->close_after_write = want_close;
   dispatch_stats_.reactor_notifications.fetch_add(1,
                                                   std::memory_order_relaxed);
@@ -338,9 +343,10 @@ void ReactorPoolServer::HandleWriteEvent(Connection* conn) {
   int writes_used = 0;
   {
     ScopedPhase phase(phase_profiler_, Phase::kWrite);
-    wr = SpinWriteAll(conn->fd.get(), conn->pending_response, write_stats_,
-                      config_.yield_on_full_write, deadlines_.write_stall,
-                      &writes_used);
+    wr = SpinWritePayloads(conn->fd.get(), conn->pending_batch.data(),
+                           conn->pending_batch.size(), write_stats_,
+                           config_.yield_on_full_write, deadlines_.write_stall,
+                           &writes_used);
   }
   if (wr == SpinWriteResult::kOk) {
     writes_per_response_->Record(writes_used);
@@ -350,7 +356,7 @@ void ReactorPoolServer::HandleWriteEvent(Connection* conn) {
     }
   }
   conn->batch_request_starts.clear();
-  conn->pending_response.clear();
+  conn->pending_batch.clear();
   if (wr == SpinWriteResult::kStalled) {
     lifecycle_.write_stall_evictions.fetch_add(1, std::memory_order_relaxed);
   }
@@ -386,6 +392,7 @@ void ReactorPoolServer::CloseConnection(Connection* conn) {
   conn->closed = true;
   const int fd = conn->fd.get();
   if (loop_->IsRegistered(fd)) loop_->UnregisterFd(fd);
+  buffer_pool_.Release(std::move(conn->in));
   conns_.erase(fd);
   closed_.fetch_add(1, std::memory_order_relaxed);
   if (accept_paused_ && acceptor_ &&

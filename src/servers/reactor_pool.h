@@ -24,6 +24,7 @@
 
 #include "net/acceptor.h"
 #include "net/event_loop.h"
+#include "runtime/buffer_pool.h"
 #include "runtime/worker_pool.h"
 #include "servers/connection.h"
 #include "servers/server.h"
@@ -84,6 +85,8 @@ class ReactorPoolServer final : public Server {
   std::atomic<bool> started_{false};
 
   std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  // Read-buffer recycling; Acquire/Release happen on the reactor thread.
+  BufferPool buffer_pool_;
   LifecycleDeadlines deadlines_;
   bool accept_paused_ = false;  // loop thread only
 

@@ -127,6 +127,9 @@ struct ServerConfig {
 //   connections_accepted / connections_closed
 //   requests_handled / responses_sent
 //   write_calls / zero_writes      — socket write() anatomy (Table IV)
+//   writev_calls / iov_segments    — vectored-write anatomy: syscalls that
+//                                  coalesced a batch, and how many iovec
+//                                  segments they carried
 //   spin_capped_flushes            — flushes stopped by write_spin_cap
 //   logical_switches               — user-space handoffs (Table II)
 //   light_path_responses / heavy_path_responses / reclassifications
@@ -138,6 +141,8 @@ struct ServerConfig {
   X(responses_sent)                         \
   X(write_calls)                            \
   X(zero_writes)                            \
+  X(writev_calls)                           \
+  X(iov_segments)                           \
   X(spin_capped_flushes)                    \
   X(logical_switches)                       \
   X(light_path_responses)                   \

@@ -15,6 +15,9 @@ void SingleThreadServer::Start() {
   deadlines_ = LifecycleDeadlines::FromMillis(config_.idle_timeout_ms,
                                               config_.header_timeout_ms,
                                               config_.write_stall_timeout_ms);
+  // After any AdoptMetricsRegistry, so N-copy children account pool
+  // traffic into the shared parent registry.
+  buffer_pool_.BindMetrics(metrics());
   loop_ = std::make_unique<EventLoop>();
   acceptor_ = std::make_unique<Acceptor>(
       *loop_, InetAddr::Loopback(config_.port),
@@ -105,6 +108,8 @@ ServerCounters SingleThreadServer::Snapshot() const {
   c.responses_sent = write_stats_.responses.load(std::memory_order_relaxed);
   c.write_calls = write_stats_.write_calls.load(std::memory_order_relaxed);
   c.zero_writes = write_stats_.zero_writes.load(std::memory_order_relaxed);
+  c.writev_calls = write_stats_.writev_calls.load(std::memory_order_relaxed);
+  c.iov_segments = write_stats_.iov_segments.load(std::memory_order_relaxed);
   ExportLifecycle(c);
   return c;
 }
@@ -122,6 +127,7 @@ void SingleThreadServer::OnNewConnection(Socket socket, const InetAddr&) {
   const int fd = socket.fd();
   auto conn = std::make_unique<Connection>(socket.TakeFd(),
                                            config_.write_spin_cap);
+  conn->in = buffer_pool_.Acquire();
   conn->lifecycle.last_activity = Now();
   conn->parser.SetLimits(config_.max_request_head_bytes,
                          config_.max_request_body_bytes);
@@ -212,17 +218,17 @@ void SingleThreadServer::OnReadable(int fd, uint32_t events) {
     requests_.fetch_add(1, std::memory_order_relaxed);
     conn.requests++;
 
-    ByteBuffer out;
+    Payload payload;
     {
       ScopedPhase phase(phase_profiler_, Phase::kSerialize);
-      SerializeResponse(resp, out);
+      payload = SerializeResponsePayload(resp);
     }
     // The naive write: the single thread is stuck here until the whole
     // response is in the kernel — bounded only by the write-stall timeout.
     ScopedPhase write_phase(phase_profiler_, Phase::kWrite);
     int writes_used = 0;
     const SpinWriteResult wr =
-        SpinWriteAll(fd, out.View(), write_stats_,
+        SpinWriteAll(fd, payload, write_stats_,
                      config_.yield_on_full_write, deadlines_.write_stall,
                      &writes_used);
     if (wr == SpinWriteResult::kOk) {
@@ -254,6 +260,7 @@ void SingleThreadServer::CloseConnection(int fd) {
   auto it = conns_.find(fd);
   if (it == conns_.end()) return;
   loop_->UnregisterFd(fd);
+  buffer_pool_.Release(std::move(it->second->in));
   conns_.erase(it);
   closed_.fetch_add(1, std::memory_order_relaxed);
   if (accept_paused_ && acceptor_ &&

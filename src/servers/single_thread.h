@@ -14,6 +14,7 @@
 
 #include "net/acceptor.h"
 #include "net/event_loop.h"
+#include "runtime/buffer_pool.h"
 #include "servers/connection.h"
 #include "servers/server.h"
 
@@ -54,6 +55,8 @@ class SingleThreadServer final : public Server {
   std::atomic<bool> started_{false};
 
   std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  // Read-buffer recycling across the accept→close churn (loop thread only).
+  BufferPool buffer_pool_;
   LifecycleDeadlines deadlines_;
   bool accept_paused_ = false;  // loop thread only
 

@@ -16,6 +16,7 @@ void StagedServer::Start() {
   deadlines_ = LifecycleDeadlines::FromMillis(config_.idle_timeout_ms,
                                               config_.header_timeout_ms,
                                               config_.write_stall_timeout_ms);
+  buffer_pool_.BindMetrics(metrics());
   loop_ = std::make_unique<EventLoop>();
   const int n = std::max(1, config_.stage_threads);
   parse_pool_ = std::make_unique<WorkerPool>(n, "stage-parse");
@@ -148,6 +149,8 @@ ServerCounters StagedServer::Snapshot() const {
   c.responses_sent = write_stats_.responses.load(std::memory_order_relaxed);
   c.write_calls = write_stats_.write_calls.load(std::memory_order_relaxed);
   c.zero_writes = write_stats_.zero_writes.load(std::memory_order_relaxed);
+  c.writev_calls = write_stats_.writev_calls.load(std::memory_order_relaxed);
+  c.iov_segments = write_stats_.iov_segments.load(std::memory_order_relaxed);
   c.logical_switches = dispatch_stats_.LogicalSwitches();
   ExportLifecycle(c);
   return c;
@@ -164,6 +167,7 @@ void StagedServer::OnNewConnection(Socket socket, const InetAddr&) {
   const int fd = socket.fd();
   auto conn = std::make_unique<Connection>(socket.TakeFd(),
                                            config_.write_spin_cap);
+  conn->in = buffer_pool_.Acquire();
   conn->lifecycle.last_activity = Now();
   conn->parser.SetLimits(config_.max_request_head_bytes,
                          config_.max_request_body_bytes);
@@ -222,7 +226,7 @@ void StagedServer::ParseStage(Connection* conn) {
 
 void StagedServer::AppStage(Connection* conn) {
   const bool peer_eof = conn->lifecycle.peer_half_closed;
-  ByteBuffer out;
+  std::vector<Payload> batch;
   bool want_close = false;
   while (true) {
     ParseStatus st;
@@ -247,9 +251,8 @@ void StagedServer::AppStage(Connection* conn) {
       if (err == ParseError::kHeadTooLarge ||
           err == ParseError::kBodyTooLarge) {
         lifecycle_.oversize_requests.fetch_add(1, std::memory_order_relaxed);
-        const std::string wire =
-            SimpleErrorResponse(err == ParseError::kHeadTooLarge ? 431 : 413);
-        out.Append(wire.data(), wire.size());
+        batch.push_back(Payload::FromString(
+            SimpleErrorResponse(err == ParseError::kHeadTooLarge ? 431 : 413)));
       }
       want_close = true;
       break;
@@ -265,7 +268,7 @@ void StagedServer::AppStage(Connection* conn) {
     requests_.fetch_add(1, std::memory_order_relaxed);
     {
       ScopedPhase phase(phase_profiler_, Phase::kSerialize);
-      SerializeResponse(resp, out);
+      batch.push_back(SerializeResponsePayload(resp));
     }
     if (!resp.keep_alive) {
       want_close = true;
@@ -274,7 +277,7 @@ void StagedServer::AppStage(Connection* conn) {
   }
   if (peer_eof) want_close = true;
 
-  if (out.Empty()) {
+  if (batch.empty()) {
     conn->batch_request_starts.clear();
     if (want_close) {
       if (peer_eof) {
@@ -289,7 +292,7 @@ void StagedServer::AppStage(Connection* conn) {
     return;
   }
 
-  conn->pending_response.assign(out.View());
+  conn->pending_batch = std::move(batch);
   conn->close_after_write = want_close;
   // Queue hop #3 into the write stage.
   dispatch_stats_.dispatches_to_worker.fetch_add(1, std::memory_order_relaxed);
@@ -301,11 +304,12 @@ void StagedServer::WriteStage(Connection* conn) {
   int writes_used = 0;
   {
     ScopedPhase phase(phase_profiler_, Phase::kWrite);
-    wr = SpinWriteAll(conn->fd.get(), conn->pending_response, write_stats_,
-                      config_.yield_on_full_write, deadlines_.write_stall,
-                      &writes_used);
+    wr = SpinWritePayloads(conn->fd.get(), conn->pending_batch.data(),
+                           conn->pending_batch.size(), write_stats_,
+                           config_.yield_on_full_write, deadlines_.write_stall,
+                           &writes_used);
   }
-  conn->pending_response.clear();
+  conn->pending_batch.clear();
   if (wr == SpinWriteResult::kOk) {
     writes_per_response_->Record(writes_used);
     // Latency covers the full stage pipeline: parse hand-off, app stage,
@@ -350,6 +354,7 @@ void StagedServer::CloseConnection(Connection* conn) {
   conn->closed = true;
   const int fd = conn->fd.get();
   if (loop_->IsRegistered(fd)) loop_->UnregisterFd(fd);
+  buffer_pool_.Release(std::move(conn->in));
   conns_.erase(fd);
   closed_.fetch_add(1, std::memory_order_relaxed);
   if (accept_paused_ && acceptor_ &&

@@ -16,6 +16,7 @@ ThreadPerConnServer::ThreadPerConnServer(ServerConfig config, Handler handler)
 ThreadPerConnServer::~ThreadPerConnServer() { Stop(); }
 
 void ThreadPerConnServer::Start() {
+  buffer_pool_.BindMetrics(metrics());
   listen_socket_ = Socket::CreateTcp(/*nonblocking=*/true);
   listen_socket_.SetReuseAddr(true);
   listen_socket_.Bind(InetAddr::Loopback(config_.port));
@@ -112,6 +113,8 @@ ServerCounters ThreadPerConnServer::Snapshot() const {
   c.responses_sent = write_stats_.responses.load(std::memory_order_relaxed);
   c.write_calls = write_stats_.write_calls.load(std::memory_order_relaxed);
   c.zero_writes = write_stats_.zero_writes.load(std::memory_order_relaxed);
+  c.writev_calls = write_stats_.writev_calls.load(std::memory_order_relaxed);
+  c.iov_segments = write_stats_.iov_segments.load(std::memory_order_relaxed);
   ExportLifecycle(c);
   return c;
 }
@@ -208,11 +211,10 @@ void ThreadPerConnServer::ConnectionMain(Socket socket) {
                              .count()));
   }
 
-  ByteBuffer in;
+  ByteBuffer in = buffer_pool_.Acquire();
   HttpRequestParser parser;
   parser.SetLimits(config_.max_request_head_bytes,
                    config_.max_request_body_bytes);
-  ByteBuffer out;
   char buf[16 * 1024];
   bool alive = true;
   TimePoint last_activity = Now();
@@ -282,15 +284,15 @@ void ThreadPerConnServer::ConnectionMain(Socket socket) {
                         !draining_.load(std::memory_order_relaxed);
       requests_.fetch_add(1, std::memory_order_relaxed);
 
-      out.ConsumeAll();
+      Payload payload;
       {
         ScopedPhase phase(phase_profiler_, Phase::kSerialize);
-        SerializeResponse(resp, out);
+        payload = SerializeResponsePayload(resp);
       }
       ScopedPhase write_phase(phase_profiler_, Phase::kWrite);
       int writes_used = 0;
       const SpinWriteResult wr =
-          BlockingWriteAll(fd, out.View(), write_stats_, &writes_used);
+          BlockingWriteAll(fd, payload, write_stats_, &writes_used);
       if (wr == SpinWriteResult::kOk) {
         writes_per_response_->Record(writes_used);
         request_latency_ns_->Record(NowNanos() - req_start_ns);
@@ -316,6 +318,7 @@ void ThreadPerConnServer::ConnectionMain(Socket socket) {
     live_tids_.erase(tid);
     live_fds_.erase(fd);
   }
+  buffer_pool_.Release(std::move(in));
   closed_.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/socket.h"
+#include "runtime/buffer_pool.h"
 #include "servers/server.h"
 
 namespace hynet {
@@ -47,6 +48,8 @@ class ThreadPerConnServer final : public Server {
   std::set<int> live_fds_;   // for shutdown() on Stop
   std::set<int> live_tids_;  // for /proc metrics
   int acceptor_tid_ = 0;
+  // Shared across connection threads (BufferPool is internally locked).
+  BufferPool buffer_pool_;
 
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> closed_{0};

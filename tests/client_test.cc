@@ -119,7 +119,15 @@ TEST(BenchHandler, HonorsSizeAndCpuParams) {
   req.query = {{"size", "2048"}, {"us", "0"}};
   HttpResponse resp;
   handler(req, resp);
-  EXPECT_EQ(resp.body.size(), 2048u);
+  // The body is shared across responses of the same size (zero-copy path).
+  ASSERT_NE(resp.shared_body, nullptr);
+  EXPECT_EQ(resp.shared_body->size(), 2048u);
+  EXPECT_EQ(resp.PayloadBytes(), 2048u);
+
+  // A second response of the same size reuses the same allocation.
+  HttpResponse again;
+  handler(req, again);
+  EXPECT_EQ(again.shared_body.get(), resp.shared_body.get());
 }
 
 TEST(BenchHandler, TargetBuilderRoundTrips) {

@@ -7,6 +7,7 @@
 
 #include "common/bytes.h"
 #include "common/clock.h"
+#include "common/payload.h"
 #include "common/env.h"
 #include "common/fd.h"
 #include "common/histogram.h"
@@ -68,6 +69,111 @@ TEST(ByteBuffer, ProducedAfterExternalWrite) {
   std::memcpy(buf.WritePtr(), "abcd", 4);
   buf.Produced(4);
   EXPECT_EQ(buf.View(), "abcd");
+}
+
+TEST(ByteBuffer, GrowthIsGeometric) {
+  // A stream of small appends must reallocate O(log n) times, not O(n):
+  // each growth at least doubles the storage.
+  ByteBuffer buf(16);
+  size_t capacity = buf.Capacity();
+  int growths = 0;
+  for (int i = 0; i < 100000; ++i) {
+    buf.Append("abcdefgh");
+    if (buf.Capacity() != capacity) {
+      EXPECT_GE(buf.Capacity(), 2 * capacity);
+      capacity = buf.Capacity();
+      growths++;
+    }
+  }
+  EXPECT_LE(growths, 20);
+}
+
+TEST(ByteBuffer, GrowthJumpsStraightToLargeNeed) {
+  // One append larger than double the current storage grows to exactly
+  // the needed size rather than doubling repeatedly.
+  ByteBuffer buf(16);
+  buf.Append(std::string(1000, 'x'));
+  EXPECT_EQ(buf.Capacity(), 1000u);
+}
+
+TEST(ByteBuffer, ShrinkToFitReleasesExcessCapacity) {
+  ByteBuffer buf;
+  buf.Append(std::string(256 * 1024, 'y'));
+  buf.ConsumeAll();
+  EXPECT_GT(buf.Capacity(), ByteBuffer::kInitialCapacity);
+  buf.ShrinkToFit();
+  EXPECT_EQ(buf.Capacity(), ByteBuffer::kInitialCapacity);
+}
+
+TEST(ByteBuffer, ShrinkToFitKeepsUnreadBytes) {
+  ByteBuffer buf;
+  const std::string payload(8000, 'p');
+  buf.Append(std::string(64 * 1024, 'q'));
+  buf.Consume(64 * 1024);
+  buf.Append(payload);
+  buf.ShrinkToFit();
+  EXPECT_EQ(buf.View(), payload);
+  EXPECT_EQ(buf.Capacity(), payload.size());
+}
+
+TEST(Payload, ThreeSegmentsFlattenInWireOrder) {
+  auto body = std::make_shared<const std::string>("BODY");
+  const Payload p("HEAD", body, "TAIL");
+  EXPECT_EQ(p.size(), 12u);
+  EXPECT_EQ(p.Flatten(), "HEADBODYTAIL");
+  EXPECT_EQ(p.head(), "HEAD");
+  EXPECT_EQ(p.body(), "BODY");
+  EXPECT_EQ(p.tail(), "TAIL");
+}
+
+TEST(Payload, CopySharesTheBodyAllocation) {
+  auto body = std::make_shared<const std::string>(std::string(100000, 'b'));
+  const Payload a("h", body);
+  const Payload b = a;
+  EXPECT_EQ(a.shared_body().get(), b.shared_body().get());
+  EXPECT_EQ(body.use_count(), 3);  // local + two payloads
+}
+
+TEST(Payload, FillIovSkipsExhaustedSegments) {
+  auto body = std::make_shared<const std::string>("BODY");
+  const Payload p("HEAD", body, "TAIL");
+  struct iovec iov[Payload::kMaxSegments];
+  // No offset: all three segments.
+  ASSERT_EQ(p.FillIov(0, iov, Payload::kMaxSegments), 3u);
+  EXPECT_EQ(iov[0].iov_len, 4u);
+  // Offset mid-head.
+  ASSERT_EQ(p.FillIov(2, iov, Payload::kMaxSegments), 3u);
+  EXPECT_EQ(std::string_view(static_cast<char*>(iov[0].iov_base),
+                             iov[0].iov_len),
+            "AD");
+  // Offset mid-body: head is skipped entirely.
+  ASSERT_EQ(p.FillIov(6, iov, Payload::kMaxSegments), 2u);
+  EXPECT_EQ(std::string_view(static_cast<char*>(iov[0].iov_base),
+                             iov[0].iov_len),
+            "DY");
+  EXPECT_EQ(std::string_view(static_cast<char*>(iov[1].iov_base),
+                             iov[1].iov_len),
+            "TAIL");
+  // Offset at the very end: nothing left.
+  EXPECT_EQ(p.FillIov(12, iov, Payload::kMaxSegments), 0u);
+}
+
+TEST(Payload, FillIovRespectsMaxIov) {
+  auto body = std::make_shared<const std::string>("BODY");
+  const Payload p("HEAD", body, "TAIL");
+  struct iovec iov[1];
+  ASSERT_EQ(p.FillIov(0, iov, 1), 1u);
+  EXPECT_EQ(std::string_view(static_cast<char*>(iov[0].iov_base),
+                             iov[0].iov_len),
+            "HEAD");
+}
+
+TEST(Payload, FromStringIsSingleSegment) {
+  const Payload p = Payload::FromString("wire bytes");
+  struct iovec iov[Payload::kMaxSegments];
+  EXPECT_EQ(p.FillIov(0, iov, Payload::kMaxSegments), 1u);
+  EXPECT_EQ(p.Flatten(), "wire bytes");
+  EXPECT_FALSE(p.shared_body());
 }
 
 TEST(BlockingQueue, FifoOrder) {

@@ -282,12 +282,20 @@ TEST(AdminPlane, ScrapeMatchesSnapshotUnderLoadForEveryArchitecture) {
     ASSERT_NE(writes, nullptr);
     EXPECT_GT(writes->count, 0u);
 
+    // The zero-copy outbound path is live in every architecture: writes
+    // went through writev, and read buffers were checked out of the pool.
+    EXPECT_GT(direct.writev_calls, 0u);
+    EXPECT_GE(direct.iov_segments, direct.writev_calls);
+    EXPECT_GT(snap.CounterValue("buffer_pool_misses"), 0u);
+
     // Unknown paths 404; stats.json carries the same counters.
     EXPECT_EQ(AdminGet(server->AdminPort(), "/nope").status, 404);
     const AdminReply stats = AdminGet(server->AdminPort(), "/stats.json");
     EXPECT_EQ(stats.status, 200);
     EXPECT_NE(stats.body.find("\"server_requests_handled\""),
               std::string::npos);
+    EXPECT_NE(stats.body.find("\"server_writev_calls\""), std::string::npos);
+    EXPECT_NE(stats.body.find("\"buffer_pool_hits\""), std::string::npos);
 
     server->Stop();
   }

@@ -88,6 +88,38 @@ TEST(ConnectionChurn, OpenCloseStormLeavesServerHealthy) {
   }
 }
 
+// Accept→request→close churn with the buffer pool in the loop: recycled
+// read buffers must never leak bytes between connections or dangle after
+// close (this test is the pool's ASan/UBSan coverage in CI).
+TEST(ConnectionChurn, BufferPoolRecyclesAcrossConnections) {
+  for (ServerArchitecture arch : kAllArchs) {
+    auto server = StartArch(arch);
+    for (int i = 0; i < 40; ++i) {
+      Socket sock = Socket::CreateTcp(false);
+      sock.Connect(InetAddr::Loopback(server->Port()));
+      const std::string wire =
+          BuildGetRequest(BenchTarget(256, 0), /*keep_alive=*/false);
+      ASSERT_GT(WriteFd(sock.fd(), wire.data(), wire.size()).n, 0);
+      std::string got;
+      char buf[8 * 1024];
+      while (true) {
+        const IoResult r = ReadFd(sock.fd(), buf, sizeof(buf));
+        if (r.n <= 0) break;
+        got.append(buf, static_cast<size_t>(r.n));
+      }
+      EXPECT_NE(got.find("200 OK"), std::string::npos)
+          << ArchitectureName(arch) << " round " << i;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const MetricsSnapshot snap = server->metrics().Scrape();
+    // Sequential close-then-reconnect churn must hit the free list, and
+    // every released buffer must balance an acquired one.
+    EXPECT_GT(snap.CounterValue("buffer_pool_hits"), 0u)
+        << ArchitectureName(arch);
+    server->Stop();
+  }
+}
+
 TEST(SlowLoris, PartialRequestDoesNotBlockOtherClients) {
   // One byte-at-a-time client must not stop a concurrent fast client —
   // even on the single-threaded server (it only blocks on *writes*).

@@ -44,8 +44,8 @@ def main() -> int:
     url = f"http://{args.host}:{args.port}/stats.json"
     print(f"polling {url} every {args.interval:g}s  (Ctrl-C to stop)")
     header = (f"{'time':>8}  {'req/s':>9}  {'resp/s':>9}  {'wr/resp':>7}  "
-              f"{'zero/s':>7}  {'conns':>7}  {'p50ms':>7}  {'p99ms':>7}  "
-              f"{'drain':>5}")
+              f"{'zero/s':>7}  {'iov/wv':>6}  {'conns':>7}  {'p50ms':>7}  "
+              f"{'p99ms':>7}  {'drain':>5}")
 
     prev = None
     prev_t = None
@@ -64,6 +64,10 @@ def main() -> int:
             resp_rate = d("server_responses_sent")
             writes_rate = d("server_write_calls")
             wr_per_resp = (writes_rate / resp_rate) if resp_rate > 0 else 0.0
+            # Coalescing factor: payload segments per vectored syscall.
+            writev_rate = d("server_writev_calls")
+            iov_rate = d("server_iov_segments")
+            iov_per_wv = (iov_rate / writev_rate) if writev_rate > 0 else 0.0
             live = (counter(stats, "server_connections_accepted")
                     - counter(stats, "server_connections_closed"))
             lat = histogram(stats, "server_request_latency_ns")
@@ -75,7 +79,8 @@ def main() -> int:
             print(f"{time.strftime('%H:%M:%S'):>8}  "
                   f"{d('server_requests_handled'):>9.1f}  "
                   f"{resp_rate:>9.1f}  {wr_per_resp:>7.2f}  "
-                  f"{d('server_zero_writes'):>7.1f}  {live:>7d}  "
+                  f"{d('server_zero_writes'):>7.1f}  {iov_per_wv:>6.1f}  "
+                  f"{live:>7d}  "
                   f"{p50:>7.2f}  {p99:>7.2f}  "
                   f"{'yes' if draining else 'no':>5}")
             lines += 1
