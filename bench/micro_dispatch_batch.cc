@@ -1,0 +1,124 @@
+// micro_dispatch_batch: voluntary context switches per request on the
+// reactor+pool dispatch path, sweeping dispatch_batch × concurrency.
+//
+// At dispatch_batch=1 every ready event is its own condvar handoff —
+// the reactor wakes one worker per event (two voluntary switches per
+// request, the paper's Figure 3 flow). With batching, the reactor hands a
+// whole epoll batch to the pool in one wake and each worker drains up to
+// dispatch_batch tasks per wake, so the handoff cost amortizes across the
+// batch; wakeup coalescing removes the eventfd writes on the return path.
+// The batch=1 column is the unchanged baseline (it must match
+// tab01_ctx_switches), emitted to BENCH_dispatch.json.
+//
+//   ./build/bench/micro_dispatch_batch
+#include "bench_common.h"
+
+using namespace hynet;
+using namespace hynet::benchx;
+
+namespace {
+
+struct PointResult {
+  int batch = 0;
+  int concurrency = 0;
+  double vol_cs_per_req = 0.0;
+  double throughput = 0.0;
+  double events_per_handoff = 0.0;  // dispatches_to_worker / dispatch_batches
+  double wakeup_elided_share = 0.0;
+};
+
+PointResult RunPoint(int batch, int concurrency, double seconds) {
+  BenchPoint p =
+      MakePoint(ServerArchitecture::kReactorPool, kSmall, concurrency,
+                seconds);
+  p.server.dispatch_batch = batch;
+  const BenchPointResult r = RunBenchPoint(p);
+
+  PointResult out;
+  out.batch = batch;
+  out.concurrency = concurrency;
+  out.vol_cs_per_req =
+      r.load.completed
+          ? static_cast<double>(r.activity.ctx_switches.voluntary) /
+                static_cast<double>(r.load.completed)
+          : 0.0;
+  out.throughput = r.Throughput();
+  out.events_per_handoff =
+      r.counters.dispatch_batches
+          ? static_cast<double>(r.counters.requests_handled) /
+                static_cast<double>(r.counters.dispatch_batches)
+          : 0.0;
+  const uint64_t wakeups =
+      r.counters.wakeup_writes_issued + r.counters.wakeup_writes_elided;
+  out.wakeup_elided_share =
+      wakeups ? static_cast<double>(r.counters.wakeup_writes_elided) /
+                    static_cast<double>(wakeups)
+              : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "micro_dispatch_batch: voluntary ctx switches per request, "
+      "reactor+pool, dispatch_batch x concurrency");
+
+  const double seconds = BenchSeconds(1.0);
+  std::vector<int> batches = {1, 8, 32};
+  std::vector<int> concurrencies = {8, 64, 128};
+  if (BenchQuickMode()) {
+    batches = {1, 8};
+    concurrencies = {8, 64};
+  }
+
+  TablePrinter table({"conc", "batch", "vol_cs_per_req", "vs_batch1",
+                      "req_per_handoff", "wakeups_elided", "req_per_sec"});
+  std::vector<PointResult> results;
+  for (int conc : concurrencies) {
+    double baseline = 0.0;
+    for (int batch : batches) {
+      const PointResult r = RunPoint(batch, conc, seconds);
+      results.push_back(r);
+      if (batch == 1) baseline = r.vol_cs_per_req;
+      table.AddRow(
+          {TablePrinter::Int(conc), TablePrinter::Int(batch),
+           TablePrinter::Num(r.vol_cs_per_req, 2),
+           TablePrinter::Num(
+               r.vol_cs_per_req > 0 ? baseline / r.vol_cs_per_req : 0.0, 1),
+           TablePrinter::Num(r.events_per_handoff, 1),
+           TablePrinter::Num(r.wakeup_elided_share * 100.0, 0),
+           TablePrinter::Num(r.throughput, 0)});
+    }
+  }
+  table.Print();
+
+  FILE* f = std::fopen("BENCH_dispatch.json", "w");
+  if (f) {
+    std::fprintf(f, "{\"bench\":\"micro_dispatch_batch\",\"points\":[\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      const PointResult& r = results[i];
+      std::fprintf(f,
+                   "  {\"concurrency\":%d,\"dispatch_batch\":%d,"
+                   "\"voluntary_cs_per_req\":%.3f,"
+                   "\"requests_per_handoff\":%.2f,"
+                   "\"wakeup_elided_share\":%.3f,"
+                   "\"throughput_rps\":%.1f}%s\n",
+                   r.concurrency, r.batch, r.vol_cs_per_req,
+                   r.events_per_handoff, r.wakeup_elided_share, r.throughput,
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_dispatch.json\n");
+  }
+
+  std::printf(
+      "\nExpected shape: batch=1 matches the tab01 baseline (about two\n"
+      "voluntary switches per request from the reactor->worker handoff).\n"
+      "At concurrency >= 64 and dispatch_batch >= 8 the epoll batches are\n"
+      "full, so one condvar wake carries many events: >= 2x fewer\n"
+      "voluntary switches per request, with most return-path eventfd\n"
+      "wakeups elided by coalescing.\n");
+  return 0;
+}

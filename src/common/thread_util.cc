@@ -1,6 +1,7 @@
 #include "common/thread_util.h"
 
 #include <pthread.h>
+#include <sched.h>
 #include <sys/syscall.h>
 #include <unistd.h>
 
@@ -65,6 +66,45 @@ uint64_t BurnCpuMicros(double micros) {
   CalibrateCpuBurn();
   const double iters = micros * g_iters_per_us.load(std::memory_order_relaxed);
   return ChecksumLoop(static_cast<uint64_t>(iters));
+}
+
+int OnlineCpuCount() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (::sched_getaffinity(0, sizeof(set), &set) == 0) {
+    int n = CPU_COUNT(&set);
+    if (n > 0) return n;
+  }
+  long n = ::sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+bool PinThread(int cpu) {
+  if (cpu < 0) return false;
+  // Pin onto the cpus the process is actually allowed to use (containers
+  // often restrict the mask), wrapping so any monotonically assigned id
+  // lands on a real core.
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (::sched_getaffinity(0, sizeof(allowed), &allowed) != 0 ||
+      CPU_COUNT(&allowed) == 0) {
+    return false;
+  }
+  int target = cpu % CPU_COUNT(&allowed);
+  int seen = 0;
+  int chosen = -1;
+  for (int i = 0; i < CPU_SETSIZE; ++i) {
+    if (!CPU_ISSET(i, &allowed)) continue;
+    if (seen++ == target) {
+      chosen = i;
+      break;
+    }
+  }
+  if (chosen < 0) return false;
+  cpu_set_t one;
+  CPU_ZERO(&one);
+  CPU_SET(chosen, &one);
+  return ::pthread_setaffinity_np(::pthread_self(), sizeof(one), &one) == 0;
 }
 
 }  // namespace hynet

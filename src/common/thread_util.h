@@ -22,6 +22,15 @@ uint64_t BurnCpuMicros(double micros);
 // Calibrates BurnCpuMicros (idempotent; called lazily on first use).
 void CalibrateCpuBurn();
 
+// Number of CPUs this process may run on (affinity-mask aware; falls back
+// to the online count, never returns < 1).
+int OnlineCpuCount();
+
+// Pins the calling thread to `cpu` modulo the machine size (so callers can
+// hand out monotonically increasing ids without counting cores). Negative
+// cpu is a no-op. Returns true if the affinity call succeeded.
+bool PinThread(int cpu);
+
 // Joins all threads on destruction (Core Guidelines CP.25 gsl::joining_thread
 // stand-in for groups of threads).
 class ThreadGroup {

@@ -30,9 +30,18 @@ void EventLoop::Run() {
   running_.store(true, std::memory_order_release);
 
   while (!stop_requested_.load(std::memory_order_acquire)) {
-    const int64_t timeout_ns = NextTimerTimeoutNs();
+    // Coalescing handshake: declare "about to block" BEFORE computing the
+    // wait timeout. The timeout computation re-checks pending tasks and
+    // timers under their mutexes, so any producer that enqueued work and
+    // then saw awake_ == true (and therefore elided its eventfd write) is
+    // guaranteed to have its work observed here — the mutex hand-off
+    // orders its enqueue before our check. Producers that instead see
+    // awake_ == false write the eventfd and wake us the classic way.
+    awake_.store(false, std::memory_order_seq_cst);
+    const int64_t timeout_ns = ComputeWaitTimeoutNs();
     auto ready = epoller_.Wait(timeout_ns);
-    wakeups_++;
+    awake_.store(true, std::memory_order_seq_cst);
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
 
     for (const epoll_event& ev : ready) {
       const int fd = ev.data.fd;
@@ -50,6 +59,7 @@ void EventLoop::Run() {
 
     FireDueTimers();
     RunPendingTasks();
+    if (post_iteration_hook_) post_iteration_hook_();
   }
   running_.store(false, std::memory_order_release);
   loop_tid_.store(0, std::memory_order_relaxed);
@@ -57,6 +67,8 @@ void EventLoop::Run() {
 
 void EventLoop::Stop() {
   stop_requested_.store(true, std::memory_order_release);
+  // Deliberately bypasses coalescing: shutdown must not depend on the
+  // awake_/pending_wakeup_ protocol.
   WakeUp();
 }
 
@@ -97,11 +109,18 @@ void EventLoop::QueueTask(Task task) {
     std::lock_guard<std::mutex> lock(task_mu_);
     pending_tasks_.push_back(std::move(task));
   }
-  WakeUp();
+  MaybeWakeUp();
 }
 
 EventLoop::TimerId EventLoop::RunAfter(Duration delay, Task task) {
   return RunAt(Now() + delay, std::move(task));
+}
+
+EventLoop::TimerId EventLoop::RunAfterCoarse(Duration delay, Task task) {
+  const TimerId id = next_timer_id_.fetch_add(1, std::memory_order_relaxed);
+  wheel_.Schedule(id, Now() + delay, std::move(task));
+  MaybeWakeUp();  // the new deadline may be earlier than the current wait
+  return id;
 }
 
 EventLoop::TimerId EventLoop::RunAt(TimePoint when, Task task) {
@@ -109,25 +128,62 @@ EventLoop::TimerId EventLoop::RunAt(TimePoint when, Task task) {
   {
     std::lock_guard<std::mutex> lock(timer_mu_);
     timers_.push(Timer{when, id});
-    timer_tasks_[id] = std::move(task);
+    timer_tasks_[id] = TimerTask{when, std::move(task)};
   }
-  WakeUp();  // the new deadline may be earlier than the current epoll timeout
+  MaybeWakeUp();  // the new deadline may be earlier than the current wait
   return id;
 }
 
 void EventLoop::CancelTimer(TimerId id) {
+  if (wheel_.Cancel(id)) return;
   std::lock_guard<std::mutex> lock(timer_mu_);
   timer_tasks_.erase(id);  // heap entry becomes a no-op when it pops
+  CompactTimerHeapLocked();
+}
+
+// Rebuilds the heap from live entries once cancelled carcasses dominate.
+// Amortized O(1) per cancel: a rebuild of n live entries only happens after
+// at least n+64 cancellations have accumulated since the last one.
+void EventLoop::CompactTimerHeapLocked() {
+  constexpr size_t kSlack = 64;
+  if (timers_.size() <= 2 * timer_tasks_.size() + kSlack) return;
+  std::vector<Timer> live;
+  live.reserve(timer_tasks_.size());
+  for (const auto& [id, tt] : timer_tasks_) live.push_back(Timer{tt.when, id});
+  timers_ = std::priority_queue<Timer, std::vector<Timer>,
+                                std::greater<Timer>>(std::greater<Timer>(),
+                                                     std::move(live));
 }
 
 void EventLoop::WakeUp() {
+  wakeup_writes_issued_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t one = 1;
   (void)!::write(wakeup_fd_.get(), &one, sizeof(one));
+}
+
+// The coalescing fast path. Elide the eventfd write when (a) the loop is
+// awake — it re-checks all work sources before blocking again (see Run), or
+// (b) another producer's write is still undrained — that write will wake
+// the loop, which drains the fd before processing work. Otherwise claim the
+// pending flag and write. The flag is cleared in DrainWakeupFd after the
+// read, so a concurrent elision can at worst cause one spurious wakeup,
+// never a lost one.
+void EventLoop::MaybeWakeUp() {
+  if (awake_.load(std::memory_order_seq_cst)) {
+    wakeup_writes_elided_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (pending_wakeup_.exchange(true, std::memory_order_seq_cst)) {
+    wakeup_writes_elided_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  WakeUp();
 }
 
 void EventLoop::DrainWakeupFd() {
   uint64_t value = 0;
   (void)!::read(wakeup_fd_.get(), &value, sizeof(value));
+  pending_wakeup_.store(false, std::memory_order_seq_cst);
 }
 
 void EventLoop::RunPendingTasks() {
@@ -137,6 +193,22 @@ void EventLoop::RunPendingTasks() {
     tasks.swap(pending_tasks_);
   }
   for (auto& task : tasks) task();
+}
+
+// Full pre-block work check; must run after awake_ has been cleared (the
+// mutex acquisitions below are what make producer-side elision safe).
+int64_t EventLoop::ComputeWaitTimeoutNs() {
+  if (stop_requested_.load(std::memory_order_acquire)) return 0;
+  {
+    std::lock_guard<std::mutex> lock(task_mu_);
+    if (!pending_tasks_.empty()) return 0;
+  }
+  int64_t heap_ns = NextTimerTimeoutNs();
+  const int64_t wheel_ns = wheel_.NanosUntilNextNs(Now());
+  if (wheel_ns >= 0) {
+    heap_ns = heap_ns < 0 ? wheel_ns : std::min(heap_ns, wheel_ns);
+  }
+  return heap_ns;
 }
 
 int64_t EventLoop::NextTimerTimeoutNs() {
@@ -168,15 +240,31 @@ void EventLoop::FireDueTimers() {
       while (!timers_.empty() && !timer_tasks_.contains(timers_.top().id)) {
         timers_.pop();  // cancelled
       }
-      if (timers_.empty() || timers_.top().when > now) return;
+      if (timers_.empty() || timers_.top().when > now) break;
       const TimerId id = timers_.top().id;
       timers_.pop();
       auto it = timer_tasks_.find(id);
-      task = std::move(it->second);
+      task = std::move(it->second.task);
       timer_tasks_.erase(it);
     }
     task();
   }
+  // Coarse wheel timers fire after precise ones. Same one-at-a-time
+  // contract: Cancel from inside a task suppresses a same-batch entry, and
+  // the wheel never returns an entry scheduled during this pass.
+  while (auto task = wheel_.PopDue(now)) {
+    (*task)();
+  }
+}
+
+size_t EventLoop::PreciseTimerCount() const {
+  std::lock_guard<std::mutex> lock(timer_mu_);
+  return timer_tasks_.size();
+}
+
+size_t EventLoop::TimerHeapSizeForTest() const {
+  std::lock_guard<std::mutex> lock(timer_mu_);
+  return timers_.size();
 }
 
 }  // namespace hynet

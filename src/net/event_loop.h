@@ -16,6 +16,7 @@
 #include "common/clock.h"
 #include "common/fd.h"
 #include "net/epoll.h"
+#include "net/timer_wheel.h"
 
 namespace hynet {
 
@@ -48,15 +49,41 @@ class EventLoop {
   // Always enqueues (even from the loop thread).
   void QueueTask(Task task);
 
-  // Timers (loop thread or any thread; thread-safe).
+  // Timers (loop thread or any thread; thread-safe). RunAfter/RunAt go on
+  // the precise heap; RunAfterCoarse goes on the hashed timer wheel —
+  // O(1) arm/disarm with tick (10ms) granularity, the right home for
+  // arm-often/fire-rarely connection deadlines. One TimerId space covers
+  // both, so CancelTimer works on either.
   TimerId RunAfter(Duration delay, Task task);
+  TimerId RunAfterCoarse(Duration delay, Task task);
   TimerId RunAt(TimePoint when, Task task);
   void CancelTimer(TimerId id);
 
   bool IsInLoopThread() const;
 
+  // Runs on the loop thread at the end of every loop iteration (after fd
+  // dispatch, timers, and pending tasks). Used to flush per-iteration
+  // accumulations — e.g. handing one epoll batch of ready events to a
+  // worker pool in a single wake. Set before Run() starts.
+  void SetPostIterationHook(Task hook) { post_iteration_hook_ = std::move(hook); }
+
   // Statistics: number of epoll_wait returns and dispatched events.
-  uint64_t WakeupCount() const { return wakeups_; }
+  uint64_t WakeupCount() const {
+    return wakeups_.load(std::memory_order_relaxed);
+  }
+  // Wakeup-coalescing effectiveness: eventfd writes actually issued vs
+  // elided because the loop was already awake (or a write was in flight).
+  uint64_t WakeupWritesIssued() const {
+    return wakeup_writes_issued_.load(std::memory_order_relaxed);
+  }
+  uint64_t WakeupWritesElided() const {
+    return wakeup_writes_elided_.load(std::memory_order_relaxed);
+  }
+
+  // Introspection for tests.
+  size_t PreciseTimerCount() const;
+  size_t CoarseTimerCount() const { return wheel_.Size(); }
+  size_t TimerHeapSizeForTest() const;
 
  private:
   struct FdEntry {
@@ -73,11 +100,19 @@ class EventLoop {
     }
   };
 
+  struct TimerTask {
+    TimePoint when;
+    Task task;
+  };
+
   void WakeUp();
+  void MaybeWakeUp();
   void DrainWakeupFd();
   void RunPendingTasks();
+  int64_t ComputeWaitTimeoutNs();
   int64_t NextTimerTimeoutNs();
   void FireDueTimers();
+  void CompactTimerHeapLocked();
 
   Epoller epoller_;
   ScopedFd wakeup_fd_;
@@ -94,10 +129,25 @@ class EventLoop {
 
   mutable std::mutex timer_mu_;
   std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
-  std::unordered_map<TimerId, Task> timer_tasks_;
+  // Stores the deadline alongside the task so the heap can be rebuilt from
+  // live entries when cancellations leave it mostly dead (see
+  // CompactTimerHeapLocked).
+  std::unordered_map<TimerId, TimerTask> timer_tasks_;
   std::atomic<TimerId> next_timer_id_{1};
 
-  uint64_t wakeups_ = 0;
+  TimerWheel wheel_;
+
+  Task post_iteration_hook_;
+
+  // Wakeup coalescing (see MaybeWakeUp for the protocol). awake_ is true
+  // from the moment epoll_wait returns until the loop is about to block
+  // again; pending_wakeup_ is true while an eventfd write is undrained.
+  std::atomic<bool> awake_{false};
+  std::atomic<bool> pending_wakeup_{false};
+  std::atomic<uint64_t> wakeup_writes_issued_{0};
+  std::atomic<uint64_t> wakeup_writes_elided_{0};
+
+  std::atomic<uint64_t> wakeups_{0};
 };
 
 }  // namespace hynet

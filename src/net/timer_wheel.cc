@@ -1,0 +1,86 @@
+#include "net/timer_wheel.h"
+
+#include <algorithm>
+
+namespace hynet {
+
+TimerWheel::TimerWheel(Duration tick, size_t slots)
+    : tick_(tick <= Duration::zero() ? Duration(std::chrono::milliseconds(1))
+                                     : tick),
+      origin_(Now()),
+      slots_(std::max<size_t>(slots, 2)) {}
+
+int64_t TimerWheel::FloorTick(TimePoint t) const {
+  if (t <= origin_) return 0;
+  return (t - origin_) / tick_;
+}
+
+void TimerWheel::Schedule(TimerId id, TimePoint when, Task task) {
+  // Round the deadline up so a timer never fires early, and push it at
+  // least one tick past "now": an entry is never due in the tick it was
+  // scheduled in, which keeps a zero-delay self-rescheduler from spinning
+  // the servicing loop.
+  const int64_t due = FloorTick(when + tick_ - Duration(1));
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t tick = std::max({due, FloorTick(Now()) + 1, cursor_});
+  Slot& slot = slots_[static_cast<size_t>(tick) % slots_.size()];
+  slot.push_back(Entry{id, tick, std::move(task)});
+  index_[id] = {static_cast<size_t>(tick) % slots_.size(),
+                std::prev(slot.end())};
+}
+
+bool TimerWheel::Cancel(TimerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  slots_[it->second.first].erase(it->second.second);
+  index_.erase(it);
+  return true;
+}
+
+std::optional<TimerWheel::Task> TimerWheel::PopDue(TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t cur = FloorTick(now);
+  if (index_.empty()) {
+    // Fast-forward past the idle gap so the next pass is O(1).
+    cursor_ = std::max(cursor_, cur + 1);
+    return std::nullopt;
+  }
+  while (cursor_ <= cur) {
+    Slot& slot = slots_[static_cast<size_t>(cursor_) % slots_.size()];
+    for (auto it = slot.begin(); it != slot.end(); ++it) {
+      if (it->tick > cur) continue;  // a later revolution of this slot
+      Task task = std::move(it->task);
+      index_.erase(it->id);
+      slot.erase(it);
+      return task;
+    }
+    // No due entries left in this slot for this revolution.
+    ++cursor_;
+  }
+  return std::nullopt;
+}
+
+int64_t TimerWheel::NanosUntilNextNs(TimePoint now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index_.empty()) return -1;
+  const int64_t cur = FloorTick(now);
+  int64_t best = INT64_MAX;
+  for (const Slot& slot : slots_) {
+    for (const Entry& e : slot) {
+      if (e.tick <= cur) return 0;
+      best = std::min(best, e.tick);
+    }
+  }
+  const TimePoint due = origin_ + best * tick_;
+  if (due <= now) return 0;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(due - now)
+      .count();
+}
+
+size_t TimerWheel::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+}  // namespace hynet

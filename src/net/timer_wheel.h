@@ -1,0 +1,90 @@
+// Hashed timer wheel for coarse deadlines (idle/header/write-stall sweeps).
+//
+// The EventLoop's priority_queue gives precise ordering but O(log n) insert
+// and — worse — cancellation that leaves a dead entry in the heap until it
+// pops. Connection deadlines are the opposite workload: armed and cancelled
+// constantly, fired almost never, and nobody cares about sub-tick precision.
+// A hashed wheel gives O(1) insert and O(1) cancel *with reclamation*: the
+// entry and its index slot are freed the moment the deadline is disarmed.
+//
+// Deadlines are bucketed into ticks of `tick` duration across `slots`
+// buckets; an entry due more than one revolution out simply stays in its
+// slot until the cursor has wrapped around to it enough times. Timers never
+// fire early, and never in the same servicing pass they were scheduled in
+// (min one tick of delay) — a zero-delay self-rescheduling deadline cannot
+// starve the caller's loop.
+//
+// Thread-safe; callers run popped tasks outside the wheel's lock, so a task
+// may cancel other wheel entries (same-batch suppression works: a cancelled
+// entry is gone before the next PopDue can see it).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace hynet {
+
+class TimerWheel {
+ public:
+  using TimerId = uint64_t;
+  using Task = std::function<void()>;
+
+  // tick: bucket granularity (also the scheduling error bound and the
+  // minimum effective delay). slots: buckets per revolution; deadlines
+  // beyond slots*tick are handled correctly, just touched once per wrap.
+  explicit TimerWheel(Duration tick = std::chrono::milliseconds(10),
+                      size_t slots = 512);
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  // Registers `task` to fire no earlier than `when` (rounded up to tick
+  // granularity, min one tick from now). Ids are caller-assigned so one id
+  // space can span wheel and heap timers.
+  void Schedule(TimerId id, TimePoint when, Task task);
+
+  // Removes the entry and reclaims its slot immediately. Returns false if
+  // the id is unknown (already fired or never a wheel timer).
+  bool Cancel(TimerId id);
+
+  // Pops one due entry, earliest-slot first; nullopt when nothing is due at
+  // `now`. Run the returned task without holding any wheel/loop locks.
+  std::optional<Task> PopDue(TimePoint now);
+
+  // Nanoseconds until the earliest deadline (0 if already due), or -1 when
+  // empty. O(live entries) — fine for the sweep-timer cardinality this
+  // wheel serves.
+  int64_t NanosUntilNextNs(TimePoint now) const;
+
+  size_t Size() const;
+
+ private:
+  struct Entry {
+    TimerId id;
+    int64_t tick;  // absolute tick index since origin_
+    Task task;
+  };
+  using Slot = std::list<Entry>;
+
+  int64_t FloorTick(TimePoint t) const;
+
+  const Duration tick_;
+  const TimePoint origin_;
+
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+  // id -> owning slot; combined with std::list's stable iterators this
+  // makes Cancel O(1) including memory reclamation.
+  std::unordered_map<TimerId, std::pair<size_t, Slot::iterator>> index_;
+  // Next tick whose slot has not been fully serviced yet. Entries are never
+  // scheduled below the cursor, so PopDue only ever scans forward.
+  int64_t cursor_ = 0;
+};
+
+}  // namespace hynet

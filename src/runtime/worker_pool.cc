@@ -5,7 +5,11 @@
 namespace hynet {
 
 WorkerPool::WorkerPool(int num_threads, std::string name)
-    : num_threads_(num_threads), name_(std::move(name)) {
+    : WorkerPool(num_threads, std::move(name), Options{}) {}
+
+WorkerPool::WorkerPool(int num_threads, std::string name, Options options)
+    : num_threads_(num_threads), name_(std::move(name)), options_(options) {
+  if (options_.max_pop_batch == 0) options_.max_pop_batch = 1;
   tids_.reserve(static_cast<size_t>(num_threads_));
   for (int i = 0; i < num_threads_; ++i) {
     threads_.Spawn([this, i] { WorkerMain(i); });
@@ -22,6 +26,10 @@ WorkerPool::~WorkerPool() { Shutdown(); }
 
 void WorkerPool::Submit(Task task) { queue_.Push(std::move(task)); }
 
+void WorkerPool::SubmitBatch(std::vector<Task> tasks) {
+  queue_.PushBatch(std::move(tasks));
+}
+
 void WorkerPool::Shutdown() {
   queue_.Close();
   threads_.JoinAll();
@@ -34,19 +42,32 @@ std::vector<int> WorkerPool::ThreadIds() const {
 
 void WorkerPool::WorkerMain(int index) {
   SetCurrentThreadName(name_ + "-" + std::to_string(index));
+  if (options_.pin_cpu_base >= 0) PinThread(options_.pin_cpu_base + index);
   {
     std::lock_guard<std::mutex> lock(tid_mu_);
     tids_.push_back(CurrentTid());
   }
   tid_cv_.notify_one();
 
-  while (auto task = queue_.Pop()) {
+  auto run = [&](Task& task) {
     try {
-      (*task)();
+      task();
     } catch (const std::exception& e) {
       HYNET_LOG(ERROR) << "worker " << name_ << "-" << index
                        << " task threw: " << e.what();
     }
+  };
+
+  if (options_.max_pop_batch <= 1) {
+    // Paper-faithful path: one condvar handoff per task.
+    while (auto task = queue_.Pop()) {
+      run(*task);
+    }
+    return;
+  }
+  std::vector<Task> batch;
+  while (queue_.PopBatch(options_.max_pop_batch, batch)) {
+    for (Task& task : batch) run(task);
   }
 }
 

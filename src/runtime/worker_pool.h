@@ -4,6 +4,11 @@
 // architectures (sTomcat-Async / -Fix). The blocking handoff is the source
 // of the context switches the paper measures, so the pool deliberately uses
 // a condvar-based queue rather than spinning consumers.
+//
+// Options tune the dispatch path without changing its semantics at the
+// defaults: max_pop_batch > 1 lets each worker drain a batch of tasks per
+// condvar wake (amortizing the handoff), SubmitBatch publishes many tasks
+// under one wake, and pin_cpu_base >= 0 pins worker i to cpu base+i.
 #pragma once
 
 #include <functional>
@@ -19,12 +24,27 @@ class WorkerPool {
  public:
   using Task = std::function<void()>;
 
+  struct Options {
+    // Max tasks a worker pops per condvar wake. 1 = the paper-faithful
+    // one-handoff-per-task flow (byte-identical to the unbatched pool).
+    size_t max_pop_batch = 1;
+    // Pin worker i to cpu (pin_cpu_base + i); negative = no pinning.
+    int pin_cpu_base = -1;
+  };
+
   WorkerPool(int num_threads, std::string name);
+  WorkerPool(int num_threads, std::string name, Options options);
   ~WorkerPool();
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   void Submit(Task task);
+
+  // Publishes all tasks with a single lock hold + single consumer wake.
+  void SubmitBatch(std::vector<Task> tasks);
+
+  // Mirrors the feed-queue depth into `gauge` (see BlockingQueue).
+  void BindQueueDepthGauge(Gauge* gauge) { queue_.BindDepthGauge(gauge); }
 
   // Stops accepting work and joins all workers (drains remaining tasks).
   void Shutdown();
@@ -39,6 +59,7 @@ class WorkerPool {
 
   int num_threads_;
   std::string name_;
+  Options options_;
   BlockingQueue<Task> queue_;
   ThreadGroup threads_;
   std::vector<int> tids_;

@@ -44,6 +44,8 @@ void LoopGroupServer::Start() {
   for (int i = 0; i < n; ++i) {
     loop_threads_.emplace_back([this, i] {
       SetCurrentThreadName("loop-" + std::to_string(i));
+      // Cpu layout: worker loops on offset+0..offset+N-1, boss on offset+N.
+      if (config_.pin_cpus) PinThread(config_.pin_cpu_offset + i);
       loop_tids_[static_cast<size_t>(i)].store(CurrentTid(),
                                                std::memory_order_release);
       loops_[static_cast<size_t>(i)]->Run();
@@ -52,6 +54,7 @@ void LoopGroupServer::Start() {
   }
   boss_thread_ = std::thread([this] {
     SetCurrentThreadName("boss");
+    if (config_.pin_cpus) PinThread(config_.pin_cpu_offset + config_.event_loops);
     boss_tid_.store(CurrentTid(), std::memory_order_release);
     boss_loop_->Run();
   });
@@ -177,6 +180,15 @@ ServerCounters LoopGroupServer::Snapshot() const {
   c.light_path_responses = light_responses_.load(std::memory_order_relaxed);
   c.heavy_path_responses = heavy_responses_.load(std::memory_order_relaxed);
   c.reclassifications = reclassifications_.load(std::memory_order_relaxed);
+  if (boss_loop_) {
+    c.wakeup_writes_issued += boss_loop_->WakeupWritesIssued();
+    c.wakeup_writes_elided += boss_loop_->WakeupWritesElided();
+  }
+  for (const auto& loop : loops_) {
+    if (!loop) continue;
+    c.wakeup_writes_issued += loop->WakeupWritesIssued();
+    c.wakeup_writes_elided += loop->WakeupWritesElided();
+  }
   ExportLifecycle(c);
   return c;
 }

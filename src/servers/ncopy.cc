@@ -36,6 +36,9 @@ void NCopyServer::Start() {
 
     copy_config.port = port_;
     for (int i = 1; i < n; ++i) {
+      // Stagger each copy's loop onto its own core (copy 0 uses the
+      // parent's offset as-is).
+      copy_config.pin_cpu_offset = config_.pin_cpu_offset + i;
       copies_.push_back(
           std::make_unique<SingleThreadServer>(copy_config, handler_));
       copies_.back()->AdoptMetricsRegistry(SharedMetrics());

@@ -20,7 +20,16 @@ void ReactorPoolServer::Start() {
                                               config_.write_stall_timeout_ms);
   buffer_pool_.BindMetrics(metrics());
   loop_ = std::make_unique<EventLoop>();
-  pool_ = std::make_unique<WorkerPool>(config_.worker_threads, "rp-worker");
+  if (config_.dispatch_batch > 1) {
+    loop_->SetPostIterationHook([this] { FlushDispatchBatch(); });
+  }
+  WorkerPool::Options pool_opts;
+  pool_opts.max_pop_batch = static_cast<size_t>(config_.dispatch_batch);
+  // Cpu layout: reactor on offset+0, workers on offset+1..offset+N.
+  pool_opts.pin_cpu_base = config_.pin_cpus ? config_.pin_cpu_offset + 1 : -1;
+  pool_ = std::make_unique<WorkerPool>(config_.worker_threads, "rp-worker",
+                                       pool_opts);
+  pool_->BindQueueDepthGauge(&metrics().GetGauge("worker_queue_depth"));
   acceptor_ = std::make_unique<Acceptor>(
       *loop_, InetAddr::Loopback(config_.port),
       [this](Socket s, const InetAddr& peer) {
@@ -32,6 +41,7 @@ void ReactorPoolServer::Start() {
   started_.store(true, std::memory_order_release);
   loop_thread_ = std::thread([this] {
     SetCurrentThreadName("rp-reactor");
+    if (config_.pin_cpus) PinThread(config_.pin_cpu_offset);
     loop_tid_.store(CurrentTid(), std::memory_order_release);
     loop_->Run();
     conns_.clear();
@@ -142,6 +152,11 @@ ServerCounters ReactorPoolServer::Snapshot() const {
   c.writev_calls = write_stats_.writev_calls.load(std::memory_order_relaxed);
   c.iov_segments = write_stats_.iov_segments.load(std::memory_order_relaxed);
   c.logical_switches = dispatch_stats_.LogicalSwitches();
+  c.dispatch_batches = dispatch_batches_.load(std::memory_order_relaxed);
+  if (loop_) {
+    c.wakeup_writes_issued = loop_->WakeupWritesIssued();
+    c.wakeup_writes_elided = loop_->WakeupWritesElided();
+  }
   ExportLifecycle(c);
   return c;
 }
@@ -191,7 +206,28 @@ void ReactorPoolServer::DispatchReadEvent(int fd, uint32_t events) {
   // Remove the fd from epoll so nothing races with the worker.
   loop_->UnregisterFd(fd);
   dispatch_stats_.dispatches_to_worker.fetch_add(1, std::memory_order_relaxed);
-  pool_->Submit([this, conn] { HandleReadEvent(conn); });
+  EnqueueWorkerTask([this, conn] { HandleReadEvent(conn); });
+}
+
+void ReactorPoolServer::EnqueueWorkerTask(WorkerPool::Task task) {
+  if (config_.dispatch_batch <= 1) {
+    dispatch_batches_.fetch_add(1, std::memory_order_relaxed);
+    pool_->Submit(std::move(task));
+    return;
+  }
+  pending_dispatch_.push_back(std::move(task));
+  if (pending_dispatch_.size() >=
+      static_cast<size_t>(config_.dispatch_batch)) {
+    FlushDispatchBatch();
+  }
+}
+
+void ReactorPoolServer::FlushDispatchBatch() {
+  if (pending_dispatch_.empty()) return;
+  dispatch_batches_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<WorkerPool::Task> batch;
+  batch.swap(pending_dispatch_);
+  pool_->SubmitBatch(std::move(batch));
 }
 
 void ReactorPoolServer::HandleReadEvent(Connection* conn) {
@@ -332,7 +368,7 @@ void ReactorPoolServer::HandleReadEvent(Connection* conn) {
   loop_->RunInLoop([this, conn] {
     dispatch_stats_.dispatches_to_worker.fetch_add(1,
                                                    std::memory_order_relaxed);
-    pool_->Submit([this, conn] { HandleWriteEvent(conn); });
+    EnqueueWorkerTask([this, conn] { HandleWriteEvent(conn); });
   });
 }
 

@@ -56,6 +56,11 @@ class ReactorPoolServer final : public Server {
   void OnNewConnection(Socket socket, const InetAddr& peer);
   // Reactor side: a read event fired for fd.
   void DispatchReadEvent(int fd, uint32_t events);
+  // Reactor side: hand `task` to the pool — immediately (dispatch_batch=1,
+  // the paper-faithful per-event handoff) or accumulated and flushed once
+  // per loop iteration so one condvar wake carries the whole epoll batch.
+  void EnqueueWorkerTask(WorkerPool::Task task);
+  void FlushDispatchBatch();
   // Worker side: read + parse + handler (+ write in kMerged mode).
   void HandleReadEvent(Connection* conn);
   // Worker side: write the prepared response (kSplit mode only).
@@ -90,9 +95,14 @@ class ReactorPoolServer final : public Server {
   LifecycleDeadlines deadlines_;
   bool accept_paused_ = false;  // loop thread only
 
+  // Tasks accumulated during the current loop iteration (loop thread
+  // only); flushed to the pool by the post-iteration hook.
+  std::vector<WorkerPool::Task> pending_dispatch_;
+
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> closed_{0};
   std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> dispatch_batches_{0};
   WriteStats write_stats_;
   DispatchStats dispatch_stats_;
 };

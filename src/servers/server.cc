@@ -40,6 +40,8 @@ std::vector<std::string> ServerConfig::Validate() const {
     errors.push_back("write_stall_timeout_ms must be >= 0");
   }
   if (max_connections < 0) errors.push_back("max_connections must be >= 0");
+  if (dispatch_batch < 1) errors.push_back("dispatch_batch must be >= 1");
+  if (pin_cpu_offset < 0) errors.push_back("pin_cpu_offset must be >= 0");
   if (outbound_high_water_bytes > 0 &&
       outbound_low_water_bytes > outbound_high_water_bytes) {
     errors.push_back(

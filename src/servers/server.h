@@ -74,6 +74,20 @@ struct ServerConfig {
   // metrics/phase_profiler.h. Off by default (two clock reads per phase).
   bool profile_phases = false;
 
+  // ---- Dispatch path ----
+  // Max ready events the reactor hands to the worker pool per condvar wake
+  // (kReactorPool*/kStaged), and max tasks a worker drains per wake. 1 (the
+  // default) is the paper-faithful flow — one blocking handoff per event,
+  // exactly the context-switch anatomy the baseline measures. Larger values
+  // amortize the two switches of a handoff over a whole epoll batch.
+  int dispatch_batch = 1;
+  // Pin server threads (event loops, workers, stage pools, N-copy shards)
+  // to distinct cores, like the paper's testbed. Off by default.
+  bool pin_cpus = false;
+  // Internal: first cpu index for this server's threads; the N-copy
+  // wrapper staggers it so copies don't stack on the same cores.
+  int pin_cpu_offset = 0;
+
   // ---- Observability plane ----
   // Port for the embedded admin endpoint serving /metrics (Prometheus
   // text), /stats.json, and /healthz on loopback. -1 disables the plane
@@ -134,6 +148,11 @@ struct ServerConfig {
 //   logical_switches               — user-space handoffs (Table II)
 //   light_path_responses / heavy_path_responses / reclassifications
 //                                  — hybrid-only path accounting
+//   dispatch_batches               — reactor→worker handoffs (each carries
+//                                  1..dispatch_batch events in one wake)
+//   wakeup_writes_issued / wakeup_writes_elided
+//                                  — eventfd writes performed vs skipped by
+//                                  wakeup coalescing, summed over loops
 #define HYNET_SERVER_CORE_COUNTER_FIELDS(X) \
   X(connections_accepted)                   \
   X(connections_closed)                     \
@@ -147,7 +166,10 @@ struct ServerConfig {
   X(logical_switches)                       \
   X(light_path_responses)                   \
   X(heavy_path_responses)                   \
-  X(reclassifications)
+  X(reclassifications)                      \
+  X(dispatch_batches)                       \
+  X(wakeup_writes_issued)                   \
+  X(wakeup_writes_elided)
 
 // Lifecycle / overload-protection counters. Names match the LifecycleStats
 // atomics field-for-field; ExportLifecycle is generated from this list.

@@ -31,6 +31,7 @@ void SingleThreadServer::Start() {
   started_.store(true, std::memory_order_release);
   loop_thread_ = std::thread([this] {
     SetCurrentThreadName("singlet-loop");
+    if (config_.pin_cpus) PinThread(config_.pin_cpu_offset);
     loop_tid_.store(CurrentTid(), std::memory_order_release);
     loop_->Run();
     // Drain connections on the loop thread before it exits.
@@ -110,6 +111,10 @@ ServerCounters SingleThreadServer::Snapshot() const {
   c.zero_writes = write_stats_.zero_writes.load(std::memory_order_relaxed);
   c.writev_calls = write_stats_.writev_calls.load(std::memory_order_relaxed);
   c.iov_segments = write_stats_.iov_segments.load(std::memory_order_relaxed);
+  if (loop_) {
+    c.wakeup_writes_issued = loop_->WakeupWritesIssued();
+    c.wakeup_writes_elided = loop_->WakeupWritesElided();
+  }
   ExportLifecycle(c);
   return c;
 }

@@ -18,10 +18,28 @@ void StagedServer::Start() {
                                               config_.write_stall_timeout_ms);
   buffer_pool_.BindMetrics(metrics());
   loop_ = std::make_unique<EventLoop>();
+  if (config_.dispatch_batch > 1) {
+    loop_->SetPostIterationHook([this] { FlushDispatchBatch(); });
+  }
   const int n = std::max(1, config_.stage_threads);
-  parse_pool_ = std::make_unique<WorkerPool>(n, "stage-parse");
-  app_pool_ = std::make_unique<WorkerPool>(n, "stage-app");
-  write_pool_ = std::make_unique<WorkerPool>(n, "stage-write");
+  // Cpu layout: reactor on offset+0, then the three stage pools back to
+  // back (parse: +1.., app: +1+n.., write: +1+2n..).
+  auto stage_opts = [&](int stage_index) {
+    WorkerPool::Options opts;
+    opts.max_pop_batch = static_cast<size_t>(config_.dispatch_batch);
+    opts.pin_cpu_base = config_.pin_cpus
+                            ? config_.pin_cpu_offset + 1 + stage_index * n
+                            : -1;
+    return opts;
+  };
+  parse_pool_ = std::make_unique<WorkerPool>(n, "stage-parse", stage_opts(0));
+  app_pool_ = std::make_unique<WorkerPool>(n, "stage-app", stage_opts(1));
+  write_pool_ = std::make_unique<WorkerPool>(n, "stage-write", stage_opts(2));
+  parse_pool_->BindQueueDepthGauge(
+      &metrics().GetGauge("stage_parse_queue_depth"));
+  app_pool_->BindQueueDepthGauge(&metrics().GetGauge("stage_app_queue_depth"));
+  write_pool_->BindQueueDepthGauge(
+      &metrics().GetGauge("stage_write_queue_depth"));
   acceptor_ = std::make_unique<Acceptor>(
       *loop_, InetAddr::Loopback(config_.port),
       [this](Socket s, const InetAddr& peer) {
@@ -33,6 +51,7 @@ void StagedServer::Start() {
   started_.store(true, std::memory_order_release);
   loop_thread_ = std::thread([this] {
     SetCurrentThreadName("staged-reactor");
+    if (config_.pin_cpus) PinThread(config_.pin_cpu_offset);
     loop_tid_.store(CurrentTid(), std::memory_order_release);
     loop_->Run();
     conns_.clear();
@@ -152,6 +171,11 @@ ServerCounters StagedServer::Snapshot() const {
   c.writev_calls = write_stats_.writev_calls.load(std::memory_order_relaxed);
   c.iov_segments = write_stats_.iov_segments.load(std::memory_order_relaxed);
   c.logical_switches = dispatch_stats_.LogicalSwitches();
+  c.dispatch_batches = dispatch_batches_.load(std::memory_order_relaxed);
+  if (loop_) {
+    c.wakeup_writes_issued = loop_->WakeupWritesIssued();
+    c.wakeup_writes_elided = loop_->WakeupWritesElided();
+  }
   ExportLifecycle(c);
   return c;
 }
@@ -196,7 +220,28 @@ void StagedServer::DispatchReadEvent(int fd, uint32_t events) {
   if (events & EPOLLRDHUP) conn->lifecycle.peer_half_closed = true;
   loop_->UnregisterFd(fd);
   dispatch_stats_.dispatches_to_worker.fetch_add(1, std::memory_order_relaxed);
-  parse_pool_->Submit([this, conn] { ParseStage(conn); });
+  EnqueueParseTask([this, conn] { ParseStage(conn); });
+}
+
+void StagedServer::EnqueueParseTask(WorkerPool::Task task) {
+  if (config_.dispatch_batch <= 1) {
+    dispatch_batches_.fetch_add(1, std::memory_order_relaxed);
+    parse_pool_->Submit(std::move(task));
+    return;
+  }
+  pending_dispatch_.push_back(std::move(task));
+  if (pending_dispatch_.size() >=
+      static_cast<size_t>(config_.dispatch_batch)) {
+    FlushDispatchBatch();
+  }
+}
+
+void StagedServer::FlushDispatchBatch() {
+  if (pending_dispatch_.empty()) return;
+  dispatch_batches_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<WorkerPool::Task> batch;
+  batch.swap(pending_dispatch_);
+  parse_pool_->SubmitBatch(std::move(batch));
 }
 
 void StagedServer::ParseStage(Connection* conn) {

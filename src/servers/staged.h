@@ -42,6 +42,13 @@ class StagedServer final : public Server {
  private:
   void OnNewConnection(Socket socket, const InetAddr& peer);
   void DispatchReadEvent(int fd, uint32_t events);
+  // Reactor side: hand a read event to the parse stage — immediately
+  // (dispatch_batch=1) or accumulated and flushed once per loop iteration.
+  // Inter-stage hops happen on worker threads and are instead amortized on
+  // the consumer side (each stage worker drains up to dispatch_batch tasks
+  // per condvar wake).
+  void EnqueueParseTask(WorkerPool::Task task);
+  void FlushDispatchBatch();
   // Stage 1: read raw bytes + parse complete requests.
   void ParseStage(Connection* conn);
   // Stage 2: run the application handler, serialize responses.
@@ -77,9 +84,14 @@ class StagedServer final : public Server {
   LifecycleDeadlines deadlines_;
   bool accept_paused_ = false;  // loop thread only
 
+  // Tasks accumulated during the current loop iteration (loop thread
+  // only); flushed to the parse pool by the post-iteration hook.
+  std::vector<WorkerPool::Task> pending_dispatch_;
+
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> closed_{0};
   std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> dispatch_batches_{0};
   WriteStats write_stats_;
   DispatchStats dispatch_stats_;
 };

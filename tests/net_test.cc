@@ -11,6 +11,7 @@
 #include "net/acceptor.h"
 #include "net/event_loop.h"
 #include "net/socket.h"
+#include "net/timer_wheel.h"
 #include "common/thread_util.h"
 
 namespace hynet {
@@ -244,6 +245,177 @@ TEST(EventLoopTest, StopFromOtherThreadWakesBlockedLoop) {
   loop.Run();  // no fds, no timers: parked in epoll_wait
   stopper.join();
   EXPECT_LT(ToSeconds(Now() - start), 5.0);
+}
+
+TEST(TimerWheelTest, FiresNoEarlierThanOneTick) {
+  // Time is passed in explicitly, so the test is deterministic: an entry is
+  // never handed out before its (tick-rounded) deadline.
+  TimerWheel wheel(std::chrono::milliseconds(10), 16);
+  const TimePoint base = Now();
+  bool fired = false;
+  wheel.Schedule(1, base + std::chrono::milliseconds(25), [&] { fired = true; });
+  EXPECT_EQ(wheel.Size(), 1u);
+
+  EXPECT_FALSE(wheel.PopDue(base).has_value());
+  EXPECT_FALSE(wheel.PopDue(base + std::chrono::milliseconds(15)).has_value());
+  auto task = wheel.PopDue(base + std::chrono::milliseconds(40));
+  ASSERT_TRUE(task.has_value());
+  (*task)();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(wheel.Size(), 0u);
+}
+
+TEST(TimerWheelTest, CancelReclaimsImmediately) {
+  TimerWheel wheel;
+  const TimePoint base = Now();
+  for (TimerWheel::TimerId id = 1; id <= 100; ++id) {
+    wheel.Schedule(id, base + std::chrono::seconds(30), [] {});
+  }
+  EXPECT_EQ(wheel.Size(), 100u);
+  for (TimerWheel::TimerId id = 1; id <= 100; ++id) {
+    EXPECT_TRUE(wheel.Cancel(id));
+  }
+  // O(1) cancel with reclamation: no dead entries linger until they pop.
+  EXPECT_EQ(wheel.Size(), 0u);
+  EXPECT_FALSE(wheel.Cancel(1));  // unknown id
+  EXPECT_EQ(wheel.NanosUntilNextNs(base), -1);
+}
+
+TEST(TimerWheelTest, CancelFromPoppedTaskSuppressesSameBatch) {
+  // Two deadlines in the same tick; the first one cancels the second while
+  // it runs. The wheel must not hand out the cancelled entry afterwards.
+  TimerWheel wheel(std::chrono::milliseconds(10), 16);
+  const TimePoint base = Now();
+  bool second_fired = false;
+  wheel.Schedule(1, base + std::chrono::milliseconds(20),
+                 [&] { wheel.Cancel(2); });
+  wheel.Schedule(2, base + std::chrono::milliseconds(20),
+                 [&] { second_fired = true; });
+
+  const TimePoint due = base + std::chrono::milliseconds(50);
+  int popped = 0;
+  while (auto task = wheel.PopDue(due)) {
+    (*task)();
+    popped++;
+  }
+  EXPECT_EQ(popped, 1);
+  EXPECT_FALSE(second_fired);
+  EXPECT_EQ(wheel.Size(), 0u);
+}
+
+TEST(TimerWheelTest, MultiRevolutionDeadlineWaitsForWrapAround) {
+  // A tiny wheel (8 slots x 5ms = 40ms/revolution) with a deadline three
+  // revolutions out: the cursor passes its slot repeatedly without firing
+  // it until the absolute tick is reached.
+  TimerWheel wheel(std::chrono::milliseconds(5), 8);
+  const TimePoint base = Now();
+  bool fired = false;
+  wheel.Schedule(7, base + std::chrono::milliseconds(120),
+                 [&] { fired = true; });
+
+  for (int ms = 5; ms <= 115; ms += 5) {
+    EXPECT_FALSE(wheel.PopDue(base + std::chrono::milliseconds(ms)))
+        << "fired early at +" << ms << "ms";
+  }
+  auto task = wheel.PopDue(base + std::chrono::milliseconds(130));
+  ASSERT_TRUE(task.has_value());
+  (*task)();
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheelTest, NanosUntilNextTracksEarliestDeadline) {
+  TimerWheel wheel(std::chrono::milliseconds(10), 32);
+  const TimePoint base = Now();
+  EXPECT_EQ(wheel.NanosUntilNextNs(base), -1);
+  wheel.Schedule(1, base + std::chrono::milliseconds(100), [] {});
+  wheel.Schedule(2, base + std::chrono::milliseconds(40), [] {});
+  const int64_t ns = wheel.NanosUntilNextNs(base);
+  EXPECT_GT(ns, 0);
+  EXPECT_LE(ns, 110 * 1000000ll);  // earliest deadline, tick-rounded
+  EXPECT_EQ(wheel.NanosUntilNextNs(base + std::chrono::milliseconds(60)), 0);
+  EXPECT_TRUE(wheel.Cancel(2));
+  EXPECT_GT(wheel.NanosUntilNextNs(base + std::chrono::milliseconds(60)), 0);
+}
+
+TEST(EventLoopTest, CoarseTimerRoutesToWheelAndFires) {
+  EventLoop loop;
+  std::atomic<bool> fired{false};
+  loop.RunAfterCoarse(std::chrono::milliseconds(20), [&] { fired = true; });
+  EXPECT_EQ(loop.CoarseTimerCount(), 1u);
+  EXPECT_EQ(loop.PreciseTimerCount(), 0u);
+  loop.RunAfter(std::chrono::milliseconds(300), [&] { loop.Stop(); });
+  EXPECT_EQ(loop.PreciseTimerCount(), 1u);
+  loop.Run();
+  EXPECT_TRUE(fired.load());
+  EXPECT_EQ(loop.CoarseTimerCount(), 0u);
+}
+
+TEST(EventLoopTest, CancelledCoarseTimerReclaimsAndDoesNotFire) {
+  EventLoop loop;
+  std::atomic<bool> fired{false};
+  const auto id = loop.RunAfterCoarse(std::chrono::milliseconds(20),
+                                      [&] { fired = true; });
+  EXPECT_EQ(loop.CoarseTimerCount(), 1u);
+  loop.CancelTimer(id);
+  EXPECT_EQ(loop.CoarseTimerCount(), 0u);  // reclaimed immediately
+  loop.RunAfter(std::chrono::milliseconds(100), [&] { loop.Stop(); });
+  loop.Run();
+  EXPECT_FALSE(fired.load());
+}
+
+TEST(EventLoopTest, CancelledPreciseTimersCompactHeap) {
+  // Regression: CancelTimer used to leave dead entries in the heap until
+  // their deadline popped. Arming and cancelling long deadlines repeatedly
+  // (the connection idle-timeout pattern) must not grow the heap.
+  EventLoop loop;
+  for (int round = 0; round < 10; ++round) {
+    std::vector<EventLoop::TimerId> ids;
+    for (int i = 0; i < 100; ++i) {
+      ids.push_back(loop.RunAfter(std::chrono::hours(1), [] {}));
+    }
+    for (const auto id : ids) loop.CancelTimer(id);
+  }
+  EXPECT_EQ(loop.PreciseTimerCount(), 0u);
+  // Compaction keeps the heap proportional to live timers (+ slack), not
+  // to the number of cancellations (1000 here).
+  EXPECT_LE(loop.TimerHeapSizeForTest(), 128u);
+}
+
+TEST(EventLoopTest, WakeupCoalescingElidesLoopThreadWakes) {
+  EventLoop loop;
+  std::atomic<int> ran{0};
+  // Queued from off-loop while the loop may be parked: must issue a real
+  // eventfd write (the loop cannot be assumed awake).
+  loop.QueueTask([&] {
+    // Queued from the loop thread while it is demonstrably awake: every
+    // one of these wakeups can be (and is) elided.
+    for (int i = 0; i < 100; ++i) {
+      loop.QueueTask([&] { ran++; });
+    }
+    loop.QueueTask([&] { loop.Stop(); });
+  });
+  loop.Run();
+  EXPECT_EQ(ran.load(), 100);
+  EXPECT_GE(loop.WakeupWritesIssued(), 1u);
+  EXPECT_GE(loop.WakeupWritesElided(), 100u);
+}
+
+TEST(EventLoopTest, CrossThreadQueueingNeverLosesTasks) {
+  // Coalescing must elide only redundant wakeups, never required ones: a
+  // producer hammering QueueTask from another thread has every task run.
+  EventLoop loop;
+  constexpr int kTasks = 2000;
+  std::atomic<int> ran{0};
+  std::thread loop_thread([&] { loop.Run(); });
+  for (int i = 0; i < kTasks; ++i) {
+    loop.QueueTask([&] { ran++; });
+  }
+  loop.QueueTask([&] { loop.Stop(); });
+  loop_thread.join();
+  EXPECT_EQ(ran.load(), kTasks);
+  const uint64_t total =
+      loop.WakeupWritesIssued() + loop.WakeupWritesElided();
+  EXPECT_GE(total, static_cast<uint64_t>(kTasks));
 }
 
 TEST(AcceptorTest, AcceptsMultipleConnections) {

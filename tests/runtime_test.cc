@@ -6,9 +6,11 @@
 
 #include <atomic>
 #include <set>
+#include <thread>
 
 #include "common/fd.h"
 #include "common/payload.h"
+#include "common/queue.h"
 #include "metrics/registry.h"
 #include "net/socket.h"
 #include "runtime/buffer_pool.h"
@@ -54,6 +56,125 @@ TEST(WorkerPoolTest, TasksRunOnPoolThreadsNotCaller) {
   EXPECT_NE(ran_on.load(), CurrentTid());
   EXPECT_TRUE(std::find(tids.begin(), tids.end(), ran_on.load()) !=
               tids.end());
+}
+
+TEST(WorkerPoolTest, SubmitBatchExecutesEverything) {
+  WorkerPool pool(3, "batch");
+  std::atomic<int> count{0};
+  for (int round = 0; round < 10; ++round) {
+    std::vector<WorkerPool::Task> batch;
+    for (int i = 0; i < 20; ++i) {
+      batch.push_back([&count] { count++; });
+    }
+    pool.SubmitBatch(std::move(batch));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(WorkerPoolTest, BatchedPopDrainsAllTasksAcrossWorkers) {
+  // max_pop_batch > 1 switches workers to the PopBatch loop; every task
+  // still runs exactly once and lands on a pool thread.
+  WorkerPool::Options opts;
+  opts.max_pop_batch = 8;
+  WorkerPool pool(4, "popb", opts);
+  const std::vector<int> tids = pool.ThreadIds();
+  std::atomic<int> count{0};
+  std::atomic<bool> on_pool_thread{true};
+  for (int i = 0; i < 500; ++i) {
+    pool.Submit([&] {
+      count++;
+      const int tid = CurrentTid();
+      if (std::find(tids.begin(), tids.end(), tid) == tids.end()) {
+        on_pool_thread = false;
+      }
+    });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 500);
+  EXPECT_TRUE(on_pool_thread.load());
+}
+
+// --- BlockingQueue batch operations ---
+
+TEST(BlockingQueueTest, PushBatchPopBatchRoundTrip) {
+  BlockingQueue<int> q;
+  q.PushBatch({1, 2, 3, 4, 5});
+  EXPECT_EQ(q.Size(), 5u);
+  std::vector<int> out;
+  ASSERT_TRUE(q.PopBatch(3, out));
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));  // FIFO, clamped to max
+  ASSERT_TRUE(q.PopBatch(10, out));
+  EXPECT_EQ(out, (std::vector<int>{4, 5}));  // drains what is there
+  EXPECT_EQ(q.Size(), 0u);
+}
+
+TEST(BlockingQueueTest, PopBatchDrainsRemainingItemsAfterClose) {
+  // Close must not drop queued work: consumers keep receiving batches
+  // until the queue is empty, and only then get the closed signal.
+  BlockingQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.Push(i);
+  q.Close();
+  std::vector<int> all;
+  std::vector<int> batch;
+  while (q.PopBatch(4, batch)) {
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  EXPECT_EQ(all.size(), 10u);
+  EXPECT_TRUE(batch.empty());  // the closing pop returns nothing
+}
+
+TEST(BlockingQueueTest, PopBatchBlocksUntilPushArrives) {
+  BlockingQueue<int> q;
+  std::vector<int> got;
+  std::thread consumer([&] {
+    std::vector<int> batch;
+    if (q.PopBatch(16, batch)) got = batch;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.PushBatch({7, 8, 9});
+  consumer.join();
+  EXPECT_EQ(got, (std::vector<int>{7, 8, 9}));
+  q.Close();
+}
+
+TEST(BlockingQueueTest, BatchHandoffWakesEnoughConsumersToDrain) {
+  // One PushBatch uses a single notify_one; the daisy-chained notify in
+  // PopBatch must still get a large batch drained by several consumers.
+  BlockingQueue<int> q;
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 4; ++i) {
+    consumers.emplace_back([&] {
+      std::vector<int> batch;
+      while (q.PopBatch(2, batch)) {
+        consumed += static_cast<int>(batch.size());
+      }
+    });
+  }
+  std::vector<int> items(100);
+  q.PushBatch(std::move(items));
+  while (consumed.load() < 100) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  q.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(consumed.load(), 100);
+}
+
+TEST(BlockingQueueTest, DepthGaugeTracksQueueSize) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.GetGauge("worker_queue_depth");
+  BlockingQueue<int> q;
+  q.BindDepthGauge(&gauge);
+  q.PushBatch({1, 2, 3});
+  EXPECT_EQ(gauge.Value(), 3);
+  (void)q.Pop();
+  EXPECT_EQ(gauge.Value(), 2);
+  std::vector<int> batch;
+  ASSERT_TRUE(q.PopBatch(8, batch));
+  EXPECT_EQ(gauge.Value(), 0);
+  q.Close();
 }
 
 // --- Pipeline ---

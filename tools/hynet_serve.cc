@@ -6,6 +6,7 @@
 //               [--idle-ms N] [--header-ms N] [--stall-ms N]
 //               [--max-conns N] [--no-shed] [--high-water BYTES]
 //               [--drain-ms N] [--admin-port P]
+//               [--dispatch-batch N] [--pin-cpus]
 //
 // The server exposes the standard bench handler:
 //   GET /bench?size=<bytes>&us=<cpu-us>[&push=N&push_kb=M]
@@ -101,13 +102,17 @@ int main(int argc, char** argv) {
       drain_ms = std::atoi(next("--drain-ms"));
     } else if (!std::strcmp(argv[i], "--admin-port")) {
       config.admin_port = std::atoi(next("--admin-port"));
+    } else if (!std::strcmp(argv[i], "--dispatch-batch")) {
+      config.dispatch_batch = std::atoi(next("--dispatch-batch"));
+    } else if (!std::strcmp(argv[i], "--pin-cpus")) {
+      config.pin_cpus = true;
     } else {
       std::fprintf(stderr, "usage: %s [--arch NAME] [--port P] "
                    "[--sndbuf BYTES] [--loops N] [--workers N] "
                    "[--spin-cap N] [--profile] [--idle-ms N] "
                    "[--header-ms N] [--stall-ms N] [--max-conns N] "
                    "[--no-shed] [--high-water BYTES] [--drain-ms N] "
-                   "[--admin-port P]\n",
+                   "[--admin-port P] [--dispatch-batch N] [--pin-cpus]\n",
                    argv[0]);
       return 2;
     }

@@ -44,8 +44,8 @@ def main() -> int:
     url = f"http://{args.host}:{args.port}/stats.json"
     print(f"polling {url} every {args.interval:g}s  (Ctrl-C to stop)")
     header = (f"{'time':>8}  {'req/s':>9}  {'resp/s':>9}  {'wr/resp':>7}  "
-              f"{'zero/s':>7}  {'iov/wv':>6}  {'conns':>7}  {'p50ms':>7}  "
-              f"{'p99ms':>7}  {'drain':>5}")
+              f"{'zero/s':>7}  {'iov/wv':>6}  {'wq':>5}  {'conns':>7}  "
+              f"{'p50ms':>7}  {'p99ms':>7}  {'drain':>5}")
 
     prev = None
     prev_t = None
@@ -70,6 +70,12 @@ def main() -> int:
             iov_per_wv = (iov_rate / writev_rate) if writev_rate > 0 else 0.0
             live = (counter(stats, "server_connections_accepted")
                     - counter(stats, "server_connections_closed"))
+            # Worker-feed queue depth: worker_queue_depth for the reactor
+            # pools, summed stage_*_queue_depth for the staged server.
+            gauges = stats.get("gauges", {})
+            wq = int(gauges.get("worker_queue_depth",
+                                sum(int(v) for k, v in gauges.items()
+                                    if k.endswith("_queue_depth"))))
             lat = histogram(stats, "server_request_latency_ns")
             p50 = float(lat.get("p50", 0)) / 1e6
             p99 = float(lat.get("p99", 0)) / 1e6
@@ -80,7 +86,7 @@ def main() -> int:
                   f"{d('server_requests_handled'):>9.1f}  "
                   f"{resp_rate:>9.1f}  {wr_per_resp:>7.2f}  "
                   f"{d('server_zero_writes'):>7.1f}  {iov_per_wv:>6.1f}  "
-                  f"{live:>7d}  "
+                  f"{wq:>5d}  {live:>7d}  "
                   f"{p50:>7.2f}  {p99:>7.2f}  "
                   f"{'yes' if draining else 'no':>5}")
             lines += 1
