@@ -1,0 +1,18 @@
+#include "io/epoll_backend.h"
+
+namespace hynet {
+
+std::span<const IoEvent> EpollBackend::Wait(int64_t timeout_ns) {
+  const auto ready = epoller_.Wait(timeout_ns);
+  events_.clear();
+  events_.reserve(ready.size());
+  for (const epoll_event& ev : ready) {
+    IoEvent out;
+    out.fd = ev.data.fd;
+    out.events = ev.events;
+    events_.push_back(out);
+  }
+  return {events_.data(), events_.size()};
+}
+
+}  // namespace hynet

@@ -1,0 +1,33 @@
+// The readiness engine: a direct wrap of Epoller behind IoBackend. Same
+// syscalls in the same order as the pre-subsystem EventLoop (epoll_ctl per
+// watcher change, one epoll_pwait2 per Wait), so the default path is
+// byte-for-byte the measured baseline.
+#pragma once
+
+#include <vector>
+
+#include "io/io_backend.h"
+#include "net/epoll.h"
+
+namespace hynet {
+
+class EpollBackend final : public IoBackend {
+ public:
+  IoBackendKind kind() const override { return IoBackendKind::kEpoll; }
+
+  void AddFd(int fd, uint32_t events) override { epoller_.Add(fd, events); }
+  void ModifyFd(int fd, uint32_t events) override {
+    epoller_.Modify(fd, events);
+  }
+  void RemoveFd(int fd) override { epoller_.Remove(fd); }
+
+  std::span<const IoEvent> Wait(int64_t timeout_ns) override;
+
+  IoBackendStats Stats() const override { return {}; }
+
+ private:
+  Epoller epoller_;
+  std::vector<IoEvent> events_;
+};
+
+}  // namespace hynet

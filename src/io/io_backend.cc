@@ -1,0 +1,112 @@
+#include "io/io_backend.h"
+
+#include <linux/io_uring.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <system_error>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "io/epoll_backend.h"
+#include "io/uring_backend.h"
+
+namespace hynet {
+namespace {
+
+// Multishot accept (5.19) has no feature flag; probe the opcode registry
+// and use IORING_OP_SOCKET — added in the same release — as its proxy.
+bool ProbeIoUring() {
+  io_uring_params params{};
+  const int fd = static_cast<int>(::syscall(__NR_io_uring_setup, 4, &params));
+  if (fd < 0) return false;  // ENOSYS, seccomp EPERM, ENOMEM, ...
+  bool ok = (params.features & IORING_FEAT_EXT_ARG) &&
+            (params.features & IORING_FEAT_NODROP);
+  if (ok) {
+    constexpr unsigned kProbeOps = 256;
+    std::vector<char> storage(
+        sizeof(io_uring_probe) + kProbeOps * sizeof(io_uring_probe_op), 0);
+    auto* probe = reinterpret_cast<io_uring_probe*>(storage.data());
+    if (::syscall(__NR_io_uring_register, fd, IORING_REGISTER_PROBE, probe,
+                  kProbeOps) == 0) {
+      ok = probe->last_op >= IORING_OP_SOCKET;
+    } else {
+      ok = false;
+    }
+  }
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+const char* IoBackendName(IoBackendKind kind) {
+  switch (kind) {
+    case IoBackendKind::kDefault:
+      return "default";
+    case IoBackendKind::kEpoll:
+      return "epoll";
+    case IoBackendKind::kUring:
+      return "uring";
+  }
+  return "unknown";
+}
+
+std::optional<IoBackendKind> ParseIoBackendName(std::string_view name) {
+  if (name == "epoll") return IoBackendKind::kEpoll;
+  if (name == "uring" || name == "io_uring") return IoBackendKind::kUring;
+  return std::nullopt;
+}
+
+IoBackendKind ResolveIoBackendKind(std::string_view configured) {
+  if (!configured.empty()) {
+    if (auto kind = ParseIoBackendName(configured)) return *kind;
+    HYNET_LOG(WARN) << "unknown io_backend \"" << std::string(configured)
+                    << "\"; falling through to HYNET_IO_BACKEND/default";
+  }
+  const std::string env = EnvString("HYNET_IO_BACKEND", "");
+  if (!env.empty()) {
+    if (auto kind = ParseIoBackendName(env)) return *kind;
+    static std::once_flag warned;
+    std::call_once(warned, [&] {
+      HYNET_LOG(WARN) << "unknown HYNET_IO_BACKEND \"" << env
+                      << "\"; using epoll";
+    });
+  }
+  return IoBackendKind::kEpoll;
+}
+
+bool IoUringAvailable() {
+  static const bool available = ProbeIoUring();
+  return available;
+}
+
+std::unique_ptr<IoBackend> CreateIoBackend(IoBackendKind kind,
+                                           bool* fell_back) {
+  if (fell_back) *fell_back = false;
+  IoBackendKind resolved = kind;
+  if (resolved == IoBackendKind::kDefault) resolved = ResolveIoBackendKind("");
+  if (resolved == IoBackendKind::kUring) {
+    if (IoUringAvailable()) {
+      try {
+        return std::make_unique<UringBackend>();
+      } catch (const std::system_error& e) {
+        HYNET_LOG(WARN) << "io_uring engine setup failed (" << e.what()
+                        << "); falling back to epoll";
+      }
+    } else {
+      static std::once_flag warned;
+      std::call_once(warned, [] {
+        HYNET_LOG(WARN) << "io_uring unavailable on this kernel/sandbox; "
+                           "falling back to epoll";
+      });
+    }
+    if (fell_back) *fell_back = true;
+  }
+  return std::make_unique<EpollBackend>();
+}
+
+}  // namespace hynet

@@ -1,0 +1,136 @@
+// IoBackend: the pluggable I/O engine behind EventLoop.
+//
+// Two engines implement it: EpollBackend (the readiness engine the library
+// has always used, byte-for-byte) and UringBackend (an io_uring completion
+// engine built on raw io_uring_setup/io_uring_enter syscalls). EventLoop
+// owns exactly one backend and keeps its fd-watcher/timer/wakeup semantics
+// identical on both, so every architecture runs unchanged on either engine.
+//
+// Two event models flow through one Wait() call:
+//   - readiness events (op == kReadiness) carry an EPOLL* mask and drive
+//     the classic watcher path on both engines;
+//   - completion events (kAccept/kRead/kWrite) carry the *result* of an
+//     operation previously queued with QueueAccept/QueueRead/
+//     QueueWritePayloads. Only engines where SupportsCompletions() is true
+//     produce them (the uring engine); callers must feature-test.
+#pragma once
+
+#include <sys/epoll.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/payload.h"
+
+namespace hynet {
+
+enum class IoBackendKind {
+  kDefault,  // resolve via HYNET_IO_BACKEND, else epoll
+  kEpoll,
+  kUring,
+};
+
+const char* IoBackendName(IoBackendKind kind);
+
+// "epoll" / "uring" → kind; anything else → nullopt.
+std::optional<IoBackendKind> ParseIoBackendName(std::string_view name);
+
+// Resolution precedence for a server config string: explicit non-empty
+// config value > HYNET_IO_BACKEND env var > epoll. Unparseable values log
+// a warning once and fall through to the next source.
+IoBackendKind ResolveIoBackendKind(std::string_view configured);
+
+// Cached capability probe: one io_uring_setup + opcode-registry check per
+// process. False on old kernels (multishot accept needs the 5.19 opcode
+// vintage) and on sandboxes whose seccomp policy answers EPERM/ENOSYS.
+bool IoUringAvailable();
+
+// Engine counters, exported by the servers through the ServerCounters
+// X-macro plane. All zero on the epoll engine.
+struct IoBackendStats {
+  // Every io_uring_enter(2) call — the completion engine's whole kernel
+  // crossing budget, whether the call submitted SQEs, reaped CQEs, or both.
+  uint64_t submit_batches = 0;
+  uint64_t sqes_submitted = 0;
+  uint64_t cqes_reaped = 0;
+  // 1 when uring was requested but probing fell back to epoll.
+  uint64_t fallbacks = 0;
+};
+
+enum class IoOpType : uint8_t { kReadiness, kAccept, kRead, kWrite };
+
+struct IoEvent {
+  int fd = -1;
+  IoOpType op = IoOpType::kReadiness;
+  uint32_t events = 0;    // kReadiness: EPOLL* mask
+  int32_t result = 0;     // kAccept: new fd; kRead/kWrite: bytes; <0: -errno
+  uint64_t token = 0;     // kWrite: caller token from QueueWritePayloads
+  // kRead: the filled buffer, owned by the backend and valid until the
+  // next Wait() call (consumers copy or parse during dispatch).
+  ByteBuffer* buffer = nullptr;
+};
+
+// Supplies read buffers for completion-mode reads. The server layer adapts
+// its per-loop BufferPool to this interface (EventLoop::
+// SetReadBufferSource) so recycled connection buffers feed the read SQEs;
+// without a source the uring engine allocates fresh buffers.
+class ReadBufferSource {
+ public:
+  virtual ~ReadBufferSource() = default;
+  virtual ByteBuffer AcquireBuffer() = 0;
+  virtual void ReleaseBuffer(ByteBuffer buffer) = 0;
+};
+
+class IoBackend {
+ public:
+  virtual ~IoBackend() = default;
+
+  virtual IoBackendKind kind() const = 0;
+
+  // Readiness watchers (both engines). Level-triggered EPOLL semantics:
+  // a condition that stays true keeps producing events.
+  virtual void AddFd(int fd, uint32_t events) = 0;
+  virtual void ModifyFd(int fd, uint32_t events) = 0;
+  virtual void RemoveFd(int fd) = 0;
+
+  // Blocks up to timeout_ns (-1 = forever, 0 = poll). Returns the batch of
+  // readiness + completion events; the span is valid until the next call.
+  virtual std::span<const IoEvent> Wait(int64_t timeout_ns) = 0;
+
+  virtual IoBackendStats Stats() const = 0;
+
+  // ---- Completion operations (uring engine only) ----
+  virtual bool SupportsCompletions() const { return false; }
+  virtual void SetReadBufferSource(ReadBufferSource* /*source*/) {}
+  // Arms a multishot accept on a listening fd: one kAccept event per
+  // accepted socket (CLOEXEC), re-armed by the engine until CancelFd.
+  virtual bool QueueAccept(int /*listen_fd*/) { return false; }
+  // One-shot read into an engine-owned buffer (at most one outstanding
+  // read per fd by caller contract).
+  virtual bool QueueRead(int /*fd*/) { return false; }
+  // One-shot vectored write of `payloads` starting `offset` bytes into the
+  // first payload (Payload::FillIov builds the iovecs). The engine keeps
+  // the payload copies alive until the CQE is reaped, so the caller may
+  // close the connection with the op still in flight. Returns the iovec
+  // segment count queued, or -1 if unsupported.
+  virtual int QueueWritePayloads(int /*fd*/, std::vector<Payload> /*payloads*/,
+                                 size_t /*offset*/, uint64_t /*token*/) {
+    return -1;
+  }
+  // Drops every in-flight completion op on `fd` (queued cancels; stale
+  // CQEs are suppressed, never surfaced).
+  virtual void CancelFd(int /*fd*/) {}
+};
+
+// Constructs the engine for `kind` (resolving kDefault). A uring request
+// on a kernel/sandbox that cannot run it logs a warning and returns the
+// epoll engine instead, setting *fell_back.
+std::unique_ptr<IoBackend> CreateIoBackend(IoBackendKind kind,
+                                           bool* fell_back = nullptr);
+
+}  // namespace hynet

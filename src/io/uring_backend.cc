@@ -1,0 +1,506 @@
+#include "io/uring_backend.h"
+
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+#include "common/logging.h"
+#include "net/socket.h"
+
+namespace hynet {
+namespace {
+
+int SysUringSetup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysUringEnter(int fd, unsigned to_submit, unsigned min_complete,
+                  unsigned flags, const void* arg, size_t argsz) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, arg, argsz));
+}
+
+[[noreturn]] void ThrowErrno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+// The ring head/tail words are shared with the kernel; plain loads/stores
+// would let the compiler reorder them across the SQE/CQE payload accesses.
+uint32_t LoadAcquire(const uint32_t* p) {
+  return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+}
+void StoreRelease(uint32_t* p, uint32_t v) {
+  __atomic_store_n(p, v, __ATOMIC_RELEASE);
+}
+
+}  // namespace
+
+UringBackend::UringBackend() {
+  io_uring_params params{};
+  // CQ sized well past SQ depth: completions accumulate all iteration
+  // (every in-flight op may complete between two Wait calls) while SQ only
+  // has to hold one iteration's submissions.
+  params.flags = IORING_SETUP_CQSIZE;
+  params.cq_entries = kCqEntries;
+  const int fd = SysUringSetup(kSqEntries, &params);
+  if (fd < 0) ThrowErrno("io_uring_setup");
+  ring_fd_ = ScopedFd(fd);
+  // EXT_ARG carries the timer timeout into the blocking enter; NODROP
+  // queues CQ overflow in the kernel instead of losing completions. Both
+  // are required for correctness, not speed.
+  if (!(params.features & IORING_FEAT_EXT_ARG) ||
+      !(params.features & IORING_FEAT_NODROP)) {
+    errno = ENOSYS;
+    ThrowErrno("io_uring features");
+  }
+  sq_entries_ = params.sq_entries;
+  cq_entries_ = params.cq_entries;
+
+  sq_ring_bytes_ = params.sq_off.array + params.sq_entries * sizeof(uint32_t);
+  cq_ring_bytes_ =
+      params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  if (params.features & IORING_FEAT_SINGLE_MMAP) {
+    sq_ring_bytes_ = cq_ring_bytes_ = std::max(sq_ring_bytes_, cq_ring_bytes_);
+  }
+  void* sq = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+  if (sq == MAP_FAILED) ThrowErrno("mmap(sq ring)");
+  sq_ring_ptr_ = sq;
+  if (params.features & IORING_FEAT_SINGLE_MMAP) {
+    cq_ring_ptr_ = sq_ring_ptr_;
+  } else {
+    void* cq = ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_CQ_RING);
+    if (cq == MAP_FAILED) {
+      const int err = errno;
+      ::munmap(sq_ring_ptr_, sq_ring_bytes_);
+      sq_ring_ptr_ = nullptr;
+      errno = err;
+      ThrowErrno("mmap(cq ring)");
+    }
+    cq_ring_ptr_ = cq;
+  }
+  sqes_bytes_ = params.sq_entries * sizeof(io_uring_sqe);
+  void* sqes = ::mmap(nullptr, sqes_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES);
+  if (sqes == MAP_FAILED) {
+    const int err = errno;
+    if (cq_ring_ptr_ != sq_ring_ptr_) ::munmap(cq_ring_ptr_, cq_ring_bytes_);
+    ::munmap(sq_ring_ptr_, sq_ring_bytes_);
+    sq_ring_ptr_ = cq_ring_ptr_ = nullptr;
+    errno = err;
+    ThrowErrno("mmap(sqes)");
+  }
+  sqes_ = static_cast<io_uring_sqe*>(sqes);
+
+  auto* sq_base = static_cast<char*>(sq_ring_ptr_);
+  sq_head_ = reinterpret_cast<uint32_t*>(sq_base + params.sq_off.head);
+  sq_tail_ = reinterpret_cast<uint32_t*>(sq_base + params.sq_off.tail);
+  sq_mask_ = *reinterpret_cast<uint32_t*>(sq_base + params.sq_off.ring_mask);
+  sq_array_ = reinterpret_cast<uint32_t*>(sq_base + params.sq_off.array);
+  auto* cq_base = static_cast<char*>(cq_ring_ptr_);
+  cq_head_ = reinterpret_cast<uint32_t*>(cq_base + params.cq_off.head);
+  cq_tail_ = reinterpret_cast<uint32_t*>(cq_base + params.cq_off.tail);
+  cq_mask_ = *reinterpret_cast<uint32_t*>(cq_base + params.cq_off.ring_mask);
+  cqes_ = reinterpret_cast<io_uring_cqe*>(cq_base + params.cq_off.cqes);
+
+  sq_local_tail_ = sq_submitted_ = *sq_tail_;
+}
+
+UringBackend::~UringBackend() {
+  // Close the ring first: teardown cancels and waits out in-flight ops,
+  // after which the slot-owned buffers below are no longer kernel-visible.
+  ring_fd_.Reset();
+  if (sqes_) ::munmap(sqes_, sqes_bytes_);
+  if (cq_ring_ptr_ && cq_ring_ptr_ != sq_ring_ptr_) {
+    ::munmap(cq_ring_ptr_, cq_ring_bytes_);
+  }
+  if (sq_ring_ptr_) ::munmap(sq_ring_ptr_, sq_ring_bytes_);
+  if (buffer_source_) {
+    for (auto& slot : slots_) {
+      if (slot.kind == OpKind::kRead) {
+        buffer_source_->ReleaseBuffer(std::move(slot.buffer));
+      }
+    }
+  }
+}
+
+uint64_t UringBackend::AllocSlot(OpKind kind, int fd) {
+  uint64_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    index = slots_.size();
+    slots_.emplace_back();
+  }
+  OpSlot& slot = slots_[index];
+  slot.kind = kind;
+  slot.fd = fd;
+  slot.alive = true;
+  slot.inflight = false;
+  slot.surfaced = false;
+  fd_ops_[fd].push_back(index);
+  return index;
+}
+
+void UringBackend::FreeSlot(uint64_t index) {
+  OpSlot& slot = slots_[index];
+  auto it = fd_ops_.find(slot.fd);
+  if (it != fd_ops_.end()) {
+    auto& ops = it->second;
+    ops.erase(std::remove(ops.begin(), ops.end(), index), ops.end());
+    if (ops.empty()) fd_ops_.erase(it);
+  }
+  if (slot.kind == OpKind::kRead && buffer_source_) {
+    buffer_source_->ReleaseBuffer(std::move(slot.buffer));
+  }
+  slot = OpSlot();
+  free_slots_.push_back(index);
+}
+
+io_uring_sqe* UringBackend::GetSqe() {
+  // Order matters across the whole submission stream (a cancel must not
+  // overtake its target), so once SQEs spill to the overflow queue all
+  // later ones follow until Wait drains it back into the ring.
+  if (overflow_sqes_.empty()) {
+    if (sq_local_tail_ - LoadAcquire(sq_head_) >= sq_entries_) FlushSqes();
+    if (sq_local_tail_ - LoadAcquire(sq_head_) < sq_entries_) {
+      io_uring_sqe* sqe = &sqes_[sq_local_tail_ & sq_mask_];
+      std::memset(sqe, 0, sizeof(*sqe));
+      sq_array_[sq_local_tail_ & sq_mask_] = sq_local_tail_ & sq_mask_;
+      ++sq_local_tail_;
+      return sqe;
+    }
+  }
+  overflow_sqes_.emplace_back();
+  std::memset(&overflow_sqes_.back(), 0, sizeof(io_uring_sqe));
+  return &overflow_sqes_.back();
+}
+
+void UringBackend::DrainOverflowSqes() {
+  while (!overflow_sqes_.empty()) {
+    if (sq_local_tail_ - LoadAcquire(sq_head_) >= sq_entries_) {
+      FlushSqes();
+      if (sq_local_tail_ - LoadAcquire(sq_head_) >= sq_entries_) return;
+    }
+    sqes_[sq_local_tail_ & sq_mask_] = overflow_sqes_.front();
+    sq_array_[sq_local_tail_ & sq_mask_] = sq_local_tail_ & sq_mask_;
+    ++sq_local_tail_;
+    overflow_sqes_.pop_front();
+  }
+}
+
+int UringBackend::Enter(unsigned to_submit, unsigned min_complete,
+                        unsigned flags, void* arg, size_t argsz) {
+  const int ret = RetrySyscall([&] {
+    return SysUringEnter(ring_fd_.get(), to_submit, min_complete, flags, arg,
+                         argsz);
+  });
+  enter_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (ret > 0 && to_submit > 0) {
+    sqes_submitted_.fetch_add(static_cast<uint64_t>(ret),
+                              std::memory_order_relaxed);
+  }
+  return ret;
+}
+
+void UringBackend::FlushSqes() {
+  const unsigned pending = sq_local_tail_ - sq_submitted_;
+  if (pending == 0) return;
+  StoreRelease(sq_tail_, sq_local_tail_);
+  const int ret = Enter(pending, 0, 0, nullptr, 0);
+  if (ret > 0) sq_submitted_ += static_cast<unsigned>(ret);
+}
+
+uint32_t UringBackend::CqReady() const {
+  return LoadAcquire(cq_tail_) - *cq_head_;
+}
+
+std::span<const IoEvent> UringBackend::Wait(int64_t timeout_ns) {
+  ReleaseSurfacedReads();
+  events_.clear();
+  DrainOverflowSqes();
+  StoreRelease(sq_tail_, sq_local_tail_);
+  const unsigned pending = sq_local_tail_ - sq_submitted_;
+
+  unsigned flags = IORING_ENTER_GETEVENTS;
+  unsigned min_complete = 1;
+  io_uring_getevents_arg arg{};
+  __kernel_timespec ts{};
+  void* argp = nullptr;
+  size_t argsz = 0;
+  if (CqReady() > 0 || timeout_ns == 0) {
+    min_complete = 0;
+  } else if (timeout_ns > 0) {
+    ts.tv_sec = timeout_ns / 1'000'000'000;
+    ts.tv_nsec = timeout_ns % 1'000'000'000;
+    arg.ts = reinterpret_cast<uint64_t>(&ts);
+    argp = &arg;
+    argsz = sizeof(arg);
+    flags |= IORING_ENTER_EXT_ARG;
+  }
+  // The one kernel crossing of the iteration: submit the whole batch and
+  // (when nothing is ready yet) block for the first completion. Skipped
+  // entirely when completions are already waiting and nothing is queued.
+  if (pending > 0 || min_complete > 0) {
+    const int ret = Enter(pending, min_complete, flags, argp, argsz);
+    if (ret > 0) sq_submitted_ += static_cast<unsigned>(ret);
+  }
+  ReapCqes();
+  return {events_.data(), events_.size()};
+}
+
+void UringBackend::ReapCqes() {
+  uint32_t head = *cq_head_;
+  const uint32_t tail = LoadAcquire(cq_tail_);
+  while (head != tail) {
+    HandleCqe(cqes_[head & cq_mask_]);
+    ++head;
+  }
+  StoreRelease(cq_head_, head);
+}
+
+void UringBackend::HandleCqe(const io_uring_cqe& cqe) {
+  cqes_reaped_.fetch_add(1, std::memory_order_relaxed);
+  if (cqe.user_data == kIgnoredUserData) return;  // a cancel op's own CQE
+  const uint64_t index = cqe.user_data;
+  OpSlot& slot = slots_[index];
+  switch (slot.kind) {
+    case OpKind::kPoll: {
+      slot.inflight = false;
+      if (!slot.alive) {
+        FreeSlot(index);
+        return;
+      }
+      if (cqe.res < 0) {
+        if (cqe.res == -ECANCELED) {
+          PrepPoll(index);  // raced a foreign cancel; the watcher is live
+          return;
+        }
+        IoEvent ev;
+        ev.fd = slot.fd;
+        ev.events = EPOLLERR | EPOLLHUP;
+        events_.push_back(ev);
+        return;  // not re-armed; RemoveFd reclaims the slot
+      }
+      IoEvent ev;
+      ev.fd = slot.fd;
+      ev.events = static_cast<uint32_t>(cqe.res);
+      events_.push_back(ev);
+      // Single-shot poll re-armed per delivery: POLL_ADD re-checks the fd
+      // at submission, preserving level-triggered semantics.
+      PrepPoll(index);
+      return;
+    }
+    case OpKind::kAccept: {
+      const bool more = (cqe.flags & IORING_CQE_F_MORE) != 0;
+      if (!more) slot.inflight = false;
+      if (!slot.alive) {
+        if (cqe.res >= 0) ::close(cqe.res);
+        if (!more) FreeSlot(index);
+        return;
+      }
+      if (cqe.res >= 0) {
+        IoEvent ev;
+        ev.fd = slot.fd;
+        ev.op = IoOpType::kAccept;
+        ev.result = cqe.res;
+        events_.push_back(ev);
+      } else if (cqe.res == -EINVAL) {
+        HYNET_LOG(WARN) << "multishot accept rejected with EINVAL; "
+                           "accept chain not re-armed";
+        return;
+      }
+      // Transient accept errors (ECONNABORTED, EMFILE, ...) are dropped;
+      // a terminated multishot chain is simply re-armed.
+      if (!more) PrepAccept(index);
+      return;
+    }
+    case OpKind::kRead: {
+      slot.inflight = false;
+      if (!slot.alive) {
+        FreeSlot(index);
+        return;
+      }
+      if (cqe.res > 0) slot.buffer.Produced(static_cast<size_t>(cqe.res));
+      IoEvent ev;
+      ev.fd = slot.fd;
+      ev.op = IoOpType::kRead;
+      ev.result = cqe.res;
+      ev.buffer = &slot.buffer;
+      events_.push_back(ev);
+      // The buffer is lent to the dispatch pass; reclaimed next Wait.
+      slot.surfaced = true;
+      surfaced_reads_.push_back(index);
+      return;
+    }
+    case OpKind::kWrite: {
+      slot.inflight = false;
+      if (slot.alive) {
+        IoEvent ev;
+        ev.fd = slot.fd;
+        ev.op = IoOpType::kWrite;
+        ev.result = cqe.res;
+        ev.token = slot.token;
+        events_.push_back(ev);
+      }
+      FreeSlot(index);
+      return;
+    }
+    case OpKind::kFree:
+      return;
+  }
+}
+
+void UringBackend::ReleaseSurfacedReads() {
+  for (const uint64_t index : surfaced_reads_) {
+    slots_[index].surfaced = false;
+    FreeSlot(index);
+  }
+  surfaced_reads_.clear();
+}
+
+void UringBackend::AddFd(int fd, uint32_t events) {
+  const uint64_t index = AllocSlot(OpKind::kPoll, fd);
+  slots_[index].poll_events = events;
+  poll_slots_[fd] = index;
+  PrepPoll(index);
+}
+
+void UringBackend::ModifyFd(int fd, uint32_t events) {
+  RemoveFd(fd);
+  AddFd(fd, events);
+}
+
+void UringBackend::RemoveFd(int fd) {
+  auto it = poll_slots_.find(fd);
+  if (it == poll_slots_.end()) return;
+  const uint64_t index = it->second;
+  poll_slots_.erase(it);
+  OpSlot& slot = slots_[index];
+  slot.alive = false;
+  if (slot.inflight) {
+    PrepCancel(index);
+  } else {
+    FreeSlot(index);
+  }
+}
+
+void UringBackend::PrepPoll(uint64_t index) {
+  OpSlot& slot = slots_[index];
+  io_uring_sqe* sqe = GetSqe();
+  sqe->opcode = IORING_OP_POLL_ADD;
+  sqe->fd = slot.fd;
+  // EPOLL* and POLL* share encodings for every bit the watchers use
+  // (IN/OUT/PRI/ERR/HUP/RDHUP); the mask drops EPOLLET/ONESHOT-class bits.
+  sqe->poll32_events = slot.poll_events & 0xffffu;
+  sqe->user_data = index;
+  slot.inflight = true;
+}
+
+void UringBackend::PrepAccept(uint64_t index) {
+  OpSlot& slot = slots_[index];
+  io_uring_sqe* sqe = GetSqe();
+  sqe->opcode = IORING_OP_ACCEPT;
+  sqe->fd = slot.fd;
+  sqe->ioprio = IORING_ACCEPT_MULTISHOT;
+  sqe->accept_flags = SOCK_CLOEXEC;
+  sqe->user_data = index;
+  slot.inflight = true;
+}
+
+void UringBackend::PrepCancel(uint64_t target_index) {
+  io_uring_sqe* sqe = GetSqe();
+  sqe->opcode = IORING_OP_ASYNC_CANCEL;
+  sqe->fd = -1;
+  sqe->addr = target_index;  // matches the target op's user_data
+  sqe->user_data = kIgnoredUserData;
+}
+
+bool UringBackend::QueueAccept(int listen_fd) {
+  const uint64_t index = AllocSlot(OpKind::kAccept, listen_fd);
+  PrepAccept(index);
+  return true;
+}
+
+bool UringBackend::QueueRead(int fd) {
+  const uint64_t index = AllocSlot(OpKind::kRead, fd);
+  OpSlot& slot = slots_[index];
+  slot.buffer = buffer_source_ ? buffer_source_->AcquireBuffer() : ByteBuffer();
+  slot.buffer.EnsureWritable(kReadChunk);
+  io_uring_sqe* sqe = GetSqe();
+  sqe->opcode = IORING_OP_RECV;
+  sqe->fd = fd;
+  sqe->addr = reinterpret_cast<uint64_t>(slot.buffer.WritePtr());
+  sqe->len = static_cast<uint32_t>(slot.buffer.WritableBytes());
+  sqe->user_data = index;
+  slot.inflight = true;
+  return true;
+}
+
+int UringBackend::QueueWritePayloads(int fd, std::vector<Payload> payloads,
+                                     size_t offset, uint64_t token) {
+  if (payloads.empty() || payloads.size() > kMaxWritePayloads) return -1;
+  const uint64_t index = AllocSlot(OpKind::kWrite, fd);
+  OpSlot& slot = slots_[index];
+  slot.payloads = std::move(payloads);
+  slot.token = token;
+  size_t n = 0;
+  size_t skip = offset;  // bytes of the first payload already written
+  for (const Payload& p : slot.payloads) {
+    if (n >= kMaxIov) break;
+    n += p.FillIov(skip, &slot.iov[n], kMaxIov - n);
+    skip = 0;
+  }
+  if (n == 0) {
+    FreeSlot(index);
+    return -1;
+  }
+  slot.msg = {};
+  slot.msg.msg_iov = slot.iov;
+  slot.msg.msg_iovlen = n;
+  io_uring_sqe* sqe = GetSqe();
+  sqe->opcode = IORING_OP_SENDMSG;
+  sqe->fd = fd;
+  sqe->addr = reinterpret_cast<uint64_t>(&slot.msg);
+  sqe->len = 1;
+  sqe->msg_flags = MSG_NOSIGNAL;
+  sqe->user_data = index;
+  slot.inflight = true;
+  return static_cast<int>(n);
+}
+
+void UringBackend::CancelFd(int fd) {
+  auto it = fd_ops_.find(fd);
+  if (it == fd_ops_.end()) return;
+  const std::vector<uint64_t> ops = it->second;  // FreeSlot edits the map
+  for (const uint64_t index : ops) {
+    OpSlot& slot = slots_[index];
+    if (!slot.alive) continue;
+    slot.alive = false;
+    if (slot.inflight) {
+      PrepCancel(index);
+    } else if (!slot.surfaced) {
+      FreeSlot(index);
+    }
+    // surfaced read buffers are reclaimed at the next Wait
+  }
+  poll_slots_.erase(fd);
+}
+
+IoBackendStats UringBackend::Stats() const {
+  IoBackendStats s;
+  s.submit_batches = enter_calls_.load(std::memory_order_relaxed);
+  s.sqes_submitted = sqes_submitted_.load(std::memory_order_relaxed);
+  s.cqes_reaped = cqes_reaped_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace hynet

@@ -1,0 +1,166 @@
+// The io_uring completion engine, built directly on io_uring_setup /
+// io_uring_enter and the mmap'd SQ/CQ rings — no liburing dependency.
+//
+// Design:
+//   - SQEs accumulate in the mmap'd submission ring all iteration long
+//     (watcher re-arms, reads, writes, cancels) and ship in ONE
+//     io_uring_enter per EventLoop iteration, which doubles as the
+//     blocking getevents wait (IORING_ENTER_EXT_ARG carries the timer
+//     timeout). That single syscall replaces epoll_wait + every read()
+//     and write() of the iteration.
+//   - Readiness watchers are single-shot IORING_OP_POLL_ADD ops re-armed
+//     by the engine after each delivery. POLL_ADD re-checks the fd's
+//     state at submission, so a condition that stays true re-fires every
+//     iteration — the level-triggered contract the watcher path was
+//     written against (multishot poll is edge-ish and would break the
+//     spin-cap resume flows).
+//   - Accepts are multishot (IORING_ACCEPT_MULTISHOT): one SQE yields a
+//     CQE per accepted socket until cancelled.
+//   - Reads recv into engine-owned ByteBuffers acquired from the
+//     attached ReadBufferSource (the server's per-loop BufferPool).
+//   - Writes are IORING_OP_SENDMSG over iovecs built by Payload::FillIov;
+//     the op slot keeps payload refcounts alive until the CQE is reaped,
+//     so connection teardown never races the kernel's copy.
+//
+// Op slots live in a deque arena (stable addresses) with a free list;
+// sqe->user_data is the slot index. A cancelled slot is marked dead and
+// its eventual CQE is swallowed, which makes fd close/reuse safe: stale
+// completions can never reach a new connection on a recycled fd.
+#pragma once
+
+#include <linux/io_uring.h>
+#include <linux/time_types.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fd.h"
+#include "io/io_backend.h"
+
+namespace hynet {
+
+class UringBackend final : public IoBackend {
+ public:
+  static constexpr unsigned kSqEntries = 256;
+  static constexpr unsigned kCqEntries = 4096;
+  static constexpr size_t kReadChunk = 16 * 1024;
+  // Payloads per write op; each contributes at most Payload::kMaxSegments.
+  static constexpr size_t kMaxWritePayloads = 8;
+
+  // Throws std::system_error when the kernel/sandbox cannot run the
+  // engine (callers normally gate on IoUringAvailable()).
+  UringBackend();
+  ~UringBackend() override;
+  UringBackend(const UringBackend&) = delete;
+  UringBackend& operator=(const UringBackend&) = delete;
+
+  IoBackendKind kind() const override { return IoBackendKind::kUring; }
+
+  void AddFd(int fd, uint32_t events) override;
+  void ModifyFd(int fd, uint32_t events) override;
+  void RemoveFd(int fd) override;
+
+  std::span<const IoEvent> Wait(int64_t timeout_ns) override;
+
+  IoBackendStats Stats() const override;
+
+  bool SupportsCompletions() const override { return true; }
+  void SetReadBufferSource(ReadBufferSource* source) override {
+    buffer_source_ = source;
+  }
+  bool QueueAccept(int listen_fd) override;
+  bool QueueRead(int fd) override;
+  int QueueWritePayloads(int fd, std::vector<Payload> payloads, size_t offset,
+                         uint64_t token) override;
+  void CancelFd(int fd) override;
+
+ private:
+  enum class OpKind : uint8_t { kFree, kPoll, kAccept, kRead, kWrite };
+  static constexpr size_t kMaxIov = kMaxWritePayloads * Payload::kMaxSegments;
+  static constexpr uint64_t kIgnoredUserData = ~0ull;
+
+  struct OpSlot {
+    OpKind kind = OpKind::kFree;
+    int fd = -1;
+    bool alive = false;     // false = cancelled; CQEs are swallowed
+    bool inflight = false;  // terminal CQE not yet reaped
+    bool surfaced = false;  // read buffer handed out until next Wait
+    uint32_t poll_events = 0;
+    uint64_t token = 0;
+    ByteBuffer buffer;               // kRead
+    std::vector<Payload> payloads;   // kWrite (keeps bytes alive)
+    struct iovec iov[kMaxIov];       // kWrite
+    struct msghdr msg = {};          // kWrite
+  };
+
+  uint64_t AllocSlot(OpKind kind, int fd);
+  void FreeSlot(uint64_t index);
+  io_uring_sqe* GetSqe();
+  // Publishes queued SQEs with a non-blocking enter (used when the SQ
+  // ring fills mid-iteration; the normal path submits inside Wait).
+  void FlushSqes();
+  int Enter(unsigned to_submit, unsigned min_complete, unsigned flags,
+            void* arg, size_t argsz);
+  // Moves overflow SQEs (queued while the SQ ring was full) into the ring.
+  void DrainOverflowSqes();
+  void PrepPoll(uint64_t index);
+  void PrepAccept(uint64_t index);
+  void PrepCancel(uint64_t target_index);
+  void ReapCqes();
+  void HandleCqe(const io_uring_cqe& cqe);
+  void ReleaseSurfacedReads();
+  uint32_t CqReady() const;
+
+  ScopedFd ring_fd_;
+  unsigned sq_entries_ = 0;
+  unsigned cq_entries_ = 0;
+
+  // mmap regions (sq ring; cq ring shares it under FEAT_SINGLE_MMAP).
+  void* sq_ring_ptr_ = nullptr;
+  size_t sq_ring_bytes_ = 0;
+  void* cq_ring_ptr_ = nullptr;
+  size_t cq_ring_bytes_ = 0;
+  io_uring_sqe* sqes_ = nullptr;
+  size_t sqes_bytes_ = 0;
+
+  // Ring pointers into the shared mappings.
+  uint32_t* sq_head_ = nullptr;
+  uint32_t* sq_tail_ = nullptr;
+  uint32_t sq_mask_ = 0;
+  uint32_t* sq_array_ = nullptr;
+  uint32_t* cq_head_ = nullptr;
+  uint32_t* cq_tail_ = nullptr;
+  uint32_t cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+
+  // Local SQ cursor: entries [sq_submitted_, sq_local_tail_) are prepped
+  // but not yet handed to the kernel.
+  uint32_t sq_local_tail_ = 0;
+  uint32_t sq_submitted_ = 0;
+
+  // SQEs prepped while the SQ ring was full; drained (in order) at the
+  // next Wait. Ordering matters: a cancel must not overtake its target.
+  std::deque<io_uring_sqe> overflow_sqes_;
+
+  std::deque<OpSlot> slots_;  // arena; deque keeps addresses stable
+  std::vector<uint64_t> free_slots_;
+  // Live op indexes per fd, for targeted cancellation (≤ 3 per conn).
+  std::unordered_map<int, std::vector<uint64_t>> fd_ops_;
+  // The readiness-poll slot per watched fd.
+  std::unordered_map<int, uint64_t> poll_slots_;
+  std::vector<uint64_t> surfaced_reads_;
+
+  ReadBufferSource* buffer_source_ = nullptr;
+  std::vector<IoEvent> events_;
+
+  std::atomic<uint64_t> enter_calls_{0};
+  std::atomic<uint64_t> sqes_submitted_{0};
+  std::atomic<uint64_t> cqes_reaped_{0};
+};
+
+}  // namespace hynet

@@ -15,27 +15,60 @@ Acceptor::Acceptor(EventLoop& loop, const InetAddr& listen_addr,
 }
 
 Acceptor::~Acceptor() {
-  if (listening_ && !paused_) loop_.UnregisterFd(listen_socket_.fd());
+  if (listening_ && !paused_) {
+    if (completion_mode_) {
+      loop_.ClearCompletionHandler(listen_socket_.fd());
+    } else {
+      loop_.UnregisterFd(listen_socket_.fd());
+    }
+  }
 }
 
 void Acceptor::Pause() {
   if (!listening_ || paused_) return;
-  loop_.UnregisterFd(listen_socket_.fd());
+  if (completion_mode_) {
+    loop_.ClearCompletionHandler(listen_socket_.fd());
+  } else {
+    loop_.UnregisterFd(listen_socket_.fd());
+  }
   paused_ = true;
 }
 
 void Acceptor::Resume() {
   if (!listening_ || !paused_) return;
-  loop_.RegisterFd(listen_socket_.fd(), EPOLLIN,
-                   [this](uint32_t) { HandleReadable(); });
+  if (completion_mode_) {
+    ArmCompletionAccept();
+  } else {
+    loop_.RegisterFd(listen_socket_.fd(), EPOLLIN,
+                     [this](uint32_t) { HandleReadable(); });
+  }
   paused_ = false;
 }
 
 void Acceptor::Listen() {
   listen_socket_.Listen();
-  loop_.RegisterFd(listen_socket_.fd(), EPOLLIN,
-                   [this](uint32_t) { HandleReadable(); });
+  if (loop_.CompletionModeAvailable()) {
+    completion_mode_ = true;
+    ArmCompletionAccept();
+  } else {
+    loop_.RegisterFd(listen_socket_.fd(), EPOLLIN,
+                     [this](uint32_t) { HandleReadable(); });
+  }
   listening_ = true;
+}
+
+void Acceptor::ArmCompletionAccept() {
+  loop_.SetCompletionHandler(
+      listen_socket_.fd(),
+      [this](const IoEvent& ev) { HandleAcceptCompletion(ev); });
+  loop_.QueueAccept(listen_socket_.fd());
+}
+
+void Acceptor::HandleAcceptCompletion(const IoEvent& ev) {
+  if (ev.result < 0) return;  // transient error; the engine re-arms
+  // Multishot accept delivers no peer address per completion; no consumer
+  // of the callback reads it, so an empty InetAddr stands in.
+  callback_(Socket(ScopedFd(ev.result)), InetAddr());
 }
 
 void Acceptor::HandleReadable() {

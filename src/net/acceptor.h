@@ -34,12 +34,17 @@ class Acceptor {
 
  private:
   void HandleReadable();
+  void ArmCompletionAccept();
+  void HandleAcceptCompletion(const IoEvent& ev);
 
   EventLoop& loop_;
   Socket listen_socket_;
   NewConnectionCallback callback_;
   bool listening_ = false;
   bool paused_ = false;
+  // On a completion engine the acceptor runs a multishot accept op instead
+  // of an EPOLLIN watcher + accept4 drain loop.
+  bool completion_mode_ = false;
 };
 
 }  // namespace hynet

@@ -5,6 +5,8 @@
 #include <cerrno>
 #include <system_error>
 
+#include "net/socket.h"
+
 namespace hynet {
 namespace {
 
@@ -42,20 +44,17 @@ void Epoller::Remove(int fd) {
 }
 
 std::span<epoll_event> Epoller::Wait(int64_t timeout_ns) {
-  while (true) {
-    int n;
+  const int n = RetrySyscall([&] {
     if (timeout_ns < 0) {
-      n = ::epoll_wait(epfd_.get(), events_, kMaxEvents, -1);
-    } else {
-      timespec ts{};
-      ts.tv_sec = timeout_ns / 1'000'000'000;
-      ts.tv_nsec = timeout_ns % 1'000'000'000;
-      n = ::epoll_pwait2(epfd_.get(), events_, kMaxEvents, &ts, nullptr);
+      return ::epoll_wait(epfd_.get(), events_, kMaxEvents, -1);
     }
-    if (n >= 0) return {events_, static_cast<size_t>(n)};
-    if (errno == EINTR) continue;
-    ThrowErrno("epoll_wait");
-  }
+    timespec ts{};
+    ts.tv_sec = timeout_ns / 1'000'000'000;
+    ts.tv_nsec = timeout_ns % 1'000'000'000;
+    return ::epoll_pwait2(epfd_.get(), events_, kMaxEvents, &ts, nullptr);
+  });
+  if (n < 0) ThrowErrno("epoll_wait");
+  return {events_, static_cast<size_t>(n)};
 }
 
 }  // namespace hynet

@@ -11,12 +11,13 @@
 
 namespace hynet {
 
-EventLoop::EventLoop()
-    : wakeup_fd_(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {
+EventLoop::EventLoop(IoBackendKind backend)
+    : backend_(CreateIoBackend(backend, &backend_fell_back_)),
+      wakeup_fd_(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {
   if (!wakeup_fd_.valid()) {
     throw std::system_error(errno, std::generic_category(), "eventfd");
   }
-  epoller_.Add(wakeup_fd_.get(), EPOLLIN);
+  backend_->AddFd(wakeup_fd_.get(), EPOLLIN);
 }
 
 EventLoop::~EventLoop() = default;
@@ -39,22 +40,33 @@ void EventLoop::Run() {
     // awake_ == false write the eventfd and wake us the classic way.
     awake_.store(false, std::memory_order_seq_cst);
     const int64_t timeout_ns = ComputeWaitTimeoutNs();
-    auto ready = epoller_.Wait(timeout_ns);
+    auto ready = backend_->Wait(timeout_ns);
     awake_.store(true, std::memory_order_seq_cst);
     wakeups_.fetch_add(1, std::memory_order_relaxed);
 
-    for (const epoll_event& ev : ready) {
-      const int fd = ev.data.fd;
-      if (fd == wakeup_fd_.get()) {
-        DrainWakeupFd();
+    for (const IoEvent& ev : ready) {
+      if (ev.op == IoOpType::kReadiness) {
+        if (ev.fd == wakeup_fd_.get()) {
+          DrainWakeupFd();
+          continue;
+        }
+        auto it = entries_.find(ev.fd);
+        if (it == entries_.end()) continue;  // unregistered mid-batch
+        // Keep the entry alive across the callback: the callback itself may
+        // unregister this fd (or others in the same ready batch).
+        std::shared_ptr<FdEntry> entry = it->second;
+        if (entry->alive && entry->callback) entry->callback(ev.events);
         continue;
       }
-      auto it = entries_.find(fd);
-      if (it == entries_.end()) continue;  // unregistered mid-batch
-      // Keep the entry alive across the callback: the callback itself may
-      // unregister this fd (or others in the same ready batch).
-      std::shared_ptr<FdEntry> entry = it->second;
-      if (entry->alive && entry->callback) entry->callback(ev.events);
+      // Completion events (uring engine only).
+      auto it = completion_handlers_.find(ev.fd);
+      if (it == completion_handlers_.end()) {
+        // An accepted socket whose handler vanished mid-batch must not leak.
+        if (ev.op == IoOpType::kAccept && ev.result >= 0) ::close(ev.result);
+        continue;
+      }
+      std::shared_ptr<CompletionEntry> entry = it->second;
+      if (entry->alive && entry->callback) entry->callback(ev);
     }
 
     FireDueTimers();
@@ -77,7 +89,7 @@ void EventLoop::RegisterFd(int fd, uint32_t events, FdCallback cb) {
   entry->callback = std::move(cb);
   entry->events = events;
   entries_[fd] = std::move(entry);
-  epoller_.Add(fd, events);
+  backend_->AddFd(fd, events);
 }
 
 void EventLoop::ModifyFd(int fd, uint32_t events) {
@@ -85,7 +97,7 @@ void EventLoop::ModifyFd(int fd, uint32_t events) {
   if (it == entries_.end()) return;
   if (it->second->events == events) return;
   it->second->events = events;
-  epoller_.Modify(fd, events);
+  backend_->ModifyFd(fd, events);
 }
 
 void EventLoop::UnregisterFd(int fd) {
@@ -93,7 +105,27 @@ void EventLoop::UnregisterFd(int fd) {
   if (it == entries_.end()) return;
   it->second->alive = false;
   entries_.erase(it);
-  epoller_.Remove(fd);
+  backend_->RemoveFd(fd);
+}
+
+void EventLoop::SetCompletionHandler(int fd, CompletionCallback cb) {
+  auto entry = std::make_shared<CompletionEntry>();
+  entry->callback = std::move(cb);
+  completion_handlers_[fd] = std::move(entry);
+}
+
+void EventLoop::ClearCompletionHandler(int fd) {
+  auto it = completion_handlers_.find(fd);
+  if (it == completion_handlers_.end()) return;
+  it->second->alive = false;
+  completion_handlers_.erase(it);
+  backend_->CancelFd(fd);
+}
+
+IoBackendStats EventLoop::BackendStats() const {
+  IoBackendStats s = backend_->Stats();
+  if (backend_fell_back_) s.fallbacks = 1;
+  return s;
 }
 
 void EventLoop::RunInLoop(Task task) {

@@ -1,7 +1,14 @@
-// EventLoop: one thread running epoll dispatch + cross-thread task queue +
+// EventLoop: one thread running I/O dispatch + cross-thread task queue +
 // monotonic timers. The building block for every asynchronous architecture
 // in this library (reactor threads, single-threaded servers, Netty-style
 // worker loops, the latency proxy, and the load generator).
+//
+// I/O runs through a pluggable IoBackend (src/io/): the epoll readiness
+// engine by default, or the io_uring completion engine when selected via
+// ServerConfig::io_backend / HYNET_IO_BACKEND. The watcher, timer, wakeup,
+// and post-iteration-hook semantics are identical on both engines; the
+// completion plane (SetCompletionHandler + Queue*) is additionally
+// available when CompletionModeAvailable().
 #pragma once
 
 #include <atomic>
@@ -15,7 +22,7 @@
 
 #include "common/clock.h"
 #include "common/fd.h"
-#include "net/epoll.h"
+#include "io/io_backend.h"
 #include "net/timer_wheel.h"
 
 namespace hynet {
@@ -23,10 +30,11 @@ namespace hynet {
 class EventLoop {
  public:
   using FdCallback = std::function<void(uint32_t events)>;
+  using CompletionCallback = std::function<void(const IoEvent& ev)>;
   using Task = std::function<void()>;
   using TimerId = uint64_t;
 
-  EventLoop();
+  explicit EventLoop(IoBackendKind backend = IoBackendKind::kDefault);
   ~EventLoop();
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
@@ -85,6 +93,33 @@ class EventLoop {
   size_t CoarseTimerCount() const { return wheel_.Size(); }
   size_t TimerHeapSizeForTest() const;
 
+  // ---- I/O engine ----
+  IoBackendKind BackendKind() const { return backend_->kind(); }
+  const char* BackendName() const { return IoBackendName(backend_->kind()); }
+  // Engine counters; `fallbacks` is 1 when uring was requested for this
+  // loop but creation fell back to epoll.
+  IoBackendStats BackendStats() const;
+
+  // Completion plane (loop thread only; engine contracts in io_backend.h).
+  // Only meaningful when the backend reports SupportsCompletions().
+  bool CompletionModeAvailable() const {
+    return backend_->SupportsCompletions();
+  }
+  void SetReadBufferSource(ReadBufferSource* source) {
+    backend_->SetReadBufferSource(source);
+  }
+  // Routes kAccept/kRead/kWrite events for `fd` to `cb`. Clearing cancels
+  // every in-flight op on the fd; late completions are never delivered.
+  void SetCompletionHandler(int fd, CompletionCallback cb);
+  void ClearCompletionHandler(int fd);
+  bool QueueAccept(int listen_fd) { return backend_->QueueAccept(listen_fd); }
+  bool QueueRead(int fd) { return backend_->QueueRead(fd); }
+  int QueueWritePayloads(int fd, std::vector<Payload> payloads, size_t offset,
+                         uint64_t token = 0) {
+    return backend_->QueueWritePayloads(fd, std::move(payloads), offset,
+                                        token);
+  }
+
  private:
   struct FdEntry {
     FdCallback callback;
@@ -114,7 +149,8 @@ class EventLoop {
   void FireDueTimers();
   void CompactTimerHeapLocked();
 
-  Epoller epoller_;
+  std::unique_ptr<IoBackend> backend_;
+  bool backend_fell_back_ = false;
   ScopedFd wakeup_fd_;
   // stop_requested_ is separate from running_ so a Stop() issued before
   // Run() ever starts is not lost (the loop checks it on entry).
@@ -123,6 +159,13 @@ class EventLoop {
   std::atomic<int> loop_tid_{0};
 
   std::unordered_map<int, std::shared_ptr<FdEntry>> entries_;
+
+  struct CompletionEntry {
+    CompletionCallback callback;
+    bool alive = true;
+  };
+  std::unordered_map<int, std::shared_ptr<CompletionEntry>>
+      completion_handlers_;
 
   mutable std::mutex task_mu_;
   std::vector<Task> pending_tasks_;

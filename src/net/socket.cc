@@ -19,36 +19,25 @@ namespace {
 }  // namespace
 
 IoResult ReadFd(int fd, void* buf, size_t len) {
-  while (true) {
-    const ssize_t n = ::read(fd, buf, len);
-    if (n >= 0) return {n, 0};
-    if (errno == EINTR) continue;
-    return {n, errno};
-  }
+  const ssize_t n = RetrySyscall([&] { return ::read(fd, buf, len); });
+  return {n, n < 0 ? errno : 0};
 }
 
 IoResult WriteFd(int fd, const void* buf, size_t len) {
-  while (true) {
-    // MSG_NOSIGNAL: a peer-closed socket must surface as EPIPE, not kill
-    // the process with SIGPIPE (clients hang up mid-response all the time).
-    const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
-    if (n >= 0) return {n, 0};
-    if (errno == EINTR) continue;
-    return {n, errno};
-  }
+  // MSG_NOSIGNAL: a peer-closed socket must surface as EPIPE, not kill
+  // the process with SIGPIPE (clients hang up mid-response all the time).
+  const ssize_t n =
+      RetrySyscall([&] { return ::send(fd, buf, len, MSG_NOSIGNAL); });
+  return {n, n < 0 ? errno : 0};
 }
 
 IoResult WritevFd(int fd, const struct iovec* iov, int iovcnt) {
   msghdr msg{};
   msg.msg_iov = const_cast<struct iovec*>(iov);
   msg.msg_iovlen = static_cast<size_t>(iovcnt);
-  while (true) {
-    // sendmsg rather than writev for MSG_NOSIGNAL, same as WriteFd.
-    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
-    if (n >= 0) return {n, 0};
-    if (errno == EINTR) continue;
-    return {n, errno};
-  }
+  // sendmsg rather than writev for MSG_NOSIGNAL, same as WriteFd.
+  const ssize_t n = RetrySyscall([&] { return ::sendmsg(fd, &msg, MSG_NOSIGNAL); });
+  return {n, n < 0 ? errno : 0};
 }
 
 Socket Socket::CreateTcp(bool nonblocking) {
@@ -86,8 +75,9 @@ std::optional<Socket> Socket::Accept(InetAddr* peer) {
 }
 
 void Socket::Connect(const InetAddr& addr) {
-  while (::connect(fd_.get(), addr.SockAddr(), addr.Length()) < 0) {
-    if (errno == EINTR) continue;
+  if (RetrySyscall([&] {
+        return ::connect(fd_.get(), addr.SockAddr(), addr.Length());
+      }) < 0) {
     ThrowErrno("connect");
   }
 }

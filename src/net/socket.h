@@ -7,12 +7,25 @@
 
 #include <sys/socket.h>
 
+#include <cerrno>
 #include <optional>
 
 #include "common/fd.h"
 #include "net/inet_addr.h"
 
 namespace hynet {
+
+// Runs a syscall-shaped callable (returns a signed count, sets errno on
+// failure) until it stops failing with EINTR. The one retry loop shared by
+// the read/write/connect wrappers and both I/O engines' wait calls —
+// individual call sites must not hand-roll EINTR handling.
+template <typename Syscall>
+auto RetrySyscall(Syscall&& call) -> decltype(call()) {
+  while (true) {
+    const auto r = call();
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
 
 // Result of a single read()/write() attempt.
 struct IoResult {

@@ -72,6 +72,10 @@ struct WriteStats {
   std::atomic<uint64_t> responses{0};        // responses fully sent
   std::atomic<uint64_t> writev_calls{0};     // vectored (sendmsg) syscalls
   std::atomic<uint64_t> iov_segments{0};     // iovec segments across them
+  // Socket read syscalls (read()/recv()) on the epoll readiness paths.
+  // The uring completion path performs reads via SQEs and leaves this at
+  // zero — the epoll-vs-uring syscalls/request comparison reads it.
+  std::atomic<uint64_t> read_calls{0};
 
   double WritesPerResponse() const {
     const uint64_t r = responses.load(std::memory_order_relaxed);
@@ -88,6 +92,7 @@ struct WriteStats {
     responses.store(0, std::memory_order_relaxed);
     writev_calls.store(0, std::memory_order_relaxed);
     iov_segments.store(0, std::memory_order_relaxed);
+    read_calls.store(0, std::memory_order_relaxed);
   }
 };
 

@@ -1,6 +1,7 @@
 // Per-connection state and the shared non-blocking write paths.
 #pragma once
 
+#include <deque>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -79,6 +80,18 @@ struct Connection {
   // drained into the request-latency histogram when the write completes
   // (reactor-pool and staged servers, where the write is a later step).
   std::vector<int64_t> batch_request_starts;
+
+  // Completion-mode (io_uring) write queue: responses wait here while one
+  // SENDMSG op covers the queue head; the payload copies handed to the
+  // engine share these bodies, so the bytes live until the CQE lands.
+  struct UringWriteNode {
+    Payload payload;
+    int writes = 0;        // SENDMSG submissions that included this response
+    int64_t start_ns = 0;  // request arrival, for the latency histogram
+  };
+  std::deque<UringWriteNode> uring_q;
+  size_t uring_q_offset = 0;  // bytes of the front payload already sent
+  bool uring_write_inflight = false;
 
   bool close_after_write = false;
   bool closed = false;

@@ -24,14 +24,16 @@ void LoopGroupServer::Start() {
   loop_tids_ = std::vector<std::atomic<int>>(static_cast<size_t>(n));
   buffer_pools_.clear();
   for (int i = 0; i < n; ++i) {
-    loops_.push_back(std::make_unique<EventLoop>());
+    loops_.push_back(
+        std::make_unique<EventLoop>(ResolveIoBackendKind(config_.io_backend)));
     buffer_pools_.push_back(std::make_unique<BufferPool>());
     // Bound here, after any AdoptMetricsRegistry, so N-copy children
     // account pool traffic into the shared parent registry.
     buffer_pools_.back()->BindMetrics(metrics());
   }
 
-  boss_loop_ = std::make_unique<EventLoop>();
+  boss_loop_ =
+      std::make_unique<EventLoop>(ResolveIoBackendKind(config_.io_backend));
   acceptor_ = std::make_unique<Acceptor>(
       *boss_loop_, InetAddr::Loopback(config_.port),
       [this](Socket s, const InetAddr& peer) {
@@ -180,14 +182,17 @@ ServerCounters LoopGroupServer::Snapshot() const {
   c.light_path_responses = light_responses_.load(std::memory_order_relaxed);
   c.heavy_path_responses = heavy_responses_.load(std::memory_order_relaxed);
   c.reclassifications = reclassifications_.load(std::memory_order_relaxed);
+  c.read_calls = write_stats_.read_calls.load(std::memory_order_relaxed);
   if (boss_loop_) {
     c.wakeup_writes_issued += boss_loop_->WakeupWritesIssued();
     c.wakeup_writes_elided += boss_loop_->WakeupWritesElided();
+    AccumulateLoopIoStats(c, *boss_loop_);
   }
   for (const auto& loop : loops_) {
     if (!loop) continue;
     c.wakeup_writes_issued += loop->WakeupWritesIssued();
     c.wakeup_writes_elided += loop->WakeupWritesElided();
+    AccumulateLoopIoStats(c, *loop);
   }
   ExportLifecycle(c);
   return c;
@@ -259,6 +264,7 @@ void LoopGroupServer::OnLoopEvent(size_t loop_index, int fd, uint32_t events) {
     // half-closing are still parsed and answered below.
     char buf[16 * 1024];
     while (true) {
+      write_stats_.read_calls.fetch_add(1, std::memory_order_relaxed);
       const IoResult r = ReadFd(fd, buf, sizeof(buf));
       if (r.WouldBlock()) break;
       if (r.Fatal()) {

@@ -19,7 +19,7 @@ void ReactorPoolServer::Start() {
                                               config_.header_timeout_ms,
                                               config_.write_stall_timeout_ms);
   buffer_pool_.BindMetrics(metrics());
-  loop_ = std::make_unique<EventLoop>();
+  loop_ = std::make_unique<EventLoop>(ResolveIoBackendKind(config_.io_backend));
   if (config_.dispatch_batch > 1) {
     loop_->SetPostIterationHook([this] { FlushDispatchBatch(); });
   }
@@ -153,9 +153,11 @@ ServerCounters ReactorPoolServer::Snapshot() const {
   c.iov_segments = write_stats_.iov_segments.load(std::memory_order_relaxed);
   c.logical_switches = dispatch_stats_.LogicalSwitches();
   c.dispatch_batches = dispatch_batches_.load(std::memory_order_relaxed);
+  c.read_calls = write_stats_.read_calls.load(std::memory_order_relaxed);
   if (loop_) {
     c.wakeup_writes_issued = loop_->WakeupWritesIssued();
     c.wakeup_writes_elided = loop_->WakeupWritesElided();
+    AccumulateLoopIoStats(c, *loop_);
   }
   ExportLifecycle(c);
   return c;
@@ -238,6 +240,7 @@ void ReactorPoolServer::HandleReadEvent(Connection* conn) {
   bool peer_eof = conn->lifecycle.peer_half_closed;
   char buf[16 * 1024];
   while (true) {
+    write_stats_.read_calls.fetch_add(1, std::memory_order_relaxed);
     const IoResult r = ReadFd(fd, buf, sizeof(buf));
     if (r.WouldBlock()) break;
     if (r.Fatal()) {

@@ -1,5 +1,7 @@
 #include "servers/server.h"
 
+#include "io/io_backend.h"
+#include "net/event_loop.h"
 #include "net/socket.h"
 #include "proto/http_codec.h"
 #include "servers/admin_server.h"
@@ -53,7 +55,19 @@ std::vector<std::string> ServerConfig::Validate() const {
   if (admin_port > 0 && port != 0 && admin_port == port) {
     errors.push_back("admin_port must differ from port");
   }
+  if (!io_backend.empty() && !ParseIoBackendName(io_backend)) {
+    errors.push_back("io_backend must be \"\", \"epoll\", or \"uring\"");
+  }
   return errors;
+}
+
+void AccumulateLoopIoStats(ServerCounters& c, const EventLoop& loop) {
+  c.loop_iterations += loop.WakeupCount();
+  const IoBackendStats s = loop.BackendStats();
+  c.uring_submit_batches += s.submit_batches;
+  c.uring_sqes_submitted += s.sqes_submitted;
+  c.uring_cqes_reaped += s.cqes_reaped;
+  c.uring_fallbacks += s.fallbacks;
 }
 
 Server::Server(ServerConfig config, Handler handler)

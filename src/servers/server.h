@@ -126,6 +126,14 @@ struct ServerConfig {
   size_t max_request_head_bytes = 64 * 1024;  // matches the seed's cap
   size_t max_request_body_bytes = 8 * 1024 * 1024;
 
+  // ---- I/O engine ----
+  // Which IoBackend every EventLoop of this server uses: "" (resolve via
+  // HYNET_IO_BACKEND, else epoll), "epoll", or "uring". A uring request on
+  // a kernel/sandbox that cannot run it logs a warning and falls back to
+  // epoll (visible as uring_fallbacks in the counters) rather than failing
+  // startup. Thread-per-connection has no event loop and ignores this.
+  std::string io_backend;
+
   // Returns every problem with this config (empty = valid). CreateServer
   // calls it and throws std::invalid_argument with the joined message —
   // the single gate replacing per-architecture scattered checks.
@@ -153,6 +161,21 @@ struct ServerConfig {
 //   wakeup_writes_issued / wakeup_writes_elided
 //                                  — eventfd writes performed vs skipped by
 //                                  wakeup coalescing, summed over loops
+//   read_calls                     — socket read()/recv() syscalls issued by
+//                                  the epoll read paths (zero on the uring
+//                                  completion path, where reads ride SQEs)
+//   loop_iterations                — EventLoop wait returns, summed over
+//                                  loops (the epoll engine's epoll_wait
+//                                  syscall count)
+//   uring_submit_batches           — io_uring_enter calls (each submits the
+//                                  iteration's SQE batch and/or reaps CQEs;
+//                                  the uring engine's whole kernel-crossing
+//                                  budget)
+//   uring_sqes_submitted / uring_cqes_reaped
+//                                  — SQEs handed to the kernel and CQEs
+//                                  consumed, for batch-depth ratios
+//   uring_fallbacks                — loops that requested uring but fell
+//                                  back to epoll at startup probing
 #define HYNET_SERVER_CORE_COUNTER_FIELDS(X) \
   X(connections_accepted)                   \
   X(connections_closed)                     \
@@ -169,7 +192,13 @@ struct ServerConfig {
   X(reclassifications)                      \
   X(dispatch_batches)                       \
   X(wakeup_writes_issued)                   \
-  X(wakeup_writes_elided)
+  X(wakeup_writes_elided)                   \
+  X(read_calls)                             \
+  X(loop_iterations)                        \
+  X(uring_submit_batches)                   \
+  X(uring_sqes_submitted)                   \
+  X(uring_cqes_reaped)                      \
+  X(uring_fallbacks)
 
 // Lifecycle / overload-protection counters. Names match the LifecycleStats
 // atomics field-for-field; ExportLifecycle is generated from this list.
@@ -211,6 +240,14 @@ static_assert(sizeof(ServerCounters) ==
 
 // Field-wise sum, for aggregating per-copy/per-tier snapshots.
 void AccumulateCounters(ServerCounters& into, const ServerCounters& c);
+
+class EventLoop;
+
+// Adds one EventLoop's I/O-engine counters into a Snapshot:
+// loop_iterations (its wait-return count) plus the uring_* engine stats.
+// The wakeup_writes_* counters stay with each architecture's existing
+// per-loop sums. Call once per loop the server owns.
+void AccumulateLoopIoStats(ServerCounters& c, const EventLoop& loop);
 
 // Field-wise delta (a - b), for before/after measurement windows.
 ServerCounters operator-(const ServerCounters& a, const ServerCounters& b);

@@ -1,5 +1,7 @@
 #include "servers/single_thread.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/thread_util.h"
 #include "proto/http_codec.h"
@@ -18,7 +20,12 @@ void SingleThreadServer::Start() {
   // After any AdoptMetricsRegistry, so N-copy children account pool
   // traffic into the shared parent registry.
   buffer_pool_.BindMetrics(metrics());
-  loop_ = std::make_unique<EventLoop>();
+  loop_ = std::make_unique<EventLoop>(ResolveIoBackendKind(config_.io_backend));
+  completion_mode_ = loop_->CompletionModeAvailable();
+  if (completion_mode_) {
+    buffer_source_ = std::make_unique<PoolBufferSource>(buffer_pool_);
+    loop_->SetReadBufferSource(buffer_source_.get());
+  }
   acceptor_ = std::make_unique<Acceptor>(
       *loop_, InetAddr::Loopback(config_.port),
       [this](Socket s, const InetAddr& peer) {
@@ -111,9 +118,11 @@ ServerCounters SingleThreadServer::Snapshot() const {
   c.zero_writes = write_stats_.zero_writes.load(std::memory_order_relaxed);
   c.writev_calls = write_stats_.writev_calls.load(std::memory_order_relaxed);
   c.iov_segments = write_stats_.iov_segments.load(std::memory_order_relaxed);
+  c.read_calls = write_stats_.read_calls.load(std::memory_order_relaxed);
   if (loop_) {
     c.wakeup_writes_issued = loop_->WakeupWritesIssued();
     c.wakeup_writes_elided = loop_->WakeupWritesElided();
+    AccumulateLoopIoStats(c, *loop_);
   }
   ExportLifecycle(c);
   return c;
@@ -138,8 +147,14 @@ void SingleThreadServer::OnNewConnection(Socket socket, const InetAddr&) {
                          config_.max_request_body_bytes);
   conns_[fd] = std::move(conn);
   accepted_.fetch_add(1, std::memory_order_relaxed);
-  loop_->RegisterFd(fd, EPOLLIN | EPOLLRDHUP,
-                    [this, fd](uint32_t events) { OnReadable(fd, events); });
+  if (completion_mode_) {
+    loop_->SetCompletionHandler(
+        fd, [this, fd](const IoEvent& ev) { OnCompletion(fd, ev); });
+    loop_->QueueRead(fd);
+  } else {
+    loop_->RegisterFd(fd, EPOLLIN | EPOLLRDHUP,
+                      [this, fd](uint32_t events) { OnReadable(fd, events); });
+  }
   if (config_.max_connections > 0 && !config_.shed_with_503 &&
       !accept_paused_ &&
       Live() >= static_cast<uint64_t>(config_.max_connections)) {
@@ -165,6 +180,7 @@ void SingleThreadServer::OnReadable(int fd, uint32_t events) {
   bool peer_eof = conn.lifecycle.peer_half_closed;
   char buf[16 * 1024];
   while (true) {
+    write_stats_.read_calls.fetch_add(1, std::memory_order_relaxed);
     const IoResult r = ReadFd(fd, buf, sizeof(buf));
     if (r.WouldBlock()) break;
     if (r.Fatal()) {
@@ -261,10 +277,185 @@ void SingleThreadServer::OnReadable(int fd, uint32_t events) {
   }
 }
 
+// The completion-mode event pump: one callback receives every CQE-backed
+// event for the connection. Reads parse and queue responses; writes advance
+// the queue. Mirrors OnReadable's flow with the spin-write replaced by
+// queued SENDMSG ops.
+void SingleThreadServer::OnCompletion(int fd, const IoEvent& ev) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection& conn = *it->second;
+
+  if (ev.op == IoOpType::kWrite) {
+    HandleWriteComplete(fd, conn, ev);
+    return;
+  }
+  if (ev.op != IoOpType::kRead) return;
+
+  if (ev.result < 0) {
+    CloseConnection(fd);
+    return;
+  }
+  if (ev.result == 0) {
+    conn.lifecycle.peer_half_closed = true;
+    // Requests already buffered are still answered; close once the write
+    // queue drains (HandleWriteComplete) or right away when idle.
+    if (!ParseAndQueue(fd, conn)) return;
+    if (ConnIdle(conn)) {
+      lifecycle_.half_close_reclaims.fetch_add(1, std::memory_order_relaxed);
+      CloseConnection(fd);
+    }
+    return;
+  }
+
+  conn.in.Append(ev.buffer->ReadPtr(), ev.buffer->ReadableBytes());
+  conn.lifecycle.last_activity = Now();
+  if (!ParseAndQueue(fd, conn)) return;
+  // Keep a read armed for the next (possibly pipelined) request.
+  if (!conn.close_after_write && !conn.lifecycle.peer_half_closed) {
+    loop_->QueueRead(fd);
+  }
+}
+
+bool SingleThreadServer::ParseAndQueue(int fd, Connection& conn) {
+  while (true) {
+    ParseStatus st;
+    {
+      ScopedPhase phase(phase_profiler_, Phase::kParse);
+      st = conn.parser.Parse(conn.in);
+    }
+    if (st == ParseStatus::kNeedMore) {
+      if (conn.in.ReadableBytes() > 0 || conn.parser.InProgress()) {
+        if (!conn.lifecycle.head_pending) {
+          conn.lifecycle.head_pending = true;
+          conn.lifecycle.head_start = Now();
+        }
+      } else {
+        conn.lifecycle.head_pending = false;
+      }
+      break;
+    }
+    conn.lifecycle.head_pending = false;
+    if (st == ParseStatus::kError) {
+      const ParseError err = conn.parser.error();
+      if (err == ParseError::kHeadTooLarge ||
+          err == ParseError::kBodyTooLarge) {
+        lifecycle_.oversize_requests.fetch_add(1, std::memory_order_relaxed);
+        const std::string wire =
+            SimpleErrorResponse(err == ParseError::kHeadTooLarge ? 431 : 413);
+        conn.uring_q.push_back(
+            {Payload::FromString(wire), 0, NowNanos()});
+        conn.close_after_write = true;
+        break;
+      }
+      CloseConnection(fd);
+      return false;
+    }
+    const int64_t req_start_ns = NowNanos();
+    HttpResponse resp;
+    {
+      ScopedPhase phase(phase_profiler_, Phase::kHandler);
+      handler_(conn.parser.request(), resp);
+    }
+    resp.keep_alive = conn.parser.request().keep_alive &&
+                      !draining_.load(std::memory_order_relaxed);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    conn.requests++;
+
+    Payload payload;
+    {
+      ScopedPhase phase(phase_profiler_, Phase::kSerialize);
+      payload = SerializeResponsePayload(resp);
+    }
+    conn.uring_q.push_back({std::move(payload), 0, req_start_ns});
+    if (!resp.keep_alive) {
+      conn.close_after_write = true;
+      break;
+    }
+  }
+  MaybeSubmitWrite(fd, conn);
+  return conns_.contains(fd);
+}
+
+void SingleThreadServer::MaybeSubmitWrite(int fd, Connection& conn) {
+  if (conn.uring_write_inflight || conn.uring_q.empty()) return;
+  std::vector<Payload> batch;
+  const size_t n = std::min<size_t>(conn.uring_q.size(), 8);
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    batch.push_back(conn.uring_q[i].payload);  // shares the body bytes
+    conn.uring_q[i].writes++;
+  }
+  const int segs = loop_->QueueWritePayloads(fd, std::move(batch),
+                                             conn.uring_q_offset);
+  if (segs < 0) {
+    CloseConnection(fd);
+    return;
+  }
+  conn.uring_write_inflight = true;
+  // A SENDMSG SQE is the vectored-write unit of this path; it rides the
+  // iteration's submit batch instead of costing its own syscall.
+  write_stats_.writev_calls.fetch_add(1, std::memory_order_relaxed);
+  write_stats_.iov_segments.fetch_add(static_cast<uint64_t>(segs),
+                                      std::memory_order_relaxed);
+  if (!conn.lifecycle.write_stalled) {
+    conn.lifecycle.write_stalled = true;
+    conn.lifecycle.stall_start = Now();
+  }
+}
+
+void SingleThreadServer::HandleWriteComplete(int fd, Connection& conn,
+                                             const IoEvent& ev) {
+  conn.uring_write_inflight = false;
+  if (ev.result < 0) {
+    CloseConnection(fd);  // EPIPE / ECONNRESET / cancelled
+    return;
+  }
+  if (ev.result == 0) {
+    write_stats_.zero_writes.fetch_add(1, std::memory_order_relaxed);
+  }
+  conn.lifecycle.last_activity = Now();
+  size_t advance = static_cast<size_t>(ev.result);
+  while (advance > 0 && !conn.uring_q.empty()) {
+    auto& node = conn.uring_q.front();
+    const size_t left = node.payload.size() - conn.uring_q_offset;
+    if (advance < left) {
+      conn.uring_q_offset += advance;
+      break;
+    }
+    advance -= left;
+    conn.uring_q_offset = 0;
+    write_stats_.responses.fetch_add(1, std::memory_order_relaxed);
+    writes_per_response_->Record(node.writes);
+    request_latency_ns_->Record(NowNanos() - node.start_ns);
+    conn.uring_q.pop_front();
+  }
+  if (!conn.uring_q.empty()) {
+    // Short write: resume from the new offset. Progress resets the stall
+    // clock; a peer whose window never opens still trips the sweep.
+    conn.lifecycle.stall_start = Now();
+    MaybeSubmitWrite(fd, conn);
+    return;
+  }
+  conn.lifecycle.write_stalled = false;
+  if (conn.close_after_write) {
+    CloseConnection(fd);
+    return;
+  }
+  if (conn.lifecycle.peer_half_closed && ConnIdle(conn)) {
+    lifecycle_.half_close_reclaims.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(fd);
+  }
+}
+
 void SingleThreadServer::CloseConnection(int fd) {
   auto it = conns_.find(fd);
   if (it == conns_.end()) return;
-  loop_->UnregisterFd(fd);
+  if (completion_mode_) {
+    loop_->ClearCompletionHandler(fd);
+  } else {
+    loop_->UnregisterFd(fd);
+  }
   buffer_pool_.Release(std::move(it->second->in));
   conns_.erase(it);
   closed_.fetch_add(1, std::memory_order_relaxed);
@@ -277,7 +468,8 @@ void SingleThreadServer::CloseConnection(int fd) {
 }
 
 bool SingleThreadServer::ConnIdle(const Connection& conn) const {
-  return conn.in.ReadableBytes() == 0 && !conn.parser.InProgress();
+  return conn.in.ReadableBytes() == 0 && !conn.parser.InProgress() &&
+         conn.uring_q.empty() && !conn.uring_write_inflight;
 }
 
 void SingleThreadServer::ScheduleSweep() {

@@ -36,8 +36,25 @@ class SingleThreadServer final : public Server {
   EventLoop& loop() { return *loop_; }
 
  private:
+  // Adapts the per-loop BufferPool to the completion engine's read-buffer
+  // interface so recycled connection buffers feed the read SQEs.
+  struct PoolBufferSource final : ReadBufferSource {
+    explicit PoolBufferSource(BufferPool& p) : pool(p) {}
+    ByteBuffer AcquireBuffer() override { return pool.Acquire(); }
+    void ReleaseBuffer(ByteBuffer buffer) override {
+      pool.Release(std::move(buffer));
+    }
+    BufferPool& pool;
+  };
+
   void OnNewConnection(Socket socket, const InetAddr& peer);
   void OnReadable(int fd, uint32_t events);
+  // Completion-mode (io_uring) fast path: reads and writes arrive as
+  // CQE-backed events instead of readiness callbacks.
+  void OnCompletion(int fd, const IoEvent& ev);
+  bool ParseAndQueue(int fd, Connection& conn);  // false = conn closed
+  void MaybeSubmitWrite(int fd, Connection& conn);
+  void HandleWriteComplete(int fd, Connection& conn, const IoEvent& ev);
   void CloseConnection(int fd);
   void ScheduleSweep();
   void SweepDeadlines();
@@ -57,6 +74,9 @@ class SingleThreadServer final : public Server {
   std::unordered_map<int, std::unique_ptr<Connection>> conns_;
   // Read-buffer recycling across the accept→close churn (loop thread only).
   BufferPool buffer_pool_;
+  // Must outlive loop_ (the engine returns its buffers on teardown).
+  std::unique_ptr<PoolBufferSource> buffer_source_;
+  bool completion_mode_ = false;
   LifecycleDeadlines deadlines_;
   bool accept_paused_ = false;  // loop thread only
 

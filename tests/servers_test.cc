@@ -131,6 +131,11 @@ class WriteSpinByArch : public ::testing::TestWithParam<ServerArchitecture> {
 TEST_P(WriteSpinByArch, SmallResponsesNeedExactlyOneWrite) {
   ServerConfig config = BaseConfig(GetParam());
   config.snd_buf_bytes = 16 * 1024;
+  // write() anatomy is a readiness-path property: on the io_uring
+  // completion engine responses ride SENDMSG SQEs and write_calls stays
+  // zero by design. Pin the engine so the paper's semantics are measured
+  // even when HYNET_IO_BACKEND routes the suite through uring.
+  config.io_backend = "epoll";
   auto server = CreateServer(config, MakeBenchHandler());
   server->Start();
   for (int i = 0; i < 10; ++i) {
@@ -157,6 +162,11 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(WriteSpin, SingleThreadSpinsOnLargeResponseWithSlowReader) {
   ServerConfig config = BaseConfig(ServerArchitecture::kSingleThread);
   config.snd_buf_bytes = 16 * 1024;
+  // The write-spin problem exists only on the readiness path (the
+  // completion engine resumes short writes from CQEs instead of
+  // spinning); pin the engine so the measured effect survives a
+  // HYNET_IO_BACKEND=uring run.
+  config.io_backend = "epoll";
   auto server = CreateServer(config, MakeBenchHandler());
   server->Start();
 

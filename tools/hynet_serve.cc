@@ -7,6 +7,7 @@
 //               [--max-conns N] [--no-shed] [--high-water BYTES]
 //               [--drain-ms N] [--admin-port P]
 //               [--dispatch-batch N] [--pin-cpus]
+//               [--io-backend epoll|uring]
 //
 // The server exposes the standard bench handler:
 //   GET /bench?size=<bytes>&us=<cpu-us>[&push=N&push_kb=M]
@@ -106,13 +107,16 @@ int main(int argc, char** argv) {
       config.dispatch_batch = std::atoi(next("--dispatch-batch"));
     } else if (!std::strcmp(argv[i], "--pin-cpus")) {
       config.pin_cpus = true;
+    } else if (!std::strcmp(argv[i], "--io-backend")) {
+      config.io_backend = next("--io-backend");
     } else {
       std::fprintf(stderr, "usage: %s [--arch NAME] [--port P] "
                    "[--sndbuf BYTES] [--loops N] [--workers N] "
                    "[--spin-cap N] [--profile] [--idle-ms N] "
                    "[--header-ms N] [--stall-ms N] [--max-conns N] "
                    "[--no-shed] [--high-water BYTES] [--drain-ms N] "
-                   "[--admin-port P] [--dispatch-batch N] [--pin-cpus]\n",
+                   "[--admin-port P] [--dispatch-batch N] [--pin-cpus] "
+                   "[--io-backend epoll|uring]\n",
                    argv[0]);
       return 2;
     }

@@ -6,6 +6,11 @@ hynet_serve --admin-port) and prints request rate, write anatomy, and
 latency percentiles — the live view of the numbers the paper reports as
 Table IV and Figure 5.
 
+The `io` column shows the active I/O backend (epoll, uring, or `epoll*`
+for a requested-uring-but-fell-back server) and `sqe/bat` the io_uring
+submission batching factor (SQEs per io_uring_enter call), both derived
+from the server_uring_* counters.
+
 Usage:
     python3 tools/hynet_top.py [--host 127.0.0.1] [--port 9090]
                                [--interval 1.0]
@@ -34,6 +39,20 @@ def histogram(stats: dict, name: str) -> dict:
     return stats.get("histograms", {}).get(name, {})
 
 
+def backend_name(stats: dict) -> str:
+    """Active I/O backend, derived from the uring counters.
+
+    A server that asked for io_uring but fell back to epoll reports
+    uring_fallbacks > 0; one actually running the completion engine
+    submits SQEs; anything else is the plain epoll readiness engine.
+    """
+    if counter(stats, "server_uring_fallbacks") > 0:
+        return "epoll*"  # requested uring, fell back
+    if counter(stats, "server_uring_sqes_submitted") > 0:
+        return "uring"
+    return "epoll"
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--host", default="127.0.0.1")
@@ -43,8 +62,9 @@ def main() -> int:
 
     url = f"http://{args.host}:{args.port}/stats.json"
     print(f"polling {url} every {args.interval:g}s  (Ctrl-C to stop)")
-    header = (f"{'time':>8}  {'req/s':>9}  {'resp/s':>9}  {'wr/resp':>7}  "
-              f"{'zero/s':>7}  {'iov/wv':>6}  {'wq':>5}  {'conns':>7}  "
+    header = (f"{'time':>8}  {'io':>6}  {'req/s':>9}  {'resp/s':>9}  "
+              f"{'wr/resp':>7}  {'zero/s':>7}  {'iov/wv':>6}  "
+              f"{'sqe/bat':>7}  {'wq':>5}  {'conns':>7}  "
               f"{'p50ms':>7}  {'p99ms':>7}  {'drain':>5}")
 
     prev = None
@@ -68,6 +88,10 @@ def main() -> int:
             writev_rate = d("server_writev_calls")
             iov_rate = d("server_iov_segments")
             iov_per_wv = (iov_rate / writev_rate) if writev_rate > 0 else 0.0
+            # io_uring submission batching: SQEs per io_uring_enter call.
+            batch_rate = d("server_uring_submit_batches")
+            sqe_rate = d("server_uring_sqes_submitted")
+            sqe_per_batch = (sqe_rate / batch_rate) if batch_rate > 0 else 0.0
             live = (counter(stats, "server_connections_accepted")
                     - counter(stats, "server_connections_closed"))
             # Worker-feed queue depth: worker_queue_depth for the reactor
@@ -83,9 +107,11 @@ def main() -> int:
             if lines % 20 == 0:
                 print(header)
             print(f"{time.strftime('%H:%M:%S'):>8}  "
+                  f"{backend_name(stats):>6}  "
                   f"{d('server_requests_handled'):>9.1f}  "
                   f"{resp_rate:>9.1f}  {wr_per_resp:>7.2f}  "
                   f"{d('server_zero_writes'):>7.1f}  {iov_per_wv:>6.1f}  "
+                  f"{sqe_per_batch:>7.1f}  "
                   f"{wq:>5d}  {live:>7d}  "
                   f"{p50:>7.2f}  {p99:>7.2f}  "
                   f"{'yes' if draining else 'no':>5}")
