@@ -1,5 +1,6 @@
 #include "client/bench_runner.h"
 
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <mutex>
@@ -89,6 +90,12 @@ BenchPointResult RunBenchPoint(const BenchPoint& point) {
   lc.seed = point.seed;
   lc.rcv_buf_bytes = point.client_rcv_buf;
   lc.open_loop_rate = point.open_loop_rate;
+  lc.request_deadline_ms = point.request_deadline_ms;
+  lc.retries_enabled = point.client_retries;
+  lc.retry = point.retry;
+  // The proxy's round trip is wire time, not the server serving late.
+  lc.late_slack_ms =
+      1 + static_cast<int>(std::ceil(2.0 * point.latency_ms));
   ThreadCpuTimes begin_process_cpu;
   lc.on_measure_start = [&] {
     // Thread set is sampled at window start: by now thread-per-connection

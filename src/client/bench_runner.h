@@ -37,6 +37,11 @@ struct BenchPoint {
   uint64_t seed = 1;
   // > 0: open-loop Poisson arrivals at this rate instead of closed loop.
   double open_loop_rate = 0.0;
+  // Client resilience plane, forwarded to LoadConfig (the server side is
+  // configured through `server` directly).
+  int request_deadline_ms = 0;
+  bool client_retries = false;
+  RetryPolicyConfig retry;
 };
 
 struct BenchPointResult {

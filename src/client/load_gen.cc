@@ -8,6 +8,7 @@
 
 #include "common/bytes.h"
 #include "common/clock.h"
+#include "common/deadline.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/thread_util.h"
@@ -35,6 +36,9 @@ struct ClientConn {
   // Open-loop state: intended arrival times waiting for this connection.
   std::deque<TimePoint> backlog;
   bool busy = false;  // a request is outstanding
+  // Retry state for the outstanding request.
+  size_t target_index = 0;
+  int attempt = 1;  // tries made so far (1 = the initial send)
 };
 
 class ClosedLoopDriver {
@@ -49,11 +53,18 @@ class ClosedLoopDriver {
           t.weight / total);
       request_bytes_.push_back(BuildGetRequest(t.target));
     }
+    if (config_.retries_enabled) {
+      retry_ = std::make_unique<RetryPolicy>(config_.retry,
+                                             config_.seed ^ 0x9e3779b9ULL);
+    }
   }
 
   LoadResult Run() {
     for (int i = 0; i < config_.connections; ++i) OpenConnection();
-    if (config_.open_loop_rate > 0) ScheduleNextArrival();
+    if (config_.open_loop_rate > 0) {
+      next_arrival_ = Now();
+      ScheduleNextArrival();
+    }
 
     loop_.RunAfter(std::chrono::duration_cast<Duration>(
                        std::chrono::duration<double>(config_.warmup_sec)),
@@ -61,6 +72,11 @@ class ClosedLoopDriver {
     loop_.Run();
 
     result_.elapsed_sec = ToSeconds(measure_end_ - measure_start_);
+    if (retry_) {
+      result_.retries_issued = retry_->RetriesIssued();
+      result_.retry_budget_exhausted = retry_->BudgetExhausted();
+      result_.retry_successes = retry_->Successes();
+    }
     return std::move(result_);
   }
 
@@ -102,16 +118,27 @@ class ClosedLoopDriver {
     if (config_.open_loop_rate <= 0) SendNext(*conn);
   }
 
-  // Open loop: Poisson arrivals round-robined over the connections.
+  // Open loop: Poisson arrivals round-robined over the connections. The
+  // arrival process runs on an *absolute* schedule: each intended arrival
+  // is the previous one plus an exponential gap, independent of when the
+  // timer actually fires. When the client loop lags (or a timer fires
+  // late), the overdue arrivals are dispatched immediately with their
+  // original intended times — the offered rate never silently sags to
+  // whatever the pipeline can absorb, which is precisely the failure mode
+  // open-loop load exists to expose.
   void ScheduleNextArrival() {
-    const double gap_sec =
-        rng_.NextExponential(1.0 / config_.open_loop_rate);
-    loop_.RunAfter(std::chrono::duration_cast<Duration>(
-                       std::chrono::duration<double>(gap_sec)),
-                   [this] {
-                     DispatchArrival(Now());
-                     ScheduleNextArrival();
-                   });
+    while (true) {
+      next_arrival_ += std::chrono::duration_cast<Duration>(
+          std::chrono::duration<double>(
+              rng_.NextExponential(1.0 / config_.open_loop_rate)));
+      const TimePoint now = Now();
+      if (next_arrival_ > now) break;
+      DispatchArrival(next_arrival_);  // overdue: catch up inline
+    }
+    loop_.RunAfter(next_arrival_ - Now(), [this] {
+      DispatchArrival(next_arrival_);
+      ScheduleNextArrival();
+    });
   }
 
   void DispatchArrival(TimePoint intended) {
@@ -134,20 +161,76 @@ class ClosedLoopDriver {
     }
   }
 
-  void SendAt(ClientConn& conn, TimePoint intended_arrival) {
-    conn.out = request_bytes_[PickTarget()];
-    conn.out_off = 0;
+  // Request bytes for target `idx` sent now, against a logical request
+  // that started at `send_time`: with deadlines on, the header carries the
+  // budget *remaining* — client-side queueing and retry backoff already
+  // spent part of it, exactly like a caller's end-to-end timeout.
+  std::string RequestBytes(size_t idx, TimePoint send_time) {
+    if (config_.request_deadline_ms <= 0) return request_bytes_[idx];
+    int64_t budget =
+        config_.request_deadline_ms -
+        std::chrono::duration_cast<std::chrono::milliseconds>(Now() -
+                                                              send_time)
+            .count();
+    if (budget < 0) budget = 0;
+    return BuildGetRequest(
+        config_.targets[idx].target,
+        {{std::string(kDeadlineHeader), std::to_string(budget)}});
+  }
+
+  // True when the logical request that started at `send_time` has no
+  // budget left as of `now`.
+  bool DeadlineDead(TimePoint send_time, TimePoint now) const {
+    return config_.request_deadline_ms > 0 &&
+           now >= send_time +
+                      std::chrono::milliseconds(config_.request_deadline_ms);
+  }
+
+  // Returns false when the request's deadline was already gone before a
+  // byte hit the wire: the caller's timeout has fired, so the request is
+  // failed locally (filed as deadline_504) instead of burning a round
+  // trip the server would only 504 anyway. The connection stays free.
+  bool SendAt(ClientConn& conn, TimePoint intended_arrival) {
+    const TimePoint now = Now();
+    if (DeadlineDead(intended_arrival, now)) {
+      if (measuring_) {
+        result_.completed++;
+        result_.latency.Record(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now - intended_arrival)
+                .count());
+        result_.deadline_504++;
+      }
+      return false;
+    }
+    conn.target_index = PickTarget();
+    conn.attempt = 1;
     conn.send_time = intended_arrival;  // latency includes queueing delay
+    conn.out = RequestBytes(conn.target_index, conn.send_time);
+    conn.out_off = 0;
+    conn.busy = true;
+    WritePending(conn);
+    return true;
+  }
+
+  void SendNext(ClientConn& conn) {
+    conn.target_index = PickTarget();
+    conn.attempt = 1;
+    conn.send_time = Now();
+    conn.out = RequestBytes(conn.target_index, conn.send_time);
+    conn.out_off = 0;
     conn.busy = true;
     WritePending(conn);
   }
 
-  void SendNext(ClientConn& conn) {
-    conn.out = request_bytes_[PickTarget()];
-    conn.out_off = 0;
-    conn.send_time = Now();
-    conn.busy = true;
-    WritePending(conn);
+  // Re-sends the outstanding request after a retry backoff. send_time is
+  // deliberately untouched: the logical request's latency and deadline
+  // span every attempt.
+  void Resend(const std::shared_ptr<ClientConn>& conn) {
+    if (conn->dead) return;
+    conn->out = RequestBytes(conn->target_index, conn->send_time);
+    conn->out_off = 0;
+    WritePending(*conn);
   }
 
   size_t PickTarget() {
@@ -210,25 +293,107 @@ class ClosedLoopDriver {
         HandleError(*conn);
         return;
       }
+      const int status = conn->parser.response().status;
+
+      if (retry_ && RetryableStatus(status) &&
+          TryScheduleRetry(conn, conn->parser.response())) {
+        // busy stays true; the backoff timer re-sends this request. With
+        // one request outstanding per connection there is nothing further
+        // to parse.
+        continue;
+      }
+
+      // Final outcome of the logical request.
+      const TimePoint now = Now();
       if (measuring_) {
         result_.completed++;
         result_.latency.Record(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
-                Now() - conn->send_time)
+                now - conn->send_time)
                 .count());
+        if (status < 400) {
+          result_.ok++;
+          // late_slack_ms covers return-path wire transit: a response the
+          // server finished inside the deadline may parse just after it.
+          const bool late =
+              config_.request_deadline_ms > 0 &&
+              now > conn->send_time +
+                        std::chrono::milliseconds(
+                            config_.request_deadline_ms +
+                            config_.late_slack_ms);
+          if (late) {
+            result_.late_ok++;
+            const double over_ms =
+                ToSeconds(now - conn->send_time) * 1e3 -
+                static_cast<double>(config_.request_deadline_ms);
+            if (over_ms > result_.worst_late_ms) {
+              result_.worst_late_ms = over_ms;
+            }
+          } else {
+            result_.good++;
+          }
+        } else if (status == 503) {
+          result_.shed_503++;
+        } else if (status == 504) {
+          result_.deadline_504++;
+        }
       }
+      if (retry_ && status < 400) retry_->OnSuccess();
+
       conn->busy = false;
+      conn->attempt = 1;
       if (config_.open_loop_rate > 0) {
-        if (!conn->backlog.empty()) {
+        // Drain locally-expired backlog entries until one actually sends.
+        while (!conn->backlog.empty()) {
           const TimePoint intended = conn->backlog.front();
           conn->backlog.pop_front();
-          SendAt(*conn, intended);
+          if (SendAt(*conn, intended)) break;
         }
       } else {
         SendNext(*conn);
       }
       if (conn->dead) return;
     }
+  }
+
+  // Decides whether the shed response gets another attempt; true = a
+  // backoff timer was armed and the logical request stays outstanding.
+  bool TryScheduleRetry(const std::shared_ptr<ClientConn>& conn,
+                        const HttpResponse& resp) {
+    // A retry that cannot finish inside the deadline is pure added load.
+    if (config_.request_deadline_ms > 0 &&
+        Now() >= conn->send_time +
+                     std::chrono::milliseconds(config_.request_deadline_ms)) {
+      return false;
+    }
+    int retry_after_sec = 0;
+    const std::string_view hint = resp.Header("Retry-After");
+    if (!hint.empty()) {
+      int sec = 0;
+      bool numeric = true;
+      for (const char c : hint) {
+        if (c < '0' || c > '9') {
+          numeric = false;
+          break;
+        }
+        sec = sec * 10 + (c - '0');
+      }
+      if (numeric) retry_after_sec = sec;
+    }
+    const auto delay = retry_->NextRetryDelay(conn->attempt,
+                                              /*idempotent=*/true,
+                                              retry_after_sec);
+    if (!delay) return false;
+    if (config_.request_deadline_ms > 0 &&
+        Now() + *delay >=
+            conn->send_time +
+                std::chrono::milliseconds(config_.request_deadline_ms)) {
+      // The backoff lands past the deadline; fail through instead.
+      return false;
+    }
+    conn->attempt++;
+    loop_.RunAfter(*delay, [this, conn] { Resend(conn); });
+    return true;
   }
 
   void HandleError(ClientConn& conn) {
@@ -254,12 +419,14 @@ class ClosedLoopDriver {
 
   const LoadConfig& config_;
   Rng rng_;
+  std::unique_ptr<RetryPolicy> retry_;
   EventLoop loop_;
   std::vector<double> cumulative_;
   std::vector<std::string> request_bytes_;
   std::unordered_map<int, std::shared_ptr<ClientConn>> conns_;
   std::vector<std::weak_ptr<ClientConn>> conn_ring_;  // open-loop RR order
   size_t ring_cursor_ = 0;
+  TimePoint next_arrival_{};  // open loop: absolute arrival schedule
   LoadResult result_;
   bool measuring_ = false;
   TimePoint measure_start_{};

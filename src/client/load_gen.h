@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "client/retry.h"
 #include "common/histogram.h"
 #include "net/inet_addr.h"
 
@@ -48,10 +49,29 @@ struct LoadConfig {
   // (used by the harness to snapshot server-side counters).
   std::function<void()> on_measure_start;
   std::function<void()> on_measure_end;
+
+  // ---- Resilience plane ----
+  // When > 0, every request carries an X-Hynet-Deadline-Ms budget of this
+  // many milliseconds, measured from the *intended* arrival — open-loop
+  // client-side queueing spends budget before the request even hits the
+  // wire, exactly like a real caller's end-to-end timeout.
+  int request_deadline_ms = 0;
+  // Retry shed (503) responses under the policy's backoff and budget. The
+  // retried request keeps its original send_time, so latency and deadline
+  // accounting span all attempts.
+  bool retries_enabled = false;
+  RetryPolicyConfig retry;
+  // Allowance (ms) on the late_ok classification for return-path wire
+  // transit: a response the *server* completed inside the deadline still
+  // needs a wire RTT share to reach the client's parser. The deadline the
+  // server enforces is unchanged — this only affects how the client files
+  // an on-time-at-the-server response. Raise it to the proxy RTT when the
+  // latency proxy sits in between.
+  int late_slack_ms = 1;
 };
 
 struct LoadResult {
-  uint64_t completed = 0;  // responses completed inside the measure window
+  uint64_t completed = 0;  // requests that reached a final outcome in-window
   uint64_t errors = 0;     // connection resets / parse failures
   double elapsed_sec = 0;  // actual measure window length
   Histogram latency;       // per-request latency inside the window
@@ -59,8 +79,33 @@ struct LoadResult {
   // had to queue client-side (a saturation signal).
   uint64_t queued_arrivals = 0;
 
+  // Final-outcome classification (a 503 that gets retried is not final;
+  // only the attempt chain's last response counts once).
+  uint64_t ok = 0;            // 2xx/3xx
+  uint64_t good = 0;          // ok AND inside the request's deadline
+  uint64_t late_ok = 0;       // ok but past the deadline (must stay 0 when
+                              // the server enforces deadlines)
+  double worst_late_ms = 0;   // biggest deadline overshoot among late_ok
+  uint64_t shed_503 = 0;      // failed through as shed
+  uint64_t deadline_504 = 0;  // failed through as deadline-expired
+                              // (server 504s + client-local expiries: a
+                              // request whose budget is gone before it is
+                              // even written is failed without a send)
+  // Client retry-layer totals (from the RetryPolicy, whole run —
+  // including warmup, so the budget bound must be checked against
+  // retry_successes, not the in-window `ok`).
+  uint64_t retries_issued = 0;
+  uint64_t retry_budget_exhausted = 0;
+  uint64_t retry_successes = 0;
+
   double Throughput() const {
     return elapsed_sec > 0 ? static_cast<double>(completed) / elapsed_sec : 0;
+  }
+  // Useful work per second: the overload experiments compare this, not raw
+  // throughput (a server answering nothing but 503s has high throughput
+  // and zero goodput).
+  double Goodput() const {
+    return elapsed_sec > 0 ? static_cast<double>(good) / elapsed_sec : 0;
   }
 };
 

@@ -1,0 +1,72 @@
+#include "client/retry.h"
+
+#include <algorithm>
+
+namespace hynet {
+
+bool RetryableStatus(int status) { return status == 503; }
+
+RetryPolicy::RetryPolicy(RetryPolicyConfig config, uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      tokens_(std::min(config.initial_tokens, config.max_tokens)) {}
+
+std::optional<Duration> RetryPolicy::NextRetryDelay(int attempt,
+                                                    bool idempotent,
+                                                    int retry_after_sec) {
+  if (!idempotent) return std::nullopt;
+  if (attempt >= config_.max_attempts) return std::nullopt;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tokens_ < 1.0) {
+    budget_exhausted_++;
+    if (lifecycle_) {
+      lifecycle_->retry_budget_exhausted.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    }
+    return std::nullopt;
+  }
+  tokens_ -= 1.0;
+  retries_issued_++;
+  if (lifecycle_) {
+    lifecycle_->retries_issued.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Full jitter: uniform in (0, base * 2^(attempt-1)], capped. The server
+  // hint is a floor — retrying before Retry-After is a guaranteed shed.
+  double ceiling_ms = config_.base_backoff_ms;
+  for (int i = 1; i < attempt; ++i) ceiling_ms *= 2.0;
+  ceiling_ms = std::min(ceiling_ms, config_.max_backoff_ms);
+  double delay_ms = ceiling_ms * rng_.NextDouble();
+  delay_ms = std::max(delay_ms, static_cast<double>(retry_after_sec) * 1000.0);
+  return std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double, std::milli>(delay_ms));
+}
+
+void RetryPolicy::OnSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_ = std::min(tokens_ + config_.budget_ratio, config_.max_tokens);
+  successes_++;
+}
+
+uint64_t RetryPolicy::Successes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return successes_;
+}
+
+uint64_t RetryPolicy::RetriesIssued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retries_issued_;
+}
+
+uint64_t RetryPolicy::BudgetExhausted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_exhausted_;
+}
+
+void RetryPolicy::BindLifecycle(LifecycleStats* lifecycle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lifecycle_ = lifecycle;
+}
+
+}  // namespace hynet

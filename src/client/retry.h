@@ -1,0 +1,83 @@
+// Client-side retry policy with a retry *budget*.
+//
+// Naive retries turn transient overload into metastable collapse: every
+// shed response spawns another request, so offered load rises exactly when
+// capacity falls. This policy bounds the amplification in three ways:
+//   - exponential backoff with full jitter (retries spread out instead of
+//     synchronizing into waves),
+//   - idempotent-only (a lost non-idempotent request must surface as an
+//     error, not a duplicate side effect),
+//   - a token-bucket budget: each success earns `budget_ratio` tokens and
+//     each retry spends one, capping total retries at
+//     initial_tokens + budget_ratio × successes regardless of how hard the
+//     downstream fails.
+// A server-provided Retry-After hint is honored as a floor on the backoff.
+//
+// Shared by the load generator, the bench harness, and the rubbos
+// db_client (thread-safe: one mutex, taken per failed attempt).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "runtime/dispatch_stats.h"
+
+namespace hynet {
+
+struct RetryPolicyConfig {
+  int max_attempts = 3;          // total tries per request, incl. the first
+  double base_backoff_ms = 5.0;  // backoff before retry #1 (then doubles)
+  double max_backoff_ms = 200.0;
+  double budget_ratio = 0.1;     // tokens earned per success
+  double initial_tokens = 10.0;  // tokens available before any success
+  double max_tokens = 100.0;     // bucket cap
+};
+
+// Statuses worth retrying: transient overload rejections. 504 is excluded
+// deliberately — the request's deadline is already gone, so a retry is
+// pure added load with no caller left to benefit.
+bool RetryableStatus(int status);
+
+class RetryPolicy {
+ public:
+  RetryPolicy(RetryPolicyConfig config, uint64_t seed);
+
+  // Decision for a failed attempt. `attempt` = tries already made (>= 1);
+  // `retry_after_sec` = the response's Retry-After hint (0 = none).
+  // Returns the backoff delay when a retry is allowed, nullopt when the
+  // request must fail through (non-idempotent, attempts exhausted, or
+  // budget empty).
+  std::optional<Duration> NextRetryDelay(int attempt, bool idempotent,
+                                         int retry_after_sec);
+
+  // Deposits budget. Call once per successful request (not per attempt).
+  void OnSuccess();
+
+  uint64_t RetriesIssued() const;
+  uint64_t BudgetExhausted() const;
+  // Successful requests observed (OnSuccess calls): the token-bucket
+  // invariant retries <= initial_tokens + budget_ratio * successes is
+  // checkable against this.
+  uint64_t Successes() const;
+
+  // Mirrors retries_issued / retry_budget_exhausted into a server's
+  // lifecycle counters so a tier's retry activity rides the same X-macro
+  // export as its admission paths. Must outlive this policy.
+  void BindLifecycle(LifecycleStats* lifecycle);
+
+ private:
+  const RetryPolicyConfig config_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  double tokens_;
+  uint64_t retries_issued_ = 0;
+  uint64_t budget_exhausted_ = 0;
+  uint64_t successes_ = 0;
+  LifecycleStats* lifecycle_ = nullptr;
+};
+
+}  // namespace hynet

@@ -1,0 +1,89 @@
+#include "common/deadline.h"
+
+#include <cstdlib>
+
+#include "proto/http_message.h"
+
+namespace hynet {
+
+namespace {
+
+thread_local Deadline g_current_deadline;
+
+// Nanoseconds-since-epoch stamps; 0 = unset. Two separate slots so an
+// explicit dispatch stamp (set per task) wins over the coarser loop tick.
+thread_local int64_t g_dispatch_start_ns = 0;
+thread_local int64_t g_loop_tick_ns = 0;
+
+int64_t ToNs(TimePoint t) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+TimePoint FromNs(int64_t ns) {
+  return TimePoint(std::chrono::duration_cast<Duration>(
+      std::chrono::nanoseconds(ns)));
+}
+
+}  // namespace
+
+namespace {
+
+// Local case-insensitive header lookup: hynet_common sits below
+// hynet_proto, so this file cannot link HttpRequest::Header().
+bool HeaderNameEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const char ca = a[i] >= 'A' && a[i] <= 'Z' ? a[i] + ('a' - 'A') : a[i];
+    const char cb = b[i] >= 'A' && b[i] <= 'Z' ? b[i] + ('a' - 'A') : b[i];
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Deadline DeadlineFromRequest(const HttpRequest& req, TimePoint arrival) {
+  for (const auto& [key, value] : req.headers) {
+    if (!HeaderNameEquals(key, kDeadlineHeader)) continue;
+    char* end = nullptr;
+    const long long ms = std::strtoll(value.c_str(), &end, 10);
+    if (end == value.c_str() || ms < 0) return {};  // malformed: no budget
+    return Deadline::FromMillis(ms, arrival);
+  }
+  return {};
+}
+
+ScopedRequestDeadline::ScopedRequestDeadline(Deadline d)
+    : prev_(g_current_deadline) {
+  g_current_deadline = d;
+}
+
+ScopedRequestDeadline::~ScopedRequestDeadline() {
+  g_current_deadline = prev_;
+}
+
+Deadline CurrentRequestDeadline() { return g_current_deadline; }
+
+ScopedDispatchStart::ScopedDispatchStart(TimePoint enqueued_at)
+    : prev_ns_(g_dispatch_start_ns) {
+  g_dispatch_start_ns = ToNs(enqueued_at);
+}
+
+ScopedDispatchStart::~ScopedDispatchStart() {
+  g_dispatch_start_ns = prev_ns_;
+}
+
+void MarkLoopTickStart(TimePoint t) { g_loop_tick_ns = ToNs(t); }
+
+TimePoint EffectiveRequestStart(TimePoint now) {
+  if (g_dispatch_start_ns != 0) return FromNs(g_dispatch_start_ns);
+  if (g_loop_tick_ns != 0) {
+    const TimePoint tick = FromNs(g_loop_tick_ns);
+    return tick < now ? tick : now;
+  }
+  return now;
+}
+
+}  // namespace hynet

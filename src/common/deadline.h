@@ -1,0 +1,122 @@
+// Per-request deadlines and the request-timing thread-locals that carry
+// them across the dispatch path.
+//
+// A request enters the system with a relative budget (the
+// `X-Hynet-Deadline-Ms` header); the admission wrapper converts it into an
+// absolute Deadline anchored at the request's arrival, every stage checks
+// the remaining budget before doing work, and inter-tier clients forward
+// the *decremented* budget downstream. The deadline travels with the
+// handler thread via a scoped thread-local, so blocking downstream clients
+// (rubbos db_client) can read it without threading it through every
+// signature.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+
+namespace hynet {
+
+struct HttpRequest;
+
+// The request header carrying the remaining budget, in milliseconds.
+inline constexpr const char* kDeadlineHeader = "X-Hynet-Deadline-Ms";
+
+class Deadline {
+ public:
+  Deadline() = default;
+
+  // Absolute deadline `budget_ms` from `anchor` (defaults to now).
+  static Deadline FromMillis(int64_t budget_ms) {
+    return FromMillis(budget_ms, Now());
+  }
+  static Deadline FromMillis(int64_t budget_ms, TimePoint anchor) {
+    Deadline d;
+    d.valid_ = true;
+    d.at_ = anchor + std::chrono::milliseconds(budget_ms);
+    return d;
+  }
+
+  bool valid() const { return valid_; }
+  TimePoint at() const { return at_; }
+
+  bool Expired() const { return valid_ && Now() >= at_; }
+
+  // Remaining budget in milliseconds, clamped at zero (what gets forwarded
+  // downstream). 0 on an invalid deadline.
+  int64_t RemainingMillis() const {
+    if (!valid_) return 0;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at_ - Now());
+    return left.count() > 0 ? left.count() : 0;
+  }
+
+ private:
+  bool valid_ = false;
+  TimePoint at_{};
+};
+
+// Parses the deadline header of `req` into an absolute Deadline anchored at
+// `arrival`. Returns an invalid Deadline when the header is absent or
+// malformed (= no budget, the request never expires).
+Deadline DeadlineFromRequest(const HttpRequest& req, TimePoint arrival);
+
+// ---- The current request's deadline (thread-local) ----
+//
+// The Server admission wrapper scopes the parsed deadline around the
+// handler invocation; anything the handler calls on the same thread
+// (rubbos db_client, nested helpers) reads it via CurrentRequestDeadline.
+class ScopedRequestDeadline {
+ public:
+  explicit ScopedRequestDeadline(Deadline d);
+  ~ScopedRequestDeadline();
+  ScopedRequestDeadline(const ScopedRequestDeadline&) = delete;
+  ScopedRequestDeadline& operator=(const ScopedRequestDeadline&) = delete;
+
+ private:
+  Deadline prev_;
+};
+
+// The deadline installed by the innermost ScopedRequestDeadline on this
+// thread; invalid when none is active.
+Deadline CurrentRequestDeadline();
+
+// ---- Request arrival / queue-sojourn plumbing (thread-locals) ----
+//
+// Queue-delay shedding needs to know how long a request waited between the
+// moment it was ready and the moment its handler ran. The wait happens at
+// different places per architecture:
+//   - reactor/staged pools: condvar queue wait — the dispatch point stamps
+//     the enqueue time and the dequeuing worker installs it via
+//     ScopedDispatchStart before running the stage;
+//   - run-to-completion loops: dispatch lag inside one epoll batch —
+//     EventLoop stamps the iteration start (MarkLoopTickStart) and every
+//     handler invoked later in the same iteration observes the lag;
+//   - thread-per-connection: a dedicated thread, no queue — sojourn is 0
+//     (admission control there is max_connections, not queue delay).
+// EffectiveRequestStart prefers the explicit dispatch stamp, then the loop
+// tick, then "now" (zero sojourn).
+
+// RAII install of an explicit enqueue timestamp on the executing thread.
+class ScopedDispatchStart {
+ public:
+  explicit ScopedDispatchStart(TimePoint enqueued_at);
+  ~ScopedDispatchStart();
+  ScopedDispatchStart(const ScopedDispatchStart&) = delete;
+  ScopedDispatchStart& operator=(const ScopedDispatchStart&) = delete;
+
+ private:
+  int64_t prev_ns_;
+};
+
+// Called by EventLoop::Run once per iteration, right after the wait
+// returns. One steady-clock read per wakeup; events dispatched later in
+// the same batch accumulate visible lag.
+void MarkLoopTickStart(TimePoint t);
+
+// When this thread is inside neither a dispatch stamp nor a loop tick,
+// returns `now` (zero sojourn).
+TimePoint EffectiveRequestStart(TimePoint now);
+
+}  // namespace hynet

@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <system_error>
 
+#include "common/deadline.h"
 #include "common/logging.h"
 #include "common/thread_util.h"
 
@@ -30,6 +31,9 @@ void EventLoop::Run() {
   loop_tid_.store(CurrentTid(), std::memory_order_relaxed);
   running_.store(true, std::memory_order_release);
 
+  // Busy-aware arrival accounting for the tick stamp below: start of the
+  // previous tick's processing window. See the comment at the stamp site.
+  TimePoint prev_processing_start = Now();
   while (!stop_requested_.load(std::memory_order_acquire)) {
     // Coalescing handshake: declare "about to block" BEFORE computing the
     // wait timeout. The timeout computation re-checks pending tasks and
@@ -40,9 +44,27 @@ void EventLoop::Run() {
     // awake_ == false write the eventfd and wake us the classic way.
     awake_.store(false, std::memory_order_seq_cst);
     const int64_t timeout_ns = ComputeWaitTimeoutNs();
+    const TimePoint wait_enter = Now();
     auto ready = backend_->Wait(timeout_ns);
     awake_.store(true, std::memory_order_seq_cst);
     wakeups_.fetch_add(1, std::memory_order_relaxed);
+    // Stamp when this tick's batch *arrived*: requests handled inline on
+    // the loop thread measure dispatch sojourn from here. Two cases:
+    //   - The wait actually blocked. epoll_wait returns as soon as the
+    //     first fd turns ready, so nothing in the batch was ready before
+    //     entering the wait — the batch arrived ~now.
+    //   - The wait returned immediately (loop saturated). The batch was
+    //     already ready on entry, i.e. it arrived at some point during the
+    //     previous tick's processing. Stamping `now` would hide that whole
+    //     kernel-side wait from the shedder and the deadline check, so
+    //     charge conservatively from the previous tick's start. The
+    //     overcharge is bounded by one tick length and only occurs when
+    //     the loop is busy — exactly when conservatism is wanted.
+    const TimePoint now = Now();
+    const bool wait_blocked =
+        now - wait_enter >= std::chrono::microseconds(100);
+    MarkLoopTickStart(wait_blocked ? now : prev_processing_start);
+    prev_processing_start = now;
 
     for (const IoEvent& ev : ready) {
       if (ev.op == IoOpType::kReadiness) {

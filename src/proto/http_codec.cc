@@ -112,19 +112,23 @@ void SerializeRequest(const HttpRequest& req, ByteBuffer& out) {
   out.Append(req.body);
 }
 
-std::string SimpleErrorResponse(int status) {
+std::string SimpleErrorResponse(int status, int retry_after_sec) {
   const char* reason = "Error";
   switch (status) {
     case 408: reason = "Request Timeout"; break;
     case 413: reason = "Payload Too Large"; break;
     case 431: reason = "Request Header Fields Too Large"; break;
     case 503: reason = "Service Unavailable"; break;
+    case 504: reason = "Gateway Timeout"; break;
     default: break;
   }
   HttpResponse resp;
   resp.status = status;
   resp.reason = reason;
   resp.keep_alive = false;
+  if (retry_after_sec > 0) {
+    resp.SetHeader("Retry-After", std::to_string(retry_after_sec));
+  }
   resp.body = std::string(reason) + "\n";
   ByteBuffer out;
   SerializeResponse(resp, out);
@@ -132,11 +136,24 @@ std::string SimpleErrorResponse(int status) {
 }
 
 std::string BuildGetRequest(std::string_view target, bool keep_alive) {
+  return BuildGetRequest(target, {}, keep_alive);
+}
+
+std::string BuildGetRequest(
+    std::string_view target,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    bool keep_alive) {
   std::string out;
   out.reserve(64 + target.size());
   out.append("GET ");
   out.append(target);
   out.append(" HTTP/1.1\r\n");
+  for (const auto& [k, v] : headers) {
+    out.append(k);
+    out.append(": ");
+    out.append(v);
+    out.append("\r\n");
+  }
   if (!keep_alive) out.append("Connection: close\r\n");
   out.append("\r\n");
   return out;

@@ -24,9 +24,18 @@ void SerializeRequest(const HttpRequest& req, ByteBuffer& out);
 // Convenience for clients: builds "GET <target> HTTP/1.1" bytes.
 std::string BuildGetRequest(std::string_view target, bool keep_alive = true);
 
+// Same, with extra request headers (e.g. the forwarded
+// X-Hynet-Deadline-Ms budget on inter-tier calls).
+std::string BuildGetRequest(
+    std::string_view target,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    bool keep_alive = true);
+
 // Minimal standalone error response with `Connection: close`, for the
 // overload/limit paths that answer before closing (431 oversize head,
-// 413 oversize body, 503 shed at max_connections, 408 timeout).
-std::string SimpleErrorResponse(int status);
+// 413 oversize body, 503 shed at max_connections, 504 deadline expired,
+// 408 timeout). retry_after_sec > 0 adds a Retry-After header so shed
+// clients know when to come back.
+std::string SimpleErrorResponse(int status, int retry_after_sec = 0);
 
 }  // namespace hynet

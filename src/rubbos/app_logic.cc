@@ -54,7 +54,8 @@ std::string InteractionTarget(size_t index, int story, int user, int page) {
 }
 
 hynet::Handler BuildRubbosHandler(DbConnectionPool& pool,
-                                  double cpu_multiplier) {
+                                  double cpu_multiplier,
+                                  TierResilience* resilience) {
   // The template scaffolding of each interaction is identical across
   // requests — render it once and let every response share the allocation
   // (resp.shared_body is referenced by the outbound Payload, not copied).
@@ -64,8 +65,8 @@ hynet::Handler BuildRubbosHandler(DbConnectionPool& pool,
     (*scaffolds)[i] = std::make_shared<const std::string>(
         std::string(kInteractions[i].html_bytes, 'h'));
   }
-  return [&pool, cpu_multiplier, scaffolds](const HttpRequest& req,
-                                            HttpResponse& resp) {
+  return [&pool, cpu_multiplier, scaffolds, resilience](
+             const HttpRequest& req, HttpResponse& resp) {
     const size_t index = InteractionIndex(req.QueryParam("type"));
     if (index >= kInteractionCount) {
       resp.status = 404;
@@ -78,34 +79,70 @@ hynet::Handler BuildRubbosHandler(DbConnectionPool& pool,
     const int user = static_cast<int>(req.QueryParamInt("u", 0));
     const int page = static_cast<int>(req.QueryParamInt("page", 0));
 
+    if (resilience && !resilience->Allow()) {
+      // DB breaker open: serve the scaffold without its dynamic content
+      // instead of piling more queries onto a failing tier.
+      resilience->CountDegraded();
+      resp.shared_body = (*scaffolds)[index];
+      resp.SetHeader("Content-Type", "text/html");
+      resp.SetHeader("X-Hynet-Degraded", "db");
+      return;
+    }
+
     // Execute the query plan against the DB tier (blocking, like JDBC).
+    // One failed query abandons the rest of the plan: the page is already
+    // broken, so the remaining queries would be dead work.
     std::string db_payload;
+    int fail_status = 0;
+    auto query = [&](const char* target) {
+      if (fail_status) return;
+      try {
+        HttpResponse qr = pool.Query(target);
+        if (qr.status >= 500) {
+          if (resilience) resilience->Record(false);
+          fail_status = qr.status;
+          return;
+        }
+        if (resilience) resilience->Record(true);
+        db_payload += qr.body;
+      } catch (...) {
+        if (!resilience) throw;  // seed behavior: surface to the caller
+        resilience->Record(false);
+        fail_status = 502;
+      }
+    };
     char target[96];
     for (int i = 0; i < ix.q_story_list; ++i) {
       std::snprintf(target, sizeof(target), "/q/story_list?page=%d",
                     page + i);
-      db_payload += pool.Query(target).body;
+      query(target);
     }
     for (int i = 0; i < ix.q_story_detail; ++i) {
       std::snprintf(target, sizeof(target), "/q/story_detail?id=%d", story);
-      db_payload += pool.Query(target).body;
+      query(target);
     }
     for (int i = 0; i < ix.q_comments; ++i) {
       std::snprintf(target, sizeof(target), "/q/comments?story=%d",
                     story + i);
-      db_payload += pool.Query(target).body;
+      query(target);
     }
     for (int i = 0; i < ix.q_user; ++i) {
       std::snprintf(target, sizeof(target), "/q/user?id=%d", user);
-      db_payload += pool.Query(target).body;
+      query(target);
     }
     for (int i = 0; i < ix.q_search; ++i) {
-      db_payload += pool.Query("/q/search?needle=fox").body;
+      query("/q/search?needle=fox");
     }
     for (int i = 0; i < ix.q_insert; ++i) {
       std::snprintf(target, sizeof(target), "/q/insert_comment?story=%d",
                     story);
-      db_payload += pool.Query(target).body;
+      query(target);
+    }
+    if (fail_status) {
+      resp.status = fail_status;
+      resp.reason = fail_status == 504 ? "Gateway Timeout" : "Bad Gateway";
+      resp.body = "db tier failure\n";
+      return;
     }
 
     // Servlet-side rendering work.

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "rubbos/db_client.h"
+#include "rubbos/tier_resilience.h"
 #include "servers/server.h"
 
 namespace hynet::rubbos {
@@ -43,8 +44,16 @@ size_t InteractionIndex(std::string_view name);
 // from any architecture's handler threads.
 // `cpu_multiplier` scales each interaction's servlet CPU demand (used by
 // the macro bench to position the saturation point).
+//
+// `resilience` (optional; must outlive the handler) guards the DB tier
+// with a circuit breaker: while it is open the servlet skips its query
+// plan and serves the scaffold-only page (graceful degradation), and every
+// DB query outcome feeds the breaker. A failed query (5xx or a lost
+// connection) also short-circuits the rest of the plan — the page is
+// already broken, so the remaining queries would be dead work.
 hynet::Handler BuildRubbosHandler(DbConnectionPool& pool,
-                                  double cpu_multiplier = 1.0);
+                                  double cpu_multiplier = 1.0,
+                                  TierResilience* resilience = nullptr);
 
 // The request target a client sends for interaction `index`.
 std::string InteractionTarget(size_t index, int story, int user, int page);

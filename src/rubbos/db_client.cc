@@ -1,6 +1,7 @@
 #include "rubbos/db_client.h"
 
 #include <stdexcept>
+#include <thread>
 
 #include "common/bytes.h"
 #include "net/socket.h"
@@ -60,10 +61,90 @@ void DbConnectionPool::Return(std::unique_ptr<PooledConn> conn) {
   cv_.notify_one();
 }
 
+void DbConnectionPool::EnableRetries(const RetryPolicyConfig& config,
+                                     uint64_t seed) {
+  retry_ = std::make_unique<RetryPolicy>(config, seed);
+  if (lifecycle_) retry_->BindLifecycle(lifecycle_);
+}
+
+void DbConnectionPool::BindLifecycle(LifecycleStats* lifecycle) {
+  lifecycle_ = lifecycle;
+  if (retry_) retry_->BindLifecycle(lifecycle);
+}
+
+namespace {
+
+HttpResponse DeadlineExpired504() {
+  HttpResponse resp;
+  resp.status = 504;
+  resp.reason = "Gateway Timeout";
+  resp.body = "deadline expired\n";
+  return resp;
+}
+
+int RetryAfterSeconds(const HttpResponse& resp) {
+  const std::string_view v = resp.Header("Retry-After");
+  if (v.empty()) return 0;
+  int sec = 0;
+  for (const char c : v) {
+    if (c < '0' || c > '9') return 0;
+    sec = sec * 10 + (c - '0');
+  }
+  return sec;
+}
+
+}  // namespace
+
 HttpResponse DbConnectionPool::Query(const std::string& target) {
+  const Deadline deadline =
+      deadline_propagation_ ? CurrentRequestDeadline() : Deadline();
+  if (deadline.valid() && deadline.Expired()) {
+    // The caller's budget is gone: a wire round trip is dead work for
+    // both tiers. Fail fast without borrowing a connection.
+    if (lifecycle_) {
+      lifecycle_->deadline_expired.fetch_add(1, std::memory_order_relaxed);
+    }
+    return DeadlineExpired504();
+  }
+
+  HttpResponse resp = QueryOnce(target, deadline);
+  if (retry_) {
+    // Anything under /q/insert mutates the dataset; a retry could apply
+    // the write twice, so only read queries are eligible.
+    const bool idempotent = target.rfind("/q/insert", 0) != 0;
+    for (int attempt = 1; RetryableStatus(resp.status); ++attempt) {
+      const auto delay = retry_->NextRetryDelay(attempt, idempotent,
+                                                RetryAfterSeconds(resp));
+      if (!delay) break;
+      if (deadline.valid() && Now() + *delay >= deadline.at()) break;
+      std::this_thread::sleep_for(*delay);
+      resp = QueryOnce(target, deadline);
+    }
+    if (resp.status < 400) retry_->OnSuccess();
+  }
+  return resp;
+}
+
+HttpResponse DbConnectionPool::QueryOnce(const std::string& target,
+                                         const Deadline& deadline) {
   auto conn = Borrow();
   try {
-    const std::string request = BuildGetRequest(target);
+    std::string request;
+    if (deadline.valid()) {
+      if (deadline.Expired()) {
+        // Budget ran out while waiting for a pooled connection.
+        Return(std::move(conn));
+        if (lifecycle_) {
+          lifecycle_->deadline_expired.fetch_add(1, std::memory_order_relaxed);
+        }
+        return DeadlineExpired504();
+      }
+      request = BuildGetRequest(
+          target, {{std::string(kDeadlineHeader),
+                    std::to_string(deadline.RemainingMillis())}});
+    } else {
+      request = BuildGetRequest(target);
+    }
 
     // Blocking write of the query (one reconnect attempt on a dead conn).
     size_t off = 0;

@@ -8,13 +8,17 @@
 #pragma once
 
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "client/retry.h"
+#include "common/deadline.h"
 #include "common/fd.h"
 #include "net/inet_addr.h"
 #include "proto/http_message.h"
+#include "runtime/dispatch_stats.h"
 
 namespace hynet::rubbos {
 
@@ -26,7 +30,25 @@ class DbConnectionPool {
   DbConnectionPool& operator=(const DbConnectionPool&) = delete;
 
   // Blocking query. Throws std::system_error on connection failure.
+  //
+  // With deadline propagation enabled, a query issued by a handler whose
+  // CurrentRequestDeadline() has already expired returns a synthesized 504
+  // without touching the wire, and live queries forward the remaining
+  // budget downstream as X-Hynet-Deadline-Ms. With retries enabled,
+  // retryable failures (503) are retried under the policy's backoff and
+  // budget — idempotent targets only (anything under /q/insert is not).
   HttpResponse Query(const std::string& target);
+
+  // Honor and forward the calling request's deadline on every Query.
+  void EnableDeadlinePropagation() { deadline_propagation_ = true; }
+
+  // Retry shed queries under `config`. Call before the pool is shared
+  // across threads (startup wiring).
+  void EnableRetries(const RetryPolicyConfig& config, uint64_t seed);
+
+  // Mirrors this pool's deadline/retry counters into the owning tier's
+  // lifecycle stats (may be null to unbind; must outlive the pool).
+  void BindLifecycle(LifecycleStats* lifecycle);
 
   uint64_t QueriesIssued() const;
 
@@ -37,8 +59,12 @@ class DbConnectionPool {
   // (Borrow/Return pair is exception-guarded inside Query.)
   void Return(std::unique_ptr<PooledConn> conn);
   std::unique_ptr<PooledConn> Connect();
+  HttpResponse QueryOnce(const std::string& target, const Deadline& deadline);
 
   InetAddr server_;
+  bool deadline_propagation_ = false;
+  std::unique_ptr<RetryPolicy> retry_;
+  LifecycleStats* lifecycle_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<std::unique_ptr<PooledConn>> idle_;

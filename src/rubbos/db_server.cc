@@ -50,12 +50,14 @@ DbDataset DbDataset::Generate(int num_stories, int comments_per_story,
   return db;
 }
 
-DbServer::DbServer(DbDataset dataset, double cpu_us_per_query)
+DbServer::DbServer(DbDataset dataset, double cpu_us_per_query,
+                   bool deadline_propagation)
     : dataset_(std::move(dataset)), cpu_us_per_query_(cpu_us_per_query) {
   ServerConfig config;
   // MySQL's execution model: a dedicated thread per connection.
   config.architecture = ServerArchitecture::kThreadPerConn;
   config.snd_buf_bytes = 0;  // DB link is intra-rack; keep kernel defaults
+  config.deadline_propagation = deadline_propagation;
   server_ = CreateServer(config, MakeHandler());
 }
 

@@ -49,8 +49,11 @@ struct DbDataset {
 class DbServer {
  public:
   // `cpu_us_per_query` models storage-engine CPU work per query on top of
-  // the actual scan/format cost.
-  DbServer(DbDataset dataset, double cpu_us_per_query = 30.0);
+  // the actual scan/format cost. `deadline_propagation` makes the tier
+  // honor X-Hynet-Deadline-Ms budgets forwarded by the app tier (queries
+  // whose budget is gone answer 504 instead of scanning).
+  DbServer(DbDataset dataset, double cpu_us_per_query = 30.0,
+           bool deadline_propagation = false);
   ~DbServer();
 
   void Start();

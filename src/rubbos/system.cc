@@ -15,23 +15,45 @@ void ThreeTierSystem::Start() {
   db_ = std::make_unique<DbServer>(
       DbDataset::Generate(config_.db_stories, config_.db_comments_per_story,
                           config_.db_users, /*seed=*/7),
-      config_.db_cpu_us_per_query);
+      config_.db_cpu_us_per_query, config_.deadline_propagation);
   db_->Start();
 
   db_pool_ = std::make_unique<DbConnectionPool>(
       InetAddr::Loopback(db_->Port()), config_.db_connection_pool);
+  if (config_.deadline_propagation) db_pool_->EnableDeadlinePropagation();
+  if (config_.db_retries) {
+    db_pool_->EnableRetries(config_.db_retry, /*seed=*/11);
+  }
+  if (config_.circuit_breakers) {
+    app_resilience_ = std::make_unique<TierResilience>(config_.breaker);
+  }
 
   ServerConfig app_config;
   app_config.architecture = config_.app_architecture;
   app_config.worker_threads = config_.app_worker_threads;
   app_config.snd_buf_bytes = 0;  // inter-tier links keep kernel defaults
+  app_config.deadline_propagation = config_.deadline_propagation;
+  app_config.shed_target_delay_ms = config_.app_shed_target_delay_ms;
+  app_config.shed_interval_ms = config_.app_shed_interval_ms;
   app_ = CreateServer(app_config,
                       BuildRubbosHandler(*db_pool_,
-                                         config_.app_cpu_multiplier));
+                                         config_.app_cpu_multiplier,
+                                         app_resilience_.get()));
+  // The handler is built before the server exists; close the loop so the
+  // pool's retry/deadline counters and the DB breaker's state surface in
+  // the app tier's /metrics (bound before Start: no request races this).
+  db_pool_->BindLifecycle(&app_->lifecycle_stats());
+  if (app_resilience_) {
+    app_resilience_->BindLifecycle(&app_->lifecycle_stats());
+  }
   app_->Start();
 
+  WebTierOptions web_options;
+  web_options.deadline_propagation = config_.deadline_propagation;
+  web_options.circuit_breaker = config_.circuit_breakers;
+  web_options.breaker = config_.breaker;
   web_ = std::make_unique<WebTier>(InetAddr::Loopback(app_->Port()),
-                                   config_.web_upstream_pool);
+                                   config_.web_upstream_pool, web_options);
   web_->Start();
 }
 

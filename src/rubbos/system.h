@@ -36,6 +36,24 @@ struct ThreeTierConfig {
   // is practical on one host (the paper's testbed saturated at 9000-11000
   // real users; see fig01).
   double app_cpu_multiplier = 1.0;
+
+  // ---- Resilience plane ----
+  // All off by default so the paper-faithful measurement paths are
+  // untouched. Enabled together by the overload experiments.
+  //
+  // Honor X-Hynet-Deadline-Ms at every tier and forward the decremented
+  // budget on each inter-tier call (web → app → db).
+  bool deadline_propagation = false;
+  // CoDel queue-delay shedding at the app tier (the intended bottleneck).
+  int app_shed_target_delay_ms = 0;
+  int app_shed_interval_ms = 100;
+  // Retry shed app→db queries under a token-bucket budget.
+  bool db_retries = false;
+  RetryPolicyConfig db_retry;
+  // Circuit breakers with graceful degradation at the web tier (guarding
+  // the app upstream) and the app tier (guarding the DB).
+  bool circuit_breakers = false;
+  CircuitBreakerConfig breaker;
 };
 
 class ThreeTierSystem {
@@ -52,11 +70,13 @@ class ThreeTierSystem {
   // App-tier observability for the Figure 1 analysis.
   std::vector<int> AppThreadIds() const { return app_->ThreadIds(); }
   ServerCounters AppSnapshot() const { return app_->Snapshot(); }
+  ServerCounters WebSnapshot() const { return web_->Snapshot(); }
 
  private:
   ThreeTierConfig config_;
   std::unique_ptr<DbServer> db_;
   std::unique_ptr<DbConnectionPool> db_pool_;
+  std::unique_ptr<TierResilience> app_resilience_;
   std::unique_ptr<Server> app_;
   std::unique_ptr<WebTier> web_;
 };

@@ -1,0 +1,68 @@
+// Per-tier circuit-breaker hooks for the 3-tier system.
+//
+// A tier's handler is built before its Server exists (CreateServer takes
+// the finished handler), but the breaker's state and degraded-response
+// counts belong in that Server's lifecycle stats. This wrapper closes the
+// loop: the handler captures a TierResilience*, and the tier wiring binds
+// the Server's LifecycleStats right after CreateServer returns — before
+// Start(), so no request can observe the unbound window.
+#pragma once
+
+#include <atomic>
+
+#include "runtime/circuit_breaker.h"
+#include "runtime/dispatch_stats.h"
+
+namespace hynet::rubbos {
+
+class TierResilience {
+ public:
+  explicit TierResilience(const CircuitBreakerConfig& config)
+      : breaker_(config) {}
+
+  // `lifecycle` must outlive this object (the tier owns both).
+  void BindLifecycle(LifecycleStats* lifecycle) {
+    lifecycle_.store(lifecycle, std::memory_order_release);
+    PublishState();
+  }
+
+  // Gate before calling the guarded downstream. False = breaker open:
+  // serve the degraded fallback instead.
+  bool Allow() {
+    const bool allowed = breaker_.Allow();
+    PublishState();
+    return allowed;
+  }
+
+  // Outcome of one guarded downstream call.
+  void Record(bool success) {
+    if (success) {
+      breaker_.OnSuccess();
+    } else {
+      breaker_.OnFailure();
+    }
+    PublishState();
+  }
+
+  void CountDegraded() {
+    if (auto* l = lifecycle_.load(std::memory_order_acquire)) {
+      l->degraded_responses.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  CircuitBreaker::State state() const { return breaker_.state(); }
+  uint64_t Trips() const { return breaker_.Trips(); }
+
+ private:
+  void PublishState() {
+    if (auto* l = lifecycle_.load(std::memory_order_acquire)) {
+      l->breaker_state.store(static_cast<uint64_t>(breaker_.state()),
+                             std::memory_order_relaxed);
+    }
+  }
+
+  CircuitBreaker breaker_;
+  std::atomic<LifecycleStats*> lifecycle_{nullptr};
+};
+
+}  // namespace hynet::rubbos

@@ -2,26 +2,57 @@
 
 namespace hynet::rubbos {
 
-WebTier::WebTier(const InetAddr& app_addr, int upstream_pool_size)
+WebTier::WebTier(const InetAddr& app_addr, int upstream_pool_size,
+                 const WebTierOptions& options)
     : pool_(app_addr, upstream_pool_size) {
   ServerConfig config;
   // Apache httpd with the worker/prefork MPM: thread-based.
   config.architecture = ServerArchitecture::kThreadPerConn;
   config.snd_buf_bytes = 0;  // front link keeps kernel defaults
-  server_ = CreateServer(config, [this](const HttpRequest& req,
+  config.deadline_propagation = options.deadline_propagation;
+  if (options.deadline_propagation) pool_.EnableDeadlinePropagation();
+  if (options.circuit_breaker) {
+    resilience_ = std::make_unique<TierResilience>(options.breaker);
+  }
+  TierResilience* res = resilience_.get();
+  server_ = CreateServer(config, [this, res](const HttpRequest& req,
                                              HttpResponse& resp) {
+    if (res && !res->Allow()) {
+      // Breaker open: the app tier is failing — serve the static front
+      // page instead of queueing another request onto a failing upstream.
+      res->CountDegraded();
+      resp.status = 200;
+      resp.reason = "OK";
+      resp.body = "degraded: app tier unavailable, serving cached page\n";
+      resp.SetHeader("X-Hynet-Degraded", "app");
+      resp.SetHeader("Via", "hynet-webtier");
+      return;
+    }
     try {
       HttpResponse upstream = pool_.Query(req.target);
+      // 5xx (including shed 503s and expired 504s) counts against the
+      // breaker; application-level 4xx does not — the upstream is healthy,
+      // the request was just wrong.
+      if (res) res->Record(upstream.status < 500);
       resp.status = upstream.status;
       resp.reason = upstream.reason;
       resp.body = std::move(upstream.body);
+      for (auto& [k, v] : upstream.headers) {
+        if (EqualsIgnoreCase(k, "Retry-After") ||
+            EqualsIgnoreCase(k, "X-Hynet-Degraded")) {
+          resp.SetHeader(std::move(k), std::move(v));
+        }
+      }
       resp.SetHeader("Via", "hynet-webtier");
     } catch (const std::exception&) {
+      if (res) res->Record(false);
       resp.status = 502;
       resp.reason = "Bad Gateway";
       resp.body = "app tier unreachable";
     }
   });
+  pool_.BindLifecycle(&server_->lifecycle_stats());
+  if (resilience_) resilience_->BindLifecycle(&server_->lifecycle_stats());
 }
 
 WebTier::~WebTier() { Stop(); }

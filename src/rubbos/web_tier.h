@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "rubbos/db_client.h"
+#include "rubbos/tier_resilience.h"
 #include "servers/server.h"
 
 namespace hynet::rubbos {
@@ -14,9 +15,21 @@ namespace hynet::rubbos {
 // upstream connections exactly as the app tier uses it for the DB.
 using UpstreamPool = DbConnectionPool;
 
+struct WebTierOptions {
+  // Honor X-Hynet-Deadline-Ms budgets and forward the remaining budget on
+  // every upstream call.
+  bool deadline_propagation = false;
+  // Guard the app-tier upstream with a circuit breaker; while it is open,
+  // serve a degraded static front page instead of queueing on a failing
+  // upstream.
+  bool circuit_breaker = false;
+  CircuitBreakerConfig breaker;
+};
+
 class WebTier {
  public:
-  WebTier(const InetAddr& app_addr, int upstream_pool_size);
+  WebTier(const InetAddr& app_addr, int upstream_pool_size,
+          const WebTierOptions& options = {});
   ~WebTier();
 
   void Start();
@@ -25,8 +38,12 @@ class WebTier {
   ServerCounters Snapshot() const;
   std::vector<int> ThreadIds() const;
 
+  // Null unless options.circuit_breaker.
+  const TierResilience* resilience() const { return resilience_.get(); }
+
  private:
   UpstreamPool pool_;
+  std::unique_ptr<TierResilience> resilience_;
   std::unique_ptr<Server> server_;
 };
 

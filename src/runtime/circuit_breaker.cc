@@ -1,0 +1,108 @@
+#include "runtime/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace hynet {
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config)
+    : config_(config),
+      bucket_ns_(std::max<int64_t>(
+          1, static_cast<int64_t>(config.window_ms) * 1'000'000 / kBuckets)) {}
+
+CircuitBreaker::Bucket& CircuitBreaker::CurrentBucket(int64_t now_ns) {
+  const int64_t epoch = now_ns / bucket_ns_;
+  Bucket& b = buckets_[static_cast<size_t>(epoch % kBuckets)];
+  if (b.epoch != epoch) {
+    b.epoch = epoch;
+    b.ok = 0;
+    b.fail = 0;
+  }
+  return b;
+}
+
+void CircuitBreaker::WindowTotals(int64_t now_ns, uint64_t& ok,
+                                  uint64_t& fail) {
+  ok = fail = 0;
+  const int64_t newest = now_ns / bucket_ns_;
+  for (const Bucket& b : buckets_) {
+    if (b.epoch < 0 || newest - b.epoch >= kBuckets) continue;  // stale
+    ok += b.ok;
+    fail += b.fail;
+  }
+}
+
+void CircuitBreaker::TripLocked(int64_t now_ns) {
+  state_ = State::kOpen;
+  opened_at_ns_ = now_ns;
+  probes_in_flight_ = 0;
+  trips_++;
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now_ns = NowNanos();
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_ns - opened_at_ns_ <
+          static_cast<int64_t>(config_.open_ms) * 1'000'000) {
+        return false;
+      }
+      state_ = State::kHalfOpen;
+      probes_in_flight_ = 0;
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (probes_in_flight_ >= std::max(1, config_.half_open_probes)) {
+        return false;
+      }
+      probes_in_flight_++;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::OnSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now_ns = NowNanos();
+  if (state_ == State::kHalfOpen) {
+    // The probe got through: close and forget the window that tripped us.
+    state_ = State::kClosed;
+    probes_in_flight_ = 0;
+    buckets_.fill(Bucket{});
+    return;
+  }
+  CurrentBucket(now_ns).ok++;
+}
+
+void CircuitBreaker::OnFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now_ns = NowNanos();
+  if (state_ == State::kHalfOpen) {
+    TripLocked(now_ns);  // probe failed: another full open period
+    return;
+  }
+  if (state_ == State::kOpen) return;  // late failure from before the trip
+  Bucket& b = CurrentBucket(now_ns);
+  b.fail++;
+  uint64_t ok = 0, fail = 0;
+  WindowTotals(now_ns, ok, fail);
+  const uint64_t total = ok + fail;
+  if (total >= static_cast<uint64_t>(std::max(1, config_.min_requests)) &&
+      static_cast<double>(fail) >=
+          config_.failure_ratio * static_cast<double>(total)) {
+    TripLocked(now_ns);
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::Trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+}  // namespace hynet

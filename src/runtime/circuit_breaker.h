@@ -1,0 +1,73 @@
+// Per-downstream circuit breaker (closed / open / half-open) over a
+// rolling failure-rate window.
+//
+// Closed: requests flow; successes and failures land in a small ring of
+// time buckets. When the window holds at least `min_requests` samples and
+// the failure share reaches `failure_ratio`, the breaker trips open.
+// Open: Allow() fails fast (the caller serves its degraded fallback)
+// until `open_ms` elapses. Half-open: a limited number of probe requests
+// pass; one success re-closes the breaker and resets the window, one
+// failure re-opens it for another `open_ms`.
+//
+// Callers pair every Allow() == true with exactly one OnSuccess() or
+// OnFailure(). Thread-safe; one mutex per breaker (per-request cost in
+// the rubbos tiers, far off any hot byte path).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.h"
+
+namespace hynet {
+
+struct CircuitBreakerConfig {
+  int window_ms = 1000;        // rolling failure-rate window
+  int min_requests = 10;       // samples required before tripping
+  double failure_ratio = 0.5;  // failure share that trips the breaker
+  int open_ms = 200;           // fast-fail period before probing
+  int half_open_probes = 1;    // concurrent probes allowed half-open
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  explicit CircuitBreaker(CircuitBreakerConfig config);
+
+  // False = fail fast (serve the degraded fallback). A true return must be
+  // answered by OnSuccess or OnFailure.
+  bool Allow();
+  void OnSuccess();
+  void OnFailure();
+
+  State state() const;
+  uint64_t Trips() const;
+
+ private:
+  static constexpr int kBuckets = 8;
+
+  struct Bucket {
+    int64_t epoch = -1;  // bucket time index; -1 = empty
+    uint32_t ok = 0;
+    uint32_t fail = 0;
+  };
+
+  // All private helpers run under mu_.
+  Bucket& CurrentBucket(int64_t now_ns);
+  void WindowTotals(int64_t now_ns, uint64_t& ok, uint64_t& fail);
+  void TripLocked(int64_t now_ns);
+
+  const CircuitBreakerConfig config_;
+  const int64_t bucket_ns_;
+
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  std::array<Bucket, kBuckets> buckets_{};
+  int64_t opened_at_ns_ = 0;
+  int probes_in_flight_ = 0;
+  uint64_t trips_ = 0;
+};
+
+}  // namespace hynet

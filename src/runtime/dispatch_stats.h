@@ -52,6 +52,13 @@ struct LifecycleStats {
   std::atomic<uint64_t> half_close_reclaims{0};  // EPOLLRDHUP/EOF reclaim
   std::atomic<uint64_t> drained_connections{0};  // closed cleanly during drain
   std::atomic<uint64_t> forced_closes{0};        // stragglers at the deadline
+  // ---- Resilience plane (ISSUE 6) ----
+  std::atomic<uint64_t> sheds_queue_delay{0};    // 503s from the CoDel shedder
+  std::atomic<uint64_t> deadline_expired{0};     // 504 fast-fails + late drops
+  std::atomic<uint64_t> retries_issued{0};       // downstream retries sent
+  std::atomic<uint64_t> retry_budget_exhausted{0};  // retries denied, no budget
+  std::atomic<uint64_t> breaker_state{0};        // 0 closed / 1 open / 2 half
+  std::atomic<uint64_t> degraded_responses{0};   // fallbacks served while open
 
   uint64_t Evictions() const {
     return idle_evictions.load(std::memory_order_relaxed) +

@@ -1,0 +1,44 @@
+#include "runtime/overload.h"
+
+#include <algorithm>
+
+namespace hynet {
+
+QueueDelayShedder::QueueDelayShedder(int target_ms, int interval_ms)
+    : target_ns_(static_cast<int64_t>(target_ms) * 1'000'000),
+      interval_ns_(static_cast<int64_t>(interval_ms > 0 ? interval_ms : 1) *
+                   1'000'000),
+      retry_after_sec_(std::max(1, ((interval_ms > 0 ? interval_ms : 1) + 999) /
+                                       1000)) {}
+
+bool QueueDelayShedder::ShouldShed(Duration sojourn) {
+  const int64_t sojourn_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(sojourn).count();
+
+  if (sojourn_ns < target_ns_) {
+    // One prompt dispatch ends the excursion and the shedding state — the
+    // queue has drained back under target (CoDel's exit condition).
+    first_above_ns_.store(0, std::memory_order_relaxed);
+    shedding_.store(false, std::memory_order_relaxed);
+    return false;
+  }
+
+  const int64_t now_ns = NowNanos();
+  int64_t first = first_above_ns_.load(std::memory_order_relaxed);
+  if (first == 0) {
+    // First above-target observation: open the excursion window. A racing
+    // store just moves the window start by nanoseconds; harmless.
+    first_above_ns_.compare_exchange_strong(first, now_ns,
+                                            std::memory_order_relaxed);
+    first = now_ns;
+  }
+
+  if (!shedding_.load(std::memory_order_relaxed)) {
+    if (now_ns - first < interval_ns_) return false;  // tolerated burst
+    shedding_.store(true, std::memory_order_relaxed);
+  }
+  sheds_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace hynet

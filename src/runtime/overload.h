@@ -1,0 +1,61 @@
+// Adaptive load shedding on queue delay (CoDel-style admission control).
+//
+// The count-based max_connections cap says how many peers are admitted;
+// it says nothing about whether admitted work is still timely. The real
+// saturation signal is *sojourn time*: how long a request waited between
+// becoming ready and its handler running. Following CoDel's controller
+// shape, transient bursts are tolerated — shedding starts only when the
+// sojourn has stayed above `target` for a whole `interval` — and stops the
+// moment one request gets through under target again. While shedding, only
+// requests whose own sojourn exceeds the target are rejected (503 +
+// Retry-After); fresh requests that happen to be dispatched promptly are
+// still served, so the shedder degrades throughput smoothly instead of
+// slamming the door.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace hynet {
+
+class QueueDelayShedder {
+ public:
+  // `target_ms`: acceptable standing queue delay. `interval_ms`: how long
+  // the delay must stay above target before shedding engages (CoDel's
+  // estimator interval).
+  QueueDelayShedder(int target_ms, int interval_ms);
+
+  // Records one sojourn observation and decides whether the request it
+  // belongs to should be shed. Called on handler threads; lock-free.
+  bool ShouldShed(Duration sojourn);
+
+  // True while the controller is in the shedding state (exported through
+  // /healthz as `overloaded`).
+  bool Overloaded() const {
+    return shedding_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t ShedCount() const {
+    return sheds_.load(std::memory_order_relaxed);
+  }
+
+  // The Retry-After hint (seconds, >= 1) sent with shed responses: the
+  // estimator interval rounded up — retrying sooner than one interval
+  // cannot observe a state change.
+  int RetryAfterSec() const { return retry_after_sec_; }
+
+ private:
+  const int64_t target_ns_;
+  const int64_t interval_ns_;
+  const int retry_after_sec_;
+
+  // Nanos timestamp of the first above-target observation in the current
+  // excursion; 0 = the delay is (or was last seen) below target.
+  std::atomic<int64_t> first_above_ns_{0};
+  std::atomic<bool> shedding_{false};
+  std::atomic<uint64_t> sheds_{0};
+};
+
+}  // namespace hynet

@@ -27,10 +27,12 @@ Payload BuildResponse(int status, const char* reason,
 
 AdminServer::AdminServer(uint16_t port,
                          std::shared_ptr<MetricsRegistry> registry,
-                         std::function<bool()> draining)
+                         std::function<bool()> draining,
+                         std::function<bool()> overloaded)
     : requested_port_(port),
       registry_(std::move(registry)),
-      draining_(std::move(draining)) {}
+      draining_(std::move(draining)),
+      overloaded_(std::move(overloaded)) {}
 
 AdminServer::~AdminServer() { Stop(); }
 
@@ -133,10 +135,17 @@ Payload AdminServer::Respond(const std::string& path) {
                          registry_->StatsJson(), true);
   }
   if (path == "/healthz") {
-    const bool draining = draining_ && draining_();
-    return draining ? BuildResponse(503, "Service Unavailable", "text/plain",
-                                    "draining\n", true)
-                    : BuildResponse(200, "OK", "text/plain", "ok\n", true);
+    // Draining wins over overloaded: a draining server is leaving the
+    // pool regardless of current load.
+    if (draining_ && draining_()) {
+      return BuildResponse(503, "Service Unavailable", "text/plain",
+                           "draining\n", true);
+    }
+    if (overloaded_ && overloaded_()) {
+      return BuildResponse(503, "Service Unavailable", "text/plain",
+                           "overloaded\n", true);
+    }
+    return BuildResponse(200, "OK", "text/plain", "ok\n", true);
   }
   return BuildResponse(404, "Not Found", "text/plain", "not found\n", true);
 }

@@ -4,7 +4,10 @@
 //
 //   /metrics     Prometheus text exposition of the metrics registry
 //   /stats.json  the same scrape as JSON, for tools/hynet_top.py
-//   /healthz     200 "ok", or 503 "draining" while Shutdown() drains
+//   /healthz     200 "ok", 503 "draining" while Shutdown() drains, or
+//                503 "overloaded" while the queue-delay shedder is active
+//                (draining takes precedence: a draining server is leaving
+//                the pool regardless of load)
 //
 // Runs its own EventLoop so a scrape never competes with the architecture
 // under measurement for a loop thread. Responses queue as Payload nodes in
@@ -34,10 +37,12 @@ namespace hynet {
 
 class AdminServer {
  public:
-  // `draining` is polled per /healthz request; it must stay callable until
-  // Stop() returns (the owning Server stops the plane before teardown).
+  // `draining` and `overloaded` are polled per /healthz request; they must
+  // stay callable until Stop() returns (the owning Server stops the plane
+  // before teardown). `overloaded` may be null (always healthy).
   AdminServer(uint16_t port, std::shared_ptr<MetricsRegistry> registry,
-              std::function<bool()> draining);
+              std::function<bool()> draining,
+              std::function<bool()> overloaded = nullptr);
   ~AdminServer();
   AdminServer(const AdminServer&) = delete;
   AdminServer& operator=(const AdminServer&) = delete;
@@ -68,6 +73,7 @@ class AdminServer {
   const uint16_t requested_port_;
   std::shared_ptr<MetricsRegistry> registry_;
   std::function<bool()> draining_;
+  std::function<bool()> overloaded_;
 
   std::unique_ptr<EventLoop> loop_;
   std::unique_ptr<Acceptor> acceptor_;

@@ -2,6 +2,7 @@
 
 #include <sys/socket.h>
 
+#include "common/deadline.h"
 #include "common/logging.h"
 #include "common/thread_util.h"
 #include "proto/http_codec.h"
@@ -208,7 +209,20 @@ void ReactorPoolServer::DispatchReadEvent(int fd, uint32_t events) {
   // Remove the fd from epoll so nothing races with the worker.
   loop_->UnregisterFd(fd);
   dispatch_stats_.dispatches_to_worker.fetch_add(1, std::memory_order_relaxed);
-  EnqueueWorkerTask([this, conn] { HandleReadEvent(conn); });
+  if (config_.ResilienceEnabled()) {
+    // Stamp the enqueue time so the worker can measure queue sojourn —
+    // the signal the queue-delay shedder keys on. Seeded from the reactor
+    // loop's (busy-aware) tick start rather than Now(): the event's wait
+    // in the kernel while the reactor drained earlier fds is part of the
+    // same queue.
+    const TimePoint enq = EffectiveRequestStart(Now());
+    EnqueueWorkerTask([this, conn, enq] {
+      ScopedDispatchStart dispatch_start(enq);
+      HandleReadEvent(conn);
+    });
+  } else {
+    EnqueueWorkerTask([this, conn] { HandleReadEvent(conn); });
+  }
 }
 
 void ReactorPoolServer::EnqueueWorkerTask(WorkerPool::Task task) {

@@ -1,5 +1,6 @@
 #include "servers/server.h"
 
+#include "common/deadline.h"
 #include "io/io_backend.h"
 #include "net/event_loop.h"
 #include "net/socket.h"
@@ -58,6 +59,15 @@ std::vector<std::string> ServerConfig::Validate() const {
   if (!io_backend.empty() && !ParseIoBackendName(io_backend)) {
     errors.push_back("io_backend must be \"\", \"epoll\", or \"uring\"");
   }
+  if (shed_target_delay_ms < 0) {
+    errors.push_back("shed_target_delay_ms must be >= 0 (0 disables)");
+  }
+  if (deadline_margin_ms < 0) {
+    errors.push_back("deadline_margin_ms must be >= 0");
+  }
+  if (shed_target_delay_ms > 0 && shed_interval_ms < 1) {
+    errors.push_back("shed_interval_ms must be >= 1 when shedding is on");
+  }
   return errors;
 }
 
@@ -82,6 +92,81 @@ Server::Server(ServerConfig config, Handler handler)
   // live servers (the admin plane stops before teardown).
   collector_id_ =
       metrics_->AddCollector([this](MetricsBatch& b) { ContributeSnapshot(b); });
+  InstallResiliencePlane();
+}
+
+namespace {
+
+// Replaces whatever the handler (or defaults) put in `resp` with a
+// standalone error body; keep_alive stays untouched because every
+// architecture decides it after the handler (draining forces close).
+void FillErrorResponse(HttpResponse& resp, int status, const char* reason,
+                       const char* body) {
+  resp.headers.clear();
+  resp.shared_body.reset();
+  resp.pushed.clear();
+  resp.status = status;
+  resp.reason = reason;
+  resp.body = body;
+}
+
+}  // namespace
+
+void Server::InstallResiliencePlane() {
+  if (!config_.ResilienceEnabled() || !handler_) return;
+  if (config_.shed_target_delay_ms > 0) {
+    shedder_ = std::make_unique<QueueDelayShedder>(
+        config_.shed_target_delay_ms, config_.shed_interval_ms);
+  }
+  handler_ = [this, inner = std::move(handler_)](const HttpRequest& req,
+                                                 HttpResponse& resp) {
+    const TimePoint now = Now();
+    // Where this request started waiting: the dispatch enqueue stamp
+    // (reactor/staged pools), else the event-loop tick start (loop
+    // architectures), else now (thread-per-connection: no queue).
+    const TimePoint arrival = EffectiveRequestStart(now);
+
+    Deadline deadline;
+    if (config_.deadline_propagation) {
+      // The margin reserves return-leg budget: anchoring the deadline
+      // earlier makes "expired" fire while the caller still has time to
+      // receive the response.
+      deadline = DeadlineFromRequest(
+          req, arrival - std::chrono::milliseconds(config_.deadline_margin_ms));
+      if (deadline.Expired()) {
+        // Already dead on arrival: fail fast instead of doing dead work.
+        lifecycle_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+        FillErrorResponse(resp, 504, "Gateway Timeout", "deadline expired\n");
+        return;
+      }
+    }
+
+    if (shedder_ && shedder_->ShouldShed(now - arrival)) {
+      lifecycle_.sheds_queue_delay.fetch_add(1, std::memory_order_relaxed);
+      FillErrorResponse(resp, 503, "Service Unavailable",
+                        "shed: queue delay over target\n");
+      resp.SetHeader("Retry-After",
+                     std::to_string(shedder_->RetryAfterSec()));
+      return;
+    }
+
+    if (deadline.valid()) {
+      ScopedRequestDeadline scope(deadline);
+      inner(req, resp);
+      if (deadline.Expired() && resp.status < 500) {
+        // Completed past the budget: the caller has moved on, so serving
+        // the payload would be a response past its deadline. Replace it.
+        lifecycle_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+        FillErrorResponse(resp, 504, "Gateway Timeout", "deadline expired\n");
+      }
+    } else {
+      inner(req, resp);
+    }
+  };
+}
+
+bool Server::Overloaded() const {
+  return shedder_ && shedder_->Overloaded();
 }
 
 Server::~Server() {
@@ -103,6 +188,7 @@ void Server::ContributeSnapshot(MetricsBatch& batch) const {
   HYNET_SERVER_COUNTER_FIELDS(HYNET_EXPORT_COUNTER_FIELD)
 #undef HYNET_EXPORT_COUNTER_FIELD
   batch.SetGauge("server_draining", Draining() ? 1 : 0);
+  batch.SetGauge("server_overloaded", Overloaded() ? 1 : 0);
 }
 
 void Server::AdoptMetricsRegistry(std::shared_ptr<MetricsRegistry> registry) {
@@ -121,7 +207,7 @@ void Server::StartAdminPlane() {
   if (config_.admin_port < 0 || admin_) return;
   admin_ = std::make_unique<AdminServer>(
       static_cast<uint16_t>(config_.admin_port), metrics_,
-      [this] { return Draining(); });
+      [this] { return Draining(); }, [this] { return Overloaded(); });
   admin_->Start();
 }
 
@@ -149,7 +235,7 @@ void Server::ExportLifecycle(ServerCounters& c) const {
 
 void Server::ShedWith503(int fd) {
   lifecycle_.shed_connections.fetch_add(1, std::memory_order_relaxed);
-  const std::string wire = SimpleErrorResponse(503);
+  const std::string wire = SimpleErrorResponse(503, /*retry_after_sec=*/1);
   (void)WriteFd(fd, wire.data(), wire.size());
 }
 

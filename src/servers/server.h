@@ -18,6 +18,7 @@
 #include "metrics/phase_profiler.h"
 #include "metrics/registry.h"
 #include "runtime/dispatch_stats.h"
+#include "runtime/overload.h"
 
 namespace hynet {
 
@@ -126,6 +127,36 @@ struct ServerConfig {
   size_t max_request_head_bytes = 64 * 1024;  // matches the seed's cap
   size_t max_request_body_bytes = 8 * 1024 * 1024;
 
+  // ---- Resilience plane ----
+  // Honor X-Hynet-Deadline-Ms request budgets: requests that arrive (or
+  // finish) past their deadline are answered 504 instead of doing (or
+  // serving) dead work, and the running request's deadline is visible to
+  // downstream clients via CurrentRequestDeadline() so inter-tier calls
+  // can fast-fail and forward the decremented budget. Off by default: the
+  // admission wrapper is not even installed, so the paper's benchmark
+  // paths are untouched.
+  bool deadline_propagation = false;
+  // Safety margin (ms) reserved out of every propagated deadline for the
+  // response's return leg: the request is treated as expired once fewer
+  // than this many ms remain, so a response finished "just in time" by the
+  // server's clock is not already dead on arrival at the caller after wire
+  // transit (and after the uncharged request legs a retried attempt has
+  // accumulated). 0 = enforce the raw deadline.
+  int deadline_margin_ms = 0;
+  // CoDel-style queue-delay shedding: when > 0, a request whose dispatch
+  // sojourn (worker-queue wait, or event-loop dispatch lag) has stayed
+  // above this target for shed_interval_ms is answered 503 + Retry-After.
+  // Replaces count-only max_connections as the *saturation* signal; the
+  // connection cap remains the admission backstop. 0 disables.
+  int shed_target_delay_ms = 0;
+  int shed_interval_ms = 100;
+
+  // True when any resilience feature needs the admission wrapper (and the
+  // per-dispatch timestamps that feed it).
+  bool ResilienceEnabled() const {
+    return deadline_propagation || shed_target_delay_ms > 0;
+  }
+
   // ---- I/O engine ----
   // Which IoBackend every EventLoop of this server uses: "" (resolve via
   // HYNET_IO_BACKEND, else epoll), "epoll", or "uring". A uring request on
@@ -202,6 +233,12 @@ struct ServerConfig {
 
 // Lifecycle / overload-protection counters. Names match the LifecycleStats
 // atomics field-for-field; ExportLifecycle is generated from this list.
+// The resilience-plane fields at the tail are incremented by the Server
+// admission wrapper (sheds_queue_delay, deadline_expired) and by the
+// rubbos tiers' retry/breaker hooks via Server::lifecycle_stats().
+// breaker_state is a *state* (0 closed / 1 open / 2 half-open), stored
+// rather than accumulated; only the rubbos tiers (which never aggregate
+// across copies) set it, so the field-wise sums stay meaningful.
 #define HYNET_SERVER_LIFECYCLE_FIELDS(X) \
   X(idle_evictions)                      \
   X(header_evictions)                    \
@@ -213,7 +250,13 @@ struct ServerConfig {
   X(oversize_requests)                   \
   X(half_close_reclaims)                 \
   X(drained_connections)                 \
-  X(forced_closes)
+  X(forced_closes)                       \
+  X(sheds_queue_delay)                   \
+  X(deadline_expired)                    \
+  X(retries_issued)                      \
+  X(retry_budget_exhausted)              \
+  X(breaker_state)                       \
+  X(degraded_responses)
 
 #define HYNET_SERVER_COUNTER_FIELDS(X)  \
   HYNET_SERVER_CORE_COUNTER_FIELDS(X)   \
@@ -330,6 +373,15 @@ class Server {
   // True while Shutdown() is draining; /healthz reports it.
   bool Draining() const { return draining_.load(std::memory_order_relaxed); }
 
+  // True while the queue-delay shedder is in its shedding state; /healthz
+  // reports it as `overloaded`, distinct from `draining`.
+  bool Overloaded() const;
+
+  // The lifecycle/overload counters, exposed so out-of-tree handler hooks
+  // (the rubbos tiers' retry and breaker accounting) can ride the same
+  // X-macro export as the built-in admission paths.
+  LifecycleStats& lifecycle_stats() const { return lifecycle_; }
+
  protected:
   // Applies per-connection socket options from the config.
   void ConfigureAcceptedFd(int fd) const;
@@ -365,6 +417,13 @@ class Server {
 
   void ResolveMetricHandles();
   void ContributeSnapshot(MetricsBatch& batch) const;
+  // Wraps handler_ with the deadline/shedding admission checks when
+  // config_.ResilienceEnabled(). Installed once in the constructor, so
+  // every architecture (including the multi-loop pipeline, which holds a
+  // reference to handler_) runs behind the same wrapper.
+  void InstallResiliencePlane();
+
+  std::unique_ptr<QueueDelayShedder> shedder_;
 
   std::shared_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<AdminServer> admin_;

@@ -2,6 +2,7 @@
 
 #include <sys/socket.h>
 
+#include "common/deadline.h"
 #include "common/thread_util.h"
 #include "proto/http_codec.h"
 
@@ -269,7 +270,19 @@ void StagedServer::ParseStage(Connection* conn) {
   }
   // Hand the connection to the application stage (queue hop #2).
   dispatch_stats_.dispatches_to_worker.fetch_add(1, std::memory_order_relaxed);
-  app_pool_->Submit([this, conn] { AppStage(conn); });
+  if (config_.ResilienceEnabled()) {
+    // Stamp the enqueue time so the app stage can measure queue sojourn —
+    // the signal the queue-delay shedder keys on. Seeded from the read
+    // stage's (busy-aware) tick start: kernel wait behind earlier fds in
+    // the same batch is part of the same queue.
+    const TimePoint enq = EffectiveRequestStart(Now());
+    app_pool_->Submit([this, conn, enq] {
+      ScopedDispatchStart dispatch_start(enq);
+      AppStage(conn);
+    });
+  } else {
+    app_pool_->Submit([this, conn] { AppStage(conn); });
+  }
 }
 
 void StagedServer::AppStage(Connection* conn) {

@@ -449,6 +449,47 @@ TEST(OversizeRequests, HeadOverLimitAnswered431) {
   }
 }
 
+TEST(RetryStorm, BudgetBoundsRetriesAgainstAnAlwaysSheddingServer) {
+  // The nightmare retry scenario: the server sheds every single request,
+  // so naive retries would multiply offered load by max_attempts exactly
+  // when capacity is gone. The token bucket must cap the amplification:
+  // with zero successes the whole run earns zero tokens, so total retries
+  // stay within the initial allowance no matter how long the storm lasts.
+  ServerConfig config = BaseConfig(ServerArchitecture::kSingleThread);
+  auto server = CreateServer(
+      config, [](const HttpRequest&, HttpResponse& resp) {
+        resp.status = 503;
+        resp.reason = "Service Unavailable";
+        resp.body = "shed\n";
+      });
+  server->Start();
+
+  LoadConfig lc;
+  lc.server = InetAddr::Loopback(server->Port());
+  lc.connections = 8;
+  lc.warmup_sec = 0.05;
+  lc.measure_sec = 0.5;
+  lc.targets = {{BenchTarget(64, 0), 1.0}};
+  lc.retries_enabled = true;
+  const LoadResult r = RunLoad(lc);
+  server->Stop();
+
+  // Every final outcome is a shed; plenty of requests wanted to retry.
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_GT(r.shed_503, 0u);
+  EXPECT_EQ(r.ok, 0u);
+
+  // The storm drained the bucket (exhaustion observed) and total retries
+  // obey the whole-run invariant: initial_tokens + ratio * successes.
+  EXPECT_GT(r.retries_issued, 0u);
+  EXPECT_GT(r.retry_budget_exhausted, 0u);
+  EXPECT_LE(static_cast<double>(r.retries_issued),
+            lc.retry.initial_tokens +
+                lc.retry.budget_ratio *
+                    static_cast<double>(r.retry_successes) +
+                1e-9);
+}
+
 TEST(OversizeRequests, BodyOverLimitAnswered413) {
   for (ServerArchitecture arch :
        {ServerArchitecture::kThreadPerConn, ServerArchitecture::kSingleThread,

@@ -8,6 +8,8 @@
 //               [--drain-ms N] [--admin-port P]
 //               [--dispatch-batch N] [--pin-cpus]
 //               [--io-backend epoll|uring]
+//               [--deadline-propagation] [--deadline-margin-ms N]
+//               [--shed-target-ms N] [--shed-interval-ms N]
 //
 // The server exposes the standard bench handler:
 //   GET /bench?size=<bytes>&us=<cpu-us>[&push=N&push_kb=M]
@@ -109,6 +111,14 @@ int main(int argc, char** argv) {
       config.pin_cpus = true;
     } else if (!std::strcmp(argv[i], "--io-backend")) {
       config.io_backend = next("--io-backend");
+    } else if (!std::strcmp(argv[i], "--deadline-propagation")) {
+      config.deadline_propagation = true;
+    } else if (!std::strcmp(argv[i], "--deadline-margin-ms")) {
+      config.deadline_margin_ms = std::atoi(next("--deadline-margin-ms"));
+    } else if (!std::strcmp(argv[i], "--shed-target-ms")) {
+      config.shed_target_delay_ms = std::atoi(next("--shed-target-ms"));
+    } else if (!std::strcmp(argv[i], "--shed-interval-ms")) {
+      config.shed_interval_ms = std::atoi(next("--shed-interval-ms"));
     } else {
       std::fprintf(stderr, "usage: %s [--arch NAME] [--port P] "
                    "[--sndbuf BYTES] [--loops N] [--workers N] "
@@ -116,7 +126,9 @@ int main(int argc, char** argv) {
                    "[--header-ms N] [--stall-ms N] [--max-conns N] "
                    "[--no-shed] [--high-water BYTES] [--drain-ms N] "
                    "[--admin-port P] [--dispatch-batch N] [--pin-cpus] "
-                   "[--io-backend epoll|uring]\n",
+                   "[--io-backend epoll|uring] [--deadline-propagation] "
+                   "[--deadline-margin-ms N] [--shed-target-ms N] "
+                   "[--shed-interval-ms N]\n",
                    argv[0]);
       return 2;
     }

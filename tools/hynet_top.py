@@ -11,6 +11,11 @@ for a requested-uring-but-fell-back server) and `sqe/bat` the io_uring
 submission batching factor (SQEs per io_uring_enter call), both derived
 from the server_uring_* counters.
 
+Resilience-plane columns: `shed` is the rejection rate from the overload
+plane (queue-delay 503s plus deadline 504s per second), `rty` the rate
+of downstream retries issued by this tier, and `brk` the circuit-breaker
+state (`-` closed, `OPEN`, `half`).
+
 Usage:
     python3 tools/hynet_top.py [--host 127.0.0.1] [--port 9090]
                                [--interval 1.0]
@@ -65,7 +70,8 @@ def main() -> int:
     header = (f"{'time':>8}  {'io':>6}  {'req/s':>9}  {'resp/s':>9}  "
               f"{'wr/resp':>7}  {'zero/s':>7}  {'iov/wv':>6}  "
               f"{'sqe/bat':>7}  {'wq':>5}  {'conns':>7}  "
-              f"{'p50ms':>7}  {'p99ms':>7}  {'drain':>5}")
+              f"{'p50ms':>7}  {'p99ms':>7}  {'shed':>6}  {'rty':>6}  "
+              f"{'brk':>4}  {'drain':>5}")
 
     prev = None
     prev_t = None
@@ -104,6 +110,15 @@ def main() -> int:
             p50 = float(lat.get("p50", 0)) / 1e6
             p99 = float(lat.get("p99", 0)) / 1e6
             draining = int(stats.get("gauges", {}).get("server_draining", 0))
+            # Overload-plane rejections per second: queue-delay sheds (503)
+            # plus deadline fast-fails (504).
+            shed_rate = (d("server_sheds_queue_delay")
+                         + d("server_deadline_expired"))
+            retry_rate = d("server_retries_issued")
+            # breaker_state is a stored state, not an accumulator:
+            # 0 closed / 1 open / 2 half-open.
+            brk = {0: "-", 1: "OPEN", 2: "half"}.get(
+                counter(stats, "server_breaker_state"), "?")
             if lines % 20 == 0:
                 print(header)
             print(f"{time.strftime('%H:%M:%S'):>8}  "
@@ -114,7 +129,8 @@ def main() -> int:
                   f"{sqe_per_batch:>7.1f}  "
                   f"{wq:>5d}  {live:>7d}  "
                   f"{p50:>7.2f}  {p99:>7.2f}  "
-                  f"{'yes' if draining else 'no':>5}")
+                  f"{shed_rate:>6.1f}  {retry_rate:>6.1f}  "
+                  f"{brk:>4}  {'yes' if draining else 'no':>5}")
             lines += 1
         prev = stats
         prev_t = now
