@@ -1,0 +1,243 @@
+// micro_rpc: per-method hybrid routing vs the two pure strategies, on the
+// multiplexed RPC/KV plane.
+//
+// Workload: pipelined KV mix over one server — Lookup (tiny response,
+// ~zero CPU), Read (values past the send buffer, heavy on the write axis)
+// and Write (burns CPU before acking, heavy on the CPU axis). Three
+// routing strategies serve the identical mix:
+//
+//   blocking — every method routed kWorker: the thread-blocking design;
+//              each tiny Lookup pays the handoff + marshal-back switches.
+//   reactor  — every method routed kInline: SingleT-Async semantics; a
+//              100KB Read spin-writes on the loop thread and every
+//              pipelined request behind it stalls, as does each Write's
+//              handler CPU.
+//   hybrid   — kAuto everywhere: runtime classification routes Lookup
+//              inline and sends Read (write axis) and Write (CPU axis) to
+//              the worker pool.
+//
+// Sweep: strategy x pipeline depth (1 = closed loop, 16/64 = multiplexed).
+// Results go to BENCH_rpc.json.
+//
+//   ./build/bench/micro_rpc
+#include <algorithm>
+#include <memory>
+
+#include "app/kv_service.h"
+#include "app/rpc_server.h"
+#include "bench_common.h"
+#include "client/rpc_load_gen.h"
+
+using namespace hynet;
+using namespace hynet::benchx;
+
+namespace {
+
+constexpr size_t kKeySpace = 512;
+constexpr size_t kValueBytes = 100 * 1024;  // Reads are write-axis heavy
+constexpr double kWriteCpuUs = 300;         // Writes are CPU-axis heavy
+constexpr size_t kWriteValueBytes = 64;     // written values stay small
+
+struct PointResult {
+  std::string strategy;
+  int depth = 0;
+  double throughput = 0.0;
+  double p99_ms = 0.0;
+  double lookup_p99_ms = 0.0;
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+  uint64_t client_ooo = 0;
+  uint64_t server_ooo = 0;
+  uint64_t inflight_peak = 0;
+  double ooo_share = 0.0;
+  // Overhead anatomy: syscalls and wakeups per response.
+  double writes_per_resp = 0.0;
+  double zero_writes_per_resp = 0.0;
+  double wakeups_per_resp = 0.0;
+};
+
+std::vector<MethodRouteEntry> RoutesFor(const std::string& strategy) {
+  RpcRoute route;
+  if (strategy == "blocking") {
+    route = RpcRoute::kWorker;
+  } else if (strategy == "reactor") {
+    route = RpcRoute::kInline;
+  } else {
+    return {};  // hybrid: architecture default (kAuto) for every method
+  }
+  return {{kKvMethodLookup, route},
+          {kKvMethodRead, route},
+          {kKvMethodWrite, route}};
+}
+
+PointResult RunOnce(const std::string& strategy, int depth, double seconds) {
+  auto store = std::make_shared<KvStore>();
+  store->Preload(kKeySpace, kValueBytes);
+
+  ServerConfig cfg;
+  cfg.architecture = ServerArchitecture::kHybrid;
+  cfg.protocol = "rpc";
+  cfg.rpc_routes = RoutesFor(strategy);
+  cfg.event_loops = 1;
+  cfg.worker_threads = 2;
+  cfg.snd_buf_bytes = 16 * 1024;
+  // The paper's testbed drives load from a remote client, so a spinning
+  // server core cannot help drain the receiver. On this loopback host the
+  // sched_yield escape would donate the spinner's timeslice to the
+  // colocated client and hide the spin cost entirely — disable it so the
+  // naive inline path pays what it pays over a real network.
+  cfg.yield_on_full_write = false;
+
+  KvServiceOptions kv;
+  kv.write_cpu_us = kWriteCpuUs;
+  auto server = CreateServer(cfg, MakeKvService(store, kv));
+  server->Start();
+
+  RpcLoadConfig load;
+  load.server = InetAddr::Loopback(server->Port());
+  load.connections = 2;
+  load.pipeline_depth = depth;
+  load.warmup_sec = 0.2;
+  load.measure_sec = seconds;
+  load.mix = {{kKvMethodLookup, 0.70},
+              {kKvMethodRead, 0.20},
+              {kKvMethodWrite, 0.10}};
+  load.key_space = kKeySpace;
+  load.write_value_bytes = kWriteValueBytes;
+  const RpcLoadResult r = RunRpcLoad(load);
+
+  const ServerCounters counters = server->Snapshot();
+  server->Stop();
+
+  PointResult out;
+  out.strategy = strategy;
+  out.depth = depth;
+  out.throughput = r.Throughput();
+  out.p99_ms = r.latency.Percentile(0.99) / 1e6;
+  const auto lookup = r.per_method.find(kKvMethodLookup);
+  if (lookup != r.per_method.end()) {
+    out.lookup_p99_ms = lookup->second.latency.Percentile(0.99) / 1e6;
+  }
+  out.completed = r.completed;
+  out.errors = r.errors;
+  out.client_ooo = r.out_of_order;
+  out.server_ooo = counters.rpc_out_of_order_responses;
+  out.inflight_peak = counters.rpc_inflight_peak;
+  out.ooo_share = counters.rpc_requests
+                      ? static_cast<double>(out.server_ooo) /
+                            static_cast<double>(counters.rpc_requests)
+                      : 0.0;
+  if (counters.responses_sent) {
+    const double responses = static_cast<double>(counters.responses_sent);
+    out.writes_per_resp =
+        static_cast<double>(counters.write_calls + counters.writev_calls) /
+        responses;
+    out.zero_writes_per_resp =
+        static_cast<double>(counters.zero_writes) / responses;
+    out.wakeups_per_resp =
+        static_cast<double>(counters.wakeup_writes_issued) / responses;
+  }
+  return out;
+}
+
+// A fresh server + load pair per trial; the median by throughput absorbs
+// the scheduling noise of a fully loaded single-core host.
+PointResult RunPoint(const std::string& strategy, int depth, double seconds,
+                     int trials) {
+  std::vector<PointResult> runs;
+  for (int t = 0; t < trials; ++t) {
+    runs.push_back(RunOnce(strategy, depth, seconds));
+  }
+  std::sort(runs.begin(), runs.end(),
+            [](const PointResult& a, const PointResult& b) {
+              return a.throughput < b.throughput;
+            });
+  return runs[runs.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "micro_rpc: per-method routing strategies on the multiplexed RPC/KV "
+      "plane, strategy x pipeline depth (70% Lookup / 20% Read-100KB / "
+      "10% Write-300us)");
+
+  const double seconds = BenchSeconds(1.5);
+  std::vector<int> depths = {1, 16, 64};
+  int trials = 3;
+  if (BenchQuickMode()) {
+    depths = {16};
+    trials = 1;
+  }
+
+  TablePrinter table({"depth", "strategy", "req_per_sec", "vs_best_pure",
+                      "p99_ms", "lookup_p99_ms", "ooo_share", "writes_pr",
+                      "zero_wr_pr", "wakeups_pr", "errors"});
+  std::vector<PointResult> results;
+  for (int depth : depths) {
+    double best_pure = 0.0;
+    std::vector<PointResult> row;
+    for (const char* strategy : {"blocking", "reactor", "hybrid"}) {
+      const PointResult r = RunPoint(strategy, depth, seconds, trials);
+      row.push_back(r);
+      if (r.strategy != "hybrid") best_pure = std::max(best_pure, r.throughput);
+    }
+    for (const PointResult& r : row) {
+      results.push_back(r);
+      table.AddRow({TablePrinter::Int(r.depth), r.strategy,
+                    TablePrinter::Num(r.throughput, 0),
+                    TablePrinter::Num(
+                        best_pure > 0 ? r.throughput / best_pure : 0.0, 2),
+                    TablePrinter::Num(r.p99_ms, 2),
+                    TablePrinter::Num(r.lookup_p99_ms, 2),
+                    TablePrinter::Num(r.ooo_share, 3),
+                    TablePrinter::Num(r.writes_per_resp, 2),
+                    TablePrinter::Num(r.zero_writes_per_resp, 2),
+                    TablePrinter::Num(r.wakeups_per_resp, 2),
+                    TablePrinter::Int(static_cast<int>(r.errors))});
+    }
+  }
+  table.Print();
+
+  FILE* f = std::fopen("BENCH_rpc.json", "w");
+  if (f) {
+    std::fprintf(f, "{\"bench\":\"micro_rpc\",\"points\":[\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      const PointResult& r = results[i];
+      std::fprintf(
+          f,
+          "  {\"strategy\":\"%s\",\"pipeline_depth\":%d,"
+          "\"throughput_rps\":%.1f,\"p99_ms\":%.3f,\"lookup_p99_ms\":%.3f,"
+          "\"completed\":%llu,\"errors\":%llu,"
+          "\"client_out_of_order\":%llu,\"server_out_of_order\":%llu,"
+          "\"ooo_share\":%.4f,\"inflight_peak\":%llu,"
+          "\"writes_per_resp\":%.2f,\"zero_writes_per_resp\":%.2f,"
+          "\"wakeups_per_resp\":%.2f}%s\n",
+          r.strategy.c_str(), r.depth, r.throughput, r.p99_ms, r.lookup_p99_ms,
+          static_cast<unsigned long long>(r.completed),
+          static_cast<unsigned long long>(r.errors),
+          static_cast<unsigned long long>(r.client_ooo),
+          static_cast<unsigned long long>(r.server_ooo), r.ooo_share,
+          static_cast<unsigned long long>(r.inflight_peak),
+          r.writes_per_resp, r.zero_writes_per_resp, r.wakeups_per_resp,
+          i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_rpc.json\n");
+  }
+
+  std::printf(
+      "\nExpected shape: at pipeline depth >= 16 the hybrid rows beat both\n"
+      "pure strategies (vs_best_pure > 1); at depth 1 the three converge,\n"
+      "since an unpipelined spin has nothing else to displace. All-inline\n"
+      "burns zero_wr_pr ~10+ failed writes per response on the 100KB\n"
+      "Reads; all-worker pays a pool handoff + wakeup for every tiny\n"
+      "Lookup. kAuto routes Lookups inline (coalescing a burst's\n"
+      "responses into one writev: writes_pr drops below both) and sends\n"
+      "the heavy methods to the pool, so lookup_p99 stays ~10x below the\n"
+      "pure rows at depth while Reads/Writes complete out of order\n"
+      "(ooo_share).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "app/kv_service.h"
+
+#include "common/thread_util.h"
+
+namespace hynet {
+
+std::string EncodeKvWritePayload(std::string_view key, std::string_view value) {
+  std::string out;
+  out.reserve(2 + key.size() + value.size());
+  out.push_back(static_cast<char>(key.size() & 0xff));
+  out.push_back(static_cast<char>((key.size() >> 8) & 0xff));
+  out.append(key);
+  out.append(value);
+  return out;
+}
+
+bool DecodeKvWritePayload(std::string_view payload, std::string_view* key,
+                          std::string_view* value) {
+  if (payload.size() < 2) return false;
+  const size_t key_len = static_cast<uint8_t>(payload[0]) |
+                         (static_cast<size_t>(static_cast<uint8_t>(payload[1]))
+                          << 8);
+  if (2 + key_len > payload.size()) return false;
+  *key = payload.substr(2, key_len);
+  *value = payload.substr(2 + key_len);
+  return true;
+}
+
+ServiceRegistry MakeKvService(std::shared_ptr<KvStore> store,
+                              KvServiceOptions options) {
+  ServiceRegistry registry;
+
+  registry.Register(
+      kKvMethodLookup, "Lookup",
+      [store](ServiceRequest req, ResponseWriter writer) {
+        const auto value = store->Get(req.payload);
+        if (!value) {
+          writer.Finish(RpcStatus::kNotFound);
+          return;
+        }
+        writer.Finish(RpcStatus::kOk,
+                      "1:" + std::to_string(value->size()));
+      });
+
+  registry.Register(
+      kKvMethodRead, "Read",
+      [store](ServiceRequest req, ResponseWriter writer) {
+        auto value = store->Get(req.payload);
+        if (!value) {
+          writer.Finish(RpcStatus::kNotFound);
+          return;
+        }
+        // The stored allocation becomes the response body segment; the
+        // serializer references it in place (zero copies per response).
+        writer.Finish(RpcStatus::kOk, std::move(value));
+      });
+
+  registry.Register(
+      kKvMethodWrite, "Write",
+      [store, cpu_us = options.write_cpu_us](ServiceRequest req,
+                                             ResponseWriter writer) {
+        std::string_view key, value;
+        if (!DecodeKvWritePayload(req.payload, &key, &value)) {
+          writer.Finish(RpcStatus::kBadRequest);
+          return;
+        }
+        if (cpu_us > 0) BurnCpuMicros(cpu_us);
+        store->Put(key, std::string(value));
+        writer.Finish(RpcStatus::kOk);
+      });
+
+  return registry;
+}
+
+}  // namespace hynet

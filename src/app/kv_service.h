@@ -1,0 +1,59 @@
+// KV service over the RPC protocol plane: Lookup / Read / Write.
+//
+// The three methods are deliberately a light/heavy spectrum, the
+// per-method analogue of the paper's request types:
+//
+//   Lookup — existence + size check; tiny response, ~zero CPU: the light
+//            method that wants inline reactor dispatch.
+//   Read   — returns the stored value; with 10–100 KB values the response
+//            write-spins past the TCP send buffer: heavy on the write axis.
+//   Write  — stores a value and pays a configurable CPU cost modeling
+//            index maintenance: heavy on the CPU axis (an event loop that
+//            runs it inline stalls every pipelined request behind it).
+//
+// Request payload encodings (little-endian):
+//   Lookup / Read:  the key bytes, verbatim.
+//   Write:          u16 key_len | key | value bytes.
+// Response payloads:
+//   Lookup: "1:<size>" or miss → status kNotFound, empty payload.
+//   Read:   the value via the shared zero-copy body (miss → kNotFound).
+//   Write:  empty payload, status kOk.
+#pragma once
+
+#include <memory>
+
+#include "app/kv_store.h"
+#include "app/service.h"
+
+namespace hynet {
+
+// Method ids (the classifier keys are the registered names).
+inline constexpr uint16_t kKvMethodLookup = 1;
+inline constexpr uint16_t kKvMethodRead = 2;
+inline constexpr uint16_t kKvMethodWrite = 3;
+
+struct KvServiceOptions {
+  // CPU burned by each Write before acknowledging (microseconds), modeling
+  // index/replication work — the "simple computation" of the paper's
+  // handler, here concentrated on one method so per-method routing has a
+  // CPU-heavy type to discover. 0 disables.
+  double write_cpu_us = 0;
+};
+
+// Registers the three methods against `store`. Handlers complete
+// synchronously (SyncService-style) — the *routing* decides which thread
+// runs them; a Read served from the worker pool finishes its writer there
+// and the response marshals back to the connection's loop.
+ServiceRegistry MakeKvService(std::shared_ptr<KvStore> store,
+                              KvServiceOptions options = {});
+
+// Client-side request payload builders (shared by the load generator,
+// tools, and tests).
+std::string EncodeKvWritePayload(std::string_view key, std::string_view value);
+
+// Decodes a Write payload; returns false when malformed (short header,
+// key_len past the end).
+bool DecodeKvWritePayload(std::string_view payload, std::string_view* key,
+                          std::string_view* value);
+
+}  // namespace hynet

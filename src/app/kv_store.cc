@@ -1,0 +1,59 @@
+#include "app/kv_store.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace hynet {
+
+KvStore::KvStore(size_t shards) : shards_(std::max<size_t>(1, shards)) {}
+
+void KvStore::Put(std::string_view key, std::string value) {
+  auto shared = std::make_shared<const std::string>(std::move(value));
+  Shard& shard = ShardFor(key);
+  std::unique_lock lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    shard.map.emplace(std::string(key), std::move(shared));
+  } else {
+    it->second = std::move(shared);
+  }
+}
+
+std::shared_ptr<const std::string> KvStore::Get(std::string_view key) const {
+  const Shard& shard = ShardFor(key);
+  std::shared_lock lock(shard.mu);
+  auto it = shard.map.find(key);
+  return it == shard.map.end() ? nullptr : it->second;
+}
+
+bool KvStore::Erase(std::string_view key) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  shard.map.erase(it);
+  return true;
+}
+
+size_t KvStore::Size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+std::string KvStore::PreloadKey(size_t index, std::string_view prefix) {
+  return std::string(prefix) + std::to_string(index);
+}
+
+void KvStore::Preload(size_t count, size_t value_bytes,
+                      std::string_view prefix) {
+  for (size_t i = 0; i < count; ++i) {
+    std::string value(value_bytes, 'a' + static_cast<char>(i % 26));
+    Put(PreloadKey(i, prefix), std::move(value));
+  }
+}
+
+}  // namespace hynet

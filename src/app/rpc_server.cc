@@ -1,0 +1,461 @@
+#include "app/rpc_server.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "net/socket.h"
+
+namespace hynet {
+
+// Per-connection protocol state, hung on LoopConn::proto_state. Every
+// field is owned by the connection's loop thread; worker-pool completions
+// reach it only via RunInLoop.
+struct RpcServer::ConnState {
+  RpcFrameParser parser;
+  // Request ids in arrival order, awaiting completion. A completion that
+  // is not the front is an out-of-order response — the reordering the
+  // multiplexed framing exists to permit.
+  std::deque<uint64_t> arrival_order;
+  // In-flight requests, including those executing on the worker pool (the
+  // chassis keeps the connection open while > 0).
+  size_t inflight = 0;
+  // Highest inflight seen on this connection.
+  size_t peak = 0;
+  // True while OnBytes is dispatching a frame with at least a frame header
+  // of input still unparsed behind it: synchronous completions coalesce
+  // into the output buffer and the pass epilogue flushes once, so a burst
+  // of pipelined responses costs one writev instead of one per response.
+  bool batching = false;
+  // A coalesced response is waiting for the pass epilogue's flush.
+  bool flush_pending = false;
+};
+
+RpcServer::RpcServer(ServerConfig config, ServiceRegistry services)
+    : LoopGroupServer(std::move(config), Handler{}),
+      services_(std::move(services)),
+      heavy_cpu_us_(config_.rpc_heavy_cpu_us) {
+  for (const MethodRouteEntry& e : config_.rpc_routes) {
+    routes_[e.method_id] = e.route;
+  }
+  default_route_ = config_.architecture == ServerArchitecture::kHybrid
+                       ? RpcRoute::kAuto
+                       : RpcRoute::kReactor;
+}
+
+RpcServer::~RpcServer() { Stop(); }
+
+void RpcServer::Start() {
+  // The pool exists even under all-inline route tables: explicit kWorker
+  // entries and kAuto promotions can target it at any time.
+  pool_ = std::make_unique<WorkerPool>(config_.worker_threads, "rpc-worker");
+  LoopGroupServer::Start();
+}
+
+void RpcServer::Stop() {
+  // Loop threads are the only dispatchers, so joining them first
+  // guarantees no new Submit; draining the pool afterwards lets queued
+  // handlers finish (their completions no-op once the conn tables are
+  // cleared — the weak_ptr in each sink no longer resolves).
+  LoopGroupServer::Stop();
+  if (pool_) {
+    pool_->Shutdown();
+    pool_.reset();
+  }
+}
+
+std::vector<int> RpcServer::ThreadIds() const {
+  std::vector<int> tids = LoopGroupServer::ThreadIds();
+  if (pool_) {
+    const std::vector<int> workers = pool_->ThreadIds();
+    tids.insert(tids.end(), workers.begin(), workers.end());
+  }
+  return tids;
+}
+
+ServerCounters RpcServer::Snapshot() const {
+  ServerCounters c = LoopGroupServer::Snapshot();
+  c.rpc_requests = rpc_requests_.load(std::memory_order_relaxed);
+  c.rpc_inflight_peak = inflight_peak_.load(std::memory_order_relaxed);
+  c.rpc_out_of_order_responses = out_of_order_.load(std::memory_order_relaxed);
+  return c;
+}
+
+RpcServer::ConnState& RpcServer::StateOf(LoopConn& lc) {
+  return *static_cast<ConnState*>(lc.proto_state.get());
+}
+
+bool RpcServer::HasPendingWork(const LoopConn& lc) const {
+  const auto* st = static_cast<const ConnState*>(lc.proto_state.get());
+  return st != nullptr && st->inflight > 0;
+}
+
+RpcRoute RpcServer::RouteFor(uint16_t method_id) const {
+  const auto it = routes_.find(method_id);
+  return it == routes_.end() ? default_route_ : it->second;
+}
+
+void RpcServer::OnConnectionEstablished(LoopConn& lc) {
+  auto state = std::make_shared<ConnState>();
+  // Reuse the HTTP body cap as the frame payload cap: one knob bounds
+  // what a peer can make the server buffer, whatever the protocol.
+  state->parser.SetLimits(config_.max_request_body_bytes);
+  lc.proto_state = std::move(state);
+}
+
+void RpcServer::OnBytes(LoopConn& lc) {
+  ConnState& st = StateOf(lc);
+  while (true) {
+    ParseStatus ps;
+    {
+      ScopedPhase phase(phase_profiler_, Phase::kParse);
+      ps = st.parser.Parse(lc.conn.in);
+    }
+    if (ps == ParseStatus::kNeedMore) break;
+    if (ps == ParseStatus::kError) {
+      if (st.parser.error() == RpcParseError::kPayloadTooLarge) {
+        // The full header parsed, so the id is known: tell the caller why
+        // before closing. Framing cannot resync past an unread payload,
+        // so the connection must die.
+        lifecycle_.oversize_requests.fetch_add(1, std::memory_order_relaxed);
+        const RpcFrameHeader& h = st.parser.frame().header;
+        lc.conn.close_after_write = true;
+        EnqueueAndFlush(lc, SerializeRpcResponsePayload(
+                                h.request_id, h.method_id,
+                                RpcStatus::kBadRequest, nullptr, {},
+                                kRpcFlagClose));
+        if (!lc.conn.closed && lc.conn.out.Empty() && !HasPendingWork(lc)) {
+          CloseConn(lc);
+        }
+      } else {
+        // Bad magic: not our protocol (stray HTTP, garbage). Nothing to
+        // answer — just drop the connection.
+        CloseConn(lc);
+      }
+      break;
+    }
+    RpcFrame frame = std::move(st.parser.frame());
+    // More frames (probably) behind this one: let synchronous completions
+    // coalesce and flush once at the end of the pass.
+    st.batching = lc.conn.in.ReadableBytes() >= kRpcHeaderSize;
+    DispatchFrame(lc, std::move(frame));
+    if (lc.conn.closed) break;
+  }
+  st.batching = false;
+  if (!lc.conn.closed && st.flush_pending) {
+    st.flush_pending = false;
+    FlushEnqueued(lc);
+    if (!lc.conn.closed && lc.conn.close_after_write && lc.conn.out.Empty() &&
+        !HasPendingWork(lc)) {
+      CloseConn(lc);
+    }
+  }
+}
+
+void RpcServer::DispatchFrame(LoopConn& lc, RpcFrame frame) {
+  ConnState& st = StateOf(lc);
+  const uint64_t id = frame.header.request_id;
+  const uint16_t method_id = frame.header.method_id;
+  const uint8_t flags = frame.header.flags;
+
+  rpc_requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  st.arrival_order.push_back(id);
+  if (++st.inflight > st.peak) {
+    st.peak = st.inflight;
+    uint64_t cur = inflight_peak_.load(std::memory_order_relaxed);
+    while (st.peak > cur &&
+           !inflight_peak_.compare_exchange_weak(cur, st.peak,
+                                                 std::memory_order_relaxed)) {
+    }
+  }
+  if (flags & kRpcFlagClose) lc.conn.close_after_write = true;
+
+  const ServiceRegistry::Method* method = services_.Find(method_id);
+  const int64_t start_ns = NowNanos();
+
+  if (method == nullptr) {
+    // Unknown method: answer kBadMethod; the connection (and every other
+    // in-flight request on it) survives.
+    CompleteRequest(lc, id, method_id, flags, services_.Name(method_id),
+                    RpcRoute::kReactor, /*auto_routed=*/false, start_ns,
+                    /*exec_ns=*/-1,
+                    ServiceResponse{RpcStatus::kBadMethod, nullptr, {}});
+    return;
+  }
+
+  RpcRoute route = RouteFor(method_id);
+  bool auto_routed = false;
+  if (route == RpcRoute::kAuto) {
+    auto_routed = true;
+    route = classifier_.Lookup(method->name) == PathCategory::kLight
+                ? RpcRoute::kInline
+                : RpcRoute::kWorker;
+  }
+
+  ServiceRequest req;
+  req.request_id = id;
+  req.method_id = method_id;
+  req.flags = flags;
+  req.payload = std::move(frame.payload);
+
+  // The completion sink: safe from any thread. RunInLoop runs it inline
+  // when the handler finishes synchronously on the loop thread (the
+  // zero-overhead inline path) and marshals it otherwise. The weak_ptr
+  // lets a connection die (peer reset mid-request) without the late
+  // Finish touching freed state.
+  std::weak_ptr<LoopConn> weak = ConnHandle(lc);
+  const std::string& name = method->name;
+  // exec_start is stamped just before the handler runs (worker path only):
+  // the sink turns it into a queue-wait-free CPU measurement, so the kAuto
+  // CPU axis judges the handler, not the pool's backlog.
+  auto exec_start = std::make_shared<std::atomic<int64_t>>(0);
+  auto sink = [this, weak, id, method_id, flags, name, route, auto_routed,
+               start_ns, exec_start](ServiceResponse resp) {
+    const int64_t t0 = exec_start->load(std::memory_order_relaxed);
+    const int64_t exec_ns = t0 > 0 ? NowNanos() - t0 : -1;
+    auto conn = weak.lock();
+    if (!conn) return;
+    LoopOf(*conn).RunInLoop(
+        [this, conn, id, method_id, flags, name, route, auto_routed, start_ns,
+         exec_ns, resp = std::move(resp)]() mutable {
+          CompleteRequest(*conn, id, method_id, flags, name, route,
+                          auto_routed, start_ns, exec_ns, std::move(resp));
+        });
+  };
+
+  if (route == RpcRoute::kWorker) {
+    heavy_responses_.fetch_add(1, std::memory_order_relaxed);
+    // shared_ptr because WorkerPool::Task is a std::function (copyable),
+    // while the writer is deliberately move-only.
+    auto writer = std::make_shared<ResponseWriter>(
+        ResponseWriter::Sink(std::move(sink)));
+    pool_->Submit([handler = method->handler, req = std::move(req),
+                   writer = std::move(writer),
+                   exec_start = std::move(exec_start)]() mutable {
+      exec_start->store(NowNanos(), std::memory_order_relaxed);
+      handler(std::move(req), std::move(*writer));
+    });
+    return;
+  }
+
+  // kInline / kReactor: handler runs here, on the loop thread. A handler
+  // that retains the writer may still finish later from anywhere.
+  ScopedPhase phase(phase_profiler_, Phase::kHandler);
+  method->handler(std::move(req), ResponseWriter(std::move(sink)));
+}
+
+void RpcServer::CompleteRequest(LoopConn& lc, uint64_t request_id,
+                                uint16_t method_id, uint8_t request_flags,
+                                const std::string& method_name, RpcRoute route,
+                                bool auto_routed, int64_t start_ns,
+                                int64_t exec_ns, ServiceResponse response) {
+  if (lc.conn.closed) return;
+  ConnState& st = StateOf(lc);
+
+  // Out-of-order accounting: completing anything but the oldest in-flight
+  // request means this response overtakes an earlier one.
+  if (!st.arrival_order.empty() && st.arrival_order.front() == request_id) {
+    st.arrival_order.pop_front();
+  } else {
+    const auto it = std::find(st.arrival_order.begin(),
+                              st.arrival_order.end(), request_id);
+    if (it != st.arrival_order.end()) {
+      st.arrival_order.erase(it);
+      out_of_order_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (st.inflight > 0) --st.inflight;
+
+  const uint8_t resp_flags =
+      (request_flags & kRpcFlagClose) ? kRpcFlagClose : uint8_t{0};
+  Payload payload;
+  {
+    ScopedPhase phase(phase_profiler_, Phase::kSerialize);
+    payload = SerializeRpcResponsePayload(
+        request_id, method_id, response.status, std::move(response.shared_body),
+        std::move(response.body), resp_flags);
+  }
+
+  // The kAuto CPU signal. The worker path measures the handler's own
+  // running time (exec_ns, stamped around the handler on the pool) so the
+  // pool's queue wait cannot masquerade as handler CPU; inline paths fall
+  // back to dispatch-to-completion wall time, which for a synchronous
+  // handler is the handler's running time (the sink fires inside the
+  // handler call).
+  const double cpu_us = exec_ns >= 0
+                            ? static_cast<double>(exec_ns) / 1000.0
+                            : static_cast<double>(NowNanos() - start_ns) /
+                                  1000.0;
+  const bool cpu_heavy = heavy_cpu_us_ > 0 && cpu_us > heavy_cpu_us_;
+  // Small responses (within the direct-write budget) are write-axis light
+  // by construction; only they may demote a heavy method under load,
+  // since a congested buffer says nothing about the method itself.
+  const size_t write_budget =
+      static_cast<size_t>(std::max(1, config_.hybrid_heavy_write_threshold)) *
+      static_cast<size_t>(std::max(config_.snd_buf_bytes, 16 * 1024));
+  const size_t response_size = payload.size();
+
+  // Ordering constraint: bytes already queued must stay ahead of this
+  // response, so every path degrades to the buffer when out is non-empty.
+  const bool must_queue = !lc.conn.out.Empty();
+
+  const bool explicit_inline = route == RpcRoute::kInline && !auto_routed;
+  bool wrote_inline = false;
+  bool deferred = false;
+  int writes_used = 0;
+  if (route == RpcRoute::kInline && auto_routed && !must_queue &&
+      !st.batching) {
+    // Auto-light, alone in its parse pass: capped direct write with the
+    // buffered escape hatch — the hybrid light path, which is how
+    // write-spinning is *observed*.
+    wrote_inline = TryDirectWrite(lc, std::move(payload), &writes_used);
+    if (lc.conn.closed) return;
+  } else if (!must_queue && explicit_inline) {
+    // Explicit inline: the naive spin loop of SingleT-Async, faithful to
+    // the baseline it models — a slow receiver glues the loop here.
+    const SpinWriteResult r = SpinWriteAll(
+        lc.conn.fd.get(), payload, write_stats_, config_.yield_on_full_write,
+        std::chrono::milliseconds(config_.write_stall_timeout_ms),
+        &writes_used);
+    if (r != SpinWriteResult::kOk) {
+      CloseConn(lc);
+      return;
+    }
+    writes_per_response_->Record(writes_used);
+    wrote_inline = true;
+  } else if ((st.batching || st.flush_pending) && !explicit_inline) {
+    // Mid-pass completion with more frames behind it: coalesce into the
+    // output buffer; the pass epilogue flushes the whole burst with one
+    // writev. (Explicit kInline never coalesces — immediate writes are
+    // that baseline's identity.)
+    deferred = true;
+    st.flush_pending = true;
+    Enqueue(lc, std::move(payload));
+  } else if (must_queue && !explicit_inline) {
+    // Bytes already queued means a drain is armed — EPOLLOUT, a
+    // rescheduled flush task, or this pass's epilogue. Appending without
+    // a flush attempt skips a writev that would only hit EAGAIN.
+    deferred = true;
+    Enqueue(lc, std::move(payload));
+  } else {
+    EnqueueAndFlush(lc, std::move(payload));
+    if (lc.conn.closed) return;
+  }
+
+  if (auto_routed) {
+    // Both-axes classification: light only when the response drained
+    // within the write budget AND the handler stayed under the CPU
+    // threshold. kInline attempts tell us the write axis directly; a
+    // worker-path response that left nothing buffered behaved light.
+    if (route == RpcRoute::kInline) {
+      light_responses_.fetch_add(1, std::memory_order_relaxed);
+      // A direct write that spun past the cap observed the method as
+      // write-heavy; one that bailed on EAGAIN before the cap only
+      // observed a congested socket — no verdict on the method itself.
+      // Coalesced responses observe nothing on the write axis either.
+      const bool capped =
+          !wrote_inline &&
+          writes_used >= std::max(1, config_.hybrid_heavy_write_threshold);
+      if (deferred || (!wrote_inline && !capped)) {
+        if (cpu_heavy &&
+            classifier_.Update(method_name, PathCategory::kHeavy)) {
+          reclassifications_.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        const bool heavy = capped || cpu_heavy;
+        if (classifier_.Update(method_name, heavy ? PathCategory::kHeavy
+                                                  : PathCategory::kLight)) {
+          reclassifications_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    } else if (!cpu_heavy &&
+               (response_size <= write_budget ||
+                (!must_queue && lc.conn.out.Empty()))) {
+      // Heavy → light demotion (runtime drift): the handler ran fast and
+      // the response is either small enough to fit the direct-write
+      // budget, or observably drained alone within the flush's spin cap.
+      // The size clause lets a spuriously promoted light method (a
+      // preemption blip read as handler CPU) self-heal even while the
+      // connection's buffer is busy — without it, one bad sample sticks
+      // for as long as the load does.
+      if (classifier_.Update(method_name, PathCategory::kLight)) {
+        reclassifications_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  } else if (route == RpcRoute::kInline) {
+    light_responses_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  request_latency_ns_->Record(NowNanos() - start_ns);
+
+  if (lc.conn.close_after_write && lc.conn.out.Empty() &&
+      !HasPendingWork(lc)) {
+    CloseConn(lc);
+  }
+}
+
+bool RpcServer::TryDirectWrite(LoopConn& lc, Payload payload,
+                               int* writes_used) {
+  ScopedPhase phase(phase_profiler_, Phase::kWrite);
+  const int fd = lc.conn.fd.get();
+  const size_t total = payload.size();
+  size_t off = 0;
+  int writes = 0;
+  const int max_writes = std::max(1, config_.hybrid_heavy_write_threshold);
+
+  while (off < total && writes < max_writes) {
+    struct iovec iov[Payload::kMaxSegments];
+    const size_t niov = payload.FillIov(off, iov, Payload::kMaxSegments);
+    const IoResult r = WritevFd(fd, iov, static_cast<int>(niov));
+    write_stats_.write_calls.fetch_add(1, std::memory_order_relaxed);
+    write_stats_.writev_calls.fetch_add(1, std::memory_order_relaxed);
+    write_stats_.iov_segments.fetch_add(niov, std::memory_order_relaxed);
+    writes++;
+    if (r.WouldBlock() || r.n == 0) {
+      write_stats_.zero_writes.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (r.Fatal()) {
+      *writes_used = writes;
+      CloseConn(lc);
+      return false;
+    }
+    off += static_cast<size_t>(r.n);
+  }
+  *writes_used = writes;
+
+  if (off == total) {
+    write_stats_.responses.fetch_add(1, std::memory_order_relaxed);
+    writes_per_response_->Record(writes);
+    return true;
+  }
+
+  // Budget exhausted mid-response: the remainder rides the buffered path
+  // from its current offset (no bytes copied).
+  EnqueueAndFlush(lc, std::move(payload), off);
+  return false;
+}
+
+std::unique_ptr<Server> CreateServer(const ServerConfig& config,
+                                     ServiceRegistry services) {
+  ServerConfig cfg = config;
+  if (cfg.protocol.empty()) cfg.protocol = "rpc";
+  const std::vector<std::string> errors = cfg.Validate();
+  if (!errors.empty()) {
+    std::string joined = "invalid ServerConfig:";
+    for (const std::string& e : errors) joined += "\n  - " + e;
+    throw std::invalid_argument(joined);
+  }
+  if (cfg.protocol != "rpc") {
+    throw std::invalid_argument(
+        "CreateServer(config, ServiceRegistry) serves protocol \"rpc\"; got "
+        "protocol \"" + cfg.protocol + "\"");
+  }
+  if (services.Empty()) {
+    throw std::invalid_argument("ServiceRegistry has no methods");
+  }
+  return std::make_unique<RpcServer>(std::move(cfg), std::move(services));
+}
+
+}  // namespace hynet

@@ -1,0 +1,94 @@
+// RpcServer: the multiplexed binary-RPC plane on the LoopGroup chassis,
+// with per-method execution routing.
+//
+// This generalizes HybridNetty's light/heavy request classes from "URL
+// observed to write-spin" to *per-method routes* over three execution
+// paths:
+//
+//   kInline  — handler on the connection's loop thread, response written
+//              with the naive spin loop (SingleT-Async semantics). Fastest
+//              for tiny responses; a large response glues the loop.
+//   kReactor — handler on the loop thread, response through the buffered
+//              spin-capped flush (NettyServer semantics). Per-message
+//              bookkeeping, never glues the loop on writes.
+//   kWorker  — handler on a worker pool, response marshaled back to the
+//              loop thread and flushed buffered. Two logical switches per
+//              request; the only path where handler CPU does not stall
+//              the loop's other connections.
+//   kAuto    — runtime classification per method, both axes of "heavy":
+//              responses that write-spin past hybrid_heavy_write_threshold
+//              (the paper's signal) OR handlers whose completion takes
+//              longer than rpc_heavy_cpu_us. Light methods run kInline-
+//              style with a capped direct write; heavy methods run
+//              kWorker-style. Drift reclassifies in both directions.
+//
+// Requests are multiplexed: any number may be in flight per connection
+// and responses go out in *completion* order. A connection's in-flight
+// requests (executing on the worker pool) keep it alive through
+// half-close and drain (see LoopGroupServer::HasPendingWork).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "app/service.h"
+#include "core/classifier.h"
+#include "runtime/worker_pool.h"
+#include "servers/multi_loop.h"
+
+namespace hynet {
+
+class RpcServer final : public LoopGroupServer {
+ public:
+  // config.protocol must be "rpc" (CreateServer fills it in); the
+  // architecture decides the default route for unlisted methods: kHybrid →
+  // kAuto, kMultiLoop → kReactor.
+  RpcServer(ServerConfig config, ServiceRegistry services);
+  ~RpcServer() override;
+
+  void Start() override;
+  void Stop() override;
+  std::vector<int> ThreadIds() const override;
+  ServerCounters Snapshot() const override;
+
+  // The per-method classification map (kAuto routes), for tests and the
+  // bench report.
+  const RequestClassifier& classifier() const { return classifier_; }
+
+ protected:
+  void OnConnectionEstablished(LoopConn& lc) override;
+  void OnBytes(LoopConn& lc) override;
+  bool HasPendingWork(const LoopConn& lc) const override;
+
+ private:
+  struct ConnState;
+
+  static ConnState& StateOf(LoopConn& lc);
+  RpcRoute RouteFor(uint16_t method_id) const;
+  void DispatchFrame(LoopConn& lc, RpcFrame frame);
+  // Completion path; always runs on the connection's loop thread.
+  // exec_ns is the handler's own running time when known (worker path),
+  // -1 otherwise.
+  void CompleteRequest(LoopConn& lc, uint64_t request_id, uint16_t method_id,
+                       uint8_t request_flags, const std::string& method_name,
+                       RpcRoute route, bool auto_routed, int64_t start_ns,
+                       int64_t exec_ns, ServiceResponse response);
+  // Capped direct write (the hybrid light path): true on kLight-style
+  // completion, false when the remainder was handed to the buffer or the
+  // connection died. writes_used reports the write() calls spent.
+  bool TryDirectWrite(LoopConn& lc, Payload payload, int* writes_used);
+
+  ServiceRegistry services_;
+  RequestClassifier classifier_;
+  std::unordered_map<uint16_t, RpcRoute> routes_;
+  RpcRoute default_route_;
+  double heavy_cpu_us_;
+  std::unique_ptr<WorkerPool> pool_;
+
+  std::atomic<uint64_t> rpc_requests_{0};
+  std::atomic<uint64_t> inflight_peak_{0};
+  std::atomic<uint64_t> out_of_order_{0};
+};
+
+}  // namespace hynet

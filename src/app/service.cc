@@ -1,0 +1,78 @@
+#include "app/service.h"
+
+namespace hynet {
+
+ResponseWriter::ResponseWriter(Sink sink)
+    : state_(std::make_unique<State>()) {
+  state_->sink = std::move(sink);
+}
+
+ResponseWriter::~ResponseWriter() {
+  // A handler that dropped its writer still owes the peer a response:
+  // auto-complete with kError so the request id is never left in flight.
+  if (state_ && !state_->finished && state_->sink) {
+    ServiceResponse resp;
+    resp.status = RpcStatus::kError;
+    state_->sink(std::move(resp));
+  }
+}
+
+void ResponseWriter::Finish(ServiceResponse response) {
+  if (!state_ || state_->finished) return;
+  state_->finished = true;
+  if (state_->sink) state_->sink(std::move(response));
+}
+
+void ResponseWriter::Finish(RpcStatus status, std::string body) {
+  ServiceResponse resp;
+  resp.status = status;
+  resp.body = std::move(body);
+  Finish(std::move(resp));
+}
+
+void ResponseWriter::Finish(RpcStatus status,
+                            std::shared_ptr<const std::string> shared) {
+  ServiceResponse resp;
+  resp.status = status;
+  resp.shared_body = std::move(shared);
+  Finish(std::move(resp));
+}
+
+ServiceHandler SyncService(
+    std::function<void(const ServiceRequest&, ServiceResponse&)> fn) {
+  return [fn = std::move(fn)](ServiceRequest req, ResponseWriter writer) {
+    ServiceResponse resp;
+    fn(req, resp);
+    writer.Finish(std::move(resp));
+  };
+}
+
+void ServiceRegistry::Register(uint16_t method_id, std::string name,
+                               ServiceHandler handler) {
+  // Copy-on-write: registries are copied into servers by value; mutating
+  // a registry after handing it off must not change the server's table.
+  if (!methods_) {
+    methods_ = std::make_shared<Map>();
+  } else if (methods_.use_count() > 1) {
+    methods_ = std::make_shared<Map>(*methods_);
+  }
+  auto m = std::make_shared<Method>();
+  m->method_id = method_id;
+  m->name = std::move(name);
+  m->handler = std::move(handler);
+  (*methods_)[method_id] = std::move(m);
+}
+
+const ServiceRegistry::Method* ServiceRegistry::Find(uint16_t method_id) const {
+  if (!methods_) return nullptr;
+  auto it = methods_->find(method_id);
+  return it == methods_->end() ? nullptr : it->second.get();
+}
+
+const std::string& ServiceRegistry::Name(uint16_t method_id) const {
+  static const std::string kUnknown = "m:?";
+  const Method* m = Find(method_id);
+  return m ? m->name : kUnknown;
+}
+
+}  // namespace hynet

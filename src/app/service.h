@@ -1,0 +1,123 @@
+// Protocol-agnostic service layer: the completion-based handler API.
+//
+// The HTTP plane's `Handler = void(const HttpRequest&, HttpResponse&)` is
+// synchronous by construction: the response must be complete when the
+// handler returns, so a handler can never hand work to another thread and
+// finish later — exactly the async dispatch the paper studies. This layer
+// redesigns the contract around completion:
+//
+//   ServiceHandler = void(ServiceRequest, ResponseWriter)
+//
+// The handler may call ResponseWriter::Finish() before returning (the
+// synchronous case, zero overhead on the inline path) or retain the writer
+// and Finish() later *from any thread* — the server marshals the response
+// back to the connection's event loop and writes it in completion order,
+// out of order with respect to arrival. A writer destroyed without
+// Finish() auto-completes with RpcStatus::kError so a buggy handler can
+// never leak an in-flight request.
+//
+// Synchronous request→response functions (the old Handler style) keep
+// working through the SyncService adapter.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "proto/rpc_codec.h"
+
+namespace hynet {
+
+// One decoded invocation, protocol-independent: the RPC plane fills it
+// from a frame; an adapter could fill it from any other framing.
+struct ServiceRequest {
+  uint64_t request_id = 0;
+  uint16_t method_id = 0;
+  uint8_t flags = 0;
+  std::string payload;  // moved in from the wire; owned by the handler
+};
+
+// The completed response. `shared_body` rides the Payload zero-copy path:
+// a KV value served to a thousand connections is one allocation referenced
+// a thousand times, never copied per response. `body` carries per-response
+// dynamic bytes (moved, not copied).
+struct ServiceResponse {
+  RpcStatus status = RpcStatus::kOk;
+  std::shared_ptr<const std::string> shared_body;
+  std::string body;
+};
+
+// Move-only completion handle. Finish() may be called at most once, from
+// any thread, at any time after the handler was invoked; the sink installed
+// by the server is thread-safe (it posts to the connection's event loop
+// when called off-loop). Destroying an unfinished writer completes the
+// request with RpcStatus::kError.
+class ResponseWriter {
+ public:
+  using Sink = std::function<void(ServiceResponse)>;
+
+  ResponseWriter() = default;
+  explicit ResponseWriter(Sink sink);
+  ResponseWriter(ResponseWriter&&) noexcept = default;
+  ResponseWriter& operator=(ResponseWriter&&) noexcept = default;
+  ResponseWriter(const ResponseWriter&) = delete;
+  ResponseWriter& operator=(const ResponseWriter&) = delete;
+  ~ResponseWriter();
+
+  // Completes the request. Exactly-once: a second call is ignored (and
+  // logged in debug builds would be overkill; it is simply dropped).
+  void Finish(ServiceResponse response);
+
+  // Convenience overloads for the common shapes.
+  void Finish(RpcStatus status, std::string body = {});
+  void Finish(RpcStatus status, std::shared_ptr<const std::string> shared);
+
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  struct State {
+    Sink sink;
+    bool finished = false;
+  };
+  std::unique_ptr<State> state_;
+};
+
+// The redesigned application API.
+using ServiceHandler = std::function<void(ServiceRequest, ResponseWriter)>;
+
+// Adapter keeping the old synchronous style working: wraps a plain
+// request→response function as a ServiceHandler that finishes inline.
+ServiceHandler SyncService(
+    std::function<void(const ServiceRequest&, ServiceResponse&)> fn);
+
+// Method table an application registers with the RPC server. Copyable
+// (entries are shared) so configs and factories can pass it by value.
+class ServiceRegistry {
+ public:
+  struct Method {
+    uint16_t method_id = 0;
+    std::string name;  // classifier key and display name
+    ServiceHandler handler;
+  };
+
+  // Registers (or replaces) a method.
+  void Register(uint16_t method_id, std::string name, ServiceHandler handler);
+
+  // nullptr when the method is unknown (the server answers kBadMethod and
+  // the connection survives).
+  const Method* Find(uint16_t method_id) const;
+
+  // Method name for classifier keys; "m:<id>" for unregistered ids.
+  const std::string& Name(uint16_t method_id) const;
+
+  size_t Size() const { return methods_ ? methods_->size() : 0; }
+  bool Empty() const { return Size() == 0; }
+
+ private:
+  using Map = std::unordered_map<uint16_t, std::shared_ptr<const Method>>;
+  std::shared_ptr<Map> methods_;
+};
+
+}  // namespace hynet

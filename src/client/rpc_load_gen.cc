@@ -1,0 +1,220 @@
+#include "client/rpc_load_gen.h"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "net/socket.h"
+#include "proto/rpc_codec.h"
+
+namespace hynet {
+
+namespace {
+
+struct PendingRequest {
+  int64_t send_ns = 0;
+  uint16_t method_id = 0;
+  bool in_window = false;
+};
+
+// Per-connection worker: blocking socket, `depth` requests kept in flight.
+class RpcConnWorker {
+ public:
+  RpcConnWorker(const RpcLoadConfig& config, uint64_t index)
+      : config_(config),
+        rng_(config.seed * 0x9E3779B97F4A7C15ull + index + 1),
+        zipf_(std::max<uint64_t>(1, config.key_space),
+              std::max(0.0, config.zipf_theta)) {
+    double total = 0;
+    for (const RpcMethodMix& m : config_.mix) total += m.weight;
+    weight_total_ = total > 0 ? total : 1.0;
+    write_value_.assign(config_.write_value_bytes, 'w');
+  }
+
+  RpcLoadResult Run() {
+    RpcLoadResult result;
+    Socket sock = Socket::CreateTcp(/*nonblocking=*/false);
+    sock.SetNoDelay(true);
+    if (config_.rcv_buf_bytes > 0) {
+      sock.SetRecvBufferSize(config_.rcv_buf_bytes);
+    }
+    sock.Connect(config_.server);
+    const int fd = sock.fd();
+
+    const int64_t start_ns = NowNanos();
+    const int64_t measure_start_ns =
+        start_ns + static_cast<int64_t>(config_.warmup_sec * 1e9);
+    const int64_t measure_end_ns =
+        measure_start_ns + static_cast<int64_t>(config_.measure_sec * 1e9);
+
+    const int depth = std::max(1, config_.pipeline_depth);
+    ByteBuffer in;
+    RpcFrameParser parser;
+    char buf[64 * 1024];
+
+    // Prime the pipeline, then: one completion in, one request out.
+    for (int i = 0; i < depth; ++i) {
+      if (!SendOne(fd, measure_start_ns, measure_end_ns, result)) {
+        return result;
+      }
+    }
+    bool stop_issuing = false;
+    while (!pending_.empty()) {
+      const ParseStatus ps = parser.Parse(in);
+      if (ps == ParseStatus::kError) {
+        result.errors++;
+        break;
+      }
+      if (ps == ParseStatus::kNeedMore) {
+        const IoResult r = ReadFd(fd, buf, sizeof(buf));
+        if (r.Fatal() || r.Eof()) {
+          result.errors += pending_.size();
+          break;
+        }
+        in.Append(buf, static_cast<size_t>(r.n));
+        continue;
+      }
+
+      const RpcFrame& frame = parser.frame();
+      const int64_t now_ns = NowNanos();
+      OnResponse(frame, now_ns, result);
+      if (now_ns >= measure_end_ns) stop_issuing = true;
+      if (!stop_issuing) {
+        if (!SendOne(fd, measure_start_ns, measure_end_ns, result)) break;
+      }
+    }
+    result.elapsed_sec =
+        static_cast<double>(measure_end_ns - measure_start_ns) / 1e9;
+    return result;
+  }
+
+ private:
+  uint16_t PickMethod() {
+    double x = rng_.NextDouble() * weight_total_;
+    for (const RpcMethodMix& m : config_.mix) {
+      x -= m.weight;
+      if (x <= 0) return m.method_id;
+    }
+    return config_.mix.empty() ? kKvMethodLookup
+                               : config_.mix.back().method_id;
+  }
+
+  bool SendOne(int fd, int64_t measure_start_ns, int64_t measure_end_ns,
+               RpcLoadResult& result) {
+    const uint16_t method_id = PickMethod();
+    const std::string key =
+        KvStore::PreloadKey(zipf_.Next(rng_), config_.key_prefix);
+    std::string payload;
+    if (method_id == kKvMethodWrite) {
+      payload = EncodeKvWritePayload(key, write_value_);
+    } else {
+      payload = key;
+    }
+    const uint64_t id = next_id_++;
+    const std::string wire = EncodeRpcRequest(id, method_id, payload);
+
+    const int64_t now_ns = NowNanos();
+    PendingRequest req;
+    req.send_ns = now_ns;
+    req.method_id = method_id;
+    req.in_window = now_ns >= measure_start_ns && now_ns < measure_end_ns;
+    pending_.emplace(id, req);
+    send_order_.push_back(id);
+
+    size_t off = 0;
+    while (off < wire.size()) {
+      const IoResult r = WriteFd(fd, wire.data() + off, wire.size() - off);
+      if (r.Fatal()) {
+        result.errors++;
+        return false;
+      }
+      if (r.n > 0) off += static_cast<size_t>(r.n);
+    }
+    return true;
+  }
+
+  void OnResponse(const RpcFrame& frame, int64_t now_ns,
+                  RpcLoadResult& result) {
+    const uint64_t id = frame.header.request_id;
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      result.errors++;
+      return;
+    }
+    // Client-side reordering check against send order.
+    if (!send_order_.empty() && send_order_.front() == id) {
+      send_order_.pop_front();
+    } else {
+      const auto pos =
+          std::find(send_order_.begin(), send_order_.end(), id);
+      if (pos != send_order_.end()) {
+        send_order_.erase(pos);
+        if (it->second.in_window) result.out_of_order++;
+      }
+    }
+
+    const RpcStatus status = static_cast<RpcStatus>(frame.header.status);
+    if (it->second.in_window) {
+      if (status == RpcStatus::kOk || status == RpcStatus::kNotFound) {
+        RpcMethodResult& per = result.per_method[it->second.method_id];
+        const int64_t latency = now_ns - it->second.send_ns;
+        result.completed++;
+        result.latency.Record(latency);
+        per.completed++;
+        per.latency.Record(latency);
+        if (status == RpcStatus::kNotFound) per.not_found++;
+      } else {
+        result.errors++;
+      }
+    }
+    pending_.erase(it);
+  }
+
+  const RpcLoadConfig& config_;
+  Rng rng_;
+  ZipfGenerator zipf_;
+  double weight_total_ = 1.0;
+  std::string write_value_;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, PendingRequest> pending_;
+  std::deque<uint64_t> send_order_;
+};
+
+}  // namespace
+
+RpcLoadResult RunRpcLoad(const RpcLoadConfig& config) {
+  const int conns = std::max(1, config.connections);
+  std::vector<RpcLoadResult> partials(static_cast<size_t>(conns));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(conns));
+  for (int i = 0; i < conns; ++i) {
+    threads.emplace_back([&config, &partials, i] {
+      RpcConnWorker worker(config, static_cast<uint64_t>(i));
+      partials[static_cast<size_t>(i)] = worker.Run();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  RpcLoadResult merged;
+  for (const RpcLoadResult& p : partials) {
+    merged.completed += p.completed;
+    merged.errors += p.errors;
+    merged.out_of_order += p.out_of_order;
+    merged.latency.Merge(p.latency);
+    merged.elapsed_sec = std::max(merged.elapsed_sec, p.elapsed_sec);
+    for (const auto& [method_id, per] : p.per_method) {
+      RpcMethodResult& into = merged.per_method[method_id];
+      into.completed += per.completed;
+      into.not_found += per.not_found;
+      into.latency.Merge(per.latency);
+    }
+  }
+  return merged;
+}
+
+}  // namespace hynet

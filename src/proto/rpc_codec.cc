@@ -1,0 +1,145 @@
+#include "proto/rpc_codec.h"
+
+#include <cstring>
+
+namespace hynet {
+
+namespace {
+
+void PutU16(char* p, uint16_t v) {
+  p[0] = static_cast<char>(v & 0xff);
+  p[1] = static_cast<char>((v >> 8) & 0xff);
+}
+
+void PutU32(char* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void PutU64(char* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+uint16_t GetU16(const char* p) {
+  return static_cast<uint16_t>(static_cast<uint8_t>(p[0]) |
+                               (static_cast<uint8_t>(p[1]) << 8));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+}  // namespace
+
+const char* RpcStatusName(RpcStatus s) {
+  switch (s) {
+    case RpcStatus::kOk:         return "ok";
+    case RpcStatus::kNotFound:   return "not-found";
+    case RpcStatus::kBadMethod:  return "bad-method";
+    case RpcStatus::kBadRequest: return "bad-request";
+    case RpcStatus::kError:      return "error";
+    case RpcStatus::kShed:       return "shed";
+  }
+  return "unknown";
+}
+
+ParseStatus RpcFrameParser::Parse(ByteBuffer& in) {
+  if (state_ == State::kHeader) {
+    header_bytes_ = in.ReadableBytes();
+    if (in.ReadableBytes() < kRpcHeaderSize) {
+      // Cheap early rejection: a wrong magic is detectable from the first
+      // two bytes, before the rest of the header arrives.
+      if (in.ReadableBytes() >= 2 && GetU16(in.ReadPtr()) != kRpcMagic) {
+        error_ = RpcParseError::kBadMagic;
+        return ParseStatus::kError;
+      }
+      return ParseStatus::kNeedMore;
+    }
+    const char* p = in.ReadPtr();
+    if (GetU16(p) != kRpcMagic) {
+      error_ = RpcParseError::kBadMagic;
+      return ParseStatus::kError;
+    }
+    frame_.header.method_id = GetU16(p + 2);
+    frame_.header.payload_len = GetU32(p + 4);
+    frame_.header.request_id = GetU64(p + 8);
+    frame_.header.flags = static_cast<uint8_t>(p[16]);
+    frame_.header.status = static_cast<uint8_t>(p[17]);
+    if (max_payload_bytes_ > 0 && frame_.header.payload_len > max_payload_bytes_) {
+      error_ = RpcParseError::kPayloadTooLarge;
+      return ParseStatus::kError;
+    }
+    in.Consume(kRpcHeaderSize);
+    header_bytes_ = 0;
+    frame_.payload.clear();
+    payload_remaining_ = frame_.header.payload_len;
+    state_ = State::kPayload;
+  }
+
+  // Payload: accumulate whatever is readable, up to the declared length.
+  const size_t take = std::min(payload_remaining_, in.ReadableBytes());
+  if (take > 0) {
+    frame_.payload.append(in.ReadPtr(), take);
+    in.Consume(take);
+    payload_remaining_ -= take;
+  }
+  if (payload_remaining_ > 0) return ParseStatus::kNeedMore;
+  state_ = State::kHeader;
+  return ParseStatus::kComplete;
+}
+
+void RpcFrameParser::Reset() {
+  state_ = State::kHeader;
+  header_bytes_ = 0;
+  payload_remaining_ = 0;
+  frame_ = RpcFrame{};
+  error_ = RpcParseError::kNone;
+}
+
+std::string EncodeRpcHeader(const RpcFrameHeader& header) {
+  std::string out(kRpcHeaderSize, '\0');
+  char* p = out.data();
+  PutU16(p, kRpcMagic);
+  PutU16(p + 2, header.method_id);
+  PutU32(p + 4, header.payload_len);
+  PutU64(p + 8, header.request_id);
+  p[16] = static_cast<char>(header.flags);
+  p[17] = static_cast<char>(header.status);
+  PutU16(p + 18, 0);
+  return out;
+}
+
+std::string EncodeRpcRequest(uint64_t request_id, uint16_t method_id,
+                             std::string_view payload, uint8_t flags) {
+  RpcFrameHeader h;
+  h.request_id = request_id;
+  h.method_id = method_id;
+  h.payload_len = static_cast<uint32_t>(payload.size());
+  h.flags = flags;
+  std::string out = EncodeRpcHeader(h);
+  out.append(payload);
+  return out;
+}
+
+Payload SerializeRpcResponsePayload(
+    uint64_t request_id, uint16_t method_id, RpcStatus status,
+    std::shared_ptr<const std::string> shared_body, std::string tail,
+    uint8_t flags) {
+  RpcFrameHeader h;
+  h.request_id = request_id;
+  h.method_id = method_id;
+  h.status = static_cast<uint8_t>(status);
+  h.flags = flags;
+  h.payload_len = static_cast<uint32_t>(
+      (shared_body ? shared_body->size() : 0) + tail.size());
+  return Payload(EncodeRpcHeader(h), std::move(shared_body), std::move(tail));
+}
+
+}  // namespace hynet

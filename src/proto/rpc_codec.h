@@ -1,0 +1,134 @@
+// Binary RPC framing: length-prefixed frames multiplexed on one connection.
+//
+// The HTTP/1.1 subset serializes responses in request order, so a single
+// connection can never express the paper's most interesting workload —
+// pipelined requests whose responses complete out of order because they
+// took different execution paths (inline vs worker pool). This codec is
+// the protocol plane for that workload: every frame carries a request_id,
+// any number of requests may be in flight on one connection, and responses
+// are written in *completion* order, matched back by id on the client.
+//
+// Wire format (all integers little-endian), fixed 20-byte header:
+//
+//   offset  size  field
+//        0     2  magic       0x4852 ("HR") — rejects stray HTTP/garbage
+//        2     2  method_id   service method selector
+//        4     4  payload_len bytes following the header
+//        8     8  request_id  client-chosen; echoed verbatim on the response
+//       16     1  flags       bit 0: close connection after this exchange
+//       17     1  status      0 on requests; RpcStatus on responses
+//       18     2  reserved    must be 0
+//
+// The response payload rides the refcounted Payload zero-copy path: the
+// 20-byte header is the Payload head, a shared KV value is the body
+// segment (one allocation serving any number of connections), per-response
+// dynamic bytes are the tail. Nothing is concatenated before writev.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/payload.h"
+#include "proto/http_parser.h"  // ParseStatus
+
+namespace hynet {
+
+inline constexpr uint16_t kRpcMagic = 0x4852;  // "HR"
+inline constexpr size_t kRpcHeaderSize = 20;
+
+// Response status codes (the `status` header byte).
+enum class RpcStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,    // key absent (Lookup/Read miss)
+  kBadMethod = 2,   // unknown method_id; the connection survives
+  kBadRequest = 3,  // malformed request payload for a known method
+  kError = 4,       // handler failed (or dropped its ResponseWriter)
+  kShed = 5,        // server overloaded / draining
+};
+
+const char* RpcStatusName(RpcStatus s);
+
+// Frame flags.
+inline constexpr uint8_t kRpcFlagClose = 0x1;  // close after this exchange
+
+struct RpcFrameHeader {
+  uint32_t payload_len = 0;
+  uint64_t request_id = 0;
+  uint16_t method_id = 0;
+  uint8_t flags = 0;
+  uint8_t status = 0;
+};
+
+// One decoded frame: header plus the (moved-out) payload bytes.
+struct RpcFrame {
+  RpcFrameHeader header;
+  std::string payload;
+};
+
+// Why an RPC frame parse failed.
+enum class RpcParseError {
+  kNone,
+  kBadMagic,         // not an RPC frame (e.g. HTTP bytes on the RPC port)
+  kPayloadTooLarge,  // declared payload_len above the configured limit
+};
+
+// Incremental frame parser. Consumes bytes from a ByteBuffer and tolerates
+// arbitrary fragmentation (a header split across reads, a payload arriving
+// in many pieces, several frames in one read).
+class RpcFrameParser {
+ public:
+  // Attempts to parse one frame from `in`. On kComplete the frame's bytes
+  // have been consumed and frame() is valid until the next Parse().
+  ParseStatus Parse(ByteBuffer& in);
+
+  // The decoded frame; payload may be moved out by the caller.
+  RpcFrame& frame() { return frame_; }
+  const RpcFrame& frame() const { return frame_; }
+
+  // Maximum accepted payload_len (0 = unlimited). A frame declaring more
+  // parses to kError/kPayloadTooLarge before any payload byte is read, so
+  // an attacker cannot make the server buffer the oversized body.
+  void SetLimits(size_t max_payload_bytes) {
+    max_payload_bytes_ = max_payload_bytes;
+  }
+
+  RpcParseError error() const { return error_; }
+
+  // True while a frame is partially received (mid-header or mid-payload);
+  // feeds the header-timeout sweep exactly like HttpRequestParser.
+  bool InProgress() const {
+    return state_ == State::kPayload || header_bytes_ > 0;
+  }
+
+  void Reset();
+
+ private:
+  enum class State { kHeader, kPayload };
+
+  State state_ = State::kHeader;
+  size_t header_bytes_ = 0;  // header bytes seen so far (< kRpcHeaderSize)
+  RpcFrame frame_;
+  size_t payload_remaining_ = 0;
+  size_t max_payload_bytes_ = 0;
+  RpcParseError error_ = RpcParseError::kNone;
+};
+
+// Serializes a header into its 20 wire bytes.
+std::string EncodeRpcHeader(const RpcFrameHeader& header);
+
+// Client-side request frame: header + payload concatenated.
+std::string EncodeRpcRequest(uint64_t request_id, uint16_t method_id,
+                             std::string_view payload, uint8_t flags = 0);
+
+// Zero-copy response frame: the header is the Payload head, `shared_body`
+// is referenced in place (N responses serving one KV value share that
+// allocation), `tail` is moved. payload_len covers shared_body + tail.
+Payload SerializeRpcResponsePayload(
+    uint64_t request_id, uint16_t method_id, RpcStatus status,
+    std::shared_ptr<const std::string> shared_body, std::string tail = {},
+    uint8_t flags = 0);
+
+}  // namespace hynet

@@ -22,6 +22,11 @@ std::unique_ptr<Server> CreateServer(const ServerConfig& config,
     for (const std::string& e : errors) joined += "\n  - " + e;
     throw std::invalid_argument(joined);
   }
+  if (config.protocol == "rpc") {
+    throw std::invalid_argument(
+        "protocol \"rpc\" needs a ServiceRegistry: use "
+        "CreateServer(config, ServiceRegistry) from app/rpc_server.h");
+  }
   switch (config.architecture) {
     case ServerArchitecture::kThreadPerConn:
       return std::make_unique<ThreadPerConnServer>(config, std::move(handler));

@@ -93,7 +93,7 @@ DrainResult LoopGroupServer::Shutdown(Duration drain_deadline) {
         if (lc->conn.closed) continue;
         const bool idle = lc->conn.in.ReadableBytes() == 0 &&
                           !lc->conn.parser.InProgress() &&
-                          lc->conn.out.Empty();
+                          lc->conn.out.Empty() && !HasPendingWork(*lc);
         if (idle) {
           CloseConn(*lc);
         } else {
@@ -296,8 +296,10 @@ void LoopGroupServer::OnLoopEvent(size_t loop_index, int fd, uint32_t events) {
 
   if (lc.conn.lifecycle.peer_half_closed) {
     // Half-closed peer: nothing more will arrive. Close now if nothing is
-    // owed, otherwise let the flush path finish the pending response.
-    if (lc.conn.out.Empty()) {
+    // owed — neither buffered bytes nor in-flight subclass work (RPC
+    // requests still executing on the worker pool) — otherwise let the
+    // flush / completion paths finish the pending responses.
+    if (lc.conn.out.Empty() && !HasPendingWork(lc)) {
       lifecycle_.half_close_reclaims.fetch_add(1, std::memory_order_relaxed);
       CloseConn(lc);
     } else {
@@ -308,12 +310,21 @@ void LoopGroupServer::OnLoopEvent(size_t loop_index, int fd, uint32_t events) {
 
 void LoopGroupServer::EnqueueAndFlush(LoopConn& lc, Payload payload,
                                       size_t offset) {
+  Enqueue(lc, std::move(payload), offset);
+  FlushEnqueued(lc);
+}
+
+void LoopGroupServer::Enqueue(LoopConn& lc, Payload payload, size_t offset) {
   if (lc.conn.closed) return;
   lc.conn.out.Add(std::move(payload), offset);
   if (!lc.conn.lifecycle.write_stalled) {
     lc.conn.lifecycle.write_stalled = true;
     lc.conn.lifecycle.stall_start = Now();
   }
+}
+
+void LoopGroupServer::FlushEnqueued(LoopConn& lc) {
+  if (lc.conn.closed) return;
   TryFlush(lc);
   MaybePauseReading(lc);
 }
@@ -343,7 +354,10 @@ void LoopGroupServer::TryFlush(LoopConn& lc) {
   switch (result) {
     case FlushResult::kDone:
       UpdateWriteInterest(lc);
-      if (lc.conn.close_after_write) CloseConn(lc);
+      // close_after_write waits for in-flight subclass work as well as the
+      // buffer: an RPC response still executing on the worker pool will
+      // re-enter the flush path (and re-check) when it lands.
+      if (lc.conn.close_after_write && !HasPendingWork(lc)) CloseConn(lc);
       return;
     case FlushResult::kWouldBlock:
       // Kernel buffer full: wait for writability instead of spinning.
@@ -401,6 +415,13 @@ void LoopGroupServer::MaybeResumeReading(LoopConn& lc) {
     lifecycle_.backpressure_resumes.fetch_add(1, std::memory_order_relaxed);
     UpdateWriteInterest(lc);
   }
+}
+
+std::shared_ptr<LoopGroupServer::LoopConn> LoopGroupServer::ConnHandle(
+    const LoopConn& lc) {
+  auto& map = conns_[lc.loop_index];
+  auto it = map.find(lc.conn.fd.get());
+  return it == map.end() ? nullptr : it->second;
 }
 
 void LoopGroupServer::CloseConn(LoopConn& lc) {

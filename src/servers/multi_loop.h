@@ -50,12 +50,24 @@ class LoopGroupServer : public Server {
     size_t loop_index;
     std::unique_ptr<ChannelPipeline> pipeline;  // used by MultiLoopServer
     std::string current_target;                 // used by HybridServer
+    // Protocol-plane state (RpcServer hangs its per-connection frame
+    // parser and in-flight bookkeeping here without the chassis knowing
+    // the type).
+    std::shared_ptr<void> proto_state;
   };
 
   // Subclass hooks; both run on the connection's loop thread.
   virtual void OnConnectionEstablished(LoopConn& lc) { (void)lc; }
   // New bytes are available in lc.conn.in.
   virtual void OnBytes(LoopConn& lc) = 0;
+  // True when the subclass still owes this connection work that is not
+  // yet visible in conn.out (e.g. RPC requests executing on the worker
+  // pool). A half-closed connection with pending work stays open until
+  // the work lands.
+  virtual bool HasPendingWork(const LoopConn& lc) const {
+    (void)lc;
+    return false;
+  }
 
   // Buffered write path (Netty's write optimization): enqueue and flush
   // with the writeSpin cap; arms EPOLLOUT on a full kernel buffer and
@@ -64,9 +76,22 @@ class LoopGroupServer : public Server {
   // its partial payload without copying the remainder).
   void EnqueueAndFlush(LoopConn& lc, Payload payload, size_t offset = 0);
   void TryFlush(LoopConn& lc);
+  // Split form of EnqueueAndFlush for response coalescing: Enqueue appends
+  // without flushing; FlushEnqueued flushes once and re-checks
+  // backpressure. RpcServer batches the inline completions of one parse
+  // pass this way, so n pipelined responses cost one writev — the write
+  // side's analogue of the dispatch path's wakeup coalescing (and of
+  // Netty's flush-per-read-batch idiom).
+  void Enqueue(LoopConn& lc, Payload payload, size_t offset = 0);
+  void FlushEnqueued(LoopConn& lc);
 
   void CloseConn(LoopConn& lc);
   EventLoop& LoopOf(const LoopConn& lc) { return *loops_[lc.loop_index]; }
+
+  // The owning shared_ptr for a live connection (loop thread only), so a
+  // subclass can hand a weak_ptr to work that completes on another thread.
+  // Null if the connection is already gone from the loop's table.
+  std::shared_ptr<LoopConn> ConnHandle(const LoopConn& lc);
 
   // Shared counters for subclasses.
   std::atomic<uint64_t> requests_{0};

@@ -23,6 +23,24 @@ const char* ArchitectureName(ServerArchitecture arch) {
   return "unknown";
 }
 
+const char* RpcRouteName(RpcRoute route) {
+  switch (route) {
+    case RpcRoute::kAuto:    return "auto";
+    case RpcRoute::kInline:  return "inline";
+    case RpcRoute::kReactor: return "reactor";
+    case RpcRoute::kWorker:  return "worker";
+  }
+  return "unknown";
+}
+
+bool ParseRpcRouteName(std::string_view name, RpcRoute* out) {
+  if (name == "auto")    { *out = RpcRoute::kAuto;    return true; }
+  if (name == "inline")  { *out = RpcRoute::kInline;  return true; }
+  if (name == "reactor") { *out = RpcRoute::kReactor; return true; }
+  if (name == "worker")  { *out = RpcRoute::kWorker;  return true; }
+  return false;
+}
+
 std::vector<std::string> ServerConfig::Validate() const {
   std::vector<std::string> errors;
   if (worker_threads < 1) errors.push_back("worker_threads must be >= 1");
@@ -67,6 +85,26 @@ std::vector<std::string> ServerConfig::Validate() const {
   }
   if (shed_target_delay_ms > 0 && shed_interval_ms < 1) {
     errors.push_back("shed_interval_ms must be >= 1 when shedding is on");
+  }
+  if (!protocol.empty() && protocol != "http" && protocol != "rpc") {
+    errors.push_back("protocol must be \"\", \"http\", or \"rpc\"");
+  }
+  if (protocol == "rpc" &&
+      architecture != ServerArchitecture::kMultiLoop &&
+      architecture != ServerArchitecture::kHybrid) {
+    errors.push_back(
+        "protocol \"rpc\" requires architecture kMultiLoop or kHybrid");
+  }
+  if (!rpc_routes.empty() && protocol != "rpc") {
+    errors.push_back("rpc_routes requires protocol \"rpc\"");
+  }
+  for (size_t i = 0; i < rpc_routes.size(); ++i) {
+    for (size_t j = i + 1; j < rpc_routes.size(); ++j) {
+      if (rpc_routes[i].method_id == rpc_routes[j].method_id) {
+        errors.push_back("rpc_routes has duplicate entry for method_id " +
+                         std::to_string(rpc_routes[i].method_id));
+      }
+    }
   }
   return errors;
 }

@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -42,6 +43,27 @@ enum class ServerArchitecture {
 };
 
 const char* ArchitectureName(ServerArchitecture arch);
+
+// Execution path for one RPC method (the per-method generalization of the
+// paper's light/heavy request classes; see app/rpc_server.h).
+enum class RpcRoute : uint8_t {
+  kAuto,     // runtime classification: light → inline, heavy → worker
+  kInline,   // handler on the loop thread, naive spin write (SingleT-Async)
+  kReactor,  // handler on the loop thread, buffered spin-capped flush
+  kWorker,   // handler on the worker pool, response marshaled to the loop
+};
+
+const char* RpcRouteName(RpcRoute route);
+// Parses "auto" / "inline" / "reactor" / "worker"; false on anything else.
+bool ParseRpcRouteName(std::string_view name, RpcRoute* out);
+
+// One per-method routing override (ServerConfig::rpc_routes). Methods
+// without an entry use the architecture default (kAuto for kHybrid,
+// kReactor for kMultiLoop).
+struct MethodRouteEntry {
+  uint16_t method_id = 0;
+  RpcRoute route = RpcRoute::kAuto;
+};
 
 struct ServerConfig {
   ServerArchitecture architecture = ServerArchitecture::kSingleThread;
@@ -165,6 +187,26 @@ struct ServerConfig {
   // startup. Thread-per-connection has no event loop and ignores this.
   std::string io_backend;
 
+  // ---- Protocol plane ----
+  // Wire protocol the server speaks: "" / "http" (the default, the paper's
+  // HTTP/1.1 plane) or "rpc" (the multiplexed binary framing of
+  // proto/rpc_codec.h, served by app/rpc_server.cc). "rpc" requires the
+  // ServiceRegistry factory overload and a kMultiLoop or kHybrid
+  // architecture (the only chassis with the loop/worker split the routes
+  // need).
+  std::string protocol;
+  // Per-method routing overrides for protocol == "rpc". Unlisted methods
+  // default to kAuto under kHybrid (runtime classification) and kReactor
+  // under kMultiLoop. Duplicate method_ids are a Validate() error.
+  std::vector<MethodRouteEntry> rpc_routes;
+  // kAuto classification, CPU axis: a method whose observed handler CPU
+  // time exceeds this many microseconds is reclassified heavy (routed to
+  // the worker pool) even if its responses never write-spin; symmetric
+  // drift back below the threshold demotes it again. Complements
+  // hybrid_heavy_write_threshold, which catches the write axis. <= 0
+  // disables the CPU axis.
+  double rpc_heavy_cpu_us = 100.0;
+
   // Returns every problem with this config (empty = valid). CreateServer
   // calls it and throws std::invalid_argument with the joined message —
   // the single gate replacing per-architecture scattered checks.
@@ -207,6 +249,15 @@ struct ServerConfig {
 //                                  consumed, for batch-depth ratios
 //   uring_fallbacks                — loops that requested uring but fell
 //                                  back to epoll at startup probing
+//   rpc_requests                   — RPC frames decoded and dispatched to a
+//                                  service handler (protocol == "rpc")
+//   rpc_inflight_peak              — highest number of simultaneously
+//                                  in-flight requests observed on any one
+//                                  connection (multiplexing depth actually
+//                                  reached, not just offered)
+//   rpc_out_of_order_responses     — responses completed off arrival order
+//                                  on their connection (the reordering that
+//                                  multiplexed ids exist to permit)
 #define HYNET_SERVER_CORE_COUNTER_FIELDS(X) \
   X(connections_accepted)                   \
   X(connections_closed)                     \
@@ -229,7 +280,10 @@ struct ServerConfig {
   X(uring_submit_batches)                   \
   X(uring_sqes_submitted)                   \
   X(uring_cqes_reaped)                      \
-  X(uring_fallbacks)
+  X(uring_fallbacks)                        \
+  X(rpc_requests)                           \
+  X(rpc_inflight_peak)                      \
+  X(rpc_out_of_order_responses)
 
 // Lifecycle / overload-protection counters. Names match the LifecycleStats
 // atomics field-for-field; ExportLifecycle is generated from this list.
@@ -436,11 +490,13 @@ class Server {
 std::unique_ptr<Server> CreateServer(const ServerConfig& config,
                                      Handler handler);
 
-// Deprecated compatibility shim for the old split factory; forwards to
-// CreateServer (and so now builds kHybrid too instead of throwing).
-[[deprecated("use hynet::CreateServer")]] inline std::unique_ptr<Server>
-CreateBasicServer(const ServerConfig& config, Handler handler) {
-  return CreateServer(config, std::move(handler));
-}
+class ServiceRegistry;
+
+// Protocol-plane factory: serves `services` over the multiplexed RPC
+// framing (config.protocol must be "" or "rpc"; the architecture must be
+// kMultiLoop or kHybrid). Same Validate() gate as the Handler overload.
+// Defined in the hynet_app library (app/rpc_server.cc).
+std::unique_ptr<Server> CreateServer(const ServerConfig& config,
+                                     ServiceRegistry services);
 
 }  // namespace hynet

@@ -1,0 +1,587 @@
+// Tests for the RPC protocol plane: frame codec edge cases (truncation,
+// fragmentation, oversize, bad magic, fuzzed splits), the completion-based
+// service layer, config validation for the new protocol fields, and
+// end-to-end behavior of RpcServer — multiplexed pipelining, per-method
+// routing, out-of-order completions, and unknown-method survival.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "app/kv_service.h"
+#include "app/rpc_server.h"
+#include "client/rpc_load_gen.h"
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "net/socket.h"
+#include "proto/rpc_codec.h"
+
+namespace hynet {
+namespace {
+
+std::string RequestFrame(uint64_t id, uint16_t method,
+                         std::string_view payload, uint8_t flags = 0) {
+  return EncodeRpcRequest(id, method, payload, flags);
+}
+
+// ---- Frame parser ----
+
+TEST(RpcFrameParserTest, RoundTripsOneFrame) {
+  RpcFrameParser parser;
+  ByteBuffer in;
+  in.Append(RequestFrame(42, 7, "hello", kRpcFlagClose));
+  ASSERT_EQ(parser.Parse(in), ParseStatus::kComplete);
+  EXPECT_EQ(parser.frame().header.request_id, 42u);
+  EXPECT_EQ(parser.frame().header.method_id, 7u);
+  EXPECT_EQ(parser.frame().header.flags, kRpcFlagClose);
+  EXPECT_EQ(parser.frame().payload, "hello");
+  EXPECT_TRUE(in.Empty());
+  EXPECT_FALSE(parser.InProgress());
+}
+
+TEST(RpcFrameParserTest, TruncatedHeaderNeedsMore) {
+  RpcFrameParser parser;
+  ByteBuffer in;
+  const std::string wire = RequestFrame(1, 2, "payload");
+  // Every strict prefix of the header parses to kNeedMore, never crashes,
+  // never produces a frame.
+  for (size_t len = 0; len < kRpcHeaderSize; ++len) {
+    RpcFrameParser p;
+    ByteBuffer b;
+    b.Append(wire.data(), len);
+    EXPECT_EQ(p.Parse(b), ParseStatus::kNeedMore) << "prefix " << len;
+  }
+}
+
+TEST(RpcFrameParserTest, OneByteAtATime) {
+  RpcFrameParser parser;
+  ByteBuffer in;
+  const std::string wire = RequestFrame(99, 3, "abcdef");
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    in.Append(&wire[i], 1);
+    ASSERT_EQ(parser.Parse(in), ParseStatus::kNeedMore) << "at byte " << i;
+  }
+  in.Append(&wire.back(), 1);
+  ASSERT_EQ(parser.Parse(in), ParseStatus::kComplete);
+  EXPECT_EQ(parser.frame().header.request_id, 99u);
+  EXPECT_EQ(parser.frame().payload, "abcdef");
+}
+
+TEST(RpcFrameParserTest, InterleavedFramesAcrossReadBoundaries) {
+  // Two frames split at an arbitrary boundary that lands mid-header of
+  // the second frame.
+  const std::string a = RequestFrame(1, 1, "first");
+  const std::string b = RequestFrame(2, 2, "second");
+  const std::string wire = a + b;
+  const size_t split = a.size() + 7;  // mid-header of frame 2
+
+  RpcFrameParser parser;
+  ByteBuffer in;
+  in.Append(wire.data(), split);
+  ASSERT_EQ(parser.Parse(in), ParseStatus::kComplete);
+  EXPECT_EQ(parser.frame().payload, "first");
+  EXPECT_EQ(parser.Parse(in), ParseStatus::kNeedMore);
+  in.Append(wire.data() + split, wire.size() - split);
+  ASSERT_EQ(parser.Parse(in), ParseStatus::kComplete);
+  EXPECT_EQ(parser.frame().header.request_id, 2u);
+  EXPECT_EQ(parser.frame().payload, "second");
+}
+
+TEST(RpcFrameParserTest, RejectsBadMagicFromFirstTwoBytes) {
+  RpcFrameParser parser;
+  ByteBuffer in;
+  in.Append("GET / HTTP/1.1\r\n");  // HTTP on the RPC port
+  EXPECT_EQ(parser.Parse(in), ParseStatus::kError);
+  EXPECT_EQ(parser.error(), RpcParseError::kBadMagic);
+}
+
+TEST(RpcFrameParserTest, RejectsOversizedDeclaredLengthBeforePayload) {
+  RpcFrameParser parser;
+  parser.SetLimits(1024);
+  ByteBuffer in;
+  // Header only: declares 1 MiB payload, none of which has arrived.
+  RpcFrameHeader h;
+  h.request_id = 5;
+  h.method_id = 1;
+  h.payload_len = 1 << 20;
+  in.Append(EncodeRpcHeader(h));
+  EXPECT_EQ(parser.Parse(in), ParseStatus::kError);
+  EXPECT_EQ(parser.error(), RpcParseError::kPayloadTooLarge);
+  // The parser exposed the offending header so the server can answer
+  // with the request id before closing.
+  EXPECT_EQ(parser.frame().header.request_id, 5u);
+}
+
+TEST(RpcFrameParserTest, EmptyPayloadFrame) {
+  RpcFrameParser parser;
+  ByteBuffer in;
+  in.Append(RequestFrame(11, 4, ""));
+  ASSERT_EQ(parser.Parse(in), ParseStatus::kComplete);
+  EXPECT_EQ(parser.frame().payload, "");
+  EXPECT_EQ(parser.frame().header.payload_len, 0u);
+}
+
+TEST(RpcFrameParserTest, FuzzRandomSplits) {
+  // A long pipelined stream of frames with varied payload sizes, fed to
+  // the parser in random-sized chunks: every frame must come out intact
+  // and in order regardless of fragmentation.
+  Rng rng(2026);
+  std::string wire;
+  std::vector<std::pair<uint64_t, std::string>> expected;
+  for (uint64_t id = 1; id <= 200; ++id) {
+    std::string payload(rng.NextBounded(300), '\0');
+    for (char& c : payload) {
+      c = static_cast<char>('a' + rng.NextBounded(26));
+    }
+    expected.emplace_back(id, payload);
+    wire += RequestFrame(id, static_cast<uint16_t>(id % 5), payload);
+  }
+
+  RpcFrameParser parser;
+  ByteBuffer in;
+  size_t fed = 0;
+  size_t seen = 0;
+  while (seen < expected.size()) {
+    if (parser.Parse(in) == ParseStatus::kComplete) {
+      ASSERT_LT(seen, expected.size());
+      EXPECT_EQ(parser.frame().header.request_id, expected[seen].first);
+      EXPECT_EQ(parser.frame().payload, expected[seen].second);
+      ++seen;
+      continue;
+    }
+    ASSERT_LT(fed, wire.size()) << "parser starved with frames missing";
+    const size_t chunk =
+        std::min(wire.size() - fed, 1 + rng.NextBounded(97));
+    in.Append(wire.data() + fed, chunk);
+    fed += chunk;
+  }
+  EXPECT_EQ(seen, expected.size());
+}
+
+TEST(RpcCodecTest, ResponseSerializationIsZeroCopy) {
+  auto body = std::make_shared<const std::string>(100 * 1024, 'x');
+  const Payload p = SerializeRpcResponsePayload(7, 2, RpcStatus::kOk, body,
+                                                /*tail=*/"suffix");
+  // The stored allocation IS the body segment — same object, no copy.
+  EXPECT_EQ(p.shared_body().get(), body.get());
+  EXPECT_EQ(p.head().size(), kRpcHeaderSize);
+  EXPECT_EQ(p.tail(), "suffix");
+  EXPECT_EQ(p.size(), kRpcHeaderSize + body->size() + 6);
+
+  // And the header round-trips through the parser with payload_len
+  // covering body + tail.
+  RpcFrameParser parser;
+  ByteBuffer in;
+  in.Append(p.Flatten());
+  ASSERT_EQ(parser.Parse(in), ParseStatus::kComplete);
+  EXPECT_EQ(parser.frame().header.request_id, 7u);
+  EXPECT_EQ(static_cast<RpcStatus>(parser.frame().header.status),
+            RpcStatus::kOk);
+  EXPECT_EQ(parser.frame().payload.size(), body->size() + 6);
+}
+
+// ---- Service layer ----
+
+TEST(ResponseWriterTest, DroppedWriterAutoFinishesWithError) {
+  RpcStatus seen = RpcStatus::kOk;
+  int calls = 0;
+  {
+    ResponseWriter writer([&](ServiceResponse resp) {
+      seen = resp.status;
+      ++calls;
+    });
+    // Dropped without Finish().
+  }
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen, RpcStatus::kError);
+}
+
+TEST(ResponseWriterTest, FinishIsExactlyOnce) {
+  int calls = 0;
+  ResponseWriter writer([&](ServiceResponse) { ++calls; });
+  writer.Finish(RpcStatus::kOk, "a");
+  writer.Finish(RpcStatus::kError, "b");  // ignored
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ServiceRegistryTest, CopyOnWriteIsolatesServers) {
+  ServiceRegistry original;
+  original.Register(1, "A", [](ServiceRequest, ResponseWriter w) {
+    w.Finish(RpcStatus::kOk);
+  });
+  ServiceRegistry handed_off = original;  // what a server keeps
+  original.Register(2, "B", [](ServiceRequest, ResponseWriter w) {
+    w.Finish(RpcStatus::kOk);
+  });
+  EXPECT_EQ(handed_off.Size(), 1u);
+  EXPECT_EQ(original.Size(), 2u);
+  EXPECT_EQ(handed_off.Find(2), nullptr);
+  EXPECT_EQ(handed_off.Name(1), "A");
+  EXPECT_EQ(handed_off.Name(9), "m:?");
+}
+
+TEST(KvServiceTest, WritePayloadRoundTrip) {
+  const std::string payload = EncodeKvWritePayload("key-1", "value bytes");
+  std::string_view key, value;
+  ASSERT_TRUE(DecodeKvWritePayload(payload, &key, &value));
+  EXPECT_EQ(key, "key-1");
+  EXPECT_EQ(value, "value bytes");
+
+  std::string_view k2, v2;
+  EXPECT_FALSE(DecodeKvWritePayload("", &k2, &v2));
+  EXPECT_FALSE(DecodeKvWritePayload("\xff\xff" "123", &k2, &v2));
+}
+
+// ---- Config validation ----
+
+TEST(RpcConfigTest, ValidateRejectsBadProtocol) {
+  ServerConfig config;
+  config.protocol = "grpc";
+  const auto errors = config.Validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("protocol"), std::string::npos);
+}
+
+TEST(RpcConfigTest, ValidateRejectsRpcOnWrongArchitecture) {
+  ServerConfig config;
+  config.architecture = ServerArchitecture::kThreadPerConn;
+  config.protocol = "rpc";
+  bool found = false;
+  for (const auto& e : config.Validate()) {
+    if (e.find("kMultiLoop or kHybrid") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RpcConfigTest, ValidateRejectsRoutesWithoutRpcProtocol) {
+  ServerConfig config;
+  config.rpc_routes.push_back({1, RpcRoute::kWorker});
+  bool found = false;
+  for (const auto& e : config.Validate()) {
+    if (e.find("rpc_routes requires protocol") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RpcConfigTest, ValidateRejectsDuplicateRouteEntries) {
+  ServerConfig config;
+  config.architecture = ServerArchitecture::kHybrid;
+  config.protocol = "rpc";
+  config.rpc_routes.push_back({3, RpcRoute::kWorker});
+  config.rpc_routes.push_back({3, RpcRoute::kInline});
+  bool found = false;
+  for (const auto& e : config.Validate()) {
+    if (e.find("duplicate entry for method_id 3") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RpcConfigTest, HandlerFactoryThrowsForRpcProtocol) {
+  ServerConfig config;
+  config.architecture = ServerArchitecture::kMultiLoop;
+  config.protocol = "rpc";
+  try {
+    CreateServer(config, [](const HttpRequest&, HttpResponse&) {});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ServiceRegistry"),
+              std::string::npos);
+  }
+}
+
+TEST(RpcConfigTest, ServiceFactoryRejectsEmptyRegistryAndHttpProtocol) {
+  ServerConfig config;
+  config.architecture = ServerArchitecture::kHybrid;
+  EXPECT_THROW(CreateServer(config, ServiceRegistry{}),
+               std::invalid_argument);
+
+  ServiceRegistry services;
+  services.Register(1, "A", [](ServiceRequest, ResponseWriter w) {
+    w.Finish(RpcStatus::kOk);
+  });
+  config.protocol = "http";
+  EXPECT_THROW(CreateServer(config, services), std::invalid_argument);
+}
+
+TEST(RpcConfigTest, RouteNamesRoundTrip) {
+  for (const RpcRoute r : {RpcRoute::kAuto, RpcRoute::kInline,
+                           RpcRoute::kReactor, RpcRoute::kWorker}) {
+    RpcRoute parsed;
+    ASSERT_TRUE(ParseRpcRouteName(RpcRouteName(r), &parsed));
+    EXPECT_EQ(parsed, r);
+  }
+  RpcRoute out;
+  EXPECT_FALSE(ParseRpcRouteName("bogus", &out));
+}
+
+// ---- End-to-end ----
+
+class RpcServerTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Server> StartKvServer(
+      ServerArchitecture arch, std::vector<MethodRouteEntry> routes = {},
+      double write_cpu_us = 0) {
+    store_ = std::make_shared<KvStore>();
+    store_->Preload(/*count=*/64, /*value_bytes=*/1024);
+    ServerConfig config;
+    config.architecture = arch;
+    config.protocol = "rpc";
+    config.rpc_routes = std::move(routes);
+    config.event_loops = 1;
+    config.worker_threads = 2;
+    KvServiceOptions options;
+    options.write_cpu_us = write_cpu_us;
+    auto server = CreateServer(config, MakeKvService(store_, options));
+    server->Start();
+    return server;
+  }
+
+  // Sends raw frames on one blocking socket and returns responses in
+  // completion (wire) order.
+  static std::vector<RpcFrame> Exchange(uint16_t port,
+                                        const std::string& wire,
+                                        size_t expect) {
+    Socket sock = Socket::CreateTcp(false);
+    sock.Connect(InetAddr::Loopback(port));
+    size_t off = 0;
+    while (off < wire.size()) {
+      const IoResult r = WriteFd(sock.fd(), wire.data() + off,
+                                 wire.size() - off);
+      if (r.Fatal()) ADD_FAILURE() << "send failed";
+      if (r.n > 0) off += static_cast<size_t>(r.n);
+    }
+    std::vector<RpcFrame> frames;
+    RpcFrameParser parser;
+    ByteBuffer in;
+    char buf[16 * 1024];
+    while (frames.size() < expect) {
+      const ParseStatus ps = parser.Parse(in);
+      if (ps == ParseStatus::kComplete) {
+        frames.push_back(std::move(parser.frame()));
+        continue;
+      }
+      if (ps == ParseStatus::kError) break;
+      const IoResult r = ReadFd(sock.fd(), buf, sizeof(buf));
+      if (r.Fatal() || r.Eof()) break;
+      in.Append(buf, static_cast<size_t>(r.n));
+    }
+    return frames;
+  }
+
+  std::shared_ptr<KvStore> store_;
+};
+
+TEST_F(RpcServerTest, LookupReadWriteOverTheWire) {
+  auto server = StartKvServer(ServerArchitecture::kHybrid);
+  std::string wire;
+  wire += RequestFrame(1, kKvMethodLookup, KvStore::PreloadKey(3));
+  wire += RequestFrame(2, kKvMethodRead, KvStore::PreloadKey(3));
+  wire += RequestFrame(3, kKvMethodWrite,
+                       EncodeKvWritePayload("fresh", "new-value"));
+  wire += RequestFrame(4, kKvMethodRead, "fresh");
+  wire += RequestFrame(5, kKvMethodRead, "missing-key");
+
+  const auto frames = Exchange(server->Port(), wire, 5);
+  ASSERT_EQ(frames.size(), 5u);
+  std::map<uint64_t, const RpcFrame*> by_id;
+  for (const auto& f : frames) by_id[f.header.request_id] = &f;
+  ASSERT_EQ(by_id.size(), 5u);
+  EXPECT_EQ(static_cast<RpcStatus>(by_id[1]->header.status), RpcStatus::kOk);
+  EXPECT_EQ(by_id[1]->payload, "1:1024");
+  EXPECT_EQ(by_id[2]->payload.size(), 1024u);
+  EXPECT_EQ(static_cast<RpcStatus>(by_id[3]->header.status), RpcStatus::kOk);
+  EXPECT_EQ(by_id[4]->payload, "new-value");
+  EXPECT_EQ(static_cast<RpcStatus>(by_id[5]->header.status),
+            RpcStatus::kNotFound);
+
+  EXPECT_EQ(store_->Get("fresh") != nullptr, true);
+  const ServerCounters c = server->Snapshot();
+  EXPECT_EQ(c.rpc_requests, 5u);
+  EXPECT_GE(c.rpc_inflight_peak, 1u);
+  server->Stop();
+}
+
+TEST_F(RpcServerTest, UnknownMethodAnswersBadMethodAndSurvives) {
+  auto server = StartKvServer(ServerArchitecture::kMultiLoop);
+  std::string wire;
+  wire += RequestFrame(1, 999, "whatever");
+  wire += RequestFrame(2, kKvMethodLookup, KvStore::PreloadKey(0));
+
+  const auto frames = Exchange(server->Port(), wire, 2);
+  ASSERT_EQ(frames.size(), 2u);
+  std::map<uint64_t, RpcStatus> status;
+  for (const auto& f : frames) {
+    status[f.header.request_id] = static_cast<RpcStatus>(f.header.status);
+  }
+  EXPECT_EQ(status[1], RpcStatus::kBadMethod);
+  // The connection survived the unknown method: the next request on the
+  // same socket was answered normally.
+  EXPECT_EQ(status[2], RpcStatus::kOk);
+  server->Stop();
+}
+
+TEST_F(RpcServerTest, OversizedFrameIsRejectedWithResponse) {
+  store_ = std::make_shared<KvStore>();
+  ServerConfig config;
+  config.architecture = ServerArchitecture::kHybrid;
+  config.protocol = "rpc";
+  config.event_loops = 1;
+  config.max_request_body_bytes = 1024;
+  auto server = CreateServer(config, MakeKvService(store_, {}));
+  server->Start();
+
+  // Header declares 1 MiB; only the header is sent.
+  RpcFrameHeader h;
+  h.request_id = 77;
+  h.method_id = kKvMethodLookup;
+  h.payload_len = 1 << 20;
+  const auto frames = Exchange(server->Port(), EncodeRpcHeader(h), 1);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.request_id, 77u);
+  EXPECT_EQ(static_cast<RpcStatus>(frames[0].header.status),
+            RpcStatus::kBadRequest);
+  EXPECT_TRUE(frames[0].header.flags & kRpcFlagClose);
+  server->Stop();
+}
+
+TEST_F(RpcServerTest, HttpBytesOnRpcPortCloseTheConnection) {
+  auto server = StartKvServer(ServerArchitecture::kMultiLoop);
+  Socket sock = Socket::CreateTcp(false);
+  sock.Connect(InetAddr::Loopback(server->Port()));
+  const std::string junk = "GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_GT(WriteFd(sock.fd(), junk.data(), junk.size()).n, 0);
+  char buf[256];
+  const IoResult r = ReadFd(sock.fd(), buf, sizeof(buf));
+  EXPECT_TRUE(r.Eof() || r.Fatal());  // dropped, no response bytes
+  server->Stop();
+}
+
+TEST_F(RpcServerTest, CloseFlagClosesAfterResponse) {
+  auto server = StartKvServer(ServerArchitecture::kHybrid);
+  Socket sock = Socket::CreateTcp(false);
+  sock.Connect(InetAddr::Loopback(server->Port()));
+  const std::string wire =
+      RequestFrame(9, kKvMethodLookup, KvStore::PreloadKey(1), kRpcFlagClose);
+  ASSERT_GT(WriteFd(sock.fd(), wire.data(), wire.size()).n, 0);
+
+  RpcFrameParser parser;
+  ByteBuffer in;
+  char buf[4096];
+  bool got_response = false;
+  bool saw_eof = false;
+  while (!saw_eof) {
+    const IoResult r = ReadFd(sock.fd(), buf, sizeof(buf));
+    if (r.Eof() || r.Fatal()) {
+      saw_eof = true;
+      break;
+    }
+    in.Append(buf, static_cast<size_t>(r.n));
+    if (parser.Parse(in) == ParseStatus::kComplete) {
+      got_response = true;
+      EXPECT_EQ(parser.frame().header.request_id, 9u);
+      EXPECT_TRUE(parser.frame().header.flags & kRpcFlagClose);
+    }
+  }
+  EXPECT_TRUE(got_response);
+  EXPECT_TRUE(saw_eof);
+  server->Stop();
+}
+
+TEST_F(RpcServerTest, WorkerRoutedSlowMethodCompletesOutOfOrder) {
+  // Method routing: Write → worker pool (slowed by 20ms of CPU burn),
+  // Lookup → inline. Pipelining Write then Lookup on one socket must
+  // yield the Lookup response FIRST — the multiplexed out-of-order
+  // completion the protocol exists for.
+  auto server = StartKvServer(
+      ServerArchitecture::kHybrid,
+      {{kKvMethodWrite, RpcRoute::kWorker},
+       {kKvMethodLookup, RpcRoute::kInline}},
+      /*write_cpu_us=*/20000);
+
+  std::string wire;
+  wire += RequestFrame(1, kKvMethodWrite,
+                       EncodeKvWritePayload("slow-key", "v"));
+  wire += RequestFrame(2, kKvMethodLookup, KvStore::PreloadKey(0));
+  const auto frames = Exchange(server->Port(), wire, 2);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].header.request_id, 2u) << "Lookup should overtake";
+  EXPECT_EQ(frames[1].header.request_id, 1u);
+
+  const ServerCounters c = server->Snapshot();
+  EXPECT_GE(c.rpc_out_of_order_responses, 1u);
+  EXPECT_GE(c.rpc_inflight_peak, 2u);
+  server->Stop();
+}
+
+TEST_F(RpcServerTest, LateFinishFromForeignThreadIsDelivered) {
+  // A handler that retains its writer and finishes from a detached thread
+  // long after returning: the completion must marshal back to the loop
+  // and the connection must stay open while the request is in flight
+  // (HasPendingWork), even though nothing is buffered.
+  ServiceRegistry services;
+  std::atomic<bool> fired{false};
+  services.Register(1, "Later", [&fired](ServiceRequest req,
+                                         ResponseWriter writer) {
+    std::thread([&fired, req = std::move(req),
+                 writer = std::make_shared<ResponseWriter>(
+                     std::move(writer))]() mutable {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      writer->Finish(RpcStatus::kOk, "late:" + req.payload);
+      fired.store(true);
+    }).detach();
+  });
+  ServerConfig config;
+  config.architecture = ServerArchitecture::kMultiLoop;
+  config.protocol = "rpc";
+  config.event_loops = 1;
+  auto server = CreateServer(config, std::move(services));
+  server->Start();
+
+  const auto frames =
+      Exchange(server->Port(), RequestFrame(31, 1, "x"), 1);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].payload, "late:x");
+  // The response can reach the client before the detached thread gets
+  // rescheduled past Finish(); wait for the flag rather than race it.
+  for (int i = 0; i < 1000 && !fired.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(fired.load());
+  server->Stop();
+}
+
+TEST_F(RpcServerTest, PipelinedLoadThroughGenerator) {
+  // The Write burn keeps that method CPU-heavy, so kAuto routes it to the
+  // worker pool and requests genuinely overlap (inflight peak below).
+  auto server = StartKvServer(ServerArchitecture::kHybrid, {},
+                              /*write_cpu_us=*/300);
+  RpcLoadConfig load;
+  load.server = InetAddr::Loopback(server->Port());
+  load.connections = 2;
+  load.pipeline_depth = 8;
+  load.warmup_sec = 0.05;
+  load.measure_sec = 0.3;
+  load.key_space = 64;
+  load.mix = {{kKvMethodLookup, 0.6},
+              {kKvMethodRead, 0.3},
+              {kKvMethodWrite, 0.1}};
+  const RpcLoadResult result = RunRpcLoad(load);
+  EXPECT_GT(result.completed, 100u);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_GE(result.per_method.size(), 3u);
+
+  const ServerCounters c = server->Snapshot();
+  EXPECT_GE(c.rpc_requests, result.completed);
+  EXPECT_GE(c.rpc_inflight_peak, 2u);
+  // RPC responses ride the writev zero-copy path.
+  EXPECT_GT(c.writev_calls, 0u);
+  server->Stop();
+}
+
+}  // namespace
+}  // namespace hynet

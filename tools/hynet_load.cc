@@ -2,9 +2,10 @@
 // open-loop generator (a minimal wrk with coordinated-omission-safe
 // open-loop mode).
 //
-//   hynet_load [--port P] [--host IP] [--conns N] [--seconds S]
-//              [--target T]... [--rate R] [--rcvbuf BYTES]
+//   hynet_load [--proto http|rpc] [--port P] [--host IP] [--conns N]
+//              [--seconds S] [--target T]... [--rate R] [--rcvbuf BYTES]
 //              [--chaos MODE] [--chaos-conns N]
+//              [--depth N] [--mix ID:W]... [--key-space N] [--write-bytes N]
 //
 //   --target may repeat; an optional ":weight" suffix sets its mix weight:
 //     hynet_load --target '/bench?size=102:9' --target '/bench?size=102400:1'
@@ -13,6 +14,11 @@
 //     slowloris | stalled | rst | idle  (see ChaosMode in load_gen.h).
 //   The report then shows whether the server evicted the abusers while
 //   the legitimate load kept completing.
+//
+//   --proto rpc drives the multiplexed KV plane instead (pair it with
+//   hynet_serve --proto rpc): each connection keeps --depth requests in
+//   flight and --mix ID:WEIGHT shapes the method mix over the KV ids
+//   (Lookup=1 / Read=2 / Write=3), e.g. --mix 1:7 --mix 2:2 --mix 3:1.
 #include <cstdio>
 #include <cstring>
 #include <cstdlib>
@@ -20,9 +26,23 @@
 #include <string>
 
 #include "client/load_gen.h"
+#include "client/rpc_load_gen.h"
 #include "metrics/report.h"
 
 using namespace hynet;
+
+namespace {
+
+const char* KvMethodName(uint16_t id) {
+  switch (id) {
+    case kKvMethodLookup: return "Lookup";
+    case kKvMethodRead: return "Read";
+    case kKvMethodWrite: return "Write";
+    default: return "?";
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   LoadConfig config;
@@ -31,6 +51,9 @@ int main(int argc, char** argv) {
   double seconds = 5.0;
   std::string chaos_mode;
   int chaos_conns = 16;
+  std::string proto = "http";
+  RpcLoadConfig rpc;
+  rpc.mix.clear();
   config.targets.clear();
 
   for (int i = 1; i < argc; ++i) {
@@ -72,14 +95,72 @@ int main(int argc, char** argv) {
       chaos_mode = next("--chaos");
     } else if (!std::strcmp(argv[i], "--chaos-conns")) {
       chaos_conns = std::atoi(next("--chaos-conns"));
+    } else if (!std::strcmp(argv[i], "--proto")) {
+      proto = next("--proto");
+      if (proto != "http" && proto != "rpc") {
+        std::fprintf(stderr, "--proto wants http or rpc\n");
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--depth")) {
+      rpc.pipeline_depth = std::atoi(next("--depth"));
+    } else if (!std::strcmp(argv[i], "--mix")) {
+      const char* spec = next("--mix");
+      const char* colon = std::strchr(spec, ':');
+      if (!colon) {
+        std::fprintf(stderr, "--mix wants METHOD_ID:WEIGHT\n");
+        return 2;
+      }
+      RpcMethodMix entry;
+      entry.method_id = static_cast<uint16_t>(std::atoi(spec));
+      entry.weight = std::atof(colon + 1);
+      rpc.mix.push_back(entry);
+    } else if (!std::strcmp(argv[i], "--key-space")) {
+      rpc.key_space = static_cast<uint64_t>(std::atoll(next("--key-space")));
+    } else if (!std::strcmp(argv[i], "--write-bytes")) {
+      rpc.write_value_bytes =
+          static_cast<size_t>(std::atoll(next("--write-bytes")));
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--host IP] [--port P] [--conns N] "
-                   "[--seconds S] [--target T[:w]]... [--rate R] "
+                   "usage: %s [--proto http|rpc] [--host IP] [--port P] "
+                   "[--conns N] [--seconds S] [--target T[:w]]... [--rate R] "
                    "[--rcvbuf BYTES] [--chaos slowloris|stalled|rst|idle] "
-                   "[--chaos-conns N]\n", argv[0]);
+                   "[--chaos-conns N] [--depth N] [--mix ID:W]... "
+                   "[--key-space N] [--write-bytes N]\n", argv[0]);
       return 2;
     }
+  }
+
+  if (proto == "rpc") {
+    if (rpc.mix.empty()) {
+      rpc.mix = {{kKvMethodLookup, 0.7},
+                 {kKvMethodRead, 0.2},
+                 {kKvMethodWrite, 0.1}};
+    }
+    rpc.server = InetAddr::FromIp(host, port);
+    rpc.connections = config.connections;
+    rpc.warmup_sec = std::min(1.0, seconds * 0.2);
+    rpc.measure_sec = seconds;
+    if (config.rcv_buf_bytes > 0) rpc.rcv_buf_bytes = config.rcv_buf_bytes;
+
+    std::printf("rpc closed-loop %s:%u  conns=%d  depth=%d  window=%.1fs\n",
+                host.c_str(), port, rpc.connections, rpc.pipeline_depth,
+                seconds);
+    const RpcLoadResult result = RunRpcLoad(rpc);
+    std::printf("\nrequests   : %llu  (%llu errors)\n",
+                static_cast<unsigned long long>(result.completed),
+                static_cast<unsigned long long>(result.errors));
+    std::printf("throughput : %.1f req/s\n", result.Throughput());
+    std::printf("latency    : %s\n", result.latency.Summary().c_str());
+    std::printf("out-of-ord : %llu responses overtook an earlier request\n",
+                static_cast<unsigned long long>(result.out_of_order));
+    for (const auto& [id, m] : result.per_method) {
+      std::printf("  %-7s  : %llu done, %llu not-found, %s\n",
+                  KvMethodName(id),
+                  static_cast<unsigned long long>(m.completed),
+                  static_cast<unsigned long long>(m.not_found),
+                  m.latency.Summary().c_str());
+    }
+    return result.errors > 0 ? 1 : 0;
   }
   if (config.targets.empty()) {
     config.targets.push_back({"/bench?size=128&us=0", 1.0});

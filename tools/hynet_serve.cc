@@ -1,18 +1,25 @@
 // hynet_serve: stand up any of the eight architectures on a real port and
 // leave it running — for curl, wrk, or hynet_load experiments.
 //
-//   hynet_serve [--arch NAME] [--port P] [--sndbuf BYTES] [--loops N]
-//               [--workers N] [--spin-cap N] [--profile]
-//               [--idle-ms N] [--header-ms N] [--stall-ms N]
+//   hynet_serve [--proto http|rpc] [--arch NAME] [--port P]
+//               [--sndbuf BYTES] [--loops N] [--workers N] [--spin-cap N]
+//               [--profile] [--idle-ms N] [--header-ms N] [--stall-ms N]
 //               [--max-conns N] [--no-shed] [--high-water BYTES]
 //               [--drain-ms N] [--admin-port P]
 //               [--dispatch-batch N] [--pin-cpus]
 //               [--io-backend epoll|uring]
 //               [--deadline-propagation] [--deadline-margin-ms N]
 //               [--shed-target-ms N] [--shed-interval-ms N]
+//               [--route METHOD_ID=ROUTE]... [--heavy-cpu-us N]
+//               [--kv-keys N] [--kv-value-bytes N] [--kv-write-cpu-us N]
 //
-// The server exposes the standard bench handler:
+// --proto http (default) serves the standard bench handler:
 //   GET /bench?size=<bytes>&us=<cpu-us>[&push=N&push_kb=M]
+// --proto rpc serves the KV service (Lookup=1 / Read=2 / Write=3) over the
+// multiplexed binary framing, preloading --kv-keys keys of
+// --kv-value-bytes each; per-method execution is steered with
+// --route 2=worker (auto | inline | reactor | worker) and the kAuto CPU
+// axis with --heavy-cpu-us. Drive it with hynet_load --proto rpc.
 // Counters (and phase means with --profile) print every 5 seconds.
 // With --admin-port the observability plane serves /metrics (Prometheus),
 // /stats.json, and /healthz on loopback (0 = ephemeral port); pair with
@@ -27,6 +34,8 @@
 #include <atomic>
 #include <thread>
 
+#include "app/kv_service.h"
+#include "app/rpc_server.h"
 #include "client/bench_runner.h"
 #include "core/hybrid_server.h"
 #include "metrics/report.h"
@@ -64,6 +73,9 @@ int main(int argc, char** argv) {
   config.architecture = ServerArchitecture::kHybrid;
   config.port = 8080;
   int drain_ms = 0;
+  size_t kv_keys = 1024;
+  size_t kv_value_bytes = 1024;
+  double kv_write_cpu_us = 0;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -119,16 +131,42 @@ int main(int argc, char** argv) {
       config.shed_target_delay_ms = std::atoi(next("--shed-target-ms"));
     } else if (!std::strcmp(argv[i], "--shed-interval-ms")) {
       config.shed_interval_ms = std::atoi(next("--shed-interval-ms"));
+    } else if (!std::strcmp(argv[i], "--proto")) {
+      config.protocol = next("--proto");
+    } else if (!std::strcmp(argv[i], "--route")) {
+      // METHOD_ID=ROUTE, e.g. --route 2=worker --route 1=inline
+      const char* spec = next("--route");
+      const char* eq = std::strchr(spec, '=');
+      MethodRouteEntry entry;
+      if (eq == nullptr ||
+          !ParseRpcRouteName(eq + 1, &entry.route)) {
+        std::fprintf(stderr,
+                     "--route wants METHOD_ID=auto|inline|reactor|worker, "
+                     "got '%s'\n", spec);
+        return 2;
+      }
+      entry.method_id = static_cast<uint16_t>(std::atoi(spec));
+      config.rpc_routes.push_back(entry);
+    } else if (!std::strcmp(argv[i], "--heavy-cpu-us")) {
+      config.rpc_heavy_cpu_us = std::atof(next("--heavy-cpu-us"));
+    } else if (!std::strcmp(argv[i], "--kv-keys")) {
+      kv_keys = static_cast<size_t>(std::atoll(next("--kv-keys")));
+    } else if (!std::strcmp(argv[i], "--kv-value-bytes")) {
+      kv_value_bytes = static_cast<size_t>(std::atoll(next("--kv-value-bytes")));
+    } else if (!std::strcmp(argv[i], "--kv-write-cpu-us")) {
+      kv_write_cpu_us = std::atof(next("--kv-write-cpu-us"));
     } else {
-      std::fprintf(stderr, "usage: %s [--arch NAME] [--port P] "
-                   "[--sndbuf BYTES] [--loops N] [--workers N] "
+      std::fprintf(stderr, "usage: %s [--proto http|rpc] [--arch NAME] "
+                   "[--port P] [--sndbuf BYTES] [--loops N] [--workers N] "
                    "[--spin-cap N] [--profile] [--idle-ms N] "
                    "[--header-ms N] [--stall-ms N] [--max-conns N] "
                    "[--no-shed] [--high-water BYTES] [--drain-ms N] "
                    "[--admin-port P] [--dispatch-batch N] [--pin-cpus] "
                    "[--io-backend epoll|uring] [--deadline-propagation] "
                    "[--deadline-margin-ms N] [--shed-target-ms N] "
-                   "[--shed-interval-ms N]\n",
+                   "[--shed-interval-ms N] [--route ID=ROUTE]... "
+                   "[--heavy-cpu-us N] [--kv-keys N] [--kv-value-bytes N] "
+                   "[--kv-write-cpu-us N]\n",
                    argv[0]);
       return 2;
     }
@@ -137,12 +175,27 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
 
-  auto server = CreateServer(config, MakeBenchHandler());
+  std::unique_ptr<Server> server;
+  if (config.protocol == "rpc") {
+    auto store = std::make_shared<KvStore>();
+    store->Preload(kv_keys, kv_value_bytes);
+    KvServiceOptions kv;
+    kv.write_cpu_us = kv_write_cpu_us;
+    server = CreateServer(config, MakeKvService(std::move(store), kv));
+  } else {
+    server = CreateServer(config, MakeBenchHandler());
+  }
   server->Start();
   std::printf("%s listening on 127.0.0.1:%u  (Ctrl-C to stop)\n",
               ArchitectureName(config.architecture), server->Port());
-  std::printf("try: curl 'http://127.0.0.1:%u/bench?size=1000&us=50'\n",
-              server->Port());
+  if (config.protocol == "rpc") {
+    std::printf("serving KV over rpc framing (%zu keys x %zu bytes); try: "
+                "hynet_load --proto rpc --port %u\n",
+                kv_keys, kv_value_bytes, server->Port());
+  } else {
+    std::printf("try: curl 'http://127.0.0.1:%u/bench?size=1000&us=50'\n",
+                server->Port());
+  }
   if (config.admin_port >= 0) {
     std::printf("admin: http://127.0.0.1:%u/metrics  /stats.json  /healthz\n",
                 server->AdminPort());

@@ -16,6 +16,12 @@ plane (queue-delay 503s plus deadline 504s per second), `rty` the rate
 of downstream retries issued by this tier, and `brk` the circuit-breaker
 state (`-` closed, `OPEN`, `half`).
 
+RPC-plane columns (all zero on an http server): `rpc/s` is the rate of
+frames dispatched on the multiplexed plane, `ooo%` the share of
+responses completed out of arrival order (the visible effect of
+per-method routing), and `infl` the high-water mark of in-flight
+requests on any one connection.
+
 Usage:
     python3 tools/hynet_top.py [--host 127.0.0.1] [--port 9090]
                                [--interval 1.0]
@@ -71,7 +77,8 @@ def main() -> int:
               f"{'wr/resp':>7}  {'zero/s':>7}  {'iov/wv':>6}  "
               f"{'sqe/bat':>7}  {'wq':>5}  {'conns':>7}  "
               f"{'p50ms':>7}  {'p99ms':>7}  {'shed':>6}  {'rty':>6}  "
-              f"{'brk':>4}  {'drain':>5}")
+              f"{'brk':>4}  {'rpc/s':>8}  {'ooo%':>5}  {'infl':>5}  "
+              f"{'drain':>5}")
 
     prev = None
     prev_t = None
@@ -119,6 +126,13 @@ def main() -> int:
             # 0 closed / 1 open / 2 half-open.
             brk = {0: "-", 1: "OPEN", 2: "half"}.get(
                 counter(stats, "server_breaker_state"), "?")
+            # RPC plane: frame dispatch rate, out-of-order completion
+            # share over the window, and per-connection in-flight peak
+            # (a stored high-water mark, not an accumulator).
+            rpc_rate = d("server_rpc_requests")
+            ooo_rate = d("server_rpc_out_of_order_responses")
+            ooo_pct = (100.0 * ooo_rate / rpc_rate) if rpc_rate > 0 else 0.0
+            infl = counter(stats, "server_rpc_inflight_peak")
             if lines % 20 == 0:
                 print(header)
             print(f"{time.strftime('%H:%M:%S'):>8}  "
@@ -130,7 +144,8 @@ def main() -> int:
                   f"{wq:>5d}  {live:>7d}  "
                   f"{p50:>7.2f}  {p99:>7.2f}  "
                   f"{shed_rate:>6.1f}  {retry_rate:>6.1f}  "
-                  f"{brk:>4}  {'yes' if draining else 'no':>5}")
+                  f"{brk:>4}  {rpc_rate:>8.1f}  {ooo_pct:>5.1f}  "
+                  f"{infl:>5d}  {'yes' if draining else 'no':>5}")
             lines += 1
         prev = stats
         prev_t = now
