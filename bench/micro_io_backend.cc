@@ -1,21 +1,33 @@
-// micro_io_backend: syscalls per request, epoll readiness engine vs the
-// io_uring completion engine, on the single-thread server.
+// micro_io_backend: syscalls per request across every EventLoop
+// architecture and I/O plane.
 //
-// The epoll loop pays one epoll_wait per iteration plus one read() and
-// one write()/writev() per request; the completion engine rides reads and
-// writes on SQEs, so a whole loop iteration's worth of I/O costs a single
-// io_uring_enter — and when CQEs are already pending, not even that. The
-// syscall model counted here (uniform across both engines):
+// Four planes per architecture:
+//
+//   epoll        the readiness engine: one epoll_wait per iteration plus
+//                one read() and one write()/writev() per request;
+//   uring-ready  the uring readiness shim (uring_mode="readiness"):
+//                POLL_ADD wakeups followed by the same plain read()/write()
+//                — epoll with extra steps, kept as the A/B baseline;
+//   uring-comp   the completion plane with zero-copy sends disabled:
+//                engine-owned reads, queued SENDMSG writes, a whole
+//                iteration's I/O in one io_uring_enter;
+//   uring-comp-zc completion plane with SEND_ZC enabled (the default):
+//                responses >= 100KB pin their buffers and skip the
+//                kernel-side copy where the path allows it.
+//
+// The syscall model counted here (uniform across planes):
 //
 //   syscalls/req = (wait_syscalls + wakeup_writes + read_calls
 //                   + write_calls) / requests
 //
-// where wait_syscalls is loop_iterations (one epoll_wait each) on epoll
-// and uring_submit_batches (every io_uring_enter, submit or wait) on
-// uring. On uring, read/write counters stay zero by construction: those
-// ops are SQEs, not syscalls. Results go to BENCH_uring.json.
+// where wait_syscalls is loop_iterations (one epoll_wait each) on the
+// readiness planes and uring_submit_batches (every io_uring_enter) on the
+// completion plane, where read/write counters stay zero by construction.
+// Results go to BENCH_uring.json.
 //
 //   ./build/bench/micro_io_backend
+#include <cstdlib>
+
 #include "bench_common.h"
 #include "io/io_backend.h"
 
@@ -24,26 +36,70 @@ using namespace hynet::benchx;
 
 namespace {
 
+struct PlaneSpec {
+  const char* name;
+  const char* io_backend;
+  const char* uring_mode;
+  bool zero_copy;
+};
+
+constexpr PlaneSpec kPlanes[] = {
+    {"epoll", "epoll", "", false},
+    {"uring-ready", "uring", "readiness", false},
+    {"uring-comp", "uring", "", false},
+    {"uring-comp-zc", "uring", "", true},
+};
+
+struct ArchSpec {
+  const char* name;
+  ServerArchitecture arch;
+};
+
+constexpr ArchSpec kArchs[] = {
+    {"single_thread", ServerArchitecture::kSingleThread},
+    {"multi_loop", ServerArchitecture::kMultiLoop},
+    {"reactor_pool", ServerArchitecture::kReactorPool},
+    {"staged", ServerArchitecture::kStaged},
+};
+
 struct PointResult {
-  std::string backend;
+  std::string arch;
+  std::string plane;
   int concurrency = 0;
   size_t size = 0;
   double syscalls_per_req = 0.0;
   double sqes_per_batch = 0.0;
   double throughput = 0.0;
   double p99_ms = 0.0;
+  uint64_t zc_sends = 0;
+  uint64_t zc_bytes = 0;
+  uint64_t zc_copied = 0;
   bool fell_back = false;
+
+  // Bytes that actually bypassed the kernel-side copy: the per-send
+  // notification tells us which sends were copied after all (loopback has
+  // no DMA path, so there it is typically all of them).
+  uint64_t CopyAvoidedBytes() const {
+    if (zc_sends == 0) return 0;
+    const uint64_t copied = zc_copied < zc_sends ? zc_copied : zc_sends;
+    return zc_bytes - zc_bytes * copied / zc_sends;
+  }
 };
 
-PointResult RunPoint(const std::string& backend, int concurrency, size_t size,
-                     double seconds) {
-  BenchPoint p = MakePoint(ServerArchitecture::kSingleThread, size,
-                           concurrency, seconds);
-  p.server.io_backend = backend;
+PointResult RunPoint(const ArchSpec& arch, const PlaneSpec& plane,
+                     int concurrency, size_t size, double seconds) {
+  // The engine reads the knob at construction (server Start), so flipping
+  // the environment between points selects the plane variant.
+  ::setenv("HYNET_URING_ZC", plane.zero_copy ? "1" : "0", 1);
+
+  BenchPoint p = MakePoint(arch.arch, size, concurrency, seconds);
+  p.server.io_backend = plane.io_backend;
+  p.server.uring_mode = plane.uring_mode;
   const BenchPointResult r = RunBenchPoint(p);
 
   PointResult out;
-  out.backend = backend;
+  out.arch = arch.name;
+  out.plane = plane.name;
   out.concurrency = concurrency;
   out.size = size;
   const bool uring = r.counters.uring_sqes_submitted > 0;
@@ -63,6 +119,9 @@ PointResult RunPoint(const std::string& backend, int concurrency, size_t size,
           : 0.0;
   out.throughput = r.Throughput();
   out.p99_ms = r.load.latency.Percentile(0.99) / 1e6;
+  out.zc_sends = r.counters.uring_zc_sends;
+  out.zc_bytes = r.counters.uring_zc_bytes;
+  out.zc_copied = r.counters.uring_zc_copied;
   out.fell_back = r.counters.uring_fallbacks > 0;
   return out;
 }
@@ -71,8 +130,8 @@ PointResult RunPoint(const std::string& backend, int concurrency, size_t size,
 
 int main() {
   PrintHeader(
-      "micro_io_backend: syscalls per request, epoll vs io_uring, "
-      "single-thread server, concurrency x response size");
+      "micro_io_backend: syscalls per request, architecture x I/O plane "
+      "(epoll / uring readiness / uring completion / completion+SEND_ZC)");
 
   if (!IoUringAvailable()) {
     std::printf("note: io_uring unavailable on this kernel — the uring rows "
@@ -80,26 +139,30 @@ int main() {
   }
 
   const double seconds = BenchSeconds(1.0);
-  std::vector<int> concurrencies = {8, 64, 256};
+  const int concurrency = 256;
   std::vector<size_t> sizes = {1024, 100 * 1024};
+  std::vector<const ArchSpec*> archs;
+  for (const ArchSpec& a : kArchs) archs.push_back(&a);
   if (BenchQuickMode()) {
-    concurrencies = {8, 64};
     sizes = {1024};
+    archs = {&kArchs[0], &kArchs[1]};
   }
 
-  TablePrinter table({"conc", "size", "backend", "syscalls_per_req",
-                      "vs_epoll", "sqe_per_batch", "req_per_sec", "p99_ms"});
+  TablePrinter table({"arch", "size", "plane", "syscalls_per_req", "vs_epoll",
+                      "sqe_per_batch", "req_per_sec", "p99_ms", "zc_sends",
+                      "zc_MB"});
   std::vector<PointResult> results;
-  for (int conc : concurrencies) {
+  for (const ArchSpec* arch : archs) {
     for (size_t size : sizes) {
       double epoll_baseline = 0.0;
-      for (const char* backend : {"epoll", "uring"}) {
-        const PointResult r = RunPoint(backend, conc, size, seconds);
+      for (const PlaneSpec& plane : kPlanes) {
+        const PointResult r = RunPoint(*arch, plane, concurrency, size,
+                                       seconds);
         results.push_back(r);
-        if (r.backend == "epoll") epoll_baseline = r.syscalls_per_req;
+        if (r.plane == "epoll") epoll_baseline = r.syscalls_per_req;
         table.AddRow(
-            {TablePrinter::Int(conc), SizeLabel(size),
-             r.fell_back ? r.backend + "(fb)" : r.backend,
+            {r.arch, SizeLabel(size),
+             r.fell_back ? r.plane + "(fb)" : r.plane,
              TablePrinter::Num(r.syscalls_per_req, 2),
              TablePrinter::Num(r.syscalls_per_req > 0
                                    ? epoll_baseline / r.syscalls_per_req
@@ -107,26 +170,38 @@ int main() {
                                2),
              TablePrinter::Num(r.sqes_per_batch, 1),
              TablePrinter::Num(r.throughput, 0),
-             TablePrinter::Num(r.p99_ms, 2)});
+             TablePrinter::Num(r.p99_ms, 2),
+             TablePrinter::Int(static_cast<int>(r.zc_sends)),
+             TablePrinter::Num(static_cast<double>(r.zc_bytes) / (1024.0 *
+                                                                  1024.0),
+                               1)});
       }
     }
   }
   table.Print();
+  ::unsetenv("HYNET_URING_ZC");
 
   FILE* f = std::fopen("BENCH_uring.json", "w");
   if (f) {
     std::fprintf(f, "{\"bench\":\"micro_io_backend\",\"points\":[\n");
     for (size_t i = 0; i < results.size(); ++i) {
       const PointResult& r = results[i];
-      std::fprintf(f,
-                   "  {\"backend\":\"%s\",\"fell_back\":%s,"
-                   "\"concurrency\":%d,\"response_bytes\":%zu,"
-                   "\"syscalls_per_req\":%.3f,\"sqes_per_batch\":%.2f,"
-                   "\"throughput_rps\":%.1f,\"p99_ms\":%.3f}%s\n",
-                   r.backend.c_str(), r.fell_back ? "true" : "false",
-                   r.concurrency, r.size, r.syscalls_per_req, r.sqes_per_batch,
-                   r.throughput, r.p99_ms,
-                   i + 1 < results.size() ? "," : "");
+      std::fprintf(
+          f,
+          "  {\"arch\":\"%s\",\"plane\":\"%s\",\"fell_back\":%s,"
+          "\"concurrency\":%d,\"response_bytes\":%zu,"
+          "\"syscalls_per_req\":%.3f,\"sqes_per_batch\":%.2f,"
+          "\"throughput_rps\":%.1f,\"p99_ms\":%.3f,"
+          "\"zc_sends\":%llu,\"zc_bytes\":%llu,\"zc_copied\":%llu,"
+          "\"zc_copy_avoided_bytes\":%llu}%s\n",
+          r.arch.c_str(), r.plane.c_str(), r.fell_back ? "true" : "false",
+          r.concurrency, r.size, r.syscalls_per_req, r.sqes_per_batch,
+          r.throughput, r.p99_ms,
+          static_cast<unsigned long long>(r.zc_sends),
+          static_cast<unsigned long long>(r.zc_bytes),
+          static_cast<unsigned long long>(r.zc_copied),
+          static_cast<unsigned long long>(r.CopyAvoidedBytes()),
+          i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "]}\n");
     std::fclose(f);
@@ -134,10 +209,12 @@ int main() {
   }
 
   std::printf(
-      "\nExpected shape: epoll pays ~3+ syscalls per request (epoll_wait\n"
-      "share + read + write); the completion engine batches a whole\n"
-      "iteration's SQEs into one io_uring_enter, so syscalls/request\n"
-      "drops well below 1 at concurrency >= 64 (>= 20%% fewer than epoll\n"
-      "at 1KB) and sqe_per_batch grows with concurrency.\n");
+      "\nExpected shape: the readiness planes pay ~3+ syscalls per request\n"
+      "(wait share + read + write) on every architecture; the completion\n"
+      "plane batches a whole iteration's SQEs into one io_uring_enter, so\n"
+      "syscalls/request drops below 0.5 at 1KB. At 100KB the zc plane\n"
+      "additionally routes sends through SENDMSG_ZC (zc_sends > 0);\n"
+      "zc_copied counts notifications where the kernel copied anyway\n"
+      "(expected on loopback, which has no DMA path to hide the copy).\n");
   return 0;
 }

@@ -124,7 +124,7 @@ void RpcServer::OnBytes(LoopConn& lc) {
                                 h.request_id, h.method_id,
                                 RpcStatus::kBadRequest, nullptr, {},
                                 kRpcFlagClose));
-        if (!lc.conn.closed && lc.conn.out.Empty() && !HasPendingWork(lc)) {
+        if (!lc.conn.closed && OutboundIdle(lc) && !HasPendingWork(lc)) {
           CloseConn(lc);
         }
       } else {
@@ -145,7 +145,7 @@ void RpcServer::OnBytes(LoopConn& lc) {
   if (!lc.conn.closed && st.flush_pending) {
     st.flush_pending = false;
     FlushEnqueued(lc);
-    if (!lc.conn.closed && lc.conn.close_after_write && lc.conn.out.Empty() &&
+    if (!lc.conn.closed && lc.conn.close_after_write && OutboundIdle(lc) &&
         !HasPendingWork(lc)) {
       CloseConn(lc);
     }
@@ -296,9 +296,10 @@ void RpcServer::CompleteRequest(LoopConn& lc, uint64_t request_id,
       static_cast<size_t>(std::max(config_.snd_buf_bytes, 16 * 1024));
   const size_t response_size = payload.size();
 
-  // Ordering constraint: bytes already queued must stay ahead of this
-  // response, so every path degrades to the buffer when out is non-empty.
-  const bool must_queue = !lc.conn.out.Empty();
+  // Ordering constraint: bytes already queued (or in flight on the
+  // completion plane) must stay ahead of this response, so every path
+  // degrades to the buffer when the outbound side is busy.
+  const bool must_queue = !OutboundIdle(lc);
 
   const bool explicit_inline = route == RpcRoute::kInline && !auto_routed;
   bool wrote_inline = false;
@@ -371,7 +372,7 @@ void RpcServer::CompleteRequest(LoopConn& lc, uint64_t request_id,
       }
     } else if (!cpu_heavy &&
                (response_size <= write_budget ||
-                (!must_queue && lc.conn.out.Empty()))) {
+                (!must_queue && OutboundIdle(lc)))) {
       // Heavy → light demotion (runtime drift): the handler ran fast and
       // the response is either small enough to fit the direct-write
       // budget, or observably drained alone within the flush's spin cap.
@@ -389,8 +390,7 @@ void RpcServer::CompleteRequest(LoopConn& lc, uint64_t request_id,
 
   request_latency_ns_->Record(NowNanos() - start_ns);
 
-  if (lc.conn.close_after_write && lc.conn.out.Empty() &&
-      !HasPendingWork(lc)) {
+  if (lc.conn.close_after_write && OutboundIdle(lc) && !HasPendingWork(lc)) {
     CloseConn(lc);
   }
 }

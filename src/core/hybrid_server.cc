@@ -28,7 +28,7 @@ void HybridServer::OnBytes(LoopConn& lc) {
         lc.conn.close_after_write = true;
         EnqueueAndFlush(lc, Payload::FromString(SimpleErrorResponse(
                                 err == ParseError::kHeadTooLarge ? 431 : 413)));
-        if (!lc.conn.closed && lc.conn.out.Empty()) CloseConn(lc);
+        if (!lc.conn.closed && OutboundIdle(lc)) CloseConn(lc);
         return;
       }
       CloseConn(lc);
@@ -56,8 +56,9 @@ void HybridServer::OnBytes(LoopConn& lc) {
 
     // Runtime type checking: pick the execution path recorded for this
     // request type. Ordering constraint: if earlier heavy responses are
-    // still queued, everything must follow them through the buffer.
-    const bool must_queue = !lc.conn.out.Empty();
+    // still queued (or in flight on the completion plane), everything must
+    // follow them through the buffer.
+    const bool must_queue = !OutboundIdle(lc);
     const PathCategory category = classifier_.Lookup(lc.current_target);
 
     if (must_queue || category == PathCategory::kHeavy) {
@@ -67,8 +68,10 @@ void HybridServer::OnBytes(LoopConn& lc) {
       EnqueueAndFlush(lc, std::move(payload));
       // Heavy→light demotion (runtime drift, Section V-B): if this
       // response — alone in the buffer — drained within the light-path
-      // write budget, the type no longer write-spins.
-      if (!must_queue && !lc.conn.closed && lc.conn.out.Empty()) {
+      // write budget, the type no longer write-spins. (Completion-mode
+      // submissions drain at a later CQE, so this inline probe never
+      // demotes there; the light path's own success still does.)
+      if (!must_queue && !lc.conn.closed && OutboundIdle(lc)) {
         const uint64_t writes_used =
             write_stats_.write_calls.load(std::memory_order_relaxed) -
             writes_before;
@@ -111,7 +114,7 @@ void HybridServer::OnBytes(LoopConn& lc) {
 
     // The connection may have been closed by a write error.
     if (lc.conn.closed) return;
-    if (lc.conn.close_after_write && lc.conn.out.Empty()) {
+    if (lc.conn.close_after_write && OutboundIdle(lc)) {
       CloseConn(lc);
       return;
     }

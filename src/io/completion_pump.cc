@@ -1,0 +1,136 @@
+#include "io/completion_pump.h"
+
+#include <utility>
+
+namespace hynet {
+
+CompletionPump::CompletionPump(EventLoop& loop, WriteStats& write_stats,
+                               HistogramMetric* writes_per_response,
+                               HistogramMetric* request_latency_ns,
+                               Hooks hooks, Options options)
+    : loop_(loop),
+      write_stats_(write_stats),
+      writes_per_response_(writes_per_response),
+      request_latency_ns_(request_latency_ns),
+      hooks_(std::move(hooks)),
+      options_(options) {}
+
+void CompletionPump::Watch(int fd, Connection* conn) {
+  loop_.SetCompletionHandler(
+      fd, [this, fd, conn](const IoEvent& ev) { OnCompletion(fd, conn, ev); });
+  ArmRead(fd, *conn);
+}
+
+void CompletionPump::Unwatch(int fd) { loop_.ClearCompletionHandler(fd); }
+
+void CompletionPump::ArmRead(int fd, Connection& conn) {
+  if (conn.uring_read_armed) return;
+  conn.uring_read_armed = true;
+  loop_.QueueRead(fd);
+}
+
+void CompletionPump::Enqueue(Connection& conn, Payload payload,
+                             int64_t start_ns) {
+  conn.uring_q_bytes += payload.size();
+  conn.uring_q.push_back({std::move(payload), 0, start_ns});
+}
+
+bool CompletionPump::Flush(int fd, Connection& conn) {
+  if (conn.uring_write_inflight || conn.uring_q.empty()) return true;
+  std::vector<Payload> batch;
+  const size_t n = std::min<size_t>(conn.uring_q.size(), kWriteBatch);
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    batch.push_back(conn.uring_q[i].payload);  // shares the body bytes
+    conn.uring_q[i].writes++;
+  }
+  const int segs =
+      loop_.QueueWritePayloads(fd, std::move(batch), conn.uring_q_offset);
+  if (segs < 0) {
+    hooks_.on_error(fd);
+    return false;
+  }
+  conn.uring_write_inflight = true;
+  // A SENDMSG SQE is the vectored-write unit of this path; it rides the
+  // iteration's submit batch instead of costing its own syscall.
+  write_stats_.writev_calls.fetch_add(1, std::memory_order_relaxed);
+  write_stats_.iov_segments.fetch_add(static_cast<uint64_t>(segs),
+                                      std::memory_order_relaxed);
+  if (!conn.lifecycle.write_stalled) {
+    conn.lifecycle.write_stalled = true;
+    conn.lifecycle.stall_start = Now();
+  }
+  return true;
+}
+
+void CompletionPump::OnCompletion(int fd, Connection* conn,
+                                  const IoEvent& ev) {
+  if (ev.op == IoOpType::kWrite) {
+    HandleWrite(fd, *conn, ev);
+  } else if (ev.op == IoOpType::kRead) {
+    HandleRead(fd, *conn, ev);
+  }
+}
+
+void CompletionPump::HandleRead(int fd, Connection& conn, const IoEvent& ev) {
+  conn.uring_read_armed = false;
+  if (ev.result < 0) {
+    hooks_.on_error(fd);
+    return;
+  }
+  if (ev.result == 0) {
+    // EOF: the hook answers buffered requests and decides when to reclaim
+    // (peer_half_closed + Idle), so no re-arm either way.
+    conn.lifecycle.peer_half_closed = true;
+    hooks_.on_readable(fd);
+    return;
+  }
+  conn.in.Append(ev.data, ev.len);
+  conn.lifecycle.last_activity = Now();
+  if (!hooks_.on_readable(fd)) return;  // closed: conn is gone
+  if (options_.auto_rearm && !conn.close_after_write &&
+      !conn.lifecycle.peer_half_closed && !conn.lifecycle.reading_paused) {
+    ArmRead(fd, conn);
+  }
+}
+
+void CompletionPump::HandleWrite(int fd, Connection& conn, const IoEvent& ev) {
+  conn.uring_write_inflight = false;
+  if (ev.result < 0) {
+    hooks_.on_error(fd);  // EPIPE / ECONNRESET / cancelled
+    return;
+  }
+  if (ev.result == 0) {
+    write_stats_.zero_writes.fetch_add(1, std::memory_order_relaxed);
+  }
+  conn.lifecycle.last_activity = Now();
+  size_t advance = static_cast<size_t>(ev.result);
+  conn.uring_q_bytes -= std::min(conn.uring_q_bytes, advance);
+  while (advance > 0 && !conn.uring_q.empty()) {
+    auto& node = conn.uring_q.front();
+    const size_t left = node.payload.size() - conn.uring_q_offset;
+    if (advance < left) {
+      conn.uring_q_offset += advance;
+      break;
+    }
+    advance -= left;
+    conn.uring_q_offset = 0;
+    write_stats_.responses.fetch_add(1, std::memory_order_relaxed);
+    if (writes_per_response_) writes_per_response_->Record(node.writes);
+    if (node.start_ns > 0 && request_latency_ns_) {
+      request_latency_ns_->Record(NowNanos() - node.start_ns);
+    }
+    conn.uring_q.pop_front();
+  }
+  if (!conn.uring_q.empty()) {
+    // Short write: resume from the new offset. Progress resets the stall
+    // clock; a peer whose window never opens still trips the sweep.
+    conn.lifecycle.stall_start = Now();
+    Flush(fd, conn);
+    return;
+  }
+  conn.lifecycle.write_stalled = false;
+  hooks_.on_drained(fd);
+}
+
+}  // namespace hynet

@@ -1,0 +1,135 @@
+// The per-loop completion pump: the one place that turns io_uring CQEs
+// into connection activity for every EventLoop-based architecture.
+//
+// Before this existed, only SingleThreadServer spoke the completion plane
+// (QueueRead / QueueWritePayloads / SetCompletionHandler); the multi-loop,
+// reactor-pool and staged servers drove io_uring through its readiness
+// shim — POLL_ADD wakeups followed by plain read()/write() syscalls, i.e.
+// epoll with extra steps. The pump extracts the CQE pump that was embedded
+// in SingleThreadServer so each architecture keeps only its scheduling
+// policy (who parses, who runs the handler, who flushes) and delegates the
+// mechanics shared by all of them:
+//
+//   - engine-owned reads: one RECV SQE armed per connection (idempotent
+//     through Connection::uring_read_armed), bytes appended to conn.in
+//     before the architecture's on_readable hook runs;
+//   - batched vectored writes: responses queue in Connection::uring_q and
+//     ship as SENDMSG ops of up to kWriteBatch payloads, with short-write
+//     resume, per-response writes/latency attribution and the write-stall
+//     clock, exactly as the single-thread pump did;
+//   - lifecycle glue: half-close flagging, stall-clock resets, and the
+//     on_drained edge the architectures use for close-after-write /
+//     half-close reclaim / backpressure resume / read re-arm decisions.
+//
+// Threading: a pump instance belongs to one EventLoop and must only be
+// touched from that loop's thread (the same contract as the engine it
+// drives). Architectures that prepare responses on workers marshal them to
+// the loop thread (RunInLoop) and Enqueue/Flush there.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "metrics/registry.h"
+#include "net/event_loop.h"
+#include "runtime/buffer_pool.h"
+#include "runtime/dispatch_stats.h"
+#include "servers/connection.h"
+
+namespace hynet {
+
+// Adapts a per-loop BufferPool to the completion engine's read-buffer
+// interface so recycled connection buffers feed the read SQEs (only used
+// when the engine runs without a provided-buffer ring).
+struct PoolBufferSource final : ReadBufferSource {
+  explicit PoolBufferSource(BufferPool& p) : pool(p) {}
+  ByteBuffer AcquireBuffer() override { return pool.Acquire(); }
+  void ReleaseBuffer(ByteBuffer buffer) override {
+    pool.Release(std::move(buffer));
+  }
+  BufferPool& pool;
+};
+
+class CompletionPump {
+ public:
+  // Payloads per SENDMSG op (each contributes up to Payload::kMaxSegments
+  // iovecs); matches the engine's kMaxWritePayloads.
+  static constexpr size_t kWriteBatch = 8;
+
+  struct Hooks {
+    // A read CQE landed for `fd`: bytes (if any) are already appended to
+    // conn.in and lifecycle.last_activity is fresh; on EOF,
+    // lifecycle.peer_half_closed is set before the call. The hook parses /
+    // dispatches / closes per the architecture's policy. Return false when
+    // the connection was closed (the pump must not touch it again this
+    // event).
+    std::function<bool(int fd)> on_readable;
+    // A CQE reported a fatal error (read/write failure, cancelled op, EOF
+    // handling is NOT routed here). The hook closes the connection.
+    std::function<void(int fd)> on_error;
+    // The write queue fully drained (uring_q empty, nothing in flight).
+    // The hook decides: close after write, reclaim a half-closed peer,
+    // resume a backpressured read, or re-arm the worker chain.
+    std::function<void(int fd)> on_drained;
+  };
+
+  struct Options {
+    // Re-arm the read SQE automatically after each on_readable that keeps
+    // the connection open (single-thread / multi-loop style). The
+    // dispatching architectures set false and re-arm explicitly when the
+    // worker chain hands the connection back.
+    bool auto_rearm = true;
+  };
+
+  CompletionPump(EventLoop& loop, WriteStats& write_stats,
+                 HistogramMetric* writes_per_response,
+                 HistogramMetric* request_latency_ns, Hooks hooks,
+                 Options options);
+
+  CompletionPump(const CompletionPump&) = delete;
+  CompletionPump& operator=(const CompletionPump&) = delete;
+
+  // Routes the fd's CQEs to this pump and arms the first read. The
+  // Connection must stay at a stable address until Unwatch (all callers
+  // heap-allocate them).
+  void Watch(int fd, Connection* conn);
+
+  // Stops routing CQEs (in-flight ops for the fd are cancelled by the
+  // engine's CancelFd when the caller closes / unregisters).
+  void Unwatch(int fd);
+
+  // Arms one RECV SQE unless one is already outstanding. Safe to call on
+  // every handoff; the uring_read_armed flag dedupes.
+  void ArmRead(int fd, Connection& conn);
+
+  // Appends a response to the connection's write queue. start_ns > 0
+  // attributes request latency at completion (architectures that record
+  // latency elsewhere pass 0). Does not submit — call Flush.
+  void Enqueue(Connection& conn, Payload payload, int64_t start_ns);
+
+  // Submits the next SENDMSG batch when nothing is in flight. Returns
+  // false when submission failed and on_error closed the connection.
+  bool Flush(int fd, Connection& conn);
+
+  // True when the connection has no queued or in-flight completion-mode
+  // writes. The completion-plane analogue of OutboundBuffer::Empty(), for
+  // close-when-idle checks.
+  static bool Idle(const Connection& conn) {
+    return conn.uring_q.empty() && !conn.uring_write_inflight;
+  }
+
+ private:
+  void OnCompletion(int fd, Connection* conn, const IoEvent& ev);
+  void HandleRead(int fd, Connection& conn, const IoEvent& ev);
+  void HandleWrite(int fd, Connection& conn, const IoEvent& ev);
+
+  EventLoop& loop_;
+  WriteStats& write_stats_;
+  HistogramMetric* writes_per_response_;
+  HistogramMetric* request_latency_ns_;
+  Hooks hooks_;
+  Options options_;
+};
+
+}  // namespace hynet

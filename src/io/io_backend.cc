@@ -1,6 +1,7 @@
 #include "io/io_backend.h"
 
 #include <linux/io_uring.h>
+#include <sys/mman.h>
 #include <sys/syscall.h>
 #include <unistd.h>
 
@@ -19,10 +20,13 @@ namespace {
 
 // Multishot accept (5.19) has no feature flag; probe the opcode registry
 // and use IORING_OP_SOCKET — added in the same release — as its proxy.
-bool ProbeIoUring() {
+// The optional-feature probes (SENDMSG_ZC, provided buffer rings) ride the
+// same throwaway ring so the whole capability surface costs one setup.
+UringCaps ProbeUringCapsOnce() {
+  UringCaps caps;
   io_uring_params params{};
   const int fd = static_cast<int>(::syscall(__NR_io_uring_setup, 4, &params));
-  if (fd < 0) return false;  // ENOSYS, seccomp EPERM, ENOMEM, ...
+  if (fd < 0) return caps;  // ENOSYS, seccomp EPERM, ENOMEM, ...
   bool ok = (params.features & IORING_FEAT_EXT_ARG) &&
             (params.features & IORING_FEAT_NODROP);
   if (ok) {
@@ -33,15 +37,48 @@ bool ProbeIoUring() {
     if (::syscall(__NR_io_uring_register, fd, IORING_REGISTER_PROBE, probe,
                   kProbeOps) == 0) {
       ok = probe->last_op >= IORING_OP_SOCKET;
+      const auto supported = [probe](unsigned op) {
+        return op <= probe->last_op &&
+               (probe->ops[op].flags & IO_URING_OP_SUPPORTED) != 0;
+      };
+      caps.sendmsg_zc = supported(IORING_OP_SENDMSG_ZC);
     } else {
       ok = false;
     }
   }
+  if (ok) {
+    // Trial-register a minimal provided-buffer ring: the registration
+    // opcode (not just the RECV buffer-select path) is what old kernels
+    // and seccomp policies reject.
+    void* ring = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE,
+                        MAP_ANONYMOUS | MAP_PRIVATE, -1, 0);
+    if (ring != MAP_FAILED) {
+      io_uring_buf_reg reg{};
+      reg.ring_addr = reinterpret_cast<uint64_t>(ring);
+      reg.ring_entries = 16;
+      reg.bgid = 0;
+      if (::syscall(__NR_io_uring_register, fd, IORING_REGISTER_PBUF_RING,
+                    &reg, 1) == 0) {
+        caps.buf_ring = true;
+        io_uring_buf_reg unreg{};
+        unreg.bgid = 0;
+        ::syscall(__NR_io_uring_register, fd, IORING_UNREGISTER_PBUF_RING,
+                  &unreg, 1);
+      }
+      ::munmap(ring, 4096);
+    }
+  }
+  caps.available = ok;
   ::close(fd);
-  return ok;
+  return caps;
 }
 
 }  // namespace
+
+const UringCaps& ProbeUringCaps() {
+  static const UringCaps caps = ProbeUringCapsOnce();
+  return caps;
+}
 
 const char* IoBackendName(IoBackendKind kind) {
   switch (kind) {
@@ -79,10 +116,7 @@ IoBackendKind ResolveIoBackendKind(std::string_view configured) {
   return IoBackendKind::kEpoll;
 }
 
-bool IoUringAvailable() {
-  static const bool available = ProbeIoUring();
-  return available;
-}
+bool IoUringAvailable() { return ProbeUringCaps().available; }
 
 std::unique_ptr<IoBackend> CreateIoBackend(IoBackendKind kind,
                                            bool* fell_back) {

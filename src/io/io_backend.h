@@ -50,6 +50,17 @@ IoBackendKind ResolveIoBackendKind(std::string_view configured);
 // vintage) and on sandboxes whose seccomp policy answers EPERM/ENOSYS.
 bool IoUringAvailable();
 
+// Kernel capability surface for the optional uring features, probed once
+// per process on a throwaway ring. All false when IoUringAvailable() is.
+struct UringCaps {
+  bool available = false;
+  // IORING_OP_SENDMSG_ZC in the opcode registry (6.1+): zero-copy sends.
+  bool sendmsg_zc = false;
+  // IORING_REGISTER_PBUF_RING accepted (5.19+): provided buffer rings.
+  bool buf_ring = false;
+};
+const UringCaps& ProbeUringCaps();
+
 // Engine counters, exported by the servers through the ServerCounters
 // X-macro plane. All zero on the epoll engine.
 struct IoBackendStats {
@@ -60,6 +71,22 @@ struct IoBackendStats {
   uint64_t cqes_reaped = 0;
   // 1 when uring was requested but probing fell back to epoll.
   uint64_t fallbacks = 0;
+  // io_uring_enter retries, by cause: EINTR (signal), EBUSY (the NODROP
+  // completion backlog must be reaped before new SQEs are accepted).
+  uint64_t eintr_retries = 0;
+  uint64_t ebusy_retries = 0;
+  // Probe-time feature fallbacks: a requested ring feature (SEND_ZC,
+  // provided buffers, SQPOLL) this kernel lacks, downgraded at setup.
+  // Distinct from `fallbacks` (whole-engine) and `zc_downgrades` (runtime).
+  uint64_t feature_fallbacks = 0;
+  // Runtime downgrades: SENDMSG_ZC rejected mid-flight by the kernel or
+  // socket; the op was transparently re-sent as a plain SENDMSG.
+  uint64_t zc_downgrades = 0;
+  // Zero-copy sends: ops submitted, bytes they covered, and the subset
+  // whose notification reported the kernel copied anyway (REPORT_USAGE).
+  uint64_t zc_sends = 0;
+  uint64_t zc_bytes = 0;
+  uint64_t zc_copied = 0;
 };
 
 enum class IoOpType : uint8_t { kReadiness, kAccept, kRead, kWrite };
@@ -71,8 +98,14 @@ struct IoEvent {
   int32_t result = 0;     // kAccept: new fd; kRead/kWrite: bytes; <0: -errno
   uint64_t token = 0;     // kWrite: caller token from QueueWritePayloads
   // kRead: the filled buffer, owned by the backend and valid until the
-  // next Wait() call (consumers copy or parse during dispatch).
+  // next Wait() call (consumers copy or parse during dispatch). Null in
+  // buffer-ring mode, where the bytes live in the registered slab.
   ByteBuffer* buffer = nullptr;
+  // kRead: the received bytes, however they are backed — the registered
+  // slab in buffer-ring mode, `buffer`'s readable span otherwise. Valid
+  // until the next Wait(); consumers should read through this pair.
+  const char* data = nullptr;
+  size_t len = 0;
 };
 
 // Supplies read buffers for completion-mode reads. The server layer adapts

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <system_error>
 
+#include "common/env.h"
 #include "common/logging.h"
 #include "net/socket.h"
 
@@ -39,16 +40,50 @@ void StoreRelease(uint32_t* p, uint32_t v) {
   __atomic_store_n(p, v, __ATOMIC_RELEASE);
 }
 
+// A read slot's ByteBuffer is only pool-backed in non-buffer-ring mode; a
+// default-constructed (empty, zero-capacity) one must not pollute the pool.
+bool HasStorage(const ByteBuffer& b) {
+  return b.ReadableBytes() > 0 || b.WritableBytes() > 0;
+}
+
 }  // namespace
 
 UringBackend::UringBackend() {
+  const UringCaps& caps = ProbeUringCaps();
+  sqpoll_ = EnvBool("HYNET_URING_SQPOLL", false);
+  const bool want_zc = EnvBool("HYNET_URING_ZC", true);
+  zc_enabled_ = want_zc && caps.sendmsg_zc;
+  if (want_zc && !caps.sendmsg_zc) {
+    feature_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const bool want_bufring = EnvBool("HYNET_URING_BUFRING", true);
+  bufring_enabled_ = want_bufring && caps.buf_ring;
+  if (want_bufring && !caps.buf_ring) {
+    feature_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  regfiles_enabled_ = EnvBool("HYNET_URING_REGFILES", false);
+
   io_uring_params params{};
   // CQ sized well past SQ depth: completions accumulate all iteration
   // (every in-flight op may complete between two Wait calls) while SQ only
   // has to hold one iteration's submissions.
   params.flags = IORING_SETUP_CQSIZE;
   params.cq_entries = kCqEntries;
-  const int fd = SysUringSetup(kSqEntries, &params);
+  if (sqpoll_) {
+    params.flags |= IORING_SETUP_SQPOLL;
+    params.sq_thread_idle = 50;  // ms the kernel thread spins before napping
+  }
+  int fd = SysUringSetup(kSqEntries, &params);
+  if (fd < 0 && sqpoll_) {
+    // SQPOLL needs privileges on pre-5.11 kernels; run without it rather
+    // than fail the whole engine.
+    feature_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    sqpoll_ = false;
+    params = io_uring_params{};
+    params.flags = IORING_SETUP_CQSIZE;
+    params.cq_entries = kCqEntries;
+    fd = SysUringSetup(kSqEntries, &params);
+  }
   if (fd < 0) ThrowErrno("io_uring_setup");
   ring_fd_ = ScopedFd(fd);
   // EXT_ARG carries the timer timeout into the blocking enter; NODROP
@@ -104,6 +139,7 @@ UringBackend::UringBackend() {
   sq_tail_ = reinterpret_cast<uint32_t*>(sq_base + params.sq_off.tail);
   sq_mask_ = *reinterpret_cast<uint32_t*>(sq_base + params.sq_off.ring_mask);
   sq_array_ = reinterpret_cast<uint32_t*>(sq_base + params.sq_off.array);
+  sq_flags_ = reinterpret_cast<uint32_t*>(sq_base + params.sq_off.flags);
   auto* cq_base = static_cast<char*>(cq_ring_ptr_);
   cq_head_ = reinterpret_cast<uint32_t*>(cq_base + params.cq_off.head);
   cq_tail_ = reinterpret_cast<uint32_t*>(cq_base + params.cq_off.tail);
@@ -111,12 +147,24 @@ UringBackend::UringBackend() {
   cqes_ = reinterpret_cast<io_uring_cqe*>(cq_base + params.cq_off.cqes);
 
   sq_local_tail_ = sq_submitted_ = *sq_tail_;
+
+  if (bufring_enabled_ && !SetupBufRing()) {
+    feature_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    bufring_enabled_ = false;
+  }
+  if (regfiles_enabled_ && !SetupRegisteredFiles()) {
+    feature_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    regfiles_enabled_ = false;
+  }
 }
 
 UringBackend::~UringBackend() {
-  // Close the ring first: teardown cancels and waits out in-flight ops,
-  // after which the slot-owned buffers below are no longer kernel-visible.
+  // Close the ring first: teardown cancels and waits out in-flight ops
+  // (zero-copy notifications included), after which the slot-owned buffers
+  // and the registered slab below are no longer kernel-visible.
   ring_fd_.Reset();
+  if (buf_ring_) ::munmap(buf_ring_, buf_ring_bytes_);
+  if (buf_slab_) ::munmap(buf_slab_, buf_slab_bytes_);
   if (sqes_) ::munmap(sqes_, sqes_bytes_);
   if (cq_ring_ptr_ && cq_ring_ptr_ != sq_ring_ptr_) {
     ::munmap(cq_ring_ptr_, cq_ring_bytes_);
@@ -124,11 +172,120 @@ UringBackend::~UringBackend() {
   if (sq_ring_ptr_) ::munmap(sq_ring_ptr_, sq_ring_bytes_);
   if (buffer_source_) {
     for (auto& slot : slots_) {
-      if (slot.kind == OpKind::kRead) {
+      if (slot.kind == OpKind::kRead && HasStorage(slot.buffer)) {
         buffer_source_->ReleaseBuffer(std::move(slot.buffer));
       }
     }
   }
+}
+
+bool UringBackend::SetupBufRing() {
+  buf_ring_bytes_ = kBufRingEntries * sizeof(io_uring_buf);
+  void* ring = ::mmap(nullptr, buf_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_ANONYMOUS | MAP_PRIVATE, -1, 0);
+  if (ring == MAP_FAILED) return false;
+  buf_slab_bytes_ = static_cast<size_t>(kBufRingEntries) * kReadChunk;
+  void* slab = ::mmap(nullptr, buf_slab_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_ANONYMOUS | MAP_PRIVATE, -1, 0);
+  if (slab == MAP_FAILED) {
+    ::munmap(ring, buf_ring_bytes_);
+    return false;
+  }
+  io_uring_buf_reg reg{};
+  reg.ring_addr = reinterpret_cast<uint64_t>(ring);
+  reg.ring_entries = kBufRingEntries;
+  reg.bgid = kBufGroupId;
+  if (::syscall(__NR_io_uring_register, ring_fd_.get(),
+                IORING_REGISTER_PBUF_RING, &reg, 1) != 0) {
+    ::munmap(slab, buf_slab_bytes_);
+    ::munmap(ring, buf_ring_bytes_);
+    return false;
+  }
+  buf_ring_ = static_cast<io_uring_buf_ring*>(ring);
+  buf_slab_ = static_cast<char*>(slab);
+  // Hand every buffer to the kernel up front; they come back one CQE at a
+  // time and recycle at the Wait after their dispatch pass.
+  for (unsigned bid = 0; bid < kBufRingEntries; ++bid) {
+    RecycleBid(static_cast<uint16_t>(bid));
+  }
+  PublishBufRing();
+  return true;
+}
+
+void UringBackend::RecycleBid(uint16_t bid) {
+  // Not buf_ring_->bufs[]: the C++ expansion of __DECLARE_FLEX_ARRAY pads
+  // the flexible member to offset 8 (its dummy struct{} has size 1), while
+  // the kernel reads entries from offset 0. Index the ring base directly.
+  auto* entries = reinterpret_cast<io_uring_buf*>(buf_ring_);
+  io_uring_buf& e = entries[buf_ring_tail_ & (kBufRingEntries - 1)];
+  e.addr = reinterpret_cast<uint64_t>(buf_slab_ +
+                                      static_cast<size_t>(bid) * kReadChunk);
+  e.len = kReadChunk;
+  e.bid = bid;
+  ++buf_ring_tail_;
+}
+
+void UringBackend::PublishBufRing() {
+  __atomic_store_n(&buf_ring_->tail, buf_ring_tail_, __ATOMIC_RELEASE);
+}
+
+bool UringBackend::SetupRegisteredFiles() {
+  // A sparse table: slots are claimed lazily (first SQE on the fd) and
+  // filled with the synchronous FILES_UPDATE registration.
+  std::vector<int> table(kRegisteredFileSlots, -1);
+  if (::syscall(__NR_io_uring_register, ring_fd_.get(), IORING_REGISTER_FILES,
+                table.data(), kRegisteredFileSlots) != 0) {
+    return false;
+  }
+  free_file_slots_.reserve(kRegisteredFileSlots);
+  for (unsigned i = kRegisteredFileSlots; i > 0; --i) {
+    free_file_slots_.push_back(i - 1);
+  }
+  return true;
+}
+
+void UringBackend::ApplyFixedFile(io_uring_sqe* sqe, int fd) {
+  if (!regfiles_enabled_) return;
+  unsigned index;
+  const auto it = fixed_files_.find(fd);
+  if (it != fixed_files_.end()) {
+    index = it->second;
+  } else {
+    if (free_file_slots_.empty()) return;  // table full: use the plain fd
+    index = free_file_slots_.back();
+    int value = fd;
+    io_uring_files_update update{};
+    update.offset = index;
+    update.fds = reinterpret_cast<uint64_t>(&value);
+    // Synchronous registration, not a FILES_UPDATE SQE: SQEs later in this
+    // same batch already reference the slot, and SQE execution order would
+    // race the update.
+    if (::syscall(__NR_io_uring_register, ring_fd_.get(),
+                  IORING_REGISTER_FILES_UPDATE, &update, 1) != 1) {
+      return;
+    }
+    free_file_slots_.pop_back();
+    fixed_files_[fd] = index;
+  }
+  sqe->fd = static_cast<int>(index);
+  sqe->flags |= IOSQE_FIXED_FILE;
+}
+
+void UringBackend::ReleaseFixedFile(int fd) {
+  if (!regfiles_enabled_) return;
+  const auto it = fixed_files_.find(fd);
+  if (it == fixed_files_.end()) return;
+  int value = -1;
+  io_uring_files_update update{};
+  update.offset = it->second;
+  update.fds = reinterpret_cast<uint64_t>(&value);
+  // Clearing the slot drops the table's file reference so close() actually
+  // releases the socket (otherwise a recycled fd number could alias a
+  // still-registered file).
+  ::syscall(__NR_io_uring_register, ring_fd_.get(),
+            IORING_REGISTER_FILES_UPDATE, &update, 1);
+  free_file_slots_.push_back(it->second);
+  fixed_files_.erase(it);
 }
 
 uint64_t UringBackend::AllocSlot(OpKind kind, int fd) {
@@ -146,6 +303,10 @@ uint64_t UringBackend::AllocSlot(OpKind kind, int fd) {
   slot.alive = true;
   slot.inflight = false;
   slot.surfaced = false;
+  slot.zc = false;
+  slot.awaiting_notif = false;
+  slot.resubmit_plain = false;
+  slot.iov_count = 0;
   fd_ops_[fd].push_back(index);
   return index;
 }
@@ -158,7 +319,7 @@ void UringBackend::FreeSlot(uint64_t index) {
     ops.erase(std::remove(ops.begin(), ops.end(), index), ops.end());
     if (ops.empty()) fd_ops_.erase(it);
   }
-  if (slot.kind == OpKind::kRead && buffer_source_) {
+  if (slot.kind == OpKind::kRead && buffer_source_ && HasStorage(slot.buffer)) {
     buffer_source_->ReleaseBuffer(std::move(slot.buffer));
   }
   slot = OpSlot();
@@ -199,10 +360,12 @@ void UringBackend::DrainOverflowSqes() {
 
 int UringBackend::Enter(unsigned to_submit, unsigned min_complete,
                         unsigned flags, void* arg, size_t argsz) {
-  const int ret = RetrySyscall([&] {
-    return SysUringEnter(ring_fd_.get(), to_submit, min_complete, flags, arg,
-                         argsz);
-  });
+  const int ret = RetrySyscallCounted(
+      [&] {
+        return SysUringEnter(ring_fd_.get(), to_submit, min_complete, flags,
+                             arg, argsz);
+      },
+      eintr_retries_);
   enter_calls_.fetch_add(1, std::memory_order_relaxed);
   if (ret > 0 && to_submit > 0) {
     sqes_submitted_.fetch_add(static_cast<uint64_t>(ret),
@@ -215,8 +378,20 @@ void UringBackend::FlushSqes() {
   const unsigned pending = sq_local_tail_ - sq_submitted_;
   if (pending == 0) return;
   StoreRelease(sq_tail_, sq_local_tail_);
+  if (sqpoll_) {
+    // The kernel thread consumes the ring directly: publishing the tail is
+    // the submission; cross the kernel only to wake a napping thread.
+    sqes_submitted_.fetch_add(pending, std::memory_order_relaxed);
+    sq_submitted_ = sq_local_tail_;
+    if (LoadAcquire(sq_flags_) & IORING_SQ_NEED_WAKEUP) {
+      Enter(0, 0, IORING_ENTER_SQ_WAKEUP, nullptr, 0);
+    }
+    return;
+  }
   const int ret = Enter(pending, 0, 0, nullptr, 0);
   if (ret > 0) sq_submitted_ += static_cast<unsigned>(ret);
+  // EBUSY here (mid-dispatch, events_ is live) is left alone: the SQEs
+  // stay pending and the next Wait retries with reaping available.
 }
 
 uint32_t UringBackend::CqReady() const {
@@ -228,7 +403,14 @@ std::span<const IoEvent> UringBackend::Wait(int64_t timeout_ns) {
   events_.clear();
   DrainOverflowSqes();
   StoreRelease(sq_tail_, sq_local_tail_);
-  const unsigned pending = sq_local_tail_ - sq_submitted_;
+  unsigned pending = sq_local_tail_ - sq_submitted_;
+  bool need_wake = false;
+  if (sqpoll_ && pending > 0) {
+    sqes_submitted_.fetch_add(pending, std::memory_order_relaxed);
+    sq_submitted_ = sq_local_tail_;
+    need_wake = (LoadAcquire(sq_flags_) & IORING_SQ_NEED_WAKEUP) != 0;
+    pending = 0;
+  }
 
   unsigned flags = IORING_ENTER_GETEVENTS;
   unsigned min_complete = 1;
@@ -246,12 +428,31 @@ std::span<const IoEvent> UringBackend::Wait(int64_t timeout_ns) {
     argsz = sizeof(arg);
     flags |= IORING_ENTER_EXT_ARG;
   }
+  if (need_wake) flags |= IORING_ENTER_SQ_WAKEUP;
   // The one kernel crossing of the iteration: submit the whole batch and
   // (when nothing is ready yet) block for the first completion. Skipped
   // entirely when completions are already waiting and nothing is queued.
-  if (pending > 0 || min_complete > 0) {
-    const int ret = Enter(pending, min_complete, flags, argp, argsz);
-    if (ret > 0) sq_submitted_ += static_cast<unsigned>(ret);
+  if (pending > 0 || min_complete > 0 || need_wake) {
+    int ret = Enter(pending, min_complete, flags, argp, argsz);
+    if (ret > 0) {
+      sq_submitted_ += static_cast<unsigned>(ret);
+      pending -= static_cast<unsigned>(std::min<int>(
+          ret, static_cast<int>(pending)));
+    }
+    // EBUSY: the NODROP completion backlog wants reaping before new SQEs
+    // are accepted. Reap into this iteration's batch and retry (bounded;
+    // leftovers simply ride the next Wait).
+    int attempts = 0;
+    while (ret < 0 && errno == EBUSY && pending > 0 && ++attempts <= 64) {
+      ebusy_retries_.fetch_add(1, std::memory_order_relaxed);
+      ReapCqes();
+      ret = Enter(pending, 0, IORING_ENTER_GETEVENTS, nullptr, 0);
+      if (ret > 0) {
+        sq_submitted_ += static_cast<unsigned>(ret);
+        pending -= static_cast<unsigned>(std::min<int>(
+            ret, static_cast<int>(pending)));
+      }
+    }
   }
   ReapCqes();
   return {events_.data(), events_.size()};
@@ -324,24 +525,103 @@ void UringBackend::HandleCqe(const io_uring_cqe& cqe) {
       return;
     }
     case OpKind::kRead: {
+      const bool buf_selected = (cqe.flags & IORING_CQE_F_BUFFER) != 0;
+      const auto bid =
+          static_cast<uint16_t>(cqe.flags >> IORING_CQE_BUFFER_SHIFT);
+      if (cqe.res == -ENOBUFS && slot.alive) {
+        // The buffer ring is empty this instant: every bid is surfaced or
+        // in flight. Re-prep now — the SQE ships with the next Wait's
+        // enter, which runs after the bid recycle.
+        PrepRead(index);
+        return;
+      }
       slot.inflight = false;
       if (!slot.alive) {
+        if (buf_selected) surfaced_bids_.push_back(bid);
         FreeSlot(index);
         return;
       }
-      if (cqe.res > 0) slot.buffer.Produced(static_cast<size_t>(cqe.res));
       IoEvent ev;
       ev.fd = slot.fd;
       ev.op = IoOpType::kRead;
       ev.result = cqe.res;
-      ev.buffer = &slot.buffer;
+      if (buf_selected) {
+        ev.data = buf_slab_ + static_cast<size_t>(bid) * kReadChunk;
+        ev.len = cqe.res > 0 ? static_cast<size_t>(cqe.res) : 0;
+        // The bid is on loan to the dispatch pass; recycled next Wait.
+        surfaced_bids_.push_back(bid);
+        FreeSlot(index);  // the slab, not the slot, backs the bytes
+      } else {
+        if (cqe.res > 0) slot.buffer.Produced(static_cast<size_t>(cqe.res));
+        ev.buffer = &slot.buffer;
+        ev.data = slot.buffer.ReadPtr();
+        ev.len = slot.buffer.ReadableBytes();
+        slot.surfaced = true;
+        surfaced_reads_.push_back(index);
+      }
       events_.push_back(ev);
-      // The buffer is lent to the dispatch pass; reclaimed next Wait.
-      slot.surfaced = true;
-      surfaced_reads_.push_back(index);
       return;
     }
     case OpKind::kWrite: {
+      if (cqe.flags & IORING_CQE_F_NOTIF) {
+        // The zero-copy notification: the kernel is done reading the
+        // payload pages. Only now may the slot's refcounts drop — the NIC
+        // can still be DMAing from them after the result CQE.
+        if (static_cast<uint32_t>(cqe.res) & IORING_NOTIF_USAGE_ZC_COPIED) {
+          zc_copied_.fetch_add(1, std::memory_order_relaxed);
+        }
+        slot.awaiting_notif = false;
+        if (slot.resubmit_plain && slot.alive) {
+          slot.resubmit_plain = false;
+          PrepWrite(index);
+          return;
+        }
+        slot.inflight = false;
+        FreeSlot(index);
+        return;
+      }
+      const bool more = (cqe.flags & IORING_CQE_F_MORE) != 0;
+      if (slot.zc && cqe.res < 0 &&
+          (cqe.res == -EINVAL || cqe.res == -EOPNOTSUPP)) {
+        // This kernel/socket combination rejects SENDMSG_ZC even though
+        // the probe advertised it: sticky-downgrade the engine and re-send
+        // the same slot as a plain SENDMSG — the caller never sees it.
+        if (zc_enabled_) {
+          zc_enabled_ = false;
+          HYNET_LOG(WARN) << "SENDMSG_ZC rejected at runtime (" << -cqe.res
+                          << "); downgrading to plain sends";
+        }
+        zc_downgrades_.fetch_add(1, std::memory_order_relaxed);
+        slot.zc = false;
+        if (more) {
+          // A notification is still owed; resubmit when it lands.
+          slot.awaiting_notif = true;
+          slot.resubmit_plain = slot.alive;
+          return;
+        }
+        if (slot.alive) {
+          PrepWrite(index);
+        } else {
+          slot.inflight = false;
+          FreeSlot(index);
+        }
+        return;
+      }
+      if (more) {
+        // Result CQE of a zero-copy send: surface it now so the caller's
+        // write queue advances; the slot (payload refcounts included)
+        // stays pinned until the notification CQE above.
+        slot.awaiting_notif = true;
+        if (slot.alive) {
+          IoEvent ev;
+          ev.fd = slot.fd;
+          ev.op = IoOpType::kWrite;
+          ev.result = cqe.res;
+          ev.token = slot.token;
+          events_.push_back(ev);
+        }
+        return;
+      }
       slot.inflight = false;
       if (slot.alive) {
         IoEvent ev;
@@ -365,6 +645,11 @@ void UringBackend::ReleaseSurfacedReads() {
     FreeSlot(index);
   }
   surfaced_reads_.clear();
+  if (!surfaced_bids_.empty()) {
+    for (const uint16_t bid : surfaced_bids_) RecycleBid(bid);
+    surfaced_bids_.clear();
+    PublishBufRing();
+  }
 }
 
 void UringBackend::AddFd(int fd, uint32_t events) {
@@ -416,6 +701,45 @@ void UringBackend::PrepAccept(uint64_t index) {
   slot.inflight = true;
 }
 
+void UringBackend::PrepRead(uint64_t index) {
+  OpSlot& slot = slots_[index];
+  io_uring_sqe* sqe = GetSqe();
+  sqe->opcode = IORING_OP_RECV;
+  sqe->fd = slot.fd;
+  if (bufring_enabled_) {
+    // Kernel-selected buffer from the registered ring: no buffer is
+    // committed to this fd until bytes actually arrive.
+    sqe->flags |= IOSQE_BUFFER_SELECT;
+    sqe->buf_group = kBufGroupId;
+    sqe->len = kReadChunk;
+  } else {
+    sqe->addr = reinterpret_cast<uint64_t>(slot.buffer.WritePtr());
+    sqe->len = static_cast<uint32_t>(slot.buffer.WritableBytes());
+  }
+  ApplyFixedFile(sqe, slot.fd);
+  sqe->user_data = index;
+  slot.inflight = true;
+}
+
+void UringBackend::PrepWrite(uint64_t index) {
+  OpSlot& slot = slots_[index];
+  slot.msg = {};
+  slot.msg.msg_iov = slot.iov;
+  slot.msg.msg_iovlen = slot.iov_count;
+  io_uring_sqe* sqe = GetSqe();
+  sqe->opcode = slot.zc ? IORING_OP_SENDMSG_ZC : IORING_OP_SENDMSG;
+  sqe->fd = slot.fd;
+  sqe->addr = reinterpret_cast<uint64_t>(&slot.msg);
+  sqe->len = 1;
+  sqe->msg_flags = MSG_NOSIGNAL;
+  // REPORT_USAGE: the notification's res carries ZC_COPIED when the kernel
+  // had to copy after all (unpinnable pages), feeding the zc_copied stat.
+  if (slot.zc) sqe->ioprio = IORING_SEND_ZC_REPORT_USAGE;
+  ApplyFixedFile(sqe, slot.fd);
+  sqe->user_data = index;
+  slot.inflight = true;
+}
+
 void UringBackend::PrepCancel(uint64_t target_index) {
   io_uring_sqe* sqe = GetSqe();
   sqe->opcode = IORING_OP_ASYNC_CANCEL;
@@ -432,16 +756,13 @@ bool UringBackend::QueueAccept(int listen_fd) {
 
 bool UringBackend::QueueRead(int fd) {
   const uint64_t index = AllocSlot(OpKind::kRead, fd);
-  OpSlot& slot = slots_[index];
-  slot.buffer = buffer_source_ ? buffer_source_->AcquireBuffer() : ByteBuffer();
-  slot.buffer.EnsureWritable(kReadChunk);
-  io_uring_sqe* sqe = GetSqe();
-  sqe->opcode = IORING_OP_RECV;
-  sqe->fd = fd;
-  sqe->addr = reinterpret_cast<uint64_t>(slot.buffer.WritePtr());
-  sqe->len = static_cast<uint32_t>(slot.buffer.WritableBytes());
-  sqe->user_data = index;
-  slot.inflight = true;
+  if (!bufring_enabled_) {
+    OpSlot& slot = slots_[index];
+    slot.buffer =
+        buffer_source_ ? buffer_source_->AcquireBuffer() : ByteBuffer();
+    slot.buffer.EnsureWritable(kReadChunk);
+  }
+  PrepRead(index);
   return true;
 }
 
@@ -463,36 +784,41 @@ int UringBackend::QueueWritePayloads(int fd, std::vector<Payload> payloads,
     FreeSlot(index);
     return -1;
   }
-  slot.msg = {};
-  slot.msg.msg_iov = slot.iov;
-  slot.msg.msg_iovlen = n;
-  io_uring_sqe* sqe = GetSqe();
-  sqe->opcode = IORING_OP_SENDMSG;
-  sqe->fd = fd;
-  sqe->addr = reinterpret_cast<uint64_t>(&slot.msg);
-  sqe->len = 1;
-  sqe->msg_flags = MSG_NOSIGNAL;
-  sqe->user_data = index;
-  slot.inflight = true;
+  slot.iov_count = n;
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += slot.iov[i].iov_len;
+  slot.zc = zc_enabled_ && total >= kZcThresholdBytes;
+  if (slot.zc) {
+    zc_sends_.fetch_add(1, std::memory_order_relaxed);
+    zc_bytes_.fetch_add(total, std::memory_order_relaxed);
+  }
+  PrepWrite(index);
   return static_cast<int>(n);
 }
 
 void UringBackend::CancelFd(int fd) {
   auto it = fd_ops_.find(fd);
-  if (it == fd_ops_.end()) return;
+  if (it == fd_ops_.end()) {
+    ReleaseFixedFile(fd);
+    return;
+  }
   const std::vector<uint64_t> ops = it->second;  // FreeSlot edits the map
   for (const uint64_t index : ops) {
     OpSlot& slot = slots_[index];
     if (!slot.alive) continue;
     slot.alive = false;
     if (slot.inflight) {
-      PrepCancel(index);
+      // A zero-copy slot past its result CQE can't be cancelled — the
+      // notification always arrives and frees it; marking it dead is all
+      // that's needed (and keeps the payload refs pinned till then).
+      if (!slot.awaiting_notif) PrepCancel(index);
     } else if (!slot.surfaced) {
       FreeSlot(index);
     }
     // surfaced read buffers are reclaimed at the next Wait
   }
   poll_slots_.erase(fd);
+  ReleaseFixedFile(fd);
 }
 
 IoBackendStats UringBackend::Stats() const {
@@ -500,6 +826,13 @@ IoBackendStats UringBackend::Stats() const {
   s.submit_batches = enter_calls_.load(std::memory_order_relaxed);
   s.sqes_submitted = sqes_submitted_.load(std::memory_order_relaxed);
   s.cqes_reaped = cqes_reaped_.load(std::memory_order_relaxed);
+  s.eintr_retries = eintr_retries_.load(std::memory_order_relaxed);
+  s.ebusy_retries = ebusy_retries_.load(std::memory_order_relaxed);
+  s.feature_fallbacks = feature_fallbacks_.load(std::memory_order_relaxed);
+  s.zc_downgrades = zc_downgrades_.load(std::memory_order_relaxed);
+  s.zc_sends = zc_sends_.load(std::memory_order_relaxed);
+  s.zc_bytes = zc_bytes_.load(std::memory_order_relaxed);
+  s.zc_copied = zc_copied_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -16,11 +16,23 @@
 //     spin-cap resume flows).
 //   - Accepts are multishot (IORING_ACCEPT_MULTISHOT): one SQE yields a
 //     CQE per accepted socket until cancelled.
-//   - Reads recv into engine-owned ByteBuffers acquired from the
-//     attached ReadBufferSource (the server's per-loop BufferPool).
+//   - Reads recv into kernel-selected buffers from a registered
+//     provided-buffer ring when the kernel supports it (the engine owns
+//     one slab per ring; bids recycle at the next Wait), else into
+//     engine-owned ByteBuffers acquired from the attached
+//     ReadBufferSource (the server's per-loop BufferPool).
 //   - Writes are IORING_OP_SENDMSG over iovecs built by Payload::FillIov;
-//     the op slot keeps payload refcounts alive until the CQE is reaped,
-//     so connection teardown never races the kernel's copy.
+//     batches of at least kZcThresholdBytes upgrade to
+//     IORING_OP_SENDMSG_ZC when the kernel supports it. The op slot keeps
+//     payload refcounts alive until the terminal CQE is reaped — for
+//     zero-copy sends that is the *notification* CQE (F_NOTIF), which
+//     lands only after the kernel is done reading the payload pages, so
+//     connection teardown can never race a DMA in progress.
+//   - Optional knobs (env-gated): HYNET_URING_ZC (default on),
+//     HYNET_URING_BUFRING (default on), HYNET_URING_SQPOLL (default off;
+//     kernel-thread submission, enter only on NEED_WAKEUP),
+//     HYNET_URING_REGFILES (default off; registered-file table, sparse
+//     slots updated synchronously per fd).
 //
 // Op slots live in a deque arena (stable addresses) with a free list;
 // sqe->user_data is the slot index. A cancelled slot is marked dead and
@@ -51,6 +63,15 @@ class UringBackend final : public IoBackend {
   static constexpr size_t kReadChunk = 16 * 1024;
   // Payloads per write op; each contributes at most Payload::kMaxSegments.
   static constexpr size_t kMaxWritePayloads = 8;
+  // Provided-buffer ring geometry (power of two) and its buffer group id.
+  static constexpr unsigned kBufRingEntries = 256;
+  static constexpr uint16_t kBufGroupId = 7;
+  // Write batches at least this large go zero-copy (the ≥100KB responses
+  // the write-spin study cares about; smaller sends lose more to page
+  // pinning than the copy costs).
+  static constexpr size_t kZcThresholdBytes = 100 * 1024;
+  // Registered-file table size (sparse; slots assigned on first use).
+  static constexpr unsigned kRegisteredFileSlots = 4096;
 
   // Throws std::system_error when the kernel/sandbox cannot run the
   // engine (callers normally gate on IoUringAvailable()).
@@ -90,11 +111,21 @@ class UringBackend final : public IoBackend {
     bool alive = false;     // false = cancelled; CQEs are swallowed
     bool inflight = false;  // terminal CQE not yet reaped
     bool surfaced = false;  // read buffer handed out until next Wait
+    bool zc = false;        // kWrite submitted as SENDMSG_ZC
+    // kWrite/zc: the result CQE (F_MORE) was reaped; the notification CQE
+    // (F_NOTIF) — the kernel's "done with the pages" signal — is still
+    // owed, so the slot and its payload refcounts stay pinned.
+    bool awaiting_notif = false;
+    // kWrite/zc: the kernel rejected SENDMSG_ZC after submission; re-prep
+    // the same slot as a plain SENDMSG once the notification (if any)
+    // lands.
+    bool resubmit_plain = false;
     uint32_t poll_events = 0;
     uint64_t token = 0;
-    ByteBuffer buffer;               // kRead
+    ByteBuffer buffer;               // kRead (non-buffer-ring mode)
     std::vector<Payload> payloads;   // kWrite (keeps bytes alive)
     struct iovec iov[kMaxIov];       // kWrite
+    size_t iov_count = 0;            // kWrite
     struct msghdr msg = {};          // kWrite
   };
 
@@ -110,11 +141,26 @@ class UringBackend final : public IoBackend {
   void DrainOverflowSqes();
   void PrepPoll(uint64_t index);
   void PrepAccept(uint64_t index);
+  void PrepRead(uint64_t index);
+  void PrepWrite(uint64_t index);
   void PrepCancel(uint64_t target_index);
   void ReapCqes();
   void HandleCqe(const io_uring_cqe& cqe);
   void ReleaseSurfacedReads();
   uint32_t CqReady() const;
+
+  // Provided-buffer ring plumbing (no-ops when the feature is off).
+  bool SetupBufRing();
+  void RecycleBid(uint16_t bid);
+  void PublishBufRing();
+
+  // Registered-file plumbing (no-ops when the feature is off).
+  bool SetupRegisteredFiles();
+  // Rewrites sqe->fd to the fd's fixed-table index (registering it on
+  // first use) and sets IOSQE_FIXED_FILE; leaves the sqe alone when the
+  // table is full or the feature is off.
+  void ApplyFixedFile(io_uring_sqe* sqe, int fd);
+  void ReleaseFixedFile(int fd);
 
   ScopedFd ring_fd_;
   unsigned sq_entries_ = 0;
@@ -133,6 +179,7 @@ class UringBackend final : public IoBackend {
   uint32_t* sq_tail_ = nullptr;
   uint32_t sq_mask_ = 0;
   uint32_t* sq_array_ = nullptr;
+  uint32_t* sq_flags_ = nullptr;
   uint32_t* cq_head_ = nullptr;
   uint32_t* cq_tail_ = nullptr;
   uint32_t cq_mask_ = 0;
@@ -155,12 +202,38 @@ class UringBackend final : public IoBackend {
   std::unordered_map<int, uint64_t> poll_slots_;
   std::vector<uint64_t> surfaced_reads_;
 
+  // Feature switches, resolved in the ctor from caps + env knobs.
+  bool sqpoll_ = false;
+  bool zc_enabled_ = false;
+  bool bufring_enabled_ = false;
+  bool regfiles_enabled_ = false;
+
+  // Provided-buffer ring: bid i is backed by slab entry i. Surfaced bids
+  // are on loan to the dispatch pass; recycled at the next Wait.
+  io_uring_buf_ring* buf_ring_ = nullptr;
+  size_t buf_ring_bytes_ = 0;
+  char* buf_slab_ = nullptr;
+  size_t buf_slab_bytes_ = 0;
+  uint16_t buf_ring_tail_ = 0;
+  std::vector<uint16_t> surfaced_bids_;
+
+  // Registered-file table: fd → fixed slot, plus the free-slot pool.
+  std::unordered_map<int, unsigned> fixed_files_;
+  std::vector<unsigned> free_file_slots_;
+
   ReadBufferSource* buffer_source_ = nullptr;
   std::vector<IoEvent> events_;
 
   std::atomic<uint64_t> enter_calls_{0};
   std::atomic<uint64_t> sqes_submitted_{0};
   std::atomic<uint64_t> cqes_reaped_{0};
+  std::atomic<uint64_t> eintr_retries_{0};
+  std::atomic<uint64_t> ebusy_retries_{0};
+  std::atomic<uint64_t> feature_fallbacks_{0};
+  std::atomic<uint64_t> zc_downgrades_{0};
+  std::atomic<uint64_t> zc_sends_{0};
+  std::atomic<uint64_t> zc_bytes_{0};
+  std::atomic<uint64_t> zc_copied_{0};
 };
 
 }  // namespace hynet

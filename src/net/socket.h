@@ -7,7 +7,9 @@
 
 #include <sys/socket.h>
 
+#include <atomic>
 #include <cerrno>
+#include <cstdint>
 #include <optional>
 
 #include "common/fd.h"
@@ -24,6 +26,19 @@ auto RetrySyscall(Syscall&& call) -> decltype(call()) {
   while (true) {
     const auto r = call();
     if (r >= 0 || errno != EINTR) return r;
+  }
+}
+
+// Counted variant for engines that export retry telemetry: bumps `retries`
+// once per EINTR before re-issuing the call (the uring engine feeds
+// io_uring_enter through this so /stats.json can attribute signal churn).
+template <typename Syscall>
+auto RetrySyscallCounted(Syscall&& call, std::atomic<uint64_t>& retries)
+    -> decltype(call()) {
+  while (true) {
+    const auto r = call();
+    if (r >= 0 || errno != EINTR) return r;
+    retries.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

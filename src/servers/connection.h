@@ -91,7 +91,17 @@ struct Connection {
   };
   std::deque<UringWriteNode> uring_q;
   size_t uring_q_offset = 0;  // bytes of the front payload already sent
+  size_t uring_q_bytes = 0;   // unsent bytes across the queue (backpressure)
   bool uring_write_inflight = false;
+  // Completion mode: a read SQE is armed on this fd (CompletionPump keeps
+  // exactly one outstanding; re-arming is idempotent through this flag).
+  bool uring_read_armed = false;
+  // Completion mode, dispatching architectures (reactor-pool / staged): the
+  // connection is checked out to a worker chain, so the loop has no read
+  // armed and the sweep must leave it alone. Replaces the epoll-era
+  // "!loop_->IsRegistered(fd)" ownership test, which has no completion
+  // equivalent.
+  bool worker_owned = false;
 
   bool close_after_write = false;
   bool closed = false;

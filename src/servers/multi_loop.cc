@@ -31,6 +31,24 @@ void LoopGroupServer::Start() {
     // account pool traffic into the shared parent registry.
     buffer_pools_.back()->BindMetrics(metrics());
   }
+  completion_mode_ = loops_.front()->CompletionModeAvailable() &&
+                     config_.uring_mode != "readiness";
+  if (completion_mode_) {
+    for (int i = 0; i < n; ++i) {
+      const size_t li = static_cast<size_t>(i);
+      buffer_sources_.push_back(
+          std::make_unique<PoolBufferSource>(*buffer_pools_[li]));
+      loops_[li]->SetReadBufferSource(buffer_sources_.back().get());
+      pumps_.push_back(std::make_unique<CompletionPump>(
+          *loops_[li], write_stats_, writes_per_response_, nullptr,
+          CompletionPump::Hooks{
+              [this, li](int fd) { return OnPumpReadable(li, fd); },
+              [this, li](int fd) { OnPumpError(li, fd); },
+              [this, li](int fd) { OnPumpDrained(li, fd); },
+          },
+          CompletionPump::Options{}));
+    }
+  }
 
   boss_loop_ =
       std::make_unique<EventLoop>(ResolveIoBackendKind(config_.io_backend));
@@ -93,7 +111,7 @@ DrainResult LoopGroupServer::Shutdown(Duration drain_deadline) {
         if (lc->conn.closed) continue;
         const bool idle = lc->conn.in.ReadableBytes() == 0 &&
                           !lc->conn.parser.InProgress() &&
-                          lc->conn.out.Empty() && !HasPendingWork(*lc);
+                          OutboundIdle(*lc) && !HasPendingWork(*lc);
         if (idle) {
           CloseConn(*lc);
         } else {
@@ -152,7 +170,9 @@ void LoopGroupServer::Stop() {
   loop_threads_.clear();
   acceptor_.reset();
   boss_loop_.reset();
-  loops_.clear();
+  pumps_.clear();  // reference loops_
+  loops_.clear();  // engines return read buffers through buffer_sources_
+  buffer_sources_.clear();
   conns_.clear();
 }
 
@@ -224,10 +244,14 @@ void LoopGroupServer::OnNewConnection(Socket socket, const InetAddr&) {
     lc->conn.in = buffer_pools_[loop_index]->Acquire();
     conns_[loop_index][fd] = lc;
     OnConnectionEstablished(*lc);
-    loops_[loop_index]->RegisterFd(fd, EPOLLIN | EPOLLRDHUP,
-                                   [this, loop_index, fd](uint32_t events) {
-                                     OnLoopEvent(loop_index, fd, events);
-                                   });
+    if (completion_mode_) {
+      pumps_[loop_index]->Watch(fd, &lc->conn);
+    } else {
+      loops_[loop_index]->RegisterFd(fd, EPOLLIN | EPOLLRDHUP,
+                                     [this, loop_index, fd](uint32_t events) {
+                                       OnLoopEvent(loop_index, fd, events);
+                                     });
+    }
   });
   if (config_.max_connections > 0 && !config_.shed_with_503 &&
       !accept_paused_.load(std::memory_order_relaxed) &&
@@ -279,8 +303,19 @@ void LoopGroupServer::OnLoopEvent(size_t loop_index, int fd, uint32_t events) {
       lc.conn.lifecycle.last_activity = Now();
       if (static_cast<size_t>(r.n) < sizeof(buf)) break;
     }
+    if (!ProcessInbound(lc, true)) return;
+  } else {
+    ProcessInbound(lc, false);
+  }
+}
+
+// The post-read flow shared by both event planes: hand the buffered bytes
+// to the subclass (when any were read), track the header-read deadline,
+// apply the half-close policy. Returns false when the connection closed.
+bool LoopGroupServer::ProcessInbound(LoopConn& lc, bool dispatch_bytes) {
+  if (dispatch_bytes) {
     OnBytes(lc);
-    if (lc.conn.closed) return;
+    if (lc.conn.closed) return false;
   }
 
   // Header-read deadline bookkeeping: undecoded bytes (or a mid-body
@@ -296,14 +331,59 @@ void LoopGroupServer::OnLoopEvent(size_t loop_index, int fd, uint32_t events) {
 
   if (lc.conn.lifecycle.peer_half_closed) {
     // Half-closed peer: nothing more will arrive. Close now if nothing is
-    // owed — neither buffered bytes nor in-flight subclass work (RPC
-    // requests still executing on the worker pool) — otherwise let the
-    // flush / completion paths finish the pending responses.
-    if (lc.conn.out.Empty() && !HasPendingWork(lc)) {
+    // owed — neither buffered/queued bytes nor in-flight subclass work
+    // (RPC requests still executing on the worker pool) — otherwise let
+    // the flush / completion paths finish the pending responses.
+    if (OutboundIdle(lc) && !HasPendingWork(lc)) {
       lifecycle_.half_close_reclaims.fetch_add(1, std::memory_order_relaxed);
       CloseConn(lc);
-    } else {
-      lc.conn.close_after_write = true;
+      return false;
+    }
+    lc.conn.close_after_write = true;
+  }
+  return !lc.conn.closed;
+}
+
+bool LoopGroupServer::OnPumpReadable(size_t loop_index, int fd) {
+  auto& map = conns_[loop_index];
+  auto it = map.find(fd);
+  if (it == map.end()) return false;
+  std::shared_ptr<LoopConn> guard = it->second;
+  if (guard->conn.closed) return false;
+  return ProcessInbound(*guard, true);
+}
+
+void LoopGroupServer::OnPumpError(size_t loop_index, int fd) {
+  auto& map = conns_[loop_index];
+  auto it = map.find(fd);
+  if (it == map.end()) return;
+  std::shared_ptr<LoopConn> guard = it->second;
+  if (!guard->conn.closed) CloseConn(*guard);
+}
+
+void LoopGroupServer::OnPumpDrained(size_t loop_index, int fd) {
+  auto& map = conns_[loop_index];
+  auto it = map.find(fd);
+  if (it == map.end()) return;
+  std::shared_ptr<LoopConn> guard = it->second;
+  LoopConn& lc = *guard;
+  if (lc.conn.closed) return;
+  if (lc.conn.close_after_write && !HasPendingWork(lc)) {
+    CloseConn(lc);
+    return;
+  }
+  if (lc.conn.lifecycle.peer_half_closed && !HasPendingWork(lc) &&
+      lc.conn.in.ReadableBytes() == 0 && !lc.conn.parser.InProgress()) {
+    lifecycle_.half_close_reclaims.fetch_add(1, std::memory_order_relaxed);
+    CloseConn(lc);
+    return;
+  }
+  // A backpressured reader resumes once the queue drains; the pump skipped
+  // its re-arms while paused, so arm one now.
+  if (lc.conn.lifecycle.reading_paused) {
+    MaybeResumeReading(lc);
+    if (!lc.conn.lifecycle.reading_paused) {
+      pumps_[loop_index]->ArmRead(fd, lc.conn);
     }
   }
 }
@@ -316,6 +396,19 @@ void LoopGroupServer::EnqueueAndFlush(LoopConn& lc, Payload payload,
 
 void LoopGroupServer::Enqueue(LoopConn& lc, Payload payload, size_t offset) {
   if (lc.conn.closed) return;
+  if (completion_mode_) {
+    // `offset` carries bytes a subclass already wrote directly (the hybrid
+    // light path's partial spin-write handoff); it can only be non-zero
+    // when the queue is empty — nothing may be written ahead of queued
+    // responses — so it maps onto the front-of-queue offset.
+    if (offset > 0 && CompletionPump::Idle(lc.conn)) {
+      lc.conn.uring_q_offset = offset;
+    }
+    // start_ns 0: the subclasses attribute request latency themselves
+    // (pipeline handler / RPC completion), matching the readiness path.
+    pumps_[lc.loop_index]->Enqueue(lc.conn, std::move(payload), 0);
+    return;
+  }
   lc.conn.out.Add(std::move(payload), offset);
   if (!lc.conn.lifecycle.write_stalled) {
     lc.conn.lifecycle.write_stalled = true;
@@ -326,12 +419,24 @@ void LoopGroupServer::Enqueue(LoopConn& lc, Payload payload, size_t offset) {
 void LoopGroupServer::FlushEnqueued(LoopConn& lc) {
   if (lc.conn.closed) return;
   TryFlush(lc);
-  MaybePauseReading(lc);
+  if (!lc.conn.closed) MaybePauseReading(lc);
 }
 
 void LoopGroupServer::TryFlush(LoopConn& lc) {
   if (lc.conn.closed) return;
   const int fd = lc.conn.fd.get();
+  if (completion_mode_) {
+    // Queued SENDMSG ops: submission rides the loop's next enter and the
+    // pump resumes/attributes at each write CQE; nothing to spin here.
+    if (!pumps_[lc.loop_index]->Flush(fd, lc.conn)) return;
+    // Mirror the readiness path's kDone close: an already-empty queue
+    // produces no write CQE, so on_drained would never fire.
+    if (CompletionPump::Idle(lc.conn) && lc.conn.close_after_write &&
+        !HasPendingWork(lc)) {
+      CloseConn(lc);
+    }
+    return;
+  }
   const size_t before = lc.conn.out.PendingBytes();
   FlushResult result;
   {
@@ -387,6 +492,7 @@ void LoopGroupServer::TryFlush(LoopConn& lc) {
 }
 
 void LoopGroupServer::UpdateWriteInterest(LoopConn& lc) {
+  if (completion_mode_) return;  // no epoll interest mask to maintain
   const bool want = !lc.conn.out.Empty() && lc.conn.want_writable;
   uint32_t events = EPOLLRDHUP | (want ? static_cast<uint32_t>(EPOLLOUT) : 0u);
   if (!lc.conn.lifecycle.reading_paused) events |= EPOLLIN;
@@ -397,7 +503,11 @@ void LoopGroupServer::UpdateWriteInterest(LoopConn& lc) {
 void LoopGroupServer::MaybePauseReading(LoopConn& lc) {
   const size_t high = config_.outbound_high_water_bytes;
   if (high == 0 || lc.conn.closed || lc.conn.lifecycle.reading_paused) return;
-  if (lc.conn.out.PendingBytes() > high) {
+  const size_t pending =
+      completion_mode_ ? lc.conn.uring_q_bytes : lc.conn.out.PendingBytes();
+  if (pending > high) {
+    // Completion mode pauses by NOT re-arming the read SQE (the pump
+    // checks reading_paused after each read CQE); OnPumpDrained re-arms.
     lc.conn.lifecycle.reading_paused = true;
     lifecycle_.backpressure_pauses.fetch_add(1, std::memory_order_relaxed);
     UpdateWriteInterest(lc);
@@ -410,7 +520,9 @@ void LoopGroupServer::MaybeResumeReading(LoopConn& lc) {
   const size_t low = config_.outbound_low_water_bytes > 0
                          ? config_.outbound_low_water_bytes
                          : high / 2;
-  if (lc.conn.out.PendingBytes() <= low) {
+  const size_t pending =
+      completion_mode_ ? lc.conn.uring_q_bytes : lc.conn.out.PendingBytes();
+  if (pending <= low) {
     lc.conn.lifecycle.reading_paused = false;
     lifecycle_.backpressure_resumes.fetch_add(1, std::memory_order_relaxed);
     UpdateWriteInterest(lc);
@@ -430,7 +542,11 @@ void LoopGroupServer::CloseConn(LoopConn& lc) {
   const int fd = lc.conn.fd.get();
   const size_t loop_index = lc.loop_index;
   EventLoop& loop = LoopOf(lc);
-  loop.UnregisterFd(fd);
+  if (completion_mode_) {
+    pumps_[loop_index]->Unwatch(fd);  // cancels in-flight SQEs for the fd
+  } else {
+    loop.UnregisterFd(fd);
+  }
   // Return the read buffer to this loop's pool for the next accept.
   buffer_pools_[loop_index]->Release(std::move(lc.conn.in));
   closed_.fetch_add(1, std::memory_order_relaxed);
@@ -614,8 +730,8 @@ void MultiLoopServer::OnConnectionEstablished(LoopConn& lc) {
 void MultiLoopServer::OnBytes(LoopConn& lc) {
   lc.pipeline->FireData(lc.conn.in);
   // If the app requested close and everything is already flushed, close
-  // now (otherwise TryFlush's kDone path will).
-  if (lc.conn.close_after_write && lc.conn.out.Empty()) CloseConn(lc);
+  // now (otherwise the flush/drain paths will).
+  if (lc.conn.close_after_write && OutboundIdle(lc)) CloseConn(lc);
 }
 
 }  // namespace hynet

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "io/completion_pump.h"
 #include "net/acceptor.h"
 #include "net/event_loop.h"
 #include "runtime/buffer_pool.h"
@@ -88,6 +89,17 @@ class LoopGroupServer : public Server {
   void CloseConn(LoopConn& lc);
   EventLoop& LoopOf(const LoopConn& lc) { return *loops_[lc.loop_index]; }
 
+  // True when no response bytes are queued or in flight on either write
+  // plane (the readiness OutboundBuffer or the completion-mode uring
+  // queue). The close-when-drained checks all gate on this.
+  bool OutboundIdle(const LoopConn& lc) const {
+    return lc.conn.out.Empty() && CompletionPump::Idle(lc.conn);
+  }
+
+  // True when the loops drive io_uring in completion mode (engine-owned
+  // reads, queued SENDMSG writes through the per-loop CompletionPump).
+  bool completion_mode() const { return completion_mode_; }
+
   // The owning shared_ptr for a live connection (loop thread only), so a
   // subclass can hand a weak_ptr to work that completes on another thread.
   // Null if the connection is already gone from the loop's table.
@@ -105,6 +117,15 @@ class LoopGroupServer : public Server {
  private:
   void OnNewConnection(Socket socket, const InetAddr& peer);
   void OnLoopEvent(size_t loop_index, int fd, uint32_t events);
+  // Completion-mode pump hooks (loop thread). OnPumpReadable runs after
+  // the pump appended a read CQE's bytes to conn.in; the shared post-read
+  // flow (OnBytes, head-pending bookkeeping, half-close policy) lives in
+  // ProcessInbound, used by both event planes.
+  bool OnPumpReadable(size_t loop_index, int fd);
+  void OnPumpError(size_t loop_index, int fd);
+  void OnPumpDrained(size_t loop_index, int fd);
+  // Returns false when the connection closed.
+  bool ProcessInbound(LoopConn& lc, bool dispatch_bytes);
   // Recomputes the epoll interest mask from the connection's state
   // (EPOLLOUT while outbound bytes wait, EPOLLIN unless backpressured).
   void UpdateWriteInterest(LoopConn& lc);
@@ -129,6 +150,11 @@ class LoopGroupServer : public Server {
   // One read-buffer pool per loop: Acquire on accept (loop thread),
   // Release on close, so keep-alive churn recycles buffers loop-locally.
   std::vector<std::unique_ptr<BufferPool>> buffer_pools_;
+  // Completion mode only: per-loop pump + read-buffer adapter (the
+  // adapters must outlive loops_ — engines return buffers on teardown).
+  std::vector<std::unique_ptr<PoolBufferSource>> buffer_sources_;
+  std::vector<std::unique_ptr<CompletionPump>> pumps_;
+  bool completion_mode_ = false;
   // Connections owned by their loop thread: conns_[loop][fd]. shared_ptr
   // because the ownership handoff from the boss thread travels through a
   // copyable std::function task.

@@ -21,6 +21,27 @@ void ReactorPoolServer::Start() {
                                               config_.write_stall_timeout_ms);
   buffer_pool_.BindMetrics(metrics());
   loop_ = std::make_unique<EventLoop>(ResolveIoBackendKind(config_.io_backend));
+  completion_mode_ = loop_->CompletionModeAvailable() &&
+                     config_.uring_mode != "readiness";
+  if (completion_mode_) {
+    buffer_source_ = std::make_unique<PoolBufferSource>(buffer_pool_);
+    loop_->SetReadBufferSource(buffer_source_.get());
+    // auto_rearm=false: the read SQE re-arms only when a worker hands the
+    // connection back (RearmRead / OnPumpDrained), preserving the
+    // reactor-or-worker ownership discipline the readiness path gets from
+    // unregistering the fd.
+    pump_ = std::make_unique<CompletionPump>(
+        *loop_, write_stats_, writes_per_response_, request_latency_ns_,
+        CompletionPump::Hooks{
+            [this](int fd) { return OnPumpReadable(fd); },
+            [this](int fd) {
+              auto it = conns_.find(fd);
+              if (it != conns_.end()) CloseConnection(it->second.get());
+            },
+            [this](int fd) { OnPumpDrained(fd); },
+        },
+        CompletionPump::Options{.auto_rearm = false});
+  }
   if (config_.dispatch_batch > 1) {
     loop_->SetPostIterationHook([this] { FlushDispatchBatch(); });
   }
@@ -64,7 +85,9 @@ void ReactorPoolServer::Stop() {
   if (loop_thread_.joinable()) loop_thread_.join();
   acceptor_.reset();
   pool_.reset();
-  loop_.reset();
+  pump_.reset();  // references *loop_
+  loop_.reset();  // engine returns read buffers through buffer_source_
+  buffer_source_.reset();
 }
 
 DrainResult ReactorPoolServer::Shutdown(Duration drain_deadline) {
@@ -77,11 +100,10 @@ DrainResult ReactorPoolServer::Shutdown(Duration drain_deadline) {
     if (acceptor_) acceptor_->Pause();
     std::vector<Connection*> idle;
     for (const auto& [fd, conn] : conns_) {
-      // Only reactor-owned (registered) connections can be closed here; a
-      // missing registration means a worker holds the connection and will
-      // observe draining_ on its way out.
-      if (loop_->IsRegistered(fd) && conn->in.ReadableBytes() == 0 &&
-          !conn->parser.InProgress()) {
+      // Only reactor-owned connections can be closed here; a worker-held
+      // connection will observe draining_ on its way out.
+      if (ReactorOwned(*conn) && conn->in.ReadableBytes() == 0 &&
+          !conn->parser.InProgress() && CompletionPump::Idle(*conn)) {
         idle.push_back(conn.get());
       }
     }
@@ -98,7 +120,7 @@ DrainResult ReactorPoolServer::Shutdown(Duration drain_deadline) {
     std::vector<Connection*> owned;
     std::vector<int> worker_owned;
     for (const auto& [fd, conn] : conns_) {
-      if (loop_->IsRegistered(fd)) {
+      if (ReactorOwned(*conn)) {
         owned.push_back(conn.get());
       } else {
         worker_owned.push_back(fd);
@@ -182,9 +204,13 @@ void ReactorPoolServer::OnNewConnection(Socket socket, const InetAddr&) {
   Connection* raw = conn.get();
   conns_[fd] = std::move(conn);
   accepted_.fetch_add(1, std::memory_order_relaxed);
-  loop_->RegisterFd(fd, EPOLLIN | EPOLLRDHUP, [this, raw](uint32_t events) {
-    DispatchReadEvent(raw->fd.get(), events);
-  });
+  if (completion_mode_) {
+    pump_->Watch(fd, raw);
+  } else {
+    loop_->RegisterFd(fd, EPOLLIN | EPOLLRDHUP, [this, raw](uint32_t events) {
+      DispatchReadEvent(raw->fd.get(), events);
+    });
+  }
   if (config_.max_connections > 0 && !config_.shed_with_503 &&
       !accept_paused_ &&
       Live() >= static_cast<uint64_t>(config_.max_connections)) {
@@ -225,6 +251,29 @@ void ReactorPoolServer::DispatchReadEvent(int fd, uint32_t events) {
   }
 }
 
+bool ReactorPoolServer::OnPumpReadable(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return false;
+  Connection* conn = it->second.get();
+  if (conn->closed) return false;
+  // Step 1 (Figure 3), completion plane: the kernel already deposited the
+  // bytes in conn->in, so the dispatch hands a worker the handling phase
+  // only. No re-arm until the worker hands back (Options.auto_rearm=false)
+  // — the ownership discipline the readiness path gets by unregistering.
+  conn->worker_owned = true;
+  dispatch_stats_.dispatches_to_worker.fetch_add(1, std::memory_order_relaxed);
+  if (config_.ResilienceEnabled()) {
+    const TimePoint enq = EffectiveRequestStart(Now());
+    EnqueueWorkerTask([this, conn, enq] {
+      ScopedDispatchStart dispatch_start(enq);
+      HandleReadEvent(conn);
+    });
+  } else {
+    EnqueueWorkerTask([this, conn] { HandleReadEvent(conn); });
+  }
+  return true;
+}
+
 void ReactorPoolServer::EnqueueWorkerTask(WorkerPool::Task task) {
   if (config_.dispatch_batch <= 1) {
     dispatch_batches_.fetch_add(1, std::memory_order_relaxed);
@@ -252,22 +301,26 @@ void ReactorPoolServer::HandleReadEvent(Connection* conn) {
   // EOF no longer closes immediately: requests already buffered (the peer
   // wrote and then shutdown(WR)) are still parsed and answered below.
   bool peer_eof = conn->lifecycle.peer_half_closed;
-  char buf[16 * 1024];
-  while (true) {
-    write_stats_.read_calls.fetch_add(1, std::memory_order_relaxed);
-    const IoResult r = ReadFd(fd, buf, sizeof(buf));
-    if (r.WouldBlock()) break;
-    if (r.Fatal()) {
-      loop_->RunInLoop([this, conn] { CloseConnection(conn); });
-      return;
+  if (!completion_mode_) {
+    // Readiness plane only: completion mode arrives here with the read CQE's
+    // bytes already appended to conn->in by the pump.
+    char buf[16 * 1024];
+    while (true) {
+      write_stats_.read_calls.fetch_add(1, std::memory_order_relaxed);
+      const IoResult r = ReadFd(fd, buf, sizeof(buf));
+      if (r.WouldBlock()) break;
+      if (r.Fatal()) {
+        loop_->RunInLoop([this, conn] { CloseConnection(conn); });
+        return;
+      }
+      if (r.Eof()) {
+        peer_eof = true;
+        break;
+      }
+      conn->in.Append(buf, static_cast<size_t>(r.n));
+      conn->lifecycle.last_activity = Now();
+      if (static_cast<size_t>(r.n) < sizeof(buf)) break;
     }
-    if (r.Eof()) {
-      peer_eof = true;
-      break;
-    }
-    conn->in.Append(buf, static_cast<size_t>(r.n));
-    conn->lifecycle.last_activity = Now();
-    if (static_cast<size_t>(r.n) < sizeof(buf)) break;
   }
 
   // Step 2: parse and run the application handler; prepare the responses.
@@ -340,6 +393,32 @@ void ReactorPoolServer::HandleReadEvent(Connection* conn) {
     return;
   }
 
+  if (completion_mode_) {
+    if (mode_ == WriteDispatchMode::kMerged) {
+      // sTomcat-Async-Fix on the completion plane: the same worker finishes
+      // the response by marshalling the batch to the reactor's pump (which
+      // owns all SQE traffic for the fd), then control returns.
+      dispatch_stats_.returns_to_reactor.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      CompleteBatchOnLoop(conn, std::move(batch),
+                          std::move(conn->batch_request_starts), want_close);
+      return;
+    }
+    // sTomcat-Async: park the batch and notify the reactor, which hands
+    // the write event to another worker — the extra hop is this variant's
+    // defining cost and survives the I/O-plane swap.
+    conn->pending_batch = std::move(batch);
+    conn->close_after_write = want_close;
+    dispatch_stats_.reactor_notifications.fetch_add(1,
+                                                    std::memory_order_relaxed);
+    loop_->RunInLoop([this, conn] {
+      dispatch_stats_.dispatches_to_worker.fetch_add(1,
+                                                     std::memory_order_relaxed);
+      EnqueueWorkerTask([this, conn] { HandleWriteEvent(conn); });
+    });
+    return;
+  }
+
   if (mode_ == WriteDispatchMode::kMerged) {
     // sTomcat-Async-Fix: same worker sends the response out (step 2+3
     // merged), then control returns to the reactor.
@@ -390,6 +469,15 @@ void ReactorPoolServer::HandleReadEvent(Connection* conn) {
 }
 
 void ReactorPoolServer::HandleWriteEvent(Connection* conn) {
+  if (completion_mode_) {
+    // Step 4 on the completion plane: the "write" is a pump submission on
+    // the reactor; this worker's contribution is the dispatch hop itself.
+    dispatch_stats_.returns_to_reactor.fetch_add(1, std::memory_order_relaxed);
+    CompleteBatchOnLoop(conn, std::move(conn->pending_batch),
+                        std::move(conn->batch_request_starts),
+                        conn->close_after_write);
+    return;
+  }
   // Step 4: a (different) worker sends the response out and returns
   // control to the reactor.
   SpinWriteResult wr;
@@ -427,6 +515,7 @@ void ReactorPoolServer::HandleWriteEvent(Connection* conn) {
 
 void ReactorPoolServer::RearmRead(Connection* conn) {
   if (conn->closed) return;
+  conn->worker_owned = false;
   // During a drain an idle hand-back closes instead of rearming: the peer
   // owes us nothing and new requests are no longer welcome.
   if (draining_.load(std::memory_order_relaxed) &&
@@ -435,16 +524,60 @@ void ReactorPoolServer::RearmRead(Connection* conn) {
     return;
   }
   const int fd = conn->fd.get();
+  if (completion_mode_) {
+    pump_->ArmRead(fd, *conn);
+    return;
+  }
   loop_->RegisterFd(fd, EPOLLIN | EPOLLRDHUP, [this, fd](uint32_t events) {
     DispatchReadEvent(fd, events);
   });
+}
+
+void ReactorPoolServer::CompleteBatchOnLoop(Connection* conn,
+                                            std::vector<Payload> batch,
+                                            std::vector<int64_t> starts,
+                                            bool want_close) {
+  // Safe to capture the raw pointer: while worker_owned no reactor path
+  // closes the connection (the sweep skips it, Shutdown only shutdown(2)s
+  // the fd), the same invariant the readiness hand-backs rely on.
+  loop_->RunInLoop([this, conn, batch = std::move(batch),
+                    starts = std::move(starts), want_close]() mutable {
+    if (conn->closed) return;
+    conn->worker_owned = false;
+    if (want_close) conn->close_after_write = true;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      pump_->Enqueue(*conn, std::move(batch[i]),
+                     i < starts.size() ? starts[i] : 0);
+    }
+    pump_->Flush(conn->fd.get(), *conn);
+  });
+}
+
+void ReactorPoolServer::OnPumpDrained(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection* conn = it->second.get();
+  if (conn->closed) return;
+  if (conn->close_after_write) {
+    if (conn->lifecycle.peer_half_closed) {
+      lifecycle_.half_close_reclaims.fetch_add(1, std::memory_order_relaxed);
+    }
+    CloseConnection(conn);
+    return;
+  }
+  conn->lifecycle.last_activity = Now();
+  RearmRead(conn);
 }
 
 void ReactorPoolServer::CloseConnection(Connection* conn) {
   if (conn->closed) return;
   conn->closed = true;
   const int fd = conn->fd.get();
-  if (loop_->IsRegistered(fd)) loop_->UnregisterFd(fd);
+  if (completion_mode_) {
+    pump_->Unwatch(fd);
+  } else if (loop_->IsRegistered(fd)) {
+    loop_->UnregisterFd(fd);
+  }
   buffer_pool_.Release(std::move(conn->in));
   conns_.erase(fd);
   closed_.fetch_add(1, std::memory_order_relaxed);
@@ -484,9 +617,10 @@ void ReactorPoolServer::SweepDeadlines() {
   const TimePoint now = Now();
   std::vector<std::pair<Connection*, EvictReason>> victims;
   for (const auto& [fd, conn] : conns_) {
-    // A connection missing from the epoll set is owned by a worker right
-    // now; its deadlines are the worker's business until it hands back.
-    if (!loop_->IsRegistered(fd)) continue;
+    // A worker-owned connection's deadlines are the worker's business
+    // until it hands back (readiness mode encodes that ownership as the
+    // fd's absence from the epoll set).
+    if (!ReactorOwned(*conn)) continue;
     const EvictReason reason = CheckDeadlines(conn->lifecycle, deadlines_, now);
     if (reason != EvictReason::kNone) victims.emplace_back(conn.get(), reason);
   }

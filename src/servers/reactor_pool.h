@@ -22,6 +22,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "io/completion_pump.h"
 #include "net/acceptor.h"
 #include "net/event_loop.h"
 #include "runtime/buffer_pool.h"
@@ -67,6 +68,23 @@ class ReactorPoolServer final : public Server {
   void HandleWriteEvent(Connection* conn);
   // Reactor side: re-enable read interest after a worker finished.
   void RearmRead(Connection* conn);
+  // Completion-mode pump hooks (reactor thread). OnPumpReadable dispatches
+  // the already-read bytes to a worker — the read itself happened in the
+  // kernel, so the worker's handling phase starts at parse.
+  bool OnPumpReadable(int fd);
+  void OnPumpDrained(int fd);
+  // Worker side, completion mode: marshal the prepared response batch to
+  // the reactor thread, which queues it on the pump (the completion-plane
+  // analogue of SpinWritePayloads + hand-back).
+  void CompleteBatchOnLoop(Connection* conn, std::vector<Payload> batch,
+                           std::vector<int64_t> starts, bool want_close);
+  // True when the reactor (not a worker) currently owns the connection.
+  // Readiness mode encodes ownership as epoll registration; completion
+  // mode has no registration, so Connection::worker_owned carries it.
+  bool ReactorOwned(const Connection& conn) const {
+    return completion_mode_ ? !conn.worker_owned
+                            : loop_->IsRegistered(conn.fd.get());
+  }
   // Reactor side: destroy the connection.
   void CloseConnection(Connection* conn);
   void EvictConnection(Connection* conn, EvictReason reason);
@@ -82,6 +100,10 @@ class ReactorPoolServer final : public Server {
 
   WriteDispatchMode mode_;
   std::unique_ptr<EventLoop> loop_;
+  // Completion mode only (see LoopGroupServer for the teardown ordering).
+  std::unique_ptr<PoolBufferSource> buffer_source_;
+  std::unique_ptr<CompletionPump> pump_;
+  bool completion_mode_ = false;
   std::unique_ptr<Acceptor> acceptor_;
   std::unique_ptr<WorkerPool> pool_;
   std::thread loop_thread_;

@@ -77,6 +77,11 @@ std::vector<std::string> ServerConfig::Validate() const {
   if (!io_backend.empty() && !ParseIoBackendName(io_backend)) {
     errors.push_back("io_backend must be \"\", \"epoll\", or \"uring\"");
   }
+  if (!uring_mode.empty() && uring_mode != "completion" &&
+      uring_mode != "readiness") {
+    errors.push_back(
+        "uring_mode must be \"\", \"completion\", or \"readiness\"");
+  }
   if (shed_target_delay_ms < 0) {
     errors.push_back("shed_target_delay_ms must be >= 0 (0 disables)");
   }
@@ -116,6 +121,13 @@ void AccumulateLoopIoStats(ServerCounters& c, const EventLoop& loop) {
   c.uring_sqes_submitted += s.sqes_submitted;
   c.uring_cqes_reaped += s.cqes_reaped;
   c.uring_fallbacks += s.fallbacks;
+  c.uring_eintr_retries += s.eintr_retries;
+  c.uring_ebusy_retries += s.ebusy_retries;
+  c.uring_feature_fallbacks += s.feature_fallbacks;
+  c.uring_zc_downgrades += s.zc_downgrades;
+  c.uring_zc_sends += s.zc_sends;
+  c.uring_zc_bytes += s.zc_bytes;
+  c.uring_zc_copied += s.zc_copied;
 }
 
 Server::Server(ServerConfig config, Handler handler)

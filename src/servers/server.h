@@ -186,6 +186,12 @@ struct ServerConfig {
   // epoll (visible as uring_fallbacks in the counters) rather than failing
   // startup. Thread-per-connection has no event loop and ignores this.
   std::string io_backend;
+  // How the EventLoop architectures drive a uring engine: "" or
+  // "completion" (the default — engine-owned reads and queued SENDMSG
+  // writes through the per-loop CompletionPump) or "readiness" (the
+  // POLL_ADD shim + plain read()/write(), for A/B comparison with the
+  // completion plane). Ignored when the resolved engine is epoll.
+  std::string uring_mode;
 
   // ---- Protocol plane ----
   // Wire protocol the server speaks: "" / "http" (the default, the paper's
@@ -249,6 +255,23 @@ struct ServerConfig {
 //                                  consumed, for batch-depth ratios
 //   uring_fallbacks                — loops that requested uring but fell
 //                                  back to epoll at startup probing
+//   uring_eintr_retries / uring_ebusy_retries
+//                                  — io_uring_enter calls retried after a
+//                                  signal / after the NODROP completion
+//                                  backlog demanded reaping
+//   uring_feature_fallbacks        — optional engine features (SQPOLL,
+//                                  buffer ring, SEND_ZC, registered files)
+//                                  wanted but downgraded at setup probing
+//   uring_zc_downgrades            — zero-copy sends the kernel rejected
+//                                  at runtime (engine reverts to copying
+//                                  SENDMSG for the rest of its life)
+//   uring_zc_sends / uring_zc_bytes
+//                                  — SENDMSG_ZC ops submitted and the
+//                                  payload bytes they covered (the copies
+//                                  avoided at 100KB+ responses)
+//   uring_zc_copied                — zero-copy sends the kernel completed
+//                                  by copying after all (unpinnable pages;
+//                                  reported via IORING_SEND_ZC_REPORT_USAGE)
 //   rpc_requests                   — RPC frames decoded and dispatched to a
 //                                  service handler (protocol == "rpc")
 //   rpc_inflight_peak              — highest number of simultaneously
@@ -281,6 +304,13 @@ struct ServerConfig {
   X(uring_sqes_submitted)                   \
   X(uring_cqes_reaped)                      \
   X(uring_fallbacks)                        \
+  X(uring_eintr_retries)                    \
+  X(uring_ebusy_retries)                    \
+  X(uring_feature_fallbacks)                \
+  X(uring_zc_downgrades)                    \
+  X(uring_zc_sends)                         \
+  X(uring_zc_bytes)                         \
+  X(uring_zc_copied)                        \
   X(rpc_requests)                           \
   X(rpc_inflight_peak)                      \
   X(rpc_out_of_order_responses)

@@ -21,10 +21,19 @@ void SingleThreadServer::Start() {
   // traffic into the shared parent registry.
   buffer_pool_.BindMetrics(metrics());
   loop_ = std::make_unique<EventLoop>(ResolveIoBackendKind(config_.io_backend));
-  completion_mode_ = loop_->CompletionModeAvailable();
+  completion_mode_ = loop_->CompletionModeAvailable() &&
+                     config_.uring_mode != "readiness";
   if (completion_mode_) {
     buffer_source_ = std::make_unique<PoolBufferSource>(buffer_pool_);
     loop_->SetReadBufferSource(buffer_source_.get());
+    pump_ = std::make_unique<CompletionPump>(
+        *loop_, write_stats_, writes_per_response_, request_latency_ns_,
+        CompletionPump::Hooks{
+            [this](int fd) { return OnPumpReadable(fd); },
+            [this](int fd) { CloseConnection(fd); },
+            [this](int fd) { OnPumpDrained(fd); },
+        },
+        CompletionPump::Options{});
   }
   acceptor_ = std::make_unique<Acceptor>(
       *loop_, InetAddr::Loopback(config_.port),
@@ -57,6 +66,7 @@ void SingleThreadServer::Stop() {
   loop_->Stop();
   if (loop_thread_.joinable()) loop_thread_.join();
   acceptor_.reset();
+  pump_.reset();  // references *loop_
   loop_.reset();
 }
 
@@ -148,9 +158,7 @@ void SingleThreadServer::OnNewConnection(Socket socket, const InetAddr&) {
   conns_[fd] = std::move(conn);
   accepted_.fetch_add(1, std::memory_order_relaxed);
   if (completion_mode_) {
-    loop_->SetCompletionHandler(
-        fd, [this, fd](const IoEvent& ev) { OnCompletion(fd, ev); });
-    loop_->QueueRead(fd);
+    pump_->Watch(fd, conns_[fd].get());
   } else {
     loop_->RegisterFd(fd, EPOLLIN | EPOLLRDHUP,
                       [this, fd](uint32_t events) { OnReadable(fd, events); });
@@ -277,43 +285,35 @@ void SingleThreadServer::OnReadable(int fd, uint32_t events) {
   }
 }
 
-// The completion-mode event pump: one callback receives every CQE-backed
-// event for the connection. Reads parse and queue responses; writes advance
-// the queue. Mirrors OnReadable's flow with the spin-write replaced by
-// queued SENDMSG ops.
-void SingleThreadServer::OnCompletion(int fd, const IoEvent& ev) {
+// Completion-mode read hook: the pump already appended the CQE's bytes to
+// conn.in (and flagged peer_half_closed on EOF); parse, queue responses,
+// and reclaim an idle half-closed peer. The pump re-arms the next read.
+bool SingleThreadServer::OnPumpReadable(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return false;
+  Connection& conn = *it->second;
+  // Requests already buffered are still answered; close once the write
+  // queue drains (OnPumpDrained) or right away when idle.
+  if (!ParseAndQueue(fd, conn)) return false;
+  if (conn.lifecycle.peer_half_closed && ConnIdle(conn)) {
+    lifecycle_.half_close_reclaims.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(fd);
+    return false;
+  }
+  return true;
+}
+
+void SingleThreadServer::OnPumpDrained(int fd) {
   auto it = conns_.find(fd);
   if (it == conns_.end()) return;
   Connection& conn = *it->second;
-
-  if (ev.op == IoOpType::kWrite) {
-    HandleWriteComplete(fd, conn, ev);
-    return;
-  }
-  if (ev.op != IoOpType::kRead) return;
-
-  if (ev.result < 0) {
+  if (conn.close_after_write) {
     CloseConnection(fd);
     return;
   }
-  if (ev.result == 0) {
-    conn.lifecycle.peer_half_closed = true;
-    // Requests already buffered are still answered; close once the write
-    // queue drains (HandleWriteComplete) or right away when idle.
-    if (!ParseAndQueue(fd, conn)) return;
-    if (ConnIdle(conn)) {
-      lifecycle_.half_close_reclaims.fetch_add(1, std::memory_order_relaxed);
-      CloseConnection(fd);
-    }
-    return;
-  }
-
-  conn.in.Append(ev.buffer->ReadPtr(), ev.buffer->ReadableBytes());
-  conn.lifecycle.last_activity = Now();
-  if (!ParseAndQueue(fd, conn)) return;
-  // Keep a read armed for the next (possibly pipelined) request.
-  if (!conn.close_after_write && !conn.lifecycle.peer_half_closed) {
-    loop_->QueueRead(fd);
+  if (conn.lifecycle.peer_half_closed && ConnIdle(conn)) {
+    lifecycle_.half_close_reclaims.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(fd);
   }
 }
 
@@ -343,8 +343,7 @@ bool SingleThreadServer::ParseAndQueue(int fd, Connection& conn) {
         lifecycle_.oversize_requests.fetch_add(1, std::memory_order_relaxed);
         const std::string wire =
             SimpleErrorResponse(err == ParseError::kHeadTooLarge ? 431 : 413);
-        conn.uring_q.push_back(
-            {Payload::FromString(wire), 0, NowNanos()});
+        pump_->Enqueue(conn, Payload::FromString(wire), NowNanos());
         conn.close_after_write = true;
         break;
       }
@@ -367,92 +366,21 @@ bool SingleThreadServer::ParseAndQueue(int fd, Connection& conn) {
       ScopedPhase phase(phase_profiler_, Phase::kSerialize);
       payload = SerializeResponsePayload(resp);
     }
-    conn.uring_q.push_back({std::move(payload), 0, req_start_ns});
+    pump_->Enqueue(conn, std::move(payload), req_start_ns);
     if (!resp.keep_alive) {
       conn.close_after_write = true;
       break;
     }
   }
-  MaybeSubmitWrite(fd, conn);
+  if (!pump_->Flush(fd, conn)) return false;
   return conns_.contains(fd);
-}
-
-void SingleThreadServer::MaybeSubmitWrite(int fd, Connection& conn) {
-  if (conn.uring_write_inflight || conn.uring_q.empty()) return;
-  std::vector<Payload> batch;
-  const size_t n = std::min<size_t>(conn.uring_q.size(), 8);
-  batch.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    batch.push_back(conn.uring_q[i].payload);  // shares the body bytes
-    conn.uring_q[i].writes++;
-  }
-  const int segs = loop_->QueueWritePayloads(fd, std::move(batch),
-                                             conn.uring_q_offset);
-  if (segs < 0) {
-    CloseConnection(fd);
-    return;
-  }
-  conn.uring_write_inflight = true;
-  // A SENDMSG SQE is the vectored-write unit of this path; it rides the
-  // iteration's submit batch instead of costing its own syscall.
-  write_stats_.writev_calls.fetch_add(1, std::memory_order_relaxed);
-  write_stats_.iov_segments.fetch_add(static_cast<uint64_t>(segs),
-                                      std::memory_order_relaxed);
-  if (!conn.lifecycle.write_stalled) {
-    conn.lifecycle.write_stalled = true;
-    conn.lifecycle.stall_start = Now();
-  }
-}
-
-void SingleThreadServer::HandleWriteComplete(int fd, Connection& conn,
-                                             const IoEvent& ev) {
-  conn.uring_write_inflight = false;
-  if (ev.result < 0) {
-    CloseConnection(fd);  // EPIPE / ECONNRESET / cancelled
-    return;
-  }
-  if (ev.result == 0) {
-    write_stats_.zero_writes.fetch_add(1, std::memory_order_relaxed);
-  }
-  conn.lifecycle.last_activity = Now();
-  size_t advance = static_cast<size_t>(ev.result);
-  while (advance > 0 && !conn.uring_q.empty()) {
-    auto& node = conn.uring_q.front();
-    const size_t left = node.payload.size() - conn.uring_q_offset;
-    if (advance < left) {
-      conn.uring_q_offset += advance;
-      break;
-    }
-    advance -= left;
-    conn.uring_q_offset = 0;
-    write_stats_.responses.fetch_add(1, std::memory_order_relaxed);
-    writes_per_response_->Record(node.writes);
-    request_latency_ns_->Record(NowNanos() - node.start_ns);
-    conn.uring_q.pop_front();
-  }
-  if (!conn.uring_q.empty()) {
-    // Short write: resume from the new offset. Progress resets the stall
-    // clock; a peer whose window never opens still trips the sweep.
-    conn.lifecycle.stall_start = Now();
-    MaybeSubmitWrite(fd, conn);
-    return;
-  }
-  conn.lifecycle.write_stalled = false;
-  if (conn.close_after_write) {
-    CloseConnection(fd);
-    return;
-  }
-  if (conn.lifecycle.peer_half_closed && ConnIdle(conn)) {
-    lifecycle_.half_close_reclaims.fetch_add(1, std::memory_order_relaxed);
-    CloseConnection(fd);
-  }
 }
 
 void SingleThreadServer::CloseConnection(int fd) {
   auto it = conns_.find(fd);
   if (it == conns_.end()) return;
   if (completion_mode_) {
-    loop_->ClearCompletionHandler(fd);
+    pump_->Unwatch(fd);
   } else {
     loop_->UnregisterFd(fd);
   }
@@ -469,7 +397,7 @@ void SingleThreadServer::CloseConnection(int fd) {
 
 bool SingleThreadServer::ConnIdle(const Connection& conn) const {
   return conn.in.ReadableBytes() == 0 && !conn.parser.InProgress() &&
-         conn.uring_q.empty() && !conn.uring_write_inflight;
+         CompletionPump::Idle(conn);
 }
 
 void SingleThreadServer::ScheduleSweep() {

@@ -12,6 +12,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "io/completion_pump.h"
 #include "net/acceptor.h"
 #include "net/event_loop.h"
 #include "runtime/buffer_pool.h"
@@ -36,25 +37,16 @@ class SingleThreadServer final : public Server {
   EventLoop& loop() { return *loop_; }
 
  private:
-  // Adapts the per-loop BufferPool to the completion engine's read-buffer
-  // interface so recycled connection buffers feed the read SQEs.
-  struct PoolBufferSource final : ReadBufferSource {
-    explicit PoolBufferSource(BufferPool& p) : pool(p) {}
-    ByteBuffer AcquireBuffer() override { return pool.Acquire(); }
-    void ReleaseBuffer(ByteBuffer buffer) override {
-      pool.Release(std::move(buffer));
-    }
-    BufferPool& pool;
-  };
-
   void OnNewConnection(Socket socket, const InetAddr& peer);
   void OnReadable(int fd, uint32_t events);
-  // Completion-mode (io_uring) fast path: reads and writes arrive as
-  // CQE-backed events instead of readiness callbacks.
-  void OnCompletion(int fd, const IoEvent& ev);
+  // Completion-mode (io_uring) read hook: the pump appended the CQE's
+  // bytes to conn.in; parse and queue responses. Returns false when the
+  // connection closed.
+  bool OnPumpReadable(int fd);
+  // Completion-mode write-queue-drained hook: close-after-write and
+  // half-close reclaim decisions.
+  void OnPumpDrained(int fd);
   bool ParseAndQueue(int fd, Connection& conn);  // false = conn closed
-  void MaybeSubmitWrite(int fd, Connection& conn);
-  void HandleWriteComplete(int fd, Connection& conn, const IoEvent& ev);
   void CloseConnection(int fd);
   void ScheduleSweep();
   void SweepDeadlines();
@@ -76,6 +68,8 @@ class SingleThreadServer final : public Server {
   BufferPool buffer_pool_;
   // Must outlive loop_ (the engine returns its buffers on teardown).
   std::unique_ptr<PoolBufferSource> buffer_source_;
+  // The per-loop CQE pump (completion mode only).
+  std::unique_ptr<CompletionPump> pump_;
   bool completion_mode_ = false;
   LifecycleDeadlines deadlines_;
   bool accept_paused_ = false;  // loop thread only

@@ -19,6 +19,27 @@ void StagedServer::Start() {
                                               config_.write_stall_timeout_ms);
   buffer_pool_.BindMetrics(metrics());
   loop_ = std::make_unique<EventLoop>(ResolveIoBackendKind(config_.io_backend));
+  completion_mode_ = loop_->CompletionModeAvailable() &&
+                     config_.uring_mode != "readiness";
+  if (completion_mode_) {
+    buffer_source_ = std::make_unique<PoolBufferSource>(buffer_pool_);
+    loop_->SetReadBufferSource(buffer_source_.get());
+    // auto_rearm=false: the read SQE re-arms only when the stage pipeline
+    // hands the connection back (RearmRead / OnPumpDrained), preserving
+    // the reactor-or-stage ownership discipline the readiness path gets
+    // from unregistering the fd.
+    pump_ = std::make_unique<CompletionPump>(
+        *loop_, write_stats_, writes_per_response_, request_latency_ns_,
+        CompletionPump::Hooks{
+            [this](int fd) { return OnPumpReadable(fd); },
+            [this](int fd) {
+              auto it = conns_.find(fd);
+              if (it != conns_.end()) CloseConnection(it->second.get());
+            },
+            [this](int fd) { OnPumpDrained(fd); },
+        },
+        CompletionPump::Options{.auto_rearm = false});
+  }
   if (config_.dispatch_batch > 1) {
     loop_->SetPostIterationHook([this] { FlushDispatchBatch(); });
   }
@@ -77,7 +98,9 @@ void StagedServer::Stop() {
   parse_pool_.reset();
   app_pool_.reset();
   write_pool_.reset();
-  loop_.reset();
+  pump_.reset();  // references *loop_
+  loop_.reset();  // engine returns read buffers through buffer_source_
+  buffer_source_.reset();
 }
 
 DrainResult StagedServer::Shutdown(Duration drain_deadline) {
@@ -90,11 +113,10 @@ DrainResult StagedServer::Shutdown(Duration drain_deadline) {
     if (acceptor_) acceptor_->Pause();
     std::vector<Connection*> idle;
     for (const auto& [fd, conn] : conns_) {
-      // Only reactor-owned (registered) connections can be closed here; a
-      // missing registration means a stage holds the connection and will
-      // observe draining_ on its way out.
-      if (loop_->IsRegistered(fd) && conn->in.ReadableBytes() == 0 &&
-          !conn->parser.InProgress()) {
+      // Only reactor-owned connections can be closed here; a stage-held
+      // connection will observe draining_ on its way out.
+      if (ReactorOwned(*conn) && conn->in.ReadableBytes() == 0 &&
+          !conn->parser.InProgress() && CompletionPump::Idle(*conn)) {
         idle.push_back(conn.get());
       }
     }
@@ -111,7 +133,7 @@ DrainResult StagedServer::Shutdown(Duration drain_deadline) {
     std::vector<Connection*> owned;
     std::vector<int> stage_owned;
     for (const auto& [fd, conn] : conns_) {
-      if (loop_->IsRegistered(fd)) {
+      if (ReactorOwned(*conn)) {
         owned.push_back(conn.get());
       } else {
         stage_owned.push_back(fd);
@@ -198,11 +220,16 @@ void StagedServer::OnNewConnection(Socket socket, const InetAddr&) {
   conn->lifecycle.last_activity = Now();
   conn->parser.SetLimits(config_.max_request_head_bytes,
                          config_.max_request_body_bytes);
+  Connection* raw = conn.get();
   conns_[fd] = std::move(conn);
   accepted_.fetch_add(1, std::memory_order_relaxed);
-  loop_->RegisterFd(fd, EPOLLIN | EPOLLRDHUP, [this, fd](uint32_t events) {
-    DispatchReadEvent(fd, events);
-  });
+  if (completion_mode_) {
+    pump_->Watch(fd, raw);
+  } else {
+    loop_->RegisterFd(fd, EPOLLIN | EPOLLRDHUP, [this, fd](uint32_t events) {
+      DispatchReadEvent(fd, events);
+    });
+  }
   if (config_.max_connections > 0 && !config_.shed_with_503 &&
       !accept_paused_ &&
       Live() >= static_cast<uint64_t>(config_.max_connections)) {
@@ -224,6 +251,21 @@ void StagedServer::DispatchReadEvent(int fd, uint32_t events) {
   loop_->UnregisterFd(fd);
   dispatch_stats_.dispatches_to_worker.fetch_add(1, std::memory_order_relaxed);
   EnqueueParseTask([this, conn] { ParseStage(conn); });
+}
+
+bool StagedServer::OnPumpReadable(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return false;
+  Connection* conn = it->second.get();
+  if (conn->closed) return false;
+  // Completion plane: the kernel already deposited the bytes in conn->in,
+  // so the parse stage starts at parse. No re-arm until the stage pipeline
+  // hands back (Options.auto_rearm=false) — the ownership discipline the
+  // readiness path gets by unregistering.
+  conn->worker_owned = true;
+  dispatch_stats_.dispatches_to_worker.fetch_add(1, std::memory_order_relaxed);
+  EnqueueParseTask([this, conn] { ParseStage(conn); });
+  return true;
 }
 
 void StagedServer::EnqueueParseTask(WorkerPool::Task task) {
@@ -248,25 +290,29 @@ void StagedServer::FlushDispatchBatch() {
 }
 
 void StagedServer::ParseStage(Connection* conn) {
-  const int fd = conn->fd.get();
-  char buf[16 * 1024];
-  while (true) {
-    write_stats_.read_calls.fetch_add(1, std::memory_order_relaxed);
-    const IoResult r = ReadFd(fd, buf, sizeof(buf));
-    if (r.WouldBlock()) break;
-    if (r.Fatal()) {
-      loop_->RunInLoop([this, conn] { CloseConnection(conn); });
-      return;
+  if (!completion_mode_) {
+    // Readiness plane only: completion mode arrives here with the read
+    // CQE's bytes already appended to conn->in by the pump.
+    const int fd = conn->fd.get();
+    char buf[16 * 1024];
+    while (true) {
+      write_stats_.read_calls.fetch_add(1, std::memory_order_relaxed);
+      const IoResult r = ReadFd(fd, buf, sizeof(buf));
+      if (r.WouldBlock()) break;
+      if (r.Fatal()) {
+        loop_->RunInLoop([this, conn] { CloseConnection(conn); });
+        return;
+      }
+      if (r.Eof()) {
+        // Requests already buffered still flow through the remaining
+        // stages; the app stage closes once they are answered.
+        conn->lifecycle.peer_half_closed = true;
+        break;
+      }
+      conn->in.Append(buf, static_cast<size_t>(r.n));
+      conn->lifecycle.last_activity = Now();
+      if (static_cast<size_t>(r.n) < sizeof(buf)) break;
     }
-    if (r.Eof()) {
-      // Requests already buffered still flow through the remaining
-      // stages; the app stage closes once they are answered.
-      conn->lifecycle.peer_half_closed = true;
-      break;
-    }
-    conn->in.Append(buf, static_cast<size_t>(r.n));
-    conn->lifecycle.last_activity = Now();
-    if (static_cast<size_t>(r.n) < sizeof(buf)) break;
   }
   // Hand the connection to the application stage (queue hop #2).
   dispatch_stats_.dispatches_to_worker.fetch_add(1, std::memory_order_relaxed);
@@ -361,6 +407,16 @@ void StagedServer::AppStage(Connection* conn) {
 }
 
 void StagedServer::WriteStage(Connection* conn) {
+  if (completion_mode_) {
+    // The write stage's spin write becomes a pump submission on the
+    // reactor; this stage's contribution is the queue hop itself (the
+    // SEDA modularity cost survives the I/O-plane swap).
+    dispatch_stats_.returns_to_reactor.fetch_add(1, std::memory_order_relaxed);
+    CompleteBatchOnLoop(conn, std::move(conn->pending_batch),
+                        std::move(conn->batch_request_starts),
+                        conn->close_after_write);
+    return;
+  }
   SpinWriteResult wr;
   int writes_used = 0;
   {
@@ -398,6 +454,7 @@ void StagedServer::WriteStage(Connection* conn) {
 
 void StagedServer::RearmRead(Connection* conn) {
   if (conn->closed) return;
+  conn->worker_owned = false;
   // During a drain an idle hand-back closes instead of rearming.
   if (draining_.load(std::memory_order_relaxed) &&
       conn->in.ReadableBytes() == 0 && !conn->parser.InProgress()) {
@@ -405,16 +462,60 @@ void StagedServer::RearmRead(Connection* conn) {
     return;
   }
   const int fd = conn->fd.get();
+  if (completion_mode_) {
+    pump_->ArmRead(fd, *conn);
+    return;
+  }
   loop_->RegisterFd(fd, EPOLLIN | EPOLLRDHUP, [this, fd](uint32_t events) {
     DispatchReadEvent(fd, events);
   });
+}
+
+void StagedServer::CompleteBatchOnLoop(Connection* conn,
+                                       std::vector<Payload> batch,
+                                       std::vector<int64_t> starts,
+                                       bool want_close) {
+  // Safe to capture the raw pointer: while worker_owned no reactor path
+  // closes the connection (the sweep skips it, Shutdown only shutdown(2)s
+  // the fd), the same invariant the readiness hand-backs rely on.
+  loop_->RunInLoop([this, conn, batch = std::move(batch),
+                    starts = std::move(starts), want_close]() mutable {
+    if (conn->closed) return;
+    conn->worker_owned = false;
+    if (want_close) conn->close_after_write = true;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      pump_->Enqueue(*conn, std::move(batch[i]),
+                     i < starts.size() ? starts[i] : 0);
+    }
+    pump_->Flush(conn->fd.get(), *conn);
+  });
+}
+
+void StagedServer::OnPumpDrained(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection* conn = it->second.get();
+  if (conn->closed) return;
+  if (conn->close_after_write) {
+    if (conn->lifecycle.peer_half_closed) {
+      lifecycle_.half_close_reclaims.fetch_add(1, std::memory_order_relaxed);
+    }
+    CloseConnection(conn);
+    return;
+  }
+  conn->lifecycle.last_activity = Now();
+  RearmRead(conn);
 }
 
 void StagedServer::CloseConnection(Connection* conn) {
   if (conn->closed) return;
   conn->closed = true;
   const int fd = conn->fd.get();
-  if (loop_->IsRegistered(fd)) loop_->UnregisterFd(fd);
+  if (completion_mode_) {
+    pump_->Unwatch(fd);
+  } else if (loop_->IsRegistered(fd)) {
+    loop_->UnregisterFd(fd);
+  }
   buffer_pool_.Release(std::move(conn->in));
   conns_.erase(fd);
   closed_.fetch_add(1, std::memory_order_relaxed);
@@ -454,7 +555,7 @@ void StagedServer::SweepDeadlines() {
   const TimePoint now = Now();
   std::vector<std::pair<Connection*, EvictReason>> victims;
   for (const auto& [fd, conn] : conns_) {
-    if (!loop_->IsRegistered(fd)) continue;
+    if (!ReactorOwned(*conn)) continue;
     const EvictReason reason = CheckDeadlines(conn->lifecycle, deadlines_, now);
     if (reason != EvictReason::kNone) victims.emplace_back(conn.get(), reason);
   }

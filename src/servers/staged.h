@@ -18,6 +18,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "io/completion_pump.h"
 #include "net/acceptor.h"
 #include "net/event_loop.h"
 #include "runtime/buffer_pool.h"
@@ -57,6 +58,20 @@ class StagedServer final : public Server {
   // non-buffered asynchronous designs the paper studies).
   void WriteStage(Connection* conn);
   void RearmRead(Connection* conn);
+  // Completion-mode pump hooks (reactor thread). The read CQE's bytes are
+  // already in conn->in; the parse stage starts at parse, and the write
+  // stage's spin write becomes a pump submission marshalled back here.
+  bool OnPumpReadable(int fd);
+  void OnPumpDrained(int fd);
+  void CompleteBatchOnLoop(Connection* conn, std::vector<Payload> batch,
+                           std::vector<int64_t> starts, bool want_close);
+  // True when the reactor (not a stage worker) owns the connection.
+  // Readiness mode encodes ownership as epoll registration; completion
+  // mode has no registration, so Connection::worker_owned carries it.
+  bool ReactorOwned(const Connection& conn) const {
+    return completion_mode_ ? !conn.worker_owned
+                            : loop_->IsRegistered(conn.fd.get());
+  }
   void CloseConnection(Connection* conn);
   void EvictConnection(Connection* conn, EvictReason reason);
   // Reactor side: periodic deadline sweep over reactor-owned (registered)
@@ -69,6 +84,10 @@ class StagedServer final : public Server {
   }
 
   std::unique_ptr<EventLoop> loop_;
+  // Completion mode only (see LoopGroupServer for the teardown ordering).
+  std::unique_ptr<PoolBufferSource> buffer_source_;
+  std::unique_ptr<CompletionPump> pump_;
+  bool completion_mode_ = false;
   std::unique_ptr<Acceptor> acceptor_;
   std::unique_ptr<WorkerPool> parse_pool_;
   std::unique_ptr<WorkerPool> app_pool_;

@@ -3,6 +3,8 @@
 
 #include <sched.h>
 
+#include <chrono>
+
 #include <thread>
 
 #include "common/thread_util.h"
@@ -138,7 +140,13 @@ TEST(PhaseProfilerTest, ScopedPhaseMeasuresRealTime) {
   profiler.Enable(true);
   {
     ScopedPhase phase(profiler, Phase::kHandler);
-    BurnCpuMicros(2000);
+    // Wall-clock-bounded spin: BurnCpuMicros(2000) alone can finish early
+    // when its one-shot calibration ran on a loaded machine (the
+    // iters-per-us estimate comes out low), which flaked this test under
+    // a parallel ctest run.
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(2);
+    while (std::chrono::steady_clock::now() < until) BurnCpuMicros(50);
   }
   const auto snap = profiler.Snap();
   EXPECT_GE(snap.MeanNs(Phase::kHandler), 1'000'000.0);  // >= 1ms

@@ -8,6 +8,7 @@
 //               [--drain-ms N] [--admin-port P]
 //               [--dispatch-batch N] [--pin-cpus]
 //               [--io-backend epoll|uring]
+//               [--uring-mode completion|readiness]
 //               [--deadline-propagation] [--deadline-margin-ms N]
 //               [--shed-target-ms N] [--shed-interval-ms N]
 //               [--route METHOD_ID=ROUTE]... [--heavy-cpu-us N]
@@ -123,6 +124,8 @@ int main(int argc, char** argv) {
       config.pin_cpus = true;
     } else if (!std::strcmp(argv[i], "--io-backend")) {
       config.io_backend = next("--io-backend");
+    } else if (!std::strcmp(argv[i], "--uring-mode")) {
+      config.uring_mode = next("--uring-mode");
     } else if (!std::strcmp(argv[i], "--deadline-propagation")) {
       config.deadline_propagation = true;
     } else if (!std::strcmp(argv[i], "--deadline-margin-ms")) {
@@ -162,7 +165,9 @@ int main(int argc, char** argv) {
                    "[--header-ms N] [--stall-ms N] [--max-conns N] "
                    "[--no-shed] [--high-water BYTES] [--drain-ms N] "
                    "[--admin-port P] [--dispatch-batch N] [--pin-cpus] "
-                   "[--io-backend epoll|uring] [--deadline-propagation] "
+                   "[--io-backend epoll|uring] "
+                   "[--uring-mode completion|readiness] "
+                   "[--deadline-propagation] "
                    "[--deadline-margin-ms N] [--shed-target-ms N] "
                    "[--shed-interval-ms N] [--route ID=ROUTE]... "
                    "[--heavy-cpu-us N] [--kv-keys N] [--kv-value-bytes N] "

@@ -9,7 +9,11 @@ Table IV and Figure 5.
 The `io` column shows the active I/O backend (epoll, uring, or `epoll*`
 for a requested-uring-but-fell-back server) and `sqe/bat` the io_uring
 submission batching factor (SQEs per io_uring_enter call), both derived
-from the server_uring_* counters.
+from the server_uring_* counters. `zc/s` is the rate of SEND_ZC
+zero-copy submissions (large responses only); a trailing `*` means the
+kernel reported that it copied after all (the usual loopback outcome),
+so the send took the zero-copy path without the copy actually being
+elided.
 
 Resilience-plane columns: `shed` is the rejection rate from the overload
 plane (queue-delay 503s plus deadline 504s per second), `rty` the rate
@@ -75,7 +79,7 @@ def main() -> int:
     print(f"polling {url} every {args.interval:g}s  (Ctrl-C to stop)")
     header = (f"{'time':>8}  {'io':>6}  {'req/s':>9}  {'resp/s':>9}  "
               f"{'wr/resp':>7}  {'zero/s':>7}  {'iov/wv':>6}  "
-              f"{'sqe/bat':>7}  {'wq':>5}  {'conns':>7}  "
+              f"{'sqe/bat':>7}  {'zc/s':>7}  {'wq':>5}  {'conns':>7}  "
               f"{'p50ms':>7}  {'p99ms':>7}  {'shed':>6}  {'rty':>6}  "
               f"{'brk':>4}  {'rpc/s':>8}  {'ooo%':>5}  {'infl':>5}  "
               f"{'drain':>5}")
@@ -105,6 +109,11 @@ def main() -> int:
             batch_rate = d("server_uring_submit_batches")
             sqe_rate = d("server_uring_sqes_submitted")
             sqe_per_batch = (sqe_rate / batch_rate) if batch_rate > 0 else 0.0
+            # SEND_ZC rate; '*' when the kernel reported it copied anyway
+            # (ZC_COPIED notifications), which is the norm on loopback.
+            zc_rate = d("server_uring_zc_sends")
+            zc_copied = d("server_uring_zc_copied") > 0
+            zc_cell = f"{zc_rate:>6.1f}{'*' if zc_copied else ' '}"
             live = (counter(stats, "server_connections_accepted")
                     - counter(stats, "server_connections_closed"))
             # Worker-feed queue depth: worker_queue_depth for the reactor
@@ -140,7 +149,7 @@ def main() -> int:
                   f"{d('server_requests_handled'):>9.1f}  "
                   f"{resp_rate:>9.1f}  {wr_per_resp:>7.2f}  "
                   f"{d('server_zero_writes'):>7.1f}  {iov_per_wv:>6.1f}  "
-                  f"{sqe_per_batch:>7.1f}  "
+                  f"{sqe_per_batch:>7.1f}  {zc_cell:>7}  "
                   f"{wq:>5d}  {live:>7d}  "
                   f"{p50:>7.2f}  {p99:>7.2f}  "
                   f"{shed_rate:>6.1f}  {retry_rate:>6.1f}  "
