@@ -584,7 +584,15 @@ void LoopGroupServer::SweepLoop(size_t loop_index) {
     if (lc->conn.closed) continue;
     const EvictReason reason =
         CheckDeadlines(lc->conn.lifecycle, deadlines_, now);
-    if (reason != EvictReason::kNone) victims.emplace_back(lc, reason);
+    if (reason != EvictReason::kNone) {
+      victims.emplace_back(lc, reason);
+      continue;
+    }
+    Connection& conn = lc->conn;
+    if (conn.in.ReadableBytes() == 0 && !conn.parser.InProgress() &&
+        conn.in.Capacity() > ByteBuffer::kInitialCapacity) {
+      conn.in.ShrinkToFit();
+    }
   }
   for (const auto& [lc, reason] : victims) {
     switch (reason) {

@@ -413,7 +413,15 @@ void SingleThreadServer::SweepDeadlines() {
   for (const auto& [fd, conn] : conns_) {
     const EvictReason reason =
         CheckDeadlines(conn->lifecycle, deadlines_, now);
-    if (reason != EvictReason::kNone) victims.emplace_back(fd, reason);
+    if (reason != EvictReason::kNone) {
+      victims.emplace_back(fd, reason);
+      continue;
+    }
+    // A connection that went quiet after a large request would otherwise
+    // keep its grown read buffer until close; give the excess back now.
+    if (ConnIdle(*conn) && conn->in.Capacity() > ByteBuffer::kInitialCapacity) {
+      conn->in.ShrinkToFit();
+    }
   }
   for (const auto& [fd, reason] : victims) {
     switch (reason) {

@@ -557,7 +557,14 @@ void StagedServer::SweepDeadlines() {
   for (const auto& [fd, conn] : conns_) {
     if (!ReactorOwned(*conn)) continue;
     const EvictReason reason = CheckDeadlines(conn->lifecycle, deadlines_, now);
-    if (reason != EvictReason::kNone) victims.emplace_back(conn.get(), reason);
+    if (reason != EvictReason::kNone) {
+      victims.emplace_back(conn.get(), reason);
+      continue;
+    }
+    if (conn->in.ReadableBytes() == 0 && !conn->parser.InProgress() &&
+        conn->in.Capacity() > ByteBuffer::kInitialCapacity) {
+      conn->in.ShrinkToFit();
+    }
   }
   for (const auto& [conn, reason] : victims) EvictConnection(conn, reason);
 }
