@@ -1,6 +1,12 @@
 #include "client/load_gen.h"
 
 #include <poll.h>
+#include <strings.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
 
 #include <deque>
 #include <memory>
@@ -621,6 +627,354 @@ void ChaosClient::Main() {
         }
       }
     }
+  }
+}
+
+// ---- ConnScaleClient ----
+
+// Per-connection state is deliberately tiny: the whole point of the swarm
+// is to hold ~100k sockets, so an idle connection must cost this struct
+// plus its kernel socket and nothing else. The only heap allocation
+// (`head`, the response-header scratch) exists while a request is
+// outstanding and is freed the moment the response completes — mirroring
+// the server-side idle-cold reclamation this client exercises.
+struct ConnScaleClient::SwarmConn {
+  enum class State : uint8_t {
+    kConnecting,  // nonblocking connect() in flight (EPOLLOUT pending)
+    kIdle,        // established, no request outstanding
+    kBusy,        // request written (or partially written), awaiting reply
+    kDead,        // closed; slot is never reused
+  };
+  ScopedFd fd;
+  State state = State::kConnecting;
+  size_t out_off = 0;        // request bytes already written (kBusy)
+  std::string head;          // response bytes until the blank line (kBusy)
+  size_t body_left = 0;      // body bytes still to drain (kBusy, head done)
+  bool header_done = false;
+  bool ok_status = false;    // status line said 2xx
+  TimePoint send_time{};
+};
+
+ConnScaleClient::ConnScaleClient(ConnScaleConfig config)
+    : config_(std::move(config)) {}
+
+ConnScaleClient::~ConnScaleClient() { Stop(); }
+
+void ConnScaleClient::Start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this] { Main(); });
+}
+
+void ConnScaleClient::Stop() {
+  running_.store(false);
+  if (thread_.joinable()) thread_.join();
+}
+
+ConnScaleSnapshot ConnScaleClient::Snapshot() const {
+  ConnScaleSnapshot snap;
+  snap.attempted = attempted_.load(std::memory_order_relaxed);
+  snap.established = established_.load(std::memory_order_relaxed);
+  snap.connect_errors = connect_errors_.load(std::memory_order_relaxed);
+  snap.closed_by_peer = closed_by_peer_.load(std::memory_order_relaxed);
+  snap.live = live_.load(std::memory_order_relaxed);
+  snap.requests_sent = requests_sent_.load(std::memory_order_relaxed);
+  snap.responses_ok = responses_ok_.load(std::memory_order_relaxed);
+  snap.response_errors = response_errors_.load(std::memory_order_relaxed);
+  snap.skipped_busy = skipped_busy_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    snap.latency = latency_;
+  }
+  return snap;
+}
+
+namespace {
+
+// Scans an HTTP response head for Content-Length (case-insensitive).
+// Returns -1 when absent — the swarm then treats the response as
+// malformed rather than guessing at connection-close framing, because a
+// keep-alive swarm cannot afford close-delimited responses.
+ssize_t ScanContentLength(const std::string& head) {
+  static constexpr char kName[] = "content-length:";
+  static constexpr size_t kNameLen = sizeof(kName) - 1;
+  for (size_t pos = 0; pos + kNameLen < head.size(); ++pos) {
+    if (head[pos] != '\n') continue;
+    if (::strncasecmp(head.data() + pos + 1, kName, kNameLen) != 0) continue;
+    size_t v = pos + 1 + kNameLen;
+    while (v < head.size() && head[v] == ' ') ++v;
+    ssize_t len = 0;
+    bool any = false;
+    while (v < head.size() && head[v] >= '0' && head[v] <= '9') {
+      len = len * 10 + (head[v] - '0');
+      ++v;
+      any = true;
+    }
+    if (any) return len;
+  }
+  return -1;
+}
+
+}  // namespace
+
+void ConnScaleClient::Main() {
+  SetCurrentThreadName("connscale");
+  const ScopedFd ep(::epoll_create1(EPOLL_CLOEXEC));
+  if (!ep.valid()) {
+    HYNET_LOG(ERROR) << "connscale: epoll_create1 failed: "
+                     << std::strerror(errno);
+    running_.store(false);
+    return;
+  }
+  const std::string request = "GET " + config_.target +
+                              " HTTP/1.1\r\nHost: bench\r\n"
+                              "Connection: keep-alive\r\n\r\n";
+  const size_t total = static_cast<size_t>(std::max(config_.connections, 0));
+  std::vector<std::unique_ptr<SwarmConn>> conns;
+  conns.reserve(total);
+  Rng rng(config_.seed);
+  ZipfGenerator zipf(std::max<uint64_t>(total, 1),
+                     std::max(config_.zipf_theta, 0.0));
+
+  const TimePoint start = Now();
+  const double ramp_rate = std::max(config_.ramp_rate, 1);
+  // Open-loop arrivals: Poisson at request_rate across the whole swarm.
+  TimePoint next_arrival = TimePoint::max();
+  if (config_.request_rate > 0) {
+    next_arrival =
+        start + std::chrono::duration_cast<Duration>(std::chrono::duration<
+                    double>(rng.NextExponential(1.0 / config_.request_rate)));
+  }
+
+  const auto arm = [&](size_t index, uint32_t events, bool add) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = index;
+    ::epoll_ctl(ep.get(), add ? EPOLL_CTL_ADD : EPOLL_CTL_MOD,
+                conns[index]->fd.get(), &ev);
+  };
+  const auto close_conn = [&](SwarmConn& conn) {
+    if (!conn.fd.valid()) return;
+    ::epoll_ctl(ep.get(), EPOLL_CTL_DEL, conn.fd.get(), nullptr);
+    conn.fd.Reset();
+    conn.head = std::string();
+    if (conn.state != SwarmConn::State::kConnecting) {
+      live_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    conn.state = SwarmConn::State::kDead;
+  };
+  const auto finish_response = [&](SwarmConn& conn) {
+    if (conn.ok_status) {
+      responses_ok_.fetch_add(1, std::memory_order_relaxed);
+      const int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             Now() - conn.send_time)
+                             .count();
+      std::lock_guard<std::mutex> lock(latency_mu_);
+      latency_.Record(ns);
+    } else {
+      response_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    conn.state = SwarmConn::State::kIdle;
+    conn.head = std::string();  // free the scratch, not just clear() it
+    conn.header_done = false;
+  };
+
+  std::vector<epoll_event> events(512);
+  while (running_.load(std::memory_order_relaxed)) {
+    const TimePoint now = Now();
+
+    // Ramp: connects are due at ramp_rate per second since start.
+    const double elapsed = ToSeconds(now - start);
+    const size_t due = std::min<size_t>(
+        total, static_cast<size_t>(elapsed * ramp_rate) + 1);
+    while (conns.size() < due) {
+      const size_t index = conns.size();
+      conns.push_back(std::make_unique<SwarmConn>());
+      SwarmConn& conn = *conns.back();
+      attempted_.fetch_add(1, std::memory_order_relaxed);
+      conn.fd.Reset(::socket(AF_INET,
+                             SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+      if (!conn.fd.valid()) {
+        connect_errors_.fetch_add(1, std::memory_order_relaxed);
+        conn.state = SwarmConn::State::kDead;
+        continue;
+      }
+      if (config_.rcv_buf_bytes > 0) {
+        SetFdRecvBufferSize(conn.fd.get(), config_.rcv_buf_bytes);
+      }
+      if (config_.source.SockAddr()->sa_family != AF_UNSPEC &&
+          ::bind(conn.fd.get(), config_.source.SockAddr(),
+                 config_.source.Length()) != 0) {
+        connect_errors_.fetch_add(1, std::memory_order_relaxed);
+        conn.fd.Reset();
+        conn.state = SwarmConn::State::kDead;
+        continue;
+      }
+      const int rc = ::connect(conn.fd.get(), config_.server.SockAddr(),
+                               config_.server.Length());
+      if (rc == 0) {
+        conn.state = SwarmConn::State::kIdle;
+        established_.fetch_add(1, std::memory_order_relaxed);
+        live_.fetch_add(1, std::memory_order_relaxed);
+        arm(index, EPOLLIN | EPOLLRDHUP, /*add=*/true);
+      } else if (errno == EINPROGRESS) {
+        arm(index, EPOLLOUT, /*add=*/true);
+      } else {
+        connect_errors_.fetch_add(1, std::memory_order_relaxed);
+        conn.fd.Reset();
+        conn.state = SwarmConn::State::kDead;
+      }
+    }
+
+    // Open-loop arrivals: every arrival targets a Zipf-picked slot; a slot
+    // that is still connecting/busy/dead drops the arrival (counted) so
+    // the hot head of the distribution stays hot and the tail stays cold.
+    while (next_arrival <= now) {
+      next_arrival +=
+          std::chrono::duration_cast<Duration>(std::chrono::duration<double>(
+              rng.NextExponential(1.0 / config_.request_rate)));
+      const size_t index = static_cast<size_t>(zipf.Next(rng));
+      if (index >= conns.size() ||
+          conns[index]->state != SwarmConn::State::kIdle) {
+        skipped_busy_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      SwarmConn& conn = *conns[index];
+      conn.state = SwarmConn::State::kBusy;
+      conn.out_off = 0;
+      conn.header_done = false;
+      conn.ok_status = false;
+      conn.send_time = now;
+      requests_sent_.fetch_add(1, std::memory_order_relaxed);
+      const IoResult w = WriteFd(conn.fd.get(), request.data(),
+                                 request.size());
+      if (w.Fatal()) {
+        response_errors_.fetch_add(1, std::memory_order_relaxed);
+        close_conn(conn);
+        continue;
+      }
+      conn.out_off = w.Ok() ? static_cast<size_t>(w.n) : 0;
+      arm(index,
+          conn.out_off < request.size() ? (EPOLLIN | EPOLLOUT | EPOLLRDHUP)
+                                        : (EPOLLIN | EPOLLRDHUP),
+          /*add=*/false);
+    }
+
+    // Sleep until the next scheduled action, bounded so Stop() is seen.
+    TimePoint wake = now + std::chrono::milliseconds(50);
+    if (conns.size() < total) {
+      wake = std::min(wake, now + std::chrono::microseconds(static_cast<
+                                int64_t>(1e6 / ramp_rate) + 1));
+    }
+    wake = std::min(wake, next_arrival);
+    const int timeout_ms = static_cast<int>(std::max<int64_t>(
+        0, std::chrono::duration_cast<std::chrono::milliseconds>(wake - now)
+               .count()));
+    const int n =
+        ::epoll_wait(ep.get(), events.data(),
+                     static_cast<int>(events.size()), timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      const size_t index = static_cast<size_t>(events[i].data.u64);
+      SwarmConn& conn = *conns[index];
+      if (!conn.fd.valid()) continue;
+
+      if (conn.state == SwarmConn::State::kConnecting) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(conn.fd.get(), SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err != 0 || (events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+          connect_errors_.fetch_add(1, std::memory_order_relaxed);
+          close_conn(conn);
+        } else {
+          conn.state = SwarmConn::State::kIdle;
+          established_.fetch_add(1, std::memory_order_relaxed);
+          live_.fetch_add(1, std::memory_order_relaxed);
+          arm(index, EPOLLIN | EPOLLRDHUP, /*add=*/false);
+        }
+        continue;
+      }
+
+      // Finish a partial request write.
+      if ((events[i].events & EPOLLOUT) != 0 &&
+          conn.state == SwarmConn::State::kBusy &&
+          conn.out_off < request.size()) {
+        const IoResult w =
+            WriteFd(conn.fd.get(), request.data() + conn.out_off,
+                    request.size() - conn.out_off);
+        if (w.Fatal()) {
+          response_errors_.fetch_add(1, std::memory_order_relaxed);
+          close_conn(conn);
+          continue;
+        }
+        if (w.Ok()) conn.out_off += static_cast<size_t>(w.n);
+        if (conn.out_off >= request.size()) {
+          arm(index, EPOLLIN | EPOLLRDHUP, /*add=*/false);
+        }
+      }
+
+      if ((events[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) ==
+          0) {
+        continue;
+      }
+      char buf[4096];
+      for (;;) {
+        const IoResult r = ReadFd(conn.fd.get(), buf, sizeof(buf));
+        if (r.WouldBlock()) break;
+        if (r.Eof() || r.Fatal()) {
+          if (conn.state == SwarmConn::State::kBusy) {
+            response_errors_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            closed_by_peer_.fetch_add(1, std::memory_order_relaxed);
+          }
+          close_conn(conn);
+          break;
+        }
+        if (conn.state != SwarmConn::State::kBusy) {
+          continue;  // unsolicited bytes on an idle conn: drain and ignore
+        }
+        size_t off = 0;
+        const size_t got = static_cast<size_t>(r.n);
+        if (!conn.header_done) {
+          conn.head.append(buf, got);
+          const size_t end = conn.head.find("\r\n\r\n");
+          if (end == std::string::npos) {
+            if (conn.head.size() > 64 * 1024) {  // runaway head: bail
+              response_errors_.fetch_add(1, std::memory_order_relaxed);
+              close_conn(conn);
+              break;
+            }
+            continue;
+          }
+          conn.header_done = true;
+          conn.ok_status = conn.head.compare(0, 9, "HTTP/1.1 ") == 0 &&
+                           conn.head[9] == '2';
+          const ssize_t body = ScanContentLength(conn.head);
+          if (body < 0) {
+            conn.ok_status = false;
+            conn.body_left = 0;
+          } else {
+            const size_t already = conn.head.size() - (end + 4);
+            conn.body_left = static_cast<size_t>(body) >= already
+                                 ? static_cast<size_t>(body) - already
+                                 : 0;
+          }
+          off = got;  // everything read went through `head`
+        }
+        const size_t body_bytes = std::min(got - off, conn.body_left);
+        conn.body_left -= body_bytes;
+        if (conn.body_left == 0) {
+          finish_response(conn);
+        }
+        if (static_cast<size_t>(r.n) < sizeof(buf)) break;
+      }
+    }
+  }
+
+  // Final teardown aborts with RST (SO_LINGER 0): a 50k-socket swarm
+  // closing politely would park 50k tuples in TIME_WAIT and starve the
+  // next bench point of ephemeral ports for a minute.
+  for (auto& conn : conns) {
+    if (conn->fd.valid()) SetFdLingerAbort(conn->fd.get());
+    close_conn(*conn);
   }
 }
 

@@ -146,6 +146,80 @@ struct ChaosSnapshot {
   uint64_t bytes_read = 0;
 };
 
+// ---- Connection-scale swarm: the mostly-idle open-loop client ----
+//
+// Ramps up to `connections` persistent keep-alive sockets at `ramp_rate`
+// connects/sec from one epoll-based thread (threads or poll() arrays fall
+// over long before 100k sockets), then keeps the swarm mostly idle:
+// requests arrive open-loop at `request_rate` aggregate req/s, each aimed
+// at a connection drawn Zipf(`zipf_theta`) over the swarm — a few sockets
+// stay warm while the long tail goes cold, the traffic shape the
+// idle-cold reclamation path (ServerConfig::cold_idle_ms) exists for.
+struct ConnScaleConfig {
+  InetAddr server;
+  int connections = 10000;  // swarm size to ramp to
+  int ramp_rate = 5000;     // connect() attempts per second
+  // Aggregate request rate across the whole swarm (req/s); 0 = pure idle.
+  double request_rate = 0.0;
+  double zipf_theta = 0.99;  // activity skew across connections
+  std::string target = "/bench?size=64&us=0";
+  int rcv_buf_bytes = 0;  // 0 = kernel default
+  uint64_t seed = 1;
+  // When set (family != AF_UNSPEC), client sockets bind() to this address
+  // (port 0) before connecting. A single loopback (saddr, daddr, dport)
+  // tuple caps out at the ~28k ephemeral-port range; swarms past that run
+  // several clients, each sourcing from its own 127.0.0.x alias.
+  InetAddr source{};
+};
+
+struct ConnScaleSnapshot {
+  uint64_t attempted = 0;        // connect() calls issued
+  uint64_t established = 0;      // handshakes completed
+  uint64_t connect_errors = 0;   // refused / reset during handshake
+  uint64_t closed_by_peer = 0;   // established conns the server closed
+  uint64_t live = 0;             // currently-open sockets
+  uint64_t requests_sent = 0;
+  uint64_t responses_ok = 0;
+  uint64_t response_errors = 0;  // parse failures / mid-response resets
+  uint64_t skipped_busy = 0;     // arrivals aimed at a still-busy conn
+  Histogram latency;             // request → response-complete
+};
+
+// One background thread owns the swarm. Start() returns immediately (the
+// ramp proceeds in the background; poll Snapshot().established to watch
+// it); Stop() (or the destructor) closes everything.
+class ConnScaleClient {
+ public:
+  explicit ConnScaleClient(ConnScaleConfig config);
+  ~ConnScaleClient();
+  ConnScaleClient(const ConnScaleClient&) = delete;
+  ConnScaleClient& operator=(const ConnScaleClient&) = delete;
+
+  void Start();
+  void Stop();
+  ConnScaleSnapshot Snapshot() const;
+
+ private:
+  struct SwarmConn;
+  void Main();
+
+  ConnScaleConfig config_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+
+  std::atomic<uint64_t> attempted_{0};
+  std::atomic<uint64_t> established_{0};
+  std::atomic<uint64_t> connect_errors_{0};
+  std::atomic<uint64_t> closed_by_peer_{0};
+  std::atomic<uint64_t> live_{0};
+  std::atomic<uint64_t> requests_sent_{0};
+  std::atomic<uint64_t> responses_ok_{0};
+  std::atomic<uint64_t> response_errors_{0};
+  std::atomic<uint64_t> skipped_busy_{0};
+  mutable std::mutex latency_mu_;
+  Histogram latency_;
+};
+
 // Drives `connections` misbehaving sockets from one background
 // poll()-based thread. Start() returns once every socket attempted
 // connect; Stop() (or the destructor) closes everything.

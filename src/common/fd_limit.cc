@@ -1,0 +1,44 @@
+#include "common/fd_limit.h"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+
+namespace hynet {
+
+FdLimit QueryFdLimit() {
+  struct rlimit rl {};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return {};
+  return {static_cast<uint64_t>(rl.rlim_cur), static_cast<uint64_t>(rl.rlim_max)};
+}
+
+FdLimit RaiseFdLimit(uint64_t want) {
+  FdLimit cur = QueryFdLimit();
+  if (cur.hard == 0) return cur;
+
+  if (want > cur.hard) {
+    // Beyond the hard limit: allowed with CAP_SYS_RESOURCE, silently
+    // capped by fs.nr_open otherwise (setrlimit just fails and we keep
+    // the hard limit we have).
+    struct rlimit rl {};
+    rl.rlim_cur = want;
+    rl.rlim_max = want;
+    if (::setrlimit(RLIMIT_NOFILE, &rl) == 0) return QueryFdLimit();
+  }
+
+  const uint64_t target = want == 0 ? cur.hard : std::min(want, cur.hard);
+  if (target > cur.soft) {
+    struct rlimit rl {};
+    rl.rlim_cur = target;
+    rl.rlim_max = cur.hard;
+    (void)::setrlimit(RLIMIT_NOFILE, &rl);
+  }
+  return QueryFdLimit();
+}
+
+std::string FormatFdLimit(const FdLimit& limit) {
+  return "soft=" + std::to_string(limit.soft) +
+         " hard=" + std::to_string(limit.hard);
+}
+
+}  // namespace hynet

@@ -1,0 +1,41 @@
+// RLIMIT_NOFILE probing and raising, for the connection-scale path.
+//
+// A server sized for 100k connections needs 100k+ descriptors, but the
+// usual soft limit is 1024. Binaries that own their process (hynet_serve,
+// the load generator, the benches) raise the soft limit to the hard limit
+// at startup — and, when running with CAP_SYS_RESOURCE (root), push the
+// hard limit toward /proc/sys/fs/nr_open too. The server factory then
+// validates ServerConfig::max_connections against the effective limit so
+// an under-provisioned deployment fails fast at startup instead of
+// dying on EMFILE mid-ramp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hynet {
+
+struct FdLimit {
+  uint64_t soft = 0;
+  uint64_t hard = 0;
+};
+
+// Current RLIMIT_NOFILE. Never fails (returns zeros on getrlimit error).
+FdLimit QueryFdLimit();
+
+// Raises the soft limit to min(hard, want) — or all the way to the hard
+// limit when want == 0. If want exceeds the hard limit, additionally
+// attempts to raise the hard limit (works with CAP_SYS_RESOURCE, capped
+// by the kernel's fs.nr_open). Best-effort: returns the limits actually
+// in effect afterwards, never throws.
+FdLimit RaiseFdLimit(uint64_t want = 0);
+
+// "soft=N hard=M" for startup logging.
+std::string FormatFdLimit(const FdLimit& limit);
+
+// Descriptors a server deployment needs beyond its connection sockets:
+// listeners, eventfds, timers, admin plane, epoll/uring fds, and slack
+// for accept bursts racing the sweep.
+inline constexpr uint64_t kFdSlack = 128;
+
+}  // namespace hynet

@@ -87,6 +87,11 @@ struct IoBackendStats {
   uint64_t zc_sends = 0;
   uint64_t zc_bytes = 0;
   uint64_t zc_copied = 0;
+  // Reads that found the provided buffer ring empty (ENOBUFS): the engine
+  // fell back to an engine-owned buffer for that arm so progress never
+  // depends on ring recycling. Sustained growth means the ring is
+  // undersized for the ready-connection burst (HYNET_URING_BUFRING_ENTRIES).
+  uint64_t bufring_exhausted = 0;
 };
 
 enum class IoOpType : uint8_t { kReadiness, kAccept, kRead, kWrite };

@@ -1,6 +1,7 @@
 #include "io/uring_backend.h"
 
 #include <sys/mman.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/syscall.h>
 #include <unistd.h>
@@ -62,6 +63,29 @@ UringBackend::UringBackend() {
     feature_fallbacks_.fetch_add(1, std::memory_order_relaxed);
   }
   regfiles_enabled_ = EnvBool("HYNET_URING_REGFILES", false);
+
+  // Provided-buffer ring depth: the kernel requires a power of two. More
+  // entries cover more simultaneously-readable connections per iteration
+  // before the ENOBUFS owned-buffer fallback kicks in.
+  const int64_t want_entries =
+      EnvInt("HYNET_URING_BUFRING_ENTRIES", kBufRingEntries);
+  buf_ring_entries_ = 1;
+  while (buf_ring_entries_ <
+         std::min<uint64_t>(std::max<int64_t>(want_entries, 1), 32768)) {
+    buf_ring_entries_ <<= 1;
+  }
+  // Registered-file table: size to the fd budget so every connection can
+  // hold a fixed slot, bounded to keep the sparse table allocation sane.
+  rlimit nofile{};
+  uint64_t fd_budget = kRegisteredFileSlots;
+  if (::getrlimit(RLIMIT_NOFILE, &nofile) == 0 &&
+      nofile.rlim_cur != RLIM_INFINITY) {
+    fd_budget = std::max<uint64_t>(fd_budget, nofile.rlim_cur);
+  }
+  reg_file_slots_ = static_cast<unsigned>(std::clamp<uint64_t>(
+      static_cast<uint64_t>(
+          EnvInt("HYNET_URING_REGFILE_SLOTS", static_cast<int64_t>(fd_budget))),
+      kRegisteredFileSlots, kMaxRegisteredFileSlots));
 
   io_uring_params params{};
   // CQ sized well past SQ depth: completions accumulate all iteration
@@ -180,11 +204,11 @@ UringBackend::~UringBackend() {
 }
 
 bool UringBackend::SetupBufRing() {
-  buf_ring_bytes_ = kBufRingEntries * sizeof(io_uring_buf);
+  buf_ring_bytes_ = buf_ring_entries_ * sizeof(io_uring_buf);
   void* ring = ::mmap(nullptr, buf_ring_bytes_, PROT_READ | PROT_WRITE,
                       MAP_ANONYMOUS | MAP_PRIVATE, -1, 0);
   if (ring == MAP_FAILED) return false;
-  buf_slab_bytes_ = static_cast<size_t>(kBufRingEntries) * kReadChunk;
+  buf_slab_bytes_ = static_cast<size_t>(buf_ring_entries_) * kReadChunk;
   void* slab = ::mmap(nullptr, buf_slab_bytes_, PROT_READ | PROT_WRITE,
                       MAP_ANONYMOUS | MAP_PRIVATE, -1, 0);
   if (slab == MAP_FAILED) {
@@ -193,7 +217,7 @@ bool UringBackend::SetupBufRing() {
   }
   io_uring_buf_reg reg{};
   reg.ring_addr = reinterpret_cast<uint64_t>(ring);
-  reg.ring_entries = kBufRingEntries;
+  reg.ring_entries = buf_ring_entries_;
   reg.bgid = kBufGroupId;
   if (::syscall(__NR_io_uring_register, ring_fd_.get(),
                 IORING_REGISTER_PBUF_RING, &reg, 1) != 0) {
@@ -205,7 +229,7 @@ bool UringBackend::SetupBufRing() {
   buf_slab_ = static_cast<char*>(slab);
   // Hand every buffer to the kernel up front; they come back one CQE at a
   // time and recycle at the Wait after their dispatch pass.
-  for (unsigned bid = 0; bid < kBufRingEntries; ++bid) {
+  for (unsigned bid = 0; bid < buf_ring_entries_; ++bid) {
     RecycleBid(static_cast<uint16_t>(bid));
   }
   PublishBufRing();
@@ -217,7 +241,7 @@ void UringBackend::RecycleBid(uint16_t bid) {
   // the flexible member to offset 8 (its dummy struct{} has size 1), while
   // the kernel reads entries from offset 0. Index the ring base directly.
   auto* entries = reinterpret_cast<io_uring_buf*>(buf_ring_);
-  io_uring_buf& e = entries[buf_ring_tail_ & (kBufRingEntries - 1)];
+  io_uring_buf& e = entries[buf_ring_tail_ & (buf_ring_entries_ - 1)];
   e.addr = reinterpret_cast<uint64_t>(buf_slab_ +
                                       static_cast<size_t>(bid) * kReadChunk);
   e.len = kReadChunk;
@@ -232,13 +256,13 @@ void UringBackend::PublishBufRing() {
 bool UringBackend::SetupRegisteredFiles() {
   // A sparse table: slots are claimed lazily (first SQE on the fd) and
   // filled with the synchronous FILES_UPDATE registration.
-  std::vector<int> table(kRegisteredFileSlots, -1);
+  std::vector<int> table(reg_file_slots_, -1);
   if (::syscall(__NR_io_uring_register, ring_fd_.get(), IORING_REGISTER_FILES,
-                table.data(), kRegisteredFileSlots) != 0) {
+                table.data(), reg_file_slots_) != 0) {
     return false;
   }
-  free_file_slots_.reserve(kRegisteredFileSlots);
-  for (unsigned i = kRegisteredFileSlots; i > 0; --i) {
+  free_file_slots_.reserve(reg_file_slots_);
+  for (unsigned i = reg_file_slots_; i > 0; --i) {
     free_file_slots_.push_back(i - 1);
   }
   return true;
@@ -306,6 +330,7 @@ uint64_t UringBackend::AllocSlot(OpKind kind, int fd) {
   slot.zc = false;
   slot.awaiting_notif = false;
   slot.resubmit_plain = false;
+  slot.owned_read = false;
   slot.iov_count = 0;
   fd_ops_[fd].push_back(index);
   return index;
@@ -530,8 +555,17 @@ void UringBackend::HandleCqe(const io_uring_cqe& cqe) {
           static_cast<uint16_t>(cqe.flags >> IORING_CQE_BUFFER_SHIFT);
       if (cqe.res == -ENOBUFS && slot.alive) {
         // The buffer ring is empty this instant: every bid is surfaced or
-        // in flight. Re-prep now — the SQE ships with the next Wait's
-        // enter, which runs after the bid recycle.
+        // in flight. Fall back to an engine-owned buffer for this read —
+        // re-prepping against the ring would thrash when the ring is
+        // simply undersized for the number of simultaneously-readable
+        // connections (HYNET_URING_BUFRING_ENTRIES raises it).
+        bufring_exhausted_.fetch_add(1, std::memory_order_relaxed);
+        slot.owned_read = true;
+        if (!HasStorage(slot.buffer)) {
+          slot.buffer =
+              buffer_source_ ? buffer_source_->AcquireBuffer() : ByteBuffer();
+          slot.buffer.EnsureWritable(kReadChunk);
+        }
         PrepRead(index);
         return;
       }
@@ -706,7 +740,7 @@ void UringBackend::PrepRead(uint64_t index) {
   io_uring_sqe* sqe = GetSqe();
   sqe->opcode = IORING_OP_RECV;
   sqe->fd = slot.fd;
-  if (bufring_enabled_) {
+  if (bufring_enabled_ && !slot.owned_read) {
     // Kernel-selected buffer from the registered ring: no buffer is
     // committed to this fd until bytes actually arrive.
     sqe->flags |= IOSQE_BUFFER_SELECT;
@@ -833,6 +867,7 @@ IoBackendStats UringBackend::Stats() const {
   s.zc_sends = zc_sends_.load(std::memory_order_relaxed);
   s.zc_bytes = zc_bytes_.load(std::memory_order_relaxed);
   s.zc_copied = zc_copied_.load(std::memory_order_relaxed);
+  s.bufring_exhausted = bufring_exhausted_.load(std::memory_order_relaxed);
   return s;
 }
 

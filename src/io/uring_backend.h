@@ -63,15 +63,20 @@ class UringBackend final : public IoBackend {
   static constexpr size_t kReadChunk = 16 * 1024;
   // Payloads per write op; each contributes at most Payload::kMaxSegments.
   static constexpr size_t kMaxWritePayloads = 8;
-  // Provided-buffer ring geometry (power of two) and its buffer group id.
+  // Provided-buffer ring geometry (power of two; default, overridable via
+  // HYNET_URING_BUFRING_ENTRIES) and its buffer group id.
   static constexpr unsigned kBufRingEntries = 256;
   static constexpr uint16_t kBufGroupId = 7;
   // Write batches at least this large go zero-copy (the ≥100KB responses
   // the write-spin study cares about; smaller sends lose more to page
   // pinning than the copy costs).
   static constexpr size_t kZcThresholdBytes = 100 * 1024;
-  // Registered-file table size (sparse; slots assigned on first use).
+  // Registered-file table size floor (sparse; slots assigned on first
+  // use). The actual table is sized from RLIMIT_NOFILE, overridable via
+  // HYNET_URING_REGFILE_SLOTS, so high-connection deployments don't fall
+  // off the fixed-file fast path at slot 4096.
   static constexpr unsigned kRegisteredFileSlots = 4096;
+  static constexpr unsigned kMaxRegisteredFileSlots = 65536;
 
   // Throws std::system_error when the kernel/sandbox cannot run the
   // engine (callers normally gate on IoUringAvailable()).
@@ -120,6 +125,9 @@ class UringBackend final : public IoBackend {
     // the same slot as a plain SENDMSG once the notification (if any)
     // lands.
     bool resubmit_plain = false;
+    // kRead: the provided-buffer ring was exhausted (ENOBUFS), so this op
+    // fell back to an engine-owned buffer for one read.
+    bool owned_read = false;
     uint32_t poll_events = 0;
     uint64_t token = 0;
     ByteBuffer buffer;               // kRead (non-buffer-ring mode)
@@ -210,6 +218,8 @@ class UringBackend final : public IoBackend {
 
   // Provided-buffer ring: bid i is backed by slab entry i. Surfaced bids
   // are on loan to the dispatch pass; recycled at the next Wait.
+  unsigned buf_ring_entries_ = kBufRingEntries;
+  unsigned reg_file_slots_ = kRegisteredFileSlots;
   io_uring_buf_ring* buf_ring_ = nullptr;
   size_t buf_ring_bytes_ = 0;
   char* buf_slab_ = nullptr;
@@ -234,6 +244,7 @@ class UringBackend final : public IoBackend {
   std::atomic<uint64_t> zc_sends_{0};
   std::atomic<uint64_t> zc_bytes_{0};
   std::atomic<uint64_t> zc_copied_{0};
+  std::atomic<uint64_t> bufring_exhausted_{0};
 };
 
 }  // namespace hynet

@@ -30,6 +30,18 @@ void AppendDouble(std::string& out, double v) {
 
 }  // namespace
 
+void HistogramData::Merge(const HistogramData& other) {
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
 int64_t HistogramData::Percentile(double q) const {
   if (count == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
@@ -127,18 +139,21 @@ MetricsSnapshot MetricsRegistry::Scrape() const {
   MetricsSnapshot snap;
   std::map<std::string, uint64_t> counters;
   std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [name, c] : counters_) counters[name] = c->Value();
     for (const auto& [name, g] : gauges_) gauges[name] = g->Value();
     for (const auto& [name, h] : histograms_) {
-      snap.histograms.emplace_back(name, h->Snapshot());
+      histograms[name] = h->Snapshot();
     }
   }
   for (const auto& [name, v] : batch.counters_) counters[name] += v;
   for (const auto& [name, v] : batch.gauges_) gauges[name] = v;
+  for (const auto& [name, d] : batch.histograms_) histograms[name].Merge(d);
   snap.counters.assign(counters.begin(), counters.end());
   snap.gauges.assign(gauges.begin(), gauges.end());
+  snap.histograms.assign(histograms.begin(), histograms.end());
   return snap;
 }
 

@@ -90,6 +90,11 @@ struct HistogramData {
   }
   // Upper bound of the bucket containing quantile q in [0, 1].
   int64_t Percentile(double q) const;
+
+  // Field-wise merge of another histogram with the same bucket geometry:
+  // buckets and count/sum add, max takes the larger. The shard-aggregation
+  // path merges per-shard scrapes into one view with this.
+  void Merge(const HistogramData& other);
 };
 
 // Log-linear histogram with per-thread shards of relaxed-atomic buckets.
@@ -127,7 +132,8 @@ class HistogramMetric {
 
 // One scrape's worth of collector contributions. Counter contributions
 // with the same name (native or from other collectors) are summed; gauge
-// contributions overwrite.
+// contributions overwrite; histogram contributions merge field-wise into
+// the native histogram of the same name (the shard-aggregation path).
 class MetricsBatch {
  public:
   void AddCounter(std::string name, uint64_t value) {
@@ -136,11 +142,15 @@ class MetricsBatch {
   void SetGauge(std::string name, int64_t value) {
     gauges_.emplace_back(std::move(name), value);
   }
+  void MergeHistogram(std::string name, HistogramData data) {
+    histograms_.emplace_back(std::move(name), std::move(data));
+  }
 
  private:
   friend class MetricsRegistry;
   std::vector<std::pair<std::string, uint64_t>> counters_;
   std::vector<std::pair<std::string, int64_t>> gauges_;
+  std::vector<std::pair<std::string, HistogramData>> histograms_;
 };
 
 // Consistent view of every metric at one scrape, sorted by name.

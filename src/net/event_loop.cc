@@ -12,9 +12,10 @@
 
 namespace hynet {
 
-EventLoop::EventLoop(IoBackendKind backend)
+EventLoop::EventLoop(IoBackendKind backend, TimerWheelSpec wheel)
     : backend_(CreateIoBackend(backend, &backend_fell_back_)),
-      wakeup_fd_(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {
+      wakeup_fd_(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)),
+      wheel_(wheel.tick, wheel.slots) {
   if (!wakeup_fd_.valid()) {
     throw std::system_error(errno, std::generic_category(), "eventfd");
   }

@@ -34,7 +34,8 @@ class EventLoop {
   using Task = std::function<void()>;
   using TimerId = uint64_t;
 
-  explicit EventLoop(IoBackendKind backend = IoBackendKind::kDefault);
+  explicit EventLoop(IoBackendKind backend = IoBackendKind::kDefault,
+                     TimerWheelSpec wheel = {});
   ~EventLoop();
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;

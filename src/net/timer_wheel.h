@@ -31,6 +31,14 @@
 
 namespace hynet {
 
+// Wheel geometry, carried from ServerConfig into each EventLoop. The
+// defaults are the library's historical 10ms x 512; servers expecting
+// large connection tables derive a wider wheel (see WheelSpecFor).
+struct TimerWheelSpec {
+  Duration tick = std::chrono::milliseconds(10);
+  size_t slots = 512;
+};
+
 class TimerWheel {
  public:
   using TimerId = uint64_t;

@@ -33,6 +33,13 @@ struct HttpRequest {
                           std::string_view fallback = "") const;
 
   void Clear();
+
+  // Heap bytes retained by this request's strings and vectors (capacity,
+  // not size — Clear() keeps capacity for reuse). The ConnTable charges
+  // this as codec scratch.
+  size_t HeapBytes() const;
+  // Releases all retained capacity (idle-cold reclamation).
+  void ShrinkToFit();
 };
 
 struct HttpResponse {

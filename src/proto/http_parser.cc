@@ -139,6 +139,29 @@ void HttpRequest::Clear() {
   keep_alive = true;
 }
 
+size_t HttpRequest::HeapBytes() const {
+  size_t total = method.capacity() + target.capacity() + path.capacity() +
+                 body.capacity();
+  total += query.capacity() * sizeof(query[0]);
+  for (const auto& [k, v] : query) total += k.capacity() + v.capacity();
+  total += headers.capacity() * sizeof(headers[0]);
+  for (const auto& [k, v] : headers) total += k.capacity() + v.capacity();
+  // Small strings live inline in the string object; counting their
+  // capacity anyway keeps this an upper bound, which is what a memory
+  // budget wants.
+  return total;
+}
+
+void HttpRequest::ShrinkToFit() {
+  method = std::string();
+  target = std::string();
+  path = std::string();
+  body = std::string();
+  query = {};
+  headers = {};
+  keep_alive = true;
+}
+
 std::string_view HttpResponse::Header(std::string_view key,
                                       std::string_view fallback) const {
   for (const auto& [k, v] : headers) {

@@ -52,6 +52,17 @@ class HttpRequestParser {
   // the header-timeout sweep.
   bool InProgress() const { return state_ == State::kBody || scanned_ > 0; }
 
+  // Heap bytes the scratch request retains between messages (string and
+  // vector capacities survive Clear() for reuse); the ConnTable charges
+  // this as codec state.
+  size_t ScratchBytes() const { return request_.HeapBytes(); }
+  // Drops that retained capacity (idle-cold reclamation). Only meaningful
+  // between messages; a mid-parse call would discard partial state, so
+  // callers must check !InProgress().
+  void ShrinkScratch() {
+    if (!InProgress()) request_.ShrinkToFit();
+  }
+
   void Reset();
 
  private:

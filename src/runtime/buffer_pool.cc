@@ -8,15 +8,21 @@ void BufferPool::BindMetrics(MetricsRegistry& registry) {
   std::lock_guard<std::mutex> lock(mu_);
   hits_ = &registry.GetCounter("buffer_pool_hits");
   misses_ = &registry.GetCounter("buffer_pool_misses");
+  trimmed_ = &registry.GetCounter("buffer_pool_trimmed");
   outstanding_ = &registry.GetGauge("buffer_pool_outstanding");
+  free_bytes_gauge_ = &registry.GetGauge("buffer_pool_free_bytes");
 }
 
 ByteBuffer BufferPool::Acquire() {
   std::lock_guard<std::mutex> lock(mu_);
   if (outstanding_) outstanding_->Add(1);
   if (!free_.empty()) {
-    ByteBuffer buf = std::move(free_.back());
+    ByteBuffer buf = std::move(free_.back().buffer);
     free_.pop_back();
+    free_bytes_ -= buf.Capacity();
+    if (free_bytes_gauge_) {
+      free_bytes_gauge_->Set(static_cast<int64_t>(free_bytes_));
+    }
     if (hits_) hits_->Add(1);
     return buf;
   }
@@ -27,14 +33,46 @@ ByteBuffer BufferPool::Acquire() {
 void BufferPool::Release(ByteBuffer buffer) {
   buffer.ConsumeAll();
   buffer.ShrinkToFit();
+  const size_t cap = buffer.Capacity();
   std::lock_guard<std::mutex> lock(mu_);
   if (outstanding_) outstanding_->Add(-1);
-  if (free_.size() < max_pooled_) free_.push_back(std::move(buffer));
+  if (free_.size() >= max_pooled_ ||
+      (max_pooled_bytes_ > 0 && free_bytes_ + cap > max_pooled_bytes_)) {
+    return;  // over a cap: drop to the allocator
+  }
+  free_.push_back(PooledBuffer{std::move(buffer), Now()});
+  free_bytes_ += cap;
+  if (free_bytes_gauge_) {
+    free_bytes_gauge_->Set(static_cast<int64_t>(free_bytes_));
+  }
+}
+
+size_t BufferPool::TrimIdle(Duration max_age) {
+  const TimePoint cutoff = Now() - max_age;
+  size_t dropped = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!free_.empty() && free_.front().released <= cutoff) {
+    free_bytes_ -= free_.front().buffer.Capacity();
+    free_.pop_front();
+    ++dropped;
+  }
+  if (dropped > 0) {
+    if (trimmed_) trimmed_->Add(dropped);
+    if (free_bytes_gauge_) {
+      free_bytes_gauge_->Set(static_cast<int64_t>(free_bytes_));
+    }
+  }
+  return dropped;
 }
 
 size_t BufferPool::FreeCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   return free_.size();
+}
+
+size_t BufferPool::FreeBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_bytes_;
 }
 
 }  // namespace hynet

@@ -4,16 +4,25 @@
 // time. A returned buffer is shrunk back toward its initial capacity so
 // one burst of large requests cannot pin megabytes in the free list.
 //
+// The free list is bounded twice over: by entry count (max_pooled) and by
+// a byte budget (max_pooled_bytes) — a connection-scale deployment whose
+// idle-cold sweep returns tens of thousands of buffers must not turn the
+// pool itself into the memory hog the sweep just fixed. Entries carry a
+// release stamp, oldest first, so TrimIdle() can evict buffers the pool
+// has not re-lent for a while (LRU). Trimming touches only the free list;
+// buffers checked out to connections are untouchable by construction.
+//
 // Thread-safe (a mutex guards the free list): the per-loop pools are only
 // touched from their loop thread, but the thread-per-connection server
 // shares one pool across worker threads.
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <mutex>
-#include <vector>
 
 #include "common/bytes.h"
+#include "common/clock.h"
 
 namespace hynet {
 
@@ -23,38 +32,60 @@ class Gauge;
 
 class BufferPool {
  public:
-  // Free-list cap: buffers released beyond this are dropped to the
+  // Free-list caps: buffers released beyond either are dropped to the
   // allocator instead of pooled.
   static constexpr size_t kDefaultMaxPooled = 1024;
+  static constexpr size_t kDefaultMaxPooledBytes = 16 * 1024 * 1024;
 
-  explicit BufferPool(size_t max_pooled = kDefaultMaxPooled)
-      : max_pooled_(max_pooled) {}
+  explicit BufferPool(size_t max_pooled = kDefaultMaxPooled,
+                      size_t max_pooled_bytes = kDefaultMaxPooledBytes)
+      : max_pooled_(max_pooled), max_pooled_bytes_(max_pooled_bytes) {}
 
   // Resolves the pool's hit/miss/outstanding instruments in `registry`
   // (names: buffer_pool_hits / buffer_pool_misses /
-  // buffer_pool_outstanding). Call after the owning server has settled on
+  // buffer_pool_outstanding / buffer_pool_free_bytes /
+  // buffer_pool_trimmed). Call after the owning server has settled on
   // its registry (in particular after AdoptMetricsRegistry, so N-copy
   // children account into the parent's instruments). Without a call the
   // pool still works, just unobserved.
   void BindMetrics(MetricsRegistry& registry);
 
   // Checks a buffer out of the pool (empty, ready for reading into).
-  // Falls back to a fresh allocation when the free list is empty.
+  // Most-recently-released first, so a hot pool keeps cache-warm buffers
+  // in rotation and the stale tail ages toward TrimIdle. Falls back to a
+  // fresh allocation when the free list is empty.
   ByteBuffer Acquire();
 
   // Returns a buffer to the pool. Leftover bytes are discarded and excess
   // capacity is released before the buffer re-enters the free list.
   void Release(ByteBuffer buffer);
 
+  // Drops free-list entries that have sat unlent for at least `max_age`
+  // (oldest first). Outstanding buffers are unaffected — only the free
+  // list is walked. Returns the number of buffers dropped.
+  size_t TrimIdle(Duration max_age);
+
   size_t FreeCount() const;
+  size_t FreeBytes() const;
 
  private:
+  struct PooledBuffer {
+    ByteBuffer buffer;
+    TimePoint released;
+  };
+
   const size_t max_pooled_;
+  const size_t max_pooled_bytes_;
   mutable std::mutex mu_;
-  std::vector<ByteBuffer> free_;
+  // Front = oldest release (TrimIdle pops here), back = newest (Acquire
+  // pops here).
+  std::deque<PooledBuffer> free_;
+  size_t free_bytes_ = 0;
   Counter* hits_ = nullptr;
   Counter* misses_ = nullptr;
+  Counter* trimmed_ = nullptr;
   Gauge* outstanding_ = nullptr;
+  Gauge* free_bytes_gauge_ = nullptr;
 };
 
 }  // namespace hynet

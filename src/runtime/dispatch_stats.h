@@ -50,6 +50,9 @@ struct LifecycleStats {
   std::atomic<uint64_t> backpressure_resumes{0};  // reads resumed at low water
   std::atomic<uint64_t> oversize_requests{0};    // answered 431/413
   std::atomic<uint64_t> half_close_reclaims{0};  // EPOLLRDHUP/EOF reclaim
+  std::atomic<uint64_t> cold_reclaims{0};        // idle conns went cold (buffer
+                                                 // released to the pool)
+  std::atomic<uint64_t> cold_revivals{0};        // cold conns woken by bytes
   std::atomic<uint64_t> drained_connections{0};  // closed cleanly during drain
   std::atomic<uint64_t> forced_closes{0};        // stragglers at the deadline
   // ---- Resilience plane (ISSUE 6) ----

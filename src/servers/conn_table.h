@@ -1,0 +1,102 @@
+// Per-loop connection-table accounting: bytes/conn as a first-class metric.
+//
+// Every event-driven architecture owns one ConnTable per loop; all tables
+// of one server resolve the same four gauges from the server's registry
+// and maintain them with atomic deltas, so the scrape-side cost is O(1)
+// regardless of connection count:
+//
+//   conn_count           live accounted connections
+//   conn_bytes_resident  reclaimable heap held by connections: read-buffer
+//                        capacity, codec scratch, outbound queue bytes,
+//                        unsent completion-queue bytes
+//   conn_bytes_total     resident + the fixed per-connection struct cost
+//   conn_cold            connections whose read buffer the idle-cold
+//                        sweep has reclaimed (ServerConfig::cold_idle_ms)
+//
+// The derived `conn_bytes_per_conn` gauge (total / count) is computed at
+// scrape time by the Server base collector. Accounting is incremental:
+// each connection caches its last-reported figure (Connection::
+// accounted_bytes) and Update() applies the delta, so re-accounting a
+// connection after a read or flush is two relaxed fetch_adds.
+#pragma once
+
+#include <cstddef>
+
+#include "metrics/registry.h"
+#include "servers/connection.h"
+
+namespace hynet {
+
+class ConnTable {
+ public:
+  // fixed_overhead: bytes charged per connection beyond the measured heap
+  // (the connection struct itself plus any per-architecture wrapper).
+  explicit ConnTable(size_t fixed_overhead = sizeof(Connection))
+      : fixed_overhead_(fixed_overhead) {}
+
+  // Resolves the gauges. Call after the server's registry is final (post
+  // AdoptMetricsRegistry) and before the first OnOpen.
+  void BindMetrics(MetricsRegistry& metrics) {
+    count_ = &metrics.GetGauge("conn_count");
+    resident_ = &metrics.GetGauge("conn_bytes_resident");
+    total_ = &metrics.GetGauge("conn_bytes_total");
+    cold_ = &metrics.GetGauge("conn_cold");
+  }
+
+  void OnOpen(Connection& conn) {
+    if (!count_) return;
+    count_->Add(1);
+    total_->Add(static_cast<int64_t>(fixed_overhead_));
+    conn.accounted_bytes = 0;
+    Update(conn);
+  }
+
+  // Re-measures `conn` and applies the delta since its last accounting.
+  void Update(Connection& conn) {
+    if (!count_) return;
+    const size_t now = ResidentBytes(conn);
+    const int64_t delta = static_cast<int64_t>(now) -
+                          static_cast<int64_t>(conn.accounted_bytes);
+    if (delta != 0) {
+      resident_->Add(delta);
+      total_->Add(delta);
+      conn.accounted_bytes = now;
+    }
+    if (conn.cold != accounted_cold(conn)) {
+      cold_->Add(conn.cold ? 1 : -1);
+      set_accounted_cold(conn, conn.cold);
+    }
+  }
+
+  void OnClose(Connection& conn) {
+    if (!count_) return;
+    count_->Add(-1);
+    resident_->Add(-static_cast<int64_t>(conn.accounted_bytes));
+    total_->Add(-static_cast<int64_t>(conn.accounted_bytes + fixed_overhead_));
+    if (accounted_cold(conn)) cold_->Add(-1);
+    conn.accounted_bytes = 0;
+    set_accounted_cold(conn, false);
+  }
+
+  // The measured (reclaimable) heap bytes one connection holds right now.
+  static size_t ResidentBytes(const Connection& conn) {
+    return conn.in.Capacity() + conn.parser.ScratchBytes() +
+           conn.out.PendingBytes() + conn.uring_q_bytes;
+  }
+
+ private:
+  static bool accounted_cold(const Connection& conn) {
+    return conn.accounted_cold;
+  }
+  static void set_accounted_cold(Connection& conn, bool v) {
+    conn.accounted_cold = v;
+  }
+
+  const size_t fixed_overhead_;
+  Gauge* count_ = nullptr;
+  Gauge* resident_ = nullptr;
+  Gauge* total_ = nullptr;
+  Gauge* cold_ = nullptr;
+};
+
+}  // namespace hynet

@@ -43,10 +43,10 @@ EvictReason CheckDeadlines(const ConnLifecycle& lc,
   return EvictReason::kNone;
 }
 
-Duration SweepPeriod(const LifecycleDeadlines& deadlines) {
+Duration SweepPeriod(const LifecycleDeadlines& deadlines, Duration cold_idle) {
   Duration shortest = std::chrono::seconds(4);
   for (const Duration d :
-       {deadlines.idle, deadlines.header, deadlines.write_stall}) {
+       {deadlines.idle, deadlines.header, deadlines.write_stall, cold_idle}) {
     if (d > Duration::zero()) shortest = std::min(shortest, d);
   }
   return std::clamp<Duration>(shortest / 4, std::chrono::milliseconds(10),

@@ -52,8 +52,10 @@ EvictReason CheckDeadlines(const ConnLifecycle& lc,
                            const LifecycleDeadlines& deadlines, TimePoint now);
 
 // How often the eviction sweep should run: a quarter of the shortest
-// enabled deadline, clamped to [10ms, 1s].
-Duration SweepPeriod(const LifecycleDeadlines& deadlines);
+// enabled deadline (including the idle-cold reclamation threshold, when
+// enabled), clamped to [10ms, 1s].
+Duration SweepPeriod(const LifecycleDeadlines& deadlines,
+                     Duration cold_idle = Duration::zero());
 
 // Connection state used by the event-driven architectures. The blocking
 // thread-per-connection server keeps its state on the worker thread's stack
@@ -106,6 +108,17 @@ struct Connection {
   bool close_after_write = false;
   bool closed = false;
   uint64_t requests = 0;
+
+  // Idle-cold reclamation (ServerConfig::cold_idle_ms): the sweep released
+  // this connection's pooled read buffer and shrank codec scratch; the
+  // next readable byte revives it (re-acquiring from the pool on the epoll
+  // paths, growing `in` organically on the completion path).
+  bool cold = false;
+  // Bytes last reported to the ConnTable gauges for this connection, so
+  // re-accounting applies a delta instead of a rescan (see conn_table.h);
+  // accounted_cold mirrors `cold` as last reported to the conn_cold gauge.
+  size_t accounted_bytes = 0;
+  bool accounted_cold = false;
 
   ConnLifecycle lifecycle;
 };

@@ -1,11 +1,13 @@
 // The one public factory for all eight architectures. Lives in servers/
 // but compiles into the hynet_core target: kHybrid's class layers above
 // the basic servers (see src/CMakeLists.txt).
+#include "common/fd_limit.h"
 #include "core/hybrid_server.h"
 #include "servers/multi_loop.h"
 #include "servers/ncopy.h"
 #include "servers/reactor_pool.h"
 #include "servers/server.h"
+#include "servers/sharded.h"
 #include "servers/single_thread.h"
 #include "servers/staged.h"
 #include "servers/thread_per_conn.h"
@@ -26,6 +28,24 @@ std::unique_ptr<Server> CreateServer(const ServerConfig& config,
     throw std::invalid_argument(
         "protocol \"rpc\" needs a ServiceRegistry: use "
         "CreateServer(config, ServiceRegistry) from app/rpc_server.h");
+  }
+  // Fail fast when the configured connection budget cannot fit under
+  // RLIMIT_NOFILE (after trying to raise it): every admitted connection is
+  // an fd, and discovering the wall via EMFILE accept storms at load is
+  // strictly worse than refusing to start.
+  if (config.max_connections > 0) {
+    const uint64_t want =
+        static_cast<uint64_t>(config.max_connections) + kFdSlack;
+    const FdLimit limit = RaiseFdLimit(want);
+    if (limit.soft < want) {
+      throw std::invalid_argument(
+          "max_connections=" + std::to_string(config.max_connections) +
+          " needs " + std::to_string(want) + " fds but RLIMIT_NOFILE is " +
+          FormatFdLimit(limit) + "; raise `ulimit -n` or lower the cap");
+    }
+  }
+  if (config.shards > 1) {
+    return std::make_unique<ShardedServer>(config, std::move(handler));
   }
   switch (config.architecture) {
     case ServerArchitecture::kThreadPerConn:

@@ -18,18 +18,23 @@ void LoopGroupServer::Start() {
   deadlines_ = LifecycleDeadlines::FromMillis(config_.idle_timeout_ms,
                                               config_.header_timeout_ms,
                                               config_.write_stall_timeout_ms);
+  cold_idle_ = std::chrono::milliseconds(config_.cold_idle_ms);
   const int n = std::max(1, config_.event_loops);
   loops_.reserve(static_cast<size_t>(n));
   conns_.resize(static_cast<size_t>(n));
   loop_tids_ = std::vector<std::atomic<int>>(static_cast<size_t>(n));
   buffer_pools_.clear();
+  conn_tables_.clear();
+  const TimerWheelSpec wheel = WheelSpecFor(config_);
   for (int i = 0; i < n; ++i) {
-    loops_.push_back(
-        std::make_unique<EventLoop>(ResolveIoBackendKind(config_.io_backend)));
+    loops_.push_back(std::make_unique<EventLoop>(
+        ResolveIoBackendKind(config_.io_backend), wheel));
     buffer_pools_.push_back(std::make_unique<BufferPool>());
     // Bound here, after any AdoptMetricsRegistry, so N-copy children
     // account pool traffic into the shared parent registry.
     buffer_pools_.back()->BindMetrics(metrics());
+    conn_tables_.push_back(std::make_unique<ConnTable>(sizeof(LoopConn)));
+    conn_tables_.back()->BindMetrics(metrics());
   }
   completion_mode_ = loops_.front()->CompletionModeAvailable() &&
                      config_.uring_mode != "readiness";
@@ -56,7 +61,8 @@ void LoopGroupServer::Start() {
       *boss_loop_, InetAddr::Loopback(config_.port),
       [this](Socket s, const InetAddr& peer) {
         OnNewConnection(std::move(s), peer);
-      });
+      },
+      config_.reuse_port);
   port_ = acceptor_->Port();
   acceptor_->Listen();
 
@@ -87,7 +93,7 @@ void LoopGroupServer::Start() {
       std::this_thread::yield();
     }
   }
-  if (deadlines_.Any()) {
+  if (deadlines_.Any() || cold_idle_ > Duration::zero()) {
     for (size_t i = 0; i < loops_.size(); ++i) ScheduleSweep(i);
   }
   StartAdminPlane();
@@ -218,6 +224,14 @@ ServerCounters LoopGroupServer::Snapshot() const {
   return c;
 }
 
+uint64_t LoopGroupServer::TimerWheelEntries() const {
+  uint64_t total = boss_loop_ ? boss_loop_->CoarseTimerCount() : 0;
+  for (const auto& loop : loops_) {
+    if (loop) total += loop->CoarseTimerCount();
+  }
+  return total;
+}
+
 void LoopGroupServer::OnNewConnection(Socket socket, const InetAddr&) {
   if (config_.max_connections > 0 &&
       Live() >= static_cast<uint64_t>(config_.max_connections)) {
@@ -242,6 +256,7 @@ void LoopGroupServer::OnNewConnection(Socket socket, const InetAddr&) {
     const int fd = lc->conn.fd.get();
     // Recycle a read buffer from this loop's pool (loop thread only).
     lc->conn.in = buffer_pools_[loop_index]->Acquire();
+    conn_tables_[loop_index]->OnOpen(lc->conn);
     conns_[loop_index][fd] = lc;
     OnConnectionEstablished(*lc);
     if (completion_mode_) {
@@ -284,6 +299,12 @@ void LoopGroupServer::OnLoopEvent(size_t loop_index, int fd, uint32_t events) {
   }
 
   if (events & EPOLLIN) {
+    if (lc.conn.cold) {
+      // Idle-cold revival: re-acquire a pooled read buffer before draining.
+      lc.conn.in = buffer_pools_[loop_index]->Acquire();
+      lc.conn.cold = false;
+      lifecycle_.cold_revivals.fetch_add(1, std::memory_order_relaxed);
+    }
     // Drain reads fully even on EOF: requests the peer pipelined before
     // half-closing are still parsed and answered below.
     char buf[16 * 1024];
@@ -341,6 +362,7 @@ bool LoopGroupServer::ProcessInbound(LoopConn& lc, bool dispatch_bytes) {
     }
     lc.conn.close_after_write = true;
   }
+  if (!lc.conn.closed) conn_tables_[lc.loop_index]->Update(lc.conn);
   return !lc.conn.closed;
 }
 
@@ -350,6 +372,12 @@ bool LoopGroupServer::OnPumpReadable(size_t loop_index, int fd) {
   if (it == map.end()) return false;
   std::shared_ptr<LoopConn> guard = it->second;
   if (guard->conn.closed) return false;
+  if (guard->conn.cold) {
+    // Completion-mode revival: the pump already appended the CQE's bytes
+    // into `in`, growing it organically — just clear the flag.
+    guard->conn.cold = false;
+    lifecycle_.cold_revivals.fetch_add(1, std::memory_order_relaxed);
+  }
   return ProcessInbound(*guard, true);
 }
 
@@ -547,8 +575,12 @@ void LoopGroupServer::CloseConn(LoopConn& lc) {
   } else {
     loop.UnregisterFd(fd);
   }
-  // Return the read buffer to this loop's pool for the next accept.
-  buffer_pools_[loop_index]->Release(std::move(lc.conn.in));
+  conn_tables_[loop_index]->OnClose(lc.conn);
+  // Return the read buffer to this loop's pool for the next accept. A cold
+  // connection's buffer already went back at reclamation time.
+  if (!lc.conn.cold) {
+    buffer_pools_[loop_index]->Release(std::move(lc.conn.in));
+  }
   closed_.fetch_add(1, std::memory_order_relaxed);
   // Defer destruction to a queued task so every reference to this LoopConn
   // on the current call stack stays valid (CloseConn can be reached from
@@ -571,10 +603,13 @@ void LoopGroupServer::CloseConn(LoopConn& lc) {
 }
 
 void LoopGroupServer::ScheduleSweep(size_t loop_index) {
-  loops_[loop_index]->RunAfter(SweepPeriod(deadlines_), [this, loop_index] {
-    SweepLoop(loop_index);
-    if (started_.load(std::memory_order_acquire)) ScheduleSweep(loop_index);
-  });
+  loops_[loop_index]->RunAfter(
+      SweepPeriod(deadlines_, cold_idle_), [this, loop_index] {
+        SweepLoop(loop_index);
+        if (started_.load(std::memory_order_acquire)) {
+          ScheduleSweep(loop_index);
+        }
+      });
 }
 
 void LoopGroupServer::SweepLoop(size_t loop_index) {
@@ -589,11 +624,27 @@ void LoopGroupServer::SweepLoop(size_t loop_index) {
       continue;
     }
     Connection& conn = lc->conn;
-    if (conn.in.ReadableBytes() == 0 && !conn.parser.InProgress() &&
-        conn.in.Capacity() > ByteBuffer::kInitialCapacity) {
+    const bool idle =
+        conn.in.ReadableBytes() == 0 && !conn.parser.InProgress();
+    if (!idle) continue;
+    if (cold_idle_ > Duration::zero() && !conn.cold &&
+        now - conn.lifecycle.last_activity >= cold_idle_) {
+      // Idle-cold reclamation: the read buffer goes back to the pool and
+      // codec scratch is dropped; the next readable byte revives the
+      // connection, which meanwhile holds ~O(100B) instead of ~O(4-16KB).
+      buffer_pools_[loop_index]->Release(std::move(conn.in));
+      conn.in = ByteBuffer(0);
+      conn.parser.ShrinkScratch();
+      conn.cold = true;
+      lifecycle_.cold_reclaims.fetch_add(1, std::memory_order_relaxed);
+    } else if (conn.in.Capacity() > ByteBuffer::kInitialCapacity) {
       conn.in.ShrinkToFit();
     }
+    conn_tables_[loop_index]->Update(conn);
   }
+  // Mass reclamation (or a burst of closes) can leave the free list far
+  // larger than the warm working set; age out the stale tail.
+  buffer_pools_[loop_index]->TrimIdle(std::chrono::seconds(5));
   for (const auto& [lc, reason] : victims) {
     switch (reason) {
       case EvictReason::kIdle:

@@ -25,6 +25,7 @@
 #include "net/event_loop.h"
 #include "runtime/buffer_pool.h"
 #include "runtime/pipeline.h"
+#include "servers/conn_table.h"
 #include "servers/connection.h"
 #include "servers/server.h"
 
@@ -40,6 +41,7 @@ class LoopGroupServer : public Server {
   uint16_t Port() const override { return port_; }
   std::vector<int> ThreadIds() const override;
   ServerCounters Snapshot() const override;
+  uint64_t TimerWheelEntries() const override;
 
  protected:
   LoopGroupServer(ServerConfig config, Handler handler);
@@ -150,6 +152,11 @@ class LoopGroupServer : public Server {
   // One read-buffer pool per loop: Acquire on accept (loop thread),
   // Release on close, so keep-alive churn recycles buffers loop-locally.
   std::vector<std::unique_ptr<BufferPool>> buffer_pools_;
+  // Bytes/conn accounting, one table per loop (each updated only on its
+  // loop thread; all share the registry gauges via atomic deltas).
+  std::vector<std::unique_ptr<ConnTable>> conn_tables_;
+  // Idle-cold reclamation threshold (zero = off).
+  Duration cold_idle_{};
   // Completion mode only: per-loop pump + read-buffer adapter (the
   // adapters must outlive loops_ — engines return buffers on teardown).
   std::vector<std::unique_ptr<PoolBufferSource>> buffer_sources_;

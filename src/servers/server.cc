@@ -111,6 +111,24 @@ std::vector<std::string> ServerConfig::Validate() const {
       }
     }
   }
+  if (cold_idle_ms < 0) errors.push_back("cold_idle_ms must be >= 0");
+  if (timer_wheel_tick_ms < 0) {
+    errors.push_back("timer_wheel_tick_ms must be >= 0 (0 = 10ms default)");
+  }
+  if (timer_wheel_slots < 0) {
+    errors.push_back("timer_wheel_slots must be >= 0 (0 = derived)");
+  }
+  if (shards < 0) errors.push_back("shards must be >= 0");
+  if (shards > 1) {
+    if (architecture == ServerArchitecture::kSingleThreadNCopy) {
+      errors.push_back(
+          "shards > 1 is incompatible with the N-copy architecture "
+          "(itself a sharding scheme; use one or the other)");
+    }
+    if (protocol == "rpc") {
+      errors.push_back("shards > 1 requires protocol \"\" or \"http\"");
+    }
+  }
   return errors;
 }
 
@@ -128,6 +146,25 @@ void AccumulateLoopIoStats(ServerCounters& c, const EventLoop& loop) {
   c.uring_zc_sends += s.zc_sends;
   c.uring_zc_bytes += s.zc_bytes;
   c.uring_zc_copied += s.zc_copied;
+  c.uring_bufring_exhausted += s.bufring_exhausted;
+}
+
+TimerWheelSpec WheelSpecFor(const ServerConfig& config) {
+  TimerWheelSpec spec;
+  if (config.timer_wheel_tick_ms > 0) {
+    spec.tick = std::chrono::milliseconds(config.timer_wheel_tick_ms);
+  }
+  if (config.timer_wheel_slots > 0) {
+    spec.slots = static_cast<size_t>(config.timer_wheel_slots);
+  } else if (config.max_connections > 0) {
+    // One slot per ~64 expected connections keeps the per-tick cascade
+    // short without letting the slot array itself become a memory cost.
+    size_t want = static_cast<size_t>(config.max_connections) / 64;
+    size_t slots = 512;
+    while (slots < want && slots < 16384) slots *= 2;
+    spec.slots = slots;
+  }
+  return spec;
 }
 
 Server::Server(ServerConfig config, Handler handler)
@@ -239,6 +276,21 @@ void Server::ContributeSnapshot(MetricsBatch& batch) const {
 #undef HYNET_EXPORT_COUNTER_FIELD
   batch.SetGauge("server_draining", Draining() ? 1 : 0);
   batch.SetGauge("server_overloaded", Overloaded() ? 1 : 0);
+  batch.SetGauge("timer_wheel_entries",
+                 static_cast<int64_t>(TimerWheelEntries()));
+  // Derived view: bytes attributed to connections per live connection.
+  // Collectors run outside the registry mutex, so reading our own gauges
+  // here is safe; both are maintained incrementally by the ConnTables.
+  const int64_t conns = metrics_->GetGauge("conn_count").Value();
+  const int64_t total = metrics_->GetGauge("conn_bytes_total").Value();
+  batch.SetGauge("conn_bytes_per_conn",
+                 conns > 0 ? total / conns : 0);
+}
+
+void Server::DropSnapshotCollector() {
+  if (collector_id_ == kNoCollector) return;
+  metrics_->RemoveCollector(collector_id_);
+  collector_id_ = kNoCollector;
 }
 
 void Server::AdoptMetricsRegistry(std::shared_ptr<MetricsRegistry> registry) {

@@ -149,6 +149,29 @@ struct ServerConfig {
   size_t max_request_head_bytes = 64 * 1024;  // matches the seed's cap
   size_t max_request_body_bytes = 8 * 1024 * 1024;
 
+  // ---- Connection-scale plane ----
+  // Idle-cold reclamation: a connection idle for this long releases its
+  // pooled read buffer back to the per-loop BufferPool and shrinks codec
+  // scratch, re-acquiring lazily on the next readable byte — so a
+  // 99%-cold workload holds ~O(100B) per connection instead of the warm
+  // ~O(4-16KB). 0 (the default) disables reclamation; sweeps still
+  // ShrinkToFit grown buffers. Enforced by the sweep timer, so one of the
+  // lifecycle timeouts or this knob schedules the sweep.
+  int cold_idle_ms = 0;
+  // Timer-wheel geometry for this server's event loops. 0 ticks = the
+  // 10ms default; 0 slots = derived from max_connections (one slot per
+  // ~64 expected connections, clamped to [512, 16384]) so per-tick sweep
+  // cost stays bounded as the connection table grows.
+  int timer_wheel_tick_ms = 0;
+  int timer_wheel_slots = 0;
+  // Sharded REUSEPORT deployment: > 1 runs that many independent copies
+  // of this architecture sharing the port via SO_REUSEPORT, each with its
+  // own event loops and its own MetricsRegistry; the parent aggregates
+  // shard registries at scrape time, so /metrics stays O(shards) not
+  // O(connections). 0 or 1 = no sharding. Incompatible with the N-copy
+  // architecture (which is itself a sharding scheme) and protocol "rpc".
+  int shards = 0;
+
   // ---- Resilience plane ----
   // Honor X-Hynet-Deadline-Ms request budgets: requests that arrive (or
   // finish) past their deadline are answered 504 instead of doing (or
@@ -272,6 +295,9 @@ struct ServerConfig {
 //   uring_zc_copied                — zero-copy sends the kernel completed
 //                                  by copying after all (unpinnable pages;
 //                                  reported via IORING_SEND_ZC_REPORT_USAGE)
+//   uring_bufring_exhausted        — reads that found the provided buffer
+//                                  ring empty (ENOBUFS) and fell back to an
+//                                  engine-owned buffer for that arm
 //   rpc_requests                   — RPC frames decoded and dispatched to a
 //                                  service handler (protocol == "rpc")
 //   rpc_inflight_peak              — highest number of simultaneously
@@ -311,6 +337,7 @@ struct ServerConfig {
   X(uring_zc_sends)                         \
   X(uring_zc_bytes)                         \
   X(uring_zc_copied)                        \
+  X(uring_bufring_exhausted)                \
   X(rpc_requests)                           \
   X(rpc_inflight_peak)                      \
   X(rpc_out_of_order_responses)
@@ -333,6 +360,8 @@ struct ServerConfig {
   X(backpressure_resumes)                \
   X(oversize_requests)                   \
   X(half_close_reclaims)                 \
+  X(cold_reclaims)                       \
+  X(cold_revivals)                       \
   X(drained_connections)                 \
   X(forced_closes)                       \
   X(sheds_queue_delay)                   \
@@ -375,6 +404,13 @@ class EventLoop;
 // The wakeup_writes_* counters stay with each architecture's existing
 // per-loop sums. Call once per loop the server owns.
 void AccumulateLoopIoStats(ServerCounters& c, const EventLoop& loop);
+
+struct TimerWheelSpec;
+
+// Timer-wheel geometry for a server's event loops: explicit config values
+// when set, otherwise slots derived from max_connections (one slot per
+// ~64 expected connections, clamped to [512, 16384]) at the 10ms tick.
+TimerWheelSpec WheelSpecFor(const ServerConfig& config);
 
 // Field-wise delta (a - b), for before/after measurement windows.
 ServerCounters operator-(const ServerCounters& a, const ServerCounters& b);
@@ -431,6 +467,10 @@ class Server {
 
   virtual ServerCounters Snapshot() const = 0;
 
+  // Entries currently parked across this server's event-loop timer wheels
+  // (the timer_wheel_entries gauge). Loop-owning architectures override.
+  virtual uint64_t TimerWheelEntries() const { return 0; }
+
   const ServerConfig& config() const { return config_; }
 
   // Request-anatomy profiler (populated when config.profile_phases).
@@ -482,6 +522,12 @@ class Server {
   // so no scrape can observe a half-torn-down server.
   void StartAdminPlane();
   void StopAdminPlane();
+
+  // Unregisters this server's own Snapshot() collector from its registry.
+  // The sharded wrapper calls it because its scrape-time shard merge
+  // already carries every shard's server_* counters — contributing the
+  // parent's child-summing Snapshot() too would double every value.
+  void DropSnapshotCollector();
 
   ServerConfig config_;
   Handler handler_;

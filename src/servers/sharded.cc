@@ -1,0 +1,147 @@
+#include "servers/sharded.h"
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace hynet {
+
+ShardedServer::ShardedServer(ServerConfig config, Handler handler)
+    : Server(std::move(config), std::move(handler)) {}
+
+ShardedServer::~ShardedServer() { Stop(); }
+
+void ShardedServer::Start() {
+  const int n = std::max(2, config_.shards);
+  ServerConfig shard_config = config_;
+  shard_config.shards = 0;  // the shards themselves must not re-shard
+  shard_config.reuse_port = true;
+  // The wrapper owns the observability plane: shards keep their own
+  // registries (merged at scrape time) and must not bind an admin port.
+  shard_config.admin_port = -1;
+  // The admission cap is a deployment-wide budget: split it across shards
+  // (the kernel's SO_REUSEPORT hash spreads connections about evenly).
+  if (config_.max_connections > 0) {
+    shard_config.max_connections = (config_.max_connections + n - 1) / n;
+  }
+  // Threads one shard occupies when pinning: its event loops plus a boss /
+  // the single loop thread.
+  const int stride =
+      config_.architecture == ServerArchitecture::kSingleThread
+          ? 1
+          : std::max(1, config_.event_loops) + 1;
+
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    // First shard may bind an ephemeral port; the rest join it.
+    shards_.push_back(CreateServer(shard_config, handler_));
+    shards_.front()->Start();
+    port_ = shards_.front()->Port();
+
+    shard_config.port = port_;
+    for (int i = 1; i < n; ++i) {
+      shard_config.pin_cpu_offset = config_.pin_cpu_offset + i * stride;
+      shards_.push_back(CreateServer(shard_config, handler_));
+      shards_.back()->Start();
+    }
+  }
+
+  // The shard scrapes already carry every shard's server_* counters; the
+  // parent's own child-summing Snapshot() collector would double them.
+  DropSnapshotCollector();
+  merge_collector_id_ = metrics().AddCollector(
+      [this](MetricsBatch& batch) { MergeShardScrapes(batch); });
+  StartAdminPlane();
+}
+
+void ShardedServer::MergeShardScrapes(MetricsBatch& batch) const {
+  std::unordered_map<std::string, int64_t> gauges;
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    for (const auto& shard : shards_) {
+      const MetricsSnapshot snap = shard->metrics().Scrape();
+      for (const auto& [name, value] : snap.counters) {
+        batch.AddCounter(name, value);  // duplicates across shards sum
+      }
+      for (const auto& [name, value] : snap.gauges) gauges[name] += value;
+      for (const auto& [name, data] : snap.histograms) {
+        batch.MergeHistogram(name, data);
+      }
+    }
+  }
+  // Per-shard bytes/conn averages don't sum; recompute from merged totals.
+  const int64_t conns = gauges["conn_count"];
+  gauges["conn_bytes_per_conn"] =
+      conns > 0 ? gauges["conn_bytes_total"] / conns : 0;
+  batch.SetGauge("shards", Shards());
+  for (auto& [name, value] : gauges) batch.SetGauge(name, value);
+}
+
+void ShardedServer::Stop() {
+  StopAdminPlane();
+  if (merge_collector_id_ != static_cast<size_t>(-1)) {
+    metrics().RemoveCollector(merge_collector_id_);
+    merge_collector_id_ = static_cast<size_t>(-1);
+  }
+  std::vector<std::unique_ptr<Server>> shards;
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    shards.swap(shards_);
+  }
+  for (auto& shard : shards) shard->Stop();
+}
+
+DrainResult ShardedServer::Shutdown(Duration drain_deadline) {
+  // One shared absolute deadline: shard k's budget is whatever remains
+  // after the shards before it drained. Shards stay in shards_ while they
+  // drain so an admin scrape still sees their counters.
+  const TimePoint deadline = Now() + drain_deadline;
+  draining_.store(true, std::memory_order_release);
+  std::vector<Server*> live;
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    for (const auto& shard : shards_) live.push_back(shard.get());
+  }
+  DrainResult total;
+  for (Server* shard : live) {
+    const Duration remaining = std::max(deadline - Now(), Duration::zero());
+    const DrainResult r = shard->Shutdown(remaining);
+    total.drained += r.drained;
+    total.forced += r.forced;
+  }
+  Stop();
+  return total;
+}
+
+std::vector<int> ShardedServer::ThreadIds() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  std::vector<int> tids;
+  for (const auto& shard : shards_) {
+    const auto shard_tids = shard->ThreadIds();
+    tids.insert(tids.end(), shard_tids.begin(), shard_tids.end());
+  }
+  return tids;
+}
+
+ServerCounters ShardedServer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  ServerCounters total;
+  for (const auto& shard : shards_) {
+    AccumulateCounters(total, shard->Snapshot());
+  }
+  return total;
+}
+
+uint64_t ShardedServer::TimerWheelEntries() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->TimerWheelEntries();
+  return total;
+}
+
+int ShardedServer::Shards() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  return static_cast<int>(shards_.size());
+}
+
+}  // namespace hynet

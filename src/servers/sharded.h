@@ -1,0 +1,49 @@
+// Sharded REUSEPORT deployment (ServerConfig::shards > 1): N independent
+// copies of any event-driven architecture share one port via SO_REUSEPORT,
+// the kernel load-balancing incoming connections across them.
+//
+// Unlike the N-copy wrapper (which points every copy at the parent's
+// registry, serializing all copies' hot paths through one set of metric
+// shards), each shard here keeps its OWN MetricsRegistry; the parent
+// registers a scrape-time collector that walks the shard registries and
+// merges counters (summed), gauges (summed, with bytes/conn recomputed
+// from the merged totals), and histograms (field-wise merge). A /metrics
+// or /stats.json scrape therefore costs O(shards), not O(connections),
+// and shard hot paths never touch shared scrape state.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "servers/server.h"
+
+namespace hynet {
+
+class ShardedServer final : public Server {
+ public:
+  ShardedServer(ServerConfig config, Handler handler);
+  ~ShardedServer() override;
+
+  void Start() override;
+  void Stop() override;
+  DrainResult Shutdown(Duration drain_deadline) override;
+  uint16_t Port() const override { return port_; }
+  std::vector<int> ThreadIds() const override;
+  ServerCounters Snapshot() const override;
+  uint64_t TimerWheelEntries() const override;
+
+  int Shards() const;
+
+ private:
+  void MergeShardScrapes(MetricsBatch& batch) const;
+
+  // Guards shards_ against the admin scrape thread: the merge collector
+  // walks shards_ while Start/Stop/Shutdown mutate the vector.
+  mutable std::mutex shards_mu_;
+  std::vector<std::unique_ptr<Server>> shards_;
+  size_t merge_collector_id_ = static_cast<size_t>(-1);
+  uint16_t port_ = 0;
+};
+
+}  // namespace hynet

@@ -17,10 +17,13 @@ void SingleThreadServer::Start() {
   deadlines_ = LifecycleDeadlines::FromMillis(config_.idle_timeout_ms,
                                               config_.header_timeout_ms,
                                               config_.write_stall_timeout_ms);
+  cold_idle_ = std::chrono::milliseconds(config_.cold_idle_ms);
   // After any AdoptMetricsRegistry, so N-copy children account pool
   // traffic into the shared parent registry.
   buffer_pool_.BindMetrics(metrics());
-  loop_ = std::make_unique<EventLoop>(ResolveIoBackendKind(config_.io_backend));
+  conn_table_.BindMetrics(metrics());
+  loop_ = std::make_unique<EventLoop>(ResolveIoBackendKind(config_.io_backend),
+                                      WheelSpecFor(config_));
   completion_mode_ = loop_->CompletionModeAvailable() &&
                      config_.uring_mode != "readiness";
   if (completion_mode_) {
@@ -56,7 +59,7 @@ void SingleThreadServer::Start() {
   while (loop_tid_.load(std::memory_order_acquire) == 0) {
     std::this_thread::yield();
   }
-  if (deadlines_.Any()) ScheduleSweep();
+  if (deadlines_.Any() || cold_idle_ > Duration::zero()) ScheduleSweep();
   StartAdminPlane();
 }
 
@@ -155,6 +158,7 @@ void SingleThreadServer::OnNewConnection(Socket socket, const InetAddr&) {
   conn->lifecycle.last_activity = Now();
   conn->parser.SetLimits(config_.max_request_head_bytes,
                          config_.max_request_body_bytes);
+  conn_table_.OnOpen(*conn);
   conns_[fd] = std::move(conn);
   accepted_.fetch_add(1, std::memory_order_relaxed);
   if (completion_mode_) {
@@ -182,6 +186,13 @@ void SingleThreadServer::OnReadable(int fd, uint32_t events) {
     return;
   }
   if (events & EPOLLRDHUP) conn.lifecycle.peer_half_closed = true;
+
+  // A cold connection re-acquires its pooled read buffer on first bytes.
+  if (conn.cold) {
+    conn.in = buffer_pool_.Acquire();
+    conn.cold = false;
+    lifecycle_.cold_revivals.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // Read everything available. EOF no longer closes immediately: requests
   // already buffered (peer wrote + shutdown(WR)) are still answered below.
@@ -278,6 +289,7 @@ void SingleThreadServer::OnReadable(int fd, uint32_t events) {
       return;
     }
   }
+  conn_table_.Update(conn);
 
   if (peer_eof) {
     lifecycle_.half_close_reclaims.fetch_add(1, std::memory_order_relaxed);
@@ -292,6 +304,12 @@ bool SingleThreadServer::OnPumpReadable(int fd) {
   auto it = conns_.find(fd);
   if (it == conns_.end()) return false;
   Connection& conn = *it->second;
+  // Cold revival on the completion path is organic — the pump already
+  // appended the CQE's bytes into the (empty) buffer; just account it.
+  if (conn.cold) {
+    conn.cold = false;
+    lifecycle_.cold_revivals.fetch_add(1, std::memory_order_relaxed);
+  }
   // Requests already buffered are still answered; close once the write
   // queue drains (OnPumpDrained) or right away when idle.
   if (!ParseAndQueue(fd, conn)) return false;
@@ -300,6 +318,7 @@ bool SingleThreadServer::OnPumpReadable(int fd) {
     CloseConnection(fd);
     return false;
   }
+  conn_table_.Update(conn);
   return true;
 }
 
@@ -384,7 +403,10 @@ void SingleThreadServer::CloseConnection(int fd) {
   } else {
     loop_->UnregisterFd(fd);
   }
-  buffer_pool_.Release(std::move(it->second->in));
+  conn_table_.OnClose(*it->second);
+  // A cold connection's buffer is already back in the pool; releasing the
+  // placeholder would just allocate a fresh 4KB buffer to pool.
+  if (!it->second->cold) buffer_pool_.Release(std::move(it->second->in));
   conns_.erase(it);
   closed_.fetch_add(1, std::memory_order_relaxed);
   if (accept_paused_ && acceptor_ &&
@@ -401,7 +423,7 @@ bool SingleThreadServer::ConnIdle(const Connection& conn) const {
 }
 
 void SingleThreadServer::ScheduleSweep() {
-  loop_->RunAfter(SweepPeriod(deadlines_), [this] {
+  loop_->RunAfter(SweepPeriod(deadlines_, cold_idle_), [this] {
     SweepDeadlines();
     if (started_.load(std::memory_order_acquire)) ScheduleSweep();
   });
@@ -417,12 +439,27 @@ void SingleThreadServer::SweepDeadlines() {
       victims.emplace_back(fd, reason);
       continue;
     }
-    // A connection that went quiet after a large request would otherwise
-    // keep its grown read buffer until close; give the excess back now.
-    if (ConnIdle(*conn) && conn->in.Capacity() > ByteBuffer::kInitialCapacity) {
+    if (!ConnIdle(*conn)) continue;
+    if (cold_idle_ > Duration::zero() && !conn->cold &&
+        now - conn->lifecycle.last_activity >= cold_idle_) {
+      // Idle-cold reclamation: the read buffer goes back to the pool and
+      // codec scratch is dropped; the next readable byte revives the
+      // connection, which meanwhile holds ~O(100B) instead of ~O(4-16KB).
+      buffer_pool_.Release(std::move(conn->in));
+      conn->in = ByteBuffer(0);
+      conn->parser.ShrinkScratch();
+      conn->cold = true;
+      lifecycle_.cold_reclaims.fetch_add(1, std::memory_order_relaxed);
+    } else if (conn->in.Capacity() > ByteBuffer::kInitialCapacity) {
+      // A connection that went quiet after a large request would otherwise
+      // keep its grown read buffer until close; give the excess back now.
       conn->in.ShrinkToFit();
     }
+    conn_table_.Update(*conn);
   }
+  // Mass reclamation (or a burst of closes) can leave the free list far
+  // larger than the warm working set; age out the stale tail.
+  buffer_pool_.TrimIdle(std::chrono::seconds(5));
   for (const auto& [fd, reason] : victims) {
     switch (reason) {
       case EvictReason::kIdle:

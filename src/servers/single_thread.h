@@ -16,6 +16,7 @@
 #include "net/acceptor.h"
 #include "net/event_loop.h"
 #include "runtime/buffer_pool.h"
+#include "servers/conn_table.h"
 #include "servers/connection.h"
 #include "servers/server.h"
 
@@ -32,6 +33,9 @@ class SingleThreadServer final : public Server {
   uint16_t Port() const override { return port_; }
   std::vector<int> ThreadIds() const override;
   ServerCounters Snapshot() const override;
+  uint64_t TimerWheelEntries() const override {
+    return loop_ ? loop_->CoarseTimerCount() : 0;
+  }
 
   // Exposed for tests: the server's event loop.
   EventLoop& loop() { return *loop_; }
@@ -64,6 +68,10 @@ class SingleThreadServer final : public Server {
   std::atomic<bool> started_{false};
 
   std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  // Bytes/conn accounting (loop thread only; gauges are shared-safe).
+  ConnTable conn_table_;
+  // Idle-cold reclamation threshold (zero = off).
+  Duration cold_idle_{};
   // Read-buffer recycling across the accept→close churn (loop thread only).
   BufferPool buffer_pool_;
   // Must outlive loop_ (the engine returns its buffers on teardown).

@@ -536,6 +536,61 @@ TEST(BufferPoolTest, ReleasedBufferShedsExcessCapacity) {
   EXPECT_LE(back.Capacity(), ByteBuffer::kInitialCapacity);
 }
 
+TEST(BufferPoolTest, TrimIdleDropsStaleFreeEntriesOnly) {
+  MetricsRegistry registry;
+  BufferPool pool;
+  pool.BindMetrics(registry);
+  ByteBuffer out = pool.Acquire();  // outstanding: must survive the trim
+  out.Append("outstanding");
+  ByteBuffer a = pool.Acquire();
+  ByteBuffer b = pool.Acquire();
+  a.Append("grown so the free list carries real capacity");
+  b.Append("grown so the free list carries real capacity");
+  pool.Release(std::move(a));
+  pool.Release(std::move(b));
+  EXPECT_EQ(pool.FreeCount(), 2u);
+  EXPECT_GT(pool.FreeBytes(), 0u);
+
+  // Age zero: every free-list entry qualifies. Only the free list is
+  // walked; the checked-out buffer is untouchable by construction.
+  EXPECT_EQ(pool.TrimIdle(Duration::zero()), 2u);
+  EXPECT_EQ(pool.FreeCount(), 0u);
+  EXPECT_EQ(pool.FreeBytes(), 0u);
+  const MetricsSnapshot snap = registry.Scrape();
+  EXPECT_EQ(snap.CounterValue("buffer_pool_trimmed"), 2u);
+
+  // The outstanding buffer still works and can still come home.
+  EXPECT_EQ(registry.GetGauge("buffer_pool_outstanding").Value(), 1);
+  pool.Release(std::move(out));
+  EXPECT_EQ(pool.FreeCount(), 1u);
+  EXPECT_EQ(registry.GetGauge("buffer_pool_outstanding").Value(), 0);
+}
+
+TEST(BufferPoolTest, TrimIdleKeepsRecentlyReleasedBuffers) {
+  BufferPool pool;
+  ByteBuffer a = pool.Acquire();
+  a.Append("fresh");
+  pool.Release(std::move(a));
+  EXPECT_EQ(pool.TrimIdle(std::chrono::seconds(60)), 0u);
+  EXPECT_EQ(pool.FreeCount(), 1u);
+}
+
+TEST(BufferPoolTest, FreeListByteBudgetCapsPooledBytes) {
+  BufferPool pool(/*max_pooled=*/64,
+                  /*max_pooled_bytes=*/2 * ByteBuffer::kInitialCapacity);
+  ByteBuffer a = pool.Acquire();
+  ByteBuffer b = pool.Acquire();
+  ByteBuffer c = pool.Acquire();
+  a.Append("x");
+  b.Append("x");
+  c.Append("x");
+  pool.Release(std::move(a));
+  pool.Release(std::move(b));
+  pool.Release(std::move(c));  // over the byte budget: dropped, not pooled
+  EXPECT_EQ(pool.FreeCount(), 2u);
+  EXPECT_LE(pool.FreeBytes(), 2 * ByteBuffer::kInitialCapacity);
+}
+
 // ---------------------------------------------------------------------------
 // Server-level backend conformance: the single-thread server must behave
 // identically whether its event loop runs the epoll readiness engine or the

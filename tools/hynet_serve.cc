@@ -5,6 +5,7 @@
 //               [--sndbuf BYTES] [--loops N] [--workers N] [--spin-cap N]
 //               [--profile] [--idle-ms N] [--header-ms N] [--stall-ms N]
 //               [--max-conns N] [--no-shed] [--high-water BYTES]
+//               [--cold-idle-ms N] [--shards N]
 //               [--drain-ms N] [--admin-port P]
 //               [--dispatch-batch N] [--pin-cpus]
 //               [--io-backend epoll|uring]
@@ -38,6 +39,7 @@
 #include "app/kv_service.h"
 #include "app/rpc_server.h"
 #include "client/bench_runner.h"
+#include "common/fd_limit.h"
 #include "core/hybrid_server.h"
 #include "metrics/report.h"
 
@@ -114,6 +116,10 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--high-water")) {
       config.outbound_high_water_bytes =
           static_cast<size_t>(std::atoll(next("--high-water")));
+    } else if (!std::strcmp(argv[i], "--cold-idle-ms")) {
+      config.cold_idle_ms = std::atoi(next("--cold-idle-ms"));
+    } else if (!std::strcmp(argv[i], "--shards")) {
+      config.shards = std::atoi(next("--shards"));
     } else if (!std::strcmp(argv[i], "--drain-ms")) {
       drain_ms = std::atoi(next("--drain-ms"));
     } else if (!std::strcmp(argv[i], "--admin-port")) {
@@ -163,7 +169,8 @@ int main(int argc, char** argv) {
                    "[--port P] [--sndbuf BYTES] [--loops N] [--workers N] "
                    "[--spin-cap N] [--profile] [--idle-ms N] "
                    "[--header-ms N] [--stall-ms N] [--max-conns N] "
-                   "[--no-shed] [--high-water BYTES] [--drain-ms N] "
+                   "[--no-shed] [--high-water BYTES] [--cold-idle-ms N] "
+                   "[--shards N] [--drain-ms N] "
                    "[--admin-port P] [--dispatch-batch N] [--pin-cpus] "
                    "[--io-backend epoll|uring] "
                    "[--uring-mode completion|readiness] "
@@ -179,6 +186,12 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
+
+  // Lift the soft fd limit to the hard cap before any socket opens: at
+  // connection scale every admitted socket is an fd, and the default soft
+  // limit (often 1024) walls off the deployment silently.
+  const FdLimit fd_limit = RaiseFdLimit();
+  std::printf("fd limit: %s\n", FormatFdLimit(fd_limit).c_str());
 
   std::unique_ptr<Server> server;
   if (config.protocol == "rpc") {

@@ -26,6 +26,15 @@ responses completed out of arrival order (the visible effect of
 per-method routing), and `infl` the high-water mark of in-flight
 requests on any one connection.
 
+Connection-scale columns: `conns` is the live connection count (the
+conn_count gauge where the server exports it, else derived from the
+accept/close counters), `B/conn` the memory-budget view
+(conn_bytes_per_conn: fixed struct cost plus buffers, scratch and queued
+bytes, averaged over live conns — watch it collapse when idle-cold
+reclamation kicks in), `cold` how many of those conns the idle sweep has
+reclaimed, and `shard` the number of SO_REUSEPORT shards behind the
+scrape (1 when unsharded; the merged registry sums shard gauges).
+
 Usage:
     python3 tools/hynet_top.py [--host 127.0.0.1] [--port 9090]
                                [--interval 1.0]
@@ -80,6 +89,7 @@ def main() -> int:
     header = (f"{'time':>8}  {'io':>6}  {'req/s':>9}  {'resp/s':>9}  "
               f"{'wr/resp':>7}  {'zero/s':>7}  {'iov/wv':>6}  "
               f"{'sqe/bat':>7}  {'zc/s':>7}  {'wq':>5}  {'conns':>7}  "
+              f"{'B/conn':>7}  {'cold':>7}  {'shard':>5}  "
               f"{'p50ms':>7}  {'p99ms':>7}  {'shed':>6}  {'rty':>6}  "
               f"{'brk':>4}  {'rpc/s':>8}  {'ooo%':>5}  {'infl':>5}  "
               f"{'drain':>5}")
@@ -114,11 +124,19 @@ def main() -> int:
             zc_rate = d("server_uring_zc_sends")
             zc_copied = d("server_uring_zc_copied") > 0
             zc_cell = f"{zc_rate:>6.1f}{'*' if zc_copied else ' '}"
-            live = (counter(stats, "server_connections_accepted")
-                    - counter(stats, "server_connections_closed"))
             # Worker-feed queue depth: worker_queue_depth for the reactor
             # pools, summed stage_*_queue_depth for the staged server.
             gauges = stats.get("gauges", {})
+            # Connection-scale plane: the conn table's first-class gauges
+            # where exported; thread-per-conn has no table, so fall back
+            # to the accept/close counter difference.
+            live = int(gauges.get(
+                "conn_count",
+                counter(stats, "server_connections_accepted")
+                - counter(stats, "server_connections_closed")))
+            b_per_conn = int(gauges.get("conn_bytes_per_conn", 0))
+            cold = int(gauges.get("conn_cold", 0))
+            shards = int(gauges.get("shards", 1))
             wq = int(gauges.get("worker_queue_depth",
                                 sum(int(v) for k, v in gauges.items()
                                     if k.endswith("_queue_depth"))))
@@ -151,6 +169,7 @@ def main() -> int:
                   f"{d('server_zero_writes'):>7.1f}  {iov_per_wv:>6.1f}  "
                   f"{sqe_per_batch:>7.1f}  {zc_cell:>7}  "
                   f"{wq:>5d}  {live:>7d}  "
+                  f"{b_per_conn:>7d}  {cold:>7d}  {shards:>5d}  "
                   f"{p50:>7.2f}  {p99:>7.2f}  "
                   f"{shed_rate:>6.1f}  {retry_rate:>6.1f}  "
                   f"{brk:>4}  {rpc_rate:>8.1f}  {ooo_pct:>5.1f}  "
