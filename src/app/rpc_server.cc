@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/deadline.h"
 #include "common/logging.h"
 #include "net/socket.h"
 
@@ -174,6 +175,26 @@ void RpcServer::DispatchFrame(LoopConn& lc, RpcFrame frame) {
   const ServiceRegistry::Method* method = services_.Find(method_id);
   const int64_t start_ns = NowNanos();
 
+  // Native deadline plane: the frame's deadline field is the RPC-side
+  // X-Hynet-Deadline-Ms. Re-anchor the relative budget at this request's
+  // effective start (dispatch stamp or loop tick, so epoll-batch lag
+  // counts against the budget) and refuse work whose budget is already
+  // gone — serving it would burn CPU for a caller that stopped waiting.
+  Deadline deadline;
+  if (config_.deadline_propagation && (flags & kRpcFlagDeadline)) {
+    deadline = Deadline::FromMillis(frame.header.deadline_ms,
+                                    EffectiveRequestStart(Now()));
+    if (frame.header.deadline_ms == 0 ||
+        deadline.RemainingMillis() <= config_.deadline_margin_ms) {
+      lifecycle_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+      CompleteRequest(lc, id, method_id, flags, services_.Name(method_id),
+                      RpcRoute::kReactor, /*auto_routed=*/false, start_ns,
+                      /*exec_ns=*/-1,
+                      ServiceResponse{RpcStatus::kExpired, nullptr, {}});
+      return;
+    }
+  }
+
   if (method == nullptr) {
     // Unknown method: answer kBadMethod; the connection (and every other
     // in-flight request on it) survives.
@@ -211,9 +232,17 @@ void RpcServer::DispatchFrame(LoopConn& lc, RpcFrame frame) {
   // CPU axis judges the handler, not the pool's backlog.
   auto exec_start = std::make_shared<std::atomic<int64_t>>(0);
   auto sink = [this, weak, id, method_id, flags, name, route, auto_routed,
-               start_ns, exec_start](ServiceResponse resp) {
+               start_ns, exec_start, deadline](ServiceResponse resp) {
     const int64_t t0 = exec_start->load(std::memory_order_relaxed);
     const int64_t exec_ns = t0 > 0 ? NowNanos() - t0 : -1;
+    // Zero late service: a response completed past its deadline is dead
+    // work — nobody upstream is still waiting. Answer kExpired (cheap, no
+    // body) instead of shipping the full payload late.
+    if (deadline.valid() && deadline.Expired() &&
+        resp.status == RpcStatus::kOk) {
+      lifecycle_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+      resp = ServiceResponse{RpcStatus::kExpired, nullptr, {}};
+    }
     auto conn = weak.lock();
     if (!conn) return;
     LoopOf(*conn).RunInLoop(
@@ -232,8 +261,11 @@ void RpcServer::DispatchFrame(LoopConn& lc, RpcFrame frame) {
         ResponseWriter::Sink(std::move(sink)));
     pool_->Submit([handler = method->handler, req = std::move(req),
                    writer = std::move(writer),
-                   exec_start = std::move(exec_start)]() mutable {
+                   exec_start = std::move(exec_start), deadline]() mutable {
       exec_start->store(NowNanos(), std::memory_order_relaxed);
+      // Carry the budget onto the worker thread so nested mesh calls
+      // (channel hops issued from the handler) decrement it natively.
+      ScopedRequestDeadline scoped(deadline);
       handler(std::move(req), std::move(*writer));
     });
     return;
@@ -242,6 +274,7 @@ void RpcServer::DispatchFrame(LoopConn& lc, RpcFrame frame) {
   // kInline / kReactor: handler runs here, on the loop thread. A handler
   // that retains the writer may still finish later from anywhere.
   ScopedPhase phase(phase_profiler_, Phase::kHandler);
+  ScopedRequestDeadline scoped(deadline);
   method->handler(std::move(req), ResponseWriter(std::move(sink)));
 }
 

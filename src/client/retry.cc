@@ -6,6 +6,10 @@ namespace hynet {
 
 bool RetryableStatus(int status) { return status == 503; }
 
+bool RetryableRpcStatus(RpcStatus status) {
+  return status == RpcStatus::kShed;
+}
+
 RetryPolicy::RetryPolicy(RetryPolicyConfig config, uint64_t seed)
     : config_(config),
       rng_(seed),

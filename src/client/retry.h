@@ -24,6 +24,7 @@
 
 #include "common/clock.h"
 #include "common/rng.h"
+#include "proto/rpc_codec.h"
 #include "runtime/dispatch_stats.h"
 
 namespace hynet {
@@ -41,6 +42,14 @@ struct RetryPolicyConfig {
 // deliberately — the request's deadline is already gone, so a retry is
 // pure added load with no caller left to benefit.
 bool RetryableStatus(int status);
+
+// RPC-plane analogue: kShed is the 503 of the binary framing. kExpired is
+// excluded for the same reason as 504, and kError is excluded because a
+// handler failure is not evidence of transient overload. Whether a retry
+// is *allowed* at all is the per-method idempotency decision the mesh
+// channel makes (Lookup/Read-style methods yes, Write-style no) — the
+// HTTP-verb heuristic does not exist on this plane.
+bool RetryableRpcStatus(RpcStatus status);
 
 class RetryPolicy {
  public:

@@ -1,0 +1,161 @@
+#include "mesh/fanout.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace hynet {
+
+const char* FanoutPolicyName(FanoutPolicy policy) {
+  switch (policy) {
+    case FanoutPolicy::kAll:
+      return "all";
+    case FanoutPolicy::kQuorum:
+      return "quorum";
+    case FanoutPolicy::kBestEffort:
+      return "best-effort";
+  }
+  return "all";
+}
+
+FanoutPolicy ParseFanoutPolicy(std::string_view name) {
+  if (name == "quorum") return FanoutPolicy::kQuorum;
+  if (name == "best-effort" || name == "best_effort") {
+    return FanoutPolicy::kBestEffort;
+  }
+  return FanoutPolicy::kAll;
+}
+
+namespace {
+
+struct FanoutState {
+  std::mutex mu;
+  FanoutOptions options;
+  FanoutDone done;
+  FanoutResult result;
+  size_t n = 0;
+  size_t quorum = 0;
+  size_t arrived = 0;
+  bool fired = false;
+};
+
+// Policy verdict once `state.result` reflects the latest completion.
+// Returns true when the group outcome is decided; sets satisfied/degraded.
+// Caller holds the mutex.
+bool GroupDecided(FanoutState& state) {
+  FanoutResult& r = state.result;
+  switch (state.options.policy) {
+    case FanoutPolicy::kAll:
+      if (r.failed > 0) {
+        r.satisfied = false;
+        return true;
+      }
+      if (r.ok == state.n) {
+        r.satisfied = true;
+        return true;
+      }
+      return false;
+    case FanoutPolicy::kQuorum:
+      if (r.ok >= state.quorum) {
+        r.satisfied = true;
+        r.degraded = r.failed > 0 || state.arrived < state.n;
+        return true;
+      }
+      if (r.failed > state.n - state.quorum) {
+        r.satisfied = false;
+        return true;
+      }
+      return false;
+    case FanoutPolicy::kBestEffort:
+      if (state.arrived < state.n) return false;
+      r.satisfied = r.ok > 0;
+      r.degraded = r.satisfied && r.failed > 0;
+      return true;
+  }
+  return false;
+}
+
+void OnLegDone(const std::shared_ptr<FanoutState>& state, size_t index,
+               RpcCallResult leg) {
+  FanoutDone fire;
+  FanoutResult snapshot;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->result.completed[index]) return;  // issuer misbehaved
+    state->result.completed[index] = true;
+    ++state->arrived;
+    if (leg.ok()) {
+      ++state->result.ok;
+    } else {
+      ++state->result.failed;
+    }
+    state->result.results[index] = std::move(leg);
+    if (state->fired) return;  // verdict already delivered; just absorb
+    if (!GroupDecided(*state)) return;
+    state->fired = true;
+    if (state->options.lifecycle && state->result.failed > 0) {
+      state->options.lifecycle->mesh_partial_failures.fetch_add(
+          1, std::memory_order_relaxed);
+      if (state->result.degraded) {
+        state->options.lifecycle->degraded_responses.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    }
+    fire = std::move(state->done);
+    state->done = nullptr;
+    snapshot = state->result;  // copy: stragglers keep mutating the original
+  }
+  if (fire) fire(std::move(snapshot));
+}
+
+}  // namespace
+
+void FanoutCall(size_t n, FanoutIssuer issuer, FanoutOptions options,
+                FanoutDone done) {
+  auto state = std::make_shared<FanoutState>();
+  state->options = options;
+  state->done = std::move(done);
+  state->n = n;
+  state->quorum = options.quorum > 0 ? std::min(options.quorum, n) : n / 2 + 1;
+  state->result.results.resize(n);
+  state->result.completed.assign(n, false);
+  if (options.lifecycle) {
+    options.lifecycle->mesh_fanout_calls.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  }
+  if (n == 0) {
+    // Degenerate group: vacuously satisfied for all/best-effort semantics.
+    FanoutResult r = state->result;
+    r.satisfied = options.policy != FanoutPolicy::kQuorum;
+    auto fire = std::move(state->done);
+    if (fire) fire(std::move(r));
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    issuer(i, [state, i](RpcCallResult leg) {
+      OnLegDone(state, i, std::move(leg));
+    });
+  }
+}
+
+FanoutResult FanoutCallSync(size_t n, FanoutIssuer issuer,
+                            FanoutOptions options) {
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    FanoutResult result;
+  };
+  auto sync = std::make_shared<Sync>();
+  FanoutCall(n, std::move(issuer), options, [sync](FanoutResult r) {
+    std::lock_guard<std::mutex> lock(sync->mu);
+    sync->result = std::move(r);
+    sync->done = true;
+    sync->cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(sync->mu);
+  sync->cv.wait(lock, [&] { return sync->done; });
+  return std::move(sync->result);
+}
+
+}  // namespace hynet

@@ -1,0 +1,89 @@
+// FanoutCall: one upstream request fanned out into N parallel downstream
+// calls, with fan-in aggregation under an explicit partial-failure policy.
+//
+// The sync chain serializes sub-requests (N × downstream latency, and the
+// slowest one sets the floor); the fan-out issues all N at once so the
+// front-end pays max(sub-latencies) instead of sum — the tail-amplification
+// trade the bench measures. What makes fan-out a subsystem rather than a
+// loop is the failure half: when 1 of N legs sheds or expires, the group
+// must decide *once* what the upstream sees.
+//
+//   kAll        every leg must succeed; the first failure fails the group
+//               immediately (remaining completions are absorbed silently).
+//   kQuorum     `quorum` successes satisfy the group (default N/2+1); it
+//               fails as soon as too many legs have failed to ever reach
+//               quorum. Fires early in both directions.
+//   kBestEffort waits for all N, succeeds if at least one leg did, and
+//               reports the gaps as a degraded response.
+//
+// The issuer is a plain callable, not an RpcChannel, so tests can drive
+// synthetic completion orders and the app tier can wrap per-leg breaker
+// accounting around the real channel call.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mesh/rpc_channel.h"
+#include "runtime/dispatch_stats.h"
+
+namespace hynet {
+
+enum class FanoutPolicy {
+  kAll = 0,
+  kQuorum = 1,
+  kBestEffort = 2,
+};
+
+const char* FanoutPolicyName(FanoutPolicy policy);
+// Parses "all" / "quorum" / "best-effort" (also "best_effort"); defaults to
+// kAll on unknown input.
+FanoutPolicy ParseFanoutPolicy(std::string_view name);
+
+struct FanoutOptions {
+  FanoutPolicy policy = FanoutPolicy::kAll;
+  // Successes required under kQuorum; 0 = majority (N/2 + 1).
+  size_t quorum = 0;
+  // Counts mesh_fanout_calls / mesh_partial_failures / degraded_responses.
+  LifecycleStats* lifecycle = nullptr;
+};
+
+struct FanoutResult {
+  // Per-leg results, index-aligned with the issue order. Legs that had not
+  // completed when the group fired early hold default-constructed entries
+  // (status kError, transport_error false, done=false in `completed`).
+  std::vector<RpcCallResult> results;
+  std::vector<bool> completed;
+  size_t ok = 0;
+  size_t failed = 0;
+  // The policy's verdict for the group.
+  bool satisfied = false;
+  // Satisfied with gaps (best-effort with ≥1 failed leg): the upstream
+  // response is served but marked degraded.
+  bool degraded = false;
+};
+
+// Issues leg `index`; must eventually invoke `done` exactly once (from any
+// thread). Success/failure of a leg is RpcCallResult::ok().
+using FanoutIssuer = std::function<void(size_t index, RpcCallback done)>;
+
+using FanoutDone = std::function<void(FanoutResult)>;
+
+// Issues all N legs and invokes `done` exactly once when the policy's
+// verdict is known (possibly before every leg completes). `done` runs on
+// whichever thread delivered the deciding completion. Thread-safe; the
+// group state lives until the last leg's callback has run.
+void FanoutCall(size_t n, FanoutIssuer issuer, FanoutOptions options,
+                FanoutDone done);
+
+// Blocking wrapper for thread-based callers (web tier): issues and waits.
+FanoutResult FanoutCallSync(size_t n, FanoutIssuer issuer,
+                            FanoutOptions options);
+
+}  // namespace hynet

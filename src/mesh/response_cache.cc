@@ -1,0 +1,154 @@
+#include "mesh/response_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/clock.h"
+
+namespace hynet {
+
+ResponseCache::ResponseCache(ResponseCacheConfig config) : config_(config) {
+  const size_t n = std::max<size_t>(1, config_.shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+std::string ResponseCache::FullKey(uint16_t method_id, std::string_view key) {
+  std::string full;
+  full.reserve(2 + key.size());
+  full.push_back(static_cast<char>(method_id & 0xff));
+  full.push_back(static_cast<char>(method_id >> 8));
+  full.append(key);
+  return full;
+}
+
+ResponseCache::Shard& ResponseCache::ShardFor(const std::string& full_key) {
+  const size_t h = std::hash<std::string>{}(full_key);
+  return *shards_[h % shards_.size()];
+}
+
+ResponseCache::Outcome ResponseCache::Lookup(uint16_t method_id,
+                                             std::string_view key,
+                                             CachedResponse* hit,
+                                             FillFn on_fill) {
+  const std::string full = FullKey(method_id, key);
+  Shard& shard = ShardFor(full);
+  const int64_t now_ns = NowNanos();
+
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(full);
+  if (it != shard.index.end()) {
+    Entry& entry = *it->second;
+    if (entry.expires_at_ns != 0 && now_ns >= entry.expires_at_ns) {
+      // TTL gone: treat as a miss and drop the entry so the refill path
+      // below owns the key.
+      shard.bytes -= entry.bytes;
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+    } else {
+      // Hit: bump to LRU front and hand out another refcount on the body.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      *hit = entry.value;
+      lock.unlock();
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (lifecycle_) {
+        lifecycle_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Outcome::kHit;
+    }
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (lifecycle_) {
+    lifecycle_->cache_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto pending = shard.pending.find(full);
+  if (pending != shard.pending.end()) {
+    // A lead is already rendering this key: park and wait for its Fill.
+    pending->second.push_back(std::move(on_fill));
+    lock.unlock();
+    singleflight_waits_.fetch_add(1, std::memory_order_relaxed);
+    if (lifecycle_) {
+      lifecycle_->cache_singleflight_waits.fetch_add(1,
+                                                     std::memory_order_relaxed);
+    }
+    return Outcome::kMissJoined;
+  }
+  shard.pending.emplace(full, std::vector<FillFn>{});
+  return Outcome::kMissLead;
+}
+
+void ResponseCache::Fill(uint16_t method_id, std::string_view key,
+                         CachedResponse value, bool store) {
+  const std::string full = FullKey(method_id, key);
+  Shard& shard = ShardFor(full);
+  std::vector<FillFn> waiters;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto pending = shard.pending.find(full);
+    if (pending != shard.pending.end()) {
+      waiters = std::move(pending->second);
+      shard.pending.erase(pending);
+    }
+    if (store && value.body) {
+      // Replace any stale entry for the key, then insert at LRU front.
+      auto it = shard.index.find(full);
+      if (it != shard.index.end()) {
+        shard.bytes -= it->second->bytes;
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+      }
+      Entry entry;
+      entry.key = full;
+      entry.value = value;
+      entry.bytes = value.body->size();
+      entry.expires_at_ns =
+          config_.ttl_ms > 0
+              ? NowNanos() + static_cast<int64_t>(config_.ttl_ms) * 1'000'000
+              : 0;
+      shard.bytes += entry.bytes;
+      shard.lru.push_front(std::move(entry));
+      shard.index[full] = shard.lru.begin();
+      while (shard.bytes > config_.max_bytes_per_shard &&
+             shard.lru.size() > 1) {
+        Entry& victim = shard.lru.back();
+        shard.bytes -= victim.bytes;
+        shard.index.erase(victim.key);
+        shard.lru.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        if (lifecycle_) {
+          lifecycle_->cache_evictions.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+  // Waiters run outside the shard lock: each gets its own refcount on the
+  // one shared body.
+  for (auto& w : waiters) {
+    if (w) w(value);
+  }
+}
+
+void ResponseCache::BindLifecycle(LifecycleStats* lifecycle) {
+  lifecycle_ = lifecycle;
+}
+
+size_t ResponseCache::EntryCount() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->lru.size();
+  }
+  return n;
+}
+
+size_t ResponseCache::TotalBytes() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->bytes;
+  }
+  return n;
+}
+
+}  // namespace hynet

@@ -1,0 +1,126 @@
+// ResponseCache: sharded app-tier cache of rendered RPC responses, keyed
+// by (method_id, key), holding refcounted shared bodies.
+//
+// The value is a shared_ptr<const string> — the same object the service
+// layer's ResponseWriter::Finish and SerializeRpcResponsePayload reference
+// in place. A hit therefore serves N concurrent connections from ONE
+// allocation: the cache adds a refcount, the response path adds a
+// refcount, and no byte of the body is copied anywhere between the fill
+// and the socket (the zero-copy property the tests prove by watching
+// use_count).
+//
+// Three mechanisms keep it honest under load:
+//   - TTL: entries expire `ttl_ms` after fill; an expired hit is a miss
+//     (and the entry is dropped) — the coherence story is bounded
+//     staleness, not invalidation (see DESIGN §14).
+//   - per-shard LRU byte budget: each shard evicts least-recently-used
+//     entries once its body bytes exceed the budget, so hot keys survive
+//     and the cache's footprint is bounded shards × budget.
+//   - singleflight: concurrent misses on one key coalesce — the first
+//     caller becomes the *lead* (goes to render), the rest park a
+//     callback that the lead's Fill flushes with the shared body. A
+//     thundering herd on a cold hot key does the downstream work once.
+//
+// Sharding is by key hash; each shard has its own mutex, so the cache
+// scales with the app tier's loop count instead of serializing it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/rpc_codec.h"
+#include "runtime/dispatch_stats.h"
+
+namespace hynet {
+
+struct ResponseCacheConfig {
+  size_t shards = 8;
+  size_t max_bytes_per_shard = 4 * 1024 * 1024;
+  // Entry lifetime; <= 0 disables expiry (entries live until evicted).
+  int ttl_ms = 1000;
+};
+
+struct CachedResponse {
+  RpcStatus status = RpcStatus::kOk;
+  std::shared_ptr<const std::string> body;
+};
+
+class ResponseCache {
+ public:
+  enum class Outcome {
+    kHit,         // *hit is filled; serve it
+    kMissLead,    // caller renders and MUST call Fill (store or not)
+    kMissJoined,  // on_fill was parked; the lead's Fill will run it
+  };
+
+  // Runs when the lead fills the key this caller joined. Invoked outside
+  // the shard lock, on the lead's filling thread.
+  using FillFn = std::function<void(CachedResponse)>;
+
+  explicit ResponseCache(ResponseCacheConfig config);
+
+  // Looks up (method_id, key). kHit: `*hit` is set. kMissJoined: `on_fill`
+  // was captured. kMissLead: caller owns the render and must Fill() the
+  // same (method_id, key) exactly once — even on failure (store=false) —
+  // or joined waiters hang.
+  Outcome Lookup(uint16_t method_id, std::string_view key, CachedResponse* hit,
+                 FillFn on_fill);
+
+  // Completes a kMissLead: flushes joined waiters with `value` and, when
+  // `store` is true and the body is non-null, inserts it (LRU front,
+  // evicting from the back past the byte budget). store=false publishes a
+  // failure to waiters without caching it.
+  void Fill(uint16_t method_id, std::string_view key, CachedResponse value,
+            bool store);
+
+  void BindLifecycle(LifecycleStats* lifecycle);
+
+  uint64_t Hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t Misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t Evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  uint64_t SingleflightWaits() const {
+    return singleflight_waits_.load(std::memory_order_relaxed);
+  }
+  size_t EntryCount() const;
+  size_t TotalBytes() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    CachedResponse value;
+    size_t bytes = 0;
+    int64_t expires_at_ns = 0;  // 0 = never
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    // LRU order: front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::unordered_map<std::string, std::vector<FillFn>> pending;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const std::string& full_key);
+  static std::string FullKey(uint16_t method_id, std::string_view key);
+
+  const ResponseCacheConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> singleflight_waits_{0};
+  LifecycleStats* lifecycle_ = nullptr;
+};
+
+}  // namespace hynet

@@ -1,0 +1,551 @@
+#include "mesh/rpc_channel.h"
+
+#include <sys/epoll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <utility>
+
+#include "net/socket.h"
+
+namespace hynet {
+
+namespace {
+
+// Breaker/retry success classification: did the downstream prove it is
+// healthy? kNotFound/kBadRequest/kBadMethod are caller-side outcomes the
+// server produced promptly — they deposit retry budget and close breaker
+// windows just like kOk. kShed/kError/kExpired and transport failures are
+// evidence against the downstream.
+bool DownstreamHealthy(const RpcCallResult& r) {
+  if (r.transport_error) return false;
+  switch (r.status) {
+    case RpcStatus::kOk:
+    case RpcStatus::kNotFound:
+    case RpcStatus::kBadMethod:
+    case RpcStatus::kBadRequest:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+RpcChannel::RpcChannel(EventLoop* loop, RpcChannelConfig config)
+    : loop_(loop), config_(config) {
+  parser_.SetLimits(config_.max_response_bytes);
+}
+
+RpcChannel::~RpcChannel() = default;
+
+void RpcChannel::SetRetryPolicy(std::shared_ptr<RetryPolicy> retry) {
+  retry_ = std::move(retry);
+}
+
+void RpcChannel::SetBreaker(std::shared_ptr<CircuitBreaker> breaker) {
+  breaker_ = std::move(breaker);
+}
+
+void RpcChannel::BindLifecycle(LifecycleStats* lifecycle) {
+  lifecycle_ = lifecycle;
+}
+
+void RpcChannel::BindInflightGauge(Gauge* gauge) { inflight_gauge_ = gauge; }
+
+void RpcChannel::Call(uint16_t method_id, std::string payload,
+                      const RpcCallOptions& options, RpcCallback done) {
+  auto call = std::make_unique<PendingCall>();
+  call->method_id = method_id;
+  call->payload = std::move(payload);
+  call->options = options;
+  call->done = std::move(done);
+  // The thread-local deadline lives on the *issuing* thread; capture it
+  // here, before the hop onto the loop thread.
+  if (!call->options.deadline.valid() && config_.deadline_propagation) {
+    call->options.deadline = CurrentRequestDeadline();
+  }
+  // unique_ptr can't ride a std::function; release/re-own across the hop.
+  PendingCall* raw = call.release();
+  loop_->RunInLoop(
+      [this, raw] { StartCall(std::unique_ptr<PendingCall>(raw)); });
+}
+
+void RpcChannel::StartCall(std::unique_ptr<PendingCall> call) {
+  if (shutdown_) {
+    CompleteCall(std::move(call),
+                 RpcCallResult{RpcStatus::kError, /*transport_error=*/true, {}});
+    return;
+  }
+  if (breaker_ && !breaker_->Allow()) {
+    CompleteCall(std::move(call),
+                 RpcCallResult{RpcStatus::kShed, /*transport_error=*/true, {}});
+    return;
+  }
+  call->breaker_admitted = breaker_ != nullptr;
+  if (config_.deadline_propagation && call->options.deadline.valid() &&
+      call->options.deadline.RemainingMillis() <= config_.deadline_margin_ms) {
+    if (lifecycle_) {
+      lifecycle_->deadline_expired.fetch_add(1, std::memory_order_relaxed);
+    }
+    CompleteCall(std::move(call),
+                 RpcCallResult{RpcStatus::kExpired, /*transport_error=*/false,
+                               {}});
+    return;
+  }
+  if (queue_.size() >= config_.max_queued) {
+    CompleteCall(std::move(call),
+                 RpcCallResult{RpcStatus::kShed, /*transport_error=*/true, {}});
+    return;
+  }
+  call->id = next_id_++;
+  call->state = CallState::kQueued;
+  ArmExpiry(*call);
+  queue_.push_back(call->id);
+  calls_.emplace(call->id, std::move(call));
+  Pump();
+}
+
+void RpcChannel::ArmExpiry(PendingCall& call) {
+  if (!config_.deadline_propagation || !call.options.deadline.valid()) return;
+  // +margin: give the wire deadline (remaining - margin) a chance to come
+  // back as a server-side kExpired before the local timer declares it.
+  const int64_t remaining = call.options.deadline.RemainingMillis();
+  const uint64_t id = call.id;
+  call.expiry_timer = loop_->RunAfterCoarse(
+      std::chrono::milliseconds(remaining + config_.deadline_margin_ms + 1),
+      [this, id] {
+        auto it = calls_.find(id);
+        if (it == calls_.end()) return;
+        auto call = std::move(it->second);
+        calls_.erase(it);
+        call->expiry_timer = 0;
+        if (call->state == CallState::kSent) {
+          WireRemoved();
+        }
+        if (lifecycle_) {
+          lifecycle_->deadline_expired.fetch_add(1, std::memory_order_relaxed);
+        }
+        CompleteCall(std::move(call),
+                     RpcCallResult{RpcStatus::kExpired,
+                                   /*transport_error=*/false, {}});
+      });
+}
+
+void RpcChannel::Pump() {
+  if (shutdown_) return;
+  EnsureConnected();
+  if (!connected_) return;
+  bool queued_bytes = false;
+  while (!queue_.empty() && wire_inflight_ < config_.max_inflight) {
+    const uint64_t id = queue_.front();
+    queue_.pop_front();
+    auto it = calls_.find(id);
+    // Expired/retried entries leave stale ids in the queue; skip them.
+    if (it == calls_.end() || it->second->state != CallState::kQueued) continue;
+    PendingCall& call = *it->second;
+    uint16_t wire_deadline = 0;
+    if (config_.deadline_propagation && call.options.deadline.valid()) {
+      const int64_t rem =
+          call.options.deadline.RemainingMillis() - config_.deadline_margin_ms;
+      if (rem <= 0) {
+        auto owned = std::move(it->second);
+        calls_.erase(it);
+        if (lifecycle_) {
+          lifecycle_->deadline_expired.fetch_add(1, std::memory_order_relaxed);
+        }
+        CompleteCall(std::move(owned),
+                     RpcCallResult{RpcStatus::kExpired,
+                                   /*transport_error=*/false, {}});
+        continue;
+      }
+      wire_deadline = ClampDeadlineMillis(rem);
+    }
+    out_ += EncodeRpcRequest(call.id, call.method_id, call.payload,
+                             /*flags=*/0, wire_deadline);
+    call.state = CallState::kSent;
+    ++wire_inflight_;
+    if (inflight_gauge_) inflight_gauge_->Add(1);
+    queued_bytes = true;
+  }
+  if (queued_bytes || out_off_ < out_.size()) FlushOut();
+}
+
+void RpcChannel::EnsureConnected() {
+  if (connected_ || reconnect_scheduled_ || shutdown_) return;
+  Socket s;
+  try {
+    s = Socket::CreateTcp(/*nonblocking=*/false);
+    s.Connect(config_.server);
+  } catch (const std::exception&) {
+    // Dial failed (downstream dead/refusing). Fail or retry everything
+    // queued — leaving calls parked across an outage of unknown length
+    // would hang deadline-less callers — and back off before re-dialing.
+    std::vector<uint64_t> queued(queue_.begin(), queue_.end());
+    queue_.clear();
+    for (uint64_t id : queued) {
+      auto it = calls_.find(id);
+      if (it == calls_.end() || it->second->state != CallState::kQueued) {
+        continue;
+      }
+      if (MaybeRetry(*it->second)) continue;
+      auto owned = std::move(it->second);
+      calls_.erase(it);
+      CompleteCall(std::move(owned),
+                   RpcCallResult{RpcStatus::kError, /*transport_error=*/true,
+                                 {}});
+    }
+    backoff_ms_ = backoff_ms_ <= 0
+                      ? config_.reconnect_base_ms
+                      : std::min(backoff_ms_ * 2.0, config_.reconnect_max_ms);
+    reconnect_scheduled_ = true;
+    loop_->RunAfter(std::chrono::duration_cast<Duration>(
+                        std::chrono::duration<double, std::milli>(backoff_ms_)),
+                    [this] {
+                      reconnect_scheduled_ = false;
+                      Pump();
+                    });
+    return;
+  }
+  s.SetNonBlocking(true);
+  s.SetNoDelay(true);
+  fd_ = s.TakeFd();
+  connected_ = true;
+  if (ever_connected_) {
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+    if (lifecycle_) {
+      lifecycle_->mesh_channel_reconnects.fetch_add(1,
+                                                    std::memory_order_relaxed);
+    }
+  }
+  ever_connected_ = true;
+  backoff_ms_ = 0;
+  in_.Consume(in_.ReadableBytes());
+  parser_.Reset();
+  out_.clear();
+  out_off_ = 0;
+  want_writable_ = false;
+  loop_->RegisterFd(fd_.get(), EPOLLIN,
+                    [this](uint32_t events) { OnEvent(events); });
+}
+
+void RpcChannel::HandleDisconnect(bool /*count_reconnect*/) {
+  if (!connected_) return;
+  loop_->UnregisterFd(fd_.get());
+  fd_.Reset();
+  connected_ = false;
+  want_writable_ = false;
+  out_.clear();
+  out_off_ = 0;
+  in_.Consume(in_.ReadableBytes());
+  parser_.Reset();
+
+  // Every kSent call lost its response with the connection: retry the
+  // eligible ones, fail the rest with a transport error.
+  std::vector<uint64_t> sent;
+  sent.reserve(wire_inflight_);
+  for (auto& [id, call] : calls_) {
+    if (call->state == CallState::kSent) sent.push_back(id);
+  }
+  if (inflight_gauge_ && wire_inflight_ > 0) {
+    inflight_gauge_->Add(-static_cast<int64_t>(wire_inflight_));
+  }
+  wire_inflight_ = 0;
+  for (uint64_t id : sent) {
+    auto it = calls_.find(id);
+    if (it == calls_.end()) continue;
+    if (MaybeRetry(*it->second)) continue;
+    auto owned = std::move(it->second);
+    calls_.erase(it);
+    CompleteCall(std::move(owned),
+                 RpcCallResult{RpcStatus::kError, /*transport_error=*/true,
+                               {}});
+  }
+  // Queued calls survive; the next Pump re-dials.
+  if (!shutdown_ && (!queue_.empty() || !calls_.empty())) {
+    loop_->QueueTask([this] { Pump(); });
+  }
+}
+
+void RpcChannel::OnEvent(uint32_t events) {
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    HandleDisconnect(true);
+    return;
+  }
+  if (events & EPOLLIN) {
+    OnReadable();
+    if (!connected_) return;
+  }
+  if ((events & EPOLLOUT) && connected_) {
+    FlushOut();
+  }
+}
+
+void RpcChannel::OnReadable() {
+  char buf[16 * 1024];
+  while (true) {
+    const IoResult r = ReadFd(fd_.get(), buf, sizeof(buf));
+    if (r.WouldBlock()) break;
+    if (r.Eof() || r.Fatal()) {
+      HandleDisconnect(true);
+      return;
+    }
+    in_.Append(buf, static_cast<size_t>(r.n));
+    if (static_cast<size_t>(r.n) < sizeof(buf)) break;
+  }
+  while (true) {
+    const ParseStatus st = parser_.Parse(in_);
+    if (st == ParseStatus::kNeedMore) break;
+    if (st == ParseStatus::kError) {
+      HandleDisconnect(true);
+      return;
+    }
+    HandleResponse(std::move(parser_.frame()));
+    if (!connected_) return;
+  }
+}
+
+void RpcChannel::HandleResponse(RpcFrame frame) {
+  auto it = calls_.find(frame.header.request_id);
+  // Unknown id: the call already completed locally (expiry, shutdown) and
+  // this is the late response — drop it.
+  if (it == calls_.end() || it->second->state != CallState::kSent) return;
+  WireRemoved();
+
+  const auto status = static_cast<RpcStatus>(frame.header.status);
+  if (RetryableRpcStatus(status) && MaybeRetry(*it->second)) {
+    Pump();
+    return;
+  }
+  auto owned = std::move(it->second);
+  calls_.erase(it);
+  CompleteCall(std::move(owned),
+               RpcCallResult{status, /*transport_error=*/false,
+                             std::move(frame.payload)});
+  Pump();
+}
+
+void RpcChannel::WireRemoved() {
+  if (wire_inflight_ > 0) {
+    --wire_inflight_;
+    if (inflight_gauge_) inflight_gauge_->Add(-1);
+  }
+}
+
+void RpcChannel::FlushOut() {
+  while (out_off_ < out_.size()) {
+    const IoResult r =
+        WriteFd(fd_.get(), out_.data() + out_off_, out_.size() - out_off_);
+    if (r.WouldBlock()) {
+      if (!want_writable_) {
+        want_writable_ = true;
+        loop_->ModifyFd(fd_.get(), EPOLLIN | EPOLLOUT);
+      }
+      // Keep the unsent suffix; drop the flushed prefix when it dominates.
+      if (out_off_ > 64 * 1024 && out_off_ > out_.size() / 2) {
+        out_.erase(0, out_off_);
+        out_off_ = 0;
+      }
+      return;
+    }
+    if (r.Fatal()) {
+      HandleDisconnect(true);
+      return;
+    }
+    out_off_ += static_cast<size_t>(r.n);
+  }
+  out_.clear();
+  out_off_ = 0;
+  if (want_writable_) {
+    want_writable_ = false;
+    loop_->ModifyFd(fd_.get(), EPOLLIN);
+  }
+}
+
+bool RpcChannel::MaybeRetry(PendingCall& call) {
+  if (shutdown_ || !retry_) return false;
+  const auto delay =
+      retry_->NextRetryDelay(call.attempts, call.options.idempotent,
+                             /*retry_after_sec=*/0);
+  if (!delay) return false;
+  if (config_.deadline_propagation && call.options.deadline.valid()) {
+    const auto delay_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(*delay).count();
+    if (call.options.deadline.RemainingMillis() <=
+        delay_ms + config_.deadline_margin_ms) {
+      // No budget left for the retry to land in — fail through. The spent
+      // token is the cost of deciding late.
+      return false;
+    }
+  }
+  ++call.attempts;
+  call.state = CallState::kBackoff;
+  const uint64_t id = call.id;
+  loop_->RunAfter(*delay, [this, id] {
+    auto it = calls_.find(id);
+    if (it == calls_.end() || it->second->state != CallState::kBackoff) return;
+    it->second->state = CallState::kQueued;
+    queue_.push_back(id);
+    Pump();
+  });
+  return true;
+}
+
+void RpcChannel::CompleteCall(std::unique_ptr<PendingCall> call,
+                              RpcCallResult result) {
+  if (call->expiry_timer != 0) {
+    loop_->CancelTimer(call->expiry_timer);
+    call->expiry_timer = 0;
+  }
+  if (call->breaker_admitted && breaker_) {
+    if (DownstreamHealthy(result)) {
+      breaker_->OnSuccess();
+    } else {
+      breaker_->OnFailure();
+    }
+  }
+  if (retry_ && DownstreamHealthy(result)) retry_->OnSuccess();
+  if (call->done) call->done(std::move(result));
+}
+
+void RpcChannel::ShutdownInLoop() {
+  if (shutdown_) return;
+  shutdown_ = true;
+  if (connected_) {
+    loop_->UnregisterFd(fd_.get());
+    fd_.Reset();
+    connected_ = false;
+  }
+  queue_.clear();
+  if (inflight_gauge_ && wire_inflight_ > 0) {
+    inflight_gauge_->Add(-static_cast<int64_t>(wire_inflight_));
+  }
+  wire_inflight_ = 0;
+  auto calls = std::move(calls_);
+  calls_.clear();
+  for (auto& [id, call] : calls) {
+    CompleteCall(std::move(call),
+                 RpcCallResult{RpcStatus::kError, /*transport_error=*/true,
+                               {}});
+  }
+}
+
+void RpcChannel::InjectDisconnectForTest() {
+  loop_->RunInLoop([this] {
+    if (!connected_) return;
+    SetFdLingerAbort(fd_.get());
+    HandleDisconnect(true);
+  });
+}
+
+// ---- MeshClient ----
+
+MeshClient::MeshClient(MeshClientConfig config) : config_(config) {
+  if (config_.enable_retries) {
+    retry_ = std::make_shared<RetryPolicy>(config_.retry, config_.seed);
+  }
+  if (config_.enable_breaker) {
+    breaker_ = std::make_shared<CircuitBreaker>(config_.breaker);
+  }
+}
+
+MeshClient::~MeshClient() { Stop(); }
+
+void MeshClient::Start() {
+  if (started_) return;
+  started_ = true;
+  const int loops = std::max(1, config_.loops);
+  const int per_loop = std::max(1, config_.channels_per_loop);
+  RpcChannelConfig chan = config_.channel;
+  chan.server = config_.server;
+  for (int i = 0; i < loops; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>());
+    for (int c = 0; c < per_loop; ++c) {
+      auto channel = std::make_unique<RpcChannel>(loops_.back().get(), chan);
+      if (retry_) channel->SetRetryPolicy(retry_);
+      if (breaker_) channel->SetBreaker(breaker_);
+      if (lifecycle_) channel->BindLifecycle(lifecycle_);
+      if (inflight_gauge_) channel->BindInflightGauge(inflight_gauge_);
+      channels_.push_back(std::move(channel));
+    }
+  }
+  for (auto& loop : loops_) {
+    threads_.emplace_back([l = loop.get()] { l->Run(); });
+  }
+}
+
+void MeshClient::Stop() {
+  if (!started_) return;
+  started_ = false;
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    EventLoop* loop = loops_[i].get();
+    // One task shuts the loop's channels down and stops it, so no call can
+    // sneak in between the two. Channels were appended loop-major in
+    // Start(), so loop i owns indices [i*per_loop, (i+1)*per_loop).
+    std::vector<RpcChannel*> mine;
+    const int per_loop = std::max(1, config_.channels_per_loop);
+    for (int c = 0; c < per_loop; ++c) {
+      const size_t idx = i * static_cast<size_t>(per_loop) + c;
+      if (idx < channels_.size()) mine.push_back(channels_[idx].get());
+    }
+    loop->RunInLoop([loop, mine] {
+      for (RpcChannel* ch : mine) ch->ShutdownInLoop();
+      loop->Stop();
+    });
+  }
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  channels_.clear();
+  loops_.clear();
+}
+
+void MeshClient::Call(uint16_t method_id, std::string payload,
+                      const RpcCallOptions& options, RpcCallback done) {
+  const uint64_t n = next_channel_.fetch_add(1, std::memory_order_relaxed);
+  channels_[n % channels_.size()]->Call(method_id, std::move(payload), options,
+                                        std::move(done));
+}
+
+RpcCallResult MeshClient::CallSync(uint16_t method_id, std::string payload,
+                                   const RpcCallOptions& options) {
+  struct SyncState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    RpcCallResult result;
+  };
+  auto state = std::make_shared<SyncState>();
+  Call(method_id, std::move(payload), options, [state](RpcCallResult r) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->result = std::move(r);
+    state->done = true;
+    state->cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done; });
+  return std::move(state->result);
+}
+
+void MeshClient::BindLifecycle(LifecycleStats* lifecycle) {
+  // Channels are created in Start(); remember the binding so it also
+  // covers the pre-Start wiring order (WebTier binds in its constructor).
+  lifecycle_ = lifecycle;
+  if (retry_) retry_->BindLifecycle(lifecycle);
+  for (auto& ch : channels_) ch->BindLifecycle(lifecycle);
+}
+
+void MeshClient::BindInflightGauge(Gauge* gauge) {
+  inflight_gauge_ = gauge;
+  for (auto& ch : channels_) ch->BindInflightGauge(gauge);
+}
+
+uint64_t MeshClient::Reconnects() const {
+  uint64_t total = 0;
+  for (const auto& ch : channels_) total += ch->Reconnects();
+  return total;
+}
+
+}  // namespace hynet

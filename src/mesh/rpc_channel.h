@@ -1,0 +1,252 @@
+// RpcChannel: the client half of the async service mesh.
+//
+// A channel is one persistent multiplexed connection to a downstream RPC
+// server, owned by an EventLoop. Any thread may issue Call(); the channel
+// marshals the call onto its loop, pipelines it onto the wire with a
+// client-chosen request_id, and matches the completion back by id — any
+// number of requests in flight, responses consumed in whatever order the
+// downstream completes them. This is the inter-tier replacement for the
+// blocking borrow-a-connection pool (rubbos DbConnectionPool): one
+// connection carries hundreds of concurrent requests instead of one, so a
+// slow query never holds a pool slot hostage.
+//
+// Per-hop resilience is built in rather than bolted on:
+//   - deadline decrement: the caller's remaining budget (explicit or the
+//     thread's CurrentRequestDeadline) is clamped into the frame header's
+//     deadline field, minus a per-hop return margin. Expired calls fail
+//     locally (kExpired) without touching the wire, and an armed per-call
+//     timer completes calls whose response never arrives in budget.
+//   - retry budget: transport failures and kShed responses retry under a
+//     shared token-bucket RetryPolicy — per-*method* idempotency decides
+//     eligibility (the mesh has no HTTP verb to guess from).
+//   - circuit breaker: an optional shared breaker gates calls before they
+//     queue; open-breaker calls fail fast with kShed.
+//   - in-flight caps: at most `max_inflight` requests on the wire; excess
+//     queues locally up to `max_queued`, past which calls shed locally.
+//   - reconnect: a dead connection (RST, FIN, refused) fails or retries
+//     its in-flight calls and re-dials with exponential backoff; queued
+//     calls survive the outage and drain after the re-dial.
+//
+// MeshClient bundles N loops × M channels into one load-balanced client
+// with shared retry/breaker state — the thing a tier actually holds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "client/retry.h"
+#include "common/bytes.h"
+#include "common/deadline.h"
+#include "common/fd.h"
+#include "metrics/registry.h"
+#include "net/event_loop.h"
+#include "net/inet_addr.h"
+#include "proto/rpc_codec.h"
+#include "runtime/circuit_breaker.h"
+#include "runtime/dispatch_stats.h"
+
+namespace hynet {
+
+struct RpcChannelConfig {
+  InetAddr server;
+  // Requests allowed on the wire at once; excess queues in the channel.
+  size_t max_inflight = 256;
+  // Queued (not yet sent) calls allowed before new calls shed locally.
+  size_t max_queued = 4096;
+  // Encode the remaining deadline budget into every frame and fail calls
+  // locally once it is gone.
+  bool deadline_propagation = false;
+  // Budget reserved for the response leg: a hop forwards
+  // remaining - margin and refuses to send once that hits zero.
+  int deadline_margin_ms = 0;
+  // Reconnect backoff after a failed dial (doubles up to the max).
+  double reconnect_base_ms = 5.0;
+  double reconnect_max_ms = 500.0;
+  // Frame payload cap applied to responses (0 = unlimited).
+  size_t max_response_bytes = 64 * 1024 * 1024;
+};
+
+struct RpcCallOptions {
+  // Explicit budget for this call. When invalid and the channel has
+  // deadline_propagation on, the issuing thread's CurrentRequestDeadline
+  // is captured instead (the natural nested-hop decrement).
+  Deadline deadline;
+  // Per-method idempotency: only idempotent calls are retried. This is
+  // the method table's decision, not a transport guess.
+  bool idempotent = false;
+};
+
+struct RpcCallResult {
+  RpcStatus status = RpcStatus::kError;
+  // True when the call failed without a server response: connection died,
+  // dial failed, local queue shed (status kShed), or local deadline expiry
+  // would be transport-side — expiry reports kExpired with this false,
+  // since the budget verdict is authoritative either way.
+  bool transport_error = false;
+  std::string payload;
+
+  bool ok() const {
+    return !transport_error &&
+           (status == RpcStatus::kOk || status == RpcStatus::kNotFound);
+  }
+};
+
+using RpcCallback = std::function<void(RpcCallResult)>;
+
+class RpcChannel {
+ public:
+  // The loop is borrowed, not owned; every channel member is touched only
+  // from its thread. Shutdown() must run (on the loop) before the loop
+  // stops — MeshClient sequences this.
+  RpcChannel(EventLoop* loop, RpcChannelConfig config);
+  ~RpcChannel();
+  RpcChannel(const RpcChannel&) = delete;
+  RpcChannel& operator=(const RpcChannel&) = delete;
+
+  // Safe from any thread. `done` runs on the channel's loop thread;
+  // blocking callers wrap with FanoutCallSync / MeshClient::CallSync.
+  void Call(uint16_t method_id, std::string payload,
+            const RpcCallOptions& options, RpcCallback done);
+
+  // Shared resilience state (bound once at wiring time, before traffic).
+  void SetRetryPolicy(std::shared_ptr<RetryPolicy> retry);
+  void SetBreaker(std::shared_ptr<CircuitBreaker> breaker);
+  void BindLifecycle(LifecycleStats* lifecycle);
+  // Mirrors wire in-flight into a gauge via deltas, so N channels bound to
+  // one gauge sum — the dashboard's fan-out in-flight column.
+  void BindInflightGauge(Gauge* gauge);
+
+  uint64_t Reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+
+  // Fails every queued and in-flight call with a transport error and
+  // closes the connection. Loop thread only.
+  void ShutdownInLoop();
+
+  // Test hook: aborts the current connection (RST via SO_LINGER {1,0}),
+  // exactly what a crashed downstream does to us. Safe from any thread.
+  void InjectDisconnectForTest();
+
+ private:
+  enum class CallState { kQueued, kSent, kBackoff };
+
+  struct PendingCall {
+    uint64_t id = 0;
+    uint16_t method_id = 0;
+    std::string payload;
+    RpcCallOptions options;
+    RpcCallback done;
+    CallState state = CallState::kQueued;
+    int attempts = 1;
+    bool breaker_admitted = false;  // Allow() returned true; must resolve
+    EventLoop::TimerId expiry_timer = 0;
+  };
+
+  // All private methods run on the loop thread.
+  void StartCall(std::unique_ptr<PendingCall> call);
+  void Pump();
+  void EnsureConnected();
+  void HandleDisconnect(bool count_reconnect);
+  void OnEvent(uint32_t events);
+  void OnReadable();
+  void HandleResponse(RpcFrame frame);
+  void FlushOut();
+  // True when the call was rescheduled for a retry (not completed).
+  bool MaybeRetry(PendingCall& call);
+  void Complete(uint64_t id, RpcCallResult result);
+  void CompleteCall(std::unique_ptr<PendingCall> call, RpcCallResult result);
+  void ArmExpiry(PendingCall& call);
+  void WireRemoved();
+
+  EventLoop* loop_;
+  RpcChannelConfig config_;
+  std::shared_ptr<RetryPolicy> retry_;
+  std::shared_ptr<CircuitBreaker> breaker_;
+  LifecycleStats* lifecycle_ = nullptr;
+  Gauge* inflight_gauge_ = nullptr;
+
+  ScopedFd fd_;
+  bool connected_ = false;
+  bool ever_connected_ = false;
+  bool reconnect_scheduled_ = false;
+  bool shutdown_ = false;
+  double backoff_ms_ = 0;  // 0 = next dial is immediate
+  ByteBuffer in_;
+  RpcFrameParser parser_;
+  std::string out_;
+  size_t out_off_ = 0;
+  bool want_writable_ = false;
+
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<PendingCall>> calls_;
+  std::deque<uint64_t> queue_;   // kQueued calls, send order
+  size_t wire_inflight_ = 0;     // kSent calls
+
+  std::atomic<uint64_t> reconnects_{0};
+};
+
+// ---- MeshClient: the per-downstream handle a tier holds ----
+
+struct MeshClientConfig {
+  InetAddr server;
+  int loops = 1;
+  int channels_per_loop = 1;
+  RpcChannelConfig channel;  // `server` is overwritten from this config
+
+  // Shared across every channel: one token bucket per downstream, so mesh
+  // retries cannot multiply with channel count.
+  bool enable_retries = false;
+  RetryPolicyConfig retry;
+  // Shared breaker guarding the downstream as a whole.
+  bool enable_breaker = false;
+  CircuitBreakerConfig breaker;
+  uint64_t seed = 17;
+};
+
+class MeshClient {
+ public:
+  explicit MeshClient(MeshClientConfig config);
+  ~MeshClient();
+
+  void Start();
+  void Stop();
+
+  // Round-robin across channels; safe from any thread.
+  void Call(uint16_t method_id, std::string payload,
+            const RpcCallOptions& options, RpcCallback done);
+  // Blocking convenience for thread-based callers (web tier, tests). Must
+  // not be called from a mesh loop thread.
+  RpcCallResult CallSync(uint16_t method_id, std::string payload,
+                         const RpcCallOptions& options);
+
+  void BindLifecycle(LifecycleStats* lifecycle);
+  void BindInflightGauge(Gauge* gauge);
+
+  uint64_t Reconnects() const;
+  RetryPolicy* retry_policy() { return retry_.get(); }
+  CircuitBreaker* breaker() { return breaker_.get(); }
+  size_t ChannelCount() const { return channels_.size(); }
+  RpcChannel& ChannelForTest(size_t i) { return *channels_[i]; }
+
+ private:
+  MeshClientConfig config_;
+  std::shared_ptr<RetryPolicy> retry_;
+  std::shared_ptr<CircuitBreaker> breaker_;
+  LifecycleStats* lifecycle_ = nullptr;  // bound pre-Start, applied in Start
+  Gauge* inflight_gauge_ = nullptr;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<RpcChannel>> channels_;
+  std::atomic<uint64_t> next_channel_{0};
+  bool started_ = false;
+};
+
+}  // namespace hynet

@@ -81,4 +81,9 @@ struct HttpResponse {
 // Case-insensitive ASCII comparison (header names).
 bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 
+// Splits a request target ("/q/user?id=3&x=y") into req->path and
+// req->query. Shared by the HTTP request parser and the RPC tiers, whose
+// payloads reuse the target syntax without the HTTP envelope.
+void ParseRequestTarget(std::string_view target, HttpRequest* req);
+
 }  // namespace hynet

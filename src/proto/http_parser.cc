@@ -73,7 +73,9 @@ bool WantsKeepAlive(
   return http11;  // HTTP/1.1 defaults to keep-alive
 }
 
-void ParseQuery(std::string_view target, HttpRequest* req) {
+}  // namespace
+
+void ParseRequestTarget(std::string_view target, HttpRequest* req) {
   const size_t qpos = target.find('?');
   req->path = std::string(target.substr(0, qpos));
   if (qpos == std::string_view::npos) return;
@@ -93,8 +95,6 @@ void ParseQuery(std::string_view target, HttpRequest* req) {
     }
   }
 }
-
-}  // namespace
 
 bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
   return a.size() == b.size() &&
@@ -235,7 +235,7 @@ ParseStatus HttpRequestParser::ParseHead(ByteBuffer& in) {
     error_ = ParseError::kMalformed;
     return ParseStatus::kError;
   }
-  ParseQuery(request_.target, &request_);
+  ParseRequestTarget(request_.target, &request_);
 
   const std::string_view header_block =
       eol < head.size() ? head.substr(eol + 2) : std::string_view{};

@@ -46,8 +46,15 @@ const char* RpcStatusName(RpcStatus s) {
     case RpcStatus::kBadRequest: return "bad-request";
     case RpcStatus::kError:      return "error";
     case RpcStatus::kShed:       return "shed";
+    case RpcStatus::kExpired:    return "expired";
   }
   return "unknown";
+}
+
+uint16_t ClampDeadlineMillis(int64_t remaining_ms) {
+  if (remaining_ms <= 0) return 0;
+  if (remaining_ms > 0xffff) return 0xffff;
+  return static_cast<uint16_t>(remaining_ms);
 }
 
 ParseStatus RpcFrameParser::Parse(ByteBuffer& in) {
@@ -72,6 +79,9 @@ ParseStatus RpcFrameParser::Parse(ByteBuffer& in) {
     frame_.header.request_id = GetU64(p + 8);
     frame_.header.flags = static_cast<uint8_t>(p[16]);
     frame_.header.status = static_cast<uint8_t>(p[17]);
+    frame_.header.deadline_ms = (frame_.header.flags & kRpcFlagDeadline)
+                                    ? GetU16(p + 18)
+                                    : uint16_t{0};
     if (max_payload_bytes_ > 0 && frame_.header.payload_len > max_payload_bytes_) {
       error_ = RpcParseError::kPayloadTooLarge;
       return ParseStatus::kError;
@@ -112,17 +122,23 @@ std::string EncodeRpcHeader(const RpcFrameHeader& header) {
   PutU64(p + 8, header.request_id);
   p[16] = static_cast<char>(header.flags);
   p[17] = static_cast<char>(header.status);
-  PutU16(p + 18, 0);
+  PutU16(p + 18,
+         (header.flags & kRpcFlagDeadline) ? header.deadline_ms : uint16_t{0});
   return out;
 }
 
 std::string EncodeRpcRequest(uint64_t request_id, uint16_t method_id,
-                             std::string_view payload, uint8_t flags) {
+                             std::string_view payload, uint8_t flags,
+                             uint16_t deadline_ms) {
   RpcFrameHeader h;
   h.request_id = request_id;
   h.method_id = method_id;
   h.payload_len = static_cast<uint32_t>(payload.size());
   h.flags = flags;
+  if (deadline_ms > 0) {
+    h.flags |= kRpcFlagDeadline;
+    h.deadline_ms = deadline_ms;
+  }
   std::string out = EncodeRpcHeader(h);
   out.append(payload);
   return out;

@@ -16,8 +16,17 @@
 //        4     4  payload_len bytes following the header
 //        8     8  request_id  client-chosen; echoed verbatim on the response
 //       16     1  flags       bit 0: close connection after this exchange
+//                             bit 1: deadline_ms field is meaningful
 //       17     1  status      0 on requests; RpcStatus on responses
-//       18     2  reserved    must be 0
+//       18     2  deadline_ms remaining deadline budget in ms (saturated at
+//                             65535) when flags bit 1 is set — the RPC
+//                             plane's native X-Hynet-Deadline-Ms; 0 and
+//                             ignored otherwise
+//
+// The deadline field carries the same semantics as the HTTP header
+// X-Hynet-Deadline-Ms: a *relative* budget, re-anchored at each hop's
+// arrival and decremented before the next hop, so mesh calls shed expired
+// work natively instead of only over HTTP.
 //
 // The response payload rides the refcounted Payload zero-copy path: the
 // 20-byte header is the Payload head, a shared KV value is the body
@@ -47,12 +56,14 @@ enum class RpcStatus : uint8_t {
   kBadRequest = 3,  // malformed request payload for a known method
   kError = 4,       // handler failed (or dropped its ResponseWriter)
   kShed = 5,        // server overloaded / draining
+  kExpired = 6,     // deadline budget gone (the RPC plane's 504)
 };
 
 const char* RpcStatusName(RpcStatus s);
 
 // Frame flags.
-inline constexpr uint8_t kRpcFlagClose = 0x1;  // close after this exchange
+inline constexpr uint8_t kRpcFlagClose = 0x1;     // close after this exchange
+inline constexpr uint8_t kRpcFlagDeadline = 0x2;  // deadline_ms is meaningful
 
 struct RpcFrameHeader {
   uint32_t payload_len = 0;
@@ -60,6 +71,9 @@ struct RpcFrameHeader {
   uint16_t method_id = 0;
   uint8_t flags = 0;
   uint8_t status = 0;
+  // Remaining deadline budget in milliseconds; meaningful only when
+  // flags & kRpcFlagDeadline (re-anchored at arrival by the receiver).
+  uint16_t deadline_ms = 0;
 };
 
 // One decoded frame: header plus the (moved-out) payload bytes.
@@ -119,9 +133,16 @@ class RpcFrameParser {
 // Serializes a header into its 20 wire bytes.
 std::string EncodeRpcHeader(const RpcFrameHeader& header);
 
-// Client-side request frame: header + payload concatenated.
+// Client-side request frame: header + payload concatenated. A nonzero
+// `deadline_ms` sets kRpcFlagDeadline and rides the header's deadline
+// field (callers clamp the remaining budget with ClampDeadlineMillis).
 std::string EncodeRpcRequest(uint64_t request_id, uint16_t method_id,
-                             std::string_view payload, uint8_t flags = 0);
+                             std::string_view payload, uint8_t flags = 0,
+                             uint16_t deadline_ms = 0);
+
+// Saturates a remaining budget into the header's u16 field: negative
+// budgets clamp to 0 (expired), budgets above 65535 ms to 65535.
+uint16_t ClampDeadlineMillis(int64_t remaining_ms);
 
 // Zero-copy response frame: the header is the Payload head, `shared_body`
 // is referenced in place (N responses serving one KV value share that

@@ -1,0 +1,266 @@
+#include "rubbos/app_rpc.h"
+
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/thread_util.h"
+#include "proto/http_message.h"
+#include "rubbos/app_logic.h"
+#include "rubbos/db_server.h"
+
+namespace hynet::rubbos {
+
+std::string EncodeRenderPayload(const RenderParams& params) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "/render?type=%s&s=%d&u=%d&page=%d&frag=%d&frags=%d",
+                kInteractions[params.index % kInteractionCount].name,
+                params.story, params.user, params.page, params.frag,
+                params.frags);
+  return buf;
+}
+
+bool DecodeRenderPayload(std::string_view payload, RenderParams* params) {
+  HttpRequest req;
+  ParseRequestTarget(payload, &req);
+  if (req.path != "/render") return false;
+  params->index = InteractionIndex(req.QueryParam("type"));
+  if (params->index >= kInteractionCount) return false;
+  params->story = static_cast<int>(req.QueryParamInt("s", 0));
+  params->user = static_cast<int>(req.QueryParamInt("u", 0));
+  params->page = static_cast<int>(req.QueryParamInt("page", 0));
+  params->frag = static_cast<int>(req.QueryParamInt("frag", 0));
+  params->frags = static_cast<int>(req.QueryParamInt("frags", 1));
+  if (params->frags < 1) params->frags = 1;
+  if (params->frag < 0 || params->frag >= params->frags) return false;
+  return true;
+}
+
+std::string CanonicalCacheKey(const RenderParams& params) {
+  // Only the request dimensions this interaction's query plan actually
+  // reads. The front URL always carries s/u/page; StoriesOfTheDay uses
+  // just the page, a Search uses none of them. Keying on unused ids would
+  // shatter an effectively tiny key space across every emulated user.
+  const Interaction& ix = kInteractions[params.index % kInteractionCount];
+  const int story =
+      (ix.q_story_detail || ix.q_comments || ix.q_insert) ? params.story : 0;
+  const int page = ix.q_story_list ? params.page : 0;
+  const int user = ix.q_user ? params.user : 0;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s|s=%d|u=%d|p=%d|f=%d/%d", ix.name, story,
+                user, page, params.frag, params.frags);
+  return buf;
+}
+
+namespace {
+
+struct DbCall {
+  uint16_t method_id = kDbMethodQuery;
+  std::string target;
+};
+
+// The interaction's full DB query plan, in the same order the sync servlet
+// issues it; fragment f of n then takes plan indices i where i % n == f.
+std::vector<DbCall> BuildPlan(const Interaction& ix, const RenderParams& p) {
+  std::vector<DbCall> plan;
+  char target[96];
+  for (int i = 0; i < ix.q_story_list; ++i) {
+    std::snprintf(target, sizeof(target), "/q/story_list?page=%d", p.page + i);
+    plan.push_back({kDbMethodQuery, target});
+  }
+  for (int i = 0; i < ix.q_story_detail; ++i) {
+    std::snprintf(target, sizeof(target), "/q/story_detail?id=%d", p.story);
+    plan.push_back({kDbMethodQuery, target});
+  }
+  for (int i = 0; i < ix.q_comments; ++i) {
+    std::snprintf(target, sizeof(target), "/q/comments?story=%d", p.story + i);
+    plan.push_back({kDbMethodQuery, target});
+  }
+  for (int i = 0; i < ix.q_user; ++i) {
+    std::snprintf(target, sizeof(target), "/q/user?id=%d", p.user);
+    plan.push_back({kDbMethodQuery, target});
+  }
+  for (int i = 0; i < ix.q_search; ++i) {
+    plan.push_back({kDbMethodQuery, "/q/search?needle=fox"});
+  }
+  for (int i = 0; i < ix.q_insert; ++i) {
+    std::snprintf(target, sizeof(target), "/q/insert_comment?story=%d",
+                  p.story);
+    plan.push_back({kDbMethodInsert, target});
+  }
+  return plan;
+}
+
+// Worst failed-leg status wins the fragment's verdict: an expired leg
+// means the whole budget is gone (kExpired), a shed leg means the DB is
+// saying back off (kShed), anything else is a plain failure.
+RpcStatus WorstLegStatus(const FanoutResult& fr) {
+  RpcStatus worst = RpcStatus::kError;
+  for (size_t i = 0; i < fr.results.size(); ++i) {
+    if (!fr.completed[i] || fr.results[i].ok()) continue;
+    const RpcStatus s = fr.results[i].status;
+    if (s == RpcStatus::kExpired) return RpcStatus::kExpired;
+    if (s == RpcStatus::kShed && !fr.results[i].transport_error) {
+      worst = RpcStatus::kShed;
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+struct AppRpcService::State {
+  AppRpcOptions options;
+  std::atomic<LifecycleStats*> lifecycle{nullptr};
+  // Per-(interaction, frags) scaffold slices, rendered once and shared by
+  // every response and cache entry that needs one.
+  std::shared_ptr<const std::string> Scaffold(size_t index, int frags) const {
+    const size_t bytes = kInteractions[index].html_bytes /
+                         static_cast<size_t>(frags > 0 ? frags : 1);
+    return std::make_shared<const std::string>(std::string(bytes, 'h'));
+  }
+};
+
+AppRpcService::AppRpcService(AppRpcOptions options)
+    : state_(std::make_shared<State>()) {
+  state_->options = options;
+}
+
+void AppRpcService::BindLifecycle(LifecycleStats* lifecycle) {
+  state_->lifecycle.store(lifecycle, std::memory_order_release);
+  if (state_->options.cache) state_->options.cache->BindLifecycle(lifecycle);
+}
+
+ServiceRegistry AppRpcService::Registry() {
+  auto state = state_;
+  ServiceRegistry registry;
+  registry.Register(
+      kAppMethodRender, "app_render",
+      [state](ServiceRequest sreq, ResponseWriter writer) {
+        RenderParams p;
+        if (!DecodeRenderPayload(sreq.payload, &p)) {
+          writer.Finish(RpcStatus::kBadRequest, "bad render payload");
+          return;
+        }
+        const Interaction& ix = kInteractions[p.index];
+        const AppRpcOptions& opt = state->options;
+        LifecycleStats* lifecycle =
+            state->lifecycle.load(std::memory_order_acquire);
+        // Installed by the RPC server's admission path for this handler
+        // thread; must be captured now — the fan-in continuation runs on a
+        // mesh completion thread with no scoped deadline.
+        const Deadline deadline = CurrentRequestDeadline();
+
+        // The writer moves through cache closures and the fan-in callback;
+        // shared_ptr keeps the exactly-once Finish contract simple.
+        auto w = std::make_shared<ResponseWriter>(std::move(writer));
+
+        // Cacheable = no mutation in the plan.
+        const bool cacheable = opt.cache != nullptr && ix.q_insert == 0;
+        const std::string key = CanonicalCacheKey(p);
+        if (cacheable) {
+          CachedResponse hit;
+          const auto outcome = opt.cache->Lookup(
+              kAppMethodRender, key, &hit, [w](CachedResponse filled) {
+                w->Finish(filled.status, filled.body);
+              });
+          if (outcome == ResponseCache::Outcome::kHit) {
+            // Shared body straight onto the zero-copy response path: the
+            // cached allocation is referenced, never copied.
+            w->Finish(hit.status, hit.body);
+            return;
+          }
+          if (outcome == ResponseCache::Outcome::kMissJoined) return;
+          // kMissLead falls through and must Fill below on every path.
+        }
+        auto publish = [state, cacheable, key](RpcStatus status,
+                                               std::shared_ptr<const std::string>
+                                                   body,
+                                               bool store) {
+          if (!cacheable) return;
+          state->options.cache->Fill(kAppMethodRender, key,
+                                     CachedResponse{status, std::move(body)},
+                                     store);
+        };
+
+        if (opt.resilience && !opt.resilience->Allow()) {
+          // DB breaker open: serve the fragment's scaffold without dynamic
+          // content instead of piling onto a failing tier. Failures are
+          // published to coalesced waiters but never stored.
+          opt.resilience->CountDegraded();
+          auto scaffold = state->Scaffold(p.index, p.frags);
+          publish(RpcStatus::kOk, scaffold, /*store=*/false);
+          w->Finish(RpcStatus::kOk, scaffold);
+          return;
+        }
+
+        // This fragment's slice of the query plan.
+        const std::vector<DbCall> plan = BuildPlan(ix, p);
+        std::vector<DbCall> slice;
+        for (size_t i = 0; i < plan.size(); ++i) {
+          if (static_cast<int>(i % static_cast<size_t>(p.frags)) == p.frag) {
+            slice.push_back(plan[i]);
+          }
+        }
+        const double cpu_us =
+            ix.app_cpu_us * opt.cpu_multiplier / p.frags;
+
+        if (slice.empty()) {
+          // A fragment with no DB work: pure servlet CPU + scaffold.
+          BurnCpuMicros(cpu_us);
+          auto scaffold = state->Scaffold(p.index, p.frags);
+          publish(RpcStatus::kOk, scaffold, /*store=*/true);
+          w->Finish(RpcStatus::kOk, scaffold);
+          return;
+        }
+
+        // Fan the slice out over the app→DB mesh and render on fan-in.
+        auto issuer = [state, slice, deadline](size_t i, RpcCallback done) {
+          const AppRpcOptions& o = state->options;
+          RpcCallOptions call_options;
+          call_options.deadline = deadline;
+          call_options.idempotent = slice[i].method_id == kDbMethodQuery;
+          o.db->Call(slice[i].method_id, slice[i].target, call_options,
+                     [state, done = std::move(done)](RpcCallResult r) {
+                       TierResilience* res = state->options.resilience;
+                       if (res) res->Record(r.ok());
+                       done(std::move(r));
+                     });
+        };
+        FanoutOptions fanout_options;
+        fanout_options.policy = FanoutPolicy::kAll;
+        fanout_options.lifecycle = lifecycle;
+        FanoutCall(
+            slice.size(), issuer, fanout_options,
+            [state, w, publish, p, cpu_us](FanoutResult fr) {
+              if (!fr.satisfied) {
+                const RpcStatus status = WorstLegStatus(fr);
+                publish(status, nullptr, /*store=*/false);
+                w->Finish(status, "db fan-out failed");
+                return;
+              }
+              // Fan-in render: servlet CPU, then scaffold + DB payloads in
+              // leg order as one shared body — the allocation the cache,
+              // coalesced waiters, and this response all reference.
+              BurnCpuMicros(cpu_us);
+              const size_t scaffold_bytes =
+                  kInteractions[p.index].html_bytes /
+                  static_cast<size_t>(p.frags);
+              size_t total = scaffold_bytes;
+              for (const auto& leg : fr.results) total += leg.payload.size();
+              std::string body;
+              body.reserve(total);
+              body.append(scaffold_bytes, 'h');
+              for (const auto& leg : fr.results) body += leg.payload;
+              auto shared =
+                  std::make_shared<const std::string>(std::move(body));
+              publish(RpcStatus::kOk, shared, /*store=*/true);
+              w->Finish(RpcStatus::kOk, shared);
+            });
+      });
+  return registry;
+}
+
+}  // namespace hynet::rubbos

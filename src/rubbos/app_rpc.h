@@ -1,0 +1,84 @@
+// App tier on the async mesh: the RUBBoS servlets as an RPC service with
+// app→DB fan-out and the sharded response cache.
+//
+// One front request becomes N parallel Render calls (the web tier's
+// fan-out); each Render handles one *fragment* of the interaction — its
+// 1/N slice of the DB query plan, servlet CPU, and page scaffold — so the
+// page's DB work runs concurrently across fragments instead of serially
+// down one blocking pool connection. Within a fragment the remaining DB
+// queries fan out again (policy kAll) over the app→DB mesh channel.
+//
+// The handler is fully asynchronous: it issues its DB calls and returns;
+// the fan-in continuation renders on the mesh completion thread and
+// finishes the ResponseWriter from there (the completion-based service
+// contract). Cacheable fragments (no mutation in the plan) go through the
+// ResponseCache first — a hit finishes inline with the shared cached body
+// (zero-copy), concurrent misses coalesce behind one lead render.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "app/service.h"
+#include "mesh/fanout.h"
+#include "mesh/response_cache.h"
+#include "mesh/rpc_channel.h"
+#include "rubbos/tier_resilience.h"
+#include "runtime/dispatch_stats.h"
+
+namespace hynet::rubbos {
+
+// The app tier's single RPC method: render one fragment of an interaction.
+inline constexpr uint16_t kAppMethodRender = 1;
+
+struct RenderParams {
+  size_t index = 0;  // kInteractions index
+  int story = 0;
+  int user = 0;
+  int page = 0;
+  int frag = 0;   // this fragment's slot, [0, frags)
+  int frags = 1;  // total fragments the interaction was split into
+};
+
+// Payload is target-shaped ("/render?type=...&s=...&u=...&page=...&frag=
+// i&frags=n") so both ends reuse ParseRequestTarget. Encode/Decode are the
+// web tier's and the app tier's shared contract.
+std::string EncodeRenderPayload(const RenderParams& params);
+bool DecodeRenderPayload(std::string_view payload, RenderParams* params);
+
+// The response-cache key for a fragment: interaction name + only the
+// request dimensions its query plan actually reads (unused ids are
+// normalized away so they don't shatter the key space).
+std::string CanonicalCacheKey(const RenderParams& params);
+
+struct AppRpcOptions {
+  // The app→DB mesh client (required; must outlive the service).
+  MeshClient* db = nullptr;
+  // Optional response cache (mesh-owned, see system wiring).
+  ResponseCache* cache = nullptr;
+  // Optional DB-guarding breaker: open → scaffold-only degraded fragment.
+  TierResilience* resilience = nullptr;
+  double cpu_multiplier = 1.0;
+};
+
+// The Render service. Built before the RPC server exists (CreateServer
+// takes the registry), so lifecycle binding follows the TierResilience
+// pattern: BindLifecycle after CreateServer, before Start.
+class AppRpcService {
+ public:
+  explicit AppRpcService(AppRpcOptions options);
+
+  ServiceRegistry Registry();
+
+  // Counts mesh_fanout_calls / mesh_partial_failures / degraded_responses
+  // into the app server's lifecycle. Must be bound before traffic.
+  void BindLifecycle(LifecycleStats* lifecycle);
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace hynet::rubbos

@@ -51,14 +51,24 @@ DbDataset DbDataset::Generate(int num_stories, int comments_per_story,
 }
 
 DbServer::DbServer(DbDataset dataset, double cpu_us_per_query,
-                   bool deadline_propagation)
-    : dataset_(std::move(dataset)), cpu_us_per_query_(cpu_us_per_query) {
+                   bool deadline_propagation, bool rpc, int rpc_event_loops)
+    : dataset_(std::move(dataset)),
+      cpu_us_per_query_(cpu_us_per_query),
+      rpc_(rpc) {
   ServerConfig config;
-  // MySQL's execution model: a dedicated thread per connection.
-  config.architecture = ServerArchitecture::kThreadPerConn;
   config.snd_buf_bytes = 0;  // DB link is intra-rack; keep kernel defaults
   config.deadline_propagation = deadline_propagation;
-  server_ = CreateServer(config, MakeHandler());
+  if (rpc_) {
+    // Mesh mode: the multiplexed frame plane needs the loop-group chassis.
+    config.architecture = ServerArchitecture::kMultiLoop;
+    config.event_loops = std::max(1, rpc_event_loops);
+    config.protocol = "rpc";
+    server_ = CreateServer(config, MakeRegistry());
+  } else {
+    // MySQL's execution model: a dedicated thread per connection.
+    config.architecture = ServerArchitecture::kThreadPerConn;
+    server_ = CreateServer(config, MakeHandler());
+  }
 }
 
 DbServer::~DbServer() { Stop(); }
@@ -69,99 +79,124 @@ uint16_t DbServer::Port() const { return server_->Port(); }
 ServerCounters DbServer::Snapshot() const { return server_->Snapshot(); }
 std::vector<int> DbServer::ThreadIds() const { return server_->ThreadIds(); }
 
+int DbServer::Execute(const HttpRequest& req, std::string* body) {
+  BurnCpuMicros(cpu_us_per_query_);
+
+  if (req.path == "/q/story_list") {
+    const auto page = static_cast<size_t>(req.QueryParamInt("page", 0));
+    std::shared_lock lock(data_mu_);
+    const size_t start =
+        (page * 20) % std::max<size_t>(dataset_.stories.size(), 1);
+    const size_t end = std::min(start + 20, dataset_.stories.size());
+    for (size_t i = start; i < end; ++i) {
+      *body += std::to_string(dataset_.stories[i].id);
+      *body += '\t';
+      *body += dataset_.stories[i].title;
+      *body += '\n';
+    }
+    return 200;
+  }
+
+  if (req.path == "/q/story_detail") {
+    const auto id = static_cast<size_t>(req.QueryParamInt("id", 0));
+    std::shared_lock lock(data_mu_);
+    if (id >= dataset_.stories.size()) return 404;
+    *body = dataset_.stories[id].body;
+    return 200;
+  }
+
+  if (req.path == "/q/comments") {
+    const int story = static_cast<int>(req.QueryParamInt("story", 0));
+    std::shared_lock lock(data_mu_);
+    // Comments are stored grouped by story; binary-search the block.
+    const auto cmp = [](const DbDataset::Comment& c, int s) {
+      return c.story_id < s;
+    };
+    auto it = std::lower_bound(dataset_.comments.begin(),
+                               dataset_.comments.end(), story, cmp);
+    for (; it != dataset_.comments.end() && it->story_id == story; ++it) {
+      *body += it->text;
+      *body += '\n';
+    }
+    return 200;
+  }
+
+  if (req.path == "/q/user") {
+    const auto id = static_cast<size_t>(req.QueryParamInt("id", 0));
+    std::shared_lock lock(data_mu_);
+    if (id >= dataset_.users.size()) return 404;
+    *body = dataset_.users[id].name;
+    return 200;
+  }
+
+  if (req.path == "/q/search") {
+    const std::string needle(req.QueryParam("needle", "fox"));
+    std::shared_lock lock(data_mu_);
+    int hits = 0;
+    for (const auto& story : dataset_.stories) {
+      if (story.title.find(needle) != std::string::npos) {
+        *body += story.title;
+        *body += '\n';
+        if (++hits >= 20) break;
+      }
+    }
+    return 200;
+  }
+
+  if (req.path == "/q/insert_comment") {
+    const int story = static_cast<int>(req.QueryParamInt("story", 0));
+    std::unique_lock lock(data_mu_);
+    // Insert keeps the by-story grouping invariant.
+    const auto cmp = [](const DbDataset::Comment& c, int s) {
+      return c.story_id < s;
+    };
+    auto it = std::lower_bound(dataset_.comments.begin(),
+                               dataset_.comments.end(), story, cmp);
+    dataset_.comments.insert(
+        it,
+        DbDataset::Comment{story, req.body.empty() ? "(empty)" : req.body});
+    *body = "ok";
+    return 200;
+  }
+
+  *body = "unknown query";
+  return 404;
+}
+
 hynet::Handler DbServer::MakeHandler() {
   return [this](const HttpRequest& req, HttpResponse& resp) {
-    BurnCpuMicros(cpu_us_per_query_);
     resp.SetHeader("Content-Type", "text/plain");
-
-    if (req.path == "/q/story_list") {
-      const auto page = static_cast<size_t>(req.QueryParamInt("page", 0));
-      std::shared_lock lock(data_mu_);
-      const size_t start = (page * 20) % std::max<size_t>(dataset_.stories.size(), 1);
-      const size_t end = std::min(start + 20, dataset_.stories.size());
-      for (size_t i = start; i < end; ++i) {
-        resp.body += std::to_string(dataset_.stories[i].id);
-        resp.body += '\t';
-        resp.body += dataset_.stories[i].title;
-        resp.body += '\n';
-      }
-      return;
+    const int status = Execute(req, &resp.body);
+    if (status != 200) {
+      resp.status = status;
+      resp.reason = "Not Found";
     }
-
-    if (req.path == "/q/story_detail") {
-      const auto id = static_cast<size_t>(req.QueryParamInt("id", 0));
-      std::shared_lock lock(data_mu_);
-      if (id < dataset_.stories.size()) {
-        resp.body = dataset_.stories[id].body;
-      } else {
-        resp.status = 404;
-        resp.reason = "Not Found";
-      }
-      return;
-    }
-
-    if (req.path == "/q/comments") {
-      const int story = static_cast<int>(req.QueryParamInt("story", 0));
-      std::shared_lock lock(data_mu_);
-      // Comments are stored grouped by story; binary-search the block.
-      const auto cmp = [](const DbDataset::Comment& c, int s) {
-        return c.story_id < s;
-      };
-      auto it = std::lower_bound(dataset_.comments.begin(),
-                                 dataset_.comments.end(), story, cmp);
-      for (; it != dataset_.comments.end() && it->story_id == story; ++it) {
-        resp.body += it->text;
-        resp.body += '\n';
-      }
-      return;
-    }
-
-    if (req.path == "/q/user") {
-      const auto id = static_cast<size_t>(req.QueryParamInt("id", 0));
-      std::shared_lock lock(data_mu_);
-      if (id < dataset_.users.size()) {
-        resp.body = dataset_.users[id].name;
-      } else {
-        resp.status = 404;
-        resp.reason = "Not Found";
-      }
-      return;
-    }
-
-    if (req.path == "/q/search") {
-      const std::string needle(req.QueryParam("needle", "fox"));
-      std::shared_lock lock(data_mu_);
-      int hits = 0;
-      for (const auto& story : dataset_.stories) {
-        if (story.title.find(needle) != std::string::npos) {
-          resp.body += story.title;
-          resp.body += '\n';
-          if (++hits >= 20) break;
-        }
-      }
-      return;
-    }
-
-    if (req.path == "/q/insert_comment") {
-      const int story = static_cast<int>(req.QueryParamInt("story", 0));
-      std::unique_lock lock(data_mu_);
-      // Insert keeps the by-story grouping invariant.
-      const auto cmp = [](const DbDataset::Comment& c, int s) {
-        return c.story_id < s;
-      };
-      auto it = std::lower_bound(dataset_.comments.begin(),
-                                 dataset_.comments.end(), story, cmp);
-      dataset_.comments.insert(
-          it, DbDataset::Comment{story, req.body.empty() ? "(empty)"
-                                                         : req.body});
-      resp.body = "ok";
-      return;
-    }
-
-    resp.status = 404;
-    resp.reason = "Not Found";
-    resp.body = "unknown query";
   };
+}
+
+ServiceRegistry DbServer::MakeRegistry() {
+  // Both methods share the query engine; the split exists so the mesh can
+  // retry Query frames (idempotent) and never Insert frames.
+  auto serve = [this](const ServiceRequest& sreq, ServiceResponse& sresp) {
+    HttpRequest req;
+    ParseRequestTarget(sreq.payload, &req);
+    // The method split is the idempotency contract: a mutation smuggled
+    // through the retryable Query method would get duplicated by mesh
+    // retries, so it is rejected here rather than trusted.
+    if (sreq.method_id == kDbMethodQuery && req.path == "/q/insert_comment") {
+      sresp.status = RpcStatus::kBadRequest;
+      sresp.body = "mutation on query method";
+      return;
+    }
+    const int status = Execute(req, &sresp.body);
+    sresp.status = status == 200  ? RpcStatus::kOk
+                   : status == 404 ? RpcStatus::kNotFound
+                                   : RpcStatus::kError;
+  };
+  ServiceRegistry registry;
+  registry.Register(kDbMethodQuery, "db_query", SyncService(serve));
+  registry.Register(kDbMethodInsert, "db_insert", SyncService(serve));
+  return registry;
 }
 
 }  // namespace hynet::rubbos

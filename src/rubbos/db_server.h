@@ -17,9 +17,16 @@
 #include <string>
 #include <vector>
 
+#include "app/service.h"
 #include "servers/server.h"
 
 namespace hynet::rubbos {
+
+// RPC method ids for the DB tier's mesh mode. Query covers every read
+// endpoint (idempotent — the mesh may retry it); Insert is the one
+// mutation (never retried).
+inline constexpr uint16_t kDbMethodQuery = 1;
+inline constexpr uint16_t kDbMethodInsert = 2;
 
 struct DbDataset {
   struct Story {
@@ -52,8 +59,16 @@ class DbServer {
   // the actual scan/format cost. `deadline_propagation` makes the tier
   // honor X-Hynet-Deadline-Ms budgets forwarded by the app tier (queries
   // whose budget is gone answer 504 instead of scanning).
+  //
+  // `rpc` switches the tier from thread-per-connection HTTP to the
+  // multiplexed RPC plane (mesh mode): methods kDbMethodQuery /
+  // kDbMethodInsert whose payload is the same "/q/...?..." target string,
+  // served on the kMultiLoop chassis with `rpc_event_loops` loops. The
+  // query logic is identical — only the transport changes (deadline
+  // budgets then ride the frame header instead of an HTTP header).
   DbServer(DbDataset dataset, double cpu_us_per_query = 30.0,
-           bool deadline_propagation = false);
+           bool deadline_propagation = false, bool rpc = false,
+           int rpc_event_loops = 2);
   ~DbServer();
 
   void Start();
@@ -61,12 +76,18 @@ class DbServer {
   uint16_t Port() const;
   ServerCounters Snapshot() const;
   std::vector<int> ThreadIds() const;
+  bool rpc() const { return rpc_; }
 
  private:
   hynet::Handler MakeHandler();
+  ServiceRegistry MakeRegistry();
+  // The shared query engine: executes `req` against the dataset and
+  // returns an HTTP-shaped status (200/404). Both transports call this.
+  int Execute(const HttpRequest& req, std::string* body);
 
   DbDataset dataset_;
   double cpu_us_per_query_;
+  bool rpc_;
   mutable std::shared_mutex data_mu_;  // readers-writer: queries vs inserts
   std::unique_ptr<Server> server_;
 };

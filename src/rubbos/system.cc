@@ -12,18 +12,14 @@ ThreeTierSystem::ThreeTierSystem(ThreeTierConfig config)
 ThreeTierSystem::~ThreeTierSystem() { Stop(); }
 
 void ThreeTierSystem::Start() {
+  const bool rpc = config_.transport == "rpc";
   db_ = std::make_unique<DbServer>(
       DbDataset::Generate(config_.db_stories, config_.db_comments_per_story,
                           config_.db_users, /*seed=*/7),
-      config_.db_cpu_us_per_query, config_.deadline_propagation);
+      config_.db_cpu_us_per_query, config_.deadline_propagation, rpc,
+      config_.db_event_loops);
   db_->Start();
 
-  db_pool_ = std::make_unique<DbConnectionPool>(
-      InetAddr::Loopback(db_->Port()), config_.db_connection_pool);
-  if (config_.deadline_propagation) db_pool_->EnableDeadlinePropagation();
-  if (config_.db_retries) {
-    db_pool_->EnableRetries(config_.db_retry, /*seed=*/11);
-  }
   if (config_.circuit_breakers) {
     app_resilience_ = std::make_unique<TierResilience>(config_.breaker);
   }
@@ -35,14 +31,67 @@ void ThreeTierSystem::Start() {
   app_config.deadline_propagation = config_.deadline_propagation;
   app_config.shed_target_delay_ms = config_.app_shed_target_delay_ms;
   app_config.shed_interval_ms = config_.app_shed_interval_ms;
-  app_ = CreateServer(app_config,
-                      BuildRubbosHandler(*db_pool_,
-                                         config_.app_cpu_multiplier,
-                                         app_resilience_.get()));
-  // The handler is built before the server exists; close the loop so the
-  // pool's retry/deadline counters and the DB breaker's state surface in
-  // the app tier's /metrics (bound before Start: no request races this).
-  db_pool_->BindLifecycle(&app_->lifecycle_stats());
+
+  if (rpc) {
+    // ---- Mesh transport: app→db over multiplexed RPC channels ----
+    MeshClientConfig db_mesh_config;
+    db_mesh_config.server = InetAddr::Loopback(db_->Port());
+    db_mesh_config.loops = config_.mesh_loops;
+    db_mesh_config.channels_per_loop = config_.mesh_channels_per_loop;
+    db_mesh_config.channel.max_inflight = config_.mesh_max_inflight;
+    db_mesh_config.channel.deadline_propagation = config_.deadline_propagation;
+    db_mesh_config.enable_retries = config_.mesh_retries || config_.db_retries;
+    db_mesh_config.retry =
+        config_.mesh_retries ? config_.mesh_retry : config_.db_retry;
+    db_mesh_config.seed = 11;
+    db_mesh_ = std::make_unique<MeshClient>(db_mesh_config);
+    db_mesh_->Start();
+
+    if (config_.app_cache_ttl_ms > 0) {
+      ResponseCacheConfig cache_config;
+      cache_config.shards = config_.app_cache_shards;
+      cache_config.max_bytes_per_shard =
+          config_.app_cache_mb_per_shard * 1024 * 1024;
+      cache_config.ttl_ms = config_.app_cache_ttl_ms;
+      app_cache_ = std::make_unique<ResponseCache>(cache_config);
+    }
+
+    AppRpcOptions app_options;
+    app_options.db = db_mesh_.get();
+    app_options.cache = app_cache_.get();
+    app_options.resilience = app_resilience_.get();
+    app_options.cpu_multiplier = config_.app_cpu_multiplier;
+    app_service_ = std::make_unique<AppRpcService>(app_options);
+
+    // The Render service needs the loop-group chassis; architectures
+    // without one (the sync baselines) are lifted to kMultiLoop.
+    if (app_config.architecture != ServerArchitecture::kMultiLoop &&
+        app_config.architecture != ServerArchitecture::kHybrid) {
+      app_config.architecture = ServerArchitecture::kMultiLoop;
+    }
+    app_config.event_loops = config_.app_event_loops;
+    app_config.protocol = "rpc";
+    app_ = CreateServer(app_config, app_service_->Registry());
+    db_mesh_->BindLifecycle(&app_->lifecycle_stats());
+    db_mesh_->BindInflightGauge(&app_->metrics().GetGauge("mesh_inflight"));
+    app_service_->BindLifecycle(&app_->lifecycle_stats());
+  } else {
+    // ---- Sync transport (the A/B control): blocking JDBC-style pool ----
+    db_pool_ = std::make_unique<DbConnectionPool>(
+        InetAddr::Loopback(db_->Port()), config_.db_connection_pool);
+    if (config_.deadline_propagation) db_pool_->EnableDeadlinePropagation();
+    if (config_.db_retries) {
+      db_pool_->EnableRetries(config_.db_retry, /*seed=*/11);
+    }
+    app_ = CreateServer(app_config,
+                        BuildRubbosHandler(*db_pool_,
+                                           config_.app_cpu_multiplier,
+                                           app_resilience_.get()));
+    // The handler is built before the server exists; close the loop so the
+    // pool's retry/deadline counters and the DB breaker's state surface in
+    // the app tier's /metrics (bound before Start: no request races this).
+    db_pool_->BindLifecycle(&app_->lifecycle_stats());
+  }
   if (app_resilience_) {
     app_resilience_->BindLifecycle(&app_->lifecycle_stats());
   }
@@ -52,17 +101,31 @@ void ThreeTierSystem::Start() {
   web_options.deadline_propagation = config_.deadline_propagation;
   web_options.circuit_breaker = config_.circuit_breakers;
   web_options.breaker = config_.breaker;
+  if (rpc) {
+    web_options.rpc = true;
+    web_options.fanout = config_.fanout;
+    web_options.fanout_policy = config_.fanout_policy;
+    web_options.mesh_loops = config_.mesh_loops;
+    web_options.mesh_channels_per_loop = config_.mesh_channels_per_loop;
+    web_options.mesh_max_inflight = config_.mesh_max_inflight;
+    web_options.mesh_retries = config_.mesh_retries;
+    web_options.mesh_retry = config_.mesh_retry;
+  }
   web_ = std::make_unique<WebTier>(InetAddr::Loopback(app_->Port()),
                                    config_.web_upstream_pool, web_options);
   web_->Start();
 }
 
 void ThreeTierSystem::Stop() {
-  // Front to back, so upstream pools fail fast instead of hanging.
+  // Front to back, so upstream pools fail fast instead of hanging; the
+  // app→db mesh client stops after the app tier that issues on it.
   if (web_) web_->Stop();
   if (app_) app_->Stop();
+  if (db_mesh_) db_mesh_->Stop();
   if (db_) db_->Stop();
 }
+
+ServerCounters ThreeTierSystem::DbSnapshot() const { return db_->Snapshot(); }
 
 ThreeTierPointResult RunThreeTierPoint(const ThreeTierConfig& system_config,
                                        const RubbosWorkloadConfig& load) {

@@ -9,8 +9,12 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
+#include "mesh/response_cache.h"
+#include "mesh/rpc_channel.h"
 #include "metrics/cpu_sample.h"
+#include "rubbos/app_rpc.h"
 #include "rubbos/db_server.h"
 #include "rubbos/web_tier.h"
 #include "rubbos/workload.h"
@@ -54,6 +58,31 @@ struct ThreeTierConfig {
   // the app upstream) and the app tier (guarding the DB).
   bool circuit_breakers = false;
   CircuitBreakerConfig breaker;
+
+  // ---- Mesh plane (ISSUE 10) ----
+  // Inter-tier transport: "sync" (the paper-faithful blocking HTTP chain,
+  // the A/B control) or "rpc" (async mesh: web→app and app→db over
+  // multiplexed RPC channels with fan-out/fan-in). With "rpc" the DB tier
+  // serves the RPC plane, the app tier becomes the Render service on the
+  // loop-group chassis, and the web tier fans each interaction out into
+  // `fanout` parallel fragments.
+  std::string transport = "sync";
+  int fanout = 1;
+  FanoutPolicy fanout_policy = FanoutPolicy::kAll;
+  // Mesh client shape per hop (web→app and app→db use the same shape).
+  int mesh_loops = 2;
+  int mesh_channels_per_loop = 1;
+  size_t mesh_max_inflight = 512;
+  // Retry shed/lost idempotent mesh calls under a token-bucket budget.
+  bool mesh_retries = false;
+  RetryPolicyConfig mesh_retry;
+  // App-tier event loops (rpc transport) and DB-tier loops in rpc mode.
+  int app_event_loops = 2;
+  int db_event_loops = 2;
+  // App-tier response cache: > 0 enables with that TTL.
+  int app_cache_ttl_ms = 0;
+  size_t app_cache_shards = 8;
+  size_t app_cache_mb_per_shard = 4;
 };
 
 class ThreeTierSystem {
@@ -71,12 +100,22 @@ class ThreeTierSystem {
   std::vector<int> AppThreadIds() const { return app_->ThreadIds(); }
   ServerCounters AppSnapshot() const { return app_->Snapshot(); }
   ServerCounters WebSnapshot() const { return web_->Snapshot(); }
+  ServerCounters DbSnapshot() const;
+
+  // Mesh-mode internals (null on the sync transport): the app-tier cache
+  // and the app→DB mesh client, for tests and the bench report.
+  ResponseCache* app_cache() { return app_cache_.get(); }
+  MeshClient* db_mesh() { return db_mesh_.get(); }
+  WebTier* web() { return web_.get(); }
 
  private:
   ThreeTierConfig config_;
   std::unique_ptr<DbServer> db_;
   std::unique_ptr<DbConnectionPool> db_pool_;
+  std::unique_ptr<MeshClient> db_mesh_;
+  std::unique_ptr<ResponseCache> app_cache_;
   std::unique_ptr<TierResilience> app_resilience_;
+  std::unique_ptr<AppRpcService> app_service_;
   std::unique_ptr<Server> app_;
   std::unique_ptr<WebTier> web_;
 };

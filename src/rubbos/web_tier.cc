@@ -1,10 +1,16 @@
 #include "rubbos/web_tier.h"
 
+#include <algorithm>
+
+#include "common/deadline.h"
+#include "rubbos/app_logic.h"
+#include "rubbos/app_rpc.h"
+
 namespace hynet::rubbos {
 
 WebTier::WebTier(const InetAddr& app_addr, int upstream_pool_size,
                  const WebTierOptions& options)
-    : pool_(app_addr, upstream_pool_size) {
+    : options_(options), pool_(app_addr, upstream_pool_size) {
   ServerConfig config;
   // Apache httpd with the worker/prefork MPM: thread-based.
   config.architecture = ServerArchitecture::kThreadPerConn;
@@ -14,9 +20,47 @@ WebTier::WebTier(const InetAddr& app_addr, int upstream_pool_size,
   if (options.circuit_breaker) {
     resilience_ = std::make_unique<TierResilience>(options.breaker);
   }
+  if (options_.rpc) {
+    MeshClientConfig mesh_config;
+    mesh_config.server = app_addr;
+    mesh_config.loops = options_.mesh_loops;
+    mesh_config.channels_per_loop = options_.mesh_channels_per_loop;
+    mesh_config.channel.max_inflight = options_.mesh_max_inflight;
+    mesh_config.channel.deadline_propagation = options_.deadline_propagation;
+    mesh_config.channel.deadline_margin_ms = options_.deadline_margin_ms;
+    mesh_config.enable_retries = options_.mesh_retries;
+    mesh_config.retry = options_.mesh_retry;
+    mesh_ = std::make_unique<MeshClient>(mesh_config);
+  }
+  server_ = CreateServer(config,
+                         options_.rpc ? MakeRpcHandler() : MakeSyncHandler());
+  pool_.BindLifecycle(&server_->lifecycle_stats());
+  if (resilience_) resilience_->BindLifecycle(&server_->lifecycle_stats());
+  if (mesh_) {
+    mesh_->BindLifecycle(&server_->lifecycle_stats());
+    mesh_->BindInflightGauge(&server_->metrics().GetGauge("mesh_inflight"));
+  }
+}
+
+WebTier::~WebTier() { Stop(); }
+
+void WebTier::Start() {
+  if (mesh_) mesh_->Start();
+  server_->Start();
+}
+
+void WebTier::Stop() {
+  server_->Stop();
+  if (mesh_) mesh_->Stop();
+}
+
+uint16_t WebTier::Port() const { return server_->Port(); }
+ServerCounters WebTier::Snapshot() const { return server_->Snapshot(); }
+std::vector<int> WebTier::ThreadIds() const { return server_->ThreadIds(); }
+
+hynet::Handler WebTier::MakeSyncHandler() {
   TierResilience* res = resilience_.get();
-  server_ = CreateServer(config, [this, res](const HttpRequest& req,
-                                             HttpResponse& resp) {
+  return [this, res](const HttpRequest& req, HttpResponse& resp) {
     if (res && !res->Allow()) {
       // Breaker open: the app tier is failing — serve the static front
       // page instead of queueing another request onto a failing upstream.
@@ -50,17 +94,113 @@ WebTier::WebTier(const InetAddr& app_addr, int upstream_pool_size,
       resp.reason = "Bad Gateway";
       resp.body = "app tier unreachable";
     }
-  });
-  pool_.BindLifecycle(&server_->lifecycle_stats());
-  if (resilience_) resilience_->BindLifecycle(&server_->lifecycle_stats());
+  };
 }
 
-WebTier::~WebTier() { Stop(); }
+hynet::Handler WebTier::MakeRpcHandler() {
+  TierResilience* res = resilience_.get();
+  return [this, res](const HttpRequest& req, HttpResponse& resp) {
+    resp.SetHeader("Via", "hynet-webtier");
+    if (req.path != "/rubbos") {
+      resp.status = 404;
+      resp.reason = "Not Found";
+      resp.body = "mesh front serves /rubbos only";
+      return;
+    }
+    RenderParams base;
+    base.index = InteractionIndex(req.QueryParam("type"));
+    if (base.index >= kInteractionCount) {
+      resp.status = 404;
+      resp.reason = "Not Found";
+      resp.body = "unknown interaction";
+      return;
+    }
+    base.story = static_cast<int>(req.QueryParamInt("s", 0));
+    base.user = static_cast<int>(req.QueryParamInt("u", 0));
+    base.page = static_cast<int>(req.QueryParamInt("page", 0));
+    base.frags = std::max(1, options_.fanout);
 
-void WebTier::Start() { server_->Start(); }
-void WebTier::Stop() { server_->Stop(); }
-uint16_t WebTier::Port() const { return server_->Port(); }
-ServerCounters WebTier::Snapshot() const { return server_->Snapshot(); }
-std::vector<int> WebTier::ThreadIds() const { return server_->ThreadIds(); }
+    if (res && !res->Allow()) {
+      res->CountDegraded();
+      resp.status = 200;
+      resp.reason = "OK";
+      resp.body = "degraded: app tier unavailable, serving cached page\n";
+      resp.SetHeader("X-Hynet-Degraded", "app");
+      return;
+    }
+
+    // Captured on this (handler) thread; the fragments are issued from it
+    // too, but passing explicitly keeps the hop decrement independent of
+    // thread-local scope.
+    const Deadline deadline = CurrentRequestDeadline();
+    const bool idempotent =
+        kInteractions[base.index].q_insert == 0;
+
+    FanoutOptions fanout_options;
+    fanout_options.policy = options_.fanout_policy;
+    fanout_options.lifecycle = &server_->lifecycle_stats();
+    const FanoutResult fr = FanoutCallSync(
+        static_cast<size_t>(base.frags),
+        [this, &base, deadline, idempotent](size_t i, RpcCallback done) {
+          RenderParams p = base;
+          p.frag = static_cast<int>(i);
+          RpcCallOptions call_options;
+          call_options.deadline = deadline;
+          call_options.idempotent = idempotent;
+          mesh_->Call(kAppMethodRender, EncodeRenderPayload(p), call_options,
+                      std::move(done));
+        },
+        fanout_options);
+
+    if (res) res->Record(fr.satisfied);
+    if (!fr.satisfied) {
+      // Worst failed leg picks the front status: expired budget → 504,
+      // shed → 503 (clients back off), app-side 4xx → 404, else 502.
+      int status = 502;
+      const char* reason = "Bad Gateway";
+      for (size_t i = 0; i < fr.results.size(); ++i) {
+        if (!fr.completed[i] || fr.results[i].ok()) continue;
+        const RpcCallResult& leg = fr.results[i];
+        if (leg.status == RpcStatus::kExpired && !leg.transport_error) {
+          status = 504;
+          reason = "Gateway Timeout";
+          break;
+        }
+        if (leg.status == RpcStatus::kShed && !leg.transport_error) {
+          status = 503;
+          reason = "Service Unavailable";
+        } else if (status == 502 && !leg.transport_error &&
+                   (leg.status == RpcStatus::kBadRequest ||
+                    leg.status == RpcStatus::kBadMethod)) {
+          status = 404;
+          reason = "Not Found";
+        }
+      }
+      resp.status = status;
+      resp.reason = reason;
+      if (status == 503) resp.SetHeader("Retry-After", "1");
+      resp.body = "app fan-out failed\n";
+      return;
+    }
+
+    // Assemble the page from the fragments in index order. Under
+    // best-effort a failed leg's slot is simply absent — a page with gaps,
+    // flagged degraded.
+    size_t total = 0;
+    for (size_t i = 0; i < fr.results.size(); ++i) {
+      if (fr.completed[i] && fr.results[i].ok()) {
+        total += fr.results[i].payload.size();
+      }
+    }
+    resp.body.reserve(total);
+    for (size_t i = 0; i < fr.results.size(); ++i) {
+      if (fr.completed[i] && fr.results[i].ok()) {
+        resp.body += fr.results[i].payload;
+      }
+    }
+    if (fr.degraded) resp.SetHeader("X-Hynet-Degraded", "app-partial");
+    resp.SetHeader("Content-Type", "text/html");
+  };
+}
 
 }  // namespace hynet::rubbos

@@ -1,10 +1,22 @@
 // Web tier (Apache httpd stand-in): a thread-based reverse proxy in front
-// of the app tier, forwarding every request over a pooled persistent
-// upstream connection (mod_jk style).
+// of the app tier.
+//
+// Two upstream transports:
+//   - sync (default): every request forwarded over a pooled persistent
+//     HTTP connection (mod_jk style) — one borrowed connection blocked for
+//     the whole app-tier round trip.
+//   - rpc (mesh mode): each /rubbos interaction is split into `fanout`
+//     fragment Render calls issued in parallel on a multiplexed RpcChannel
+//     and fanned back in under an explicit partial-failure policy. The
+//     front connection's thread blocks on the *group*, not on a pool slot
+//     per call — upstream concurrency is bounded by channel in-flight
+//     caps, not by pool size.
 #pragma once
 
 #include <memory>
 
+#include "mesh/fanout.h"
+#include "mesh/rpc_channel.h"
 #include "rubbos/db_client.h"
 #include "rubbos/tier_resilience.h"
 #include "servers/server.h"
@@ -24,6 +36,24 @@ struct WebTierOptions {
   // upstream.
   bool circuit_breaker = false;
   CircuitBreakerConfig breaker;
+
+  // ---- Mesh mode (ISSUE 10) ----
+  // Forward /rubbos interactions as async RPC fan-out instead of sync
+  // HTTP proxying.
+  bool rpc = false;
+  // Fragments per interaction (parallel Render calls per front request).
+  int fanout = 1;
+  FanoutPolicy fanout_policy = FanoutPolicy::kAll;
+  // Mesh client shape (loops × channels) and per-channel wire cap.
+  int mesh_loops = 2;
+  int mesh_channels_per_loop = 1;
+  size_t mesh_max_inflight = 512;
+  // Safety margin reserved per hop out of propagated deadlines.
+  int deadline_margin_ms = 0;
+  // Retry shed/lost *idempotent* fragments under a token-bucket budget
+  // shared across the mesh client's channels.
+  bool mesh_retries = false;
+  RetryPolicyConfig mesh_retry;
 };
 
 class WebTier {
@@ -40,9 +70,16 @@ class WebTier {
 
   // Null unless options.circuit_breaker.
   const TierResilience* resilience() const { return resilience_.get(); }
+  // Null unless options.rpc.
+  MeshClient* mesh() { return mesh_.get(); }
 
  private:
+  hynet::Handler MakeSyncHandler();
+  hynet::Handler MakeRpcHandler();
+
+  WebTierOptions options_;
   UpstreamPool pool_;
+  std::unique_ptr<MeshClient> mesh_;
   std::unique_ptr<TierResilience> resilience_;
   std::unique_ptr<Server> server_;
 };

@@ -62,6 +62,15 @@ struct LifecycleStats {
   std::atomic<uint64_t> retry_budget_exhausted{0};  // retries denied, no budget
   std::atomic<uint64_t> breaker_state{0};        // 0 closed / 1 open / 2 half
   std::atomic<uint64_t> degraded_responses{0};   // fallbacks served while open
+  // ---- Mesh plane (ISSUE 10) ----
+  std::atomic<uint64_t> cache_hits{0};           // response-cache hits
+  std::atomic<uint64_t> cache_misses{0};         // lookups that went downstream
+  std::atomic<uint64_t> cache_evictions{0};      // LRU byte-budget evictions
+  std::atomic<uint64_t> cache_singleflight_waits{0};  // misses coalesced onto
+                                                      // an in-flight fill
+  std::atomic<uint64_t> mesh_fanout_calls{0};    // fan-out groups issued
+  std::atomic<uint64_t> mesh_partial_failures{0};  // fan-ins with >=1 failed leg
+  std::atomic<uint64_t> mesh_channel_reconnects{0};  // channel conns re-dialed
 
   uint64_t Evictions() const {
     return idle_evictions.load(std::memory_order_relaxed) +

@@ -350,6 +350,8 @@ struct ServerConfig {
 // breaker_state is a *state* (0 closed / 1 open / 2 half-open), stored
 // rather than accumulated; only the rubbos tiers (which never aggregate
 // across copies) set it, so the field-wise sums stay meaningful.
+// The mesh-plane fields (cache_* / mesh_*) are incremented by the tier's
+// ResponseCache, FanoutCall, and RpcChannel instances via BindLifecycle.
 #define HYNET_SERVER_LIFECYCLE_FIELDS(X) \
   X(idle_evictions)                      \
   X(header_evictions)                    \
@@ -369,7 +371,14 @@ struct ServerConfig {
   X(retries_issued)                      \
   X(retry_budget_exhausted)              \
   X(breaker_state)                       \
-  X(degraded_responses)
+  X(degraded_responses)                  \
+  X(cache_hits)                          \
+  X(cache_misses)                        \
+  X(cache_evictions)                     \
+  X(cache_singleflight_waits)            \
+  X(mesh_fanout_calls)                   \
+  X(mesh_partial_failures)               \
+  X(mesh_channel_reconnects)
 
 #define HYNET_SERVER_COUNTER_FIELDS(X)  \
   HYNET_SERVER_CORE_COUNTER_FIELDS(X)   \

@@ -1,0 +1,640 @@
+// Mesh-plane tests (ISSUE 10): the sharded response cache (singleflight,
+// TTL, LRU byte budget, zero-copy shared bodies), fan-out/fan-in
+// partial-failure policies, the RpcChannel client (deadline expiry,
+// reconnect after RST, per-method idempotent retries, wire deadline
+// propagation), and the 3-tier rubbos system on the rpc transport.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "app/service.h"
+#include "common/clock.h"
+#include "common/deadline.h"
+#include "mesh/fanout.h"
+#include "mesh/response_cache.h"
+#include "mesh/rpc_channel.h"
+#include "net/socket.h"
+#include "proto/http_codec.h"
+#include "proto/http_parser.h"
+#include "rubbos/app_logic.h"
+#include "rubbos/app_rpc.h"
+#include "rubbos/system.h"
+#include "servers/server.h"
+
+namespace hynet {
+namespace {
+
+void SleepMs(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::shared_ptr<const std::string> Body(const std::string& s) {
+  return std::make_shared<const std::string>(s);
+}
+
+// ---- ResponseCache ----
+
+TEST(ResponseCacheTest, HitServesSharedBodyZeroCopy) {
+  ResponseCacheConfig config;
+  config.ttl_ms = 0;  // no expiry
+  ResponseCache cache(config);
+
+  CachedResponse hit;
+  ASSERT_EQ(cache.Lookup(1, "k", &hit, nullptr),
+            ResponseCache::Outcome::kMissLead);
+  auto body = Body("rendered-once");
+  const long base_count = body.use_count();
+  cache.Fill(1, "k", {RpcStatus::kOk, body}, /*store=*/true);
+  // The cache holds a reference, not a copy.
+  EXPECT_EQ(body.use_count(), base_count + 1);
+
+  CachedResponse a, b;
+  ASSERT_EQ(cache.Lookup(1, "k", &a, nullptr), ResponseCache::Outcome::kHit);
+  ASSERT_EQ(cache.Lookup(1, "k", &b, nullptr), ResponseCache::Outcome::kHit);
+  // Zero-copy proof: both hits reference the ORIGINAL allocation.
+  EXPECT_EQ(a.body.get(), body.get());
+  EXPECT_EQ(b.body.get(), body.get());
+  EXPECT_EQ(body.use_count(), base_count + 3);
+  EXPECT_EQ(cache.Hits(), 2u);
+  EXPECT_EQ(cache.Misses(), 1u);
+}
+
+TEST(ResponseCacheTest, MethodIdIsPartOfTheKey) {
+  ResponseCache cache({});
+  CachedResponse hit;
+  ASSERT_EQ(cache.Lookup(1, "k", &hit, nullptr),
+            ResponseCache::Outcome::kMissLead);
+  cache.Fill(1, "k", {RpcStatus::kOk, Body("m1")}, true);
+  // Same key under a different method misses.
+  EXPECT_EQ(cache.Lookup(2, "k", &hit, nullptr),
+            ResponseCache::Outcome::kMissLead);
+  cache.Fill(2, "k", {RpcStatus::kOk, Body("m2")}, true);
+  ASSERT_EQ(cache.Lookup(1, "k", &hit, nullptr),
+            ResponseCache::Outcome::kHit);
+  EXPECT_EQ(*hit.body, "m1");
+}
+
+TEST(ResponseCacheTest, SingleflightCoalescesConcurrentMisses) {
+  ResponseCache cache({});
+  CachedResponse lead_hit;
+  ASSERT_EQ(cache.Lookup(1, "hot", &lead_hit, nullptr),
+            ResponseCache::Outcome::kMissLead);
+
+  std::atomic<int> filled{0};
+  std::shared_ptr<const std::string> seen_a, seen_b;
+  ASSERT_EQ(cache.Lookup(1, "hot", nullptr,
+                         [&](CachedResponse r) {
+                           seen_a = r.body;
+                           filled.fetch_add(1);
+                         }),
+            ResponseCache::Outcome::kMissJoined);
+  ASSERT_EQ(cache.Lookup(1, "hot", nullptr,
+                         [&](CachedResponse r) {
+                           seen_b = r.body;
+                           filled.fetch_add(1);
+                         }),
+            ResponseCache::Outcome::kMissJoined);
+  EXPECT_EQ(cache.SingleflightWaits(), 2u);
+  EXPECT_EQ(filled.load(), 0);
+
+  auto body = Body("one render, three consumers");
+  cache.Fill(1, "hot", {RpcStatus::kOk, body}, true);
+  EXPECT_EQ(filled.load(), 2);
+  // All waiters got the one shared allocation.
+  EXPECT_EQ(seen_a.get(), body.get());
+  EXPECT_EQ(seen_b.get(), body.get());
+  // Misses counted once per caller, but only one render happened.
+  EXPECT_EQ(cache.Misses(), 3u);
+}
+
+TEST(ResponseCacheTest, FailedFillPublishesWithoutStoring) {
+  ResponseCache cache({});
+  CachedResponse hit;
+  ASSERT_EQ(cache.Lookup(1, "k", &hit, nullptr),
+            ResponseCache::Outcome::kMissLead);
+  RpcStatus joined_status = RpcStatus::kOk;
+  ASSERT_EQ(cache.Lookup(1, "k", nullptr,
+                         [&](CachedResponse r) { joined_status = r.status; }),
+            ResponseCache::Outcome::kMissJoined);
+  cache.Fill(1, "k", {RpcStatus::kError, nullptr}, /*store=*/false);
+  EXPECT_EQ(joined_status, RpcStatus::kError);
+  EXPECT_EQ(cache.EntryCount(), 0u);
+  // The failure was not cached: next lookup is a fresh lead.
+  EXPECT_EQ(cache.Lookup(1, "k", &hit, nullptr),
+            ResponseCache::Outcome::kMissLead);
+  cache.Fill(1, "k", {RpcStatus::kOk, Body("ok")}, true);
+}
+
+TEST(ResponseCacheTest, TtlExpiresEntries) {
+  ResponseCacheConfig config;
+  config.ttl_ms = 40;
+  ResponseCache cache(config);
+  CachedResponse hit;
+  ASSERT_EQ(cache.Lookup(1, "k", &hit, nullptr),
+            ResponseCache::Outcome::kMissLead);
+  cache.Fill(1, "k", {RpcStatus::kOk, Body("fresh")}, true);
+  ASSERT_EQ(cache.Lookup(1, "k", &hit, nullptr),
+            ResponseCache::Outcome::kHit);
+  SleepMs(60);
+  // Expired: the hit becomes a miss and the entry is dropped.
+  EXPECT_EQ(cache.Lookup(1, "k", &hit, nullptr),
+            ResponseCache::Outcome::kMissLead);
+  EXPECT_EQ(cache.EntryCount(), 0u);
+  cache.Fill(1, "k", {RpcStatus::kOk, Body("refreshed")}, true);
+}
+
+TEST(ResponseCacheTest, LruEvictsPastByteBudget) {
+  ResponseCacheConfig config;
+  config.shards = 1;  // deterministic: every key in one shard
+  config.max_bytes_per_shard = 1000;
+  config.ttl_ms = 0;
+  ResponseCache cache(config);
+
+  auto fill = [&](const std::string& key) {
+    CachedResponse hit;
+    if (cache.Lookup(1, key, &hit, nullptr) ==
+        ResponseCache::Outcome::kMissLead) {
+      cache.Fill(1, key, {RpcStatus::kOk, Body(std::string(300, 'x'))}, true);
+    }
+  };
+  fill("a");
+  fill("b");
+  fill("c");
+  EXPECT_EQ(cache.Evictions(), 0u);
+  // Touch "a" so "b" is the LRU victim when "d" overflows the budget.
+  CachedResponse hit;
+  ASSERT_EQ(cache.Lookup(1, "a", &hit, nullptr),
+            ResponseCache::Outcome::kHit);
+  fill("d");
+  EXPECT_GE(cache.Evictions(), 1u);
+  EXPECT_LE(cache.TotalBytes(), 1000u);
+  EXPECT_EQ(cache.Lookup(1, "a", &hit, nullptr),
+            ResponseCache::Outcome::kHit);
+  EXPECT_EQ(cache.Lookup(1, "b", &hit, nullptr),
+            ResponseCache::Outcome::kMissLead);
+  cache.Fill(1, "b", {RpcStatus::kOk, nullptr}, false);
+}
+
+// ---- Fan-out / fan-in ----
+
+RpcCallResult OkLeg(const std::string& payload) {
+  RpcCallResult r;
+  r.status = RpcStatus::kOk;
+  r.payload = payload;
+  return r;
+}
+
+RpcCallResult FailedLeg(RpcStatus status, bool transport = false) {
+  RpcCallResult r;
+  r.status = status;
+  r.transport_error = transport;
+  return r;
+}
+
+TEST(FanoutTest, AllPolicyNeedsEveryLeg) {
+  LifecycleStats stats;
+  FanoutOptions options;
+  options.lifecycle = &stats;
+  const FanoutResult ok = FanoutCallSync(
+      3, [](size_t i, RpcCallback done) { done(OkLeg(std::to_string(i))); },
+      options);
+  EXPECT_TRUE(ok.satisfied);
+  EXPECT_FALSE(ok.degraded);
+  EXPECT_EQ(ok.ok, 3u);
+  ASSERT_EQ(ok.results.size(), 3u);
+  EXPECT_EQ(ok.results[1].payload, "1");
+  EXPECT_EQ(stats.mesh_fanout_calls.load(), 1u);
+  EXPECT_EQ(stats.mesh_partial_failures.load(), 0u);
+
+  const FanoutResult fail = FanoutCallSync(
+      3,
+      [](size_t i, RpcCallback done) {
+        done(i == 1 ? FailedLeg(RpcStatus::kShed) : OkLeg("x"));
+      },
+      options);
+  EXPECT_FALSE(fail.satisfied);
+  EXPECT_EQ(stats.mesh_partial_failures.load(), 1u);
+}
+
+TEST(FanoutTest, QuorumToleratesMinorityFailure) {
+  FanoutOptions options;
+  options.policy = FanoutPolicy::kQuorum;  // default quorum = N/2+1 = 2
+  // Legs complete in issue order; the failure (leg 1) lands before the
+  // quorum-deciding success (leg 2), so it is in the fired snapshot.
+  const FanoutResult fr = FanoutCallSync(
+      3,
+      [](size_t i, RpcCallback done) {
+        done(i == 1 ? FailedLeg(RpcStatus::kError, true) : OkLeg("x"));
+      },
+      options);
+  EXPECT_TRUE(fr.satisfied);
+  EXPECT_TRUE(fr.degraded);  // satisfied, but a leg failed
+  EXPECT_EQ(fr.ok, 2u);
+  EXPECT_EQ(fr.failed, 1u);
+
+  // 2 of 3 failed: quorum unreachable.
+  const FanoutResult lost = FanoutCallSync(
+      3,
+      [](size_t i, RpcCallback done) {
+        done(i == 0 ? OkLeg("x") : FailedLeg(RpcStatus::kError));
+      },
+      options);
+  EXPECT_FALSE(lost.satisfied);
+}
+
+TEST(FanoutTest, BestEffortWaitsForAllAndReportsGaps) {
+  FanoutOptions options;
+  options.policy = FanoutPolicy::kBestEffort;
+  const FanoutResult fr = FanoutCallSync(
+      4,
+      [](size_t i, RpcCallback done) {
+        done(i % 2 == 0 ? OkLeg("even") : FailedLeg(RpcStatus::kShed));
+      },
+      options);
+  EXPECT_TRUE(fr.satisfied);
+  EXPECT_TRUE(fr.degraded);
+  EXPECT_EQ(fr.ok, 2u);
+  EXPECT_EQ(fr.failed, 2u);
+  // Every leg completed (best-effort never fires early).
+  for (size_t i = 0; i < 4; ++i) EXPECT_TRUE(fr.completed[i]);
+
+  const FanoutResult none = FanoutCallSync(
+      2, [](size_t, RpcCallback done) { done(FailedLeg(RpcStatus::kError)); },
+      options);
+  EXPECT_FALSE(none.satisfied);
+}
+
+TEST(FanoutTest, AllPolicyFiresEarlyOnFirstFailure) {
+  // Leg 0 fails immediately; leg 1 completes *after* the group fired. The
+  // late completion must be absorbed without a second done().
+  std::atomic<int> fired{0};
+  RpcCallback late_done;
+  std::mutex mu;
+  FanoutOptions options;
+  FanoutCall(
+      2,
+      [&](size_t i, RpcCallback done) {
+        if (i == 0) {
+          done(FailedLeg(RpcStatus::kError));
+        } else {
+          std::lock_guard<std::mutex> lock(mu);
+          late_done = std::move(done);
+        }
+      },
+      options, [&](FanoutResult fr) {
+        fired.fetch_add(1);
+        EXPECT_FALSE(fr.satisfied);
+        EXPECT_FALSE(fr.completed[1]);  // leg 1 still outstanding
+      });
+  EXPECT_EQ(fired.load(), 1);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_TRUE(static_cast<bool>(late_done));
+    late_done(OkLeg("late"));  // absorbed silently
+  }
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(FanoutTest, ParsePolicyNames) {
+  EXPECT_EQ(ParseFanoutPolicy("all"), FanoutPolicy::kAll);
+  EXPECT_EQ(ParseFanoutPolicy("quorum"), FanoutPolicy::kQuorum);
+  EXPECT_EQ(ParseFanoutPolicy("best-effort"), FanoutPolicy::kBestEffort);
+  EXPECT_EQ(ParseFanoutPolicy("best_effort"), FanoutPolicy::kBestEffort);
+  EXPECT_EQ(ParseFanoutPolicy("garbage"), FanoutPolicy::kAll);
+  EXPECT_STREQ(FanoutPolicyName(FanoutPolicy::kQuorum), "quorum");
+}
+
+// ---- RpcChannel / MeshClient against a live RPC server ----
+
+// Echo service: returns the payload; method 2 sheds the first attempt per
+// payload (retry fodder); method 3 sleeps 150ms (deadline fodder); method
+// 4 reports the deadline budget the server-side admission installed.
+std::unique_ptr<Server> StartEchoServer(uint16_t* port) {
+  ServerConfig config;
+  config.architecture = ServerArchitecture::kMultiLoop;
+  config.event_loops = 1;
+  config.protocol = "rpc";
+  config.deadline_propagation = true;
+
+  ServiceRegistry registry;
+  registry.Register(1, "echo",
+                    SyncService([](const ServiceRequest& req,
+                                   ServiceResponse& resp) {
+                      resp.body = req.payload;
+                    }));
+  auto shed_once = std::make_shared<std::mutex>();
+  auto shed_seen = std::make_shared<std::vector<std::string>>();
+  registry.Register(
+      2, "shed_once",
+      SyncService([shed_once, shed_seen](const ServiceRequest& req,
+                                         ServiceResponse& resp) {
+        std::lock_guard<std::mutex> lock(*shed_once);
+        for (const auto& s : *shed_seen) {
+          if (s == req.payload) {
+            resp.body = req.payload;
+            return;
+          }
+        }
+        shed_seen->push_back(req.payload);
+        resp.status = RpcStatus::kShed;
+      }));
+  registry.Register(3, "slow",
+                    SyncService([](const ServiceRequest&, ServiceResponse& r) {
+                      SleepMs(150);
+                      r.body = "slept";
+                    }));
+  registry.Register(4, "budget",
+                    SyncService([](const ServiceRequest&, ServiceResponse& r) {
+                      r.body = std::to_string(
+                          CurrentRequestDeadline().RemainingMillis());
+                    }));
+  auto server = CreateServer(config, registry);
+  server->Start();
+  *port = server->Port();
+  return server;
+}
+
+TEST(RpcChannelTest, EchoRoundTrip) {
+  uint16_t port = 0;
+  auto server = StartEchoServer(&port);
+  MeshClientConfig config;
+  config.server = InetAddr::Loopback(port);
+  MeshClient client(config);
+  client.Start();
+
+  const RpcCallResult r = client.CallSync(1, "hello mesh", {});
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.status, RpcStatus::kOk);
+  EXPECT_EQ(r.payload, "hello mesh");
+
+  // Many pipelined calls on one channel, all completed and matched by id.
+  FanoutOptions options;
+  const FanoutResult fr = FanoutCallSync(
+      64,
+      [&](size_t i, RpcCallback done) {
+        client.Call(1, "leg-" + std::to_string(i), {}, std::move(done));
+      },
+      options);
+  EXPECT_TRUE(fr.satisfied);
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(fr.results[i].payload, "leg-" + std::to_string(i));
+  }
+  client.Stop();
+  server->Stop();
+}
+
+TEST(RpcChannelTest, ReconnectsAfterRst) {
+  uint16_t port = 0;
+  auto server = StartEchoServer(&port);
+  MeshClientConfig config;
+  config.server = InetAddr::Loopback(port);
+  config.channel.reconnect_base_ms = 1.0;
+  MeshClient client(config);
+  LifecycleStats stats;
+  client.BindLifecycle(&stats);
+  client.Start();
+
+  ASSERT_TRUE(client.CallSync(1, "before", {}).ok());
+  EXPECT_EQ(client.Reconnects(), 0u);
+
+  // Kill the established connection the way a crashed peer would: RST.
+  client.ChannelForTest(0).InjectDisconnectForTest();
+  // The next call redials (possibly after the 1ms backoff) and succeeds.
+  const RpcCallResult after = client.CallSync(1, "after", {});
+  EXPECT_TRUE(after.ok());
+  EXPECT_EQ(after.payload, "after");
+  EXPECT_EQ(client.Reconnects(), 1u);
+  EXPECT_EQ(stats.mesh_channel_reconnects.load(), 1u);
+  client.Stop();
+  server->Stop();
+}
+
+TEST(RpcChannelTest, DeadlineExpiryCompletesExpired) {
+  uint16_t port = 0;
+  auto server = StartEchoServer(&port);
+  MeshClientConfig config;
+  config.server = InetAddr::Loopback(port);
+  config.channel.deadline_propagation = true;
+  MeshClient client(config);
+  LifecycleStats stats;
+  client.BindLifecycle(&stats);
+  client.Start();
+
+  RpcCallOptions options;
+  options.deadline = Deadline::FromMillis(30);
+  const int64_t start = NowNanos();
+  const RpcCallResult r = client.CallSync(3, "too slow", options);
+  const double waited_ms = static_cast<double>(NowNanos() - start) / 1e6;
+  EXPECT_EQ(r.status, RpcStatus::kExpired);
+  // The caller got its answer near the deadline, not after the 150ms
+  // handler finished (coarse-timer slack allowed).
+  EXPECT_LT(waited_ms, 140.0);
+  EXPECT_GE(stats.deadline_expired.load(), 1u);
+  client.Stop();
+  server->Stop();
+}
+
+TEST(RpcChannelTest, DeadlineBudgetRidesTheWire) {
+  uint16_t port = 0;
+  auto server = StartEchoServer(&port);
+  MeshClientConfig config;
+  config.server = InetAddr::Loopback(port);
+  config.channel.deadline_propagation = true;
+  MeshClient client(config);
+  client.Start();
+
+  RpcCallOptions options;
+  options.deadline = Deadline::FromMillis(500);
+  const RpcCallResult r = client.CallSync(4, "", options);
+  ASSERT_TRUE(r.ok());
+  // The server-side admission installed a deadline from the header's
+  // decremented budget: positive, and no larger than what we sent.
+  const long remaining = std::stol(r.payload);
+  EXPECT_GT(remaining, 0);
+  EXPECT_LE(remaining, 500);
+
+  // Without a caller deadline nothing is propagated.
+  const RpcCallResult bare = client.CallSync(4, "", {});
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(std::stol(bare.payload), 0);
+  client.Stop();
+  server->Stop();
+}
+
+TEST(RpcChannelTest, IdempotentCallsRetryShedsNonIdempotentDont) {
+  uint16_t port = 0;
+  auto server = StartEchoServer(&port);
+  MeshClientConfig config;
+  config.server = InetAddr::Loopback(port);
+  config.enable_retries = true;
+  config.retry.base_backoff_ms = 1.0;
+  MeshClient client(config);
+  LifecycleStats stats;
+  client.BindLifecycle(&stats);
+  client.Start();
+
+  // Non-idempotent: the shed must surface, not be replayed (a lost
+  // mutation must not become a duplicate side effect).
+  RpcCallOptions mutation;
+  mutation.idempotent = false;
+  const RpcCallResult shed = client.CallSync(2, "write-1", mutation);
+  EXPECT_EQ(shed.status, RpcStatus::kShed);
+  EXPECT_EQ(stats.retries_issued.load(), 0u);
+
+  // Idempotent: the channel retries past the one-time shed.
+  RpcCallOptions query;
+  query.idempotent = true;
+  const RpcCallResult retried = client.CallSync(2, "read-1", query);
+  EXPECT_TRUE(retried.ok());
+  EXPECT_EQ(retried.payload, "read-1");
+  EXPECT_EQ(stats.retries_issued.load(), 1u);
+  client.Stop();
+  server->Stop();
+}
+
+// ---- Render payload codec + canonical cache key ----
+
+TEST(AppRpcTest, RenderPayloadRoundTrip) {
+  using namespace hynet::rubbos;
+  RenderParams p;
+  p.index = InteractionIndex("ViewStory");
+  p.story = 42;
+  p.user = 7;
+  p.page = 3;
+  p.frag = 1;
+  p.frags = 4;
+  RenderParams decoded;
+  ASSERT_TRUE(DecodeRenderPayload(EncodeRenderPayload(p), &decoded));
+  EXPECT_EQ(decoded.index, p.index);
+  EXPECT_EQ(decoded.story, 42);
+  EXPECT_EQ(decoded.user, 7);
+  EXPECT_EQ(decoded.page, 3);
+  EXPECT_EQ(decoded.frag, 1);
+  EXPECT_EQ(decoded.frags, 4);
+
+  RenderParams bad;
+  EXPECT_FALSE(DecodeRenderPayload("/render?type=NoSuchServlet", &bad));
+  EXPECT_FALSE(
+      DecodeRenderPayload("/render?type=ViewStory&frag=2&frags=2", &bad));
+  EXPECT_FALSE(DecodeRenderPayload("/other?type=ViewStory", &bad));
+}
+
+TEST(AppRpcTest, CanonicalKeyDropsUnusedDimensions) {
+  using namespace hynet::rubbos;
+  // StoriesOfTheDay reads only the page: story/user must not shatter it.
+  RenderParams a, b;
+  a.index = b.index = InteractionIndex("StoriesOfTheDay");
+  a.story = 1;
+  a.user = 100;
+  b.story = 2;
+  b.user = 200;
+  EXPECT_EQ(CanonicalCacheKey(a), CanonicalCacheKey(b));
+  b.page = 5;
+  EXPECT_NE(CanonicalCacheKey(a), CanonicalCacheKey(b));
+
+  // ViewStory reads the story id.
+  RenderParams s1, s2;
+  s1.index = s2.index = InteractionIndex("ViewStory");
+  s1.story = 1;
+  s2.story = 2;
+  EXPECT_NE(CanonicalCacheKey(s1), CanonicalCacheKey(s2));
+
+  // Fragment slot is always part of the key.
+  RenderParams f = s1;
+  f.frag = 1;
+  f.frags = 2;
+  EXPECT_NE(CanonicalCacheKey(s1), CanonicalCacheKey(f));
+}
+
+// ---- 3-tier system on the rpc transport ----
+
+HttpResponse FetchFront(uint16_t port, const std::string& target) {
+  Socket sock = Socket::CreateTcp(false);
+  sock.Connect(InetAddr::Loopback(port));
+  const std::string wire = BuildGetRequest(target);
+  size_t off = 0;
+  while (off < wire.size()) {
+    const IoResult r =
+        WriteFd(sock.fd(), wire.data() + off, wire.size() - off);
+    if (r.Fatal()) throw std::runtime_error("write failed");
+    off += static_cast<size_t>(r.n);
+  }
+  HttpResponseParser parser;
+  ByteBuffer in;
+  char buf[16 * 1024];
+  while (true) {
+    const ParseStatus st = parser.Parse(in);
+    if (st == ParseStatus::kComplete) return parser.response();
+    if (st == ParseStatus::kError) throw std::runtime_error("parse error");
+    const IoResult r = ReadFd(sock.fd(), buf, sizeof(buf));
+    if (r.n <= 0) throw std::runtime_error("connection lost");
+    in.Append(buf, static_cast<size_t>(r.n));
+  }
+}
+
+TEST(MeshSystemTest, RpcTransportServesInteractionsWithFanout) {
+  using namespace hynet::rubbos;
+  ThreeTierConfig config;
+  config.transport = "rpc";
+  config.fanout = 2;
+  config.app_cache_ttl_ms = 5000;
+  ThreeTierSystem system(config);
+  system.Start();
+
+  // A read-heavy interaction: fragments carry the plan + scaffold.
+  const size_t view = InteractionIndex("ViewStory");
+  const HttpResponse first =
+      FetchFront(system.FrontPort(), InteractionTarget(view, 3, 1, 0));
+  EXPECT_EQ(first.status, 200);
+  EXPECT_GE(first.body.size(), kInteractions[view].html_bytes);
+
+  // The same page again: both fragments now come from the cache.
+  ASSERT_NE(system.app_cache(), nullptr);
+  const uint64_t misses_after_first = system.app_cache()->Misses();
+  EXPECT_GE(misses_after_first, 2u);  // one per fragment
+  const HttpResponse second =
+      FetchFront(system.FrontPort(), InteractionTarget(view, 3, 1, 0));
+  EXPECT_EQ(second.status, 200);
+  EXPECT_EQ(second.body.size(), first.body.size());
+  EXPECT_GE(system.app_cache()->Hits(), 2u);
+  EXPECT_EQ(system.app_cache()->Misses(), misses_after_first);
+
+  // A mutation (StoreComment) must not be cached, and must succeed.
+  const size_t store = InteractionIndex("StoreComment");
+  const HttpResponse mutation =
+      FetchFront(system.FrontPort(), InteractionTarget(store, 3, 1, 0));
+  EXPECT_EQ(mutation.status, 200);
+
+  // Unknown interaction maps through the mesh to 404.
+  const HttpResponse missing =
+      FetchFront(system.FrontPort(), "/rubbos?type=NoSuchServlet");
+  EXPECT_EQ(missing.status, 404);
+
+  // The fan-out plane was exercised end to end.
+  const ServerCounters web = system.WebSnapshot();
+  EXPECT_GE(web.mesh_fanout_calls, 3u);
+  EXPECT_EQ(web.mesh_partial_failures, 0u);
+  system.Stop();
+}
+
+TEST(MeshSystemTest, SyncTransportUnchangedAsControl) {
+  using namespace hynet::rubbos;
+  ThreeTierConfig config;  // transport = "sync" default
+  ThreeTierSystem system(config);
+  system.Start();
+  const size_t view = rubbos::InteractionIndex("ViewStory");
+  const HttpResponse resp =
+      FetchFront(system.FrontPort(), InteractionTarget(view, 3, 1, 0));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(system.app_cache(), nullptr);
+  EXPECT_EQ(system.db_mesh(), nullptr);
+  system.Stop();
+}
+
+}  // namespace
+}  // namespace hynet

@@ -26,6 +26,15 @@ responses completed out of arrival order (the visible effect of
 per-method routing), and `infl` the high-water mark of in-flight
 requests on any one connection.
 
+Mesh-plane columns (all zero off the mesh): `hit%` is the response-cache
+hit rate over the window (cache_hits vs cache_misses — misses include
+singleflight joiners, so a thundering herd shows as misses even though
+only the lead rendered), `fo/s` the rate of fan-out groups issued,
+`minf` the mesh_inflight gauge (requests currently on the wire across
+this tier's outbound mesh channels, summed), and `rcon` cumulative mesh
+channel reconnects (a rising value means a downstream keeps dropping
+established connections).
+
 Connection-scale columns: `conns` is the live connection count (the
 conn_count gauge where the server exports it, else derived from the
 accept/close counters), `B/conn` the memory-budget view
@@ -92,6 +101,7 @@ def main() -> int:
               f"{'B/conn':>7}  {'cold':>7}  {'shard':>5}  "
               f"{'p50ms':>7}  {'p99ms':>7}  {'shed':>6}  {'rty':>6}  "
               f"{'brk':>4}  {'rpc/s':>8}  {'ooo%':>5}  {'infl':>5}  "
+              f"{'hit%':>5}  {'fo/s':>7}  {'minf':>5}  {'rcon':>5}  "
               f"{'drain':>5}")
 
     prev = None
@@ -160,6 +170,16 @@ def main() -> int:
             ooo_rate = d("server_rpc_out_of_order_responses")
             ooo_pct = (100.0 * ooo_rate / rpc_rate) if rpc_rate > 0 else 0.0
             infl = counter(stats, "server_rpc_inflight_peak")
+            # Mesh plane: window hit rate, fan-out group rate, outbound
+            # in-flight (gauge), cumulative channel reconnects.
+            hit_rate = d("server_cache_hits")
+            miss_rate = d("server_cache_misses")
+            lookup_rate = hit_rate + miss_rate
+            hit_pct = (100.0 * hit_rate / lookup_rate) if lookup_rate > 0 \
+                else 0.0
+            fanout_rate = d("server_mesh_fanout_calls")
+            mesh_infl = int(gauges.get("mesh_inflight", 0))
+            reconnects = counter(stats, "server_mesh_channel_reconnects")
             if lines % 20 == 0:
                 print(header)
             print(f"{time.strftime('%H:%M:%S'):>8}  "
@@ -173,7 +193,9 @@ def main() -> int:
                   f"{p50:>7.2f}  {p99:>7.2f}  "
                   f"{shed_rate:>6.1f}  {retry_rate:>6.1f}  "
                   f"{brk:>4}  {rpc_rate:>8.1f}  {ooo_pct:>5.1f}  "
-                  f"{infl:>5d}  {'yes' if draining else 'no':>5}")
+                  f"{infl:>5d}  {hit_pct:>5.1f}  {fanout_rate:>7.1f}  "
+                  f"{mesh_infl:>5d}  {reconnects:>5d}  "
+                  f"{'yes' if draining else 'no':>5}")
             lines += 1
         prev = stats
         prev_t = now
